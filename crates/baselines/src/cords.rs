@@ -1,0 +1,209 @@
+//! CORDS (Ilyas, Markl, Haas, Brown, Aboulnaga — SIGMOD 2004).
+//!
+//! CORDS analyzes *pairs* of columns on a sample: soft FDs are detected
+//! from distinct-value counts (`|d(A)| ≈ |d(A,B)|` means `A` nearly
+//! determines `B`) and correlations via a chi-squared test. This is a
+//! best-effort reimplementation, as is the paper's (§5.1: "this baseline is
+//! a best-effort implementation of CORDS since the code is not available").
+//! Its pairwise, marginal view is exactly what the paper critiques: it
+//! detects dependence, not the conditional-independence structure true FDs
+//! induce.
+
+use fdx_data::{Dataset, Fd, FdSet};
+use fdx_stats::{chi_squared, group_ids};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of [`Cords`].
+#[derive(Debug, Clone)]
+pub struct CordsConfig {
+    /// Row sample size (CORDS works on samples by design).
+    pub sample_rows: usize,
+    /// Minimum soft-FD strength `|d(A)| / |d(A,B)|`.
+    pub min_strength: f64,
+    /// Keys are skipped: attributes with more distinct values than this
+    /// fraction of the sample cannot be useful determinants.
+    pub max_key_ratio: f64,
+    /// Chi-squared p-value below which a pair also counts as correlated
+    /// (used to corroborate borderline soft FDs).
+    pub p_value: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for CordsConfig {
+    fn default() -> Self {
+        CordsConfig {
+            sample_rows: 2_000,
+            min_strength: 0.90,
+            max_key_ratio: 0.85,
+            p_value: 1e-3,
+            seed: 0xC02D5,
+        }
+    }
+}
+
+/// The CORDS discoverer.
+#[derive(Debug, Clone, Default)]
+pub struct Cords {
+    config: CordsConfig,
+}
+
+impl Cords {
+    /// Creates a CORDS instance.
+    pub fn new(config: CordsConfig) -> Cords {
+        Cords { config }
+    }
+
+    /// Detects soft FDs between column pairs on a row sample.
+    pub fn discover(&self, ds: &Dataset) -> FdSet {
+        let n = ds.nrows();
+        let k = ds.ncols();
+        let mut fds = FdSet::new();
+        if n < 2 || k < 2 {
+            return fds;
+        }
+        // Sample rows without replacement (reservoir-free: shuffle prefix).
+        let sample = if n <= self.config.sample_rows {
+            ds.clone()
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..self.config.sample_rows {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            ds.gather(&idx[..self.config.sample_rows])
+        };
+        let m = sample.nrows() as f64;
+
+        let distinct: Vec<usize> = (0..k)
+            .map(|a| group_ids(&sample, &[a]).count)
+            .collect();
+        for a in 0..k {
+            // Key and constant filters.
+            if distinct[a] as f64 / m > self.config.max_key_ratio || distinct[a] < 2 {
+                continue;
+            }
+            for b in 0..k {
+                if a == b || distinct[b] < 2 {
+                    continue;
+                }
+                // Soft-FD strength: the fraction of sampled rows whose `b`
+                // value is the majority within their `a` group (1 - g3) --
+                // robust to the few violations noise introduces, unlike a
+                // raw distinct-count ratio.
+                let ga = group_ids(&sample, &[a]);
+                let gab = group_ids(&sample, &[a, b]);
+                let mut joint_sizes: std::collections::HashMap<(u32, u32), usize> =
+                    std::collections::HashMap::new();
+                for (&gia, &giab) in ga.ids.iter().zip(&gab.ids) {
+                    *joint_sizes.entry((gia, giab)).or_insert(0) += 1;
+                }
+                let mut majority = vec![0usize; ga.count];
+                for (&(gia, _), &c) in &joint_sizes {
+                    let slot = &mut majority[gia as usize];
+                    *slot = (*slot).max(c);
+                }
+                let strength = majority.iter().sum::<usize>() as f64 / m;
+                if strength >= self.config.min_strength {
+                    fds.insert(Fd::new([a], b));
+                } else if strength >= self.config.min_strength - 0.05 {
+                    // Borderline: corroborate with the chi-squared test.
+                    let gb = group_ids(&sample, &[b]);
+                    let test = chi_squared(&ga, &gb);
+                    if test.p_value < self.config.p_value && test.cramers_v > 0.5 {
+                        fds.insert(Fd::new([a], b));
+                    }
+                }
+            }
+        }
+        fds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..120 {
+            let zip = i % 12;
+            rows.push([
+                format!("z{zip}"),
+                format!("c{}", zip / 4),
+                format!("n{}", (i * 31 + 7) % 9),
+            ]);
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        Dataset::from_string_rows(&["zip", "city", "noise"], &slices)
+    }
+
+    #[test]
+    fn finds_soft_fd() {
+        let fds = Cords::default().discover(&ds());
+        assert!(fds.fds().contains(&Fd::new([0], 1)), "{fds:?}");
+        assert!(!fds.fds().contains(&Fd::new([1], 0)), "reverse is not soft");
+    }
+
+    #[test]
+    fn ignores_independent_noise() {
+        let fds = Cords::default().discover(&ds());
+        assert!(!fds.fds().contains(&Fd::new([0], 2)), "{fds:?}");
+        assert!(!fds.fds().contains(&Fd::new([2], 1)), "{fds:?}");
+    }
+
+    #[test]
+    fn skips_key_determinants() {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push([format!("k{i}"), format!("v{}", i % 3)]);
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let keyed = Dataset::from_string_rows(&["id", "v"], &slices);
+        let fds = Cords::default().discover(&keyed);
+        assert!(fds.is_empty(), "keys are not useful determinants: {fds:?}");
+    }
+
+    #[test]
+    fn tolerates_mild_noise() {
+        let mut noisy = ds();
+        // Violate zip -> city in 2 of 120 rows: strength 12/14 stays above
+        // the 0.8 default.
+        for r in [0usize, 40] {
+            noisy.column_mut(1).set_value(r, fdx_data::Value::text("weird"));
+        }
+        let fds = Cords::default().discover(&noisy);
+        assert!(fds.fds().contains(&Fd::new([0], 1)), "{fds:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let big = {
+            let mut rows = Vec::new();
+            for i in 0..5_000 {
+                let zip = i % 40;
+                rows.push([format!("z{zip}"), format!("c{}", zip / 5)]);
+            }
+            let refs: Vec<Vec<&str>> = rows
+                .iter()
+                .map(|r| r.iter().map(String::as_str).collect())
+                .collect();
+            let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+            Dataset::from_string_rows(&["zip", "city"], &slices)
+        };
+        let a = Cords::default().discover(&big);
+        let b = Cords::default().discover(&big);
+        assert_eq!(a, b);
+        assert!(a.fds().contains(&Fd::new([0], 1)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Competitor FD-discovery methods for the FDX reproduction (paper §5.1).
+//!
+//! * [`Tane`] — TANE (Huhtala et al. 1999): levelwise lattice search over
+//!   stripped partitions with the `g3` error measure for approximate FDs.
+//! * [`Pyro`] — a Pyro-flavoured approximate-FD search (Kruse & Naumann
+//!   2018): per-RHS lattice ascension with sample-based error estimates and
+//!   exact validation of promising candidates (see `DESIGN.md`,
+//!   substitution #3).
+//! * [`Rfi`] — Reliable Fraction of Information (Mandros et al. 2017):
+//!   per-RHS top-1 search maximizing the bias-corrected score
+//!   `F̂ = (Î − E[Î])/Ĥ(Y)` with exact expected mutual information — the
+//!   cost that makes RFI the slowest method in Tables 5–6.
+//! * [`Cords`] — CORDS (Ilyas et al. 2004): sampled pairwise column
+//!   analysis detecting soft FDs and correlations (best-effort
+//!   reimplementation, like the paper's own).
+//! * [`GlRaw`] — Graphical Lasso applied directly to the raw
+//!   (integer-encoded, standardized) data, *without* FDX's pair transform:
+//!   the structure-learning ablation of §4.3 and Table 4's "GL" column.
+//!
+//! Every method consumes a [`fdx_data::Dataset`] and returns a
+//! [`fdx_data::FdSet`], the common currency of the evaluation harness.
+
+mod cords;
+mod glraw;
+pub mod lattice;
+mod partition;
+mod pyro;
+mod rfi;
+mod tane;
+
+pub use cords::{Cords, CordsConfig};
+pub use glraw::{GlRaw, GlRawConfig};
+pub use partition::StrippedPartition;
+pub use pyro::{Pyro, PyroConfig};
+pub use rfi::{Rfi, RfiConfig};
+pub use tane::{Tane, TaneConfig};

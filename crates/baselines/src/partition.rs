@@ -1,0 +1,220 @@
+//! Stripped partitions — TANE's core data structure.
+
+use fdx_data::{AttrId, Dataset};
+
+/// A stripped partition: the equivalence classes of rows under "agrees on
+/// the attribute set", with singleton classes removed (they can never
+/// witness an FD violation). Rows are `u32` indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    classes: Vec<Vec<u32>>,
+    nrows: usize,
+}
+
+impl StrippedPartition {
+    /// Builds the partition of a single attribute from its dictionary
+    /// codes. Nulls intern as their own shared value (the TANE convention:
+    /// two nulls agree).
+    pub fn from_column(ds: &Dataset, attr: AttrId) -> StrippedPartition {
+        let col = ds.column(attr);
+        let distinct = col.distinct_count();
+        // NULL_CODE maps to the extra bucket `distinct`.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); distinct + 1];
+        for (row, &code) in col.codes().iter().enumerate() {
+            let b = if code == fdx_data::NULL_CODE {
+                distinct
+            } else {
+                code as usize
+            };
+            buckets[b].push(row as u32);
+        }
+        StrippedPartition {
+            classes: buckets.into_iter().filter(|c| c.len() >= 2).collect(),
+            nrows: ds.nrows(),
+        }
+    }
+
+    /// Builds a partition from explicit classes (tests).
+    pub fn from_classes(nrows: usize, classes: Vec<Vec<u32>>) -> StrippedPartition {
+        StrippedPartition {
+            classes: classes.into_iter().filter(|c| c.len() >= 2).collect(),
+            nrows,
+        }
+    }
+
+    /// The stripped classes.
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of rows of the underlying relation.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// `‖π‖ = Σ (|c| − 1)` — TANE's partition "error" measure; zero iff the
+    /// attribute set is a (super)key.
+    pub fn rank(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+
+    /// `true` when the partition has no class of size ≥ 2, i.e. the
+    /// attribute set is a key.
+    pub fn is_key(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The product `π_X · π_Y` (the partition of `X ∪ Y`), computed with
+    /// the standard two-pass stripped-product algorithm: linear in the
+    /// number of rows contained in stripped classes.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        debug_assert_eq!(self.nrows, other.nrows);
+        // T[row] = class index within self, or MAX if row is a singleton.
+        let mut t = vec![u32::MAX; self.nrows];
+        for (i, class) in self.classes.iter().enumerate() {
+            for &r in class {
+                t[r as usize] = i as u32;
+            }
+        }
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        // Scratch: per-self-class accumulation for the current other-class.
+        let mut scratch: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for class in &other.classes {
+            scratch.clear();
+            for &r in class {
+                let ti = t[r as usize];
+                if ti != u32::MAX {
+                    scratch.entry(ti).or_default().push(r);
+                }
+            }
+            for (_, group) in scratch.drain() {
+                if group.len() >= 2 {
+                    out.push(group);
+                }
+            }
+        }
+        StrippedPartition {
+            classes: out,
+            nrows: self.nrows,
+        }
+    }
+
+    /// The `g3`-style error of the FD `X → A`, where `self = π_X` and
+    /// `refined = π_{X∪A}`: the minimum fraction of rows that must be
+    /// removed for the FD to hold exactly.
+    ///
+    /// Uses TANE's representative-row trick: each class of the refined
+    /// partition is identified by its first row, and for every class `c` of
+    /// `π_X` the largest refined subclass inside `c` is found by scanning
+    /// `c`'s rows.
+    pub fn fd_error(&self, refined: &StrippedPartition) -> f64 {
+        debug_assert_eq!(self.nrows, refined.nrows);
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        // size_at_rep[row] = size of the refined class whose first row this is.
+        let mut size_at_rep: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::with_capacity(refined.classes.len());
+        for class in &refined.classes {
+            size_at_rep.insert(class[0], class.len());
+        }
+        let mut removed = 0usize;
+        for class in &self.classes {
+            let mut largest = 1usize; // singletons survive as size-1 groups
+            for &r in class {
+                if let Some(&s) = size_at_rep.get(&r) {
+                    largest = largest.max(s);
+                }
+            }
+            removed += class.len() - largest;
+        }
+        removed as f64 / self.nrows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Dataset;
+
+    fn ds() -> Dataset {
+        Dataset::from_string_rows(
+            &["a", "b"],
+            &[
+                &["x", "1"],
+                &["x", "1"],
+                &["x", "2"],
+                &["y", "3"],
+                &["y", "3"],
+                &["z", "4"],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_partition_strips_singletons() {
+        let p = StrippedPartition::from_column(&ds(), 0);
+        // x: {0,1,2}, y: {3,4}; z is a singleton and stripped.
+        assert_eq!(p.classes().len(), 2);
+        assert_eq!(p.rank(), 3);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn key_detection() {
+        let keyed = Dataset::from_string_rows(&["k"], &[&["a"], &["b"], &["c"]]);
+        let p = StrippedPartition::from_column(&keyed, 0);
+        assert!(p.is_key());
+        assert_eq!(p.rank(), 0);
+    }
+
+    #[test]
+    fn nulls_share_a_class() {
+        let d = Dataset::from_string_rows(&["a"], &[&[""], &[""], &["x"]]);
+        let p = StrippedPartition::from_column(&d, 0);
+        assert_eq!(p.classes().len(), 1);
+        assert_eq!(p.classes()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn product_refines() {
+        let d = ds();
+        let pa = StrippedPartition::from_column(&d, 0);
+        let pb = StrippedPartition::from_column(&d, 1);
+        let pab = pa.product(&pb);
+        // (x,1): {0,1}; (y,3): {3,4}; others singletons.
+        assert_eq!(pab.classes().len(), 2);
+        assert_eq!(pab.rank(), 2);
+        // Product is commutative in content.
+        let pba = pb.product(&pa);
+        assert_eq!(pba.rank(), 2);
+    }
+
+    #[test]
+    fn exact_fd_has_zero_error() {
+        let d = ds();
+        let pb = StrippedPartition::from_column(&d, 1);
+        let pa = StrippedPartition::from_column(&d, 0);
+        let pba = pb.product(&pa);
+        // b -> a holds exactly (each b value has one a value).
+        assert_eq!(pb.fd_error(&pba), 0.0);
+    }
+
+    #[test]
+    fn violated_fd_error_counts_min_removals() {
+        let d = ds();
+        let pa = StrippedPartition::from_column(&d, 0);
+        let pb = StrippedPartition::from_column(&d, 1);
+        let pab = pa.product(&pb);
+        // a -> b: class x={0,1,2} splits into {0,1} and {2}: remove 1 row.
+        // class y={3,4} stays together. error = 1/6.
+        assert!((pa.fd_error(&pab) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_error_zero() {
+        let p = StrippedPartition::from_classes(0, vec![]);
+        let q = StrippedPartition::from_classes(0, vec![]);
+        assert_eq!(p.fd_error(&q), 0.0);
+    }
+}

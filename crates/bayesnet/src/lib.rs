@@ -1,0 +1,21 @@
+//! Discrete Bayesian-network substrate for the FDX reproduction.
+//!
+//! The paper's known-structure experiments (Tables 1, 4, 5, 8, 9) sample
+//! data from five benchmark networks of the `bnlearn` repository — Alarm,
+//! Asia, Cancer, Child, Earthquake — whose generating distributions contain
+//! deterministic (FD-like) dependencies. This crate implements:
+//!
+//! * [`BayesNet`] — a discrete BN with tabular and *deterministic* CPTs and
+//!   ancestral (topological) sampling into a [`fdx_data::Dataset`],
+//! * [`networks`] — the five benchmark networks. The DAG structures follow
+//!   the published networks; the CPTs are synthesized (see `DESIGN.md`,
+//!   substitution #1) such that the designated deterministic nodes
+//!   reproduce the FD and FD-edge counts of the paper's Table 1 exactly.
+//!
+//! Ground-truth FDs are exposed via [`BayesNet::true_fds`]: every
+//! deterministic node `Y` with parents `X` contributes `X → Y`.
+
+mod net;
+pub mod networks;
+
+pub use net::{BayesNet, Cpt, Node};

@@ -1,0 +1,380 @@
+use fdx_data::{Column, Dataset, Fd, FdSet, Schema, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Conditional probability table of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cpt {
+    /// Root node: a marginal distribution over the node's states.
+    Root(Vec<f64>),
+    /// Stochastic node: one distribution per parent configuration (mixed-
+    /// radix order, first parent fastest).
+    Table(Vec<Vec<f64>>),
+    /// Deterministic node: a function from parent configuration to state —
+    /// the source of ground-truth FDs.
+    Deterministic(Vec<usize>),
+}
+
+/// A node of a discrete Bayesian network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Attribute name in the sampled dataset.
+    pub name: String,
+    /// Number of states.
+    pub card: usize,
+    /// Parent node indices (must precede this node).
+    pub parents: Vec<usize>,
+    /// The node's CPT.
+    pub cpt: Cpt,
+}
+
+/// A discrete Bayesian network in topological node order.
+#[derive(Debug, Clone)]
+pub struct BayesNet {
+    nodes: Vec<Node>,
+    /// Violation probability of deterministic CPTs during sampling: with
+    /// probability `fd_epsilon` a deterministic node emits a uniformly
+    /// random state instead of `φ(parents)`. This mirrors Equation 1's
+    /// ε-approximate FDs and the "inherent randomness" of the bnlearn
+    /// default CPTs the paper samples (its Table 4 data has no *extra*
+    /// injected noise, but the dependencies are not exact either).
+    fd_epsilon: f64,
+}
+
+impl BayesNet {
+    /// Builds a network, validating topological order, CPT shapes, and
+    /// probability normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed network — these are constructed in code, so a
+    /// shape error is a programming bug, not an input error.
+    pub fn new(nodes: Vec<Node>) -> BayesNet {
+        for (i, node) in nodes.iter().enumerate() {
+            assert!(node.card >= 2, "node {} needs >= 2 states", node.name);
+            let mut configs = 1usize;
+            for &p in &node.parents {
+                assert!(p < i, "node {} has non-topological parent {p}", node.name);
+                configs *= nodes[p].card;
+            }
+            match &node.cpt {
+                Cpt::Root(dist) => {
+                    assert!(node.parents.is_empty(), "root node {} has parents", node.name);
+                    assert_eq!(dist.len(), node.card);
+                    assert_distribution(dist, &node.name);
+                }
+                Cpt::Table(rows) => {
+                    assert!(!node.parents.is_empty(), "table node {} has no parents", node.name);
+                    assert_eq!(rows.len(), configs, "node {} CPT row count", node.name);
+                    for row in rows {
+                        assert_eq!(row.len(), node.card);
+                        assert_distribution(row, &node.name);
+                    }
+                }
+                Cpt::Deterministic(map) => {
+                    assert!(
+                        !node.parents.is_empty(),
+                        "deterministic node {} has no parents",
+                        node.name
+                    );
+                    assert_eq!(map.len(), configs, "node {} mapping size", node.name);
+                    assert!(map.iter().all(|&s| s < node.card));
+                }
+            }
+        }
+        BayesNet {
+            nodes,
+            fd_epsilon: 0.0,
+        }
+    }
+
+    /// Sets the ε-violation rate of deterministic nodes (see `fd_epsilon`).
+    pub fn with_fd_epsilon(mut self, epsilon: f64) -> BayesNet {
+        assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+        self.fd_epsilon = epsilon;
+        self
+    }
+
+    /// The ε-violation rate of deterministic nodes.
+    pub fn fd_epsilon(&self) -> f64 {
+        self.fd_epsilon
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes (= attributes in sampled data).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The schema of sampled datasets.
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.nodes
+                .iter()
+                .map(|n| fdx_data::Attribute::categorical(n.name.clone()))
+                .collect(),
+        )
+    }
+
+    /// The ground-truth FDs: `parents → node` for every deterministic node.
+    pub fn true_fds(&self) -> FdSet {
+        FdSet::from_fds(self.nodes.iter().enumerate().filter_map(|(i, n)| {
+            matches!(n.cpt, Cpt::Deterministic(_)).then(|| Fd::new(n.parents.iter().copied(), i))
+        }))
+    }
+
+    /// Total number of FD edges (the paper's Table 1 "# Edges in FDs").
+    pub fn fd_edge_count(&self) -> usize {
+        self.true_fds().edge_count()
+    }
+
+    /// Draws `n` tuples by ancestral sampling.
+    pub fn sample(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = self.nodes.len();
+        let mut states = vec![0usize; k];
+        let mut codes: Vec<Vec<u32>> = vec![Vec::with_capacity(n); k];
+        for _ in 0..n {
+            for (i, node) in self.nodes.iter().enumerate() {
+                let config = self.parent_config(node, &states);
+                let state = match &node.cpt {
+                    Cpt::Root(dist) => sample_categorical(dist, &mut rng),
+                    Cpt::Table(rows) => sample_categorical(&rows[config], &mut rng),
+                    Cpt::Deterministic(map) => {
+                        if self.fd_epsilon > 0.0 && rng.gen::<f64>() < self.fd_epsilon {
+                            rng.gen_range(0..node.card)
+                        } else {
+                            map[config]
+                        }
+                    }
+                };
+                states[i] = state;
+                codes[i].push(state as u32);
+            }
+        }
+        let columns: Vec<Column> = self
+            .nodes
+            .iter()
+            .zip(codes)
+            .map(|(node, col_codes)| {
+                let dict: Vec<Value> = (0..node.card)
+                    .map(|s| Value::text(format!("{}_{s}", node.name)))
+                    .collect();
+                Column::from_codes(col_codes, dict)
+            })
+            .collect();
+        Dataset::new(self.schema(), columns)
+    }
+
+    /// Mixed-radix parent configuration index (first parent fastest).
+    fn parent_config(&self, node: &Node, states: &[usize]) -> usize {
+        let mut config = 0usize;
+        let mut stride = 1usize;
+        for &p in &node.parents {
+            config += states[p] * stride;
+            stride *= self.nodes[p].card;
+        }
+        config
+    }
+}
+
+fn assert_distribution(dist: &[f64], name: &str) {
+    let sum: f64 = dist.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9 && dist.iter().all(|&p| p >= 0.0),
+        "node {name} has an invalid distribution (sum {sum})"
+    );
+}
+
+fn sample_categorical(dist: &[f64], rng: &mut impl Rng) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    dist.len() - 1
+}
+
+/// Builders for randomized CPTs used by the benchmark networks.
+pub(crate) mod build {
+    use super::*;
+
+    /// A random marginal bounded away from determinism.
+    pub fn random_root(card: usize, rng: &mut impl Rng) -> Cpt {
+        Cpt::Root(random_distribution(card, rng))
+    }
+
+    /// A random CPT with one stochastic row per parent configuration.
+    pub fn random_table(card: usize, configs: usize, rng: &mut impl Rng) -> Cpt {
+        Cpt::Table((0..configs).map(|_| random_distribution(card, rng)).collect())
+    }
+
+    /// A uniformly random deterministic mapping that is guaranteed to be
+    /// non-constant (a constant column would make the FD undetectable and
+    /// trivially violable).
+    pub fn random_deterministic(card: usize, configs: usize, rng: &mut impl Rng) -> Cpt {
+        loop {
+            let map: Vec<usize> = (0..configs).map(|_| rng.gen_range(0..card)).collect();
+            if configs == 1 || map.iter().any(|&s| s != map[0]) {
+                return Cpt::Deterministic(map);
+            }
+        }
+    }
+
+    fn random_distribution(card: usize, rng: &mut impl Rng) -> Vec<f64> {
+        // Dirichlet-ish: exponential weights, normalized, floored to keep
+        // every state reachable.
+        let mut w: Vec<f64> = (0..card).map(|_| -f64::ln(rng.gen_range(1e-6..1.0))).collect();
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v = (*v / sum).max(0.02);
+        }
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> BayesNet {
+        // A → B (deterministic), A → C (stochastic).
+        BayesNet::new(vec![
+            Node {
+                name: "A".into(),
+                card: 3,
+                parents: vec![],
+                cpt: Cpt::Root(vec![0.5, 0.3, 0.2]),
+            },
+            Node {
+                name: "B".into(),
+                card: 2,
+                parents: vec![0],
+                cpt: Cpt::Deterministic(vec![0, 1, 1]),
+            },
+            Node {
+                name: "C".into(),
+                card: 2,
+                parents: vec![0],
+                cpt: Cpt::Table(vec![
+                    vec![0.9, 0.1],
+                    vec![0.5, 0.5],
+                    vec![0.2, 0.8],
+                ]),
+            },
+        ])
+    }
+
+    #[test]
+    fn true_fds_list_deterministic_nodes() {
+        let net = tiny_net();
+        let fds = net.true_fds();
+        assert_eq!(fds.len(), 1);
+        assert_eq!(fds.fds()[0], Fd::new([0], 1));
+        assert_eq!(net.fd_edge_count(), 1);
+    }
+
+    #[test]
+    fn sampling_respects_determinism() {
+        let net = tiny_net();
+        let ds = net.sample(500, 42);
+        assert_eq!(ds.nrows(), 500);
+        assert_eq!(ds.ncols(), 3);
+        // B must equal the deterministic map of A everywhere.
+        for r in 0..500 {
+            let a = ds.code(r, 0) as usize;
+            let b = ds.code(r, 1) as usize;
+            let expected = [0usize, 1, 1][a];
+            assert_eq!(b, expected, "row {r}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_root_marginal() {
+        let net = tiny_net();
+        let ds = net.sample(20_000, 7);
+        let freq = ds.column(0).frequencies();
+        let p0 = freq[0] as f64 / 20_000.0;
+        assert!((p0 - 0.5).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn deterministic_codes_stable_across_seeds() {
+        let net = tiny_net();
+        let a = net.sample(100, 1);
+        let b = net.sample(100, 1);
+        assert_eq!(a, b);
+        let c = net.sample(100, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-topological")]
+    fn rejects_forward_parent() {
+        BayesNet::new(vec![
+            Node {
+                name: "A".into(),
+                card: 2,
+                parents: vec![1],
+                cpt: Cpt::Deterministic(vec![0, 0]),
+            },
+            Node {
+                name: "B".into(),
+                card: 2,
+                parents: vec![],
+                cpt: Cpt::Root(vec![0.5, 0.5]),
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distribution")]
+    fn rejects_unnormalized_cpt() {
+        BayesNet::new(vec![Node {
+            name: "A".into(),
+            card: 2,
+            parents: vec![],
+            cpt: Cpt::Root(vec![0.7, 0.7]),
+        }]);
+    }
+
+    #[test]
+    fn random_builders_produce_valid_cpts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            match build::random_table(3, 4, &mut rng) {
+                Cpt::Table(rows) => {
+                    assert_eq!(rows.len(), 4);
+                    for row in rows {
+                        let s: f64 = row.iter().sum();
+                        assert!((s - 1.0).abs() < 1e-9);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            match build::random_deterministic(3, 5, &mut rng) {
+                Cpt::Deterministic(map) => {
+                    assert_eq!(map.len(), 5);
+                    assert!(map.iter().any(|&s| s != map[0]), "must be non-constant");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

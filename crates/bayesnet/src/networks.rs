@@ -1,0 +1,338 @@
+//! The five benchmark networks of the paper's Table 1.
+//!
+//! DAG structures follow the published `bnlearn` networks (Earthquake's
+//! call nodes get augmented parent sets — see below). CPTs are synthesized
+//! per seed: designated nodes are *deterministic* functions of their
+//! parents, and the designation is chosen so that the number of ground-truth
+//! FDs and FD edges matches Table 1 exactly:
+//!
+//! | network    | attributes | FDs | FD edges |
+//! |------------|-----------:|----:|---------:|
+//! | Alarm      | 37         | 24  | 45       |
+//! | Asia       | 8          | 6   | 8        |
+//! | Cancer     | 5          | 3   | 4        |
+//! | Child      | 20         | 15  | 20       |
+//! | Earthquake | 5          | 3   | 8        |
+//!
+//! Deterministic nodes are always strictly many-to-one (child cardinality
+//! below the parent-configuration count), so no FD degenerates into a
+//! bijection that would duplicate a column.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::net::{build, BayesNet, Node};
+
+/// Incremental builder used by the network constructors.
+struct NetBuilder {
+    nodes: Vec<Node>,
+    index: HashMap<&'static str, usize>,
+    rng: ChaCha8Rng,
+}
+
+impl NetBuilder {
+    fn new(seed: u64) -> NetBuilder {
+        NetBuilder {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn ids(&self, parents: &[&'static str]) -> Vec<usize> {
+        parents
+            .iter()
+            .map(|p| *self.index.get(p).unwrap_or_else(|| panic!("unknown parent {p}")))
+            .collect()
+    }
+
+    fn configs(&self, parents: &[usize]) -> usize {
+        parents.iter().map(|&p| self.nodes[p].card).product()
+    }
+
+    fn push(&mut self, name: &'static str, node: Node) {
+        assert!(
+            self.index.insert(name, self.nodes.len()).is_none(),
+            "duplicate node {name}"
+        );
+        self.nodes.push(node);
+    }
+
+    fn root(&mut self, name: &'static str, card: usize) {
+        let cpt = build::random_root(card, &mut self.rng);
+        self.push(
+            name,
+            Node {
+                name: name.to_string(),
+                card,
+                parents: vec![],
+                cpt,
+            },
+        );
+    }
+
+    fn stoch(&mut self, name: &'static str, card: usize, parents: &[&'static str]) {
+        let parents = self.ids(parents);
+        let configs = self.configs(&parents);
+        let cpt = build::random_table(card, configs, &mut self.rng);
+        self.push(
+            name,
+            Node {
+                name: name.to_string(),
+                card,
+                parents,
+                cpt,
+            },
+        );
+    }
+
+    fn det(&mut self, name: &'static str, card: usize, parents: &[&'static str]) {
+        let parents = self.ids(parents);
+        let configs = self.configs(&parents);
+        assert!(
+            configs > card,
+            "deterministic node {name} must be strictly many-to-one ({configs} configs -> {card} states)"
+        );
+        let cpt = build::random_deterministic(card, configs, &mut self.rng);
+        self.push(
+            name,
+            Node {
+                name: name.to_string(),
+                card,
+                parents,
+                cpt,
+            },
+        );
+    }
+
+    fn build(self) -> BayesNet {
+        BayesNet::new(self.nodes)
+    }
+}
+
+/// The Asia (lung-cancer) network: 8 attributes, 6 FDs, 8 FD edges.
+pub fn asia(seed: u64) -> BayesNet {
+    let mut b = NetBuilder::new(seed ^ 0xA51A);
+    b.root("asia", 4);
+    b.root("smoke", 4);
+    b.det("tub", 2, &["asia"]);
+    b.det("lung", 2, &["smoke"]);
+    b.det("bronc", 3, &["smoke"]);
+    b.det("either", 3, &["tub", "lung"]);
+    b.det("xray", 2, &["either"]);
+    b.det("dysp", 2, &["either", "bronc"]);
+    b.build()
+}
+
+/// The Cancer network: 5 attributes, 3 FDs, 4 FD edges.
+pub fn cancer(seed: u64) -> BayesNet {
+    let mut b = NetBuilder::new(seed ^ 0xCA2C);
+    b.root("pollution", 3);
+    b.root("smoker", 3);
+    b.det("cancer", 3, &["pollution", "smoker"]);
+    b.det("xray", 2, &["cancer"]);
+    b.det("dyspnoea", 2, &["cancer"]);
+    b.build()
+}
+
+/// The Earthquake network: 5 attributes, 3 FDs, 8 FD edges.
+///
+/// The published DAG gives the call nodes a single parent (`alarm`); Table 1
+/// reports 8 FD edges for 3 FDs, so the call nodes here additionally depend
+/// on `burglary` and `earthquake` directly (DESIGN.md substitution #1).
+pub fn earthquake(seed: u64) -> BayesNet {
+    let mut b = NetBuilder::new(seed ^ 0xEA27);
+    b.root("burglary", 3);
+    b.root("earthquake", 3);
+    b.det("alarm", 4, &["burglary", "earthquake"]);
+    b.det("johncalls", 3, &["alarm", "burglary", "earthquake"]);
+    b.det("marycalls", 3, &["alarm", "burglary", "earthquake"]);
+    b.build()
+}
+
+/// The Child (congenital heart disease) network: 20 attributes, 15 FDs,
+/// 20 FD edges.
+pub fn child(seed: u64) -> BayesNet {
+    let mut b = NetBuilder::new(seed ^ 0xC41D);
+    b.root("BirthAsphyxia", 3);
+    b.stoch("Disease", 6, &["BirthAsphyxia"]);
+    b.det("LVH", 3, &["Disease"]);
+    b.det("DuctFlow", 3, &["Disease"]);
+    b.det("CardiacMixing", 4, &["Disease"]);
+    b.det("LungParench", 3, &["Disease"]);
+    b.det("LungFlow", 3, &["Disease"]);
+    b.stoch("Sick", 2, &["Disease"]);
+    b.stoch("Age", 3, &["Disease", "Sick"]);
+    b.det("LVHreport", 2, &["LVH"]);
+    b.det("HypDistrib", 2, &["DuctFlow", "CardiacMixing"]);
+    b.det("HypoxiaInO2", 3, &["CardiacMixing", "LungParench"]);
+    b.det("CO2", 2, &["LungParench"]);
+    b.det("ChestXray", 3, &["LungParench", "LungFlow"]);
+    b.det("Grunting", 3, &["LungParench", "Sick"]);
+    b.det("LowerBodyO2", 3, &["HypDistrib", "HypoxiaInO2"]);
+    b.det("RUQO2", 2, &["HypoxiaInO2"]);
+    b.stoch("CO2Report", 2, &["CO2"]);
+    b.det("XrayReport", 2, &["ChestXray"]);
+    b.det("GruntingReport", 2, &["Grunting"]);
+    b.build()
+}
+
+/// The Alarm (patient-monitoring) network: 37 attributes, 24 FDs, 45 FD
+/// edges. `HISTORY` is the one stochastic non-root; every other non-root is
+/// deterministic in its parents.
+pub fn alarm(seed: u64) -> BayesNet {
+    let mut b = NetBuilder::new(seed ^ 0xA7A2);
+    // Roots.
+    b.root("HYPOVOLEMIA", 3);
+    b.root("LVFAILURE", 3);
+    b.root("ERRLOWOUTPUT", 3);
+    b.root("ERRCAUTER", 3);
+    b.root("INSUFFANESTH", 3);
+    b.root("ANAPHYLAXIS", 3);
+    b.root("KINKEDTUBE", 3);
+    b.root("FIO2", 3);
+    b.root("PULMEMBOLUS", 3);
+    b.root("INTUBATION", 3);
+    b.root("DISCONNECT", 3);
+    b.root("MINVOLSET", 3);
+    // Cardiovascular chain.
+    b.stoch("HISTORY", 2, &["LVFAILURE"]);
+    b.det("LVEDVOLUME", 3, &["HYPOVOLEMIA", "LVFAILURE"]);
+    b.det("CVP", 2, &["LVEDVOLUME"]);
+    b.det("PCWP", 2, &["LVEDVOLUME"]);
+    b.det("STROKEVOLUME", 3, &["HYPOVOLEMIA", "LVFAILURE"]);
+    // Ventilation chain.
+    b.det("VENTMACH", 2, &["MINVOLSET"]);
+    b.det("VENTTUBE", 3, &["DISCONNECT", "VENTMACH"]);
+    b.det("PRESS", 3, &["KINKEDTUBE", "INTUBATION", "VENTTUBE"]);
+    b.det("VENTLUNG", 3, &["KINKEDTUBE", "INTUBATION", "VENTTUBE"]);
+    b.det("VENTALV", 3, &["INTUBATION", "VENTLUNG"]);
+    b.det("ARTCO2", 2, &["VENTALV"]);
+    b.det("EXPCO2", 3, &["ARTCO2", "VENTLUNG"]);
+    b.det("MINVOL", 3, &["INTUBATION", "VENTLUNG"]);
+    // Oxygenation chain.
+    b.det("PVSAT", 3, &["FIO2", "VENTALV"]);
+    b.det("SHUNT", 2, &["PULMEMBOLUS", "INTUBATION"]);
+    b.det("SAO2", 3, &["PVSAT", "SHUNT"]);
+    b.det("PAP", 2, &["PULMEMBOLUS"]);
+    b.det("TPR", 2, &["ANAPHYLAXIS"]);
+    // Catecholamine / heart-rate chain.
+    b.det("CATECHOL", 3, &["ARTCO2", "INSUFFANESTH", "SAO2", "TPR"]);
+    b.det("HR", 2, &["CATECHOL"]);
+    b.det("CO", 3, &["HR", "STROKEVOLUME"]);
+    b.det("HRBP", 2, &["ERRLOWOUTPUT", "HR"]);
+    b.det("HREKG", 2, &["ERRCAUTER", "HR"]);
+    b.det("HRSAT", 2, &["ERRCAUTER", "HR"]);
+    b.det("BP", 2, &["CO", "TPR"]);
+    b.build()
+}
+
+/// All five networks with their Table 1 labels, in the table's row order.
+pub fn all(seed: u64) -> Vec<(&'static str, BayesNet)> {
+    vec![
+        ("Alarm", alarm(seed)),
+        ("Asia", asia(seed)),
+        ("Cancer", cancer(seed)),
+        ("Child", child(seed)),
+        ("Earthquake", earthquake(seed)),
+    ]
+}
+
+/// The rows of the paper's Table 1: `(name, attributes, FDs, FD edges)` as
+/// produced by this crate's generators.
+pub fn table1(seed: u64) -> Vec<(&'static str, usize, usize, usize)> {
+    all(seed)
+        .into_iter()
+        .map(|(name, net)| (name, net.len(), net.true_fds().len(), net.fd_edge_count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        let rows = table1(0);
+        assert_eq!(
+            rows,
+            vec![
+                ("Alarm", 37, 24, 45),
+                ("Asia", 8, 6, 8),
+                ("Cancer", 5, 3, 4),
+                ("Child", 20, 15, 20),
+                ("Earthquake", 5, 3, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn samples_satisfy_every_true_fd() {
+        for (name, net) in all(1) {
+            let ds = net.sample(300, 9);
+            for fd in net.true_fds().iter() {
+                // Group rows by lhs codes; every group must have a single
+                // rhs value (deterministic CPTs admit zero violations).
+                let mut map: std::collections::HashMap<Vec<u32>, u32> =
+                    std::collections::HashMap::new();
+                for r in 0..ds.nrows() {
+                    let key: Vec<u32> = fd.lhs().iter().map(|&a| ds.code(r, a)).collect();
+                    let rhs = ds.code(r, fd.rhs());
+                    let entry = map.entry(key).or_insert(rhs);
+                    assert_eq!(
+                        *entry, rhs,
+                        "{name}: FD {} violated at row {r}",
+                        fd.display(ds.schema())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_cpts() {
+        let a = asia(1).sample(50, 3);
+        let b = asia(2).sample(50, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schema_names_are_published_names() {
+        let net = alarm(0);
+        let schema = net.schema();
+        assert!(schema.id_of("CATECHOL").is_some());
+        assert!(schema.id_of("VENTLUNG").is_some());
+        assert_eq!(schema.len(), 37);
+        let child = child(0);
+        assert!(child.schema().id_of("HypoxiaInO2").is_some());
+    }
+
+    #[test]
+    fn no_deterministic_bijections() {
+        // Strict many-to-one everywhere: every deterministic node has more
+        // parent configurations than states (so columns never duplicate
+        // structurally).
+        for (name, net) in all(0) {
+            for node in net.nodes() {
+                if let crate::Cpt::Deterministic(map) = &node.cpt {
+                    assert!(
+                        map.len() > node.card,
+                        "{name}/{} is not strictly many-to-one",
+                        node.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_attribute_counts() {
+        for (name, net) in all(4) {
+            let ds = net.sample(10, 1);
+            assert_eq!(ds.ncols(), net.len(), "{name}");
+            assert_eq!(ds.nrows(), 10);
+        }
+    }
+}

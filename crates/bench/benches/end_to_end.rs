@@ -1,0 +1,42 @@
+//! Criterion bench: end-to-end FDX discovery, plus the design ablations
+//! DESIGN.md calls out — pair transform vs raw-data GL, and validation
+//! on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdx_baselines::GlRaw;
+use fdx_core::{Fdx, FdxConfig};
+use fdx_synth::generator::{self, SynthConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (rows, cols) in [(1_000usize, 12usize), (5_000, 24)] {
+        let data = generator::generate(&SynthConfig {
+            tuples: rows,
+            attributes: cols,
+            domain_range: (64, 216),
+            noise_rate: 0.01,
+            seed: 5,
+        });
+        let ds = &data.noisy;
+        let label = format!("{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("fdx", &label), ds, |b, ds| {
+            let fdx = Fdx::new(FdxConfig::default());
+            b.iter(|| fdx.discover(ds).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fdx_no_validation", &label), ds, |b, ds| {
+            let mut cfg = FdxConfig::default();
+            cfg.validate = false;
+            let fdx = Fdx::new(cfg);
+            b.iter(|| fdx.discover(ds).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gl_raw", &label), ds, |b, ds| {
+            let gl = GlRaw::default();
+            b.iter(|| gl.discover(ds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

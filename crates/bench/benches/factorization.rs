@@ -1,0 +1,41 @@
+//! Criterion bench: the dense factorization kernels (Cholesky, LDLᵀ, and
+//! the permuted UDUᵀ behind Algorithm 1) plus SPD inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdx_linalg::{cholesky, ldlt, spd_inverse, udut, Matrix, Permutation};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn spd(k: usize) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let data: Vec<f64> = (0..k * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let a = Matrix::from_vec(k, k, data);
+    let mut s = a.matmul(&a.transpose()).unwrap();
+    s.add_diag_mut(k as f64 * 0.05 + 0.5);
+    s
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization");
+    group.sample_size(20);
+    for k in [20usize, 80, 160] {
+        let s = spd(k);
+        let perm = Permutation::identity(k);
+        group.bench_with_input(BenchmarkId::new("cholesky", k), &s, |b, s| {
+            b.iter(|| cholesky(s).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ldlt", k), &s, |b, s| {
+            b.iter(|| ldlt(s).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("udut", k), &s, |b, s| {
+            b.iter(|| udut(s, &perm).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("spd_inverse", k), &s, |b, s| {
+            b.iter(|| spd_inverse(s).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: graphical lasso and the λ=0 stabilized inversion over
+//! correlation matrices of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdx_core::pair_transform;
+use fdx_glasso::{graphical_lasso, GlassoConfig};
+use fdx_linalg::Matrix;
+use fdx_synth::generator::{self, SynthConfig};
+
+fn correlation_of_size(k: usize) -> Matrix {
+    let data = generator::generate(&SynthConfig {
+        tuples: 500,
+        attributes: k,
+        domain_range: (64, 216),
+        noise_rate: 0.01,
+        seed: 2,
+    });
+    let stats = pair_transform(&data.noisy, &Default::default());
+    let mut s = stats.correlation();
+    s.scale_mut(0.9);
+    s.add_diag_mut(0.1);
+    s
+}
+
+fn bench_glasso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glasso");
+    group.sample_size(20);
+    for k in [10usize, 40, 80] {
+        let s = correlation_of_size(k);
+        group.bench_with_input(BenchmarkId::new("lambda0_inversion", k), &s, |b, s| {
+            let cfg = GlassoConfig::default();
+            b.iter(|| graphical_lasso(s, &cfg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("lambda0.05_bcd", k), &s, |b, s| {
+            let cfg = GlassoConfig {
+                lambda: 0.05,
+                ..GlassoConfig::default()
+            };
+            b.iter(|| graphical_lasso(s, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_glasso);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: TANE's stripped-partition kernels — construction,
+//! product, and g3 error — the per-lattice-node costs that dominate the
+//! baseline's runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdx_baselines::StrippedPartition;
+use fdx_synth::generator::{self, SynthConfig};
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_partitions");
+    group.sample_size(20);
+    for rows in [1_000usize, 20_000] {
+        let data = generator::generate(&SynthConfig {
+            tuples: rows,
+            attributes: 8,
+            domain_range: (64, 216),
+            noise_rate: 0.01,
+            seed: 4,
+        });
+        let ds = &data.noisy;
+        group.bench_with_input(BenchmarkId::new("from_column", rows), ds, |b, ds| {
+            b.iter(|| StrippedPartition::from_column(ds, 0));
+        });
+        let p0 = StrippedPartition::from_column(ds, 0);
+        let p1 = StrippedPartition::from_column(ds, 1);
+        group.bench_with_input(BenchmarkId::new("product", rows), &(), |b, _| {
+            b.iter(|| p0.product(&p1));
+        });
+        let p01 = p0.product(&p1);
+        group.bench_with_input(BenchmarkId::new("fd_error", rows), &(), |b, _| {
+            b.iter(|| p0.fd_error(&p01));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitions);
+criterion_main!(benches);

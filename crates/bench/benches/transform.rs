@@ -1,0 +1,46 @@
+//! Criterion bench: Algorithm 2 (the pair transform), the kernel behind
+//! FDX's runtime on wide/tall inputs, plus the circular-shift vs
+//! uniform-random sampling ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdx_core::{pair_transform, PairSampling, TransformConfig};
+use fdx_synth::generator::{self, SynthConfig};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_transform");
+    group.sample_size(20);
+    for (rows, cols) in [(1_000usize, 10usize), (1_000, 40), (10_000, 10), (10_000, 40)] {
+        let data = generator::generate(&SynthConfig {
+            tuples: rows,
+            attributes: cols,
+            domain_range: (64, 216),
+            noise_rate: 0.01,
+            seed: 1,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("circular_shift", format!("{rows}x{cols}")),
+            &data.noisy,
+            |b, ds| {
+                let cfg = TransformConfig::default();
+                b.iter(|| pair_transform(ds, &cfg));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("uniform_random", format!("{rows}x{cols}")),
+            &data.noisy,
+            |b, ds| {
+                let cfg = TransformConfig {
+                    sampling: PairSampling::UniformRandom {
+                        pairs_per_attr: rows,
+                    },
+                    ..TransformConfig::default()
+                };
+                b.iter(|| pair_transform(ds, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

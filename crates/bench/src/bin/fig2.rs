@@ -1,0 +1,47 @@
+//! Regenerates **Figure 2**: median F1 of every method across the eight
+//! synthetic settings (Table 2's `t`/`r`/`d`/`n` grid), rendered as
+//! text bars.
+
+use fdx_bench::{instances, lineup_for};
+use fdx_eval::{edge_prf, median};
+use fdx_synth::generator;
+
+fn main() {
+    let n_instances = instances();
+    println!(
+        "Figure 2: median F1 over {n_instances} instances per setting (paper: 5)\n"
+    );
+    for setting in generator::figure2_settings() {
+        println!("--- {}", setting.label());
+        let methods = lineup_for(setting.noise_rate);
+        let mut scores: Vec<(String, Option<f64>)> = Vec::new();
+        for m in &methods {
+            let mut f1s = Vec::new();
+            let mut skipped = false;
+            for inst in 0..n_instances {
+                let cfg = setting.to_config(100 + inst as u64);
+                let data = generator::generate(&cfg);
+                let out = m.run(&data.noisy);
+                if out.skipped {
+                    skipped = true;
+                    break;
+                }
+                f1s.push(edge_prf(&data.true_fds, &out.fds).f1);
+            }
+            scores.push((
+                m.name(),
+                if skipped { None } else { Some(median(&f1s)) },
+            ));
+        }
+        for (name, f1) in scores {
+            match f1 {
+                Some(v) => {
+                    let bar = "#".repeat((v * 40.0).round() as usize);
+                    println!("  {name:<9} {v:.3} |{bar}");
+                }
+                None => println!("  {name:<9} -"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 6**: FDX's column-wise scalability — mean total
+//! runtime vs mean model (structure-learning) runtime as the attribute
+//! count grows.
+
+use fdx_bench::{env_usize, instances};
+use fdx_core::{Fdx, FdxConfig};
+use fdx_eval::median;
+use fdx_synth::generator::{self, SynthConfig};
+
+fn main() {
+    let max_cols = env_usize("FDX_BENCH_MAX_COLS", 190);
+    let step = env_usize("FDX_BENCH_COL_STEP", 20);
+    let reps = instances();
+    println!("Figure 6: column-wise scalability of FDX ({reps} instances per size)\n");
+    println!("{:>8}  {:>12}  {:>12}", "columns", "total (s)", "model (s)");
+    let mut cols = 4usize;
+    while cols <= max_cols {
+        let mut totals = Vec::new();
+        let mut models = Vec::new();
+        for inst in 0..reps {
+            let cfg = SynthConfig {
+                tuples: 1_000,
+                attributes: cols,
+                domain_range: (64, 216),
+                noise_rate: 0.01,
+                seed: 300 + inst as u64,
+            };
+            let data = generator::generate(&cfg);
+            if let Ok(r) = Fdx::new(FdxConfig::default()).discover(&data.noisy) {
+                totals.push(r.timings.total_secs());
+                models.push(r.timings.model_secs);
+            }
+        }
+        println!(
+            "{:>8}  {:>12.4}  {:>12.4}",
+            cols,
+            median(&totals),
+            median(&models)
+        );
+        cols += step;
+    }
+}

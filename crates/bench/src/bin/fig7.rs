@@ -1,0 +1,56 @@
+//! Regenerates **Figure 7**: FDX's median F1 as the noise rate sweeps
+//! {0.01, 0.05, 0.1, 0.3, 0.5}, one series per synthetic setting.
+
+use fdx_bench::instances;
+use fdx_core::{Fdx, FdxConfig};
+use fdx_eval::{edge_prf, median};
+use fdx_synth::generator::{self, SizeClass, SynthSetting};
+
+const NOISE_RATES: [f64; 5] = [0.01, 0.05, 0.1, 0.3, 0.5];
+
+fn main() {
+    let reps = instances();
+    println!("Figure 7: effect of noise on FDX ({reps} instances per point)\n");
+    let mut header = format!("{:<32}", "setting");
+    for n in NOISE_RATES {
+        header.push_str(&format!("{n:>8}"));
+    }
+    println!("{header}");
+    use SizeClass::{Large, Small};
+    for (t, r, d) in [
+        (Large, Large, Large),
+        (Large, Large, Small),
+        (Large, Small, Large),
+        (Large, Small, Small),
+        (Small, Large, Large),
+        (Small, Large, Small),
+        (Small, Small, Large),
+        (Small, Small, Small),
+    ] {
+        let mut line = format!(
+            "t{}_r{}_d{:<24}",
+            t.label(),
+            r.label(),
+            d.label()
+        );
+        for noise in NOISE_RATES {
+            let setting = SynthSetting {
+                tuples: t,
+                attributes: r,
+                domain: d,
+                noise_rate: noise,
+            };
+            let mut f1s = Vec::new();
+            for inst in 0..reps {
+                let cfg = setting.to_config(500 + inst as u64);
+                let data = generator::generate(&cfg);
+                let fdx = Fdx::new(FdxConfig::default().for_noise_rate(noise));
+                if let Ok(res) = fdx.discover(&data.noisy) {
+                    f1s.push(edge_prf(&data.true_fds, &res.fds).f1);
+                }
+            }
+            line.push_str(&format!("{:>8.3}", median(&f1s)));
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 5**: runtime (seconds) of every method on the
+//! benchmark networks.
+
+use fdx_bayesnet::networks;
+use fdx_bench::{bn_instance, lineup_default, BN_EPSILON};
+use fdx_eval::TextTable;
+
+fn main() {
+    let methods = lineup_default(BN_EPSILON);
+    let mut header: Vec<String> = vec!["Data set".into()];
+    header.extend(methods.iter().map(|m| m.name()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+
+    for (name, net) in networks::all(0) {
+        let (ds, _) = bn_instance(&net, 17);
+        let mut row = vec![name.to_string()];
+        for m in &methods {
+            let out = m.run(&ds);
+            row.push(if out.skipped {
+                "-".to_string()
+            } else {
+                format!("{:.3}", out.seconds)
+            });
+        }
+        t.row(row);
+    }
+    println!("Table 5: runtime (seconds) on benchmark data sets\n");
+    print!("{}", t.render());
+}

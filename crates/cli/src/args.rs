@@ -1,0 +1,233 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy admits
+//! no CLI crates; the grammar is small enough not to need one).
+
+use fdx_order::OrderingMethod;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+Usage:
+  fdx discover <file.csv> [options]    discover functional dependencies
+  fdx profile  <file.csv>              per-column statistics + FD guidance
+  fdx score    <file.csv> --lhs A,B --rhs C
+                                       score one candidate FD exactly
+
+Discover options:
+  --threshold <f>     autoregression threshold (default 0.08)
+  --sparsity <f>      graphical-lasso lambda (default 0)
+  --min-lift <f>      validation lift threshold (default 0.35)
+  --noise <f>         expected cell-noise rate (tunes lift & thresholds)
+  --ordering <name>   heuristic|natural|amd|colamd|metis|nesdis
+  --seed <n>          transform shuffle seed
+  --no-validate       emit raw Algorithm 3 output (no validation pass)
+  --heatmap           also print the autoregression heatmap";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fdx discover`.
+    Discover {
+        /// CSV path.
+        path: String,
+        /// Engine options.
+        options: DiscoverOptions,
+    },
+    /// `fdx profile`.
+    Profile {
+        /// CSV path.
+        path: String,
+    },
+    /// `fdx score`.
+    Score {
+        /// CSV path.
+        path: String,
+        /// Determinant attribute names.
+        lhs: Vec<String>,
+        /// Determined attribute name.
+        rhs: String,
+    },
+}
+
+/// Options of the `discover` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoverOptions {
+    pub threshold: Option<f64>,
+    pub sparsity: Option<f64>,
+    pub min_lift: Option<f64>,
+    pub noise: Option<f64>,
+    pub ordering: Option<OrderingMethod>,
+    pub seed: Option<u64>,
+    pub validate: bool,
+    pub heatmap: bool,
+}
+
+impl Default for DiscoverOptions {
+    fn default() -> Self {
+        DiscoverOptions {
+            threshold: None,
+            sparsity: None,
+            min_lift: None,
+            noise: None,
+            ordering: None,
+            seed: None,
+            validate: true,
+            heatmap: false,
+        }
+    }
+}
+
+/// Parses the argument vector (program name removed).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "discover" => {
+            let path = it.next().ok_or("discover: missing <file.csv>")?.clone();
+            let mut options = DiscoverOptions::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name}: missing value"))
+                };
+                match flag {
+                    "--threshold" => options.threshold = Some(parse_f64(value(flag)?)?),
+                    "--sparsity" => options.sparsity = Some(parse_f64(value(flag)?)?),
+                    "--min-lift" => options.min_lift = Some(parse_f64(value(flag)?)?),
+                    "--noise" => options.noise = Some(parse_f64(value(flag)?)?),
+                    "--seed" => {
+                        options.seed = Some(
+                            value(flag)?
+                                .parse()
+                                .map_err(|_| "--seed: expected an integer".to_string())?,
+                        )
+                    }
+                    "--ordering" => options.ordering = Some(parse_ordering(value(flag)?)?),
+                    "--no-validate" => options.validate = false,
+                    "--heatmap" => options.heatmap = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Discover { path, options })
+        }
+        "profile" => {
+            let path = it.next().ok_or("profile: missing <file.csv>")?.clone();
+            if it.next().is_some() {
+                return Err("profile takes no flags".into());
+            }
+            Ok(Command::Profile { path })
+        }
+        "score" => {
+            let path = it.next().ok_or("score: missing <file.csv>")?.clone();
+            let mut lhs: Option<Vec<String>> = None;
+            let mut rhs: Option<String> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--lhs" => {
+                        i += 1;
+                        let v = rest.get(i).ok_or("--lhs: missing value")?;
+                        lhs = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                    }
+                    "--rhs" => {
+                        i += 1;
+                        rhs = Some(rest.get(i).ok_or("--rhs: missing value")?.to_string());
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Score {
+                path,
+                lhs: lhs.ok_or("score: --lhs is required")?,
+                rhs: rhs.ok_or("score: --rhs is required")?,
+            })
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("expected a number, got {s:?}"))
+}
+
+fn parse_ordering(s: &str) -> Result<OrderingMethod, String> {
+    OrderingMethod::ALL
+        .into_iter()
+        .find(|m| m.label() == s)
+        .ok_or_else(|| format!("unknown ordering {s:?} (try: heuristic, natural, amd, colamd, metis, nesdis)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_discover_defaults() {
+        let cmd = parse(&argv("discover data.csv")).unwrap();
+        match cmd {
+            Command::Discover { path, options } => {
+                assert_eq!(path, "data.csv");
+                assert_eq!(options, DiscoverOptions::default());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_discover_flags() {
+        let cmd = parse(&argv(
+            "discover d.csv --threshold 0.2 --sparsity 0.01 --ordering natural --no-validate --heatmap --seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Discover { options, .. } => {
+                assert_eq!(options.threshold, Some(0.2));
+                assert_eq!(options.sparsity, Some(0.01));
+                assert_eq!(options.ordering, Some(OrderingMethod::Natural));
+                assert!(!options.validate);
+                assert!(options.heatmap);
+                assert_eq!(options.seed, Some(9));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_score() {
+        let cmd = parse(&argv("score d.csv --lhs zip,street --rhs city")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Score {
+                path: "d.csv".into(),
+                lhs: vec!["zip".into(), "street".into()],
+                rhs: "city".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_subcommands() {
+        assert!(parse(&argv("discover d.csv --bogus")).is_err());
+        assert!(parse(&argv("nonsense")).is_err());
+        assert!(parse(&argv("score d.csv --lhs a")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn ordering_names_match_table9_labels() {
+        for m in OrderingMethod::ALL {
+            assert_eq!(parse_ordering(m.label()).unwrap(), m);
+        }
+        assert!(parse_ordering("qr").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Subcommand implementations.
+
+use std::fmt::Write as _;
+
+use fdx_core::{render_autoregression_heatmap, score_fd, Fdx, FdxConfig};
+use fdx_data::{read_csv_str, Dataset};
+
+use crate::args::{Command, DiscoverOptions};
+
+/// Runs a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Discover { path, options } => discover(&path, &options),
+        Command::Profile { path } => profile(&path),
+        Command::Score { path, lhs, rhs } => score(&path, &lhs, &rhs),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    read_csv_str(&raw).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_config(options: &DiscoverOptions) -> FdxConfig {
+    let mut cfg = FdxConfig::default();
+    if let Some(noise) = options.noise {
+        cfg = cfg.for_noise_rate(noise);
+    }
+    if let Some(t) = options.threshold {
+        cfg.threshold = t;
+    }
+    if let Some(s) = options.sparsity {
+        cfg.sparsity = s;
+    }
+    if let Some(l) = options.min_lift {
+        cfg.min_lift = l;
+    }
+    if let Some(o) = options.ordering {
+        cfg.ordering = o;
+    }
+    if let Some(seed) = options.seed {
+        cfg.transform.seed = seed;
+    }
+    cfg.validate = options.validate;
+    cfg
+}
+
+fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
+    let data = load(path)?;
+    let cfg = build_config(options);
+    let result = Fdx::new(cfg).discover(&data).map_err(|e| e.to_string())?;
+    if options.heatmap {
+        println!(
+            "{}",
+            render_autoregression_heatmap(&result.autoregression, data.schema())
+        );
+    }
+    if result.fds.is_empty() {
+        println!("no functional dependencies found");
+    } else {
+        print!("{}", result.fds.render(data.schema()));
+    }
+    eprintln!(
+        "# {} rows x {} attributes; transform {:.3}s, model {:.3}s",
+        data.nrows(),
+        data.ncols(),
+        result.timings.transform_secs,
+        result.timings.model_secs
+    );
+    Ok(())
+}
+
+fn profile(path: &str) -> Result<(), String> {
+    let data = load(path)?;
+    let result = Fdx::new(FdxConfig::default())
+        .discover(&data)
+        .map_err(|e| e.to_string())?;
+    let mut in_fd = vec![false; data.ncols()];
+    for (x, y) in result.fds.edge_set() {
+        in_fd[x] = true;
+        in_fd[y] = true;
+    }
+    let name_w = (0..data.ncols())
+        .map(|a| data.schema().name(a).len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>9}  {:>7}  {:>7}  dependency",
+        "column", "distinct", "nulls", "null%"
+    );
+    for a in 0..data.ncols() {
+        let col = data.column(a);
+        let nulls = col.null_count();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>9}  {:>7}  {:>6.1}%  {}",
+            data.schema().name(a),
+            col.distinct_count(),
+            nulls,
+            100.0 * nulls as f64 / data.nrows().max(1) as f64,
+            if in_fd[a] { "yes" } else { "-" }
+        );
+    }
+    print!("{out}");
+    println!("\ndependencies:");
+    if result.fds.is_empty() {
+        println!("  (none)");
+    } else {
+        for fd in result.fds.iter() {
+            println!("  {}", fd.display(data.schema()));
+        }
+    }
+    Ok(())
+}
+
+fn score(path: &str, lhs_names: &[String], rhs_name: &str) -> Result<(), String> {
+    let data = load(path)?;
+    let resolve = |name: &str| {
+        data.schema()
+            .id_of(name)
+            .ok_or_else(|| format!("no column named {name:?} (have: {})", data.schema()))
+    };
+    let lhs: Vec<usize> = lhs_names
+        .iter()
+        .map(|n| resolve(n))
+        .collect::<Result<_, _>>()?;
+    let rhs = resolve(rhs_name)?;
+    if lhs.contains(&rhs) {
+        return Err("rhs attribute may not appear in lhs".into());
+    }
+    let s = score_fd(&data, &lhs, rhs);
+    println!("FD        {} -> {}", lhs_names.join(","), rhs_name);
+    println!("conditional P(rhs agrees | lhs agrees) = {:.4}", s.conditional);
+    println!("baseline    P(rhs agrees)              = {:.4}", s.baseline);
+    println!("lift        (rho - beta)/(1 - beta)    = {:.4}", s.lift);
+    println!("support     lhs-agreeing tuple pairs   = {}", s.support_pairs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::DiscoverOptions;
+
+    #[test]
+    fn config_mapping() {
+        let mut opts = DiscoverOptions::default();
+        opts.threshold = Some(0.3);
+        opts.noise = Some(0.1);
+        opts.validate = false;
+        let cfg = build_config(&opts);
+        // Explicit threshold overrides the noise-derived one.
+        assert_eq!(cfg.threshold, 0.3);
+        assert!(!cfg.validate);
+        assert!(cfg.min_lift < 0.85);
+    }
+
+    #[test]
+    fn discover_and_profile_on_temp_csv() {
+        let dir = std::env::temp_dir().join("fdx_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut csv = String::from("zip,city\n");
+        for i in 0..60 {
+            let zip = i % 12;
+            csv.push_str(&format!("z{zip},c{}\n", zip / 3));
+        }
+        std::fs::write(&path, csv).unwrap();
+        let p = path.to_str().unwrap();
+        discover(p, &DiscoverOptions::default()).unwrap();
+        profile(p).unwrap();
+        score(p, &["zip".to_string()], "city").unwrap();
+        assert!(score(p, &["city".to_string()], "nope").is_err());
+        assert!(score(p, &["city".to_string()], "city").is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = load("/definitely/not/here.csv").unwrap_err();
+        assert!(err.contains("here.csv"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `fdx` — command-line functional-dependency discovery.
+//!
+//! ```text
+//! fdx discover data.csv [--threshold T] [--sparsity L] [--min-lift M]
+//!                       [--ordering natural|heuristic|amd|colamd|metis|nesdis]
+//!                       [--seed N] [--no-validate] [--heatmap]
+//! fdx profile  data.csv
+//! fdx score    data.csv --lhs zip,street --rhs city
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,195 @@
+use fdx_order::OrderingMethod;
+
+/// How the pair transform treats null cells when testing `t_i[A] = t_j[A]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullPolicy {
+    /// A null never equals anything, including another null (default).
+    ///
+    /// Missing values are errors under the paper's noisy-channel model
+    /// (§3.1), so agreement "because both cells are missing" would be
+    /// spurious signal.
+    NeverEqual,
+    /// Two nulls compare equal (missingness itself carries signal).
+    NullEqualsNull,
+}
+
+/// How tuple pairs are sampled for the transform (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSampling {
+    /// The paper's Algorithm 2: for every attribute, sort the (shuffled)
+    /// dataset by that attribute and pair each row with its successor under
+    /// a circular shift. Produces `n` pairs per attribute, `n·k` samples
+    /// total, covering a wide range of attribute values.
+    CircularShift,
+    /// Uniformly random tuple pairs, `pairs_per_attr` per attribute. The
+    /// ablation baseline for the circular-shift heuristic.
+    UniformRandom {
+        /// Number of sampled pairs contributed per attribute.
+        pairs_per_attr: usize,
+    },
+}
+
+/// Configuration of the pair transform.
+#[derive(Debug, Clone)]
+pub struct TransformConfig {
+    /// Pair-sampling strategy.
+    pub sampling: PairSampling,
+    /// Null comparison policy.
+    pub null_policy: NullPolicy,
+    /// Seed for the row shuffle (and random pair sampling).
+    pub seed: u64,
+    /// Upper bound on pairs contributed per attribute under
+    /// [`PairSampling::CircularShift`]; `None` keeps all `n`. Large inputs
+    /// (millions of tuples) can be subsampled here, as §5.4 suggests.
+    pub max_pairs_per_attr: Option<usize>,
+    /// Fan out the per-attribute transform across threads.
+    pub parallel: bool,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            sampling: PairSampling::CircularShift,
+            null_policy: NullPolicy::NeverEqual,
+            seed: 0x5D_F0_0D,
+            max_pairs_per_attr: None,
+            parallel: true,
+        }
+    }
+}
+
+/// Configuration of the full FDX pipeline.
+#[derive(Debug, Clone)]
+pub struct FdxConfig {
+    /// Pair-transform settings.
+    pub transform: TransformConfig,
+    /// Graphical-lasso ℓ₁ penalty — the paper's "sparsity" hyper-parameter
+    /// (Table 8 sweeps {0, .002, …, .010}; 0 is the default).
+    pub sparsity: f64,
+    /// Normalize the pair covariance to a correlation matrix before
+    /// estimating `Θ`. Keeps the autoregression threshold scale-free across
+    /// attributes with different agreement rates.
+    pub use_correlation: bool,
+    /// Magnitude threshold on entries of the autoregression matrix `B`:
+    /// entries at or below it are treated as zero by Algorithm 3.
+    pub threshold: f64,
+    /// Shrinkage weight `α` applied to the covariance/correlation estimate,
+    /// `S ← (1−α)·S + α·I`. Deterministic FD chains make the pair
+    /// covariance nearly singular; shrinkage bounds `Θ` (and therefore the
+    /// autoregression coefficients) without disturbing the support.
+    pub shrinkage: f64,
+    /// Relative pruning inside one `B` column: candidates weaker than
+    /// `relative_keep × max |B[·, j]|` are dropped. Collinear determinants
+    /// (attributes that are themselves determined by the true determinant)
+    /// produce weak echo coefficients; this keeps determinant sets
+    /// parsimonious, which is FDX's stated design goal.
+    pub relative_keep: f64,
+    /// Column-ordering heuristic for the UDUᵀ decomposition (Table 9).
+    pub ordering: OrderingMethod,
+    /// Support threshold when building the ordering graph from `Θ`.
+    pub support_threshold: f64,
+    /// Cap on determinant size; FDs whose candidate determinant exceeds the
+    /// cap keep only the `max_lhs` strongest coefficients. The paper's
+    /// synthetic FDs use |X| ≤ 3; parsimony is the whole point of FDX.
+    pub max_lhs: usize,
+    /// Validate, minimize, and reorient candidate FDs against the data
+    /// using exact pair-agreement statistics (Equation 2). Disable to run
+    /// the paper's raw Algorithm 3 output (the ablation).
+    pub validate: bool,
+    /// Minimum normalized agreement lift `(ρ − β)/(1 − β)` a candidate must
+    /// reach during validation.
+    pub min_lift: f64,
+}
+
+impl Default for FdxConfig {
+    fn default() -> Self {
+        FdxConfig {
+            transform: TransformConfig::default(),
+            sparsity: 0.0,
+            use_correlation: true,
+            threshold: 0.08,
+            shrinkage: 0.10,
+            relative_keep: 0.25,
+            ordering: OrderingMethod::MinDegree,
+            support_threshold: 0.05,
+            max_lhs: 5,
+            validate: true,
+            min_lift: 0.35,
+        }
+    }
+}
+
+impl FdxConfig {
+    /// Convenience: default configuration with a fixed transform seed.
+    pub fn with_seed(seed: u64) -> FdxConfig {
+        FdxConfig {
+            transform: TransformConfig {
+                seed,
+                ..TransformConfig::default()
+            },
+            ..FdxConfig::default()
+        }
+    }
+
+    /// Convenience: set the sparsity (λ) knob.
+    pub fn with_sparsity(mut self, sparsity: f64) -> FdxConfig {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Convenience: set the autoregression threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> FdxConfig {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Convenience: set the ordering method.
+    pub fn with_ordering(mut self, ordering: OrderingMethod) -> FdxConfig {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Calibrates the validation lift to an (expected) cell-noise rate, the
+    /// same courtesy the paper extends to PYRO and TANE ("we set their
+    /// error rate hyper-parameter to the noise level for each data set",
+    /// §5.3). An ε-noisy FD survives a pair test with probability
+    /// `≈ (1−ε)²`; the margin below that keeps strong-but-not-functional
+    /// correlations (ρ ≤ 0.85 in the §5.1 generator) out at low noise.
+    pub fn for_noise_rate(mut self, noise: f64) -> FdxConfig {
+        // A tuple-pair test of an FD touches two cells on each side; all
+        // four must be clean for the agreement to carry signal, so the
+        // observable lift of a true FD decays like (1−n)⁴.
+        let survive = (1.0 - noise).powi(4);
+        self.min_lift = (survive - 0.12).clamp(0.12, 0.85);
+        let corr_survive = (1.0 - noise) * (1.0 - noise);
+        self.threshold = (self.threshold * corr_survive).max(0.02);
+        self.support_threshold = (self.support_threshold * corr_survive).max(0.01);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = FdxConfig::default();
+        assert_eq!(cfg.sparsity, 0.0, "Table 8's default sparsity is 0");
+        assert_eq!(cfg.ordering, OrderingMethod::MinDegree);
+        assert_eq!(cfg.transform.sampling, PairSampling::CircularShift);
+        assert_eq!(cfg.transform.null_policy, NullPolicy::NeverEqual);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = FdxConfig::with_seed(7)
+            .with_sparsity(0.004)
+            .with_threshold(0.2)
+            .with_ordering(OrderingMethod::Natural);
+        assert_eq!(cfg.transform.seed, 7);
+        assert_eq!(cfg.sparsity, 0.004);
+        assert_eq!(cfg.threshold, 0.2);
+        assert_eq!(cfg.ordering, OrderingMethod::Natural);
+    }
+}

@@ -1,0 +1,359 @@
+use std::fmt;
+use std::time::Instant;
+
+use fdx_data::{Dataset, Fd, FdSet};
+use fdx_glasso::{graphical_lasso, GlassoConfig};
+use fdx_linalg::{udut, LinalgError, Matrix};
+use fdx_order::compute_order_weighted;
+
+use crate::config::FdxConfig;
+use crate::report::{FdxResult, FdxTimings};
+use crate::transform::pair_transform;
+
+/// Errors from the FDX pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdxError {
+    /// The dataset is too small for pair sampling / structure learning.
+    InsufficientData {
+        /// Rows present.
+        rows: usize,
+        /// Attributes present.
+        attrs: usize,
+    },
+    /// A numerical kernel failed even after regularization retries.
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for FdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdxError::InsufficientData { rows, attrs } => write!(
+                f,
+                "FDX needs at least 2 rows and 2 attributes, got {rows} rows x {attrs} attributes"
+            ),
+            FdxError::Numerical(e) => write!(f, "numerical failure in structure learning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FdxError {}
+
+impl From<LinalgError> for FdxError {
+    fn from(e: LinalgError) -> Self {
+        FdxError::Numerical(e)
+    }
+}
+
+/// The FDX discovery engine (paper Algorithm 1).
+///
+/// Construct with a [`FdxConfig`] and call [`Fdx::discover`] on any
+/// [`Dataset`]. The engine is stateless between calls; the configuration
+/// fixes sampling seeds, sparsity, ordering heuristic, and the
+/// autoregression threshold.
+#[derive(Debug, Clone, Default)]
+pub struct Fdx {
+    config: FdxConfig,
+}
+
+impl Fdx {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: FdxConfig) -> Fdx {
+        Fdx { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FdxConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline: transform → covariance → `Θ` → ordering →
+    /// `U D Uᵀ` → FD generation.
+    pub fn discover(&self, ds: &Dataset) -> Result<FdxResult, FdxError> {
+        let k = ds.ncols();
+        if ds.nrows() < 2 || k < 2 {
+            return Err(FdxError::InsufficientData {
+                rows: ds.nrows(),
+                attrs: k,
+            });
+        }
+        let cfg = &self.config;
+
+        // Step 1: pair transform (Algorithm 2).
+        let t0 = Instant::now();
+        let stats = pair_transform(ds, &cfg.transform);
+        let transform_secs = t0.elapsed().as_secs_f64();
+
+        // Step 2: covariance and sparse inverse covariance.
+        let t1 = Instant::now();
+        let mut s = if cfg.use_correlation {
+            stats.correlation()
+        } else {
+            stats.covariance()
+        };
+        if cfg.shrinkage > 0.0 {
+            // S ← (1−α) S + α I: bounds Θ when FD chains drive S singular.
+            let alpha = cfg.shrinkage.min(1.0);
+            s.scale_mut(1.0 - alpha);
+            s.add_diag_mut(alpha);
+        }
+        let glasso_cfg = GlassoConfig {
+            lambda: cfg.sparsity,
+            ..GlassoConfig::default()
+        };
+        let theta = graphical_lasso(&s, &glasso_cfg)?.theta;
+
+        // Step 3: global attribute order + UDUᵀ factorization.
+        // Normalize Θ to unit diagonal first so the autoregression
+        // coefficients (and therefore `threshold`) are scale-free.
+        let theta_n = normalize_diagonal(&theta);
+        // Agreement rates break ordering ties: frequently-agreeing
+        // (determined) attributes are eliminated first and land late in the
+        // global order, key-like attributes early.
+        let rates = stats.agreement_rates();
+        let order =
+            compute_order_weighted(&theta_n, cfg.support_threshold, cfg.ordering, Some(&rates));
+        let factor = match udut(&theta_n, &order) {
+            Ok(f) => f,
+            Err(LinalgError::NotPositiveDefinite { .. }) => {
+                // Glasso output should be PD; guard with a ridge anyway.
+                let mut ridged = theta_n.clone();
+                ridged.add_diag_mut(1e-8);
+                udut(&ridged, &order)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let b_perm = factor.autoregression();
+
+        // Step 4: FD generation (Algorithm 3) on the permuted B, mapped back
+        // to schema attribute ids.
+        let mut fds = FdSet::new();
+        for j in 0..k {
+            let rhs = order.image(j);
+            let mut candidates: Vec<(usize, f64)> = (0..j)
+                .filter_map(|i| {
+                    let w = b_perm[(i, j)];
+                    (w.abs() > cfg.threshold).then_some((order.image(i), w.abs()))
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Relative pruning: drop weak echoes of the dominant determinant.
+            let strongest = candidates
+                .iter()
+                .map(|&(_, w)| w)
+                .fold(0.0_f64, f64::max);
+            candidates.retain(|&(_, w)| w >= cfg.relative_keep * strongest);
+            // Parsimony cap: keep the strongest coefficients only.
+            if candidates.len() > cfg.max_lhs {
+                candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+                candidates.truncate(cfg.max_lhs);
+            }
+            fds.insert(Fd::new(candidates.into_iter().map(|(a, _)| a), rhs));
+        }
+        if cfg.validate {
+            fds = crate::validate::refine(ds, &fds, cfg.min_lift);
+        }
+
+        // Report B in original schema coordinates.
+        let mut b_orig = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in 0..k {
+                b_orig[(order.image(i), order.image(j))] = b_perm[(i, j)];
+            }
+        }
+        let model_secs = t1.elapsed().as_secs_f64();
+
+        Ok(FdxResult {
+            fds,
+            autoregression: b_orig,
+            theta,
+            order,
+            noise_variances: factor.d.iter().map(|&d| 1.0 / d.max(1e-12)).collect(),
+            timings: FdxTimings {
+                transform_secs,
+                model_secs,
+            },
+        })
+    }
+}
+
+/// Scales a symmetric PD matrix to unit diagonal: `D^{-1/2} Θ D^{-1/2}`.
+fn normalize_diagonal(theta: &Matrix) -> Matrix {
+    let k = theta.rows();
+    let d: Vec<f64> = (0..k).map(|i| theta[(i, i)].max(1e-12).sqrt()).collect();
+    let mut out = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            out[(i, j)] = theta[(i, j)] / (d[i] * d[j]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FdxConfig;
+
+    fn city_state_rows() -> Dataset {
+        // zip -> city -> state with solid support: 4 states x 2 cities x
+        // 3 zips x 4 rows each = 96 rows.
+        let mut rows: Vec<[String; 3]> = Vec::new();
+        for s in 0..4 {
+            for c in 0..2 {
+                for z in 0..3 {
+                    for _ in 0..4 {
+                        rows.push([
+                            format!("z{s}{c}{z}"),
+                            format!("city{s}{c}"),
+                            format!("state{s}"),
+                        ]);
+                    }
+                }
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| vec![r[0].as_str(), r[1].as_str(), r[2].as_str()])
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        Dataset::from_string_rows(&["zip", "city", "state"], &slices)
+    }
+
+    #[test]
+    fn discovers_zip_city_chain() {
+        let ds = city_state_rows();
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        let edges = r.fds.edge_set();
+        let undirected = |a: usize, b: usize| edges.contains(&(a, b)) || edges.contains(&(b, a));
+        // The chain's two dependencies must be recovered; their orientation
+        // along a pure chain is only weakly identified (see Figure 3's
+        // discussion: ZipCode itself comes out *determined* there).
+        assert!(
+            undirected(0, 1),
+            "zip—city missing; FDs:\n{}",
+            r.fds.render(ds.schema())
+        );
+        assert!(
+            undirected(1, 2),
+            "city—state missing; FDs:\n{}",
+            r.fds.render(ds.schema())
+        );
+    }
+
+    #[test]
+    fn key_hub_orients_outward() {
+        // A key column determining three independent attributes: FDX must
+        // orient all edges away from the key (the Figure 3 ProviderNumber
+        // pattern).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut assignments = Vec::new();
+        for kv in 0..24 {
+            assignments.push([
+                format!("k{kv}"),
+                format!("x{}", rng.gen_range(0..4)),
+                format!("y{}", rng.gen_range(0..3)),
+                format!("z{}", rng.gen_range(0..2)),
+            ]);
+        }
+        let mut rows = Vec::new();
+        for (i, a) in assignments.iter().enumerate() {
+            for _ in 0..(3 + i % 3) {
+                rows.push(a.clone());
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let ds = Dataset::from_string_rows(&["key", "x", "y", "z"], &slices);
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        let edges = r.fds.edge_set();
+        assert!(
+            edges.contains(&(0, 1)) && edges.contains(&(0, 2)) && edges.contains(&(0, 3)),
+            "key should determine x, y, z; FDs:\n{}",
+            r.fds.render(ds.schema())
+        );
+        assert!(
+            !edges.iter().any(|&(_, y)| y == 0),
+            "nothing determines the key; FDs:\n{}",
+            r.fds.render(ds.schema())
+        );
+    }
+
+    #[test]
+    fn rejects_tiny_inputs() {
+        let one_col = Dataset::from_string_rows(&["a"], &[&["1"], &["2"]]);
+        assert!(matches!(
+            Fdx::new(FdxConfig::default()).discover(&one_col),
+            Err(FdxError::InsufficientData { .. })
+        ));
+        let one_row = Dataset::from_string_rows(&["a", "b"], &[&["1", "2"]]);
+        assert!(matches!(
+            Fdx::new(FdxConfig::default()).discover(&one_row),
+            Err(FdxError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn independent_columns_give_no_fds() {
+        // Two genuinely independent uniform columns (separate RNG streams).
+        use rand::{Rng, SeedableRng};
+        let mut ra = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut rb = rand_chacha::ChaCha8Rng::seed_from_u64(222);
+        let rows: Vec<[String; 2]> = (0..200)
+            .map(|_| {
+                [
+                    format!("a{}", ra.gen_range(0..8)),
+                    format!("b{}", rb.gen_range(0..8)),
+                ]
+            })
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| vec![r[0].as_str(), r[1].as_str()]).collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let ds = Dataset::from_string_rows(&["a", "b"], &slices);
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        assert!(
+            r.fds.is_empty(),
+            "expected no FDs, got:\n{}",
+            r.fds.render(ds.schema())
+        );
+    }
+
+    #[test]
+    fn autoregression_matrix_shape_and_order() {
+        let ds = city_state_rows();
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        assert_eq!(r.autoregression.shape(), (3, 3));
+        assert_eq!(r.order.len(), 3);
+        assert_eq!(r.theta.shape(), (3, 3));
+        assert_eq!(r.noise_variances.len(), 3);
+        assert!(r.timings.transform_secs >= 0.0);
+    }
+
+    #[test]
+    fn max_lhs_caps_determinant_size() {
+        let ds = city_state_rows();
+        let mut cfg = FdxConfig::default();
+        cfg.max_lhs = 1;
+        let r = Fdx::new(cfg).discover(&ds).unwrap();
+        for fd in r.fds.iter() {
+            assert!(fd.lhs().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn higher_threshold_is_more_conservative() {
+        let ds = city_state_rows();
+        let lo = Fdx::new(FdxConfig::default().with_threshold(0.05))
+            .discover(&ds)
+            .unwrap();
+        let hi = Fdx::new(FdxConfig::default().with_threshold(0.9))
+            .discover(&ds)
+            .unwrap();
+        assert!(hi.fds.edge_count() <= lo.fds.edge_count());
+    }
+}

@@ -1,0 +1,59 @@
+//! # FDX — functional dependency discovery via structure learning
+//!
+//! This crate is the core of the reproduction of *"A Statistical Perspective
+//! on Discovering Functional Dependencies in Noisy Data"* (Zhang, Guo,
+//! Rekatsinas — SIGMOD 2020). FDX casts FD discovery as structure learning
+//! of a linear structural equation model over binary random variables
+//! `Z[A] = 1(t_i[A] = t_j[A])` defined on random tuple pairs.
+//!
+//! The pipeline (paper Algorithm 1):
+//!
+//! 1. **Transform** ([`pair_transform`], Algorithm 2): sort by each
+//!    attribute, circular-shift by one, and record per-attribute equality
+//!    indicators — a bit-packed `n·k × k` binary sample.
+//! 2. **Estimate** the covariance of the sample and its sparse inverse `Θ`
+//!    (graphical lasso; `λ = 0` degenerates to a stabilized inversion).
+//! 3. **Order** the attributes with a fill-reducing heuristic
+//!    (`fdx_order`), then factorize `Θ = U D Uᵀ` with unit
+//!    upper-triangular `U` and read off the autoregression matrix
+//!    `B = I − U`.
+//! 4. **Generate FDs** (Algorithm 3): the above-threshold entries of column
+//!    `j` of `B` form the determinant set of an FD on attribute `j`.
+//!
+//! # Example
+//!
+//! ```
+//! use fdx_core::{Fdx, FdxConfig};
+//! use fdx_data::Dataset;
+//!
+//! let rows: Vec<[String; 2]> = (0..60)
+//!     .map(|i| {
+//!         let zip = i % 12; // 12 zips, 5 rows each
+//!         [format!("z{zip}"), format!("city{}", zip / 3)]
+//!     })
+//!     .collect();
+//! let refs: Vec<Vec<&str>> = rows
+//!     .iter()
+//!     .map(|r| vec![r[0].as_str(), r[1].as_str()])
+//!     .collect();
+//! let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+//! let ds = Dataset::from_string_rows(&["zip", "city"], &slices);
+//! let result = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+//! // zip determines city.
+//! assert!(result
+//!     .fds
+//!     .iter()
+//!     .any(|fd| fd.rhs() == 1 && fd.lhs() == [0]));
+//! ```
+
+mod config;
+mod discover;
+mod report;
+mod transform;
+mod validate;
+
+pub use config::{FdxConfig, NullPolicy, PairSampling, TransformConfig};
+pub use discover::{Fdx, FdxError};
+pub use report::{render_autoregression_heatmap, FdxResult, FdxTimings};
+pub use transform::{pair_transform, pair_transform_matrix, PairStats};
+pub use validate::{refine, score_fd, FdScore};

@@ -1,0 +1,122 @@
+use fdx_data::{FdSet, Schema};
+use fdx_linalg::{Matrix, Permutation};
+
+/// Wall-clock breakdown of a discovery run, matching the two series of the
+/// paper's Figure 6 ("mean of total runtime" vs "mean of model runtime").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdxTimings {
+    /// Seconds spent in the pair transform (Algorithm 2).
+    pub transform_secs: f64,
+    /// Seconds spent in covariance estimation, glasso, ordering,
+    /// factorization, and FD generation.
+    pub model_secs: f64,
+}
+
+impl FdxTimings {
+    /// Total pipeline seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.transform_secs + self.model_secs
+    }
+}
+
+/// Everything a discovery run produces.
+#[derive(Debug, Clone)]
+pub struct FdxResult {
+    /// The discovered functional dependencies.
+    pub fds: FdSet,
+    /// The autoregression matrix `B` in schema coordinates: `B[x, y]` is the
+    /// weight of attribute `x` in the linear equation for attribute `y`
+    /// (nonzero above the discovery threshold ⇒ edge `x → y`). This is the
+    /// matrix rendered as a heatmap in the paper's Figures 3 and 5.
+    pub autoregression: Matrix,
+    /// The estimated (sparse) inverse covariance, schema coordinates.
+    pub theta: Matrix,
+    /// The global attribute order used by the factorization.
+    pub order: Permutation,
+    /// Estimated per-attribute noise variances `ω` (diagonal of `Ω` from
+    /// Equation 5), in permuted coordinates.
+    pub noise_variances: Vec<f64>,
+    /// Wall-clock breakdown.
+    pub timings: FdxTimings,
+}
+
+/// Renders an autoregression matrix as a textual heatmap (the workspace's
+/// stand-in for Figure 3/5's graphics): rows are determinants, columns are
+/// determined attributes, and cell glyphs bucket `|B[x, y]|`.
+pub fn render_autoregression_heatmap(b: &Matrix, schema: &Schema) -> String {
+    let k = b.rows();
+    assert_eq!(k, schema.len(), "matrix size must match schema");
+    let name_width = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.len())
+        .max()
+        .unwrap_or(4)
+        .clamp(4, 24);
+    let glyph = |v: f64| -> char {
+        let a = v.abs();
+        if a >= 0.5 {
+            '#'
+        } else if a >= 0.25 {
+            '+'
+        } else if a >= 0.1 {
+            '.'
+        } else {
+            ' '
+        }
+    };
+    let mut out = String::new();
+    // Header: column indices (names would overflow).
+    out.push_str(&" ".repeat(name_width + 2));
+    for j in 0..k {
+        out.push_str(&format!("{:>3}", j % 100));
+    }
+    out.push('\n');
+    for i in 0..k {
+        let name: String = schema.name(i).chars().take(name_width).collect();
+        out.push_str(&format!("{name:>name_width$} |"));
+        for j in 0..k {
+            out.push(' ');
+            out.push(' ');
+            out.push(glyph(b[(i, j)]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Schema;
+
+    #[test]
+    fn timings_sum() {
+        let t = FdxTimings {
+            transform_secs: 1.5,
+            model_secs: 0.5,
+        };
+        assert_eq!(t.total_secs(), 2.0);
+    }
+
+    #[test]
+    fn heatmap_renders_buckets() {
+        let schema = Schema::from_names(&["alpha", "b"]);
+        let mut b = Matrix::zeros(2, 2);
+        b[(0, 1)] = 0.8;
+        b[(1, 0)] = 0.15;
+        let s = render_autoregression_heatmap(&b, &schema);
+        assert!(s.contains('#'), "strong edge should render as #:\n{s}");
+        assert!(s.contains('.'), "weak edge should render as .:\n{s}");
+        assert!(s.contains("alpha"));
+        // Two data lines + header.
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match schema")]
+    fn heatmap_validates_shape() {
+        let schema = Schema::from_names(&["a"]);
+        render_autoregression_heatmap(&Matrix::zeros(2, 2), &schema);
+    }
+}

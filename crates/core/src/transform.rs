@@ -1,0 +1,520 @@
+use fdx_data::{Dataset, NULL_CODE};
+use fdx_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::{NullPolicy, PairSampling, TransformConfig};
+
+/// Sufficient statistics of the pair-difference sample (Algorithm 2's `D_t`)
+/// without materializing the `n·k × k` binary matrix.
+///
+/// Each transform sample is a binary vector `z` with
+/// `z[a] = 1(t_i[a] = t_j[a])` for a sampled tuple pair `(t_i, t_j)`. For
+/// covariance estimation only two aggregates are needed:
+///
+/// * `co_counts[a][b] = Σ z[a]·z[b]` — co-agreement counts, and
+/// * `ones[a] = Σ z[a]` — per-attribute agreement counts,
+///
+/// which this type accumulates from bit-packed per-attribute blocks (64
+/// samples per word, combined with `AND` + `popcount`). This keeps the
+/// transform linear in `n·k` with a tiny constant, the property behind the
+/// paper's column-scalability result (Figure 6).
+#[derive(Debug, Clone)]
+pub struct PairStats {
+    k: usize,
+    /// Upper-triangular (including diagonal) co-agreement counts, row-major.
+    co_counts: Vec<u64>,
+    ones: Vec<u64>,
+    /// Per-block agreement counts: `block_ones[blk * k + a]` counts
+    /// agreements on attribute `a` among the pairs of block `blk` (the pairs
+    /// produced while sorted by attribute `blk`).
+    block_ones: Vec<u64>,
+    /// Pairs contributed by each block.
+    block_sizes: Vec<usize>,
+    n_samples: usize,
+}
+
+impl PairStats {
+    fn zeros(k: usize) -> PairStats {
+        PairStats {
+            k,
+            co_counts: vec![0; k * k],
+            ones: vec![0; k],
+            block_ones: vec![0; k * k],
+            block_sizes: vec![0; k],
+            n_samples: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &PairStats) {
+        debug_assert_eq!(self.k, other.k);
+        for (a, b) in self.co_counts.iter_mut().zip(&other.co_counts) {
+            *a += b;
+        }
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        for (a, b) in self.block_ones.iter_mut().zip(&other.block_ones) {
+            *a += b;
+        }
+        for (a, b) in self.block_sizes.iter_mut().zip(&other.block_sizes) {
+            *a += b;
+        }
+        self.n_samples += other.n_samples;
+    }
+
+    /// Number of attributes `k`.
+    pub fn num_attributes(&self) -> usize {
+        self.k
+    }
+
+    /// Number of transform samples accumulated (`n·k` under circular shift).
+    pub fn num_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Per-attribute empirical agreement rate `P(z[a] = 1)`.
+    pub fn agreement_rates(&self) -> Vec<f64> {
+        let n = self.n_samples.max(1) as f64;
+        self.ones.iter().map(|&o| o as f64 / n).collect()
+    }
+
+    /// Pooled **within-block** covariance of the transform samples — the
+    /// `S` handed to the graphical lasso.
+    ///
+    /// Algorithm 2 produces one block of pairs per sort attribute, and the
+    /// agreement rate of the sort attribute is systematically higher inside
+    /// its own block. Pooling raw samples would therefore manufacture
+    /// negative cross-attribute covariance out of pure block-mean shifts
+    /// (severely so for small `k`). Centering each block on its own mean
+    /// removes the stratification artifact while preserving the dependency
+    /// signal FDs create *within* every block:
+    ///
+    /// ```text
+    /// S = (1/N) Σ_blk Σ_{z ∈ blk} (z − z̄_blk)(z − z̄_blk)ᵀ
+    ///   = (C − Σ_blk o_blk o_blkᵀ / m_blk) / N
+    /// ```
+    pub fn covariance(&self) -> Matrix {
+        let n = self.n_samples.max(1) as f64;
+        let k = self.k;
+        let mut s = Matrix::zeros(k, k);
+        for a in 0..k {
+            for b in a..k {
+                let mut c = self.co_counts[a * k + b] as f64;
+                for blk in 0..k {
+                    let m = self.block_sizes[blk];
+                    if m > 0 {
+                        let oa = self.block_ones[blk * k + a] as f64;
+                        let ob = self.block_ones[blk * k + b] as f64;
+                        c -= oa * ob / m as f64;
+                    }
+                }
+                let v = c / n;
+                s[(a, b)] = v;
+                s[(b, a)] = v;
+            }
+        }
+        s
+    }
+
+    /// The naive pooled covariance (single global mean, no block
+    /// centering) — kept for the stratification ablation.
+    pub fn pooled_covariance(&self) -> Matrix {
+        let n = self.n_samples.max(1) as f64;
+        let p = self.agreement_rates();
+        let mut s = Matrix::zeros(self.k, self.k);
+        for a in 0..self.k {
+            for b in a..self.k {
+                let c = self.co_counts[a * self.k + b] as f64 / n;
+                let v = c - p[a] * p[b];
+                s[(a, b)] = v;
+                s[(b, a)] = v;
+            }
+        }
+        s
+    }
+
+    /// Raw second moment `E[z zᵀ]` (no mean subtraction); exposed for the
+    /// robustness ablations of §4.3.
+    pub fn second_moment(&self) -> Matrix {
+        let n = self.n_samples.max(1) as f64;
+        let mut s = Matrix::zeros(self.k, self.k);
+        for a in 0..self.k {
+            for b in a..self.k {
+                let c = self.co_counts[a * self.k + b] as f64 / n;
+                s[(a, b)] = c;
+                s[(b, a)] = c;
+            }
+        }
+        s
+    }
+
+    /// Correlation matrix of the transform samples (scale-free `S`).
+    pub fn correlation(&self) -> Matrix {
+        fdx_stats::correlation(&self.covariance())
+    }
+}
+
+/// Runs Algorithm 2 and accumulates pair statistics.
+///
+/// Under [`PairSampling::CircularShift`], for each attribute the (shuffled)
+/// dataset is sorted by that attribute and every row is paired with its
+/// successor under a circular shift — "this heuristic allows us to obtain
+/// tuple pair samples that cover a wider range of attribute values" (§4.2).
+/// Under [`PairSampling::UniformRandom`], pairs are drawn uniformly.
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer than 2 rows or no attributes; callers
+/// (the [`crate::Fdx`] pipeline) validate first.
+pub fn pair_transform(ds: &Dataset, cfg: &TransformConfig) -> PairStats {
+    let n = ds.nrows();
+    let k = ds.ncols();
+    assert!(n >= 2, "pair transform requires at least two rows");
+    assert!(k >= 1, "pair transform requires at least one attribute");
+
+    let mut shuffled: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    shuffled.shuffle(&mut rng);
+
+    let attrs: Vec<usize> = (0..k).collect();
+    if cfg.parallel && k > 1 {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(k);
+        let chunk = k.div_ceil(threads);
+        let mut total = PairStats::zeros(k);
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ids in attrs.chunks(chunk) {
+                let shuffled = &shuffled;
+                let seed = cfg.seed;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = PairStats::zeros(k);
+                    for &attr in ids {
+                        accumulate_attribute(ds, cfg, shuffled, attr, seed, &mut local);
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transform worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("transform scope panicked");
+        for p in &partials {
+            total.merge(p);
+        }
+        total
+    } else {
+        let mut total = PairStats::zeros(k);
+        for &attr in &attrs {
+            accumulate_attribute(ds, cfg, &shuffled, attr, cfg.seed, &mut total);
+        }
+        total
+    }
+}
+
+/// Accumulates the pair block contributed by sorting on `attr`.
+fn accumulate_attribute(
+    ds: &Dataset,
+    cfg: &TransformConfig,
+    shuffled: &[usize],
+    attr: usize,
+    seed: u64,
+    out: &mut PairStats,
+) {
+    let n = ds.nrows();
+    let k = ds.ncols();
+    let pairs: Vec<(usize, usize)> = match cfg.sampling {
+        PairSampling::CircularShift => {
+            // Stable sort of the shuffled order by this attribute's codes.
+            let codes = ds.column(attr).codes();
+            let mut order: Vec<usize> = shuffled.to_vec();
+            order.sort_by_key(|&r| codes[r]);
+            let limit = cfg.max_pairs_per_attr.unwrap_or(n).min(n);
+            (0..limit)
+                .map(|r| (order[r], order[(r + 1) % n]))
+                .collect()
+        }
+        PairSampling::UniformRandom { pairs_per_attr } => {
+            // Derive a distinct stream per attribute for reproducibility
+            // independent of thread scheduling.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (0..pairs_per_attr)
+                .map(|_| {
+                    let i = rng.gen_range(0..n);
+                    let mut j = rng.gen_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    (i, j)
+                })
+                .collect()
+        }
+    };
+
+    let m = pairs.len();
+    if m == 0 {
+        return;
+    }
+    let words = m.div_ceil(64);
+    // Column-major bitmaps: bit r of column a says "pair r agrees on a".
+    let mut bits = vec![0u64; k * words];
+    for (a, chunk) in (0..k).zip(bits.chunks_mut(words)) {
+        let codes = ds.column(a).codes();
+        for (r, &(i, j)) in pairs.iter().enumerate() {
+            let ci = codes[i];
+            let cj = codes[j];
+            let equal = match cfg.null_policy {
+                NullPolicy::NeverEqual => ci != NULL_CODE && ci == cj,
+                NullPolicy::NullEqualsNull => ci == cj,
+            };
+            if equal {
+                chunk[r / 64] |= 1u64 << (r % 64);
+            }
+        }
+    }
+    for a in 0..k {
+        let col_a = &bits[a * words..(a + 1) * words];
+        let ones_a: u64 = col_a.iter().map(|w| w.count_ones() as u64).sum();
+        out.ones[a] += ones_a;
+        out.block_ones[attr * k + a] += ones_a;
+        out.co_counts[a * k + a] += ones_a;
+        for b in (a + 1)..k {
+            let col_b = &bits[b * words..(b + 1) * words];
+            let co: u64 = col_a
+                .iter()
+                .zip(col_b)
+                .map(|(x, y)| (x & y).count_ones() as u64)
+                .sum();
+            out.co_counts[a * k + b] += co;
+        }
+    }
+    out.block_sizes[attr] += m;
+    out.n_samples += m;
+}
+
+/// Materializes Algorithm 2's binary matrix `D_t` (`pairs × k`, entries
+/// 0/1). Useful for tests, ablations, and feeding a generic structure
+/// learner; the FDX pipeline itself uses the streaming [`pair_transform`].
+pub fn pair_transform_matrix(ds: &Dataset, cfg: &TransformConfig) -> Matrix {
+    let n = ds.nrows();
+    let k = ds.ncols();
+    assert!(n >= 2 && k >= 1);
+    let mut shuffled: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    shuffled.shuffle(&mut rng);
+
+    let mut rows: Vec<(usize, usize)> = Vec::new();
+    for attr in 0..k {
+        match cfg.sampling {
+            PairSampling::CircularShift => {
+                let codes = ds.column(attr).codes();
+                let mut order = shuffled.clone();
+                order.sort_by_key(|&r| codes[r]);
+                let limit = cfg.max_pairs_per_attr.unwrap_or(n).min(n);
+                for r in 0..limit {
+                    rows.push((order[r], order[(r + 1) % n]));
+                }
+            }
+            PairSampling::UniformRandom { pairs_per_attr } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                for _ in 0..pairs_per_attr {
+                    let i = rng.gen_range(0..n);
+                    let mut j = rng.gen_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    rows.push((i, j));
+                }
+            }
+        }
+    }
+    let mut m = Matrix::zeros(rows.len(), k);
+    for (r, &(i, j)) in rows.iter().enumerate() {
+        for a in 0..k {
+            let ci = ds.code(i, a);
+            let cj = ds.code(j, a);
+            let equal = match cfg.null_policy {
+                NullPolicy::NeverEqual => ci != NULL_CODE && ci == cj,
+                NullPolicy::NullEqualsNull => ci == cj,
+            };
+            if equal {
+                m[(r, a)] = 1.0;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Dataset;
+
+    fn ds() -> Dataset {
+        Dataset::from_string_rows(
+            &["zip", "city"],
+            &[
+                &["60608", "Chicago"],
+                &["60611", "Chicago"],
+                &["60608", "Chicago"],
+                &["53703", "Madison"],
+                &["53703", "Madison"],
+                &["53706", "Madison"],
+            ],
+        )
+    }
+
+    #[test]
+    fn circular_shift_sample_count() {
+        let stats = pair_transform(&ds(), &TransformConfig::default());
+        assert_eq!(stats.num_samples(), 6 * 2);
+        assert_eq!(stats.num_attributes(), 2);
+    }
+
+    #[test]
+    fn stats_match_materialized_matrix() {
+        let cfg = TransformConfig {
+            parallel: false,
+            ..TransformConfig::default()
+        };
+        let stats = pair_transform(&ds(), &cfg);
+        let m = pair_transform_matrix(&ds(), &cfg);
+        assert_eq!(m.rows(), stats.num_samples());
+        // Pooled covariance from streaming stats equals the plain covariance
+        // of the materialized matrix (block centering is a refinement on
+        // top, exercised separately).
+        let s_stream = stats.pooled_covariance();
+        let s_mat = fdx_stats::covariance(&m);
+        for a in 0..2 {
+            for b in 0..2 {
+                assert!(
+                    (s_stream[(a, b)] - s_mat[(a, b)]).abs() < 1e-12,
+                    "({a},{b}): {} vs {}",
+                    s_stream[(a, b)],
+                    s_mat[(a, b)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = pair_transform(
+            &ds(),
+            &TransformConfig {
+                parallel: false,
+                ..TransformConfig::default()
+            },
+        );
+        let parallel = pair_transform(
+            &ds(),
+            &TransformConfig {
+                parallel: true,
+                ..TransformConfig::default()
+            },
+        );
+        assert_eq!(serial.num_samples(), parallel.num_samples());
+        assert_eq!(serial.co_counts, parallel.co_counts);
+        assert_eq!(serial.ones, parallel.ones);
+    }
+
+    #[test]
+    fn fd_shows_as_positive_covariance() {
+        let stats = pair_transform(&ds(), &TransformConfig::default());
+        let s = stats.covariance();
+        // Agreement on zip implies agreement on city: positive covariance.
+        assert!(s[(0, 1)] > 0.0, "cov = {}", s[(0, 1)]);
+    }
+
+    #[test]
+    fn null_policy_changes_agreement() {
+        let ds = Dataset::from_string_rows(&["a", "b"], &[&["", "x"], &["", "x"], &["1", "y"]]);
+        let never = pair_transform(
+            &ds,
+            &TransformConfig {
+                null_policy: NullPolicy::NeverEqual,
+                ..TransformConfig::default()
+            },
+        );
+        let nulls_eq = pair_transform(
+            &ds,
+            &TransformConfig {
+                null_policy: NullPolicy::NullEqualsNull,
+                ..TransformConfig::default()
+            },
+        );
+        assert!(nulls_eq.ones[0] > never.ones[0]);
+    }
+
+    #[test]
+    fn sorted_pairing_maximizes_self_agreement() {
+        // Sorting by an attribute pairs duplicate values adjacently, so the
+        // diagonal agreement count for that attribute is at least the count
+        // under random pairing.
+        let stats = pair_transform(&ds(), &TransformConfig::default());
+        let rates = stats.agreement_rates();
+        // zip has duplicates 60608×2, 53703×2 → at least 2 agreeing pairs in
+        // its own sorted block of 6.
+        assert!(rates[0] > 0.0);
+        // city: 2 values × 3 rows → sorted block gives 4 agreeing pairs.
+        assert!(rates[1] >= rates[0]);
+    }
+
+    #[test]
+    fn uniform_sampling_counts() {
+        let cfg = TransformConfig {
+            sampling: PairSampling::UniformRandom { pairs_per_attr: 10 },
+            ..TransformConfig::default()
+        };
+        let stats = pair_transform(&ds(), &cfg);
+        assert_eq!(stats.num_samples(), 20);
+    }
+
+    #[test]
+    fn max_pairs_cap_respected() {
+        let cfg = TransformConfig {
+            max_pairs_per_attr: Some(3),
+            ..TransformConfig::default()
+        };
+        let stats = pair_transform(&ds(), &cfg);
+        assert_eq!(stats.num_samples(), 3 * 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = pair_transform(&ds(), &TransformConfig::default());
+        let b = pair_transform(&ds(), &TransformConfig::default());
+        assert_eq!(a.co_counts, b.co_counts);
+        let c = pair_transform(
+            &ds(),
+            &TransformConfig {
+                seed: 99,
+                ..TransformConfig::default()
+            },
+        );
+        // Different shuffle may (or may not) change counts; sample count is
+        // invariant either way.
+        assert_eq!(a.num_samples(), c.num_samples());
+    }
+
+    #[test]
+    fn key_column_has_low_agreement() {
+        // All-distinct key: only adjacent-in-sorted-order equal values agree,
+        // of which there are none.
+        let ds = Dataset::from_string_rows(
+            &["key", "grp"],
+            &[&["a", "x"], &["b", "x"], &["c", "y"], &["d", "y"]],
+        );
+        let stats = pair_transform(&ds, &TransformConfig::default());
+        assert_eq!(stats.ones[0], 0);
+        assert!(stats.ones[1] > 0);
+    }
+}

@@ -1,0 +1,549 @@
+//! Statistical validation and refinement of candidate FDs.
+//!
+//! Algorithm 3 reads FDs off the autoregression matrix. Its residual error
+//! modes are (a) *orientation*: along dependency chains and inside
+//! multi-attribute groups the linear SEM cannot tell `X → Y` from its
+//! reversal, so the factorization may emit a reversed star or cascade, and
+//! (b) *echo determinants*: collinear attributes leak weak coefficients into
+//! a column. Both are cheaply testable against the data itself using the
+//! paper's own FD semantics (Equation 2): for a real `X → Y`,
+//! `P(t_i[Y] = t_j[Y] | t_i[X] = t_j[X]) = 1 − ε`.
+//!
+//! The refinement pipeline of [`refine`]:
+//!
+//! 1. **Component repair** — candidate FDs whose own agreement lift is weak
+//!    are grouped into connected attribute clusters, and each small cluster
+//!    is re-decomposed by a greedy best-sink search: repeatedly pick the
+//!    member that the rest of the cluster determines best (minimizing its
+//!    determinant), until nothing validates. This recovers
+//!    `{X₁..X_m} → Y` from a reversed cascade like `Y → X₁`,
+//!    `{Y, X₁} → X₂`. Near-perfect candidates (true hubs such as a key
+//!    determining many attributes) bypass the rewrite entirely.
+//! 2. **Per-FD validation** — every FD is scored with the normalized
+//!    agreement lift `L = (ρ − β)/(1 − β)` (`ρ` the conditional pair
+//!    agreement, `β` the marginal), greedily minimized while the lift is
+//!    preserved, reoriented if the reverse direction clearly dominates, and
+//!    dropped if no orientation validates.
+
+use fdx_data::{AttrId, Dataset, Fd, FdSet};
+use fdx_stats::group_ids;
+
+/// The exact pair-agreement statistics of a candidate FD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdScore {
+    /// `ρ = P(Z_Y = 1 | Z_X = 1)` over all tuple pairs.
+    pub conditional: f64,
+    /// `β = P(Z_Y = 1)` over all tuple pairs.
+    pub baseline: f64,
+    /// Normalized lift `(ρ − β)/(1 − β)`, clamped to `[0, 1]`.
+    pub lift: f64,
+    /// Number of lhs-agreeing pairs the estimate rests on.
+    pub support_pairs: u64,
+}
+
+/// Computes the exact pair-agreement score of `lhs → rhs` on `ds`.
+///
+/// Uses group counts: with lhs groups of sizes `g_i` refined by rhs into
+/// `c_{i,y}`, the number of lhs-agreeing pairs is `Σ C(g_i, 2)` and the
+/// number also agreeing on rhs is `Σ C(c_{i,y}, 2)` — no pair sampling, no
+/// quadratic blowup.
+pub fn score_fd(ds: &Dataset, lhs: &[AttrId], rhs: AttrId) -> FdScore {
+    let n = ds.nrows() as u64;
+    let gx = group_ids(ds, lhs);
+    let mut joint: Vec<AttrId> = lhs.to_vec();
+    joint.push(rhs);
+    let gxy = group_ids(ds, &joint);
+    let gy = group_ids(ds, &[rhs]);
+
+    let pairs2 = |c: u64| c * c.saturating_sub(1) / 2;
+    let pairs_x: u64 = gx.sizes().iter().map(|&c| pairs2(c as u64)).sum();
+    let pairs_xy: u64 = gxy.sizes().iter().map(|&c| pairs2(c as u64)).sum();
+    let pairs_y: u64 = gy.sizes().iter().map(|&c| pairs2(c as u64)).sum();
+    let all_pairs = pairs2(n).max(1);
+
+    let conditional = if pairs_x > 0 {
+        pairs_xy as f64 / pairs_x as f64
+    } else {
+        0.0
+    };
+    let baseline = pairs_y as f64 / all_pairs as f64;
+    let lift = if baseline < 1.0 {
+        ((conditional - baseline) / (1.0 - baseline)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    FdScore {
+        conditional,
+        baseline,
+        lift,
+        support_pairs: pairs_x,
+    }
+}
+
+/// Minimum lhs-agreeing pairs for a score to be trusted; below this the
+/// conditional estimate is mostly sampling noise (a near-key lhs).
+const MIN_SUPPORT_PAIRS: u64 = 8;
+
+/// Lift a removal may cost before it stops counting as "preserving" the
+/// full determinant's explanatory power.
+const MINIMIZE_SLACK: f64 = 0.05;
+
+/// Margin by which the reverse orientation must beat the forward one before
+/// a validated single-attribute FD is flipped.
+const FLIP_MARGIN: f64 = 0.08;
+
+/// Candidates scoring at least this well are never rewritten by the
+/// component repair (true hubs and exact FDs).
+const HUB_GUARD: f64 = 0.92;
+
+/// Largest attribute cluster the component repair will re-decompose.
+const MAX_COMPONENT: usize = 8;
+
+/// Greedily removes determinant attributes while the lift stays within
+/// [`MINIMIZE_SLACK`] of the full determinant's lift. Returns the minimized
+/// determinant and its score.
+fn minimize_lhs(
+    ds: &Dataset,
+    lhs: &[AttrId],
+    rhs: AttrId,
+    full: FdScore,
+    min_lift: f64,
+) -> (Vec<AttrId>, FdScore) {
+    let mut lhs = lhs.to_vec();
+    let mut current = full;
+    while lhs.len() > 1 {
+        let mut best: Option<(usize, FdScore)> = None;
+        for i in 0..lhs.len() {
+            let mut reduced = lhs.clone();
+            reduced.remove(i);
+            let s = score_fd(ds, &reduced, rhs);
+            if best.as_ref().map_or(true, |(_, b)| s.lift > b.lift) {
+                best = Some((i, s));
+            }
+        }
+        match best {
+            Some((i, s)) if s.lift >= full.lift - MINIMIZE_SLACK && s.lift >= min_lift => {
+                lhs.remove(i);
+                current = s;
+            }
+            _ => break,
+        }
+    }
+    (lhs, current)
+}
+
+/// Validates, minimizes, and (where necessary) reorients candidate FDs.
+/// See the module docs for the full pipeline.
+pub fn refine(ds: &Dataset, candidates: &FdSet, min_lift: f64) -> FdSet {
+    let repaired = component_repair(ds, candidates, min_lift);
+    let mut out = FdSet::new();
+    for fd in repaired.iter() {
+        let rhs = fd.rhs();
+        let full = score_fd(ds, fd.lhs(), rhs);
+        if full.lift >= min_lift && full.support_pairs >= MIN_SUPPORT_PAIRS {
+            let (lhs, current) = minimize_lhs(ds, fd.lhs(), rhs, full, min_lift);
+            if lhs.len() == 1 {
+                out.insert(orient(ds, lhs[0], rhs, current, min_lift));
+            } else {
+                out.insert(Fd::new(lhs, rhs));
+            }
+            continue;
+        }
+        // Full determinant failed: fall back to the strongest singleton in
+        // either orientation.
+        let mut best: Option<(Fd, f64)> = None;
+        for &x in fd.lhs() {
+            let fwd = score_fd(ds, &[x], rhs);
+            if fwd.lift >= min_lift
+                && fwd.support_pairs >= MIN_SUPPORT_PAIRS
+                && best.as_ref().map_or(true, |&(_, l)| fwd.lift > l)
+            {
+                best = Some((Fd::new([x], rhs), fwd.lift));
+            }
+            let rev = score_fd(ds, &[rhs], x);
+            if rev.lift >= min_lift
+                && rev.support_pairs >= MIN_SUPPORT_PAIRS
+                && best.as_ref().map_or(true, |&(_, l)| rev.lift > l)
+            {
+                best = Some((Fd::new([rhs], x), rev.lift));
+            }
+        }
+        if let Some((fd, _)) = best {
+            out.insert(fd);
+        }
+    }
+    drop_inversion_artifacts(ds, &out).minimize()
+}
+
+/// Drops FDs that are inversion artifacts of other FDs in the set.
+///
+/// If `Y` is determined by `D → Y` elsewhere in the set, then an FD using
+/// `Y` as a determinant can be rewritten with `D` substituted for `Y`. When
+/// that substitution makes the FD *trivial* (its rhs appears in the expanded
+/// determinant), the FD carried no information beyond the near-injectivity
+/// of `Y` — e.g. `{A, Y} → B` alongside `{A, B, C} → Y` — and is removed.
+/// Pure two-cycles (`X → Y` and `Y → X`, a bijection) are kept.
+fn drop_inversion_artifacts(ds: &Dataset, fds: &FdSet) -> FdSet {
+    use std::collections::BTreeMap;
+    // Process the finest-domain rhs first: when two FDs mutually explain
+    // each other, the "many small attributes determine one large one"
+    // orientation is the generative one and must survive.
+    let mut ordered: Vec<&Fd> = fds.iter().collect();
+    ordered.sort_by_key(|fd| std::cmp::Reverse(ds.column(fd.rhs()).distinct_count()));
+    let mut survivors: Vec<Fd> = Vec::new();
+    for fd in ordered {
+        let determiners: BTreeMap<AttrId, &Fd> =
+            survivors.iter().map(|s| (s.rhs(), s)).collect();
+        let mut expanded: Vec<AttrId> = Vec::new();
+        for &x in fd.lhs() {
+            match determiners.get(&x) {
+                // Pure bijection pair: do not expand.
+                Some(d) if d.lhs() == [fd.rhs()] => expanded.push(x),
+                Some(d) => {
+                    expanded.extend(d.lhs().iter().copied().filter(|&a| a != x));
+                }
+                None => expanded.push(x),
+            }
+        }
+        if !expanded.contains(&fd.rhs()) {
+            survivors.push(fd.clone());
+        }
+    }
+    FdSet::from_fds(survivors)
+}
+
+/// Re-decomposes weakly-explained attribute clusters (see module docs).
+fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
+    let k = ds.ncols();
+    let mut strong: Vec<Fd> = Vec::new();
+    let mut weak: Vec<Fd> = Vec::new();
+    for fd in fds.iter() {
+        let s = score_fd(ds, fd.lhs(), fd.rhs());
+        if s.lift >= HUB_GUARD {
+            strong.push(fd.clone());
+        } else {
+            weak.push(fd.clone());
+        }
+    }
+    if weak.is_empty() {
+        return fds.clone();
+    }
+
+    // Union-find over attributes, joined by weak-FD participation.
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for fd in &weak {
+        let root = find(&mut parent, fd.rhs());
+        for &x in fd.lhs() {
+            let rx = find(&mut parent, x);
+            parent[rx] = root;
+        }
+    }
+    let mut components: std::collections::BTreeMap<usize, Vec<AttrId>> = Default::default();
+    let mut touched = vec![false; k];
+    for fd in &weak {
+        touched[fd.rhs()] = true;
+        for &x in fd.lhs() {
+            touched[x] = true;
+        }
+    }
+    for a in 0..k {
+        if touched[a] {
+            let root = find(&mut parent, a);
+            components.entry(root).or_default().push(a);
+        }
+    }
+
+    let mut out = FdSet::from_fds(strong);
+    for comp in components.values() {
+        if comp.len() < 2 || comp.len() > MAX_COMPONENT {
+            // Oversized or trivial: keep the originals; the per-FD pass
+            // will judge them individually.
+            for fd in &weak {
+                if comp.contains(&fd.rhs()) {
+                    out.insert(fd.clone());
+                }
+            }
+            continue;
+        }
+        // Greedy best-sink decomposition of the cluster.
+        let mut unclaimed: Vec<AttrId> = comp.clone();
+        while unclaimed.len() >= 2 {
+            let mut round: Vec<(FdScore, AttrId, Vec<AttrId>)> = Vec::new();
+            for &y in &unclaimed {
+                // Determinants come from the *unclaimed* attributes only:
+                // sinks are extracted in reverse topological order, so an
+                // already-extracted sink (which is statistically near-
+                // injective) can never masquerade as a determinant.
+                let x_all: Vec<AttrId> =
+                    unclaimed.iter().copied().filter(|&a| a != y).collect();
+                let full = score_fd(ds, &x_all, y);
+                if full.lift < min_lift || full.support_pairs < MIN_SUPPORT_PAIRS {
+                    continue;
+                }
+                let (lhs, s) = minimize_lhs(ds, &x_all, y, full, min_lift);
+                round.push((s, y, lhs));
+            }
+            if round.is_empty() {
+                break;
+            }
+            // Near-ties in lift resolve to the finest-domain sink: in a
+            // multi-attribute FD the determined attribute's partition is the
+            // product of the determinants', so it has the most distinct
+            // values.
+            let best_lift = round
+                .iter()
+                .map(|(s, ..)| s.lift)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let (_, y, lhs) = round
+                .into_iter()
+                .filter(|(s, ..)| s.lift >= best_lift - 0.06)
+                .max_by_key(|&(_, y, _)| ds.column(y).distinct_count())
+                .expect("non-empty round");
+            out.insert(Fd::new(lhs, y));
+            unclaimed.retain(|&a| a != y);
+        }
+    }
+    out
+}
+
+/// Chooses the orientation of a validated single-attribute dependency:
+/// flips to `rhs → x` only when the reverse lift clearly dominates.
+fn orient(ds: &Dataset, x: AttrId, rhs: AttrId, forward: FdScore, min_lift: f64) -> Fd {
+    let rev = score_fd(ds, &[rhs], x);
+    if rev.lift >= min_lift
+        && rev.support_pairs >= MIN_SUPPORT_PAIRS
+        && rev.lift > forward.lift + FLIP_MARGIN
+    {
+        Fd::new([rhs], x)
+    } else {
+        Fd::new([x], rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Dataset;
+
+    fn fd_dataset() -> Dataset {
+        // zip -> city exactly; city does not determine zip.
+        let mut rows = Vec::new();
+        for z in 0..6 {
+            for _ in 0..5 {
+                rows.push([format!("z{z}"), format!("c{}", z / 3)]);
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        Dataset::from_string_rows(&["zip", "city"], &slices)
+    }
+
+    #[test]
+    fn exact_fd_scores_full_lift() {
+        let ds = fd_dataset();
+        let s = score_fd(&ds, &[0], 1);
+        assert!((s.conditional - 1.0).abs() < 1e-12);
+        assert!((s.lift - 1.0).abs() < 1e-12);
+        assert!(s.support_pairs >= MIN_SUPPORT_PAIRS);
+    }
+
+    #[test]
+    fn reverse_direction_scores_low() {
+        let ds = fd_dataset();
+        let fwd = score_fd(&ds, &[0], 1);
+        let rev = score_fd(&ds, &[1], 0);
+        assert!(rev.lift < 0.5, "reverse lift = {}", rev.lift);
+        assert!(fwd.lift > rev.lift);
+    }
+
+    #[test]
+    fn refine_reorients_reversed_candidate() {
+        let ds = fd_dataset();
+        // Candidate points the wrong way; refine must flip it.
+        let cands = FdSet::from_fds([Fd::new([1], 0)]);
+        let refined = refine(&ds, &cands, 0.5);
+        assert_eq!(refined.fds(), &[Fd::new([0], 1)]);
+    }
+
+    #[test]
+    fn refine_minimizes_echo_determinants() {
+        // noise is an echo: zip alone determines city.
+        let mut rows = Vec::new();
+        for z in 0..6 {
+            for r in 0..5 {
+                rows.push([
+                    format!("z{z}"),
+                    format!("c{}", z / 3),
+                    format!("s{}", (z + r) % 3),
+                ]);
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let ds = Dataset::from_string_rows(&["zip", "city", "noise"], &slices);
+        let cands = FdSet::from_fds([Fd::new([0, 2], 1)]);
+        let refined = refine(&ds, &cands, 0.5);
+        assert_eq!(refined.fds(), &[Fd::new([0], 1)]);
+    }
+
+    #[test]
+    fn refine_drops_unsupported_candidates() {
+        // Independent columns: the spurious FD must vanish in both
+        // orientations.
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            rows.push([format!("a{}", i % 7), format!("b{}", (i * 13 + i / 7) % 6)]);
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let indep = Dataset::from_string_rows(&["a", "b"], &slices);
+        let refined = refine(&indep, &FdSet::from_fds([Fd::new([0], 1)]), 0.5);
+        assert!(refined.is_empty(), "{refined:?}");
+    }
+
+    #[test]
+    fn multi_attribute_fd_validates_as_a_whole() {
+        // y = f(a, b): neither singleton suffices.
+        let mut rows = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for _ in 0..4 {
+                    rows.push([
+                        format!("a{a}"),
+                        format!("b{b}"),
+                        format!("y{}", (a * 2 + b * 3) % 5),
+                    ]);
+                }
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let ds = Dataset::from_string_rows(&["a", "b", "y"], &slices);
+        let refined = refine(&ds, &FdSet::from_fds([Fd::new([0, 1], 2)]), 0.6);
+        assert_eq!(refined.fds(), &[Fd::new([0, 1], 2)]);
+    }
+
+    #[test]
+    fn score_handles_near_key_lhs() {
+        // lhs almost unique: support too small to trust.
+        let ds = Dataset::from_string_rows(
+            &["k", "y"],
+            &[&["a", "0"], &["b", "1"], &["c", "0"], &["d", "1"]],
+        );
+        let s = score_fd(&ds, &[0], 1);
+        assert!(s.support_pairs < MIN_SUPPORT_PAIRS);
+        let refined = refine(&ds, &FdSet::from_fds([Fd::new([0], 1)]), 0.3);
+        assert!(refined.is_empty());
+    }
+
+    /// y = f(a, b, c) with large domains, candidates emitted as the reversed
+    /// cascade the factorization produces.
+    fn group_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                for c in 0..5 {
+                    for _ in 0..3 {
+                        // Knuth-style scramble so collisions don't preserve
+                        // any single coordinate.
+                        let config: u64 = a * 25 + b * 5 + c;
+                        let y = (config.wrapping_mul(2654435761) >> 5) % 100;
+                        rows.push([
+                            format!("a{a}"),
+                            format!("b{b}"),
+                            format!("c{c}"),
+                            format!("y{y}"),
+                        ]);
+                    }
+                }
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        Dataset::from_string_rows(&["a", "b", "c", "y"], &slices)
+    }
+
+    #[test]
+    fn component_repair_recovers_reversed_star() {
+        let ds = group_dataset();
+        // Reversed star: y -> a, y -> b, y -> c (each individually weak).
+        let cands = FdSet::from_fds([Fd::new([3], 0), Fd::new([3], 1), Fd::new([3], 2)]);
+        let refined = refine(&ds, &cands, 0.7);
+        assert_eq!(
+            refined.fds(),
+            &[Fd::new([0, 1, 2], 3)],
+            "got {}",
+            refined.render(ds.schema())
+        );
+    }
+
+    #[test]
+    fn component_repair_recovers_reversed_cascade() {
+        let ds = group_dataset();
+        // Reversed chain: y -> a, {y,a} -> b, {a,b} -> c.
+        let cands = FdSet::from_fds([
+            Fd::new([3], 0),
+            Fd::new([3, 0], 1),
+            Fd::new([0, 1], 2),
+        ]);
+        let refined = refine(&ds, &cands, 0.7);
+        assert_eq!(
+            refined.fds(),
+            &[Fd::new([0, 1, 2], 3)],
+            "got {}",
+            refined.render(ds.schema())
+        );
+    }
+
+    #[test]
+    fn component_repair_leaves_true_hubs_alone() {
+        // A key determines three attributes exactly; forward lifts are 1.0
+        // so the hub guard must keep the star as-is.
+        let mut rows = Vec::new();
+        for k in 0..12 {
+            for _ in 0..4 {
+                rows.push([
+                    format!("k{k}"),
+                    format!("p{}", k % 4),
+                    format!("q{}", k % 3),
+                    format!("r{}", (k / 2) % 3),
+                ]);
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        let ds = Dataset::from_string_rows(&["key", "p", "q", "r"], &slices);
+        let cands = FdSet::from_fds([Fd::new([0], 1), Fd::new([0], 2), Fd::new([0], 3)]);
+        let refined = refine(&ds, &cands, 0.6);
+        let edges = refined.edge_set();
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(0, 2)));
+        assert!(edges.contains(&(0, 3)));
+        assert!(!edges.iter().any(|&(_, y)| y == 0), "{edges:?}");
+    }
+}

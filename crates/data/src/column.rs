@@ -1,0 +1,210 @@
+use std::collections::HashMap;
+
+use crate::Value;
+
+/// Code reserved for null cells in a [`Column`].
+///
+/// Nulls never intern into the dictionary; FD semantics over noisy data care
+/// about *where* values are missing, and keeping nulls out of the dictionary
+/// lets every consumer choose its own null policy.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// A dictionary-encoded column.
+///
+/// Every distinct non-null [`Value`] is interned once and rows store `u32`
+/// codes. Tuple-pair equality — the primitive FDX's transform (Algorithm 2)
+/// evaluates `n·k` times — becomes an integer compare, and partition-based
+/// baselines (TANE) get their equivalence classes directly from the codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    codes: Vec<u32>,
+    dict: Vec<Value>,
+}
+
+impl Column {
+    /// Builds a column by interning the given values.
+    pub fn from_values(values: &[Value]) -> Column {
+        let mut dict: Vec<Value> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        let mut map: HashMap<Value, u32> = HashMap::new();
+        for v in values {
+            if v.is_null() {
+                codes.push(NULL_CODE);
+                continue;
+            }
+            let next = dict.len() as u32;
+            let code = *map.entry(v.clone()).or_insert_with(|| {
+                dict.push(v.clone());
+                next
+            });
+            codes.push(code);
+        }
+        Column { codes, dict }
+    }
+
+    /// Builds a column directly from codes and a dictionary (generator path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any non-null code is out of range for the dictionary.
+    pub fn from_codes(codes: Vec<u32>, dict: Vec<Value>) -> Column {
+        for &c in &codes {
+            assert!(
+                c == NULL_CODE || (c as usize) < dict.len(),
+                "code {c} out of range for dictionary of size {}",
+                dict.len()
+            );
+        }
+        Column { codes, dict }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code at `row` (possibly [`NULL_CODE`]).
+    #[inline]
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// All codes.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The value at `row` ([`Value::Null`] for null cells).
+    pub fn value(&self, row: usize) -> &Value {
+        let c = self.codes[row];
+        if c == NULL_CODE {
+            &Value::Null
+        } else {
+            &self.dict[c as usize]
+        }
+    }
+
+    /// The interned dictionary (non-null distinct values, in first-seen order).
+    pub fn dictionary(&self) -> &[Value] {
+        &self.dict
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NULL_CODE).count()
+    }
+
+    /// `true` if `row` is null.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        self.codes[row] == NULL_CODE
+    }
+
+    /// Histogram of code frequencies (nulls excluded), indexed by code.
+    pub fn frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.dict.len()];
+        for &c in &self.codes {
+            if c != NULL_CODE {
+                freq[c as usize] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Overwrites the value at `row`, interning if needed.
+    pub fn set_value(&mut self, row: usize, value: Value) {
+        if value.is_null() {
+            self.codes[row] = NULL_CODE;
+            return;
+        }
+        let code = match self.dict.iter().position(|v| *v == value) {
+            Some(i) => i as u32,
+            None => {
+                self.dict.push(value);
+                (self.dict.len() - 1) as u32
+            }
+        };
+        self.codes[row] = code;
+    }
+
+    /// Returns a new column containing the rows selected by `rows`, in order.
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        Column {
+            codes: rows.iter().map(|&r| self.codes[r]).collect(),
+            dict: self.dict.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_stable_codes() {
+        let col = Column::from_values(&[
+            Value::text("a"),
+            Value::text("b"),
+            Value::text("a"),
+            Value::Null,
+            Value::text("c"),
+        ]);
+        assert_eq!(col.len(), 5);
+        assert_eq!(col.code(0), col.code(2));
+        assert_ne!(col.code(0), col.code(1));
+        assert_eq!(col.code(3), NULL_CODE);
+        assert_eq!(col.distinct_count(), 3);
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.value(3), &Value::Null);
+        assert_eq!(col.value(4), &Value::text("c"));
+    }
+
+    #[test]
+    fn frequencies_count_codes() {
+        let col = Column::from_values(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(1),
+            Value::Null,
+        ]);
+        assert_eq!(col.frequencies(), vec![2, 1]);
+    }
+
+    #[test]
+    fn set_value_interns_new() {
+        let mut col = Column::from_values(&[Value::Int(1), Value::Int(2)]);
+        col.set_value(0, Value::Int(9));
+        assert_eq!(col.value(0), &Value::Int(9));
+        assert_eq!(col.distinct_count(), 3);
+        col.set_value(1, Value::Int(9));
+        assert_eq!(col.code(0), col.code(1));
+        col.set_value(0, Value::Null);
+        assert!(col.is_null(0));
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let col = Column::from_values(&[Value::Int(10), Value::Int(20), Value::Int(30)]);
+        let g = col.gather(&[2, 0]);
+        assert_eq!(g.value(0), &Value::Int(30));
+        assert_eq!(g.value(1), &Value::Int(10));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_codes_validates() {
+        Column::from_codes(vec![0, 5], vec![Value::Int(1)]);
+    }
+}

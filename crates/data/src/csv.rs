@@ -1,0 +1,230 @@
+use std::fmt;
+
+use crate::{Dataset, Schema, Value};
+
+/// Errors from the CSV loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A record had a different arity than the header.
+    RaggedRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Fields found on that line.
+        found: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number where the quote opened.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input is empty (no header row)"),
+            CsvError::RaggedRecord { line, found, expected } => write!(
+                f,
+                "CSV line {line} has {found} fields, expected {expected}"
+            ),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records of string fields.
+///
+/// Supports RFC-4180-style quoting: fields may be wrapped in double quotes,
+/// quoted fields may contain commas, newlines, and doubled quotes (`""`).
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut quote_line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_line = line;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => { /* swallow; \r\n handled by the \n branch */ }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_line });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err(CsvError::MissingHeader);
+    }
+    Ok(records)
+}
+
+/// Reads a CSV string (with header) into a [`Dataset`], inferring value
+/// types per cell via [`Value::infer`].
+pub fn read_csv_str(input: &str) -> Result<Dataset, CsvError> {
+    let records = parse_csv(input)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(CsvError::MissingHeader)?;
+    let names: Vec<&str> = header.iter().map(String::as_str).collect();
+    let schema = Schema::from_names(&names);
+    let expected = schema.len();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (i, rec) in iter.enumerate() {
+        if rec.len() != expected {
+            return Err(CsvError::RaggedRecord {
+                line: i + 2,
+                found: rec.len(),
+                expected,
+            });
+        }
+        rows.push(rec.iter().map(|s| Value::infer(s)).collect());
+    }
+    Ok(Dataset::from_rows(schema, &rows))
+}
+
+/// Serializes a dataset back to CSV (header + rows), quoting fields that
+/// contain commas, quotes, or newlines.
+pub fn write_csv_string(ds: &Dataset) -> String {
+    fn escape(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    let names: Vec<String> = (0..ds.ncols())
+        .map(|a| escape(ds.schema().name(a)))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for r in 0..ds.nrows() {
+        let fields: Vec<String> = (0..ds.ncols())
+            .map(|a| escape(&ds.value(r, a).to_string()))
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple() {
+        let recs = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parses_quotes_and_embedded_commas() {
+        let recs = parse_csv("name,addr\n\"Doe, Jane\",\"123 \"\"Main\"\" St\"\n").unwrap();
+        assert_eq!(recs[1][0], "Doe, Jane");
+        assert_eq!(recs[1][1], "123 \"Main\" St");
+    }
+
+    #[test]
+    fn parses_quoted_newline() {
+        let recs = parse_csv("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(recs[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let recs = parse_csv("a,b\r\n1,2").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert_eq!(
+            parse_csv("a\n\"oops\n"),
+            Err(CsvError::UnterminatedQuote { line: 2 })
+        );
+    }
+
+    #[test]
+    fn read_into_dataset_with_inference() {
+        let ds = read_csv_str("zip,city\n60608,Chicago\n,Madison\n").unwrap();
+        assert_eq!(ds.nrows(), 2);
+        assert_eq!(ds.value(0, 0), &Value::Int(60608));
+        assert!(ds.value(1, 0).is_null());
+        assert_eq!(ds.value(1, 1), &Value::text("Madison"));
+    }
+
+    #[test]
+    fn ragged_record_reports_line() {
+        let err = read_csv_str("a,b\n1\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRecord { line: 2, found: 1, expected: 2 }
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = Dataset::from_string_rows(
+            &["a", "b"],
+            &[&["x,y", "1"], &["plain", "2"]],
+        );
+        let csv = write_csv_string(&ds);
+        let back = read_csv_str(&csv).unwrap();
+        assert_eq!(back.value(0, 0), &Value::text("x,y"));
+        assert_eq!(back.value(1, 1), &Value::Int(2));
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        assert_eq!(parse_csv(""), Err(CsvError::MissingHeader));
+        assert!(read_csv_str("").is_err());
+    }
+}

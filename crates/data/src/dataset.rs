@@ -1,0 +1,235 @@
+use crate::{AttrId, Column, Schema, Value};
+
+/// A relational instance: a [`Schema`] plus one dictionary-encoded [`Column`]
+/// per attribute, all of equal length.
+///
+/// This is the input type of every FD-discovery method in the workspace
+/// (paper §3.1: "a noisy data set D′ following schema R").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Dataset {
+    /// Assembles a dataset from a schema and matching columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the schema or if the columns
+    /// have unequal lengths.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Dataset {
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "schema has {} attributes but {} columns supplied",
+            schema.len(),
+            columns.len()
+        );
+        let nrows = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(c.len(), nrows, "column {i} has {} rows, expected {nrows}", c.len());
+        }
+        Dataset { schema, columns, nrows }
+    }
+
+    /// Builds a dataset from rows of [`Value`]s.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>]) -> Dataset {
+        let k = schema.len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); k];
+        for row in rows {
+            assert_eq!(row.len(), k, "row arity {} != schema arity {k}", row.len());
+            for (c, v) in row.iter().enumerate() {
+                cols[c].push(v.clone());
+            }
+        }
+        let columns = cols.iter().map(|c| Column::from_values(c)).collect();
+        Dataset::new(schema, columns)
+    }
+
+    /// Builds an all-categorical dataset from string rows, inferring value
+    /// types per cell (convenient in tests and examples).
+    pub fn from_string_rows(names: &[&str], rows: &[&[&str]]) -> Dataset {
+        let schema = Schema::from_names(names);
+        let value_rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| Value::infer(s)).collect())
+            .collect();
+        Dataset::from_rows(schema, &value_rows)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of attributes.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column for attribute `id`.
+    pub fn column(&self, id: AttrId) -> &Column {
+        &self.columns[id]
+    }
+
+    /// Mutable column access (used by noise injectors).
+    pub fn column_mut(&mut self, id: AttrId) -> &mut Column {
+        &mut self.columns[id]
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The value of cell `(row, attr)`.
+    pub fn value(&self, row: usize, attr: AttrId) -> &Value {
+        self.columns[attr].value(row)
+    }
+
+    /// The dictionary code of cell `(row, attr)` ([`crate::NULL_CODE`] for nulls).
+    #[inline]
+    pub fn code(&self, row: usize, attr: AttrId) -> u32 {
+        self.columns[attr].code(row)
+    }
+
+    /// Row indices sorted by the codes of attribute `attr` (stable sort, so
+    /// equal values keep their relative order). Null cells sort last.
+    ///
+    /// This is the sort used by FDX's Algorithm 2 before the circular shift.
+    pub fn sort_order_by(&self, attr: AttrId) -> Vec<usize> {
+        let codes = self.columns[attr].codes();
+        let mut idx: Vec<usize> = (0..self.nrows).collect();
+        idx.sort_by_key(|&r| codes[r]);
+        idx
+    }
+
+    /// Returns a new dataset with rows reordered by `rows` (indices may
+    /// repeat or be dropped; the result has `rows.len()` rows).
+    pub fn gather(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(rows)).collect(),
+            nrows: rows.len(),
+        }
+    }
+
+    /// Projects onto the given attributes, producing a smaller dataset.
+    pub fn project(&self, attrs: &[AttrId]) -> Dataset {
+        let schema = Schema::new(
+            attrs
+                .iter()
+                .map(|&a| self.schema.attribute(a).clone())
+                .collect(),
+        );
+        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        Dataset::new(schema, columns)
+    }
+
+    /// Total number of null cells across all columns.
+    pub fn null_cells(&self) -> usize {
+        self.columns.iter().map(Column::null_count).sum()
+    }
+
+    /// Fraction of cells that differ between `self` and `other` (both must
+    /// have identical shape). Used to measure injected noise rates.
+    pub fn cell_difference_rate(&self, other: &Dataset) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols(), other.ncols());
+        if self.nrows == 0 || self.ncols() == 0 {
+            return 0.0;
+        }
+        let mut diff = 0usize;
+        for a in 0..self.ncols() {
+            for r in 0..self.nrows {
+                if self.value(r, a) != other.value(r, a) {
+                    diff += 1;
+                }
+            }
+        }
+        diff as f64 / (self.nrows * self.ncols()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_string_rows(
+            &["zip", "city", "state"],
+            &[
+                &["60608", "Chicago", "IL"],
+                &["60611", "Chicago", "IL"],
+                &["60608", "Chicago", "IL"],
+                &["53703", "Madison", "WI"],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let ds = sample();
+        assert_eq!(ds.nrows(), 4);
+        assert_eq!(ds.ncols(), 3);
+        assert_eq!(ds.value(3, 1), &Value::text("Madison"));
+        assert_eq!(ds.code(0, 0), ds.code(2, 0));
+    }
+
+    #[test]
+    fn sort_order_groups_equal_codes() {
+        let ds = sample();
+        let order = ds.sort_order_by(0);
+        // zip codes: 60608(code0) at rows 0,2; 60611(code1) row 1; 53703(code2) row 3.
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn sort_order_puts_nulls_last() {
+        let ds = Dataset::from_string_rows(&["a"], &[&["x"], &[""], &["y"]]);
+        let order = ds.sort_order_by(0);
+        assert_eq!(*order.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn gather_and_project() {
+        let ds = sample();
+        let g = ds.gather(&[3, 0]);
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g.value(0, 2), &Value::text("WI"));
+        let p = ds.project(&[2, 0]);
+        assert_eq!(p.schema().name(0), "state");
+        assert_eq!(p.value(0, 1), &Value::Int(60608));
+    }
+
+    #[test]
+    fn null_cell_accounting() {
+        let ds = Dataset::from_string_rows(&["a", "b"], &[&["1", ""], &["", "2"]]);
+        assert_eq!(ds.null_cells(), 2);
+    }
+
+    #[test]
+    fn difference_rate() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.cell_difference_rate(&b), 0.0);
+        b.column_mut(1).set_value(0, Value::text("Cicago"));
+        assert!((a.cell_difference_rate(&b) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn unequal_columns_rejected() {
+        let schema = Schema::from_names(&["a", "b"]);
+        let c1 = Column::from_values(&[Value::Int(1)]);
+        let c2 = Column::from_values(&[Value::Int(1), Value::Int(2)]);
+        Dataset::new(schema, vec![c1, c2]);
+    }
+}

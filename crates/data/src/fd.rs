@@ -1,0 +1,256 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{AttrId, Schema};
+
+/// A functional dependency `X → Y`: the attribute set `lhs` (determinant)
+/// uniquely determines the attribute `rhs` (paper §2.1).
+///
+/// The determinant is kept sorted and deduplicated so that FDs compare and
+/// hash structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    lhs: Vec<AttrId>,
+    rhs: AttrId,
+}
+
+impl Fd {
+    /// Creates a normalized FD. Duplicate determinant attributes are removed
+    /// and the determinant is sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FD is trivial (`rhs ∈ lhs`) or the determinant is empty;
+    /// discovery methods should never emit either.
+    pub fn new(lhs: impl IntoIterator<Item = AttrId>, rhs: AttrId) -> Fd {
+        let set: BTreeSet<AttrId> = lhs.into_iter().collect();
+        assert!(!set.is_empty(), "FD determinant must be non-empty");
+        assert!(!set.contains(&rhs), "trivial FD: rhs {rhs} appears in lhs");
+        Fd {
+            lhs: set.into_iter().collect(),
+            rhs,
+        }
+    }
+
+    /// The determinant attribute ids, sorted ascending.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// The determined attribute id.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// The directed edges `(x, rhs)` this FD contributes. The paper's
+    /// precision/recall metrics (§5.1) are defined over these edges.
+    pub fn edges(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.lhs.iter().map(move |&x| (x, self.rhs))
+    }
+
+    /// `true` if `other`'s determinant is a (non-strict) subset of ours with
+    /// the same rhs — i.e. `other` is at least as minimal.
+    pub fn is_generalized_by(&self, other: &Fd) -> bool {
+        self.rhs == other.rhs && other.lhs.iter().all(|a| self.lhs.contains(a))
+    }
+
+    /// Renders the FD with attribute names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FdDisplay<'a> {
+        FdDisplay { fd: self, schema }
+    }
+}
+
+/// Helper for name-based FD rendering; see [`Fd::display`].
+pub struct FdDisplay<'a> {
+    fd: &'a Fd,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &a) in self.fd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.schema.name(a))?;
+        }
+        write!(f, " -> {}", self.schema.name(self.fd.rhs))
+    }
+}
+
+/// A collection of discovered (or ground-truth) FDs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// The empty FD set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Builds a set from FDs, deduplicating structurally equal entries.
+    pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
+        let mut set = FdSet::new();
+        for fd in fds {
+            set.insert(fd);
+        }
+        set
+    }
+
+    /// Inserts an FD if not already present. Returns `true` on insertion.
+    pub fn insert(&mut self, fd: Fd) -> bool {
+        if self.fds.contains(&fd) {
+            false
+        } else {
+            self.fds.push(fd);
+            true
+        }
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// `true` if no FDs were discovered.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The FDs, in insertion order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Iterates over the FDs.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// The union of all FD edges, deduplicated (paper §5.1 metric basis).
+    pub fn edge_set(&self) -> BTreeSet<(AttrId, AttrId)> {
+        self.fds.iter().flat_map(Fd::edges).collect()
+    }
+
+    /// Total number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_set().len()
+    }
+
+    /// Keeps only minimal FDs: drops any FD whose determinant is a strict
+    /// superset of another FD with the same rhs.
+    pub fn minimize(&self) -> FdSet {
+        let mut keep = Vec::new();
+        for (i, fd) in self.fds.iter().enumerate() {
+            let redundant = self.fds.iter().enumerate().any(|(j, other)| {
+                i != j && fd.is_generalized_by(other) && fd.lhs() != other.lhs()
+            });
+            if !redundant {
+                keep.push(fd.clone());
+            }
+        }
+        FdSet::from_fds(keep)
+    }
+
+    /// Renders every FD with names from `schema`, one per line.
+    pub fn render(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for fd in &self.fds {
+            out.push_str(&fd.display(schema).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl IntoIterator for FdSet {
+    type Item = Fd;
+    type IntoIter = std::vec::IntoIter<Fd>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FdSet {
+    type Item = &'a Fd;
+    type IntoIter = std::slice::Iter<'a, Fd>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_normalizes_lhs() {
+        let fd = Fd::new([3, 1, 3], 0);
+        assert_eq!(fd.lhs(), &[1, 3]);
+        assert_eq!(fd.rhs(), 0);
+        assert_eq!(Fd::new([1, 3], 0), fd);
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial FD")]
+    fn trivial_fd_rejected() {
+        Fd::new([0, 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_lhs_rejected() {
+        Fd::new([], 1);
+    }
+
+    #[test]
+    fn edges_enumerate_lhs() {
+        let fd = Fd::new([2, 5], 1);
+        let edges: Vec<_> = fd.edges().collect();
+        assert_eq!(edges, vec![(2, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn set_dedupes() {
+        let mut s = FdSet::new();
+        assert!(s.insert(Fd::new([0], 1)));
+        assert!(!s.insert(Fd::new([0], 1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edge_set_unions() {
+        let s = FdSet::from_fds([Fd::new([0, 2], 1), Fd::new([0], 3)]);
+        let e = s.edge_set();
+        assert_eq!(e.len(), 3);
+        assert!(e.contains(&(0, 1)));
+        assert!(e.contains(&(2, 1)));
+        assert!(e.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn minimize_drops_supersets() {
+        let s = FdSet::from_fds([
+            Fd::new([0], 2),
+            Fd::new([0, 1], 2), // superset of [0] -> 2: dropped
+            Fd::new([1], 3),
+        ]);
+        let m = s.minimize();
+        assert_eq!(m.len(), 2);
+        assert!(m.fds().contains(&Fd::new([0], 2)));
+        assert!(m.fds().contains(&Fd::new([1], 3)));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let schema = Schema::from_names(&["zip", "city", "state"]);
+        let fd = Fd::new([0], 2);
+        assert_eq!(fd.display(&schema).to_string(), "zip -> state");
+        let fd2 = Fd::new([0, 1], 2);
+        assert_eq!(fd2.display(&schema).to_string(), "zip,city -> state");
+    }
+}

@@ -1,0 +1,48 @@
+//! Relational data substrate for the FDX reproduction.
+//!
+//! FD discovery (paper §3.1) operates on a relational instance whose cells
+//! may be categorical, numeric, textual, or missing. This crate provides:
+//!
+//! * [`Value`] — a dynamically typed cell value with a null variant,
+//! * [`Schema`] / [`Attribute`] — named, typed attribute lists,
+//! * [`Column`] — dictionary-encoded column storage (every distinct value is
+//!   interned once; rows store compact `u32` codes), which makes the
+//!   equality tests at the core of FD semantics O(1) integer compares,
+//! * [`Dataset`] — the relation itself, with builders, sorting, projection
+//!   and per-column statistics,
+//! * [`Fd`] / [`FdSet`] — the functional-dependency vocabulary shared by the
+//!   FDX core, every baseline, and the evaluation harness,
+//! * a small CSV reader/writer with type inference for loading external
+//!   instances.
+//!
+//! # Example
+//!
+//! ```
+//! use fdx_data::{Dataset, Value};
+//!
+//! let ds = Dataset::from_string_rows(
+//!     &["zip", "city"],
+//!     &[
+//!         &["60608", "Chicago"],
+//!         &["60611", "Chicago"],
+//!         &["60608", "Chicago"],
+//!     ],
+//! );
+//! assert_eq!(ds.nrows(), 3);
+//! assert_eq!(ds.column(0).distinct_count(), 2);
+//! assert_eq!(ds.value(1, 1), &Value::text("Chicago"));
+//! ```
+
+mod column;
+mod csv;
+mod dataset;
+mod fd;
+mod schema;
+mod value;
+
+pub use column::{Column, NULL_CODE};
+pub use csv::{parse_csv, read_csv_str, write_csv_string, CsvError};
+pub use dataset::Dataset;
+pub use fd::{Fd, FdSet};
+pub use schema::{AttrId, Attribute, AttrType, Schema};
+pub use value::{OrderedF64, Value};

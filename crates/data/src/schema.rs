@@ -1,0 +1,150 @@
+use std::fmt;
+
+/// Index of an attribute within a [`Schema`].
+pub type AttrId = usize;
+
+/// Coarse attribute type, inferred on ingestion or declared by generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Dictionary-coded categorical data (also the fallback for text).
+    Categorical,
+    /// Integer-valued data.
+    Integer,
+    /// Real-valued data.
+    Real,
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: String,
+    /// Declared or inferred type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates a categorical attribute — the common case for FD discovery.
+    pub fn categorical(name: impl Into<String>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Categorical,
+        }
+    }
+
+    /// Creates an attribute with an explicit type.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of attributes describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name — FD output would be ambiguous.
+    pub fn new(attributes: Vec<Attribute>) -> Schema {
+        for i in 0..attributes.len() {
+            for j in (i + 1)..attributes.len() {
+                assert_ne!(
+                    attributes[i].name, attributes[j].name,
+                    "duplicate attribute name {:?}",
+                    attributes[i].name
+                );
+            }
+        }
+        Schema { attributes }
+    }
+
+    /// Builds an all-categorical schema from names.
+    pub fn from_names(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Attribute::categorical(*n)).collect())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attribute at `id`.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id]
+    }
+
+    /// The attribute name at `id`.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attributes[id].name
+    }
+
+    /// All attributes, in schema order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn id_of(&self, name: &str) -> Option<AttrId> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// All attribute ids, in schema order.
+    pub fn ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        0..self.attributes.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_names_builds_categoricals() {
+        let s = Schema::from_names(&["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(1), "b");
+        assert_eq!(s.attribute(0).ty, AttrType::Categorical);
+    }
+
+    #[test]
+    fn id_lookup() {
+        let s = Schema::from_names(&["zip", "city", "state"]);
+        assert_eq!(s.id_of("city"), Some(1));
+        assert_eq!(s.id_of("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::from_names(&["a", "a"]);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let s = Schema::from_names(&["x", "y"]);
+        assert_eq!(s.to_string(), "R(x, y)");
+    }
+}

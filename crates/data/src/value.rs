@@ -1,0 +1,225 @@
+use std::fmt;
+
+/// A dynamically typed cell value.
+///
+/// FDX supports "diverse data types (e.g., categorical, real-valued, text
+/// data, binary data, or mixtures of those)" (paper §4.2) because its pair
+/// transform only needs an equality (or approximate-equality) test per type.
+/// `Value` is that common currency. Floats are compared by their bit pattern
+/// so that `Value` can implement `Eq`/`Hash` and be dictionary-interned;
+/// datasets that need tolerance-based float equality should quantize on
+/// ingestion (see `Value::float_quantized`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A missing cell. Two nulls compare equal as *values* (so they intern to
+    /// one dictionary code), but the pair transform treats null cells
+    /// according to its own null policy.
+    Null,
+    /// Integer-valued cell.
+    Int(i64),
+    /// Real-valued cell, ordered and hashed by total-order bit pattern.
+    Float(OrderedF64),
+    /// Textual / categorical cell.
+    Text(String),
+}
+
+/// An `f64` wrapper with total ordering (IEEE `total_cmp`) and bitwise
+/// equality, allowing floats inside `Eq + Hash + Ord` contexts.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedF64(pub f64);
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for OrderedF64 {}
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for float values.
+    pub fn float(v: f64) -> Value {
+        Value::Float(OrderedF64(v))
+    }
+
+    /// Constructs a float quantized to `decimals` decimal places, so that
+    /// near-equal measurements intern to the same dictionary code.
+    pub fn float_quantized(v: f64, decimals: u32) -> Value {
+        let scale = 10f64.powi(decimals as i32);
+        Value::Float(OrderedF64((v * scale).round() / scale))
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The contained integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained float (also converting `Int`), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(OrderedF64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained text, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a raw string the way the CSV loader does: empty (or `NULL`,
+    /// `NA`, `?`) becomes `Null`, then integer, then float, then text.
+    pub fn infer(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty()
+            || trimmed.eq_ignore_ascii_case("null")
+            || trimmed.eq_ignore_ascii_case("na")
+            || trimmed == "?"
+        {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            return Value::float(f);
+        }
+        Value::text(trimmed)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(OrderedF64(v)) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::text(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_null_variants() {
+        for raw in ["", "  ", "NULL", "null", "NA", "?"] {
+            assert_eq!(Value::infer(raw), Value::Null, "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn infer_prefers_int_then_float_then_text() {
+        assert_eq!(Value::infer("42"), Value::Int(42));
+        assert_eq!(Value::infer("-7"), Value::Int(-7));
+        assert_eq!(Value::infer("3.5"), Value::float(3.5));
+        assert_eq!(Value::infer("1e3"), Value::float(1000.0));
+        assert_eq!(Value::infer("abc"), Value::text("abc"));
+        assert_eq!(Value::infer(" 60608 "), Value::Int(60608));
+    }
+
+    #[test]
+    fn floats_are_hash_eq_by_bits() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::float(1.5));
+        set.insert(Value::float(1.5));
+        assert_eq!(set.len(), 1);
+        set.insert(Value::float(1.5000001));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn quantized_floats_collapse() {
+        assert_eq!(
+            Value::float_quantized(1.2345, 2),
+            Value::float_quantized(1.2312, 2)
+        );
+        assert_ne!(
+            Value::float_quantized(1.2345, 3),
+            Value::float_quantized(1.2312, 3)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::text("x").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::text("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::float(1.5),
+            Value::Int(1),
+        ];
+        vals.sort();
+        // Null sorts first (enum variant order), ints before floats before text.
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+    }
+}

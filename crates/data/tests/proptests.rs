@@ -1,0 +1,105 @@
+//! Property-based tests for the relational substrate.
+
+use fdx_data::{parse_csv, read_csv_str, write_csv_string, Dataset, Fd, FdSet, Schema, Value};
+use proptest::prelude::*;
+
+/// Strategy for CSV-safe and CSV-hostile cell strings.
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,6}",
+        Just("with,comma".to_string()),
+        Just("with\"quote".to_string()),
+        Just("multi\nline".to_string()),
+        Just(String::new()),
+        "-?[0-9]{1,6}",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_preserves_values(
+        rows in proptest::collection::vec(proptest::collection::vec(cell(), 3), 1..20)
+    ) {
+        let schema = Schema::from_names(&["a", "b", "c"]);
+        let value_rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| Value::infer(s)).collect())
+            .collect();
+        let ds = Dataset::from_rows(schema, &value_rows);
+        let csv = write_csv_string(&ds);
+        let back = read_csv_str(&csv).unwrap();
+        prop_assert_eq!(back.nrows(), ds.nrows());
+        for r in 0..ds.nrows() {
+            for c in 0..3 {
+                // Round-tripping re-infers types from the rendered string;
+                // the rendered forms must agree.
+                prop_assert_eq!(
+                    back.value(r, c).to_string(),
+                    ds.value(r, c).to_string(),
+                    "cell ({}, {})", r, c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_csv_never_panics(input in ".{0,200}") {
+        let _ = parse_csv(&input);
+    }
+
+    #[test]
+    fn dictionary_codes_are_dense_and_consistent(
+        values in proptest::collection::vec(0u8..6, 1..60)
+    ) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Int(v as i64)).collect();
+        let col = fdx_data::Column::from_values(&vals);
+        // Codes below distinct_count; equal values share codes.
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert!((col.code(i) as usize) < col.distinct_count());
+            for (j, w) in vals.iter().enumerate() {
+                prop_assert_eq!(v == w, col.code(i) == col.code(j));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_preserves_values(values in proptest::collection::vec(0u8..5, 4..30)) {
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v as i64)]).collect();
+        let ds = Dataset::from_rows(Schema::from_names(&["x"]), &rows);
+        let idx: Vec<usize> = (0..ds.nrows()).rev().collect();
+        let g = ds.gather(&idx);
+        for (new, &old) in idx.iter().enumerate() {
+            prop_assert_eq!(g.value(new, 0), ds.value(old, 0));
+        }
+    }
+
+    #[test]
+    fn fdset_minimize_is_idempotent_and_monotone(
+        fds in proptest::collection::vec(
+            (proptest::collection::btree_set(0usize..4, 1..3), 4usize..7),
+            1..6,
+        )
+    ) {
+        let set = FdSet::from_fds(fds.into_iter().map(|(lhs, rhs)| Fd::new(lhs, rhs)));
+        let m1 = set.minimize();
+        let m2 = m1.minimize();
+        prop_assert_eq!(&m1, &m2, "minimize must be idempotent");
+        prop_assert!(m1.len() <= set.len());
+        // Every surviving FD existed in the input.
+        for fd in m1.iter() {
+            prop_assert!(set.fds().contains(fd));
+        }
+    }
+
+    #[test]
+    fn edge_set_size_bounded_by_total_lhs(
+        fds in proptest::collection::vec(
+            (proptest::collection::btree_set(0usize..5, 1..4), 5usize..8),
+            1..6,
+        )
+    ) {
+        let set = FdSet::from_fds(fds.into_iter().map(|(lhs, rhs)| Fd::new(lhs, rhs)));
+        let total_lhs: usize = set.iter().map(|fd| fd.lhs().len()).sum();
+        prop_assert!(set.edge_count() <= total_lhs);
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation harness for the FDX reproduction.
+//!
+//! Provides the paper's §5.1 metrics ([`edge_prf`] — edge-level precision,
+//! recall, F1), a uniform [`Method`] wrapper over FDX and every baseline
+//! (with per-method wall-clock measurement and budget enforcement), and a
+//! plain-text table renderer used by the per-table/figure binaries in
+//! `fdx-bench`.
+
+mod metrics;
+mod method;
+mod table;
+
+pub use metrics::{edge_prf, median, undirected_edge_prf, PrecisionRecall};
+pub use method::{Method, MethodOutcome};
+pub use table::{fmt_metric, TextTable};

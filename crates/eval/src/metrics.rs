@@ -1,0 +1,120 @@
+use std::collections::BTreeSet;
+
+use fdx_data::FdSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of discovered edges that are true edges.
+    pub precision: f64,
+    /// Fraction of true edges discovered.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+impl PrecisionRecall {
+    fn from_counts(tp: usize, found: usize, truth: usize) -> PrecisionRecall {
+        let precision = if found > 0 { tp as f64 / found as f64 } else { 0.0 };
+        let recall = if truth > 0 { tp as f64 / truth as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        PrecisionRecall {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// The paper's §5.1 metric: precision/recall/F1 over the *edges* of FDs —
+/// every FD `X → Y` contributes the directed edges `(x, Y)` for `x ∈ X`.
+pub fn edge_prf(truth: &FdSet, found: &FdSet) -> PrecisionRecall {
+    let t = truth.edge_set();
+    let f = found.edge_set();
+    let tp = f.intersection(&t).count();
+    PrecisionRecall::from_counts(tp, f.len(), t.len())
+}
+
+/// Direction-agnostic variant: edges compared as unordered pairs. Used as a
+/// diagnostic to separate structure errors from orientation errors.
+pub fn undirected_edge_prf(truth: &FdSet, found: &FdSet) -> PrecisionRecall {
+    let undir = |s: &FdSet| -> BTreeSet<(usize, usize)> {
+        s.edge_set()
+            .into_iter()
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect()
+    };
+    let t = undir(truth);
+    let f = undir(found);
+    let tp = f.intersection(&t).count();
+    PrecisionRecall::from_counts(tp, f.len(), t.len())
+}
+
+/// Median of a sample (the paper reports medians over five instances "to
+/// maintain the coupling amongst Precision, Recall, and F1").
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Fd;
+
+    #[test]
+    fn perfect_discovery() {
+        let truth = FdSet::from_fds([Fd::new([0, 1], 2)]);
+        let r = edge_prf(&truth, &truth.clone());
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_discovery() {
+        let truth = FdSet::from_fds([Fd::new([0, 1], 2)]); // edges (0,2),(1,2)
+        let found = FdSet::from_fds([Fd::new([0], 2), Fd::new([3], 2)]); // (0,2),(3,2)
+        let r = edge_prf(&truth, &found);
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.recall, 0.5);
+        assert_eq!(r.f1, 0.5);
+    }
+
+    #[test]
+    fn empty_found_scores_zero() {
+        let truth = FdSet::from_fds([Fd::new([0], 1)]);
+        let r = edge_prf(&truth, &FdSet::new());
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn undirected_forgives_orientation() {
+        let truth = FdSet::from_fds([Fd::new([0], 1)]);
+        let reversed = FdSet::from_fds([Fd::new([1], 0)]);
+        assert_eq!(edge_prf(&truth, &reversed).f1, 0.0);
+        assert_eq!(undirected_edge_prf(&truth, &reversed).f1, 1.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt::Write as _;
+
+/// A minimal fixed-width text-table builder for the experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are right-padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert!(cells.len() <= self.header.len(), "row wider than header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            let trimmed = out.trim_end().len();
+            out.truncate(trimmed);
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals, or "-" for skipped entries.
+pub fn fmt_metric(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(Some(0.12345)), "0.123");
+        assert_eq!(fmt_metric(None), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than header")]
+    fn wide_rows_rejected() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the graphical lasso.
+
+use fdx_glasso::{graphical_lasso, neighborhood_selection, GlassoConfig};
+use fdx_linalg::{cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random correlation-like SPD matrix.
+fn corr_matrix(k: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0..1.0f64, k * k).prop_map(move |data| {
+        let a = Matrix::from_vec(k, k, data);
+        let mut s = a.matmul(&a.transpose()).unwrap();
+        // Normalize to unit diagonal (correlation form) with a floor.
+        let d: Vec<f64> = (0..k).map(|i| s[(i, i)].max(1e-6).sqrt()).collect();
+        for i in 0..k {
+            for j in 0..k {
+                s[(i, j)] /= d[i] * d[j];
+            }
+        }
+        s.scale_mut(0.8);
+        s.add_diag_mut(0.2);
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn theta_is_positive_definite(s in corr_matrix(5), lambda in 0.0..0.4f64) {
+        let cfg = GlassoConfig { lambda, ..GlassoConfig::default() };
+        let r = graphical_lasso(&s, &cfg).unwrap();
+        prop_assert!(cholesky(&r.theta).is_ok(), "theta not PD at lambda={lambda}");
+        prop_assert!(r.theta.asymmetry() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_penalty_gives_diagonal_theta(s in corr_matrix(4)) {
+        let cfg = GlassoConfig { lambda: 2.0, ..GlassoConfig::default() };
+        let r = graphical_lasso(&s, &cfg).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    prop_assert!(r.theta[(i, j)].abs() < 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_inverts(s in corr_matrix(4)) {
+        let r = graphical_lasso(&s, &GlassoConfig::default()).unwrap();
+        let prod = s.matmul(&r.theta).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - want).abs() < 1e-5,
+                    "S*Theta[{i},{j}] = {}", prod[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_selection_is_symmetric(s in corr_matrix(5), lambda in 0.01..0.5f64) {
+        let adj = neighborhood_selection(&s, lambda).unwrap();
+        for i in 0..5 {
+            prop_assert_eq!(adj[(i, i)], 0.0);
+            for j in 0..5 {
+                prop_assert_eq!(adj[(i, j)], adj[(j, i)]);
+                prop_assert!(adj[(i, j)] == 0.0 || adj[(i, j)] == 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+use crate::matrix::dot;
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// The lower-triangular factor (entries above the diagonal are zero).
+    pub l: Matrix,
+}
+
+/// LDLᵀ factor: unit lower-triangular `L` and diagonal `d` with `A = L diag(d) Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct LdltFactor {
+    /// Unit lower-triangular factor (ones on the diagonal).
+    pub l: Matrix,
+    /// Diagonal entries of `D`.
+    pub d: Vec<f64>,
+}
+
+/// Computes the Cholesky factorization `A = L Lᵀ` of a symmetric positive
+/// definite matrix.
+///
+/// Only the lower triangle of `a` is read; asymmetry in the upper triangle is
+/// ignored. Fails with [`LinalgError::NotPositiveDefinite`] if a pivot is not
+/// strictly positive (within a small relative tolerance), which callers such
+/// as the graphical lasso use as a signal to add ridge regularization.
+pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal pivot: a_jj - sum_k l_jk^2.
+        let mut pivot = a[(j, j)];
+        for k in 0..j {
+            pivot -= l[(j, k)] * l[(j, k)];
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: pivot });
+        }
+        let ljj = pivot.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            // s -= sum_k l_ik * l_jk using contiguous row slices.
+            let (li, lj) = (i * n, j * n);
+            let raw = l.as_slice();
+            s -= dot(&raw[li..li + j], &raw[lj..lj + j]);
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(CholeskyFactor { l })
+}
+
+/// Computes the LDLᵀ factorization `A = L diag(d) Lᵀ` with unit
+/// lower-triangular `L` of a symmetric positive definite matrix.
+///
+/// This is the square-root-free sibling of [`cholesky`] and the kernel behind
+/// the paper's `Θ = U D Uᵀ` decomposition (Algorithm 1): FDX factorizes the
+/// estimated inverse covariance with `U` unit *upper*-triangular, which we
+/// obtain by running LDLᵀ on the order-reversed matrix (see [`crate::udut`]).
+pub fn ldlt(a: &Matrix) -> Result<LdltFactor> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut l = Matrix::identity(n);
+    let mut d = vec![0.0; n];
+    // Scratch: v[k] = l_jk * d_k for the current column j.
+    let mut v = vec![0.0; n];
+    for j in 0..n {
+        for k in 0..j {
+            v[k] = l[(j, k)] * d[k];
+        }
+        let mut dj = a[(j, j)];
+        for k in 0..j {
+            dj -= l[(j, k)] * v[k];
+        }
+        if dj <= 0.0 || !dj.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: dj });
+        }
+        d[j] = dj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * v[k];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(LdltFactor { l, d })
+}
+
+impl CholeskyFactor {
+    /// Reconstructs `L Lᵀ` (mainly for testing and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("square factors always multiply")
+    }
+
+    /// Log-determinant of the original matrix: `2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl LdltFactor {
+    /// Reconstructs `L D Lᵀ` (mainly for testing and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.l.rows();
+        let mut ld = self.l.clone();
+        for j in 0..n {
+            for i in 0..n {
+                ld[(i, j)] *= self.d[j];
+            }
+        }
+        let lt = self.l.transpose();
+        ld.matmul(&lt).expect("square factors always multiply")
+    }
+
+    /// Log-determinant of the original matrix: `Σ log d_i`.
+    pub fn log_det(&self) -> f64 {
+        self.d.iter().map(|v| v.ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert!(
+                    (a[(r, c)] - b[(r, c)]).abs() < tol,
+                    "mismatch at ({r},{c}): {} vs {}",
+                    a[(r, c)],
+                    b[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let f = cholesky(&a).unwrap();
+        assert_close(&f.reconstruct(), &a, 1e-12);
+        // L is lower triangular.
+        assert_eq!(f.l[(0, 1)], 0.0);
+        assert_eq!(f.l[(0, 2)], 0.0);
+        assert_eq!(f.l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn ldlt_reconstructs_with_unit_diagonal() {
+        let a = spd3();
+        let f = ldlt(&a).unwrap();
+        assert_close(&f.reconstruct(), &a, 1e-12);
+        for i in 0..3 {
+            assert_eq!(f.l[(i, i)], 1.0);
+            assert!(f.d[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1, .. })
+        ));
+        assert!(matches!(
+            ldlt(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(ldlt(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let i = Matrix::identity(4);
+        let c = cholesky(&i).unwrap();
+        assert_close(&c.l, &i, 1e-15);
+        let f = ldlt(&i).unwrap();
+        assert_close(&f.l, &i, 1e-15);
+        assert_eq!(f.d, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det([[2,0],[0,8]]) = 16, log 16.
+        let a = Matrix::from_diag(&[2.0, 8.0]);
+        let c = cholesky(&a).unwrap();
+        assert!((c.log_det() - 16.0_f64.ln()).abs() < 1e-12);
+        let f = ldlt(&a).unwrap();
+        assert!((f.log_det() - 16.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_lower_triangle_is_read() {
+        let mut a = spd3();
+        a[(0, 2)] = 99.0; // poison the upper triangle
+        a[(0, 1)] = -99.0;
+        a[(1, 2)] = 42.0;
+        let f = cholesky(&a).unwrap();
+        // Reconstruction matches the symmetric matrix built from the lower
+        // triangle, not the poisoned upper entries.
+        let sym = spd3();
+        assert_close(&f.reconstruct(), &sym, 1e-12);
+    }
+}

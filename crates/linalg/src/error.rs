@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// What the caller tried to do, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A factorization required a square matrix but received a rectangle.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// A Cholesky-style factorization hit a non-positive pivot.
+    ///
+    /// This means the input is not positive definite (numerically). The
+    /// pivot index and value are reported to help callers decide whether to
+    /// add diagonal regularization and retry.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value observed at that pivot.
+        value: f64,
+    },
+    /// A triangular solve encountered a zero (or subnormal) diagonal entry.
+    SingularTriangular {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Length of the permutation.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value:.6e}"
+            ),
+            LinalgError::SingularTriangular { index } => {
+                write!(f, "triangular matrix is singular at diagonal index {index}")
+            }
+            LinalgError::InvalidPermutation { len } => {
+                write!(f, "permutation of length {len} is not a bijection on 0..{len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

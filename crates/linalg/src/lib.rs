@@ -1,0 +1,48 @@
+//! Dense linear algebra substrate for the FDX reproduction.
+//!
+//! FDX's structure-learning step (paper §4.2) needs a small but complete set
+//! of dense kernels: covariance-sized symmetric matrices, Cholesky and
+//! LDLᵀ factorizations, the permuted `Θ = U·D·Uᵀ` decomposition that yields
+//! the autoregression matrix `B = I − U`, triangular solves, and symmetric
+//! positive-definite inversion. Everything is implemented from scratch on a
+//! row-major [`Matrix`] of `f64` — the matrices involved are `k × k` where
+//! `k` is the number of attributes (tens to a few hundred), so cache-simple
+//! dense kernels are the right tool.
+//!
+//! # Example
+//!
+//! ```
+//! use fdx_linalg::{Matrix, Permutation};
+//!
+//! // A small SPD matrix and its permuted UDUᵀ factorization.
+//! let theta = Matrix::from_rows(&[
+//!     &[4.0, 1.0, 0.5],
+//!     &[1.0, 3.0, 0.2],
+//!     &[0.5, 0.2, 2.0],
+//! ]);
+//! let perm = Permutation::identity(3);
+//! let f = fdx_linalg::udut(&theta, &perm).unwrap();
+//! let rebuilt = f.reconstruct();
+//! for i in 0..3 {
+//!     for j in 0..3 {
+//!         assert!((rebuilt[(i, j)] - theta[(i, j)]).abs() < 1e-9);
+//!     }
+//! }
+//! ```
+
+mod cholesky;
+mod error;
+mod matrix;
+mod perm;
+mod solve;
+mod udut;
+
+pub use cholesky::{cholesky, ldlt, CholeskyFactor, LdltFactor};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use perm::Permutation;
+pub use solve::{solve_lower_triangular, solve_spd, solve_upper_triangular, spd_inverse};
+pub use udut::{udut, UdutFactor};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, LinalgError>;

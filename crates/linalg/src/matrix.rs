@@ -1,0 +1,498 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is the workhorse type of the FDX reproduction: covariance matrices,
+/// inverse-covariance estimates, autoregression matrices, and the binary
+/// pair-difference sample matrix all live in a `Matrix`. The layout is a
+/// single contiguous `Vec<f64>` with `rows * cols` entries, indexed as
+/// `data[r * cols + c]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows passed to Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as a `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        debug_assert!(c < self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Copies the main diagonal into a new vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an `ikj` loop order so the innermost loop walks both operands
+    /// contiguously; adequate for the `k ≤ few hundred` matrices FDX builds.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), v);
+        }
+        Ok(out)
+    }
+
+    /// Elementwise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a scaled copy of the matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Adds `value` to every diagonal entry in place (ridge regularization).
+    pub fn add_diag_mut(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Maximum absolute difference from the transpose — a symmetry gauge.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0_f64;
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols.min(self.rows) {
+                worst = worst.max((self[(r, c)] - self[(c, r)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Forces exact symmetry by averaging `(A + Aᵀ)/2` in place.
+    ///
+    /// Covariance accumulation in floating point can leave tiny asymmetries
+    /// that trip up factorizations; this removes them.
+    pub fn symmetrize_mut(&mut self) {
+        debug_assert!(self.is_square());
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Extracts the square submatrix with the given row/column indices.
+    ///
+    /// Used by the graphical-lasso block updates, which repeatedly slice the
+    /// "all but column j" principal submatrix.
+    pub fn principal_submatrix(&self, idx: &[usize]) -> Matrix {
+        let k = idx.len();
+        let mut out = Matrix::zeros(k, k);
+        for (a, &i) in idx.iter().enumerate() {
+            for (b, &j) in idx.iter().enumerate() {
+                out[(a, b)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Applies a symmetric permutation: returns `P A Pᵀ` where row/column `i`
+    /// of the result is row/column `perm[i]` of the input.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Matrix {
+        debug_assert!(self.is_square());
+        debug_assert_eq!(perm.len(), self.rows);
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = self[(perm[i], perm[j])];
+            }
+        }
+        out
+    }
+
+    /// Number of entries with absolute value above `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.data.iter().filter(|v| v.abs() > threshold).count()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.diag(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]);
+        let v = vec![3.0, 4.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![-1.0, 8.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -2.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[1.5, 0.0]]));
+        assert_eq!(a.sub(&b).unwrap(), Matrix::from_rows(&[&[0.5, 4.0]]));
+        assert_eq!(a.scaled(2.0), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn symmetrize_removes_drift() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[2.1, 1.0]]);
+        assert!(m.asymmetry() > 0.09);
+        m.symmetrize_mut();
+        assert_eq!(m.asymmetry(), 0.0);
+        assert!((m[(0, 1)] - 2.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn principal_submatrix_picks_rows_cols() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ]);
+        let s = m.principal_submatrix(&[0, 2]);
+        assert_eq!(s, Matrix::from_rows(&[&[1.0, 3.0], &[7.0, 9.0]]));
+    }
+
+    #[test]
+    fn permute_symmetric_reorders() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 5.0],
+            &[3.0, 5.0, 6.0],
+        ]);
+        let p = m.permute_symmetric(&[2, 0, 1]);
+        assert_eq!(p[(0, 0)], 6.0);
+        assert_eq!(p[(0, 1)], 3.0);
+        assert_eq!(p[(1, 2)], 2.0);
+        // Symmetry is preserved.
+        assert_eq!(p.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn norms_and_counts() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.count_above(0.5), 2);
+        assert_eq!(m.count_above(3.5), 1);
+    }
+
+    #[test]
+    fn add_diag_applies_ridge() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_diag_mut(0.25);
+        assert_eq!(m.diag(), vec![0.25, 0.25]);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+}

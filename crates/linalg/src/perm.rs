@@ -1,0 +1,129 @@
+use crate::{LinalgError, Result};
+
+/// A permutation of `0..n`, used to pick the global attribute order for the
+/// `Θ = U D Uᵀ` decomposition (paper §4.1: FDX fixes a global order over the
+/// schema attributes and only allows determinants that precede the determined
+/// attribute).
+///
+/// Internally stored in "image" form: `order[i]` is the original index placed
+/// at position `i` of the permuted sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    order: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from an image vector, validating that it is a
+    /// bijection on `0..n`.
+    pub fn from_order(order: Vec<usize>) -> Result<Self> {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &i in &order {
+            if i >= n || seen[i] {
+                return Err(LinalgError::InvalidPermutation { len: n });
+            }
+            seen[i] = true;
+        }
+        Ok(Permutation { order })
+    }
+
+    /// Length of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The original index placed at permuted position `i`.
+    #[inline]
+    pub fn image(&self, i: usize) -> usize {
+        self.order[i]
+    }
+
+    /// The image vector: `as_slice()[i]` is the original index at position `i`.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The inverse permutation: `inverse().image(j)` is the permuted position
+    /// of original index `j`.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.order.len()];
+        for (pos, &orig) in self.order.iter().enumerate() {
+            inv[orig] = pos;
+        }
+        Permutation { order: inv }
+    }
+
+    /// The reversal of this permutation (last position first).
+    ///
+    /// Needed because our UDUᵀ factorization runs a standard LDLᵀ on the
+    /// order-reversed matrix (see [`crate::udut`]).
+    pub fn reversed(&self) -> Permutation {
+        let mut order = self.order.clone();
+        order.reverse();
+        Permutation { order }
+    }
+
+    /// Applies the permutation to a slice, producing the reordered vector.
+    pub fn apply<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        debug_assert_eq!(values.len(), self.order.len());
+        self.order.iter().map(|&i| values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn from_order_validates() {
+        assert!(Permutation::from_order(vec![2, 0, 1]).is_ok());
+        assert!(matches!(
+            Permutation::from_order(vec![0, 0, 1]),
+            Err(LinalgError::InvalidPermutation { len: 3 })
+        ));
+        assert!(matches!(
+            Permutation::from_order(vec![0, 3]),
+            Err(LinalgError::InvalidPermutation { len: 2 })
+        ));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for i in 0..4 {
+            assert_eq!(inv.image(p.image(i)), i);
+        }
+    }
+
+    #[test]
+    fn apply_reorders_values() {
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn reversed_flips_positions() {
+        let p = Permutation::from_order(vec![1, 2, 0]).unwrap();
+        assert_eq!(p.reversed().as_slice(), &[0, 2, 1]);
+    }
+}

@@ -1,0 +1,168 @@
+use crate::{cholesky, LinalgError, Matrix, Result};
+
+/// Smallest diagonal magnitude treated as nonsingular in triangular solves.
+const SINGULAR_TOL: f64 = 1e-300;
+
+/// Solves `L x = b` for lower-triangular `L` by forward substitution.
+pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if !l.is_square() {
+        return Err(LinalgError::NotSquare { shape: l.shape() });
+    }
+    if l.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_triangular",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = x[i];
+        for k in 0..i {
+            s -= row[k] * x[k];
+        }
+        let d = row[i];
+        if d.abs() < SINGULAR_TOL {
+            return Err(LinalgError::SingularTriangular { index: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` for upper-triangular `U` by back substitution.
+pub fn solve_upper_triangular(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if !u.is_square() {
+        return Err(LinalgError::NotSquare { shape: u.shape() });
+    }
+    if u.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper_triangular",
+            lhs: u.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let n = u.rows();
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = x[i];
+        for k in (i + 1)..n {
+            s -= row[k] * x[k];
+        }
+        let d = row[i];
+        if d.abs() < SINGULAR_TOL {
+            return Err(LinalgError::SingularTriangular { index: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let f = cholesky(a)?;
+    let y = solve_lower_triangular(&f.l, b)?;
+    solve_upper_triangular(&f.l.transpose(), &y)
+}
+
+/// Inverts a symmetric positive definite matrix via Cholesky, solving against
+/// each canonical basis vector.
+///
+/// The graphical lasso at `λ = 0` degenerates to exactly this inversion (with
+/// a ridge retry handled by the caller), and the FDX report surfaces `Σ⁻¹`
+/// diagnostics through it.
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let f = cholesky(a)?;
+    let lt = f.l.transpose();
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let y = solve_lower_triangular(&f.l, &e)?;
+        let x = solve_upper_triangular(&lt, &y)?;
+        for i in 0..n {
+            inv[(i, j)] = x[i];
+        }
+        e[j] = 0.0;
+    }
+    // The inverse of a symmetric matrix is symmetric; scrub rounding drift so
+    // downstream factorizations see an exactly symmetric operand.
+    inv.symmetrize_mut();
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_solve_known() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let x = solve_lower_triangular(&l, &[4.0, 11.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn upper_solve_known() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let x = solve_upper_triangular(&u, &[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_diagonal_rejected() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[5.0, 0.0]]);
+        assert!(matches!(
+            solve_lower_triangular(&l, &[1.0, 1.0]),
+            Err(LinalgError::SingularTriangular { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        // Choose x = [1, 2]; b = A x = [6, 7].
+        let x = solve_spd(&a, &[6.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_inverse_multiplies_to_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ]);
+        let inv = spd_inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((prod[(r, c)] - i[(r, c)]).abs() < 1e-10);
+            }
+        }
+        assert_eq!(inv.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        let l = Matrix::zeros(2, 2);
+        assert!(matches!(
+            solve_lower_triangular(&l, &[1.0; 3]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            spd_inverse(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

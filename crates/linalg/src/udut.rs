@@ -1,0 +1,190 @@
+use crate::{ldlt, Matrix, Permutation, Result};
+
+/// The permuted `Θ = U D Uᵀ` factorization at the heart of FDX's Algorithm 1.
+///
+/// Given a symmetric positive definite inverse-covariance estimate `Θ` and a
+/// global attribute order `π`, this factor satisfies
+///
+/// ```text
+/// P Θ Pᵀ = U · diag(d) · Uᵀ
+/// ```
+///
+/// where `P` reorders coordinates by `π` and `U` is *unit upper-triangular*.
+/// Comparing with the paper's Equation 5, `Θ = (I − B) Ω⁻¹ (I − B)ᵀ`, the
+/// autoregression matrix of the linear structural equation model is
+/// `B = I − U` (strictly upper-triangular in the permuted coordinates), and
+/// `d` plays the role of `Ω⁻¹`'s diagonal.
+#[derive(Debug, Clone)]
+pub struct UdutFactor {
+    /// Unit upper-triangular factor, in permuted coordinates.
+    pub u: Matrix,
+    /// Diagonal of `D`, in permuted coordinates.
+    pub d: Vec<f64>,
+    /// The attribute order used: position `i` holds original index
+    /// `perm.image(i)`.
+    pub perm: Permutation,
+}
+
+/// Factorizes `P Θ Pᵀ = U D Uᵀ` with unit upper-triangular `U`.
+///
+/// Implemented by running a standard LDLᵀ on the *order-reversed* permuted
+/// matrix: if `J` is the reversal and `J (PΘPᵀ) J = L D̃ Lᵀ`, then
+/// `PΘPᵀ = (J L J) (J D̃ J) (J Lᵀ J)` and `U = J L J` is unit
+/// upper-triangular. Fails if `Θ` is not positive definite; callers add a
+/// ridge and retry (the FDX pipeline does this automatically).
+pub fn udut(theta: &Matrix, perm: &Permutation) -> Result<UdutFactor> {
+    let n = theta.rows();
+    debug_assert_eq!(perm.len(), n, "permutation length must match matrix size");
+    // A = P Θ Pᵀ, then reverse both axes.
+    let permuted = theta.permute_symmetric(perm.as_slice());
+    let mut reversed = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            reversed[(i, j)] = permuted[(n - 1 - i, n - 1 - j)];
+        }
+    }
+    let f = ldlt(&reversed)?;
+    // U = J L J, d = reverse(d̃).
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            u[(i, j)] = f.l[(n - 1 - i, n - 1 - j)];
+        }
+    }
+    let mut d = f.d;
+    d.reverse();
+    Ok(UdutFactor {
+        u,
+        d,
+        perm: perm.clone(),
+    })
+}
+
+impl UdutFactor {
+    /// The autoregression matrix `B = I − U`, strictly upper-triangular in
+    /// the permuted coordinates. Entry `B[i, j]` is the (signed) weight of
+    /// attribute `perm.image(i)` in the linear equation for attribute
+    /// `perm.image(j)` (paper Equation 4).
+    pub fn autoregression(&self) -> Matrix {
+        let n = self.u.rows();
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let id = if i == j { 1.0 } else { 0.0 };
+                b[(i, j)] = id - self.u[(i, j)];
+            }
+        }
+        b
+    }
+
+    /// Reconstructs `Θ` in the *original* coordinate order (testing and
+    /// diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.u.rows();
+        let mut ud = self.u.clone();
+        for j in 0..n {
+            for i in 0..n {
+                ud[(i, j)] *= self.d[j];
+            }
+        }
+        let ut = self.u.transpose();
+        let permuted = ud.matmul(&ut).expect("square factors always multiply");
+        // Undo the symmetric permutation: original = Pᵀ (PΘPᵀ) P.
+        permuted.permute_symmetric(self.perm.inverse().as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd4() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.2],
+            &[1.0, 3.0, 0.8, 0.1],
+            &[0.5, 0.8, 2.5, 0.4],
+            &[0.2, 0.1, 0.4, 1.5],
+        ])
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert!(
+                    (a[(r, c)] - b[(r, c)]).abs() < tol,
+                    "mismatch at ({r},{c}): {} vs {}",
+                    a[(r, c)],
+                    b[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u_is_unit_upper_triangular() {
+        let theta = spd4();
+        let f = udut(&theta, &Permutation::identity(4)).unwrap();
+        for i in 0..4 {
+            assert!((f.u[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..i {
+                assert_eq!(f.u[(i, j)], 0.0, "below-diagonal entry ({i},{j})");
+            }
+            assert!(f.d[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn reconstruct_identity_perm() {
+        let theta = spd4();
+        let f = udut(&theta, &Permutation::identity(4)).unwrap();
+        assert_close(&f.reconstruct(), &theta, 1e-10);
+    }
+
+    #[test]
+    fn reconstruct_nontrivial_perm() {
+        let theta = spd4();
+        let perm = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+        let f = udut(&theta, &perm).unwrap();
+        assert_close(&f.reconstruct(), &theta, 1e-10);
+    }
+
+    #[test]
+    fn autoregression_is_strictly_upper() {
+        let theta = spd4();
+        let f = udut(&theta, &Permutation::identity(4)).unwrap();
+        let b = f.autoregression();
+        for i in 0..4 {
+            assert_eq!(b[(i, i)], 0.0);
+            for j in 0..i {
+                assert_eq!(b[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn equation5_holds() {
+        // Θ = (I − B) D (I − B)ᵀ with I − B = U.
+        let theta = spd4();
+        let perm = Permutation::from_order(vec![1, 3, 0, 2]).unwrap();
+        let f = udut(&theta, &perm).unwrap();
+        let b = f.autoregression();
+        let n = 4;
+        let mut i_minus_b = Matrix::identity(n);
+        for r in 0..n {
+            for c in 0..n {
+                i_minus_b[(r, c)] -= b[(r, c)];
+            }
+        }
+        assert_close(&i_minus_b, &f.u, 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_gives_zero_b() {
+        // Independent variables: Θ diagonal ⇒ B = 0 (no dependencies).
+        let theta = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let f = udut(&theta, &Permutation::identity(3)).unwrap();
+        let b = f.autoregression();
+        assert_eq!(b.max_abs(), 0.0);
+        assert_eq!(f.d, vec![2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the dense linear-algebra kernels.
+//!
+//! Random SPD matrices are generated as `A Aᵀ + εI` from random square `A`,
+//! which is positive definite with probability one.
+
+use fdx_linalg::{cholesky, ldlt, solve_spd, spd_inverse, udut, Matrix, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random SPD matrix of size `n` with entries from a bounded range.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data);
+        let at = a.transpose();
+        let mut spd = a.matmul(&at).unwrap();
+        spd.add_diag_mut(0.5 + n as f64 * 0.01);
+        spd
+    })
+}
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with the proptest rng for reproducible shrinking.
+        for i in (1..n).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Permutation::from_order(order).unwrap()
+    })
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && (0..a.rows()).all(|r| (0..a.cols()).all(|c| (a[(r, c)] - b[(r, c)]).abs() < tol))
+}
+
+proptest! {
+    #[test]
+    fn cholesky_roundtrips(a in spd_matrix(5)) {
+        let f = cholesky(&a).unwrap();
+        prop_assert!(close(&f.reconstruct(), &a, 1e-8));
+    }
+
+    #[test]
+    fn ldlt_roundtrips(a in spd_matrix(6)) {
+        let f = ldlt(&a).unwrap();
+        prop_assert!(close(&f.reconstruct(), &a, 1e-8));
+        for i in 0..6 {
+            prop_assert!(f.d[i] > 0.0);
+            prop_assert_eq!(f.l[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn udut_roundtrips_under_any_order((a, p) in spd_matrix(6).prop_flat_map(|a| (Just(a), permutation(6)))) {
+        let f = udut(&a, &p).unwrap();
+        prop_assert!(close(&f.reconstruct(), &a, 1e-7));
+        // U unit upper triangular regardless of the permutation.
+        for i in 0..6 {
+            prop_assert!((f.u[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..i {
+                prop_assert_eq!(f.u[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spd_solve_satisfies_system(a in spd_matrix(5), b in proptest::collection::vec(-3.0..3.0f64, 5)) {
+        let x = solve_spd(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..5 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-6, "residual {} at {}", ax[i] - b[i], i);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(a in spd_matrix(4)) {
+        let inv = spd_inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(close(&prod, &Matrix::identity(4), 1e-6));
+    }
+
+    #[test]
+    fn log_det_consistent_between_factorizations(a in spd_matrix(5)) {
+        let c = cholesky(&a).unwrap();
+        let f = ldlt(&a).unwrap();
+        prop_assert!((c.log_det() - f.log_det()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn transpose_involution(data in proptest::collection::vec(-10.0..10.0f64, 12)) {
+        let m = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in proptest::collection::vec(-1.0..1.0f64, 9),
+        b in proptest::collection::vec(-1.0..1.0f64, 9),
+        c in proptest::collection::vec(-1.0..1.0f64, 9),
+    ) {
+        let a = Matrix::from_vec(3, 3, a);
+        let b = Matrix::from_vec(3, 3, b);
+        let c = Matrix::from_vec(3, 3, c);
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(close(&ab_c, &a_bc, 1e-9));
+    }
+}

@@ -1,0 +1,61 @@
+//! Missing-data imputation substrate for the Table 7 experiment.
+//!
+//! The paper uses AimNet (attention-based imputation) and XGBoost to show
+//! that attributes FDX places in an FD are imputed far more accurately than
+//! attributes it calls independent. Neither model family is essential to
+//! that claim — it is a property of the data's dependency structure — so
+//! this crate provides two from-scratch conditional models filling the same
+//! roles (DESIGN.md, substitution #6):
+//!
+//! * [`GbdtImputer`] — gradient-boosted one-vs-rest decision stumps over
+//!   categorical equality tests (the XGBoost role),
+//! * [`KnnImputer`] — distance-weighted k-nearest-neighbour voting over
+//!   tuple overlap (the attention role: predictions weight other tuples by
+//!   contextual similarity).
+//!
+//! Both implement [`Imputer`]: train on the rows where the target is
+//! observed, predict dictionary codes for held-out rows.
+
+mod gbdt;
+mod knn;
+
+pub use gbdt::{GbdtConfig, GbdtImputer};
+pub use knn::{KnnConfig, KnnImputer};
+
+use fdx_data::{AttrId, Dataset};
+
+/// A conditional model that fills in missing cells of one attribute.
+pub trait Imputer {
+    /// Human-readable model name (used in Table 7's header).
+    fn name(&self) -> &'static str;
+
+    /// Predicts dictionary codes of `target` for each row in `test_rows`,
+    /// training on all other rows where `target` is observed.
+    fn impute(&self, ds: &Dataset, target: AttrId, test_rows: &[usize]) -> Vec<u32>;
+}
+
+/// Micro-averaged imputation accuracy (exact-match rate), the scalar Table 7
+/// reports per attribute.
+pub fn imputation_accuracy(truth: &[u32], predicted: &[u32]) -> f64 {
+    assert_eq!(truth.len(), predicted.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(imputation_accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(imputation_accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+use crate::graph::SupportGraph;
+use crate::mindeg::min_degree_weighted;
+
+/// Recursive nested-dissection elimination ordering.
+///
+/// Each connected component is split by a BFS level-set separator (grown
+/// from a pseudo-peripheral vertex): the two halves are ordered recursively
+/// and the separator vertices are eliminated *last*, which is the defining
+/// property of nested dissection.
+///
+/// `leaf_size` controls when recursion stops: subgraphs at or below this
+/// size are ordered by minimum degree. `leaf_size = 1` mimics a pure
+/// METIS-style dissection; a larger leaf (e.g. 8) mimics CHOLMOD's NESDIS,
+/// which switches to a local ordering on small pieces.
+pub fn nested_dissection(
+    graph: &SupportGraph,
+    leaf_size: usize,
+    weights: Option<&[f64]>,
+) -> Vec<usize> {
+    let mut order = Vec::with_capacity(graph.len());
+    for comp in graph.components() {
+        dissect_component(graph, &comp, leaf_size.max(1), weights, &mut order);
+    }
+    order
+}
+
+/// Projects global tie-break weights onto an induced vertex subset.
+fn local_weights(weights: Option<&[f64]>, vertices: &[usize]) -> Option<Vec<f64>> {
+    weights.map(|w| vertices.iter().map(|&v| w[v]).collect())
+}
+
+fn dissect_component(
+    graph: &SupportGraph,
+    vertices: &[usize],
+    leaf_size: usize,
+    weights: Option<&[f64]>,
+    order: &mut Vec<usize>,
+) {
+    if vertices.len() <= leaf_size || vertices.len() <= 2 {
+        // Local ordering on the leaf via minimum degree on the induced graph.
+        let sub = graph.induced(vertices);
+        let lw = local_weights(weights, vertices);
+        for local in min_degree_weighted(&sub, false, lw.as_deref()) {
+            order.push(vertices[local]);
+        }
+        return;
+    }
+    let sub = graph.induced(vertices);
+    let (left, right, sep) = bfs_separator(&sub);
+    if sep.is_empty() || left.is_empty() || right.is_empty() {
+        // Separator failed to split (e.g. complete graph): fall back.
+        let lw = local_weights(weights, vertices);
+        for local in min_degree_weighted(&sub, false, lw.as_deref()) {
+            order.push(vertices[local]);
+        }
+        return;
+    }
+    let to_global = |locals: &[usize]| locals.iter().map(|&l| vertices[l]).collect::<Vec<_>>();
+    dissect_component(graph, &to_global(&left), leaf_size, weights, order);
+    dissect_component(graph, &to_global(&right), leaf_size, weights, order);
+    // Separator last: it borders both halves.
+    for &l in &sep {
+        order.push(vertices[l]);
+    }
+}
+
+/// Splits a connected graph into (left, right, separator) by BFS levels from
+/// a pseudo-peripheral vertex: levels strictly below the median level form
+/// the left part, the median level is the separator, the rest the right.
+fn bfs_separator(graph: &SupportGraph) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = graph.len();
+    let start = pseudo_peripheral(graph);
+    let levels = bfs_levels(graph, start);
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    if max_level == 0 {
+        // Complete graph or single vertex: no separator exists.
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    // Pick the level whose cut best balances the halves.
+    let mut level_counts = vec![0usize; max_level + 1];
+    for &l in &levels {
+        level_counts[l] += 1;
+    }
+    let mut below = 0usize;
+    let mut best_level = 1;
+    let mut best_balance = usize::MAX;
+    for (lvl, &cnt) in level_counts.iter().enumerate().take(max_level) {
+        if lvl == 0 {
+            below += cnt;
+            continue;
+        }
+        let above = n - below - cnt;
+        let balance = below.abs_diff(above);
+        if above > 0 && below > 0 && balance < best_balance {
+            best_balance = balance;
+            best_level = lvl;
+        }
+        below += cnt;
+    }
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut sep = Vec::new();
+    for (v, &l) in levels.iter().enumerate() {
+        if l < best_level {
+            left.push(v);
+        } else if l == best_level {
+            sep.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    (left, right, sep)
+}
+
+/// Finds a vertex of (approximately) maximal eccentricity by iterating BFS
+/// from the farthest vertex a few times.
+fn pseudo_peripheral(graph: &SupportGraph) -> usize {
+    let mut v = 0;
+    let mut ecc = 0;
+    for _ in 0..3 {
+        let levels = bfs_levels(graph, v);
+        let (far, far_level) = levels
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &l)| l)
+            .map(|(i, &l)| (i, l))
+            .unwrap_or((v, 0));
+        if far_level <= ecc {
+            break;
+        }
+        ecc = far_level;
+        v = far;
+    }
+    v
+}
+
+fn bfs_levels(graph: &SupportGraph, start: usize) -> Vec<usize> {
+    let n = graph.len();
+    let mut level = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[start] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &u in graph.neighbors(v) {
+            if level[u] == usize::MAX {
+                level[u] = level[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Unreached vertices (other components) are callers' responsibility; the
+    // dissection only runs on connected pieces, but guard anyway.
+    for l in &mut level {
+        if *l == usize::MAX {
+            *l = 0;
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_separator_is_in_the_middle() {
+        // Path 0-1-2-3-4: the separator vertex must be ordered last and be
+        // an interior vertex.
+        let g = SupportGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let order = nested_dissection(&g, 1, None);
+        assert_eq!(order.len(), 5);
+        let last = *order.last().unwrap();
+        assert!((1..=3).contains(&last), "separator {last} should be interior");
+    }
+
+    #[test]
+    fn grid_orders_all_vertices() {
+        // 3x3 grid.
+        let mut edges = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    edges.push((v, v + 3));
+                }
+            }
+        }
+        let g = SupportGraph::from_edges(9, &edges);
+        for leaf in [1, 4, 8] {
+            let order = nested_dissection(&g, leaf, None);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>(), "leaf={leaf}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_falls_back() {
+        let g = SupportGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let order = nested_dissection(&g, 1, None);
+        let mut sorted = order;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_components_all_ordered() {
+        let g = SupportGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let order = nested_dissection(&g, 1, None);
+        let mut sorted = order;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pseudo_peripheral_finds_path_end() {
+        let g = SupportGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = pseudo_peripheral(&g);
+        assert!(p == 0 || p == 4, "got {p}");
+    }
+}

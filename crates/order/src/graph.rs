@@ -1,0 +1,188 @@
+use std::collections::BTreeSet;
+
+use fdx_linalg::Matrix;
+
+/// Undirected support graph of a symmetric matrix: vertices are attributes,
+/// and `{i, j}` is an edge iff `|θ_ij| > threshold`.
+///
+/// Adjacency is stored as sorted sets so elimination updates (which insert
+/// fill edges) stay cheap and deterministic.
+#[derive(Debug, Clone)]
+pub struct SupportGraph {
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl SupportGraph {
+    /// Builds the support graph of `theta` with the given magnitude
+    /// threshold. Only off-diagonal entries contribute edges.
+    pub fn from_matrix(theta: &Matrix, threshold: f64) -> SupportGraph {
+        let n = theta.rows();
+        let mut adj = vec![BTreeSet::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Use the max magnitude of the two symmetric entries so tiny
+                // asymmetries in an estimate cannot drop an edge.
+                let w = theta[(i, j)].abs().max(theta[(j, i)].abs());
+                if w > threshold {
+                    adj[i].insert(j);
+                    adj[j].insert(i);
+                }
+            }
+        }
+        SupportGraph { adj }
+    }
+
+    /// Builds a graph directly from an edge list (tests and dissection).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> SupportGraph {
+        let mut adj = vec![BTreeSet::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "invalid edge ({a},{b})");
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        SupportGraph { adj }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Neighbors of vertex `v`, sorted ascending.
+    pub fn neighbors(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// The graph of the squared pattern (`AᵀA`-style): vertices are adjacent
+    /// if they are within distance two in the original graph. This is the
+    /// pattern COLAMD-style column orderings operate on.
+    pub fn squared(&self) -> SupportGraph {
+        let n = self.len();
+        let mut adj = vec![BTreeSet::new(); n];
+        for v in 0..n {
+            for &u in &self.adj[v] {
+                adj[v].insert(u);
+                // Distance-2: u's neighbors share a "row" with v.
+                for &w in &self.adj[u] {
+                    if w != v {
+                        adj[v].insert(w);
+                        adj[w].insert(v);
+                    }
+                }
+            }
+        }
+        SupportGraph { adj }
+    }
+
+    /// Connected components as vertex lists (each sorted ascending).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &u in &self.adj[v] {
+                    if !seen[u] {
+                        seen[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// The induced subgraph on `vertices`, with vertices renumbered to
+    /// `0..vertices.len()` in the given order.
+    pub fn induced(&self, vertices: &[usize]) -> SupportGraph {
+        let mut index = vec![usize::MAX; self.len()];
+        for (new, &old) in vertices.iter().enumerate() {
+            index[old] = new;
+        }
+        let mut adj = vec![BTreeSet::new(); vertices.len()];
+        for (new, &old) in vertices.iter().enumerate() {
+            for &u in &self.adj[old] {
+                let nu = index[u];
+                if nu != usize::MAX {
+                    adj[new].insert(nu);
+                }
+            }
+        }
+        SupportGraph { adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_matrix_thresholds_edges() {
+        let mut t = Matrix::identity(3);
+        t[(0, 1)] = 0.5;
+        t[(1, 0)] = 0.5;
+        t[(1, 2)] = 0.05;
+        t[(2, 1)] = 0.05;
+        let g = SupportGraph::from_matrix(&t, 0.1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(1).contains(&0));
+    }
+
+    #[test]
+    fn asymmetric_entries_use_max() {
+        let mut t = Matrix::identity(2);
+        t[(0, 1)] = 0.0;
+        t[(1, 0)] = 0.9;
+        let g = SupportGraph::from_matrix(&t, 0.1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn squared_connects_distance_two() {
+        // Path 0-1-2: squared adds edge 0-2.
+        let g = SupportGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = g.squared();
+        assert!(g2.neighbors(0).contains(&2));
+        assert!(g2.neighbors(0).contains(&1));
+    }
+
+    #[test]
+    fn components_split() {
+        let g = SupportGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2, 3]));
+        assert!(comps.contains(&vec![4]));
+    }
+
+    #[test]
+    fn induced_renumbers() {
+        let g = SupportGraph::from_edges(4, &[(0, 2), (2, 3)]);
+        let sub = g.induced(&[2, 3, 0]);
+        // Vertex 2 → 0, 3 → 1, 0 → 2.
+        assert!(sub.neighbors(0).contains(&1));
+        assert!(sub.neighbors(0).contains(&2));
+        assert_eq!(sub.degree(1), 1);
+    }
+}

@@ -1,0 +1,211 @@
+use crate::groups::{joint_counts, GroupIds};
+
+/// Result of a chi-squared test of independence on a contingency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    /// The chi-squared statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(|X|−1)(|Y|−1)`.
+    pub dof: usize,
+    /// Upper-tail p-value `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+    /// Cramér's V effect size in `[0, 1]`.
+    pub cramers_v: f64,
+}
+
+/// Pearson chi-squared test of independence between two group assignments.
+///
+/// This is the correlation detector CORDS runs on sampled column pairs
+/// (Ilyas et al. 2004): a small p-value flags dependent columns, and the
+/// paper's critique (§2.1, §5) is that such *marginal* dependence is not the
+/// conditional independence structure true FDs induce.
+pub fn chi_squared(x: &GroupIds, y: &GroupIds) -> ChiSquared {
+    let n = x.ids.len();
+    assert_eq!(n, y.ids.len());
+    let ax = x.sizes();
+    let by = y.sizes();
+    let joint = joint_counts(x, y);
+    let nf = n as f64;
+    let mut stat = 0.0;
+    for (i, &ai) in ax.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in by.iter().enumerate() {
+            if bj == 0 {
+                continue;
+            }
+            let expected = ai as f64 * bj as f64 / nf;
+            let observed = joint.get(&(i as u32, j as u32)).copied().unwrap_or(0) as f64;
+            let d = observed - expected;
+            stat += d * d / expected;
+        }
+    }
+    let rx = ax.iter().filter(|&&c| c > 0).count();
+    let ry = by.iter().filter(|&&c| c > 0).count();
+    let dof = rx.saturating_sub(1) * ry.saturating_sub(1);
+    let p_value = chi_squared_p_value(stat, dof);
+    let denom = nf * (rx.min(ry).saturating_sub(1)) as f64;
+    let cramers_v = if denom > 0.0 {
+        (stat / denom).sqrt().min(1.0)
+    } else {
+        0.0
+    };
+    ChiSquared {
+        statistic: stat,
+        dof,
+        p_value,
+        cramers_v,
+    }
+}
+
+/// Upper-tail p-value of the chi-squared distribution with `dof` degrees of
+/// freedom: the regularized upper incomplete gamma `Q(dof/2, x/2)`.
+pub fn chi_squared_p_value(x: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        return 1.0;
+    }
+    if x <= 0.0 {
+        return 1.0;
+    }
+    regularized_gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` via the standard
+/// series/continued-fraction split (Numerical Recipes §6.2).
+fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    ((-x + a * x.ln() - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_ids;
+    use fdx_data::Dataset;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p_value_reference_points() {
+        // χ²(1): P(X ≥ 3.841) ≈ 0.05; χ²(2): P(X ≥ 5.991) ≈ 0.05.
+        assert!((chi_squared_p_value(3.841, 1) - 0.05).abs() < 2e-3);
+        assert!((chi_squared_p_value(5.991, 2) - 0.05).abs() < 2e-3);
+        // Q(a, 0) = 1.
+        assert_eq!(chi_squared_p_value(0.0, 3), 1.0);
+        // Extreme statistic → ~0.
+        assert!(chi_squared_p_value(500.0, 2) < 1e-10);
+    }
+
+    #[test]
+    fn independent_columns_high_p() {
+        // A 2×2 table that exactly matches independence.
+        let ds = Dataset::from_string_rows(
+            &["a", "b"],
+            &[
+                &["x", "0"],
+                &["x", "1"],
+                &["y", "0"],
+                &["y", "1"],
+            ],
+        );
+        let r = chi_squared(&group_ids(&ds, &[0]), &group_ids(&ds, &[1]));
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+        assert_eq!(r.dof, 1);
+        assert!(r.cramers_v < 1e-6);
+    }
+
+    #[test]
+    fn dependent_columns_low_p() {
+        // Perfect dependence, 20 rows.
+        let rows: Vec<[&str; 2]> = (0..20)
+            .map(|i| if i % 2 == 0 { ["x", "0"] } else { ["y", "1"] })
+            .collect();
+        let refs: Vec<&[&str]> = rows.iter().map(|r| &r[..]).collect();
+        let ds = Dataset::from_string_rows(&["a", "b"], &refs);
+        let r = chi_squared(&group_ids(&ds, &[0]), &group_ids(&ds, &[1]));
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+        assert!((r.cramers_v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_is_degenerate() {
+        let ds = Dataset::from_string_rows(&["a", "b"], &[&["x", "0"], &["x", "1"]]);
+        let r = chi_squared(&group_ids(&ds, &[0]), &group_ids(&ds, &[1]));
+        assert_eq!(r.dof, 0);
+        assert_eq!(r.p_value, 1.0);
+    }
+}

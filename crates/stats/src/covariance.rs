@@ -1,0 +1,190 @@
+use fdx_linalg::Matrix;
+
+/// Empirical covariance of `samples` (rows are observations, columns are
+/// variables), with the sample mean subtracted: `S = (1/N) Σ (z−z̄)(z−z̄)ᵀ`.
+///
+/// This is the "standard maximum likelihood estimate" the paper's §4.3 warns
+/// about: the mean itself is estimated from the (possibly corrupted) data, so
+/// outliers bias every entry.
+pub fn covariance(samples: &Matrix) -> Matrix {
+    let (n, k) = samples.shape();
+    assert!(n > 0, "covariance of an empty sample");
+    let mut mean = vec![0.0; k];
+    for r in 0..n {
+        for (m, &v) in mean.iter_mut().zip(samples.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let mut cov = Matrix::zeros(k, k);
+    let mut centered = vec![0.0; k];
+    for r in 0..n {
+        for ((c, &v), &m) in centered.iter_mut().zip(samples.row(r)).zip(&mean) {
+            *c = v - m;
+        }
+        accumulate_outer_upper(&mut cov, &centered);
+    }
+    finish_symmetric(&mut cov, n as f64);
+    cov
+}
+
+/// Zero-mean second moment `S = (1/N) Σ z zᵀ`.
+///
+/// FDX's pair-difference transform produces samples whose population mean is
+/// fixed by construction, so no mean needs to be *estimated* — this is the
+/// robust alternative of §4.3 (the transformed distribution's covariance has
+/// the same structure as the original).
+pub fn second_moment(samples: &Matrix) -> Matrix {
+    let (n, k) = samples.shape();
+    assert!(n > 0, "second moment of an empty sample");
+    let mut cov = Matrix::zeros(k, k);
+    for r in 0..n {
+        accumulate_outer_upper(&mut cov, samples.row(r));
+    }
+    finish_symmetric(&mut cov, n as f64);
+    cov
+}
+
+/// Adds the upper triangle of `v vᵀ` into `acc`.
+fn accumulate_outer_upper(acc: &mut Matrix, v: &[f64]) {
+    let k = v.len();
+    for i in 0..k {
+        let vi = v[i];
+        if vi == 0.0 {
+            continue;
+        }
+        let row = acc.row_mut(i);
+        for j in i..k {
+            row[j] += vi * v[j];
+        }
+    }
+}
+
+/// Divides the upper triangle by `n` and mirrors it into the lower triangle.
+fn finish_symmetric(acc: &mut Matrix, n: f64) {
+    let k = acc.rows();
+    for i in 0..k {
+        for j in i..k {
+            let v = acc[(i, j)] / n;
+            acc[(i, j)] = v;
+            acc[(j, i)] = v;
+        }
+    }
+}
+
+/// Pearson correlation matrix derived from a covariance matrix.
+///
+/// Variables with (numerically) zero variance get unit self-correlation and
+/// zero cross-correlation — constant columns carry no dependency signal.
+pub fn correlation(cov: &Matrix) -> Matrix {
+    let k = cov.rows();
+    let mut corr = Matrix::zeros(k, k);
+    let sd: Vec<f64> = (0..k).map(|i| cov[(i, i)].max(0.0).sqrt()).collect();
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                corr[(i, j)] = 1.0;
+            } else if sd[i] > 1e-12 && sd[j] > 1e-12 {
+                corr[(i, j)] = cov[(i, j)] / (sd[i] * sd[j]);
+            }
+        }
+    }
+    corr
+}
+
+/// Standardizes each column of `samples` to zero mean and unit variance in
+/// place (columns with zero variance are left centered only).
+///
+/// The GL-raw baseline standardizes integer-encoded raw data before
+/// estimating structure, mirroring common graphical-lasso practice.
+pub fn standardize_columns(samples: &mut Matrix) {
+    let (n, k) = samples.shape();
+    if n == 0 {
+        return;
+    }
+    for c in 0..k {
+        let mut mean = 0.0;
+        for r in 0..n {
+            mean += samples[(r, c)];
+        }
+        mean /= n as f64;
+        let mut var = 0.0;
+        for r in 0..n {
+            let d = samples[(r, c)] - mean;
+            var += d * d;
+        }
+        var /= n as f64;
+        let sd = var.sqrt();
+        for r in 0..n {
+            let v = samples[(r, c)] - mean;
+            samples[(r, c)] = if sd > 1e-12 { v / sd } else { v };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_known_sample() {
+        // Two variables, perfectly correlated.
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 10.0]]);
+        let c = covariance(&s);
+        // var(x) = E[(x-3)^2] = (4+0+4)/3.
+        assert!((c[(0, 0)] - 8.0 / 3.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 32.0 / 3.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 16.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[(0, 1)], c[(1, 0)]);
+    }
+
+    #[test]
+    fn second_moment_skips_mean() {
+        let s = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, -1.0]]);
+        let m = second_moment(&s);
+        assert!((m[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((m[(0, 1)] + 1.0).abs() < 1e-12);
+        // Covariance of a constant sample is zero; second moment is not.
+        let c = covariance(&s);
+        assert_eq!(c[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn correlation_normalizes() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 10.0]]);
+        let corr = correlation(&covariance(&s));
+        assert!((corr[(0, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(corr[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn correlation_handles_constant_column() {
+        let s = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let corr = correlation(&covariance(&s));
+        assert_eq!(corr[(0, 1)], 0.0);
+        assert_eq!(corr[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn standardize_gives_unit_variance() {
+        let mut s = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        standardize_columns(&mut s);
+        let c = covariance(&s);
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        let mean: f64 = (0..4).map(|r| s[(r, 0)]).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_sketch_mean_shift() {
+        // §4.3 intuition: a gross outlier shifts the mean-based covariance
+        // far more than the zero-mean second moment of *differences*.
+        let clean = Matrix::from_rows(&[&[0.0], &[1.0], &[0.0], &[1.0]]);
+        let dirty = Matrix::from_rows(&[&[0.0], &[1.0], &[0.0], &[100.0]]);
+        let var_clean = covariance(&clean)[(0, 0)];
+        let var_dirty = covariance(&dirty)[(0, 0)];
+        assert!(var_dirty / var_clean > 100.0);
+    }
+}

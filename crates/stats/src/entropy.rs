@@ -1,0 +1,306 @@
+use fdx_data::{AttrId, Dataset};
+
+use crate::groups::{group_ids, joint_counts};
+
+/// Shannon entropy (nats) of an empirical distribution given by group counts
+/// summing to `n`.
+pub fn entropy_of_counts(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Empirical entropy `H(attrs)` of the joint distribution of an attribute
+/// set (paper §2.1's `H(Y)` / `H(X)` building block).
+pub fn entropy(ds: &Dataset, attrs: &[AttrId]) -> f64 {
+    let g = group_ids(ds, attrs);
+    entropy_of_counts(&g.sizes(), ds.nrows())
+}
+
+/// Empirical conditional entropy `H(y | x) = H(x ∪ y) − H(x)`.
+pub fn conditional_entropy(ds: &Dataset, y: AttrId, x: &[AttrId]) -> f64 {
+    let mut joint: Vec<AttrId> = x.to_vec();
+    joint.push(y);
+    (entropy(ds, &joint) - entropy(ds, x)).max(0.0)
+}
+
+/// Empirical mutual information `I(x; y) = H(y) − H(y | x)` (nats).
+pub fn mutual_information(ds: &Dataset, y: AttrId, x: &[AttrId]) -> f64 {
+    (entropy(ds, &[y]) - conditional_entropy(ds, y, x)).max(0.0)
+}
+
+/// The fraction-of-information score `F(X, Y) = I(X;Y) / H(Y)` from §2.1.
+///
+/// An FD `X → Y` drives this ratio to 1. The paper's critique: with finite
+/// samples and growing `|X|`, the *empirical* ratio reaches 1 spuriously,
+/// which is exactly the overfitting the RFI correction targets.
+pub fn fraction_of_information(ds: &Dataset, y: AttrId, x: &[AttrId]) -> f64 {
+    let hy = entropy(ds, &[y]);
+    if hy <= 0.0 {
+        return 0.0;
+    }
+    (mutual_information(ds, y, x) / hy).clamp(0.0, 1.0)
+}
+
+/// Exact expected mutual information `E[Î(X;Y)]` under the permutation
+/// (hypergeometric) null model of Mandros et al.
+///
+/// For marginal counts `a_i` (groups of X) and `b_j` (groups of Y) over `n`
+/// rows, the expectation sums, for every cell `(i, j)` and every achievable
+/// cell count `c`, the plug-in MI contribution weighted by the
+/// hypergeometric probability of observing `c`:
+///
+/// ```text
+/// E[Î] = Σ_{i,j} Σ_{c=max(1, a_i+b_j−n)}^{min(a_i,b_j)}
+///        (c/n)·ln(c·n / (a_i·b_j)) · Hyp(c; n, a_i, b_j)
+/// ```
+///
+/// The triple loop is `O(|X|·|Y|·n)` in the worst case — this cost is what
+/// makes RFI orders of magnitude slower than FDX (paper Tables 5–6), and we
+/// keep it exact for that reason.
+pub fn expected_mutual_information(a: &[usize], b: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let lf = LogFactorial::up_to(n);
+    let nf = n as f64;
+    let mut total = 0.0;
+    for &ai in a {
+        if ai == 0 {
+            continue;
+        }
+        for &bj in b {
+            if bj == 0 {
+                continue;
+            }
+            let lo = 1.max((ai + bj).saturating_sub(n));
+            let hi = ai.min(bj);
+            for c in lo..=hi {
+                // ln Hyp(c; n, ai, bj) = ln C(bj, c) + ln C(n−bj, ai−c) − ln C(n, ai)
+                let log_p = lf.ln_choose(bj, c) + lf.ln_choose(n - bj, ai - c)
+                    - lf.ln_choose(n, ai);
+                let p = log_p.exp();
+                if p <= 0.0 {
+                    continue;
+                }
+                let cf = c as f64;
+                let contrib = (cf / nf) * ((cf * nf) / (ai as f64 * bj as f64)).ln();
+                total += contrib * p;
+            }
+        }
+    }
+    total.max(0.0)
+}
+
+/// The reliable fraction of information
+/// `F̂₀(X, Y) = (Î(X;Y) − E[Î(X;Y)]) / Ĥ(Y)` (Mandros et al.), the bias-
+/// corrected score the RFI baseline optimizes.
+pub fn reliable_fraction_of_information(ds: &Dataset, y: AttrId, x: &[AttrId]) -> f64 {
+    let hy = entropy(ds, &[y]);
+    if hy <= 0.0 {
+        return 0.0;
+    }
+    let gx = group_ids(ds, x);
+    let gy = group_ids(ds, &[y]);
+    let mi = {
+        let joint = joint_counts(&gx, &gy);
+        let n = ds.nrows() as f64;
+        let ax = gx.sizes();
+        let by = gy.sizes();
+        let mut mi = 0.0;
+        for (&(i, j), &c) in &joint {
+            let pij = c as f64 / n;
+            let pi = ax[i as usize] as f64 / n;
+            let pj = by[j as usize] as f64 / n;
+            if pij > 0.0 {
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+        mi.max(0.0)
+    };
+    let emi = expected_mutual_information(&gx.sizes(), &gy.sizes(), ds.nrows());
+    (mi - emi) / hy
+}
+
+/// Table of `ln(k!)` for `k ≤ n`, the numerical backbone of the exact
+/// hypergeometric sums above.
+pub(crate) struct LogFactorial {
+    table: Vec<f64>,
+}
+
+impl LogFactorial {
+    pub(crate) fn up_to(n: usize) -> LogFactorial {
+        let mut table = Vec::with_capacity(n + 1);
+        table.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).ln();
+            table.push(acc);
+        }
+        LogFactorial { table }
+    }
+
+    #[inline]
+    pub(crate) fn ln_factorial(&self, k: usize) -> f64 {
+        self.table[k]
+    }
+
+    /// `ln C(n, k)`; zero for the degenerate cases the hypergeometric sum
+    /// never exercises (`k > n`).
+    #[inline]
+    pub(crate) fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_factorial(n) - self.ln_factorial(k) - self.ln_factorial(n - k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Dataset;
+
+    fn fd_dataset() -> Dataset {
+        // zip -> city holds exactly; city does not determine zip.
+        Dataset::from_string_rows(
+            &["zip", "city"],
+            &[
+                &["60608", "Chicago"],
+                &["60611", "Chicago"],
+                &["60608", "Chicago"],
+                &["53703", "Madison"],
+                &["53703", "Madison"],
+                &["53706", "Madison"],
+            ],
+        )
+    }
+
+    #[test]
+    fn entropy_uniform_and_constant() {
+        assert!((entropy_of_counts(&[1, 1, 1, 1], 4) - 4f64.ln()).abs() < 1e-12);
+        assert_eq!(entropy_of_counts(&[5], 5), 0.0);
+        assert_eq!(entropy_of_counts(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_dataset_column() {
+        let ds = fd_dataset();
+        // city: Chicago×3, Madison×3 → ln 2.
+        assert!((entropy(&ds, &[1]) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fd_gives_zero_conditional_entropy() {
+        let ds = fd_dataset();
+        assert!(conditional_entropy(&ds, 1, &[0]) < 1e-12);
+        assert!(conditional_entropy(&ds, 0, &[1]) > 0.5);
+        assert!((fraction_of_information(&ds, 1, &[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_symmetric_in_information() {
+        let ds = fd_dataset();
+        let i_xy = mutual_information(&ds, 1, &[0]);
+        let i_yx = mutual_information(&ds, 0, &[1]);
+        assert!((i_xy - i_yx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emi_zero_for_degenerate_marginals() {
+        // If X or Y is constant, MI under any permutation is 0.
+        assert!(expected_mutual_information(&[6], &[3, 3], 6).abs() < 1e-12);
+        assert!(expected_mutual_information(&[2, 4], &[6], 6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emi_matches_bruteforce_tiny() {
+        // n = 4, X groups {2,2}, Y groups {2,2}: enumerate all 4! row
+        // permutations and average the plug-in MI.
+        let x = [0u32, 0, 1, 1];
+        let y = [0u32, 0, 1, 1];
+        let mut perm = [0usize, 1, 2, 3];
+        let mut total = 0.0;
+        let mut count = 0;
+        permute(&mut perm, 0, &mut |p| {
+            let mut joint = std::collections::HashMap::new();
+            for (i, &pi) in p.iter().enumerate() {
+                *joint.entry((x[i], y[pi])).or_insert(0usize) += 1;
+            }
+            let n = 4.0;
+            let mut mi = 0.0;
+            for (&(gx, gy), &c) in &joint {
+                let pij = c as f64 / n;
+                let px = x.iter().filter(|&&v| v == gx).count() as f64 / n;
+                let py = y.iter().filter(|&&v| v == gy).count() as f64 / n;
+                mi += pij * (pij / (px * py)).ln();
+            }
+            total += mi;
+            count += 1;
+        });
+        let brute = total / count as f64;
+        let exact = expected_mutual_information(&[2, 2], &[2, 2], 4);
+        assert!(
+            (brute - exact).abs() < 1e-10,
+            "brute {brute} vs exact {exact}"
+        );
+    }
+
+    fn permute(arr: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn rfi_penalizes_spurious_high_cardinality_lhs() {
+        // A unique-valued X "determines" everything empirically; plain FoI
+        // saturates at 1 while RFI's correction cancels it (§2.1 critique).
+        let ds = Dataset::from_string_rows(
+            &["key", "y"],
+            &[
+                &["a", "0"],
+                &["b", "1"],
+                &["c", "0"],
+                &["d", "1"],
+                &["e", "0"],
+                &["f", "1"],
+            ],
+        );
+        assert!((fraction_of_information(&ds, 1, &[0]) - 1.0).abs() < 1e-12);
+        let rfi = reliable_fraction_of_information(&ds, 1, &[0]);
+        assert!(rfi < 0.1, "rfi should be near zero, got {rfi}");
+    }
+
+    #[test]
+    fn rfi_rewards_true_fd_with_support() {
+        let ds = fd_dataset();
+        let rfi_true = reliable_fraction_of_information(&ds, 1, &[0]);
+        let rfi_false = reliable_fraction_of_information(&ds, 0, &[1]);
+        assert!(rfi_true > rfi_false);
+    }
+
+    #[test]
+    fn log_factorial_table() {
+        let lf = LogFactorial::up_to(10);
+        assert_eq!(lf.ln_factorial(0), 0.0);
+        assert!((lf.ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((lf.ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert_eq!(lf.ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,157 @@
+use std::collections::HashMap;
+
+use fdx_data::{AttrId, Dataset};
+
+/// Compact group assignment for the rows of a dataset under a set of
+/// attributes: rows with identical value combinations share a group id.
+///
+/// This is the common substrate for entropy estimation (groups are the cells
+/// of the empirical distribution) and for TANE-style partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupIds {
+    /// Group id per row, densely numbered from 0.
+    pub ids: Vec<u32>,
+    /// Number of distinct groups.
+    pub count: usize,
+}
+
+impl GroupIds {
+    /// Size of each group, indexed by group id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &g in &self.ids {
+            sizes[g as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Assigns a dense group id to every row according to its value combination
+/// over `attrs`. Null cells participate as their own (shared) value, so two
+/// rows that are both null in an attribute agree on it — the convention the
+/// information-theoretic baselines use.
+pub fn group_ids(ds: &Dataset, attrs: &[AttrId]) -> GroupIds {
+    assert!(!attrs.is_empty(), "group_ids requires at least one attribute");
+    let n = ds.nrows();
+    if attrs.len() == 1 {
+        // Fast path: dictionary codes are already dense group ids; remap
+        // nulls to a fresh id.
+        let codes = ds.column(attrs[0]).codes();
+        let distinct = ds.column(attrs[0]).distinct_count() as u32;
+        let mut ids = Vec::with_capacity(n);
+        let mut saw_null = false;
+        for &c in codes {
+            if c == fdx_data::NULL_CODE {
+                saw_null = true;
+                ids.push(distinct);
+            } else {
+                ids.push(c);
+            }
+        }
+        // Compact: ids may skip values if some dictionary entries don't occur
+        // (possible after gather); renumber densely.
+        return renumber(ids, distinct as usize + usize::from(saw_null));
+    }
+    let mut map: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut ids = Vec::with_capacity(n);
+    let mut key = Vec::with_capacity(attrs.len());
+    for r in 0..n {
+        key.clear();
+        for &a in attrs {
+            key.push(ds.code(r, a));
+        }
+        let next = map.len() as u32;
+        let id = *map.entry(key.clone()).or_insert(next);
+        ids.push(id);
+    }
+    let count = map.len();
+    GroupIds { ids, count }
+}
+
+fn renumber(ids: Vec<u32>, upper_bound: usize) -> GroupIds {
+    let mut remap = vec![u32::MAX; upper_bound + 1];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(ids.len());
+    for g in ids {
+        let slot = &mut remap[g as usize];
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+        out.push(*slot);
+    }
+    GroupIds {
+        ids: out,
+        count: next as usize,
+    }
+}
+
+/// Joint contingency counts over two group assignments: `counts[(gx, gy)]`
+/// is the number of rows in X-group `gx` and Y-group `gy`.
+pub fn joint_counts(x: &GroupIds, y: &GroupIds) -> HashMap<(u32, u32), usize> {
+    assert_eq!(x.ids.len(), y.ids.len());
+    let mut counts = HashMap::new();
+    for (&gx, &gy) in x.ids.iter().zip(&y.ids) {
+        *counts.entry((gx, gy)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdx_data::Dataset;
+
+    fn ds() -> Dataset {
+        Dataset::from_string_rows(
+            &["a", "b"],
+            &[
+                &["x", "1"],
+                &["y", "1"],
+                &["x", "2"],
+                &["x", "1"],
+                &["", "2"],
+            ],
+        )
+    }
+
+    #[test]
+    fn single_attribute_groups() {
+        let g = group_ids(&ds(), &[0]);
+        assert_eq!(g.count, 3); // x, y, null
+        assert_eq!(g.ids[0], g.ids[2]);
+        assert_eq!(g.ids[0], g.ids[3]);
+        assert_ne!(g.ids[0], g.ids[1]);
+        assert_ne!(g.ids[4], g.ids[0]);
+        assert_eq!(g.sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn pair_groups() {
+        let g = group_ids(&ds(), &[0, 1]);
+        // (x,1) (y,1) (x,2) (x,1) (null,2) → 4 groups.
+        assert_eq!(g.count, 4);
+        assert_eq!(g.ids[0], g.ids[3]);
+        assert_ne!(g.ids[0], g.ids[1]);
+    }
+
+    #[test]
+    fn joint_counts_tally() {
+        let d = ds();
+        let gx = group_ids(&d, &[0]);
+        let gy = group_ids(&d, &[1]);
+        let j = joint_counts(&gx, &gy);
+        let total: usize = j.values().sum();
+        assert_eq!(total, 5);
+        // (x, 1) occurs twice.
+        assert_eq!(j[&(gx.ids[0], gy.ids[0])], 2);
+    }
+
+    #[test]
+    fn renumber_compacts_after_gather() {
+        let d = ds().gather(&[1, 4]); // rows y(1), null(2)
+        let g = group_ids(&d, &[0]);
+        assert_eq!(g.count, 2);
+        assert!(g.ids.iter().all(|&i| i < 2));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the statistical estimators.
+
+use fdx_data::{Column, Dataset, Schema, Value};
+use fdx_stats::{
+    chi_squared, chi_squared_p_value, conditional_entropy, entropy, entropy_of_counts,
+    expected_mutual_information, group_ids, mutual_information,
+};
+use proptest::prelude::*;
+
+fn dataset(rows: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0u32..4, 0u32..4), rows).prop_map(|pairs| {
+        let schema = Schema::from_names(&["x", "y"]);
+        let dict: Vec<Value> = (0..4).map(|v| Value::Int(v)).collect();
+        let cx = Column::from_codes(pairs.iter().map(|p| p.0).collect(), dict.clone());
+        let cy = Column::from_codes(pairs.iter().map(|p| p.1).collect(), dict);
+        Dataset::new(schema, vec![cx, cy])
+    })
+}
+
+proptest! {
+    #[test]
+    fn entropy_bounds(ds in dataset(40)) {
+        let hx = entropy(&ds, &[0]);
+        // 0 <= H <= ln(domain size).
+        prop_assert!(hx >= 0.0);
+        prop_assert!(hx <= 4f64.ln() + 1e-12);
+    }
+
+    #[test]
+    fn joint_entropy_subadditive(ds in dataset(40)) {
+        let hx = entropy(&ds, &[0]);
+        let hy = entropy(&ds, &[1]);
+        let hxy = entropy(&ds, &[0, 1]);
+        prop_assert!(hxy <= hx + hy + 1e-9);
+        prop_assert!(hxy + 1e-9 >= hx.max(hy));
+    }
+
+    #[test]
+    fn mi_nonnegative_and_bounded(ds in dataset(40)) {
+        let mi = mutual_information(&ds, 1, &[0]);
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= entropy(&ds, &[1]) + 1e-9);
+    }
+
+    #[test]
+    fn conditioning_reduces_entropy(ds in dataset(40)) {
+        let h = entropy(&ds, &[1]);
+        let hc = conditional_entropy(&ds, 1, &[0]);
+        prop_assert!(hc <= h + 1e-9);
+        prop_assert!(hc >= 0.0);
+    }
+
+    #[test]
+    fn emi_nonnegative_and_below_min_entropy(
+        a in proptest::collection::vec(1usize..8, 2..5),
+        b in proptest::collection::vec(1usize..8, 2..5),
+    ) {
+        // Make the marginals consistent (equal totals).
+        let n: usize = a.iter().sum::<usize>().max(b.iter().sum());
+        let mut a = a;
+        let mut b = b;
+        let fix = |v: &mut Vec<usize>, n: usize| {
+            let s: usize = v.iter().sum();
+            if s < n { v.push(n - s); }
+        };
+        fix(&mut a, n);
+        fix(&mut b, n);
+        let emi = expected_mutual_information(&a, &b, n);
+        prop_assert!(emi >= 0.0);
+        let ha = entropy_of_counts(&a, n);
+        let hb = entropy_of_counts(&b, n);
+        prop_assert!(emi <= ha.min(hb) + 1e-9, "emi {} vs H {} {}", emi, ha, hb);
+    }
+
+    #[test]
+    fn chi_squared_p_value_in_unit_interval(x in 0.0..200.0f64, dof in 0usize..12) {
+        let p = chi_squared_p_value(x, dof);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn chi_squared_statistic_nonnegative(ds in dataset(50)) {
+        let gx = group_ids(&ds, &[0]);
+        let gy = group_ids(&ds, &[1]);
+        let r = chi_squared(&gx, &gy);
+        prop_assert!(r.statistic >= -1e-9);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!((0.0..=1.0).contains(&r.cramers_v));
+    }
+
+    #[test]
+    fn group_ids_partition_rows(ds in dataset(30)) {
+        let g = group_ids(&ds, &[0, 1]);
+        prop_assert_eq!(g.ids.len(), 30);
+        prop_assert!(g.ids.iter().all(|&i| (i as usize) < g.count));
+        prop_assert_eq!(g.sizes().iter().sum::<usize>(), 30);
+    }
+}

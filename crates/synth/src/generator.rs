@@ -1,0 +1,402 @@
+//! The paper's §5.1 synthetic-data generator.
+//!
+//! "Given a schema with r attributes our generator first assigns a global
+//! order to these attributes and splits the ordered attributes in
+//! consecutive attribute sets, whose size is between two and four. […] For
+//! half of the (X, Y) groups generated via the above process, we introduce
+//! FD-based dependencies […]. For the remainder of those groups we force
+//! [a ρ-correlated] conditional probability distribution" with
+//! `ρ ~ U[0, 0.85]`, mixing true FDs with strong-but-not-functional
+//! correlations.
+
+use fdx_data::{Column, Dataset, Fd, FdSet, Schema, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::noise::flip_cells;
+
+/// Small/Large levels of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// The "Small" setting of Table 2.
+    Small,
+    /// The "Large" setting of Table 2.
+    Large,
+}
+
+impl SizeClass {
+    /// Short label used in figure keys (`small` / `large`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Large => "large",
+        }
+    }
+}
+
+/// One experimental setting of Table 2: tuple count `t`, attribute count
+/// `r`, determinant domain cardinality `d`, and noise rate `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthSetting {
+    /// Tuples: Small = 1,000; Large = 100,000.
+    pub tuples: SizeClass,
+    /// Attributes: Small = 8–16; Large = 40–80.
+    pub attributes: SizeClass,
+    /// Domain cardinality of FD determinants: Small = 64–216; Large =
+    /// 1,000–1,728.
+    pub domain: SizeClass,
+    /// Fraction of FD-participating cells flipped (Low = 1%, High = 30% in
+    /// the paper's figures; any value in `[0, 1)` is accepted).
+    pub noise_rate: f64,
+}
+
+impl SynthSetting {
+    /// The figure key used in the paper, e.g. `t=large r=small d=large n=high`.
+    pub fn label(&self) -> String {
+        let n = if self.noise_rate > 0.05 { "high" } else { "low" };
+        format!(
+            "t={} r={} d={} n={}",
+            self.tuples.label(),
+            self.attributes.label(),
+            self.domain.label(),
+            n
+        )
+    }
+
+    /// Resolves the setting into concrete generator parameters.
+    pub fn to_config(&self, seed: u64) -> SynthConfig {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x517E);
+        let tuples = match self.tuples {
+            SizeClass::Small => 1_000,
+            SizeClass::Large => 100_000,
+        };
+        let attributes = match self.attributes {
+            SizeClass::Small => rng.gen_range(8..=16),
+            SizeClass::Large => rng.gen_range(40..=80),
+        };
+        let domain = match self.domain {
+            SizeClass::Small => (64, 216),
+            SizeClass::Large => (1_000, 1_728),
+        };
+        SynthConfig {
+            tuples,
+            attributes,
+            domain_range: domain,
+            noise_rate: self.noise_rate,
+            seed,
+        }
+    }
+}
+
+/// Concrete parameters of one synthetic instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of tuples `t`.
+    pub tuples: usize,
+    /// Number of attributes `r`.
+    pub attributes: usize,
+    /// Range `(lo, hi)` for the determinant domain cardinality `v`.
+    pub domain_range: (usize, usize),
+    /// Fraction of FD-participating cells flipped to another domain value.
+    pub noise_rate: f64,
+    /// Seed controlling splits, maps, and samples.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            tuples: 1_000,
+            attributes: 12,
+            domain_range: (64, 216),
+            noise_rate: 0.01,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated instance: the clean data, its noisy counterpart, and the
+/// planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SynthData {
+    /// The clean sample from the generating distribution.
+    pub clean: Dataset,
+    /// The noisy instance handed to discovery methods.
+    pub noisy: Dataset,
+    /// The planted FDs.
+    pub true_fds: FdSet,
+    /// Attributes participating in any planted FD.
+    pub fd_attributes: Vec<usize>,
+}
+
+/// Generates one synthetic instance following §5.1.
+pub fn generate(cfg: &SynthConfig) -> SynthData {
+    assert!(cfg.attributes >= 2, "need at least one group of two attributes");
+    assert!((0.0..1.0).contains(&cfg.noise_rate));
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Split the attribute order into consecutive groups of size 2..=4.
+    let mut groups: Vec<(Vec<usize>, usize)> = Vec::new(); // (X, Y)
+    let mut next = 0usize;
+    while next < cfg.attributes {
+        let remaining = cfg.attributes - next;
+        let size = if remaining < 2 {
+            // Attach a trailing singleton to the previous group's X.
+            if let Some((x, _)) = groups.last_mut() {
+                x.push(next);
+            }
+            break;
+        } else {
+            rng.gen_range(2..=4usize.min(remaining))
+        };
+        let members: Vec<usize> = (next..next + size).collect();
+        next += size;
+        let (y, x) = members.split_last().unwrap();
+        groups.push((x.to_vec(), *y));
+    }
+
+    // Half the groups get FDs, half ρ-correlations (alternating after a
+    // shuffle so the halves are position-independent).
+    let mut fd_flags: Vec<bool> = (0..groups.len()).map(|i| i % 2 == 0).collect();
+    for i in (1..fd_flags.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        fd_flags.swap(i, j);
+    }
+
+    let schema = Schema::new(
+        (0..cfg.attributes)
+            .map(|i| fdx_data::Attribute::categorical(format!("A{i}")))
+            .collect(),
+    );
+
+    let mut columns: Vec<Vec<u32>> = vec![vec![0; cfg.tuples]; cfg.attributes];
+    let mut dicts: Vec<usize> = vec![0; cfg.attributes]; // cardinality per attr
+    let mut true_fds = FdSet::new();
+    let mut fd_attributes: Vec<usize> = Vec::new();
+
+    for ((x_attrs, y_attr), &is_fd) in groups.iter().zip(&fd_flags) {
+        // Choose v and per-attribute domains whose product is ≈ v.
+        let v = rng.gen_range(cfg.domain_range.0..=cfg.domain_range.1);
+        let per = (v as f64).powf(1.0 / x_attrs.len() as f64).round().max(2.0) as usize;
+        let mut x_cards = vec![per; x_attrs.len()];
+        // Adjust the last card so the product lands near v.
+        let partial: usize = x_cards[..x_cards.len() - 1].iter().product();
+        *x_cards.last_mut().unwrap() = (v / partial.max(1)).max(2);
+        let config_count: usize = x_cards.iter().product();
+        let y_card = v.min(config_count).max(2);
+
+        for (&a, &c) in x_attrs.iter().zip(&x_cards) {
+            dicts[a] = c;
+        }
+        dicts[*y_attr] = y_card;
+
+        // Map from X configuration to Y value.
+        let mapping: Vec<u32> = (0..config_count)
+            .map(|_| rng.gen_range(0..y_card as u32))
+            .collect();
+        let rho = if is_fd { 1.0 } else { rng.gen_range(0.0..0.85) };
+
+        for row in 0..cfg.tuples {
+            // X values uniform over their domains.
+            let mut config = 0usize;
+            let mut stride = 1usize;
+            for (&a, &c) in x_attrs.iter().zip(&x_cards) {
+                let val = rng.gen_range(0..c as u32);
+                columns[a][row] = val;
+                config += val as usize * stride;
+                stride *= c;
+            }
+            let r0 = mapping[config];
+            let y = if rng.gen::<f64>() < rho || y_card == 1 {
+                r0
+            } else {
+                // Uniform over the other values.
+                let mut alt = rng.gen_range(0..y_card as u32 - 1);
+                if alt >= r0 {
+                    alt += 1;
+                }
+                alt
+            };
+            columns[*y_attr][row] = y;
+        }
+
+        if is_fd {
+            true_fds.insert(Fd::new(x_attrs.iter().copied(), *y_attr));
+            fd_attributes.extend(x_attrs.iter().copied());
+            fd_attributes.push(*y_attr);
+        }
+    }
+
+    let dataset_columns: Vec<Column> = columns
+        .into_iter()
+        .enumerate()
+        .map(|(a, codes)| {
+            let dict: Vec<Value> = (0..dicts[a].max(1))
+                .map(|s| Value::text(format!("v{a}_{s}")))
+                .collect();
+            Column::from_codes(codes, dict)
+        })
+        .collect();
+    let clean = Dataset::new(schema, dataset_columns);
+
+    // Noise: flip FD-participating cells to a different domain value.
+    let mut noisy = clean.clone();
+    if cfg.noise_rate > 0.0 && !fd_attributes.is_empty() {
+        flip_cells(&mut noisy, &fd_attributes, cfg.noise_rate, &mut rng);
+    }
+
+    fd_attributes.sort_unstable();
+    fd_attributes.dedup();
+    SynthData {
+        clean,
+        noisy,
+        true_fds,
+        fd_attributes,
+    }
+}
+
+/// The eight settings shown in the paper's Figure 2, in panel order
+/// (a)–(h).
+pub fn figure2_settings() -> Vec<SynthSetting> {
+    let mk = |t, r, d, n: f64| SynthSetting {
+        tuples: t,
+        attributes: r,
+        domain: d,
+        noise_rate: n,
+    };
+    use SizeClass::{Large, Small};
+    vec![
+        mk(Large, Large, Large, 0.30),
+        mk(Large, Large, Large, 0.01),
+        mk(Large, Small, Large, 0.30),
+        mk(Large, Small, Large, 0.01),
+        mk(Small, Small, Large, 0.30),
+        mk(Small, Small, Large, 0.01),
+        mk(Small, Small, Small, 0.30),
+        mk(Small, Small, Small, 0.01),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = SynthConfig {
+            tuples: 500,
+            attributes: 10,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        assert_eq!(data.clean.nrows(), 500);
+        assert_eq!(data.clean.ncols(), 10);
+        assert_eq!(data.noisy.nrows(), 500);
+        assert!(!data.true_fds.is_empty());
+    }
+
+    #[test]
+    fn clean_data_satisfies_planted_fds() {
+        let data = generate(&SynthConfig::default());
+        for fd in data.true_fds.iter() {
+            let mut map = std::collections::HashMap::new();
+            for r in 0..data.clean.nrows() {
+                let key: Vec<u32> = fd.lhs().iter().map(|&a| data.clean.code(r, a)).collect();
+                let y = data.clean.code(r, fd.rhs());
+                let e = map.entry(key).or_insert(y);
+                assert_eq!(*e, y, "planted FD violated in clean data");
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_half_groups_are_fds() {
+        // With 40 attributes there are >= 10 groups; both kinds must occur.
+        let cfg = SynthConfig {
+            attributes: 40,
+            tuples: 200,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        let n_groups_lower_bound = 40 / 4;
+        assert!(data.true_fds.len() >= n_groups_lower_bound / 3);
+        // Correlation groups exist: some attributes participate in no FD.
+        assert!(data.fd_attributes.len() < 40);
+    }
+
+    #[test]
+    fn noise_rate_controls_cell_difference() {
+        let cfg = SynthConfig {
+            noise_rate: 0.3,
+            tuples: 2_000,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        // Difference rate over FD attributes ≈ 30% of flips actually change
+        // the value (flips always pick a different value, so ≈ rate times
+        // fraction of FD cells).
+        let diff = data.clean.cell_difference_rate(&data.noisy);
+        let fd_fraction = data.fd_attributes.len() as f64 / data.clean.ncols() as f64;
+        let expected = 0.3 * fd_fraction;
+        assert!(
+            (diff - expected).abs() < 0.05,
+            "diff {diff}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_noise_means_identical() {
+        let cfg = SynthConfig {
+            noise_rate: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        assert_eq!(data.clean, data.noisy);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&SynthConfig::default());
+        let b = generate(&SynthConfig::default());
+        assert_eq!(a.noisy, b.noisy);
+        let c = generate(&SynthConfig {
+            seed: 8,
+            ..Default::default()
+        });
+        assert_ne!(a.noisy, c.noisy);
+    }
+
+    #[test]
+    fn figure2_panels() {
+        let settings = figure2_settings();
+        assert_eq!(settings.len(), 8);
+        assert_eq!(settings[0].label(), "t=large r=large d=large n=high");
+        assert_eq!(settings[7].label(), "t=small r=small d=small n=low");
+    }
+
+    #[test]
+    fn setting_resolution_ranges() {
+        let s = SynthSetting {
+            tuples: SizeClass::Small,
+            attributes: SizeClass::Large,
+            domain: SizeClass::Small,
+            noise_rate: 0.01,
+        };
+        let cfg = s.to_config(3);
+        assert_eq!(cfg.tuples, 1_000);
+        assert!((40..=80).contains(&cfg.attributes));
+        assert_eq!(cfg.domain_range, (64, 216));
+    }
+
+    #[test]
+    fn lhs_sizes_between_one_and_three() {
+        let data = generate(&SynthConfig {
+            attributes: 60,
+            tuples: 100,
+            ..Default::default()
+        });
+        for fd in data.true_fds.iter() {
+            assert!((1..=4).contains(&fd.lhs().len()), "lhs {:?}", fd.lhs());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the FDX reproduction.
+//!
+//! Three generator families back the paper's evaluation:
+//!
+//! * [`generator`] — the §5.1 synthetic-data process: a global attribute
+//!   order split into consecutive groups, half of which carry exact FDs and
+//!   half ρ-correlations, with controlled tuple counts, attribute counts,
+//!   and determinant domain cardinalities (Table 2's `t`/`r`/`d` knobs),
+//! * [`noise`] — the noisy-channel models of §3.1: random cell flips on
+//!   FD-participating attributes (the `n` knob), missing-value injection,
+//!   and the systematic-noise variant used by Table 7,
+//! * [`realworld`] — shape- and structure-faithful stand-ins for the six
+//!   real-world datasets of Table 3 (see `DESIGN.md`, substitution #2).
+
+pub mod generator;
+pub mod noise;
+pub mod realworld;
+
+pub use generator::{SizeClass, SynthConfig, SynthData, SynthSetting};
+pub use noise::{flip_cells, inject_missing, systematic_flip};

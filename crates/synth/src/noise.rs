@@ -1,0 +1,185 @@
+//! Noisy-channel models (paper §3.1): "first a clean data set D is sampled
+//! from P_R and a noisy channel model introduces noise in D to generate D′".
+
+use fdx_data::{AttrId, Dataset, Value, NULL_CODE};
+use rand::Rng;
+
+/// Flips a `rate` fraction of the cells in `attrs` to a *different* value
+/// drawn uniformly from the column's dictionary — the paper's synthetic
+/// noise model ("we randomly flip cells that correspond to attributes that
+/// participate in true FDs to a different value from their domain").
+///
+/// Columns with fewer than two distinct values are skipped (no different
+/// value exists).
+pub fn flip_cells(ds: &mut Dataset, attrs: &[AttrId], rate: f64, rng: &mut impl Rng) {
+    assert!((0.0..1.0).contains(&rate));
+    let n = ds.nrows();
+    for &a in attrs {
+        let card = ds.column(a).distinct_count();
+        if card < 2 {
+            continue;
+        }
+        for row in 0..n {
+            if rng.gen::<f64>() >= rate {
+                continue;
+            }
+            let current = ds.column(a).code(row);
+            if current == NULL_CODE {
+                continue;
+            }
+            let mut alt = rng.gen_range(0..card as u32 - 1);
+            if alt >= current {
+                alt += 1;
+            }
+            let value = ds.column(a).dictionary()[alt as usize].clone();
+            ds.column_mut(a).set_value(row, value);
+        }
+    }
+}
+
+/// Replaces a `rate` fraction of cells (all attributes) with nulls —
+/// the "naturally occurring errors that correspond to missing values" of
+/// the paper's real-world experiments (Table 6).
+pub fn inject_missing(ds: &mut Dataset, rate: f64, rng: &mut impl Rng) {
+    assert!((0.0..1.0).contains(&rate));
+    let n = ds.nrows();
+    for a in 0..ds.ncols() {
+        for row in 0..n {
+            if rng.gen::<f64>() < rate {
+                ds.column_mut(a).set_value(row, Value::Null);
+            }
+        }
+    }
+}
+
+/// Systematic noise for the Table 7 imputation experiment: cells of `attr`
+/// are corrupted only on rows where `condition_attr` currently holds its
+/// most frequent value. This correlates corruption with data content, the
+/// defining property of systematic (non-random) noise.
+pub fn systematic_flip(
+    ds: &mut Dataset,
+    attr: AttrId,
+    condition_attr: AttrId,
+    rate: f64,
+    rng: &mut impl Rng,
+) {
+    assert!((0.0..1.0).contains(&rate));
+    assert_ne!(attr, condition_attr);
+    let card = ds.column(attr).distinct_count();
+    if card < 2 {
+        return;
+    }
+    // Most frequent value of the conditioning attribute.
+    let freq = ds.column(condition_attr).frequencies();
+    let Some((mode, _)) = freq.iter().enumerate().max_by_key(|&(_, c)| *c) else {
+        return;
+    };
+    for row in 0..ds.nrows() {
+        if ds.column(condition_attr).code(row) != mode as u32 {
+            continue;
+        }
+        if rng.gen::<f64>() >= rate {
+            continue;
+        }
+        let current = ds.column(attr).code(row);
+        if current == NULL_CODE {
+            continue;
+        }
+        let mut alt = rng.gen_range(0..card as u32 - 1);
+        if alt >= current {
+            alt += 1;
+        }
+        let value = ds.column(attr).dictionary()[alt as usize].clone();
+        ds.column_mut(attr).set_value(row, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ds() -> Dataset {
+        let rows: Vec<[String; 2]> = (0..400)
+            .map(|i| [format!("a{}", i % 5), format!("b{}", i % 3)])
+            .collect();
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+        Dataset::from_string_rows(&["a", "b"], &slices)
+    }
+
+    #[test]
+    fn flip_rate_is_respected() {
+        let clean = ds();
+        let mut noisy = clean.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        flip_cells(&mut noisy, &[0], 0.25, &mut rng);
+        // Only column 0 changes; every flip produces a different value.
+        let diff = clean.cell_difference_rate(&noisy) * 2.0; // 2 columns
+        assert!((diff - 0.25).abs() < 0.06, "diff {diff}");
+        for r in 0..clean.nrows() {
+            assert_eq!(clean.value(r, 1), noisy.value(r, 1));
+        }
+    }
+
+    #[test]
+    fn flips_never_keep_the_same_value() {
+        let clean = ds();
+        let mut noisy = clean.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        flip_cells(&mut noisy, &[0, 1], 0.99, &mut rng);
+        let mut changed = 0;
+        for r in 0..clean.nrows() {
+            for a in 0..2 {
+                if clean.value(r, a) != noisy.value(r, a) {
+                    changed += 1;
+                }
+            }
+        }
+        // At 99% rate essentially every cell must differ.
+        assert!(changed > 780, "changed {changed}");
+    }
+
+    #[test]
+    fn missing_injection_creates_nulls() {
+        let mut noisy = ds();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        inject_missing(&mut noisy, 0.2, &mut rng);
+        let nulls = noisy.null_cells();
+        let total = 800.0;
+        assert!((nulls as f64 / total - 0.2).abs() < 0.05, "nulls {nulls}");
+    }
+
+    #[test]
+    fn systematic_flip_targets_mode_rows() {
+        let clean = ds();
+        let mut noisy = clean.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Condition on column 1; only rows with its mode may change.
+        systematic_flip(&mut noisy, 0, 1, 0.9, &mut rng);
+        let freq = clean.column(1).frequencies();
+        let mode = freq
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .unwrap()
+            .0 as u32;
+        for r in 0..clean.nrows() {
+            if clean.value(r, 0) != noisy.value(r, 0) {
+                assert_eq!(clean.column(1).code(r), mode, "row {r} not a mode row");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_is_skipped() {
+        let mut ds = Dataset::from_string_rows(&["c", "d"], &[&["x", "1"], &["x", "2"]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        flip_cells(&mut ds, &[0], 0.99, &mut rng);
+        assert_eq!(ds.value(0, 0), ds.value(1, 0));
+    }
+}

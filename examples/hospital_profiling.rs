@@ -1,0 +1,50 @@
+//! Data profiling for data preparation (paper §5.5): run FDX on the
+//! Hospital dataset, render the autoregression heatmap of Figure 3, and
+//! show how the discovered dependencies predict where automated data
+//! cleaning will work.
+//!
+//! ```text
+//! cargo run --release --example hospital_profiling
+//! ```
+
+use fdx::{render_autoregression_heatmap, Fdx, FdxConfig};
+use fdx_synth::realworld;
+
+fn main() {
+    let rw = realworld::hospital(0);
+    println!(
+        "Hospital: {} rows x {} attributes, {} naturally-missing cells\n",
+        rw.data.nrows(),
+        rw.data.ncols(),
+        rw.data.null_cells()
+    );
+
+    let result = Fdx::new(FdxConfig::default())
+        .discover(&rw.data)
+        .expect("hospital stand-in is well-formed");
+
+    println!("Autoregression matrix (Figure 3's heatmap):\n");
+    println!(
+        "{}",
+        render_autoregression_heatmap(&result.autoregression, rw.data.schema())
+    );
+    println!("Discovered FDs:");
+    print!("{}", result.fds.render(rw.data.schema()));
+
+    // Profiling readout: attributes inside a dependency are the ones
+    // automated cleaning (imputation, violation repair) can actually fix.
+    let mut in_fd = vec![false; rw.data.ncols()];
+    for (x, y) in result.fds.edge_set() {
+        in_fd[x] = true;
+        in_fd[y] = true;
+    }
+    println!("\nCleaning guidance (paper §5.5, Table 7's split):");
+    for a in 0..rw.data.ncols() {
+        let verdict = if in_fd[a] {
+            "dependency-backed: automated repair should be accurate"
+        } else {
+            "no dependency found: treat automated repairs with suspicion"
+        };
+        println!("  {:<18} {}", rw.data.schema().name(a), verdict);
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness demo: FDX vs TANE as cell noise rises on synthetic data with
+//! planted FDs (the behaviour behind the paper's Figures 2 and 7).
+//!
+//! ```text
+//! cargo run --release --example noisy_discovery
+//! ```
+
+use fdx::{Fdx, FdxConfig};
+use fdx_baselines::{Tane, TaneConfig};
+use fdx_eval::edge_prf;
+use fdx_synth::generator::{self, SynthConfig};
+
+fn main() {
+    println!("{:>8}  {:>10}  {:>10}", "noise", "FDX F1", "TANE F1");
+    for noise in [0.0, 0.01, 0.05, 0.1, 0.3] {
+        let data = generator::generate(&SynthConfig {
+            tuples: 1_000,
+            attributes: 10,
+            domain_range: (64, 216),
+            noise_rate: noise,
+            seed: 11,
+        });
+        let fdx = Fdx::new(FdxConfig::default().for_noise_rate(noise))
+            .discover(&data.noisy)
+            .map(|r| r.fds)
+            .unwrap_or_default();
+        let tane = Tane::new(TaneConfig {
+            max_error: noise.max(0.005),
+            ..Default::default()
+        })
+        .discover(&data.noisy);
+        println!(
+            "{:>8.2}  {:>10.3}  {:>10.3}",
+            noise,
+            edge_prf(&data.true_fds, &fdx).f1,
+            edge_prf(&data.true_fds, &tane).f1,
+        );
+    }
+    println!("\nPlanted FDs mix exact dependencies with strong (rho <= 0.85)");
+    println!("correlations; TANE reports every syntactically-valid FD and its");
+    println!("precision collapses, while FDX stays parsimonious (paper, Fig. 2).");
+}

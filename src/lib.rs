@@ -1,0 +1,64 @@
+//! # fdx — functional dependency discovery in noisy data
+//!
+//! A from-scratch Rust reproduction of *"A Statistical Perspective on
+//! Discovering Functional Dependencies in Noisy Data"* (Zhang, Guo,
+//! Rekatsinas — SIGMOD 2020). FDX casts FD discovery as structure learning
+//! of a linear structural equation model over tuple-pair agreement
+//! indicators: transform the data into pair-difference samples, estimate a
+//! sparse inverse covariance, factorize it as `U D Uᵀ` under a
+//! fill-reducing attribute order, and read the FDs off the autoregression
+//! matrix `B = I − U`.
+//!
+//! This umbrella crate re-exports the public API of the core engine and the
+//! supporting crates:
+//!
+//! * [`Fdx`] / [`FdxConfig`] / [`FdxResult`] — the discovery engine,
+//! * [`fdx_data`] — datasets, schemas, values, FDs, CSV I/O,
+//! * [`fdx_synth`] — the paper's synthetic generators, noise channels, and
+//!   real-world stand-ins,
+//! * [`fdx_bayesnet`] — the five benchmark Bayesian networks of Table 1,
+//! * [`fdx_baselines`] — TANE, Pyro-style search, RFI, CORDS, GL-raw,
+//! * [`fdx_eval`] — metrics and the method harness,
+//! * [`fdx_ml`] — the Table 7 imputers,
+//! * [`fdx_linalg`] / [`fdx_glasso`] / [`fdx_order`] / [`fdx_stats`] — the
+//!   numerical substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fdx::{Fdx, FdxConfig};
+//! use fdx_data::Dataset;
+//!
+//! let rows: Vec<[String; 2]> = (0..60)
+//!     .map(|i| {
+//!         let zip = i % 12;
+//!         [format!("z{zip}"), format!("city{}", zip / 3)]
+//!     })
+//!     .collect();
+//! let refs: Vec<Vec<&str>> = rows
+//!     .iter()
+//!     .map(|r| vec![r[0].as_str(), r[1].as_str()])
+//!     .collect();
+//! let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+//! let ds = Dataset::from_string_rows(&["zip", "city"], &slices);
+//!
+//! let result = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+//! assert_eq!(result.fds.render(ds.schema()).trim(), "zip -> city");
+//! ```
+
+pub use fdx_core::{
+    pair_transform, pair_transform_matrix, refine, render_autoregression_heatmap, score_fd, Fdx,
+    FdScore, FdxConfig, FdxError, FdxResult, FdxTimings, NullPolicy, PairSampling, PairStats,
+    TransformConfig,
+};
+
+pub use fdx_baselines;
+pub use fdx_bayesnet;
+pub use fdx_data;
+pub use fdx_eval;
+pub use fdx_glasso;
+pub use fdx_linalg;
+pub use fdx_ml;
+pub use fdx_order;
+pub use fdx_stats;
+pub use fdx_synth;

@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests: invariants of the pair transform, the
+//! validation scores, the metrics, and the discovery pipeline on random
+//! inputs.
+
+use fdx::{pair_transform, pair_transform_matrix, score_fd, Fdx, FdxConfig, TransformConfig};
+use fdx_data::{Column, Dataset, Fd, FdSet, Schema, Value};
+use fdx_eval::{edge_prf, undirected_edge_prf};
+use proptest::prelude::*;
+
+/// Strategy: a random categorical dataset with `rows` rows and `cols`
+/// columns, each with a small domain.
+fn dataset(rows: usize, cols: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(0u32..5, rows * cols).prop_map(move |codes| {
+        let schema = Schema::new(
+            (0..cols)
+                .map(|c| fdx_data::Attribute::categorical(format!("A{c}")))
+                .collect(),
+        );
+        let columns: Vec<Column> = (0..cols)
+            .map(|c| {
+                let col_codes: Vec<u32> = (0..rows).map(|r| codes[r * cols + c]).collect();
+                let dict: Vec<Value> = (0..5).map(|v| Value::text(format!("v{v}"))).collect();
+                Column::from_codes(col_codes, dict)
+            })
+            .collect();
+        Dataset::new(schema, columns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_stats_match_materialized_matrix(ds in dataset(30, 4)) {
+        let cfg = TransformConfig {
+            parallel: false,
+            ..TransformConfig::default()
+        };
+        let stats = pair_transform(&ds, &cfg);
+        let m = pair_transform_matrix(&ds, &cfg);
+        prop_assert_eq!(m.rows(), stats.num_samples());
+        let s_stream = stats.pooled_covariance();
+        let s_mat = fdx_stats::covariance(&m);
+        for a in 0..4 {
+            for b in 0..4 {
+                prop_assert!((s_stream[(a, b)] - s_mat[(a, b)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd_diagonal(ds in dataset(40, 5)) {
+        let stats = pair_transform(&ds, &TransformConfig::default());
+        let s = stats.covariance();
+        for i in 0..5 {
+            // Diagonal of any covariance is non-negative.
+            prop_assert!(s[(i, i)] >= -1e-12, "var {} = {}", i, s[(i, i)]);
+        }
+        prop_assert!(s.asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_entries_bounded(ds in dataset(40, 4)) {
+        let stats = pair_transform(&ds, &TransformConfig::default());
+        let c = stats.correlation();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!(c[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fd_scores_are_probabilities(ds in dataset(30, 4)) {
+        for lhs in 0..4usize {
+            for rhs in 0..4usize {
+                if lhs == rhs { continue; }
+                let s = score_fd(&ds, &[lhs], rhs);
+                prop_assert!((0.0..=1.0).contains(&s.conditional));
+                prop_assert!((0.0..=1.0).contains(&s.baseline));
+                prop_assert!((0.0..=1.0).contains(&s.lift));
+            }
+        }
+    }
+
+    #[test]
+    fn discovery_output_is_wellformed(ds in dataset(50, 5)) {
+        let result = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        // No trivial FDs, rhs in range, at most one FD per rhs.
+        let mut rhs_seen = std::collections::HashSet::new();
+        for fd in result.fds.iter() {
+            prop_assert!(fd.rhs() < 5);
+            prop_assert!(!fd.lhs().contains(&fd.rhs()));
+            prop_assert!(rhs_seen.insert(fd.rhs()));
+        }
+        // B is strictly upper triangular in permuted coordinates: the
+        // original-coordinate matrix must have zero diagonal.
+        for i in 0..5 {
+            prop_assert_eq!(result.autoregression[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_are_symmetric_on_equal_sets(fds in proptest::collection::vec((0usize..5, 5usize..8), 1..5)) {
+        let set = FdSet::from_fds(fds.into_iter().map(|(x, y)| Fd::new([x], y)));
+        let prf = edge_prf(&set, &set.clone());
+        prop_assert_eq!(prf.f1, 1.0);
+        let u = undirected_edge_prf(&set, &set.clone());
+        prop_assert_eq!(u.f1, 1.0);
+    }
+
+    #[test]
+    fn f1_never_exceeds_one(
+        a in proptest::collection::vec((0usize..4, 4usize..8), 1..5),
+        b in proptest::collection::vec((0usize..4, 4usize..8), 1..5),
+    ) {
+        let sa = FdSet::from_fds(a.into_iter().map(|(x, y)| Fd::new([x], y)));
+        let sb = FdSet::from_fds(b.into_iter().map(|(x, y)| Fd::new([x], y)));
+        let prf = edge_prf(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&prf.precision));
+        prop_assert!((0.0..=1.0).contains(&prf.recall));
+        prop_assert!((0.0..=1.0).contains(&prf.f1));
+        prop_assert!(prf.f1 <= prf.precision.max(prf.recall) + 1e-12);
+    }
+}
