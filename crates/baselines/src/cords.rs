@@ -77,9 +77,7 @@ impl Cords {
         };
         let m = sample.nrows() as f64;
 
-        let distinct: Vec<usize> = (0..k)
-            .map(|a| group_ids(&sample, &[a]).count)
-            .collect();
+        let distinct: Vec<usize> = (0..k).map(|a| group_ids(&sample, &[a]).count).collect();
         for a in 0..k {
             // Key and constant filters.
             if distinct[a] as f64 / m > self.config.max_key_ratio || distinct[a] < 2 {
@@ -180,7 +178,9 @@ mod tests {
         // Violate zip -> city in 2 of 120 rows: strength 12/14 stays above
         // the 0.8 default.
         for r in [0usize, 40] {
-            noisy.column_mut(1).set_value(r, fdx_data::Value::text("weird"));
+            noisy
+                .column_mut(1)
+                .set_value(r, fdx_data::Value::text("weird"));
         }
         let fds = Cords::default().discover(&noisy);
         assert!(fds.fds().contains(&Fd::new([0], 1)), "{fds:?}");

@@ -138,7 +138,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..200 {
             let a = i % 10;
-            rows.push([format!("{a:02}"), format!("{:02}", a / 2), format!("{}", (i * 13 + 1) % 7)]);
+            rows.push([
+                format!("{a:02}"),
+                format!("{:02}", a / 2),
+                format!("{}", (i * 13 + 1) % 7),
+            ]);
         }
         let refs: Vec<Vec<&str>> = rows
             .iter()
@@ -152,7 +156,10 @@ mod tests {
             edges.contains(&(0, 1)) || edges.contains(&(1, 0)),
             "a—b dependency missing: {fds:?}"
         );
-        assert!(!edges.contains(&(2, 0)) && !edges.contains(&(2, 1)), "{fds:?}");
+        assert!(
+            !edges.contains(&(2, 0)) && !edges.contains(&(2, 1)),
+            "{fds:?}"
+        );
     }
 
     #[test]

@@ -78,7 +78,8 @@ impl StrippedPartition {
         }
         let mut out: Vec<Vec<u32>> = Vec::new();
         // Scratch: per-self-class accumulation for the current other-class.
-        let mut scratch: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut scratch: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for class in &other.classes {
             scratch.clear();
             for &r in class {

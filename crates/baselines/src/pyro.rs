@@ -11,9 +11,9 @@
 //! for Pyro (hundreds of FDs on real datasets, Table 6).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use fdx_data::{AttrId, Dataset, Fd, FdSet};
+use fdx_obs::Span;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -58,6 +58,16 @@ pub struct Pyro {
     config: PyroConfig,
 }
 
+/// Lattice counters accumulated across the per-RHS searches and flushed to
+/// the metrics registry in one batch when discovery finishes.
+#[derive(Debug, Default)]
+struct SearchStats {
+    candidates: u64,
+    estimated_out: u64,
+    validations: u64,
+    validated: u64,
+}
+
 impl Pyro {
     /// Creates a Pyro instance.
     pub fn new(config: PyroConfig) -> Pyro {
@@ -70,7 +80,8 @@ impl Pyro {
         let k = ds.ncols();
         assert!(k <= lattice::MAX_ATTRS);
         let n = ds.nrows();
-        let start = Instant::now();
+        // The span doubles as the budget clock for the per-RHS searches.
+        let span = Span::enter("pyro.discover");
         let mut fds = FdSet::new();
         if n < 2 || k < 2 {
             return fds;
@@ -97,26 +108,34 @@ impl Pyro {
             agree.push(mask);
         }
 
-        let singles: Vec<StrippedPartition> =
-            (0..k).map(|a| StrippedPartition::from_column(ds, a)).collect();
+        let singles: Vec<StrippedPartition> = (0..k)
+            .map(|a| StrippedPartition::from_column(ds, a))
+            .collect();
 
+        let mut stats = SearchStats::default();
         for rhs in 0..k {
-            if start.elapsed().as_secs_f64() > self.config.max_seconds {
+            if span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
-            self.search_rhs(ds, rhs, &agree, &singles, start, &mut fds);
+            self.search_rhs(ds, rhs, &agree, &singles, &span, &mut stats, &mut fds);
         }
+        fdx_obs::counter_add("pyro.candidates", stats.candidates);
+        fdx_obs::counter_add("pyro.estimated_out", stats.estimated_out);
+        fdx_obs::counter_add("pyro.validations", stats.validations);
+        fdx_obs::counter_add("pyro.validated", stats.validated);
         fds
     }
 
     /// Per-RHS lattice ascension with estimate-then-validate.
+    #[allow(clippy::too_many_arguments)]
     fn search_rhs(
         &self,
         ds: &Dataset,
         rhs: AttrId,
         agree: &[AttrSet],
         singles: &[StrippedPartition],
-        start: Instant,
+        span: &Span,
+        stats: &mut SearchStats,
         fds: &mut FdSet,
     ) {
         let k = ds.ncols();
@@ -155,31 +174,35 @@ impl Pyro {
         let mut minimal_found: Vec<AttrSet> = Vec::new();
 
         for _depth in 1..=self.config.max_lhs {
-            if level.is_empty() || start.elapsed().as_secs_f64() > self.config.max_seconds {
+            if level.is_empty() || span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
             let mut survivors: Vec<AttrSet> = Vec::new();
             for &x in &level {
-                if start.elapsed().as_secs_f64() > self.config.max_seconds {
+                if span.elapsed_secs() > self.config.max_seconds {
                     return;
                 }
                 // Minimality: skip supersets of found determinants.
                 if minimal_found.iter().any(|&m| x & m == m) {
                     continue;
                 }
+                stats.candidates += 1;
                 let est = estimate(x);
                 if est > self.config.max_error + self.config.estimate_slack {
                     // Hopeless by estimate — but keep ascending through it.
+                    stats.estimated_out += 1;
                     survivors.push(x);
                     continue;
                 }
                 // Exact validation.
+                stats.validations += 1;
                 let px = partitions
                     .get(&x)
                     .expect("partition maintained for every level member");
                 let pxr = px.product(&singles[rhs]);
                 let error = px.fd_error(&pxr);
                 if error <= self.config.max_error {
+                    stats.validated += 1;
                     fds.insert(Fd::new(lattice::members(x), rhs));
                     minimal_found.push(x);
                 } else {
@@ -191,7 +214,7 @@ impl Pyro {
             let next = lattice::next_level(&survivors);
             let mut next_partitions = HashMap::with_capacity(next.len());
             for &cand in &next {
-                if start.elapsed().as_secs_f64() > self.config.max_seconds {
+                if span.elapsed_secs() > self.config.max_seconds {
                     return;
                 }
                 let m = lattice::members(cand);
@@ -242,7 +265,10 @@ mod tests {
         let fds = Pyro::default().discover(&chain_ds());
         assert!(fds.fds().contains(&Fd::new([0], 1)), "{fds:?}");
         assert!(fds.fds().contains(&Fd::new([1], 2)), "{fds:?}");
-        assert!(fds.fds().contains(&Fd::new([0], 2)), "transitive syntactic FD");
+        assert!(
+            fds.fds().contains(&Fd::new([0], 2)),
+            "transitive syntactic FD"
+        );
         assert!(!fds.fds().contains(&Fd::new([2], 0)));
     }
 

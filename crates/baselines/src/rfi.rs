@@ -11,9 +11,8 @@
 //! matching the paper's RFI(.3)/RFI(.5)/RFI(1.0) variants), and as in the
 //! paper's methodology only the top-1 FD per attribute is kept.
 
-use std::time::Instant;
-
 use fdx_data::{AttrId, Dataset, Fd, FdSet};
+use fdx_obs::Span;
 use fdx_stats::{entropy, expected_mutual_information, group_ids, mutual_information};
 
 /// Configuration of [`Rfi`].
@@ -78,19 +77,26 @@ impl Rfi {
     /// Discovers the top-1 FD per attribute (the paper's protocol: "we keep
     /// the top-1 FD per attribute to obtain a parsimonious model").
     pub fn discover(&self, ds: &Dataset) -> FdSet {
-        let start = Instant::now();
+        // The span doubles as the budget clock across all targets.
+        let span = Span::enter("rfi.discover");
         let k = ds.ncols();
         let mut fds = FdSet::new();
+        let mut total_expansions = 0u64;
+        let mut total_scored = 0u64;
         for y in 0..k {
-            if start.elapsed().as_secs_f64() > self.config.max_seconds {
+            if span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
-            if let Some((best_x, best_score)) = self.search_target(ds, y, start) {
+            if let Some((best_x, best_score)) =
+                self.search_target(ds, y, &span, &mut total_expansions, &mut total_scored)
+            {
                 if best_score >= self.config.min_score {
                     fds.insert(Fd::new(best_x, y));
                 }
             }
         }
+        fdx_obs::counter_add("rfi.expansions", total_expansions);
+        fdx_obs::counter_add("rfi.scored", total_scored);
         fds
     }
 
@@ -99,7 +105,9 @@ impl Rfi {
         &self,
         ds: &Dataset,
         y: AttrId,
-        start: Instant,
+        span: &Span,
+        total_expansions: &mut u64,
+        total_scored: &mut u64,
     ) -> Option<(Vec<AttrId>, f64)> {
         let k = ds.ncols();
         let hy = entropy(ds, &[y]);
@@ -118,10 +126,11 @@ impl Rfi {
             if a == y {
                 continue;
             }
-            if start.elapsed().as_secs_f64() > self.config.max_seconds {
+            if span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
             let x = vec![a];
+            *total_scored += 1;
             let s = self.score(ds, &x, y);
             if best.as_ref().map_or(true, |(_, b)| s > *b) {
                 best = Some((x.clone(), s));
@@ -141,7 +150,8 @@ impl Rfi {
             };
             let (_, x) = frontier.swap_remove(top);
             expansions += 1;
-            if expansions > 5_000 || start.elapsed().as_secs_f64() > self.config.max_seconds {
+            *total_expansions += 1;
+            if expansions > 5_000 || span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
             if x.len() >= self.config.max_lhs {
@@ -159,6 +169,7 @@ impl Rfi {
                 let mut ext = x.clone();
                 ext.push(a);
                 ext.sort_unstable();
+                *total_scored += 1;
                 let s = self.score(ds, &ext, y);
                 if best.as_ref().map_or(true, |(_, b)| s > *b) {
                     best = Some((ext.clone(), s));
@@ -211,7 +222,10 @@ mod tests {
         for fd in fds.iter() {
             assert!(seen.insert(fd.rhs()), "two FDs for one rhs: {fds:?}");
         }
-        assert!(fds.iter().any(|fd| fd.rhs() == 1 && fd.lhs() == [0]), "{fds:?}");
+        assert!(
+            fds.iter().any(|fd| fd.rhs() == 1 && fd.lhs() == [0]),
+            "{fds:?}"
+        );
     }
 
     #[test]

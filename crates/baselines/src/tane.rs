@@ -1,7 +1,6 @@
 //! TANE (Huhtala, Kärkkäinen, Porkka, Toivonen 1999) with approximate FDs.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use fdx_data::{Dataset, Fd, FdSet};
 
@@ -56,7 +55,12 @@ impl Tane {
             "TANE's lattice supports at most {} attributes",
             lattice::MAX_ATTRS
         );
-        let start = Instant::now();
+        // The span doubles as the budget clock: `elapsed_secs` works whether
+        // or not recording is enabled.
+        let span = fdx_obs::Span::enter("tane.discover");
+        let mut candidates_checked = 0u64;
+        let mut validated = 0u64;
+        let mut pruned = 0u64;
         let full: AttrSet = if k == lattice::MAX_ATTRS {
             u128::MAX
         } else {
@@ -74,15 +78,15 @@ impl Tane {
         // C⁺ of the previous level (C⁺(∅) = R for level 1).
         let mut cplus_prev: HashMap<AttrSet, AttrSet> = HashMap::from([(0, full)]);
 
-        for _depth in 1..=(self.config.max_lhs + 1) {
-            if level.is_empty() || start.elapsed().as_secs_f64() > self.config.max_seconds {
+        'levels: for _depth in 1..=(self.config.max_lhs + 1) {
+            if level.is_empty() || span.elapsed_secs() > self.config.max_seconds {
                 break;
             }
             let mut cplus: HashMap<AttrSet, AttrSet> = HashMap::with_capacity(level.len());
             // compute_dependencies
             for &x in &level {
-                if start.elapsed().as_secs_f64() > self.config.max_seconds {
-                    return fds;
+                if span.elapsed_secs() > self.config.max_seconds {
+                    break 'levels;
                 }
                 let mut cp = full;
                 for a in lattice::members(x) {
@@ -94,12 +98,13 @@ impl Tane {
                     if sub == 0 {
                         continue; // FDs with empty determinants are not emitted
                     }
-                    let (Some(px), Some(psub)) = (partitions.get(&x), partitions.get(&sub))
-                    else {
+                    let (Some(px), Some(psub)) = (partitions.get(&x), partitions.get(&sub)) else {
                         continue;
                     };
+                    candidates_checked += 1;
                     let error = psub.fd_error(px);
                     if error <= self.config.max_error {
+                        validated += 1;
                         fds.insert(Fd::new(lattice::members(sub), a));
                         cp &= !lattice::singleton(a);
                         if error == 0.0 {
@@ -114,7 +119,9 @@ impl Tane {
             // prune: emit the key rule first — a (super)key trivially
             // determines every remaining rhs candidate (TANE's key pruning).
             for &x in &level {
-                let Some(p) = partitions.get(&x) else { continue };
+                let Some(p) = partitions.get(&x) else {
+                    continue;
+                };
                 if !p.is_key() {
                     continue;
                 }
@@ -126,25 +133,26 @@ impl Tane {
                     let bit_a = lattice::singleton(a);
                     let minimal = lattice::members(x).into_iter().all(|b| {
                         let neighbor = (x | bit_a) & !lattice::singleton(b);
-                        cplus
-                            .get(&neighbor)
-                            .is_some_and(|&cp_n| cp_n & bit_a != 0)
+                        cplus.get(&neighbor).is_some_and(|&cp_n| cp_n & bit_a != 0)
                     });
                     if minimal {
+                        validated += 1;
                         fds.insert(Fd::new(lattice::members(x), a));
                     }
                 }
             }
+            let before_prune = level.len();
             level.retain(|x| {
                 cplus.get(x).map_or(false, |&cp| cp != 0)
                     && partitions.get(x).map_or(false, |p| !p.is_key())
             });
+            pruned += (before_prune - level.len()) as u64;
             // generate next level with partition products
             let next = lattice::next_level(&level);
             let mut next_partitions: HashMap<AttrSet, StrippedPartition> =
                 HashMap::with_capacity(next.len());
             for &cand in &next {
-                if start.elapsed().as_secs_f64() > self.config.max_seconds {
+                if span.elapsed_secs() > self.config.max_seconds {
                     break;
                 }
                 // Split into two subsets whose partitions we hold.
@@ -164,6 +172,9 @@ impl Tane {
             partitions.extend(next_partitions);
             cplus_prev = cplus;
         }
+        fdx_obs::counter_add("tane.candidates", candidates_checked);
+        fdx_obs::counter_add("tane.validated", validated);
+        fdx_obs::counter_add("tane.pruned", pruned);
         fds
     }
 }
@@ -256,10 +267,7 @@ mod tests {
 
     #[test]
     fn key_attributes_determine_everything() {
-        let ds = Dataset::from_string_rows(
-            &["id", "v"],
-            &[&["1", "x"], &["2", "y"], &["3", "x"]],
-        );
+        let ds = Dataset::from_string_rows(&["id", "v"], &[&["1", "x"], &["2", "y"], &["3", "x"]]);
         let fds = Tane::default().discover(&ds);
         // id is a key: id -> v follows (trivially, zero error).
         assert!(fds.fds().contains(&Fd::new([0], 1)), "{fds:?}");

@@ -59,12 +59,20 @@ impl BayesNet {
             }
             match &node.cpt {
                 Cpt::Root(dist) => {
-                    assert!(node.parents.is_empty(), "root node {} has parents", node.name);
+                    assert!(
+                        node.parents.is_empty(),
+                        "root node {} has parents",
+                        node.name
+                    );
                     assert_eq!(dist.len(), node.card);
                     assert_distribution(dist, &node.name);
                 }
                 Cpt::Table(rows) => {
-                    assert!(!node.parents.is_empty(), "table node {} has no parents", node.name);
+                    assert!(
+                        !node.parents.is_empty(),
+                        "table node {} has no parents",
+                        node.name
+                    );
                     assert_eq!(rows.len(), configs, "node {} CPT row count", node.name);
                     for row in rows {
                         assert_eq!(row.len(), node.card);
@@ -218,7 +226,11 @@ pub(crate) mod build {
 
     /// A random CPT with one stochastic row per parent configuration.
     pub fn random_table(card: usize, configs: usize, rng: &mut impl Rng) -> Cpt {
-        Cpt::Table((0..configs).map(|_| random_distribution(card, rng)).collect())
+        Cpt::Table(
+            (0..configs)
+                .map(|_| random_distribution(card, rng))
+                .collect(),
+        )
     }
 
     /// A uniformly random deterministic mapping that is guaranteed to be
@@ -236,7 +248,9 @@ pub(crate) mod build {
     fn random_distribution(card: usize, rng: &mut impl Rng) -> Vec<f64> {
         // Dirichlet-ish: exponential weights, normalized, floored to keep
         // every state reachable.
-        let mut w: Vec<f64> = (0..card).map(|_| -f64::ln(rng.gen_range(1e-6..1.0))).collect();
+        let mut w: Vec<f64> = (0..card)
+            .map(|_| -f64::ln(rng.gen_range(1e-6..1.0)))
+            .collect();
         let sum: f64 = w.iter().sum();
         for v in &mut w {
             *v = (*v / sum).max(0.02);
@@ -272,11 +286,7 @@ mod tests {
                 name: "C".into(),
                 card: 2,
                 parents: vec![0],
-                cpt: Cpt::Table(vec![
-                    vec![0.9, 0.1],
-                    vec![0.5, 0.5],
-                    vec![0.2, 0.8],
-                ]),
+                cpt: Cpt::Table(vec![vec![0.9, 0.1], vec![0.5, 0.5], vec![0.2, 0.8]]),
             },
         ])
     }

@@ -44,7 +44,12 @@ impl NetBuilder {
     fn ids(&self, parents: &[&'static str]) -> Vec<usize> {
         parents
             .iter()
-            .map(|p| *self.index.get(p).unwrap_or_else(|| panic!("unknown parent {p}")))
+            .map(|p| {
+                *self
+                    .index
+                    .get(p)
+                    .unwrap_or_else(|| panic!("unknown parent {p}"))
+            })
             .collect()
     }
 
@@ -282,7 +287,8 @@ mod tests {
                     let rhs = ds.code(r, fd.rhs());
                     let entry = map.entry(key).or_insert(rhs);
                     assert_eq!(
-                        *entry, rhs,
+                        *entry,
+                        rhs,
                         "{name}: FD {} violated at row {r}",
                         fd.display(ds.schema())
                     );

@@ -24,12 +24,16 @@ fn bench_end_to_end(c: &mut Criterion) {
             let fdx = Fdx::new(FdxConfig::default());
             b.iter(|| fdx.discover(ds).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("fdx_no_validation", &label), ds, |b, ds| {
-            let mut cfg = FdxConfig::default();
-            cfg.validate = false;
-            let fdx = Fdx::new(cfg);
-            b.iter(|| fdx.discover(ds).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fdx_no_validation", &label),
+            ds,
+            |b, ds| {
+                let mut cfg = FdxConfig::default();
+                cfg.validate = false;
+                let fdx = Fdx::new(cfg);
+                b.iter(|| fdx.discover(ds).unwrap());
+            },
+        );
         group.bench_with_input(BenchmarkId::new("gl_raw", &label), ds, |b, ds| {
             let gl = GlRaw::default();
             b.iter(|| gl.discover(ds));

@@ -9,7 +9,12 @@ use fdx_synth::generator::{self, SynthConfig};
 fn bench_transform(c: &mut Criterion) {
     let mut group = c.benchmark_group("pair_transform");
     group.sample_size(20);
-    for (rows, cols) in [(1_000usize, 10usize), (1_000, 40), (10_000, 10), (10_000, 40)] {
+    for (rows, cols) in [
+        (1_000usize, 10usize),
+        (1_000, 40),
+        (10_000, 10),
+        (10_000, 40),
+    ] {
         let data = generator::generate(&SynthConfig {
             tuples: rows,
             attributes: cols,

@@ -8,9 +8,7 @@ use fdx_synth::generator;
 
 fn main() {
     let n_instances = instances();
-    println!(
-        "Figure 2: median F1 over {n_instances} instances per setting (paper: 5)\n"
-    );
+    println!("Figure 2: median F1 over {n_instances} instances per setting (paper: 5)\n");
     for setting in generator::figure2_settings() {
         println!("--- {}", setting.label());
         let methods = lineup_for(setting.noise_rate);
@@ -28,10 +26,7 @@ fn main() {
                 }
                 f1s.push(edge_prf(&data.true_fds, &out.fds).f1);
             }
-            scores.push((
-                m.name(),
-                if skipped { None } else { Some(median(&f1s)) },
-            ));
+            scores.push((m.name(), if skipped { None } else { Some(median(&f1s)) }));
         }
         for (name, f1) in scores {
             match f1 {

@@ -10,7 +10,10 @@ fn main() {
         .discover(&rw.data)
         .expect("hospital stand-in is well-formed");
     println!("Figure 3: FDX autoregression matrix for Hospital\n");
-    println!("{}", render_autoregression_heatmap(&result.autoregression, rw.data.schema()));
+    println!(
+        "{}",
+        render_autoregression_heatmap(&result.autoregression, rw.data.schema())
+    );
     println!("Discovered FDs:");
     print!("{}", result.fds.render(rw.data.schema()));
     println!("\nPlanted reference dependencies:");

@@ -1,6 +1,11 @@
 //! Regenerates **Figure 6**: FDX's column-wise scalability — mean total
 //! runtime vs mean model (structure-learning) runtime as the attribute
 //! count grows.
+//!
+//! Set `FDX_BENCH_METRICS=<path>` to also write one JSON line per run in
+//! the same `run_summary` shape `fdx discover --metrics` emits.
+
+use std::io::Write as _;
 
 use fdx_bench::{env_usize, instances};
 use fdx_core::{Fdx, FdxConfig};
@@ -11,6 +16,9 @@ fn main() {
     let max_cols = env_usize("FDX_BENCH_MAX_COLS", 190);
     let step = env_usize("FDX_BENCH_COL_STEP", 20);
     let reps = instances();
+    let mut metrics_out = std::env::var("FDX_BENCH_METRICS").ok().map(|path| {
+        std::fs::File::create(&path).unwrap_or_else(|e| panic!("FDX_BENCH_METRICS={path}: {e}"))
+    });
     println!("Figure 6: column-wise scalability of FDX ({reps} instances per size)\n");
     println!("{:>8}  {:>12}  {:>12}", "columns", "total (s)", "model (s)");
     let mut cols = 4usize;
@@ -28,7 +36,10 @@ fn main() {
             let data = generator::generate(&cfg);
             if let Ok(r) = Fdx::new(FdxConfig::default()).discover(&data.noisy) {
                 totals.push(r.timings.total_secs());
-                models.push(r.timings.model_secs);
+                models.push(r.timings.model_secs());
+                if let Some(f) = metrics_out.as_mut() {
+                    writeln!(f, "{}", r.summary_json()).expect("metrics write failed");
+                }
             }
         }
         println!(

@@ -27,12 +27,7 @@ fn main() {
         (Small, Small, Large),
         (Small, Small, Small),
     ] {
-        let mut line = format!(
-            "t{}_r{}_d{:<24}",
-            t.label(),
-            r.label(),
-            d.label()
-        );
+        let mut line = format!("t{}_r{}_d{:<24}", t.label(), r.label(), d.label());
         for noise in NOISE_RATES {
             let setting = SynthSetting {
                 tuples: t,

@@ -37,7 +37,9 @@ fn main() {
         // boosted-stump trainer stays tractable on NYPD (34k rows x 60-class
         // targets).
         let rw = if rw.data.nrows() > 4_000 {
-            let rows: Vec<usize> = (0..rw.data.nrows()).step_by(rw.data.nrows() / 4_000).collect();
+            let rows: Vec<usize> = (0..rw.data.nrows())
+                .step_by(rw.data.nrows() / 4_000)
+                .collect();
             realworld::RealWorld {
                 name: rw.name,
                 data: rw.data.gather(&rows),

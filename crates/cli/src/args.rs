@@ -19,7 +19,9 @@ Discover options:
   --ordering <name>   heuristic|natural|amd|colamd|metis|nesdis
   --seed <n>          transform shuffle seed
   --no-validate       emit raw Algorithm 3 output (no validation pass)
-  --heatmap           also print the autoregression heatmap";
+  --heatmap           also print the autoregression heatmap
+  --trace             print the per-phase wall-clock tree to stderr
+  --metrics <path>    write run metrics as JSON-lines to <path>";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +60,8 @@ pub struct DiscoverOptions {
     pub seed: Option<u64>,
     pub validate: bool,
     pub heatmap: bool,
+    pub trace: bool,
+    pub metrics: Option<String>,
 }
 
 impl Default for DiscoverOptions {
@@ -71,6 +75,8 @@ impl Default for DiscoverOptions {
             seed: None,
             validate: true,
             heatmap: false,
+            trace: false,
+            metrics: None,
         }
     }
 }
@@ -108,6 +114,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--ordering" => options.ordering = Some(parse_ordering(value(flag)?)?),
                     "--no-validate" => options.validate = false,
                     "--heatmap" => options.heatmap = true,
+                    "--trace" => options.trace = true,
+                    "--metrics" => options.metrics = Some(value(flag)?.clone()),
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
@@ -153,14 +161,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 }
 
 fn parse_f64(s: &str) -> Result<f64, String> {
-    s.parse().map_err(|_| format!("expected a number, got {s:?}"))
+    s.parse()
+        .map_err(|_| format!("expected a number, got {s:?}"))
 }
 
 fn parse_ordering(s: &str) -> Result<OrderingMethod, String> {
     OrderingMethod::ALL
         .into_iter()
         .find(|m| m.label() == s)
-        .ok_or_else(|| format!("unknown ordering {s:?} (try: heuristic, natural, amd, colamd, metis, nesdis)"))
+        .ok_or_else(|| {
+            format!("unknown ordering {s:?} (try: heuristic, natural, amd, colamd, metis, nesdis)")
+        })
 }
 
 #[cfg(test)]
@@ -213,6 +224,20 @@ mod tests {
                 rhs: "city".into(),
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_and_metrics() {
+        let cmd = parse(&argv("discover d.csv --trace --metrics out.jsonl")).unwrap();
+        match cmd {
+            Command::Discover { options, .. } => {
+                assert!(options.trace);
+                assert_eq!(options.metrics.as_deref(), Some("out.jsonl"));
+            }
+            _ => unreachable!(),
+        }
+        // --metrics requires a value.
+        assert!(parse(&argv("discover d.csv --metrics")).is_err());
     }
 
     #[test]

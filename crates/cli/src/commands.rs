@@ -48,7 +48,21 @@ fn build_config(options: &DiscoverOptions) -> FdxConfig {
 fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
     let data = load(path)?;
     let cfg = build_config(options);
-    let result = Fdx::new(cfg).discover(&data).map_err(|e| e.to_string())?;
+    let observing = options.trace || options.metrics.is_some();
+    if observing {
+        // Start from a clean slate so the export covers exactly this run.
+        fdx_obs::set_enabled(true);
+        fdx_obs::Registry::global().reset();
+        let _ = fdx_obs::take_trace();
+    }
+    let run = Fdx::new(cfg).discover(&data);
+    let trace = if observing {
+        fdx_obs::set_enabled(false);
+        fdx_obs::take_trace()
+    } else {
+        Vec::new()
+    };
+    let result = run.map_err(|e| e.to_string())?;
     if options.heatmap {
         println!(
             "{}",
@@ -65,8 +79,32 @@ fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
         data.nrows(),
         data.ncols(),
         result.timings.transform_secs,
-        result.timings.model_secs
+        result.timings.model_secs()
     );
+    if options.trace {
+        eprint!("{}", fdx_obs::render_phase_tree(&trace));
+    }
+    if let Some(mpath) = &options.metrics {
+        let mut out = String::new();
+        out.push_str(&result.summary_json());
+        out.push('\n');
+        for root in &trace {
+            out.push_str(
+                &fdx_obs::json::Obj::new()
+                    .str_("kind", "phase")
+                    .raw("tree", &root.to_json())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out.push_str(&fdx_obs::export_jsonl(
+            &fdx_obs::Registry::global().snapshot(),
+        ));
+        std::fs::write(mpath, out).map_err(|e| format!("{mpath}: {e}"))?;
+    }
+    if observing {
+        fdx_obs::Registry::global().reset();
+    }
     Ok(())
 }
 
@@ -133,10 +171,16 @@ fn score(path: &str, lhs_names: &[String], rhs_name: &str) -> Result<(), String>
     }
     let s = score_fd(&data, &lhs, rhs);
     println!("FD        {} -> {}", lhs_names.join(","), rhs_name);
-    println!("conditional P(rhs agrees | lhs agrees) = {:.4}", s.conditional);
+    println!(
+        "conditional P(rhs agrees | lhs agrees) = {:.4}",
+        s.conditional
+    );
     println!("baseline    P(rhs agrees)              = {:.4}", s.baseline);
     println!("lift        (rho - beta)/(1 - beta)    = {:.4}", s.lift);
-    println!("support     lhs-agreeing tuple pairs   = {}", s.support_pairs);
+    println!(
+        "support     lhs-agreeing tuple pairs   = {}",
+        s.support_pairs
+    );
     Ok(())
 }
 
@@ -175,6 +219,47 @@ mod tests {
         score(p, &["zip".to_string()], "city").unwrap();
         assert!(score(p, &["city".to_string()], "nope").is_err());
         assert!(score(p, &["city".to_string()], "city").is_err());
+    }
+
+    #[test]
+    fn discover_writes_metrics_jsonl() {
+        let dir = std::env::temp_dir().join("fdx_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("m.csv");
+        let mut csv = String::from("zip,city,state\n");
+        for i in 0..80 {
+            let zip = i % 16;
+            csv.push_str(&format!("z{zip},c{},s{}\n", zip / 2, zip / 8));
+        }
+        std::fs::write(&csv_path, csv).unwrap();
+        let metrics_path = dir.join("m.jsonl");
+        let opts = DiscoverOptions {
+            trace: true,
+            metrics: Some(metrics_path.to_str().unwrap().to_string()),
+            ..Default::default()
+        };
+        discover(csv_path.to_str().unwrap(), &opts).unwrap();
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains(r#""kind":"run_summary""#), "{first}");
+        assert!(text.contains(r#""kind":"phase""#), "phase tree missing");
+        assert!(text.contains("fdx.discover"), "root span missing");
+        assert!(
+            text.contains(r#""name":"fdx.glasso.summary""#),
+            "glasso convergence summary missing:\n{text}"
+        );
+        for phase in [
+            "fdx.transform",
+            "fdx.covariance",
+            "fdx.ordering",
+            "fdx.factorization",
+            "fdx.generation",
+        ] {
+            assert!(
+                text.contains(phase),
+                "{phase} missing from metrics:\n{text}"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! fdx discover data.csv [--threshold T] [--sparsity L] [--min-lift M]
 //!                       [--ordering natural|heuristic|amd|colamd|metis|nesdis]
 //!                       [--seed N] [--no-validate] [--heatmap]
+//!                       [--trace] [--metrics out.jsonl]
 //! fdx profile  data.csv
 //! fdx score    data.csv --lhs zip,street --rhs city
 //! ```

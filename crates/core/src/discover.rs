@@ -77,55 +77,87 @@ impl Fdx {
             });
         }
         let cfg = &self.config;
+        let _run_span = fdx_obs::Span::enter("fdx.discover");
+        let mut timings = FdxTimings::default();
 
         // Step 1: pair transform (Algorithm 2).
-        let t0 = Instant::now();
-        let stats = pair_transform(ds, &cfg.transform);
-        let transform_secs = t0.elapsed().as_secs_f64();
-
-        // Step 2: covariance and sparse inverse covariance.
-        let t1 = Instant::now();
-        let mut s = if cfg.use_correlation {
-            stats.correlation()
-        } else {
-            stats.covariance()
+        let t = Instant::now();
+        let stats = {
+            let _span = fdx_obs::Span::enter("fdx.transform");
+            pair_transform(ds, &cfg.transform)
         };
-        if cfg.shrinkage > 0.0 {
-            // S ← (1−α) S + α I: bounds Θ when FD chains drive S singular.
-            let alpha = cfg.shrinkage.min(1.0);
-            s.scale_mut(1.0 - alpha);
-            s.add_diag_mut(alpha);
-        }
+        timings.transform_secs = t.elapsed().as_secs_f64();
+
+        // Step 2a: covariance estimation with optional shrinkage.
+        let t = Instant::now();
+        let s = {
+            let _span = fdx_obs::Span::enter("fdx.covariance");
+            let mut s = if cfg.use_correlation {
+                stats.correlation()
+            } else {
+                stats.covariance()
+            };
+            if cfg.shrinkage > 0.0 {
+                // S ← (1−α) S + α I: bounds Θ when FD chains drive S singular.
+                let alpha = cfg.shrinkage.min(1.0);
+                s.scale_mut(1.0 - alpha);
+                s.add_diag_mut(alpha);
+            }
+            s
+        };
+        timings.covariance_secs = t.elapsed().as_secs_f64();
+
+        // Step 2b: sparse inverse covariance. `graphical_lasso` opens its
+        // own `fdx.glasso` span and emits per-sweep convergence events.
+        let t = Instant::now();
         let glasso_cfg = GlassoConfig {
             lambda: cfg.sparsity,
             ..GlassoConfig::default()
         };
         let theta = graphical_lasso(&s, &glasso_cfg)?.theta;
+        timings.glasso_secs = t.elapsed().as_secs_f64();
 
-        // Step 3: global attribute order + UDUᵀ factorization.
+        // Step 3a: global attribute order.
         // Normalize Θ to unit diagonal first so the autoregression
         // coefficients (and therefore `threshold`) are scale-free.
-        let theta_n = normalize_diagonal(&theta);
-        // Agreement rates break ordering ties: frequently-agreeing
-        // (determined) attributes are eliminated first and land late in the
-        // global order, key-like attributes early.
-        let rates = stats.agreement_rates();
-        let order =
-            compute_order_weighted(&theta_n, cfg.support_threshold, cfg.ordering, Some(&rates));
-        let factor = match udut(&theta_n, &order) {
-            Ok(f) => f,
-            Err(LinalgError::NotPositiveDefinite { .. }) => {
-                // Glasso output should be PD; guard with a ridge anyway.
-                let mut ridged = theta_n.clone();
-                ridged.add_diag_mut(1e-8);
-                udut(&ridged, &order)?
-            }
-            Err(e) => return Err(e.into()),
+        let t = Instant::now();
+        let (theta_n, order) = {
+            let _span = fdx_obs::Span::enter("fdx.ordering");
+            let theta_n = normalize_diagonal(&theta);
+            // Agreement rates break ordering ties: frequently-agreeing
+            // (determined) attributes are eliminated first and land late in
+            // the global order, key-like attributes early.
+            let rates = stats.agreement_rates();
+            let order =
+                compute_order_weighted(&theta_n, cfg.support_threshold, cfg.ordering, Some(&rates));
+            (theta_n, order)
         };
+        timings.ordering_secs = t.elapsed().as_secs_f64();
+
+        // Step 3b: UDUᵀ factorization (with a ridge retry guard).
+        let t = Instant::now();
+        let factor = {
+            let _span = fdx_obs::Span::enter("fdx.factorization");
+            match udut(&theta_n, &order) {
+                Ok(f) => f,
+                Err(LinalgError::NotPositiveDefinite { .. }) => {
+                    // Glasso output should be PD; guard with a ridge anyway.
+                    fdx_obs::counter_add("fdx.udut.ridge_retries", 1);
+                    let mut ridged = theta_n.clone();
+                    ridged.add_diag_mut(1e-8);
+                    udut(&ridged, &order)?
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        timings.factorization_secs = t.elapsed().as_secs_f64();
         let b_perm = factor.autoregression();
 
         // Step 4: FD generation (Algorithm 3) on the permuted B, mapped back
         // to schema attribute ids.
+        let t = Instant::now();
+        let gen_span = fdx_obs::Span::enter("fdx.generation");
+        let mut candidate_edges = 0u64;
         let mut fds = FdSet::new();
         for j in 0..k {
             let rhs = order.image(j);
@@ -138,11 +170,9 @@ impl Fdx {
             if candidates.is_empty() {
                 continue;
             }
+            candidate_edges += candidates.len() as u64;
             // Relative pruning: drop weak echoes of the dominant determinant.
-            let strongest = candidates
-                .iter()
-                .map(|&(_, w)| w)
-                .fold(0.0_f64, f64::max);
+            let strongest = candidates.iter().map(|&(_, w)| w).fold(0.0_f64, f64::max);
             candidates.retain(|&(_, w)| w >= cfg.relative_keep * strongest);
             // Parsimony cap: keep the strongest coefficients only.
             if candidates.len() > cfg.max_lhs {
@@ -151,8 +181,16 @@ impl Fdx {
             }
             fds.insert(Fd::new(candidates.into_iter().map(|(a, _)| a), rhs));
         }
+        fdx_obs::counter_add("fdx.generation.candidate_edges", candidate_edges);
+        fdx_obs::counter_add("fdx.generation.kept_edges", fds.edge_count() as u64);
+        drop(gen_span);
+        timings.generation_secs = t.elapsed().as_secs_f64();
+
         if cfg.validate {
+            let t = Instant::now();
+            let _span = fdx_obs::Span::enter("fdx.validation");
             fds = crate::validate::refine(ds, &fds, cfg.min_lift);
+            timings.validation_secs = t.elapsed().as_secs_f64();
         }
 
         // Report B in original schema coordinates.
@@ -162,7 +200,6 @@ impl Fdx {
                 b_orig[(order.image(i), order.image(j))] = b_perm[(i, j)];
             }
         }
-        let model_secs = t1.elapsed().as_secs_f64();
 
         Ok(FdxResult {
             fds,
@@ -170,10 +207,7 @@ impl Fdx {
             theta,
             order,
             noise_variances: factor.d.iter().map(|&d| 1.0 / d.max(1e-12)).collect(),
-            timings: FdxTimings {
-                transform_secs,
-                model_secs,
-            },
+            timings,
         })
     }
 }
@@ -312,7 +346,10 @@ mod tests {
                 ]
             })
             .collect();
-        let refs: Vec<Vec<&str>> = rows.iter().map(|r| vec![r[0].as_str(), r[1].as_str()]).collect();
+        let refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| vec![r[0].as_str(), r[1].as_str()])
+            .collect();
         let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
         let ds = Dataset::from_string_rows(&["a", "b"], &slices);
         let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();

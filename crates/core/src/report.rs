@@ -1,21 +1,72 @@
 use fdx_data::{FdSet, Schema};
 use fdx_linalg::{Matrix, Permutation};
 
-/// Wall-clock breakdown of a discovery run, matching the two series of the
-/// paper's Figure 6 ("mean of total runtime" vs "mean of model runtime").
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Wall-clock breakdown of a discovery run, one field per pipeline phase.
+///
+/// The paper's Figure 6 plots two series — "mean of total runtime" and
+/// "mean of model runtime" — recovered here by [`FdxTimings::total_secs`]
+/// and [`FdxTimings::model_secs`]; the per-phase fields are the finer
+/// breakdown behind §6.6's runtime discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct FdxTimings {
     /// Seconds spent in the pair transform (Algorithm 2).
     pub transform_secs: f64,
-    /// Seconds spent in covariance estimation, glasso, ordering,
-    /// factorization, and FD generation.
-    pub model_secs: f64,
+    /// Seconds spent estimating the covariance/correlation and shrinking it.
+    pub covariance_secs: f64,
+    /// Seconds spent in the graphical lasso solving for `Θ`.
+    pub glasso_secs: f64,
+    /// Seconds spent computing the global attribute order.
+    pub ordering_secs: f64,
+    /// Seconds spent in the `U D Uᵀ` factorization (including ridge retries).
+    pub factorization_secs: f64,
+    /// Seconds spent generating FDs from the autoregression matrix
+    /// (Algorithm 3).
+    pub generation_secs: f64,
+    /// Seconds spent in data-side validation/refinement of candidate FDs.
+    pub validation_secs: f64,
 }
 
 impl FdxTimings {
+    /// Model seconds: everything after the pair transform (Figure 6's
+    /// "model runtime" series).
+    pub fn model_secs(&self) -> f64 {
+        self.covariance_secs
+            + self.glasso_secs
+            + self.ordering_secs
+            + self.factorization_secs
+            + self.generation_secs
+            + self.validation_secs
+    }
+
     /// Total pipeline seconds.
     pub fn total_secs(&self) -> f64 {
-        self.transform_secs + self.model_secs
+        self.transform_secs + self.model_secs()
+    }
+
+    /// Phase names paired with their durations, in pipeline order.
+    pub fn phases(&self) -> [(&'static str, f64); 7] {
+        [
+            ("transform", self.transform_secs),
+            ("covariance", self.covariance_secs),
+            ("glasso", self.glasso_secs),
+            ("ordering", self.ordering_secs),
+            ("factorization", self.factorization_secs),
+            ("generation", self.generation_secs),
+            ("validation", self.validation_secs),
+        ]
+    }
+
+    /// Serializes the breakdown as one deterministic JSON object — the shape
+    /// shared by `fdx discover --metrics` and the bench binaries.
+    pub fn to_json(&self) -> String {
+        let mut obj = fdx_obs::json::Obj::new().str_("kind", "timings");
+        for (name, secs) in self.phases() {
+            obj = obj.f64_(name, secs);
+        }
+        obj.f64_("model", self.model_secs())
+            .f64_("total", self.total_secs())
+            .finish()
     }
 }
 
@@ -38,6 +89,21 @@ pub struct FdxResult {
     pub noise_variances: Vec<f64>,
     /// Wall-clock breakdown.
     pub timings: FdxTimings,
+}
+
+impl FdxResult {
+    /// Serializes a run summary — FD/edge counts, attribute count, and the
+    /// nested timing breakdown — as one deterministic JSON object. CLI
+    /// `--metrics` output and the bench binaries both emit this shape.
+    pub fn summary_json(&self) -> String {
+        fdx_obs::json::Obj::new()
+            .str_("kind", "run_summary")
+            .u64_("attrs", self.autoregression.rows() as u64)
+            .u64_("fds", self.fds.iter().count() as u64)
+            .u64_("edges", self.fds.edge_count() as u64)
+            .raw("timings", &self.timings.to_json())
+            .finish()
+    }
 }
 
 /// Renders an autoregression matrix as a textual heatmap (the workspace's
@@ -94,9 +160,40 @@ mod tests {
     fn timings_sum() {
         let t = FdxTimings {
             transform_secs: 1.5,
-            model_secs: 0.5,
+            covariance_secs: 0.1,
+            glasso_secs: 0.2,
+            ordering_secs: 0.05,
+            factorization_secs: 0.05,
+            generation_secs: 0.05,
+            validation_secs: 0.05,
         };
-        assert_eq!(t.total_secs(), 2.0);
+        assert!((t.model_secs() - 0.5).abs() < 1e-12);
+        assert!((t.total_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timings_json_shape() {
+        let t = FdxTimings {
+            transform_secs: 0.5,
+            ..FdxTimings::default()
+        };
+        let json = t.to_json();
+        assert!(
+            json.starts_with(r#"{"kind":"timings","transform":0.5"#),
+            "{json}"
+        );
+        for phase in [
+            "covariance",
+            "glasso",
+            "ordering",
+            "factorization",
+            "generation",
+            "validation",
+            "model",
+            "total",
+        ] {
+            assert!(json.contains(&format!(r#""{phase}":"#)), "{json}");
+        }
     }
 
     #[test]

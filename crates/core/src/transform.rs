@@ -236,14 +236,13 @@ fn accumulate_attribute(
             let mut order: Vec<usize> = shuffled.to_vec();
             order.sort_by_key(|&r| codes[r]);
             let limit = cfg.max_pairs_per_attr.unwrap_or(n).min(n);
-            (0..limit)
-                .map(|r| (order[r], order[(r + 1) % n]))
-                .collect()
+            (0..limit).map(|r| (order[r], order[(r + 1) % n])).collect()
         }
         PairSampling::UniformRandom { pairs_per_attr } => {
             // Derive a distinct stream per attribute for reproducibility
             // independent of thread scheduling.
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             (0..pairs_per_attr)
                 .map(|_| {
                     let i = rng.gen_range(0..n);

@@ -192,8 +192,7 @@ fn drop_inversion_artifacts(ds: &Dataset, fds: &FdSet) -> FdSet {
     ordered.sort_by_key(|fd| std::cmp::Reverse(ds.column(fd.rhs()).distinct_count()));
     let mut survivors: Vec<Fd> = Vec::new();
     for fd in ordered {
-        let determiners: BTreeMap<AttrId, &Fd> =
-            survivors.iter().map(|s| (s.rhs(), s)).collect();
+        let determiners: BTreeMap<AttrId, &Fd> = survivors.iter().map(|s| (s.rhs(), s)).collect();
         let mut expanded: Vec<AttrId> = Vec::new();
         for &x in fd.lhs() {
             match determiners.get(&x) {
@@ -281,8 +280,7 @@ fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
                 // sinks are extracted in reverse topological order, so an
                 // already-extracted sink (which is statistically near-
                 // injective) can never masquerade as a determinant.
-                let x_all: Vec<AttrId> =
-                    unclaimed.iter().copied().filter(|&a| a != y).collect();
+                let x_all: Vec<AttrId> = unclaimed.iter().copied().filter(|&a| a != y).collect();
                 let full = score_fd(ds, &x_all, y);
                 if full.lift < min_lift || full.support_pairs < MIN_SUPPORT_PAIRS {
                     continue;
@@ -503,11 +501,7 @@ mod tests {
     fn component_repair_recovers_reversed_cascade() {
         let ds = group_dataset();
         // Reversed chain: y -> a, {y,a} -> b, {a,b} -> c.
-        let cands = FdSet::from_fds([
-            Fd::new([3], 0),
-            Fd::new([3, 0], 1),
-            Fd::new([0, 1], 2),
-        ]);
+        let cands = FdSet::from_fds([Fd::new([3], 0), Fd::new([3, 0], 1), Fd::new([0, 1], 2)]);
         let refined = refine(&ds, &cands, 0.7);
         assert_eq!(
             refined.fds(),

@@ -172,12 +172,7 @@ mod tests {
 
     #[test]
     fn frequencies_count_codes() {
-        let col = Column::from_values(&[
-            Value::Int(1),
-            Value::Int(2),
-            Value::Int(1),
-            Value::Null,
-        ]);
+        let col = Column::from_values(&[Value::Int(1), Value::Int(2), Value::Int(1), Value::Null]);
         assert_eq!(col.frequencies(), vec![2, 1]);
     }
 

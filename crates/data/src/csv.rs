@@ -27,10 +27,11 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input is empty (no header row)"),
-            CsvError::RaggedRecord { line, found, expected } => write!(
-                f,
-                "CSV line {line} has {found} fields, expected {expected}"
-            ),
+            CsvError::RaggedRecord {
+                line,
+                found,
+                expected,
+            } => write!(f, "CSV line {line} has {found} fields, expected {expected}"),
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "unterminated quoted field starting on line {line}")
             }
@@ -206,16 +207,17 @@ mod tests {
         let err = read_csv_str("a,b\n1\n").unwrap_err();
         assert_eq!(
             err,
-            CsvError::RaggedRecord { line: 2, found: 1, expected: 2 }
+            CsvError::RaggedRecord {
+                line: 2,
+                found: 1,
+                expected: 2
+            }
         );
     }
 
     #[test]
     fn roundtrip() {
-        let ds = Dataset::from_string_rows(
-            &["a", "b"],
-            &[&["x,y", "1"], &["plain", "2"]],
-        );
+        let ds = Dataset::from_string_rows(&["a", "b"], &[&["x,y", "1"], &["plain", "2"]]);
         let csv = write_csv_string(&ds);
         let back = read_csv_str(&csv).unwrap();
         assert_eq!(back.value(0, 0), &Value::text("x,y"));

@@ -29,9 +29,18 @@ impl Dataset {
         );
         let nrows = columns.first().map_or(0, Column::len);
         for (i, c) in columns.iter().enumerate() {
-            assert_eq!(c.len(), nrows, "column {i} has {} rows, expected {nrows}", c.len());
+            assert_eq!(
+                c.len(),
+                nrows,
+                "column {i} has {} rows, expected {nrows}",
+                c.len()
+            );
         }
-        Dataset { schema, columns, nrows }
+        Dataset {
+            schema,
+            columns,
+            nrows,
+        }
     }
 
     /// Builds a dataset from rows of [`Value`]s.

@@ -144,9 +144,10 @@ impl FdSet {
     pub fn minimize(&self) -> FdSet {
         let mut keep = Vec::new();
         for (i, fd) in self.fds.iter().enumerate() {
-            let redundant = self.fds.iter().enumerate().any(|(j, other)| {
-                i != j && fd.is_generalized_by(other) && fd.lhs() != other.lhs()
-            });
+            let redundant =
+                self.fds.iter().enumerate().any(|(j, other)| {
+                    i != j && fd.is_generalized_by(other) && fd.lhs() != other.lhs()
+                });
             if !redundant {
                 keep.push(fd.clone());
             }

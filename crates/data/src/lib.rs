@@ -44,5 +44,5 @@ pub use column::{Column, NULL_CODE};
 pub use csv::{parse_csv, read_csv_str, write_csv_string, CsvError};
 pub use dataset::Dataset;
 pub use fd::{Fd, FdSet};
-pub use schema::{AttrId, Attribute, AttrType, Schema};
+pub use schema::{AttrId, AttrType, Attribute, Schema};
 pub use value::{OrderedF64, Value};

@@ -34,7 +34,10 @@ impl Attribute {
 
     /// Creates an attribute with an explicit type.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 

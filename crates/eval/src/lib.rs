@@ -6,10 +6,10 @@
 //! plain-text table renderer used by the per-table/figure binaries in
 //! `fdx-bench`.
 
-mod metrics;
 mod method;
+mod metrics;
 mod table;
 
-pub use metrics::{edge_prf, median, undirected_edge_prf, PrecisionRecall};
 pub use method::{Method, MethodOutcome};
+pub use metrics::{edge_prf, median, undirected_edge_prf, PrecisionRecall};
 pub use table::{fmt_metric, TextTable};

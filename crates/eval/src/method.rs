@@ -1,6 +1,6 @@
-use std::time::Instant;
-
-use fdx_baselines::{Cords, CordsConfig, GlRaw, GlRawConfig, Pyro, PyroConfig, Rfi, RfiConfig, Tane, TaneConfig};
+use fdx_baselines::{
+    Cords, CordsConfig, GlRaw, GlRawConfig, Pyro, PyroConfig, Rfi, RfiConfig, Tane, TaneConfig,
+};
 use fdx_core::{Fdx, FdxConfig};
 use fdx_data::{Dataset, FdSet};
 
@@ -108,7 +108,7 @@ impl Method {
                 skipped: true,
             };
         }
-        let start = Instant::now();
+        let span = fdx_obs::Span::enter_named(format!("method.{}", self.name()));
         let fds = match self {
             Method::Fdx(cfg) => Fdx::new((**cfg).clone())
                 .discover(ds)
@@ -122,7 +122,7 @@ impl Method {
         };
         MethodOutcome {
             fds,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: span.elapsed_secs(),
             skipped: false,
         }
     }
@@ -136,7 +136,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..60 {
             let a = i % 10;
-            rows.push([format!("a{a}"), format!("b{}", a / 2), format!("c{}", (i * 11 + 1) % 4)]);
+            rows.push([
+                format!("a{a}"),
+                format!("b{}", a / 2),
+                format!("c{}", (i * 11 + 1) % 4),
+            ]);
         }
         let refs: Vec<Vec<&str>> = rows
             .iter()

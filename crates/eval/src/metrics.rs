@@ -15,8 +15,16 @@ pub struct PrecisionRecall {
 
 impl PrecisionRecall {
     fn from_counts(tp: usize, found: usize, truth: usize) -> PrecisionRecall {
-        let precision = if found > 0 { tp as f64 / found as f64 } else { 0.0 };
-        let recall = if truth > 0 { tp as f64 / truth as f64 } else { 0.0 };
+        let precision = if found > 0 {
+            tp as f64 / found as f64
+        } else {
+            0.0
+        };
+        let recall = if truth > 0 {
+            tp as f64 / truth as f64
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {

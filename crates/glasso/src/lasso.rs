@@ -128,11 +128,7 @@ mod tests {
 
     #[test]
     fn kkt_conditions_hold() {
-        let v = Matrix::from_rows(&[
-            &[1.0, 0.4, 0.1],
-            &[0.4, 1.0, 0.2],
-            &[0.1, 0.2, 1.0],
-        ]);
+        let v = Matrix::from_rows(&[&[1.0, 0.4, 0.1], &[0.4, 1.0, 0.2], &[0.1, 0.2, 1.0]]);
         let s = [0.8, 0.1, -0.6];
         let lambda = 0.15;
         let mut beta = [0.0; 3];
@@ -158,7 +154,10 @@ mod tests {
         lasso_coordinate_descent(&v, &s, 0.05, &mut beta, 1000, 1e-12);
         let mut warm = beta;
         let sweeps = lasso_coordinate_descent(&v, &s, 0.05, &mut warm, 1000, 1e-12);
-        assert!(sweeps <= 2, "warm start should converge immediately, took {sweeps}");
+        assert!(
+            sweeps <= 2,
+            "warm start should converge immediately, took {sweeps}"
+        );
         for (w, b) in warm.iter().zip(&beta) {
             assert!((w - b).abs() < 1e-10);
         }
@@ -168,6 +167,9 @@ mod tests {
     fn empty_problem_is_noop() {
         let v = Matrix::zeros(0, 0);
         let mut beta: [f64; 0] = [];
-        assert_eq!(lasso_coordinate_descent(&v, &[], 0.1, &mut beta, 10, 1e-8), 0);
+        assert_eq!(
+            lasso_coordinate_descent(&v, &[], 0.1, &mut beta, 10, 1e-8),
+            0
+        );
     }
 }

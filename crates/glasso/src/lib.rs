@@ -84,10 +84,12 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
     if !s.is_square() {
         return Err(LinalgError::NotSquare { shape: s.shape() });
     }
+    let _span = fdx_obs::Span::enter("fdx.glasso");
     let p = s.rows();
     if cfg.lambda <= 0.0 {
         let theta = precision_from_covariance(s, cfg.ridge)?;
         let w = spd_inverse(&theta)?;
+        record_summary(s, &theta, cfg.lambda, 0, true);
         return Ok(GlassoResult {
             theta,
             w,
@@ -97,8 +99,10 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
     }
     if p == 1 {
         let w00 = s[(0, 0)] + cfg.lambda;
+        let theta = Matrix::from_diag(&[1.0 / w00]);
+        record_summary(s, &theta, cfg.lambda, 0, true);
         return Ok(GlassoResult {
-            theta: Matrix::from_diag(&[1.0 / w00]),
+            theta,
             w: Matrix::from_diag(&[w00]),
             iterations: 0,
             converged: true,
@@ -128,6 +132,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
     let mut s12 = vec![0.0; p - 1];
     while iterations < cfg.max_iter {
         iterations += 1;
+        let sweep_span = fdx_obs::Span::enter("glasso.sweep");
         let mut total_change = 0.0;
         for j in 0..p {
             others.clear();
@@ -152,15 +157,34 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             }
         }
         let avg_change = total_change / ((p * p - p) as f64);
+        drop(sweep_span);
+        if fdx_obs::enabled() {
+            record_sweep(s, &w, &betas, cfg.lambda, iterations, avg_change);
+        }
         if avg_change < cfg.tol * scale {
             converged = true;
             break;
         }
     }
 
-    // Recover Θ from the final regressions:
-    //   θ_jj = 1 / (w_jj − w12ᵀ β),  θ_12 = −β θ_jj.
+    let theta = recover_theta(&w, &betas);
+    record_summary(s, &theta, cfg.lambda, iterations, converged);
+    Ok(GlassoResult {
+        theta,
+        w,
+        iterations,
+        converged,
+    })
+}
+
+/// Recovers `Θ` from the per-column regressions:
+/// `θ_jj = 1 / (w_jj − w12ᵀ β)`, `θ_12 = −β θ_jj`, then symmetrizes (the
+/// two regressions touching an `(i, j)` pair can disagree slightly, as in
+/// standard implementations).
+fn recover_theta(w: &Matrix, betas: &[Vec<f64>]) -> Matrix {
+    let p = w.rows();
     let mut theta = Matrix::zeros(p, p);
+    let mut others: Vec<usize> = Vec::with_capacity(p.saturating_sub(1));
     for j in 0..p {
         others.clear();
         others.extend((0..p).filter(|&i| i != j));
@@ -176,15 +200,103 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             theta[(i, j)] = -beta[t] * tjj;
         }
     }
-    // The two regressions touching an (i, j) pair can disagree slightly;
-    // symmetrize as standard implementations do.
     theta.symmetrize_mut();
-    Ok(GlassoResult {
-        theta,
-        w,
-        iterations,
-        converged,
-    })
+    theta
+}
+
+/// The primal objective `−log det Θ + tr(SΘ) + λ‖Θ‖₁` (`None` when `Θ` is
+/// not positive definite).
+fn primal_objective(s: &Matrix, theta: &Matrix, lambda: f64) -> Option<f64> {
+    let chol = fdx_linalg::cholesky(theta).ok()?;
+    let p = theta.rows();
+    let mut log_det = 0.0;
+    for i in 0..p {
+        log_det += 2.0 * chol.l[(i, i)].max(1e-300).ln();
+    }
+    Some(-log_det + trace_product(s, theta) + lambda * l1_norm(theta))
+}
+
+/// The duality gap `tr(SΘ) − p + λ‖Θ‖₁`, which vanishes at the optimum of
+/// the penalize-all-entries formulation this solver implements.
+fn duality_gap(s: &Matrix, theta: &Matrix, lambda: f64) -> f64 {
+    trace_product(s, theta) - theta.rows() as f64 + lambda * l1_norm(theta)
+}
+
+fn trace_product(s: &Matrix, theta: &Matrix) -> f64 {
+    let p = s.rows();
+    let mut tr = 0.0;
+    for i in 0..p {
+        for j in 0..p {
+            tr += s[(i, j)] * theta[(j, i)];
+        }
+    }
+    tr
+}
+
+fn l1_norm(m: &Matrix) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            sum += m[(i, j)].abs();
+        }
+    }
+    sum
+}
+
+/// Per-sweep convergence telemetry (only invoked while recording is on):
+/// the objective value, duality gap, and active-set size of the current
+/// iterate, as an ordered event series plus last-value gauges.
+fn record_sweep(
+    s: &Matrix,
+    w: &Matrix,
+    betas: &[Vec<f64>],
+    lambda: f64,
+    iteration: usize,
+    avg_change: f64,
+) {
+    let theta = recover_theta(w, betas);
+    let active_set: usize = betas
+        .iter()
+        .map(|b| b.iter().filter(|&&v| v != 0.0).count())
+        .sum();
+    let objective = primal_objective(s, &theta, lambda).unwrap_or(f64::NAN);
+    let gap = duality_gap(s, &theta, lambda);
+    fdx_obs::counter_add("fdx.glasso.sweeps", 1);
+    fdx_obs::gauge_set("fdx.glasso.objective", objective);
+    fdx_obs::gauge_set("fdx.glasso.duality_gap", gap);
+    fdx_obs::gauge_set("fdx.glasso.active_set", active_set as f64);
+    fdx_obs::event(
+        "fdx.glasso.sweep",
+        &[
+            ("iter", fdx_obs::Field::U(iteration as u64)),
+            ("objective", fdx_obs::Field::F(objective)),
+            ("duality_gap", fdx_obs::Field::F(gap)),
+            ("active_set", fdx_obs::Field::U(active_set as u64)),
+            ("avg_change", fdx_obs::Field::F(avg_change)),
+        ],
+    );
+}
+
+/// End-of-solve telemetry, emitted on every successful return path
+/// (including the `λ = 0` direct-inversion fast path, where the gap
+/// measures how exactly `Θ` inverts `S`).
+fn record_summary(s: &Matrix, theta: &Matrix, lambda: f64, iterations: usize, converged: bool) {
+    if !fdx_obs::enabled() {
+        return;
+    }
+    let objective = primal_objective(s, theta, lambda).unwrap_or(f64::NAN);
+    let gap = duality_gap(s, theta, lambda);
+    fdx_obs::gauge_set("fdx.glasso.iterations", iterations as f64);
+    fdx_obs::event(
+        "fdx.glasso.summary",
+        &[
+            ("lambda", fdx_obs::Field::F(lambda)),
+            ("iterations", fdx_obs::Field::U(iterations as u64)),
+            ("converged", fdx_obs::Field::B(converged)),
+            ("objective", fdx_obs::Field::F(objective)),
+            ("duality_gap", fdx_obs::Field::F(gap)),
+        ],
+    );
 }
 
 /// Inverts an empirical covariance with automatic ridge escalation.
@@ -330,11 +442,7 @@ mod tests {
 
     #[test]
     fn theta_is_symmetric_and_pd() {
-        let s = Matrix::from_rows(&[
-            &[1.0, 0.4, 0.2],
-            &[0.4, 1.0, 0.3],
-            &[0.2, 0.3, 1.0],
-        ]);
+        let s = Matrix::from_rows(&[&[1.0, 0.4, 0.2], &[0.4, 1.0, 0.3], &[0.2, 0.3, 1.0]]);
         let cfg = GlassoConfig {
             lambda: 0.1,
             ..Default::default()
@@ -361,16 +469,17 @@ mod tests {
     #[test]
     fn neighborhood_selection_finds_support() {
         // Chain structure 0—1—2: Σ⁻¹ tridiagonal.
-        let theta_true = Matrix::from_rows(&[
-            &[1.5, -0.6, 0.0],
-            &[-0.6, 1.8, -0.6],
-            &[0.0, -0.6, 1.5],
-        ]);
+        let theta_true =
+            Matrix::from_rows(&[&[1.5, -0.6, 0.0], &[-0.6, 1.8, -0.6], &[0.0, -0.6, 1.5]]);
         let sigma = spd_inverse(&theta_true).unwrap();
         let adj = neighborhood_selection(&sigma, 0.02).unwrap();
         assert_eq!(adj[(0, 1)], 1.0);
         assert_eq!(adj[(1, 2)], 1.0);
-        assert_eq!(adj[(0, 2)], 0.0, "conditional independence must be detected");
+        assert_eq!(
+            adj[(0, 2)],
+            0.0,
+            "conditional independence must be detected"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor> {
             pivot -= l[(j, k)] * l[(j, k)];
         }
         if pivot <= 0.0 || !pivot.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: pivot });
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: j,
+                value: pivot,
+            });
         }
         let ljj = pivot.sqrt();
         l[(j, j)] = ljj;
@@ -78,7 +81,10 @@ pub fn ldlt(a: &Matrix) -> Result<LdltFactor> {
             dj -= l[(j, k)] * v[k];
         }
         if dj <= 0.0 || !dj.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: dj });
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: j,
+                value: dj,
+            });
         }
         d[j] = dj;
         for i in (j + 1)..n {
@@ -130,11 +136,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
     }
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {

@@ -59,7 +59,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "triangular matrix is singular at diagonal index {index}")
             }
             LinalgError::InvalidPermutation { len } => {
-                write!(f, "permutation of length {len} is not a bijection on 0..{len}")
+                write!(
+                    f,
+                    "permutation of length {len} is not a bijection on 0..{len}"
+                )
             }
         }
     }

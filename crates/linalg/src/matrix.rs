@@ -68,7 +68,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows passed to Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -77,7 +81,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must be rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -209,7 +217,12 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,
@@ -455,22 +468,14 @@ mod tests {
 
     #[test]
     fn principal_submatrix_picks_rows_cols() {
-        let m = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ]);
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         let s = m.principal_submatrix(&[0, 2]);
         assert_eq!(s, Matrix::from_rows(&[&[1.0, 3.0], &[7.0, 9.0]]));
     }
 
     #[test]
     fn permute_symmetric_reorders() {
-        let m = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 4.0, 5.0],
-            &[3.0, 5.0, 6.0],
-        ]);
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 5.0], &[3.0, 5.0, 6.0]]);
         let p = m.permute_symmetric(&[2, 0, 1]);
         assert_eq!(p[(0, 0)], 6.0);
         assert_eq!(p[(0, 1)], 3.0);

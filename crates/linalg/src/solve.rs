@@ -136,11 +136,7 @@ mod tests {
 
     #[test]
     fn spd_inverse_multiplies_to_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]);
         let inv = spd_inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         let i = Matrix::identity(3);

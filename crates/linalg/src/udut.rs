@@ -53,11 +53,41 @@ pub fn udut(theta: &Matrix, perm: &Permutation) -> Result<UdutFactor> {
     }
     let mut d = f.d;
     d.reverse();
+    if fdx_obs::enabled() {
+        record_factor_stats(&u, &d);
+    }
     Ok(UdutFactor {
         u,
         d,
         perm: perm.clone(),
     })
+}
+
+/// Pivot-conditioning and fill diagnostics for the factorization: the
+/// extreme pivots of `D` bound how close `Θ` came to losing positive
+/// definiteness, and the off-diagonal nonzero count of `U` is the fill the
+/// chosen ordering produced (the quantity the paper's Table 9 heuristics
+/// compete on).
+fn record_factor_stats(u: &Matrix, d: &[f64]) {
+    let min_pivot = d.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_pivot = d.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut fill_nnz = 0usize;
+    let n = u.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if u[(i, j)].abs() > 1e-12 {
+                fill_nnz += 1;
+            }
+        }
+    }
+    if d.is_empty() {
+        fdx_obs::gauge_set("fdx.udut.min_pivot", 0.0);
+        fdx_obs::gauge_set("fdx.udut.max_pivot", 0.0);
+    } else {
+        fdx_obs::gauge_set("fdx.udut.min_pivot", min_pivot);
+        fdx_obs::gauge_set("fdx.udut.max_pivot", max_pivot);
+    }
+    fdx_obs::gauge_set("fdx.udut.fill_nnz", fill_nnz as f64);
 }
 
 impl UdutFactor {

@@ -88,7 +88,13 @@ impl Imputer for GbdtImputer {
         for class in 0..card as u32 {
             let y: Vec<f64> = train
                 .iter()
-                .map(|&r| if ds.code(r, target) == class { 1.0 } else { -1.0 })
+                .map(|&r| {
+                    if ds.code(r, target) == class {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
                 .collect();
             let mut f = vec![0.0f64; train.len()];
             let mut stumps = Vec::with_capacity(self.config.rounds);

@@ -41,11 +41,7 @@ pub fn imputation_accuracy(truth: &[u32], predicted: &[u32]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     hits as f64 / truth.len() as f64
 }
 

@@ -1,0 +1,253 @@
+//! Exporters: human-readable text summary, phase-tree rendering, and
+//! deterministic JSON-lines.
+
+use crate::json::{self, Obj};
+use crate::registry::{Snapshot, HISTOGRAM_BUCKETS};
+use crate::span::PhaseNode;
+use crate::Histogram;
+
+/// Renders a snapshot as a human-readable summary: counters, gauges, then
+/// histograms (count / mean / p50 / p99 upper-edge estimates), each section
+/// name-sorted.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<40} {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<40} {v:.6}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms (us):\n");
+        for (name, count, sum, buckets) in &snap.histograms {
+            let mean = if *count == 0 {
+                0.0
+            } else {
+                *sum as f64 / *count as f64
+            };
+            out.push_str(&format!(
+                "  {name:<40} count {count}  mean {mean:.1}  p50<={}  p99<={}\n",
+                quantile_upper_edge(buckets, *count, 0.5),
+                quantile_upper_edge(buckets, *count, 0.99),
+            ));
+        }
+    }
+    if !snap.events.is_empty() {
+        out.push_str(&format!("events: {}\n", snap.events.len()));
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn quantile_upper_edge(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return Histogram::bucket_upper_edge(i);
+        }
+    }
+    u64::MAX
+}
+
+/// Serializes a snapshot as deterministic JSON-lines: one object per
+/// counter, gauge, and histogram (name-sorted), then one per event
+/// (recording order). Histogram buckets are emitted sparsely as
+/// `{"le":upper_edge,"count":n}` for non-empty buckets only.
+pub fn export_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(
+            &Obj::new()
+                .str_("kind", "counter")
+                .str_("name", name)
+                .u64_("value", *v)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(
+            &Obj::new()
+                .str_("kind", "gauge")
+                .str_("name", name)
+                .f64_("value", *v)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    for (name, count, sum, buckets) in &snap.histograms {
+        let bucket_objs = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Obj::new()
+                    .u64_("le", Histogram::bucket_upper_edge(i))
+                    .u64_("count", c)
+                    .finish()
+            });
+        out.push_str(
+            &Obj::new()
+                .str_("kind", "histogram")
+                .str_("name", name)
+                .str_("unit", "us")
+                .u64_("count", *count)
+                .u64_("sum", *sum)
+                .raw("buckets", &json::array(bucket_objs.collect::<Vec<_>>()))
+                .finish(),
+        );
+        out.push('\n');
+    }
+    for ev in &snap.events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a phase-tree forest as an indented text tree with durations,
+/// percentages of the root, and merge counts.
+pub fn render_phase_tree(roots: &[PhaseNode]) -> String {
+    let mut out = String::new();
+    for root in roots {
+        let total = root.secs.max(1e-12);
+        render_node(root, total, 0, &mut out);
+    }
+    if out.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+    out
+}
+
+fn render_node(node: &PhaseNode, root_secs: f64, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let times = if node.count > 1 {
+        format!("  (x{})", node.count)
+    } else {
+        String::new()
+    };
+    out.push_str(&format!(
+        "{label:<44} {:>9.4}s {:>6.1}%{times}\n",
+        node.secs,
+        100.0 * node.secs / root_secs,
+    ));
+    for child in &node.children {
+        render_node(child, root_secs, depth + 1, out);
+    }
+    // Show unattributed time when children cover enough to make it
+    // interesting.
+    if !node.children.is_empty() {
+        let self_secs = node.self_secs();
+        if self_secs > 1e-9 {
+            let indent = "  ".repeat(depth + 1);
+            out.push_str(&format!(
+                "{:<44} {self_secs:>9.4}s {:>6.1}%\n",
+                format!("{indent}(self)"),
+                100.0 * self_secs / root_secs,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Event, Field, Registry};
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("b.count").add(7);
+        r.counter("a.count").add(3);
+        r.gauge("z.gap").set(0.25);
+        r.histogram("span.us").record(0);
+        r.histogram("span.us").record(3);
+        r.histogram("span.us").record(3);
+        r.push_event("sweep", &[("iter", Field::U(1)), ("obj", Field::F(1.5))]);
+        r.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_sorted() {
+        let expected = concat!(
+            r#"{"kind":"counter","name":"a.count","value":3}"#,
+            "\n",
+            r#"{"kind":"counter","name":"b.count","value":7}"#,
+            "\n",
+            r#"{"kind":"gauge","name":"z.gap","value":0.25}"#,
+            "\n",
+            r#"{"kind":"histogram","name":"span.us","unit":"us","count":3,"sum":6,"buckets":[{"le":0,"count":1},{"le":3,"count":2}]}"#,
+            "\n",
+            r#"{"kind":"event","name":"sweep","iter":1,"obj":1.5}"#,
+            "\n",
+        );
+        assert_eq!(export_jsonl(&sample_snapshot()), expected);
+        // Byte-identical across repeated snapshots.
+        assert_eq!(export_jsonl(&sample_snapshot()), expected);
+    }
+
+    #[test]
+    fn text_summary_mentions_everything() {
+        let text = render_text(&sample_snapshot());
+        assert!(text.contains("a.count"));
+        assert!(text.contains("z.gap"));
+        assert!(text.contains("span.us"));
+        assert!(text.contains("events: 1"));
+        assert_eq!(render_text(&Snapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn phase_tree_rendering() {
+        let roots = vec![PhaseNode {
+            name: "fdx.discover".into(),
+            secs: 1.0,
+            count: 1,
+            children: vec![
+                PhaseNode {
+                    name: "fdx.transform".into(),
+                    secs: 0.4,
+                    count: 1,
+                    children: Vec::new(),
+                },
+                PhaseNode {
+                    name: "fdx.glasso".into(),
+                    secs: 0.5,
+                    count: 5,
+                    children: Vec::new(),
+                },
+            ],
+        }];
+        let text = render_phase_tree(&roots);
+        assert!(text.contains("fdx.discover"));
+        assert!(text.contains("  fdx.transform"));
+        assert!(text.contains("(x5)"));
+        assert!(text.contains("(self)"));
+        assert!(text.contains("40.0%"));
+        assert_eq!(render_phase_tree(&[]), "(no spans recorded)\n");
+    }
+
+    #[test]
+    fn event_json_escapes_strings() {
+        let ev = Event {
+            name: "note".into(),
+            fields: vec![("msg".to_string(), Field::S("a\"b".into()))],
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"kind":"event","name":"note","msg":"a\"b"}"#
+        );
+    }
+}

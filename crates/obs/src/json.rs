@@ -1,0 +1,171 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The workspace's dependency policy (DESIGN.md §5) admits `serde` but not
+//! `serde_json`, so the exporters hand-roll their output. The grammar needed
+//! is tiny — objects, arrays, strings, numbers, booleans — and determinism
+//! matters more than generality: identical runs must produce byte-identical
+//! JSON lines so golden tests and diff-based bench comparisons work.
+
+/// Escapes a string for inclusion inside a JSON string literal (no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value. Non-finite values have no JSON number
+/// representation and are emitted as `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting is deterministic.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental JSON object builder: `Obj::new().str_("k", "v").finish()`.
+#[derive(Debug, Clone)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str_(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_(mut self, k: &str, v: u64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64_(mut self, k: &str, v: i64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn f64_(mut self, k: &str, v: f64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_(mut self, k: &str, v: bool) -> Obj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serializes an iterator of already-serialized JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn builds_objects() {
+        let s = Obj::new()
+            .str_("name", "x")
+            .u64_("n", 3)
+            .f64_("v", 0.5)
+            .bool_("ok", true)
+            .raw("arr", &array(vec!["1".into(), "2".into()]))
+            .finish();
+        assert_eq!(s, r#"{"name":"x","n":3,"v":0.5,"ok":true,"arr":[1,2]}"#);
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(array(Vec::new()), "[]");
+    }
+}

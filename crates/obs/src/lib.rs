@@ -1,0 +1,77 @@
+//! # fdx-obs — observability for the FDX pipeline
+//!
+//! The paper's evaluation is dominated by *where time and iterations go*:
+//! Figure 6 splits total vs model runtime, Figure 7 scales with rows and
+//! columns, and Tables 4–9 compare wall clock across methods. This crate is
+//! the instrument panel those measurements flow through:
+//!
+//! * a global [`Registry`] of named **counters**, **gauges**, and
+//!   **log-scale histograms** (fixed power-of-two bucket edges), plus an
+//!   ordered **event log** for per-iteration convergence series,
+//! * RAII **span timers** ([`Span::enter`]) that record nested wall clock
+//!   into histograms and build a per-run [`PhaseNode`] tree,
+//! * **exporters**: a human-readable text summary ([`render_text`]), a
+//!   phase-tree renderer ([`render_phase_tree`]), and deterministic
+//!   JSON-lines ([`export_jsonl`]) consumed by `fdx discover --metrics` and
+//!   the `fdx-bench` binaries.
+//!
+//! ## Cost model
+//!
+//! Recording is **off by default**. Every recording entry point first checks
+//! a relaxed atomic flag ([`enabled`]); when the flag is clear the calls
+//! reduce to a single atomic load, so instrumented code pays no measurable
+//! cost (the acceptance bar is < 1%) unless a caller opted in with
+//! [`set_enabled`]. [`Span`] additionally always captures its start instant
+//! so callers can reuse it for *budget* checks ([`Span::elapsed_secs`])
+//! whether or not recording is on — this is what lets the baselines route
+//! their time-budget logic and their telemetry through one code path.
+//!
+//! ## Example
+//!
+//! ```
+//! fdx_obs::set_enabled(true);
+//! {
+//!     let _outer = fdx_obs::Span::enter("pipeline");
+//!     let _inner = fdx_obs::Span::enter("pipeline.step");
+//!     fdx_obs::counter_add("pipeline.items", 42);
+//! }
+//! let trace = fdx_obs::take_trace();
+//! assert_eq!(trace[0].name, "pipeline");
+//! assert_eq!(trace[0].children[0].name, "pipeline.step");
+//! let snap = fdx_obs::Registry::global().snapshot();
+//! assert!(fdx_obs::export_jsonl(&snap).contains("pipeline.items"));
+//! fdx_obs::set_enabled(false);
+//! fdx_obs::Registry::global().reset();
+//! ```
+
+pub mod export;
+pub mod json;
+mod registry;
+mod span;
+
+pub use export::{export_jsonl, render_phase_tree, render_text};
+pub use registry::{
+    counter_add, event, gauge_set, observe, Counter, Field, Gauge, Histogram, Registry, Snapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use span::{take_trace, PhaseNode, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether metric recording is globally enabled.
+///
+/// A relaxed load: cheap enough to gate every recording call site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables metric recording.
+///
+/// Disabling does not clear previously recorded data; see
+/// [`Registry::reset`] and [`take_trace`] for that.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}

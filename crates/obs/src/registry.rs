@@ -1,0 +1,476 @@
+//! The metric registry: named counters, gauges, and log-scale histograms,
+//! plus an ordered event log for convergence series.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::{self, Obj};
+
+/// Number of histogram buckets: one for zero, one per power of two up to
+/// `2⁶³`, and a final bucket covering `[2⁶³, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over `u64` values with fixed power-of-two bucket edges.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds the range
+/// `[2^(i−1), 2^i − 1]` (the final bucket caps at `u64::MAX`). Log-scale
+/// buckets give ~2× relative resolution over the full 64-bit range with a
+/// fixed 65-slot footprint — the standard trade for latency-style data.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// Saturating sum of recorded values.
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper edge of bucket `i`.
+    pub fn bucket_upper_edge(i: usize) -> u64 {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            0
+        } else if i == HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // A saturating sum keeps the mean meaningful for realistic inputs
+        // and merely pins it at the ceiling for adversarial ones.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper-edge estimate of the `q`-quantile (`0 ≤ q ≤ 1`): the upper
+    /// edge of the first bucket whose cumulative count reaches `q·n`.
+    pub fn quantile_upper_edge(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper_edge(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One recorded event: a named JSON object, kept in insertion order.
+///
+/// Events carry per-iteration series (e.g. the glasso sweep objective) that
+/// scalar metrics cannot: a gauge only remembers its last value.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event name, e.g. `"fdx.glasso.sweep"`.
+    pub name: String,
+    /// Field key/value pairs, in recording order.
+    pub fields: Vec<(String, Field)>,
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float.
+    F(f64),
+    /// Boolean.
+    B(bool),
+    /// String.
+    S(String),
+}
+
+impl Field {
+    /// Serializes the field value as JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            Field::U(v) => v.to_string(),
+            Field::I(v) => v.to_string(),
+            Field::F(v) => json::fmt_f64(*v),
+            Field::B(v) => v.to_string(),
+            Field::S(v) => format!("\"{}\"", json::escape(v)),
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U(v as u64)
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::B(v)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::S(v.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::S(v)
+    }
+}
+
+/// A point-in-time copy of a registry's contents, with deterministic
+/// (name-sorted) metric order and insertion-ordered events.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, count, sum, buckets)` histograms, sorted by name.
+    pub histograms: Vec<(String, u64, u64, [u64; HISTOGRAM_BUCKETS])>,
+    /// Events in recording order.
+    pub events: Vec<Event>,
+}
+
+/// A named-metric registry.
+///
+/// Most callers use the process-wide [`Registry::global`] through the
+/// free-function helpers ([`counter_add`], [`gauge_set`], [`observe`],
+/// [`event`]), which are no-ops while [`crate::enabled`] is false. Handles
+/// returned by [`Registry::counter`] et al. are `Arc`s: hot paths can
+/// resolve a name once and update lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses
+    /// [`Registry::global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns (registering if needed) the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns (registering if needed) the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Returns (registering if needed) the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Appends an event.
+    pub fn push_event(&self, name: &str, fields: &[(&str, Field)]) {
+        let ev = Event {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.events.lock().unwrap().push(ev);
+    }
+
+    /// Copies out all metrics and events.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.count(), v.sum(), v.bucket_counts()))
+                .collect(),
+            events: self.events.lock().unwrap().clone(),
+        }
+    }
+
+    /// Removes every metric and event (a fresh run boundary).
+    pub fn reset(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+        self.events.lock().unwrap().clear();
+    }
+}
+
+/// Adds to a global counter. No-op while recording is disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::enabled() {
+        Registry::global().counter(name).add(delta);
+    }
+}
+
+/// Sets a global gauge. No-op while recording is disabled.
+#[inline]
+pub fn gauge_set(name: &str, v: f64) {
+    if crate::enabled() {
+        Registry::global().gauge(name).set(v);
+    }
+}
+
+/// Records into a global histogram. No-op while recording is disabled.
+#[inline]
+pub fn observe(name: &str, v: u64) {
+    if crate::enabled() {
+        Registry::global().histogram(name).record(v);
+    }
+}
+
+/// Records a global event. No-op while recording is disabled.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Field)]) {
+    if crate::enabled() {
+        Registry::global().push_event(name, fields);
+    }
+}
+
+impl Event {
+    /// Serializes the event as one JSON object:
+    /// `{"kind":"event","name":…,<fields>}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new().str_("kind", "event").str_("name", &self.name);
+        for (k, v) in &self.fields {
+            obj = obj.raw(k, &v.to_json());
+        }
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_edges_cover_the_domain() {
+        assert_eq!(Histogram::bucket_upper_edge(0), 0);
+        assert_eq!(Histogram::bucket_upper_edge(1), 1);
+        assert_eq!(Histogram::bucket_upper_edge(2), 3);
+        assert_eq!(Histogram::bucket_upper_edge(64), u64::MAX);
+        // Every value's bucket edge is >= the value.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_upper_edge(i) >= v, "v = {v}");
+            if i > 0 {
+                assert!(Histogram::bucket_upper_edge(i - 1) < v, "v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 2, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 104);
+        assert!((h.mean() - 26.0).abs() < 1e-12);
+        // Half the mass sits in bucket 1 ([1,1]).
+        assert_eq!(h.quantile_upper_edge(0.5), 1);
+        assert_eq!(h.quantile_upper_edge(1.0), 127);
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile_upper_edge(0.5), 0);
+    }
+
+    #[test]
+    fn registry_registers_once() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("x").get(), 5);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("x".to_string(), 5)]);
+        assert_eq!(snap.gauges, vec![("g".to_string(), 1.5)]);
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn event_serialization() {
+        let r = Registry::new();
+        r.push_event(
+            "glasso.sweep",
+            &[("iter", Field::U(1)), ("objective", Field::F(2.5))],
+        );
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.events[0].to_json(),
+            r#"{"kind":"event","name":"glasso.sweep","iter":1,"objective":2.5}"#
+        );
+    }
+}

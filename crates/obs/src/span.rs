@@ -1,0 +1,272 @@
+//! RAII span timers and the per-run phase tree.
+//!
+//! A [`Span`] measures the wall clock between its creation and drop. While
+//! recording is enabled ([`crate::enabled`]), closing a span does two
+//! things: it records the duration (in microseconds) into the global
+//! histogram named after the span, and it merges a node into the calling
+//! thread's **phase tree** — same-named siblings accumulate, so a span
+//! entered once per glasso sweep shows up as one node with `count = sweeps`.
+//!
+//! The tree is thread-local: each thread accumulates its own forest, and
+//! [`take_trace`] drains the calling thread's completed roots. The FDX
+//! pipeline runs its phase structure on the driving thread, so this is the
+//! tree `fdx discover --trace` prints.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::{self, Obj};
+use crate::registry::observe;
+
+/// One node of the phase tree: a named phase, its total wall clock, how
+/// many spans merged into it, and its child phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNode {
+    /// Span name.
+    pub name: String,
+    /// Total seconds across all merged spans.
+    pub secs: f64,
+    /// Number of spans merged into this node.
+    pub count: u64,
+    /// Child phases, in first-entered order.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    /// Seconds not attributed to any child phase.
+    pub fn self_secs(&self) -> f64 {
+        let child_sum: f64 = self.children.iter().map(|c| c.secs).sum();
+        (self.secs - child_sum).max(0.0)
+    }
+
+    /// Serializes the subtree as one JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str_("name", &self.name)
+            .f64_("secs", self.secs)
+            .u64_("count", self.count)
+            .raw(
+                "children",
+                &json::array(self.children.iter().map(PhaseNode::to_json)),
+            )
+            .finish()
+    }
+}
+
+/// Merges `node` into `siblings`: accumulate into a same-named sibling
+/// (recursively merging children) or append.
+fn merge_node(siblings: &mut Vec<PhaseNode>, node: PhaseNode) {
+    if let Some(existing) = siblings.iter_mut().find(|s| s.name == node.name) {
+        existing.secs += node.secs;
+        existing.count += node.count;
+        for child in node.children {
+            merge_node(&mut existing.children, child);
+        }
+    } else {
+        siblings.push(node);
+    }
+}
+
+/// An open (not yet closed) span on the thread-local stack.
+struct Frame {
+    name: String,
+    start: Instant,
+    children: Vec<PhaseNode>,
+}
+
+#[derive(Default)]
+struct Trace {
+    stack: Vec<Frame>,
+    roots: Vec<PhaseNode>,
+}
+
+thread_local! {
+    static TRACE: RefCell<Trace> = RefCell::new(Trace::default());
+}
+
+/// Drains the calling thread's completed phase-tree roots.
+///
+/// Spans still open on this thread are left untouched; they will appear in
+/// a later `take_trace` once closed.
+pub fn take_trace() -> Vec<PhaseNode> {
+    TRACE.with(|t| std::mem::take(&mut t.borrow_mut().roots))
+}
+
+/// An RAII span timer. See the module docs.
+///
+/// The start instant is always captured — even with recording disabled —
+/// so [`Span::elapsed_secs`] can double as the budget clock in code that
+/// previously kept a separate `Instant::now()`.
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+    /// `Some(depth)` iff this span opened a frame on the TLS stack.
+    recording: Option<(String, usize)>,
+}
+
+impl Span {
+    /// Enters a span with a static name.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        Span::enter_named(name.to_string())
+    }
+
+    /// Enters a span with a runtime-built name.
+    pub fn enter_named(name: String) -> Span {
+        let start = Instant::now();
+        if !crate::enabled() {
+            return Span {
+                start,
+                recording: None,
+            };
+        }
+        let depth = TRACE.with(|t| {
+            let mut tr = t.borrow_mut();
+            tr.stack.push(Frame {
+                name: name.clone(),
+                start,
+                children: Vec::new(),
+            });
+            tr.stack.len() - 1
+        });
+        Span {
+            start,
+            recording: Some((name, depth)),
+        }
+    }
+
+    /// Seconds since the span was entered.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((name, depth)) = self.recording.take() else {
+            return;
+        };
+        let now = Instant::now();
+        // Record the span duration into the global histogram regardless of
+        // the tree state (the enabled flag may have flipped mid-span; keep
+        // the histogram and the tree consistent with each other by always
+        // recording both here).
+        let micros = now
+            .duration_since(self.start)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        observe(&name, micros);
+        TRACE.with(|t| {
+            let mut tr = t.borrow_mut();
+            // Close any spans entered after this one that were not dropped
+            // in LIFO order (e.g. moved out and dropped late), then close
+            // our own frame; if our frame is already gone, do nothing.
+            while tr.stack.len() > depth {
+                let frame = tr.stack.pop().expect("len > depth >= 0");
+                let node = PhaseNode {
+                    name: frame.name,
+                    secs: now.duration_since(frame.start).as_secs_f64(),
+                    count: 1,
+                    children: frame.children,
+                };
+                let tr = &mut *tr;
+                match tr.stack.last_mut() {
+                    Some(parent) => merge_node(&mut parent.children, node),
+                    None => merge_node(&mut tr.roots, node),
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enabled flag is process-global while the test harness runs tests
+    /// on parallel threads; serialize every test that flips it.
+    static ENABLED_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let out = f();
+        crate::set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        let s = Span::enter("nope");
+        assert!(s.elapsed_secs() >= 0.0);
+        drop(s);
+        assert!(take_trace().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        let trace = with_recording(|| {
+            let _t = take_trace(); // isolate from other tests on this thread
+            {
+                let _outer = Span::enter("outer");
+                {
+                    let _inner = Span::enter("inner");
+                }
+                {
+                    let _inner = Span::enter("inner");
+                }
+                let _other = Span::enter("other");
+            }
+            take_trace()
+        });
+        assert_eq!(trace.len(), 1);
+        let outer = &trace[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 2, "same-name siblings merge");
+        assert_eq!(outer.children[1].name, "other");
+        assert!(outer.secs >= outer.children.iter().map(|c| c.secs).sum::<f64>());
+        assert!(outer.self_secs() >= 0.0);
+    }
+
+    #[test]
+    fn out_of_order_drop_is_tolerated() {
+        let trace = with_recording(|| {
+            let _t = take_trace();
+            let a = Span::enter("a");
+            let b = Span::enter("b");
+            // Dropping the outer span first force-closes the inner frame.
+            drop(a);
+            drop(b);
+            take_trace()
+        });
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].name, "a");
+        assert_eq!(trace[0].children.len(), 1);
+        assert_eq!(trace[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn phase_node_json_shape() {
+        let node = PhaseNode {
+            name: "x".into(),
+            secs: 0.5,
+            count: 2,
+            children: vec![PhaseNode {
+                name: "y".into(),
+                secs: 0.25,
+                count: 1,
+                children: Vec::new(),
+            }],
+        };
+        assert_eq!(
+            node.to_json(),
+            r#"{"name":"x","secs":0.5,"count":2,"children":[{"name":"y","secs":0.25,"count":1,"children":[]}]}"#
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-module tests of the observability layer: histogram boundary
+//! behaviour, nested-span accounting, concurrent counter updates, and
+//! golden JSON output.
+
+use std::sync::Mutex;
+
+use fdx_obs::{
+    counter_add, event, export_jsonl, gauge_set, take_trace, Field, Histogram, Registry, Span,
+    HISTOGRAM_BUCKETS,
+};
+
+/// The enabled flag is process-global while tests run on parallel threads;
+/// serialize every test that flips it.
+static ENABLED_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fdx_obs::set_enabled(true);
+    let out = f();
+    fdx_obs::set_enabled(false);
+    out
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let h = Histogram::default();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    let buckets = h.bucket_counts();
+    assert_eq!(buckets[0], 1, "zero lands in the zero bucket");
+    assert_eq!(buckets[1], 1, "one lands in [1,1]");
+    assert_eq!(buckets[64], 1, "u64::MAX lands in the final bucket");
+    assert_eq!(h.count(), 3);
+    // The saturating sum pegs at the ceiling rather than wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+    // Power-of-two edges: 2^k goes one bucket above 2^k - 1.
+    for k in 1..63u32 {
+        let below = Histogram::bucket_index((1u64 << k) - 1);
+        let at = Histogram::bucket_index(1u64 << k);
+        assert_eq!(at, below + 1, "k = {k}");
+    }
+    assert_eq!(HISTOGRAM_BUCKETS, 65);
+}
+
+#[test]
+fn nested_span_parent_child_accounting() {
+    let trace = with_recording(|| {
+        let _ = take_trace();
+        {
+            let _root = Span::enter("root");
+            for _ in 0..3 {
+                let _child = Span::enter("child");
+                let _grandchild = Span::enter("grandchild");
+            }
+        }
+        take_trace()
+    });
+    assert_eq!(trace.len(), 1);
+    let root = &trace[0];
+    assert_eq!((root.name.as_str(), root.count), ("root", 1));
+    assert_eq!(root.children.len(), 1);
+    let child = &root.children[0];
+    assert_eq!((child.name.as_str(), child.count), ("child", 3));
+    assert_eq!(child.children.len(), 1);
+    let grandchild = &child.children[0];
+    assert_eq!(
+        (grandchild.name.as_str(), grandchild.count),
+        ("grandchild", 3)
+    );
+    // Parent time bounds child time at every level.
+    assert!(root.secs >= child.secs);
+    assert!(child.secs >= grandchild.secs);
+    assert!(child.self_secs() >= 0.0);
+}
+
+#[test]
+fn concurrent_counter_increments() {
+    with_recording(|| {
+        let registry = Registry::global();
+        registry.reset();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let handle = registry.counter("concurrent.test");
+                    for _ in 0..per_thread {
+                        handle.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            registry.counter("concurrent.test").get(),
+            threads * per_thread
+        );
+        registry.reset();
+    });
+}
+
+#[test]
+fn concurrent_histogram_records() {
+    let h = Histogram::default();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..1_000u64 {
+                    h.record(t * 1_000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), 4_000);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), 4_000);
+}
+
+#[test]
+fn jsonl_golden_output() {
+    let jsonl = with_recording(|| {
+        let registry = Registry::global();
+        registry.reset();
+        counter_add("tane.candidates", 12);
+        counter_add("tane.validated", 5);
+        gauge_set("glasso.duality_gap", 0.001953125); // exactly representable
+        event(
+            "fdx.glasso.sweep",
+            &[
+                ("iter", Field::U(1)),
+                ("objective", Field::F(3.5)),
+                ("duality_gap", Field::F(0.25)),
+                ("active_set", Field::U(6)),
+            ],
+        );
+        let out = export_jsonl(&registry.snapshot());
+        registry.reset();
+        out
+    });
+    let expected = concat!(
+        r#"{"kind":"counter","name":"tane.candidates","value":12}"#,
+        "\n",
+        r#"{"kind":"counter","name":"tane.validated","value":5}"#,
+        "\n",
+        r#"{"kind":"gauge","name":"glasso.duality_gap","value":0.001953125}"#,
+        "\n",
+        r#"{"kind":"event","name":"fdx.glasso.sweep","iter":1,"objective":3.5,"duality_gap":0.25,"active_set":6}"#,
+        "\n",
+    );
+    assert_eq!(jsonl, expected);
+}
+
+#[test]
+fn disabled_recording_is_a_no_op() {
+    let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fdx_obs::set_enabled(false);
+    let registry = Registry::global();
+    registry.reset();
+    counter_add("ghost", 1);
+    gauge_set("ghost.gauge", 1.0);
+    event("ghost.event", &[]);
+    let snap = registry.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.events.is_empty());
+}
+
+#[test]
+fn span_elapsed_works_without_recording() {
+    let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fdx_obs::set_enabled(false);
+    let span = Span::enter("budget.clock");
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    assert!(span.elapsed_secs() >= 0.002);
+}

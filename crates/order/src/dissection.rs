@@ -170,7 +170,10 @@ mod tests {
         let order = nested_dissection(&g, 1, None);
         assert_eq!(order.len(), 5);
         let last = *order.last().unwrap();
-        assert!((1..=3).contains(&last), "separator {last} should be interior");
+        assert!(
+            (1..=3).contains(&last),
+            "separator {last} should be interior"
+        );
     }
 
     #[test]

@@ -102,11 +102,17 @@ pub fn compute_order_weighted(
     method: OrderingMethod,
     weights: Option<&[f64]>,
 ) -> Permutation {
+    let _span = fdx_obs::Span::enter("fdx.order");
     let n = theta.rows();
     if let Some(w) = weights {
         assert_eq!(w.len(), n, "weights length must match matrix size");
     }
     let graph = SupportGraph::from_matrix(theta, threshold);
+    if fdx_obs::enabled() {
+        let edges: usize = (0..n).map(|v| graph.degree(v)).sum::<usize>() / 2;
+        fdx_obs::gauge_set("fdx.order.vertices", n as f64);
+        fdx_obs::gauge_set("fdx.order.support_edges", edges as f64);
+    }
     let elimination = match method {
         OrderingMethod::Natural => (0..n).collect(),
         OrderingMethod::MinDegree => mindeg::min_degree_weighted(&graph, false, weights),
@@ -155,7 +161,11 @@ mod tests {
         // the global order (first-eliminated last).
         let p = compute_order(&star_theta(), 0.1, OrderingMethod::MinDegree);
         let hub_pos = (0..5).find(|&i| p.image(i) == 0).unwrap();
-        assert!(hub_pos <= 1, "hub too late in global order: {:?}", p.as_slice());
+        assert!(
+            hub_pos <= 1,
+            "hub too late in global order: {:?}",
+            p.as_slice()
+        );
     }
 
     #[test]

@@ -139,10 +139,8 @@ mod tests {
         // leaves. Force that by checking a graph where the hub has minimum
         // degree: hub 0 with 2 leaves, leaves also joined to an extra chain
         // raising their degree.
-        let g = SupportGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
-        );
+        let g =
+            SupportGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]);
         // Vertex 0 has degree 2, the rest degree >= 3.
         let order = min_degree(&g, false);
         assert_eq!(order[0], 0);

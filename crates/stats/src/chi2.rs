@@ -174,12 +174,7 @@ mod tests {
         // A 2×2 table that exactly matches independence.
         let ds = Dataset::from_string_rows(
             &["a", "b"],
-            &[
-                &["x", "0"],
-                &["x", "1"],
-                &["y", "0"],
-                &["y", "1"],
-            ],
+            &[&["x", "0"], &["x", "1"], &["y", "0"], &["y", "1"]],
         );
         let r = chi_squared(&group_ids(&ds, &[0]), &group_ids(&ds, &[1]));
         assert!(r.statistic.abs() < 1e-12);

@@ -86,8 +86,8 @@ pub fn expected_mutual_information(a: &[usize], b: &[usize], n: usize) -> f64 {
             let hi = ai.min(bj);
             for c in lo..=hi {
                 // ln Hyp(c; n, ai, bj) = ln C(bj, c) + ln C(n−bj, ai−c) − ln C(n, ai)
-                let log_p = lf.ln_choose(bj, c) + lf.ln_choose(n - bj, ai - c)
-                    - lf.ln_choose(n, ai);
+                let log_p =
+                    lf.ln_choose(bj, c) + lf.ln_choose(n - bj, ai - c) - lf.ln_choose(n, ai);
                 let p = log_p.exp();
                 if p <= 0.0 {
                     continue;

@@ -31,7 +31,10 @@ impl GroupIds {
 /// rows that are both null in an attribute agree on it — the convention the
 /// information-theoretic baselines use.
 pub fn group_ids(ds: &Dataset, attrs: &[AttrId]) -> GroupIds {
-    assert!(!attrs.is_empty(), "group_ids requires at least one attribute");
+    assert!(
+        !attrs.is_empty(),
+        "group_ids requires at least one attribute"
+    );
     let n = ds.nrows();
     if attrs.len() == 1 {
         // Fast path: dictionary codes are already dense group ids; remap

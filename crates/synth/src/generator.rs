@@ -53,7 +53,11 @@ pub struct SynthSetting {
 impl SynthSetting {
     /// The figure key used in the paper, e.g. `t=large r=small d=large n=high`.
     pub fn label(&self) -> String {
-        let n = if self.noise_rate > 0.05 { "high" } else { "low" };
+        let n = if self.noise_rate > 0.05 {
+            "high"
+        } else {
+            "low"
+        };
         format!(
             "t={} r={} d={} n={}",
             self.tuples.label(),
@@ -131,7 +135,10 @@ pub struct SynthData {
 
 /// Generates one synthetic instance following §5.1.
 pub fn generate(cfg: &SynthConfig) -> SynthData {
-    assert!(cfg.attributes >= 2, "need at least one group of two attributes");
+    assert!(
+        cfg.attributes >= 2,
+        "need at least one group of two attributes"
+    );
     assert!((0.0..1.0).contains(&cfg.noise_rate));
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 

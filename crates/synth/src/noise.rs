@@ -162,12 +162,7 @@ mod tests {
         // Condition on column 1; only rows with its mode may change.
         systematic_flip(&mut noisy, 0, 1, 0.9, &mut rng);
         let freq = clean.column(1).frequencies();
-        let mode = freq
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
-            .unwrap()
-            .0 as u32;
+        let mode = freq.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0 as u32;
         for r in 0..clean.nrows() {
             if clean.value(r, 0) != noisy.value(r, 0) {
                 assert_eq!(clean.column(1).code(r), mode, "row {r} not a mode row");

@@ -63,7 +63,16 @@ pub fn hospital(seed: u64) -> RealWorld {
         .collect();
     // 40 hospitals; each pinned to a city and a unique zip.
     #[allow(clippy::type_complexity)]
-    let hospitals: Vec<(String, String, String, usize, String, String, String, String)> = (0..40)
+    let hospitals: Vec<(
+        String,
+        String,
+        String,
+        usize,
+        String,
+        String,
+        String,
+        String,
+    )> = (0..40)
         .map(|h| {
             let city = rng.gen_range(0..n_cities);
             (
@@ -260,20 +269,42 @@ pub fn nypd(seed: u64) -> RealWorld {
         let (pct, boro) = precincts[rng.gen_range(0..precincts.len())];
         rows.push(vec![
             Value::Int(100_000_000 + i as i64),
-            Value::text(format!("2015-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29))),
-            Value::text(format!("{:02}:{:02}", rng.gen_range(0..24), rng.gen_range(0..60))),
-            Value::text(format!("2015-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29))),
+            Value::text(format!(
+                "2015-{:02}-{:02}",
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            )),
+            Value::text(format!(
+                "{:02}:{:02}",
+                rng.gen_range(0..24),
+                rng.gen_range(0..60)
+            )),
+            Value::text(format!(
+                "2015-{:02}-{:02}",
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            )),
             Value::Int(ky_rec.0),
             Value::text(&ky_rec.1),
             Value::Int(pd_rec.0),
             Value::text(&pd_rec.1),
-            Value::text(if rng.gen_bool(0.8) { "COMPLETED" } else { "ATTEMPTED" }),
+            Value::text(if rng.gen_bool(0.8) {
+                "COMPLETED"
+            } else {
+                "ATTEMPTED"
+            }),
             Value::text(ky_rec.2),
             Value::text(boroughs[boro]),
             Value::Int(pct),
             Value::text(["INSIDE", "FRONT OF", "OPPOSITE OF", "REAR OF"][rng.gen_range(0..4)]),
             Value::text(format!("premises {}", rng.gen_range(0..30))),
-            Value::text(["N.Y. POLICE DEPT", "N.Y. HOUSING POLICE", "N.Y. TRANSIT POLICE"][rng.gen_range(0..3)]),
+            Value::text(
+                [
+                    "N.Y. POLICE DEPT",
+                    "N.Y. HOUSING POLICE",
+                    "N.Y. TRANSIT POLICE",
+                ][rng.gen_range(0..3)],
+            ),
             Value::float_quantized(40.5 + rng.gen_range(0.0..0.4), 3),
             Value::float_quantized(-74.2 + rng.gen_range(0.0..0.5), 3),
         ]);
@@ -299,8 +330,8 @@ pub fn nypd(seed: u64) -> RealWorld {
 pub fn thoracic(seed: u64) -> RealWorld {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7403);
     let names = [
-        "DGN", "PRE4", "PRE5", "PRE6", "PRE7", "PRE8", "PRE9", "PRE10", "PRE11", "PRE14",
-        "PRE17", "PRE19", "PRE25", "PRE30", "PRE32", "AGE", "Risk1Yr",
+        "DGN", "PRE4", "PRE5", "PRE6", "PRE7", "PRE8", "PRE9", "PRE10", "PRE11", "PRE14", "PRE17",
+        "PRE19", "PRE25", "PRE30", "PRE32", "AGE", "Risk1Yr",
     ];
     let schema = Schema::from_names(&names);
     let mut rows = Vec::with_capacity(470);
@@ -309,7 +340,11 @@ pub fn thoracic(seed: u64) -> RealWorld {
         // Tumour size class (PRE14) follows diagnosis; staging (PRE6)
         // follows size class.
         let pre14 = (dgn % 4) as i64 + 1;
-        let pre6 = if rng.gen_bool(0.93) { pre14 % 3 } else { rng.gen_range(0..3) };
+        let pre6 = if rng.gen_bool(0.93) {
+            pre14 % 3
+        } else {
+            rng.gen_range(0..3)
+        };
         let mut row = vec![Value::text(format!("DGN{dgn}"))];
         row.push(Value::float_quantized(rng.gen_range(1.4..6.3), 1)); // PRE4
         row.push(Value::float_quantized(rng.gen_range(0.9..5.0), 1)); // PRE5
@@ -344,8 +379,16 @@ pub fn thoracic(seed: u64) -> RealWorld {
 pub fn tictactoe(seed: u64) -> RealWorld {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x71C7);
     let names = [
-        "top-left", "top-middle", "top-right", "middle-left", "middle-middle", "middle-right",
-        "bottom-left", "bottom-middle", "bottom-right", "class",
+        "top-left",
+        "top-middle",
+        "top-right",
+        "middle-left",
+        "middle-middle",
+        "middle-right",
+        "bottom-left",
+        "bottom-middle",
+        "bottom-right",
+        "class",
     ];
     let schema = Schema::from_names(&names);
     let mut rows = Vec::with_capacity(958);
@@ -370,9 +413,7 @@ pub fn tictactoe(seed: u64) -> RealWorld {
         for (i, &c) in cells.iter().enumerate().take(9) {
             board[c] = if i % 2 == 0 { 'x' } else { 'o' };
         }
-        let x_wins = lines
-            .iter()
-            .any(|l| l.iter().all(|&c| board[c] == 'x'));
+        let x_wins = lines.iter().any(|l| l.iter().all(|&c| board[c] == 'x'));
         let mut row: Vec<Value> = board.iter().map(|&c| Value::text(c.to_string())).collect();
         row.push(Value::text(if x_wins { "positive" } else { "negative" }));
         rows.push(row);

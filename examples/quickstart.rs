@@ -44,7 +44,8 @@ Green Mill,4802 N Broadway,Chicago,IL,60640
     print!("{}", result.fds.render(data.schema()));
     println!(
         "\nTimings: transform {:.4}s, model {:.4}s",
-        result.timings.transform_secs, result.timings.model_secs
+        result.timings.transform_secs,
+        result.timings.model_secs()
     );
     println!("Attribute order used: {:?}", result.order.as_slice());
 }

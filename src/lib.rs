@@ -47,8 +47,8 @@
 //! ```
 
 pub use fdx_core::{
-    pair_transform, pair_transform_matrix, refine, render_autoregression_heatmap, score_fd, Fdx,
-    FdScore, FdxConfig, FdxError, FdxResult, FdxTimings, NullPolicy, PairSampling, PairStats,
+    pair_transform, pair_transform_matrix, refine, render_autoregression_heatmap, score_fd,
+    FdScore, Fdx, FdxConfig, FdxError, FdxResult, FdxTimings, NullPolicy, PairSampling, PairStats,
     TransformConfig,
 };
 
