@@ -1,0 +1,285 @@
+//! The committed violation baseline and the ratchet comparison.
+//!
+//! The baseline (`lint-baseline.json`) records pre-existing violations as
+//! `(rule, path) → count` buckets. Bucket counts are deliberately
+//! line-free: edits that move code around don't spuriously fail CI, while
+//! any *growth* in a bucket — or a brand-new bucket — does. Shrinking a
+//! bucket produces a "stale baseline" warning prompting a re-baseline, so
+//! remediated files can never silently re-acquire debt.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::json::{self, Value};
+
+/// Parsed baseline: `(rule, path) → count`, deterministically ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Violation buckets.
+    pub entries: BTreeMap<(RuleId, String), u64>,
+}
+
+/// One bucket-level difference found by [`Baseline::compare`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Rule of the bucket.
+    pub rule: RuleId,
+    /// Path of the bucket.
+    pub path: String,
+    /// Count recorded in the baseline (0 for brand-new buckets).
+    pub baseline: u64,
+    /// Count observed in the current scan.
+    pub current: u64,
+}
+
+/// Outcome of a ratchet comparison.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetOutcome {
+    /// Buckets whose count grew (or appeared): these fail the ratchet.
+    pub regressions: Vec<Delta>,
+    /// Buckets whose count shrank or vanished: baseline is stale (warn).
+    pub stale: Vec<Delta>,
+}
+
+impl RatchetOutcome {
+    /// `true` when the ratchet passes (no new violations anywhere).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from the *active* (non-suppressed) diagnostics of a
+    /// scan.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut entries: BTreeMap<(RuleId, String), u64> = BTreeMap::new();
+        for d in diags.iter().filter(|d| d.suppressed.is_none()) {
+            *entries.entry((d.rule, d.path.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Total violation count across all buckets.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Loads a baseline file. A missing file is an empty baseline (the
+    /// ratchet then treats every violation as new, which is the correct
+    /// bootstrap behavior).
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Baseline::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the baseline JSON document.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc.get("version").and_then(Value::as_u64);
+        if version != Some(1) {
+            return Err(format!(
+                "unsupported baseline version {version:?} (expected 1)"
+            ));
+        }
+        let mut entries = BTreeMap::new();
+        for (i, e) in doc
+            .get("entries")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let rule = e
+                .get("rule")
+                .and_then(Value::as_str)
+                .and_then(RuleId::parse)
+                .ok_or_else(|| format!("entry {i}: missing or unknown rule"))?;
+            let path = e
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("entry {i}: missing path"))?
+                .to_string();
+            let count = e
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry {i}: missing count"))?;
+            if count == 0 {
+                return Err(format!("entry {i}: zero count is not a valid bucket"));
+            }
+            if entries.insert((rule, path.clone()), count).is_some() {
+                return Err(format!("entry {i}: duplicate bucket {rule} {path}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes deterministically (sorted by rule then path, one entry per
+    /// line, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, ((rule, path), count)) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            json::write_escaped(&mut out, rule.code());
+            out.push_str(", \"path\": ");
+            json::write_escaped(&mut out, path);
+            let _ = write!(out, ", \"count\": {count}}}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the serialized baseline to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        fs::write(path, self.to_json()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Ratchet comparison: `current` is the freshly scanned state.
+    pub fn compare(&self, current: &Baseline) -> RatchetOutcome {
+        let mut outcome = RatchetOutcome::default();
+        let keys: std::collections::BTreeSet<&(RuleId, String)> =
+            self.entries.keys().chain(current.entries.keys()).collect();
+        for key in keys {
+            let base = self.entries.get(key).copied().unwrap_or(0);
+            let cur = current.entries.get(key).copied().unwrap_or(0);
+            let delta = Delta {
+                rule: key.0,
+                path: key.1.clone(),
+                baseline: base,
+                current: cur,
+            };
+            if cur > base {
+                outcome.regressions.push(delta);
+            } else if cur < base {
+                outcome.stale.push(delta);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: RuleId, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 1,
+            snippet: String::new(),
+            severity: rule.severity(),
+            suppressed: None,
+        }
+    }
+
+    #[test]
+    fn builds_buckets_excluding_suppressed() {
+        let mut d3 = diag(RuleId::L001, "a.rs", 30);
+        d3.suppressed = Some("justified".into());
+        let b = Baseline::from_diagnostics(&[
+            diag(RuleId::L001, "a.rs", 10),
+            diag(RuleId::L001, "a.rs", 20),
+            diag(RuleId::L003, "b.rs", 5),
+            d3,
+        ]);
+        assert_eq!(b.entries[&(RuleId::L001, "a.rs".into())], 2);
+        assert_eq!(b.entries[&(RuleId::L003, "b.rs".into())], 1);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip_is_deterministic() {
+        let b = Baseline::from_diagnostics(&[
+            diag(RuleId::L003, "z.rs", 1),
+            diag(RuleId::L001, "a.rs", 1),
+            diag(RuleId::L001, "m.rs", 1),
+        ]);
+        let j1 = b.to_json();
+        let parsed = Baseline::from_json(&j1).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), j1);
+        // Rule-major, then path order.
+        let a = j1.find("a.rs").expect("a.rs");
+        let m = j1.find("m.rs").expect("m.rs");
+        let z = j1.find("z.rs").expect("z.rs");
+        assert!(a < m && m < z);
+    }
+
+    #[test]
+    fn ratchet_passes_on_equal_and_fails_on_growth() {
+        let base = Baseline::from_diagnostics(&[diag(RuleId::L001, "a.rs", 1)]);
+        assert!(base.compare(&base).passed());
+        let grown = Baseline::from_diagnostics(&[
+            diag(RuleId::L001, "a.rs", 1),
+            diag(RuleId::L001, "a.rs", 2),
+        ]);
+        let out = base.compare(&grown);
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].baseline, 1);
+        assert_eq!(out.regressions[0].current, 2);
+    }
+
+    #[test]
+    fn ratchet_flags_new_bucket_and_stale_entry() {
+        let base = Baseline::from_diagnostics(&[diag(RuleId::L001, "gone.rs", 1)]);
+        let current = Baseline::from_diagnostics(&[diag(RuleId::L002, "new.rs", 1)]);
+        let out = base.compare(&current);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].path, "new.rs");
+        assert_eq!(out.regressions[0].baseline, 0);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].path, "gone.rs");
+        assert_eq!(out.stale[0].current, 0);
+    }
+
+    #[test]
+    fn line_moves_do_not_trip_the_ratchet() {
+        let base = Baseline::from_diagnostics(&[
+            diag(RuleId::L001, "a.rs", 10),
+            diag(RuleId::L001, "a.rs", 20),
+        ]);
+        let moved = Baseline::from_diagnostics(&[
+            diag(RuleId::L001, "a.rs", 110),
+            diag(RuleId::L001, "a.rs", 220),
+        ]);
+        assert!(base.compare(&moved).passed());
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/lint-baseline.json")).expect("load");
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::from_json("{}").is_err()); // no version
+        assert!(Baseline::from_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::from_json(
+            "{\"version\": 1, \"entries\": [{\"rule\": \"FDX-L999\", \"path\": \"x\", \"count\": 1}]}"
+        )
+        .is_err());
+        assert!(Baseline::from_json(
+            "{\"version\": 1, \"entries\": [{\"rule\": \"FDX-L001\", \"path\": \"x\", \"count\": 0}]}"
+        )
+        .is_err());
+        // Duplicate bucket.
+        assert!(Baseline::from_json(
+            "{\"version\": 1, \"entries\": [\
+             {\"rule\": \"FDX-L001\", \"path\": \"x\", \"count\": 1},\
+             {\"rule\": \"FDX-L001\", \"path\": \"x\", \"count\": 2}]}"
+        )
+        .is_err());
+    }
+}

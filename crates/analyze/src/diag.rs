@@ -1,0 +1,180 @@
+//! Diagnostic model shared by every rule: id, severity, position, snippet,
+//! and the `fdx-allow` suppression audit trail.
+
+use std::fmt;
+
+/// Stable rule identifiers. The numeric short form (`L001`) is what
+/// suppression comments use; [`RuleId::code`] is the full reported code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `.unwrap()` / `.expect()` in library code.
+    L001,
+    /// Raw float `==` / `!=` comparison.
+    L002,
+    /// `Instant::now()` outside the observability crate.
+    L003,
+    /// `panic!` / `todo!` / `unimplemented!` in library code.
+    L004,
+    /// Lossy `as` cast in a numerical kernel crate.
+    L005,
+    /// `unsafe` without a `// SAFETY:` comment.
+    L006,
+}
+
+impl RuleId {
+    /// All rules, in reporting order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::L001,
+        RuleId::L002,
+        RuleId::L003,
+        RuleId::L004,
+        RuleId::L005,
+        RuleId::L006,
+    ];
+
+    /// Full reported code, e.g. `FDX-L001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::L001 => "FDX-L001",
+            RuleId::L002 => "FDX-L002",
+            RuleId::L003 => "FDX-L003",
+            RuleId::L004 => "FDX-L004",
+            RuleId::L005 => "FDX-L005",
+            RuleId::L006 => "FDX-L006",
+        }
+    }
+
+    /// Short form accepted in `fdx-allow:` comments, e.g. `L001`.
+    pub fn short(self) -> &'static str {
+        match self {
+            RuleId::L001 => "L001",
+            RuleId::L002 => "L002",
+            RuleId::L003 => "L003",
+            RuleId::L004 => "L004",
+            RuleId::L005 => "L005",
+            RuleId::L006 => "L006",
+        }
+    }
+
+    /// Parses `L001` or `FDX-L001` (case-insensitive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        let s = s.trim();
+        let s = s
+            .strip_prefix("FDX-")
+            .or_else(|| s.strip_prefix("fdx-"))
+            .unwrap_or(s);
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.short().eq_ignore_ascii_case(s))
+    }
+
+    /// Severity of violations of this rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::L005 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line human description of what the rule protects.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::L001 => "`.unwrap()`/`.expect()` in library code",
+            RuleId::L002 => "raw float `==`/`!=` comparison (use a tolerance helper)",
+            RuleId::L003 => "`Instant::now()` outside crates/obs (use obs spans)",
+            RuleId::L004 => "`panic!`/`todo!`/`unimplemented!` in library code",
+            RuleId::L005 => "lossy `as` cast in a numerical kernel crate",
+            RuleId::L006 => "`unsafe` without a `// SAFETY:` comment",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Ratcheted hard: new instances fail CI.
+    Error,
+    /// Ratcheted too, but reported as a warning.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding: rule, position, and the offending source line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Severity (derived from the rule, stored for rendering).
+    pub severity: Severity,
+    /// `Some(reason)` when an `fdx-allow` comment suppressed this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Diagnostic {
+    /// Deterministic sort key: path, line, col, rule.
+    pub fn sort_key(&self) -> (String, u32, u32, RuleId) {
+        (self.path.clone(), self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}: `{}`",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.code(),
+            self.severity.label(),
+            self.rule.summary(),
+            self.snippet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_roundtrip_through_parse() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.short()), Some(r));
+            assert_eq!(RuleId::parse(r.code()), Some(r));
+            assert_eq!(RuleId::parse(&r.short().to_lowercase()), Some(r));
+        }
+        assert_eq!(RuleId::parse("L999"), None);
+        assert_eq!(RuleId::parse(""), None);
+    }
+
+    #[test]
+    fn severities() {
+        assert_eq!(RuleId::L001.severity(), Severity::Error);
+        assert_eq!(RuleId::L005.severity(), Severity::Warning);
+        assert_eq!(Severity::Warning.label(), "warning");
+    }
+}

@@ -1,0 +1,644 @@
+//! A handwritten Rust lexer, sufficient for line-precise lint rules.
+//!
+//! The goal is not full fidelity with `rustc`'s lexer but *sound token
+//! boundaries*: rules must never fire on text inside comments, string
+//! literals, raw strings, or char literals, and must never confuse a
+//! lifetime (`'a`) with a char (`'a'`) or a float literal (`1.0`) with a
+//! range (`1..2`). Everything a rule matches is a real code token with an
+//! exact 1-based line and column.
+
+/// Kinds of tokens the rule engine consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Char literal such as `'x'` or `'\n'`.
+    Char,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// Punctuation, possibly multi-char (`==`, `::`, `->`, `..=`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Verbatim token text (string/char literals keep their quotes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` if this is an identifier with exactly the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` if this is punctuation with exactly the given text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment (line or block), kept out of the token stream but retained for
+/// suppression (`fdx-allow:`) and `// SAFETY:` auditing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/*` markers, untrimmed.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// 1-based line on which the comment ends (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: code tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char punctuation, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes a whole source file. Unterminated constructs (string/comment) are
+/// tolerated: the remainder of the file is consumed as that construct, which
+/// is the forgiving behavior a lint tool wants on mid-edit files.
+pub fn lex(src: &str) -> LexedFile {
+    let mut cur = Cursor::new(src);
+    let mut out = LexedFile::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let mut text = String::new();
+                cur.bump();
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: line,
+                });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let mut text = String::new();
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            '"' => {
+                let text = lex_quoted_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                let (kind, text) = lex_lifetime_or_char(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let (kind, text) = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#,
+                // and raw identifiers r#ident.
+                match (text.as_str(), cur.peek(0)) {
+                    ("r" | "b" | "br" | "rb", Some('"')) => {
+                        let body = lex_quoted_string(&mut cur);
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: format!("{text}{body}"),
+                            line,
+                            col,
+                        });
+                    }
+                    ("r" | "br" | "rb", Some('#')) => {
+                        // Count hashes; a quote after them opens a raw string,
+                        // anything else was a raw identifier (r#ident).
+                        let mut hashes = 0usize;
+                        while cur.peek(hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if cur.peek(hashes) == Some('"') {
+                            let body = lex_raw_string(&mut cur);
+                            out.tokens.push(Token {
+                                kind: TokenKind::Str,
+                                text: format!("{text}{body}"),
+                                line,
+                                col,
+                            });
+                        } else {
+                            cur.bump(); // the single '#' of r#ident
+                            let mut id = String::new();
+                            while let Some(c) = cur.peek(0) {
+                                if !is_ident_continue(c) {
+                                    break;
+                                }
+                                id.push(c);
+                                cur.bump();
+                            }
+                            out.tokens.push(Token {
+                                kind: TokenKind::Ident,
+                                text: id,
+                                line,
+                                col,
+                            });
+                        }
+                    }
+                    _ => out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                        col,
+                    }),
+                }
+            }
+            _ => {
+                let matched = PUNCTS
+                    .iter()
+                    .find(|p| p.chars().enumerate().all(|(i, pc)| cur.peek(i) == Some(pc)));
+                let text = match matched {
+                    Some(p) => {
+                        for _ in 0..p.chars().count() {
+                            cur.bump();
+                        }
+                        (*p).to_string()
+                    }
+                    None => {
+                        cur.bump();
+                        c.to_string()
+                    }
+                };
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote (escape-aware).
+fn lex_quoted_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(e) = cur.peek(0) {
+                text.push(e);
+                cur.bump();
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Consumes a raw string starting at the first `#` (after the `r`/`br`
+/// prefix has already been consumed): `#…#"…"#…#`.
+fn lex_raw_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    while let Some(c) = cur.peek(0) {
+        text.push(c);
+        cur.bump();
+        if c == '"' && (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+            for _ in 0..hashes {
+                text.push('#');
+                cur.bump();
+            }
+            break;
+        }
+    }
+    text
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal); the
+/// cursor sits on the opening quote.
+fn lex_lifetime_or_char(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump();
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            while let Some(c) = cur.peek(0) {
+                text.push(c);
+                cur.bump();
+                if c == '\\' {
+                    if let Some(e) = cur.peek(0) {
+                        text.push(e);
+                        cur.bump();
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            (TokenKind::Char, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+                (TokenKind::Char, text)
+            } else {
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some(c) => {
+            // Non-ident char literal: 'x' where x is punctuation/space/digit.
+            text.push(c);
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            (TokenKind::Char, text)
+        }
+        None => (TokenKind::Char, text),
+    }
+}
+
+/// Consumes a numeric literal; decides int vs. float.
+fn lex_number(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut is_float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O')) {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_hexdigit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Type suffix (u8, i64, usize, …).
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (TokenKind::Int, text);
+    }
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — only if the dot is followed by a digit, so ranges
+    // (`0..n`) and method calls on literals (`1.max(2)`) stay intact.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`1.0f32`, `42u64`, `1_f64`).
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.contains("f32") || suffix.contains("f64") {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    let kind = if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    (kind, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lexed = lex("let x = 1; // trailing .unwrap()\n/* block\npanic! */ let y = 2;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(lexed.tokens.iter().all(|t| t.text != "panic"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+        assert!(lexed.comments[1].text.contains("panic!"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("still")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let s = ".unwrap() panic!"; s.len();"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("len")));
+        // Escaped quote does not end the string early.
+        let lexed = lex(r#"let s = "a\"b.unwrap()"; x"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"contains "quotes" and .unwrap()"#; y"###);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "type".to_string())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_literal_with_punctuation() {
+        let toks = kinds("let c = ','; let q = '\"'; done");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+        assert!(toks.contains(&(TokenKind::Ident, "done".to_string())));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_ints() {
+        let toks = kinds("for i in 0..10 { let x = 1.5; let y = 2e-3; let z = 4f64; let n = 7; }");
+        let floats: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(floats, ["1.5", "2e-3", "4f64"]);
+        assert!(toks.contains(&(TokenKind::Punct, "..".to_string())));
+        assert!(toks.contains(&(TokenKind::Int, "7".to_string())));
+        assert!(toks.contains(&(TokenKind::Int, "0".to_string())));
+    }
+
+    #[test]
+    fn hex_is_int_even_with_e_digits() {
+        let toks = kinds("let m = 0xFE; let b = 0b10_01; x");
+        assert!(toks.contains(&(TokenKind::Int, "0xFE".to_string())));
+        assert!(toks.contains(&(TokenKind::Int, "0b10_01".to_string())));
+    }
+
+    #[test]
+    fn multichar_punctuation_and_generics() {
+        let toks = kinds("if a == b && c != d { v: Vec<Vec<u32>> = w; } x ..= y");
+        assert!(toks.contains(&(TokenKind::Punct, "==".to_string())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".to_string())));
+        assert!(toks.contains(&(TokenKind::Punct, "&&".to_string())));
+        assert!(toks.contains(&(TokenKind::Punct, "..=".to_string())));
+        // Nested generics close with a shift token; the lexer must not lose
+        // the following identifier.
+        assert!(toks.contains(&(TokenKind::Punct, ">>".to_string())));
+    }
+
+    #[test]
+    fn positions_are_line_and_col_exact() {
+        let lexed = lex("let a = 1;\n  foo.unwrap();\n");
+        let unwrap = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn method_call_on_float_literal() {
+        // `2.0_f64.ln()` must lex as Float("2.0_f64") '.' Ident(ln).
+        let toks = kinds("let x = 2.0_f64.ln();");
+        assert!(toks.contains(&(TokenKind::Float, "2.0_f64".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "ln".to_string())));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let lexed = lex("let s = \"oops\nunwrap()");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let lexed = lex(r#"let b = b"panic!"; z"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("z")));
+    }
+}

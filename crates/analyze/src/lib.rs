@@ -1,0 +1,261 @@
+//! `fdx-analyze` — zero-dependency static analysis for the fdx workspace.
+//!
+//! A handwritten Rust lexer feeds a small pack of token-pattern rules that
+//! police the numerical invariants this codebase lives or dies by:
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | FDX-L001 | `.unwrap()` / `.expect()` in library code |
+//! | FDX-L002 | raw float `==` / `!=` comparisons |
+//! | FDX-L003 | `Instant::now()` outside `crates/obs` |
+//! | FDX-L004 | `panic!` / `todo!` / `unimplemented!` in library code |
+//! | FDX-L005 | lossy `as` casts inside linalg / glasso / stats kernels |
+//! | FDX-L006 | `unsafe` without a `// SAFETY:` comment |
+//!
+//! Pre-existing debt lives in a committed `lint-baseline.json`; `--ratchet`
+//! fails only on *new* violations, so the count can shrink but never grow.
+//! Intentional violations are annotated `// fdx-allow: <rule> <reason>` and
+//! reported in a suppression audit section rather than vanishing silently.
+//!
+//! The crate is deliberately dependency-free (no `syn`, no `serde`): it
+//! lexes with [`lexer`], parses its baseline with the tiny [`json`] module,
+//! and renders deterministic output from [`report`].
+
+pub mod baseline;
+pub mod diag;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, RatchetOutcome};
+pub use diag::{Diagnostic, RuleId, Severity};
+pub use report::{RatchetResult, ScanReport};
+pub use rules::{check_file, FileContext, SourceFile};
+pub use walk::find_workspace_root;
+
+/// Configuration for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline file location (default: `<root>/lint-baseline.json`).
+    pub baseline_path: PathBuf,
+    /// Ratchet mode: compare against the baseline instead of failing on
+    /// every active violation.
+    pub ratchet: bool,
+}
+
+impl LintOptions {
+    /// Options rooted at `root` with the conventional baseline path.
+    pub fn new(root: &Path) -> LintOptions {
+        LintOptions {
+            root: root.to_path_buf(),
+            baseline_path: root.join("lint-baseline.json"),
+            ratchet: false,
+        }
+    }
+}
+
+/// Scans every `.rs` file under `root` and returns the sorted diagnostics.
+/// No baseline handling — see [`run`] for the full pipeline.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let files =
+        walk::discover_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diagnostics = Vec::new();
+    for f in &files {
+        let source =
+            fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.abs.display()))?;
+        diagnostics.extend(check_file(&SourceFile {
+            rel_path: &f.rel,
+            source: &source,
+            context: f.context,
+        }));
+    }
+    diagnostics.sort_by_key(Diagnostic::sort_key);
+    Ok(ScanReport {
+        files_scanned: files.len(),
+        diagnostics,
+        ratchet: None,
+    })
+}
+
+/// Full lint pipeline: scan, then (in ratchet mode) compare against the
+/// committed baseline. Errors are I/O or baseline-parse failures — rule
+/// violations are reported inside the returned [`ScanReport`], not as `Err`.
+pub fn run(opts: &LintOptions) -> Result<ScanReport, String> {
+    let mut report = scan_workspace(&opts.root)?;
+    if opts.ratchet {
+        let committed = Baseline::load(&opts.baseline_path)?;
+        let active: Vec<Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.suppressed.is_none())
+            .cloned()
+            .collect();
+        let current = Baseline::from_diagnostics(&active);
+        let outcome = committed.compare(&current);
+        report.ratchet = Some(RatchetResult {
+            baseline_total: committed.total(),
+            current_total: current.total(),
+            outcome,
+        });
+    }
+    Ok(report)
+}
+
+/// Regenerates the baseline from the current tree and writes it to
+/// `opts.baseline_path`. Returns the refreshed baseline.
+pub fn write_baseline(opts: &LintOptions) -> Result<Baseline, String> {
+    let report = scan_workspace(&opts.root)?;
+    let active: Vec<Diagnostic> = report
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.suppressed.is_none())
+        .collect();
+    let baseline = Baseline::from_diagnostics(&active);
+    baseline.save(&opts.baseline_path)?;
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::tests::scratch_workspace;
+
+    const LIB_MANIFEST: &str = "[package]\nname = \"x\"\n\n[lib]\nname = \"x\"\n";
+
+    fn lint_workspace(files: &[(&str, &str)]) -> (PathBuf, LintOptions) {
+        let root = scratch_workspace(files);
+        let opts = LintOptions::new(&root);
+        (root, opts)
+    }
+
+    #[test]
+    fn end_to_end_scan_finds_library_unwrap_but_not_test_unwrap() {
+        let (root, opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+            ),
+            (
+                "crates/x/tests/it.rs",
+                "#[test]\nfn t() { Some(1u8).unwrap(); }\n",
+            ),
+        ]);
+        let report = run(&opts).expect("run");
+        let hits: Vec<&Diagnostic> = report.diagnostics.iter().collect();
+        assert_eq!(hits.len(), 1, "only the library unwrap: {hits:?}");
+        assert_eq!(hits[0].rule, RuleId::L001);
+        assert_eq!(hits[0].path, "crates/x/src/lib.rs");
+        assert!(report.failed());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ratchet_bootstrap_write_then_pass_then_fail_on_new() {
+        let (root, mut opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+            ),
+        ]);
+        opts.ratchet = true;
+
+        // Bootstrap: baseline the existing debt.
+        let b = write_baseline(&opts).expect("write baseline");
+        assert_eq!(b.total(), 1);
+
+        // Unchanged tree ratchets clean.
+        let report = run(&opts).expect("run");
+        assert!(!report.failed(), "{}", report.to_text());
+
+        // A fresh library unwrap in a new file fails the ratchet.
+        std::fs::write(
+            root.join("crates/x/src/extra.rs"),
+            "pub fn g(o: Option<u8>) -> u8 { o.unwrap() }\n",
+        )
+        .expect("write");
+        let report = run(&opts).expect("run");
+        assert!(report.failed());
+        let r = report.ratchet.as_ref().expect("ratchet result");
+        assert_eq!(r.outcome.regressions.len(), 1);
+        assert_eq!(r.outcome.regressions[0].path, "crates/x/src/extra.rs");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ratchet_reports_stale_entries_after_remediation() {
+        let (root, mut opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+            ),
+        ]);
+        opts.ratchet = true;
+        write_baseline(&opts).expect("write baseline");
+
+        // Remediate the unwrap; the baseline entry is now stale but the
+        // ratchet still passes.
+        std::fs::write(
+            root.join("crates/x/src/lib.rs"),
+            "pub fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }\n",
+        )
+        .expect("write");
+        let report = run(&opts).expect("run");
+        assert!(!report.failed());
+        let r = report.ratchet.as_ref().expect("ratchet result");
+        assert_eq!(r.outcome.stale.len(), 1);
+        assert!(report.to_text().contains("stale baseline entry"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn suppressed_violations_do_not_enter_the_baseline() {
+        let (root, opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(o: Option<u8>) -> u8 {\n    \
+                 // fdx-allow: L001 checked by caller\n    o.unwrap()\n}\n",
+            ),
+        ]);
+        let b = write_baseline(&opts).expect("write baseline");
+        assert_eq!(b.total(), 0);
+        let report = run(&opts).expect("run");
+        assert_eq!(report.suppressed().count(), 1);
+        assert!(!report.failed());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Self-test against the real repository: the committed tree must
+    /// ratchet clean. Skipped when no workspace root with a committed
+    /// baseline is reachable (e.g. the crate is built out of tree).
+    #[test]
+    fn committed_tree_ratchets_clean() {
+        let Some(root) = std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+        else {
+            return;
+        };
+        let mut opts = LintOptions::new(&root);
+        if !opts.baseline_path.exists() {
+            return;
+        }
+        opts.ratchet = true;
+        let report = run(&opts).expect("run");
+        assert!(!report.failed(), "{}", report.to_text());
+    }
+}

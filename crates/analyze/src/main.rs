@@ -1,0 +1,148 @@
+//! `fdx-analyze` binary: scans the workspace, optionally ratchets against
+//! `lint-baseline.json`, and prints a text or deterministic JSON report.
+//!
+//! Exit codes: 0 = clean (or ratchet passed), 1 = violations / ratchet
+//! failure, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fdx_analyze::{find_workspace_root, report, run, write_baseline, LintOptions};
+
+const USAGE: &str = "\
+fdx-analyze — zero-dependency static analysis for the fdx workspace
+
+USAGE:
+    fdx-analyze [OPTIONS]
+
+OPTIONS:
+    --root <PATH>        Workspace root (default: auto-detected from cwd)
+    --baseline <PATH>    Baseline file (default: <root>/lint-baseline.json)
+    --ratchet            Fail only on violations NOT in the baseline
+    --write-baseline     Regenerate the baseline from the current tree
+    --format <FMT>       Output format: text (default) or json
+    --list-rules         Print the rule table and exit
+    -h, --help           Show this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    ratchet: bool,
+    write_baseline: bool,
+    format_json: bool,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        ratchet: false,
+        write_baseline: false,
+        format_json: false,
+        list_rules: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--ratchet" => args.ratchet = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--format" => {
+                let v = it.next().ok_or("--format requires `text` or `json`")?;
+                match v.as_str() {
+                    "text" => args.format_json = false,
+                    "json" => args.format_json = true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        print!("{}", report::list_rules());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut opts = LintOptions::new(&root);
+    if let Some(b) = args.baseline {
+        opts.baseline_path = b;
+    }
+    opts.ratchet = args.ratchet;
+
+    if args.write_baseline {
+        return match write_baseline(&opts) {
+            Ok(b) => {
+                eprintln!(
+                    "wrote {} ({} entries, {} violations)",
+                    opts.baseline_path.display(),
+                    b.entries.len(),
+                    b.total()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match run(&opts) {
+        Ok(report) => {
+            if args.format_json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.failed() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Scan reports: aggregation plus the text and deterministic-JSON renderers
+//! shared by the `fdx-analyze` binary and the `fdx lint` subcommand.
+
+use std::fmt::Write as _;
+
+use crate::baseline::RatchetOutcome;
+use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::json::write_escaped;
+
+/// Result of ratcheting a scan against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct RatchetResult {
+    /// Total violations recorded in the baseline.
+    pub baseline_total: u64,
+    /// Total active violations in the current scan.
+    pub current_total: u64,
+    /// Bucket-level regressions and stale entries.
+    pub outcome: RatchetOutcome,
+}
+
+/// A full scan: every diagnostic (active and suppressed), sorted by
+/// position, plus the optional ratchet comparison.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics in (path, line, col, rule) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Present when the scan ran in `--ratchet` mode.
+    pub ratchet: Option<RatchetResult>,
+}
+
+impl ScanReport {
+    /// Diagnostics not silenced by an `fdx-allow` comment.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// Diagnostics silenced by an `fdx-allow` comment (the audit trail).
+    pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_some())
+    }
+
+    /// Active error-severity count.
+    pub fn error_count(&self) -> usize {
+        self.active()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Active warning-severity count.
+    pub fn warning_count(&self) -> usize {
+        self.active()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether this run should exit non-zero. In ratchet mode only new
+    /// violations fail; in plain mode any active error does.
+    pub fn failed(&self) -> bool {
+        match &self.ratchet {
+            Some(r) => !r.outcome.passed(),
+            None => self.error_count() > 0,
+        }
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in self.active() {
+            let _ = writeln!(out, "{d}");
+        }
+        let suppressed: Vec<&Diagnostic> = self.suppressed().collect();
+        if !suppressed.is_empty() {
+            let _ = writeln!(out, "\nsuppressed (fdx-allow audit):");
+            for d in &suppressed {
+                let reason = d.suppressed.as_deref().unwrap_or("");
+                let reason = if reason.is_empty() {
+                    "(no reason given)"
+                } else {
+                    reason
+                };
+                let _ = writeln!(
+                    out,
+                    "  {}:{}:{}: {} — {}",
+                    d.path,
+                    d.line,
+                    d.col,
+                    d.rule.code(),
+                    reason
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\n{} files scanned: {} errors, {} warnings, {} suppressed",
+            self.files_scanned,
+            self.error_count(),
+            self.warning_count(),
+            suppressed.len()
+        );
+        if let Some(r) = &self.ratchet {
+            let _ = writeln!(
+                out,
+                "ratchet: baseline {} -> current {}",
+                r.baseline_total, r.current_total
+            );
+            for d in &r.outcome.regressions {
+                let _ = writeln!(
+                    out,
+                    "  NEW {} {} ({} -> {})",
+                    d.rule.code(),
+                    d.path,
+                    d.baseline,
+                    d.current
+                );
+            }
+            for d in &r.outcome.stale {
+                let _ = writeln!(
+                    out,
+                    "  stale baseline entry {} {} ({} -> {}); re-run with --write-baseline",
+                    d.rule.code(),
+                    d.path,
+                    d.baseline,
+                    d.current
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ratchet {}",
+                if r.outcome.passed() { "PASS" } else { "FAIL" }
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON report (stable key order, sorted arrays,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"suppressed\": {}}},",
+            self.error_count(),
+            self.warning_count(),
+            self.suppressed().count()
+        );
+        out.push_str("  \"diagnostics\": [");
+        let active: Vec<&Diagnostic> = self.active().collect();
+        for (i, d) in active.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_diag(&mut out, d);
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"suppressed\": [");
+        let suppressed: Vec<&Diagnostic> = self.suppressed().collect();
+        for (i, d) in suppressed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_diag(&mut out, d);
+        }
+        out.push_str("\n  ]");
+        if let Some(r) = &self.ratchet {
+            out.push_str(",\n  \"ratchet\": {\n");
+            let _ = writeln!(
+                out,
+                "    \"passed\": {},",
+                if r.outcome.passed() { "true" } else { "false" }
+            );
+            let _ = writeln!(out, "    \"baseline_total\": {},", r.baseline_total);
+            let _ = writeln!(out, "    \"current_total\": {},", r.current_total);
+            write_deltas(&mut out, "regressions", &r.outcome.regressions);
+            out.push_str(",\n");
+            write_deltas(&mut out, "stale", &r.outcome.stale);
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn write_diag(out: &mut String, d: &Diagnostic) {
+    out.push_str("{\"rule\": ");
+    write_escaped(out, d.rule.code());
+    out.push_str(", \"path\": ");
+    write_escaped(out, &d.path);
+    let _ = write!(
+        out,
+        ", \"line\": {}, \"col\": {}, \"severity\": ",
+        d.line, d.col
+    );
+    write_escaped(out, d.severity.label());
+    out.push_str(", \"snippet\": ");
+    write_escaped(out, &d.snippet);
+    if let Some(reason) = &d.suppressed {
+        out.push_str(", \"reason\": ");
+        write_escaped(out, reason);
+    }
+    out.push('}');
+}
+
+fn write_deltas(out: &mut String, key: &str, deltas: &[crate::baseline::Delta]) {
+    let _ = write!(out, "    \"{key}\": [");
+    for (i, d) in deltas.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("      {\"rule\": ");
+        write_escaped(out, d.rule.code());
+        out.push_str(", \"path\": ");
+        write_escaped(out, &d.path);
+        let _ = write!(
+            out,
+            ", \"baseline\": {}, \"current\": {}}}",
+            d.baseline, d.current
+        );
+    }
+    if !deltas.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push(']');
+}
+
+/// Renders the `--list-rules` table.
+pub fn list_rules() -> String {
+    let mut out = String::new();
+    for r in RuleId::ALL {
+        let _ = writeln!(
+            out,
+            "{}  [{}]  {}",
+            r.code(),
+            r.severity().label(),
+            r.summary()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Delta;
+    use crate::json;
+
+    fn diag(rule: RuleId, path: &str, line: u32, suppressed: Option<&str>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 3,
+            snippet: "let x = y.unwrap();".to_string(),
+            severity: rule.severity(),
+            suppressed: suppressed.map(str::to_string),
+        }
+    }
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            files_scanned: 4,
+            diagnostics: vec![
+                diag(RuleId::L001, "crates/a/src/lib.rs", 10, None),
+                diag(RuleId::L005, "crates/b/src/lib.rs", 20, None),
+                diag(
+                    RuleId::L002,
+                    "crates/c/src/lib.rs",
+                    30,
+                    Some("exact sparsity guard"),
+                ),
+            ],
+            ratchet: None,
+        }
+    }
+
+    #[test]
+    fn counts_split_by_severity_and_suppression() {
+        let r = sample();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.suppressed().count(), 1);
+        assert!(r.failed()); // plain mode: one active error
+    }
+
+    #[test]
+    fn ratchet_mode_overrides_plain_failure() {
+        let mut r = sample();
+        r.ratchet = Some(RatchetResult {
+            baseline_total: 2,
+            current_total: 2,
+            outcome: RatchetOutcome::default(),
+        });
+        assert!(!r.failed()); // violations exist but are all baselined
+    }
+
+    #[test]
+    fn text_report_has_audit_section_and_summary() {
+        let text = sample().to_text();
+        assert!(text.contains("FDX-L001"));
+        assert!(text.contains("suppressed (fdx-allow audit):"));
+        assert!(text.contains("exact sparsity guard"));
+        assert!(text.contains("4 files scanned: 1 errors, 1 warnings, 1 suppressed"));
+    }
+
+    #[test]
+    fn json_report_parses_and_is_deterministic() {
+        let mut r = sample();
+        r.ratchet = Some(RatchetResult {
+            baseline_total: 3,
+            current_total: 2,
+            outcome: RatchetOutcome {
+                regressions: vec![Delta {
+                    rule: RuleId::L001,
+                    path: "crates/a/src/lib.rs".into(),
+                    baseline: 0,
+                    current: 1,
+                }],
+                stale: vec![Delta {
+                    rule: RuleId::L004,
+                    path: "crates/z/src/lib.rs".into(),
+                    baseline: 2,
+                    current: 0,
+                }],
+            },
+        });
+        let j = r.to_json();
+        assert_eq!(j, r.to_json()); // byte-identical across calls
+        let v = json::parse(&j).expect("valid JSON");
+        assert_eq!(
+            v.get("summary")
+                .and_then(|s| s.get("errors"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let diags = v.get("diagnostics").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(diags.len(), 2); // suppressed entry lives in its own array
+        let sup = v.get("suppressed").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(sup.len(), 1);
+        assert_eq!(
+            sup[0].get("reason").and_then(json::Value::as_str),
+            Some("exact sparsity guard")
+        );
+        let ratchet = v.get("ratchet").unwrap();
+        assert_eq!(
+            ratchet.get("passed").cloned(),
+            Some(json::Value::Bool(false))
+        );
+        assert_eq!(
+            ratchet
+                .get("regressions")
+                .and_then(json::Value::as_arr)
+                .map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn list_rules_covers_all() {
+        let text = list_rules();
+        for r in RuleId::ALL {
+            assert!(text.contains(r.code()));
+        }
+    }
+}

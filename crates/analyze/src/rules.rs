@@ -1,0 +1,560 @@
+//! The rule pack: token-pattern rules over a lexed file, context-aware
+//! (library vs. test/bench/bin code, `#[cfg(test)]` regions), with
+//! `// fdx-allow: <rule> <reason>` suppression.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileContext {
+    /// Part of a `[lib]` target: full rule pack.
+    Library,
+    /// Binary, build script, or a crate with no `[lib]` target.
+    Binary,
+    /// Test, bench, or example code.
+    Test,
+}
+
+/// A file ready for analysis.
+#[derive(Debug)]
+pub struct SourceFile<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: &'a str,
+    /// File contents.
+    pub source: &'a str,
+    /// Build context of the whole file.
+    pub context: FileContext,
+}
+
+/// Kernel crates in scope for FDX-L005 (lossy casts corrupt Θ-estimation
+/// long before they overflow in anything user-visible).
+const KERNEL_PREFIXES: &[&str] = &["crates/linalg/", "crates/glasso/", "crates/stats/"];
+
+/// Narrow numeric targets for FDX-L005. Widths ≥ 64 bits (and `usize`)
+/// are accepted: on every supported target they preserve the index- and
+/// count-typed values the kernels cast.
+const LOSSY_CAST_TARGETS: &[&str] = &["f32", "u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Analyzes one file: runs every rule, applies suppressions, returns all
+/// diagnostics (suppressed ones carry `suppressed: Some(reason)`).
+pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
+    let lexed = lex(file.source);
+    let test_mask = cfg_test_mask(&lexed.tokens);
+    let lines: Vec<&str> = file.source.lines().collect();
+    let mut hits: Vec<(RuleId, u32, u32)> = Vec::new();
+
+    rule_unwrap_expect(file, &lexed, &test_mask, &mut hits);
+    rule_float_eq(file, &lexed, &test_mask, &mut hits);
+    rule_instant_now(file, &lexed, &mut hits);
+    rule_panic_family(file, &lexed, &test_mask, &mut hits);
+    rule_lossy_cast(file, &lexed, &test_mask, &mut hits);
+    rule_unsafe_without_safety(&lexed, &mut hits);
+
+    let allows = suppression_map(&lexed);
+    let mut out: Vec<Diagnostic> = hits
+        .into_iter()
+        .map(|(rule, line, col)| {
+            let snippet = lines
+                .get(line as usize - 1)
+                .map(|l| truncate(l.trim()))
+                .unwrap_or_default();
+            let suppressed = find_allow(&allows, rule, line);
+            Diagnostic {
+                rule,
+                path: file.rel_path.to_string(),
+                line,
+                col,
+                snippet,
+                severity: rule.severity(),
+                suppressed,
+            }
+        })
+        .collect();
+    out.sort_by_key(|d| d.sort_key());
+    out
+}
+
+fn truncate(s: &str) -> String {
+    if s.chars().count() > 120 {
+        let cut: String = s.chars().take(117).collect();
+        format!("{cut}...")
+    } else {
+        s.to_string()
+    }
+}
+
+/// One parsed `fdx-allow` comment: the rules it waives and the reason.
+struct Allow {
+    line: u32,
+    rules: Vec<RuleId>,
+    reason: String,
+}
+
+/// Parses every `fdx-allow: <rules> <reason>` comment in the file.
+fn suppression_map(lexed: &LexedFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("fdx-allow:") else {
+            continue;
+        };
+        // Leading words that parse as rule ids are the waived rules; the
+        // first word that does not parse starts the free-form reason.
+        let mut rules = Vec::new();
+        let mut tail = rest;
+        loop {
+            let trimmed = tail.trim_start_matches(|ch: char| ch.is_whitespace() || ch == ',');
+            if trimmed.is_empty() {
+                tail = trimmed;
+                break;
+            }
+            let end = trimmed
+                .find(|ch: char| ch.is_whitespace() || ch == ',')
+                .unwrap_or(trimmed.len());
+            match RuleId::parse(&trimmed[..end]) {
+                Some(r) => {
+                    rules.push(r);
+                    tail = &trimmed[end..];
+                }
+                None => {
+                    tail = trimmed;
+                    break;
+                }
+            }
+        }
+        let reason = tail.trim().to_string();
+        if !rules.is_empty() {
+            out.push(Allow {
+                line: c.line,
+                rules,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// A diagnostic at `line` is waived by an allow on the same line (trailing
+/// comment) or on the immediately preceding line (comment above).
+fn find_allow(allows: &[Allow], rule: RuleId, line: u32) -> Option<String> {
+    allows
+        .iter()
+        .find(|a| a.rules.contains(&rule) && (a.line == line || a.line + 1 == line))
+        .map(|a| {
+            if a.reason.is_empty() {
+                "(no reason given)".to_string()
+            } else {
+                a.reason.clone()
+            }
+        })
+}
+
+/// Marks token index ranges covered by `#[cfg(test)]` items (typically the
+/// `mod tests { … }` block): returns a bool per token.
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_ident("cfg") {
+                saw_cfg = true;
+            } else if t.is_ident("test") {
+                saw_test = true;
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        // The attribute covers the next item: scan to its end — either a
+        // `;` (e.g. `#[cfg(test)] mod tests;`) or a balanced `{ … }` block.
+        let mut k = j;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct("{") {
+                brace_depth += 1;
+                entered = true;
+            } else if t.is_punct("}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(";") && !entered {
+                break;
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take((k + 1).min(tokens.len())).skip(i) {
+            *m = true;
+        }
+        i = k + 1;
+    }
+    mask
+}
+
+fn in_library_code(file: &SourceFile<'_>, test_mask: &[bool], idx: usize) -> bool {
+    file.context == FileContext::Library && !test_mask.get(idx).copied().unwrap_or(false)
+}
+
+/// FDX-L001: `.unwrap()` / `.expect(` in library code.
+fn rule_unwrap_expect(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !in_library_code(file, test_mask, i) {
+            continue;
+        }
+        let [Some(dot), Some(name), Some(open)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)]
+        else {
+            continue;
+        };
+        if dot.is_punct(".")
+            && (name.is_ident("unwrap") || name.is_ident("expect"))
+            && open.is_punct("(")
+        {
+            hits.push((RuleId::L001, name.line, name.col));
+        }
+    }
+}
+
+/// FDX-L002: `==`/`!=` with a float-literal operand in library code. The
+/// lexer has no types, so the rule keys on the one case that is always
+/// decidable — and always wrong outside a documented exact-zero guard.
+fn rule_float_eq(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !in_library_code(file, test_mask, i) {
+            continue;
+        }
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let float_neighbor = |idx: Option<usize>| {
+            idx.and_then(|k| toks.get(k))
+                .is_some_and(|n| n.kind == TokenKind::Float)
+        };
+        // Left operand end, or right operand start (possibly negated).
+        let left = float_neighbor(i.checked_sub(1));
+        let right = if toks.get(i + 1).is_some_and(|n| n.is_punct("-")) {
+            float_neighbor(Some(i + 2))
+        } else {
+            float_neighbor(Some(i + 1))
+        };
+        if left || right {
+            hits.push((RuleId::L002, t.line, t.col));
+        }
+    }
+}
+
+/// FDX-L003: `Instant::now()` anywhere outside `crates/obs` — all timing
+/// flows through obs spans so traces and metrics stay complete. Applies to
+/// tests and binaries too (they are exactly where ad-hoc timers accrete).
+fn rule_instant_now(file: &SourceFile<'_>, lexed: &LexedFile, hits: &mut Vec<(RuleId, u32, u32)>) {
+    if file.rel_path.starts_with("crates/obs/") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let [Some(a), Some(b), Some(c)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)] else {
+            continue;
+        };
+        if a.is_ident("Instant") && b.is_punct("::") && c.is_ident("now") {
+            hits.push((RuleId::L003, a.line, a.col));
+        }
+    }
+}
+
+/// FDX-L004: `panic!` / `todo!` / `unimplemented!` in library code.
+fn rule_panic_family(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !in_library_code(file, test_mask, i) {
+            continue;
+        }
+        let [Some(name), Some(bang)] = [toks.get(i), toks.get(i + 1)] else {
+            continue;
+        };
+        if bang.is_punct("!")
+            && (name.is_ident("panic") || name.is_ident("todo") || name.is_ident("unimplemented"))
+        {
+            hits.push((RuleId::L004, name.line, name.col));
+        }
+    }
+}
+
+/// FDX-L005: `as <narrow numeric type>` in the linalg/glasso/stats kernels.
+fn rule_lossy_cast(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if !KERNEL_PREFIXES.iter().any(|p| file.rel_path.starts_with(p)) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !in_library_code(file, test_mask, i) {
+            continue;
+        }
+        let [Some(kw), Some(ty)] = [toks.get(i), toks.get(i + 1)] else {
+            continue;
+        };
+        if kw.is_ident("as") && LOSSY_CAST_TARGETS.iter().any(|t| ty.is_ident(t)) {
+            hits.push((RuleId::L005, kw.line, kw.col));
+        }
+    }
+}
+
+/// FDX-L006: `unsafe` (any context) without a `SAFETY:` comment on the same
+/// line or within the three preceding lines.
+fn rule_unsafe_without_safety(lexed: &LexedFile, hits: &mut Vec<(RuleId, u32, u32)>) {
+    for t in &lexed.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+        });
+        if !documented {
+            hits.push((RuleId::L006, t.line, t.col));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel_path: &str, context: FileContext, source: &str) -> Vec<Diagnostic> {
+        check_file(&SourceFile {
+            rel_path,
+            source,
+            context,
+        })
+    }
+
+    fn lib(source: &str) -> Vec<Diagnostic> {
+        check("crates/x/src/lib.rs", FileContext::Library, source)
+    }
+
+    fn active(diags: &[Diagnostic]) -> Vec<(RuleId, u32)> {
+        diags
+            .iter()
+            .filter(|d| d.suppressed.is_none())
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn l001_flags_unwrap_and_expect_in_library() {
+        let d = lib("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n}\n");
+        assert_eq!(active(&d), vec![(RuleId::L001, 2), (RuleId::L001, 3)]);
+        assert_eq!(d[0].severity.label(), "error");
+        assert!(d[0].snippet.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn l001_ignores_lookalikes_and_nonlibrary() {
+        // unwrap_or / unwrap_or_else / field named unwrap are not calls to
+        // `.unwrap()`.
+        let d = lib("fn f() { x.unwrap_or(0); y.unwrap_or_else(g); }");
+        assert!(active(&d).is_empty());
+        let d = check(
+            "crates/x/src/main.rs",
+            FileContext::Binary,
+            "fn main() { x.unwrap(); }",
+        );
+        assert!(active(&d).is_empty());
+        let d = check(
+            "crates/x/tests/t.rs",
+            FileContext::Test,
+            "fn t() { x.unwrap(); }",
+        );
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l001_exempts_cfg_test_modules() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(active(&lib(src)).is_empty());
+        // …but code *before* the test module is still checked.
+        let src = "pub fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L001, 1)]);
+    }
+
+    #[test]
+    fn l001_not_fooled_by_strings_or_comments() {
+        let d = lib("fn f() { let s = \".unwrap()\"; } // .unwrap()\n/* .unwrap() */\n");
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_float_literal_comparisons() {
+        let d = lib("fn f(v: f64) -> bool { v == 0.0 }\nfn g(v: f64) -> bool { 1.5 != v }\n");
+        assert_eq!(active(&d), vec![(RuleId::L002, 1), (RuleId::L002, 2)]);
+    }
+
+    #[test]
+    fn l002_flags_negated_float_rhs() {
+        let d = lib("fn f(v: f64) -> bool { v == -1.0 }");
+        assert_eq!(active(&d), vec![(RuleId::L002, 1)]);
+    }
+
+    #[test]
+    fn l002_ignores_int_comparisons_and_ranges() {
+        let d = lib("fn f(v: usize) -> bool { v == 0 && v != 10 }\nfn g() { for _ in 0..2 {} }");
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l003_applies_everywhere_except_obs() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L003, 1)]);
+        // Also in tests and binaries.
+        let d = check("crates/x/tests/t.rs", FileContext::Test, src);
+        assert_eq!(active(&d), vec![(RuleId::L003, 1)]);
+        // But not inside the obs crate itself.
+        let d = check("crates/obs/src/span.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Fully qualified form still has the Instant::now tail.
+        let d = lib("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(active(&d), vec![(RuleId::L003, 1)]);
+    }
+
+    #[test]
+    fn l004_flags_panic_family_in_library_only() {
+        let d =
+            lib("fn f() { panic!(\"boom\"); }\nfn g() { todo!() }\nfn h() { unimplemented!() }");
+        assert_eq!(
+            active(&d),
+            vec![(RuleId::L004, 1), (RuleId::L004, 2), (RuleId::L004, 3)]
+        );
+        let d = check(
+            "crates/x/src/main.rs",
+            FileContext::Binary,
+            "fn main() { panic!(); }",
+        );
+        assert!(active(&d).is_empty());
+        // assert!/debug_assert! are fine.
+        let d = lib("fn f(x: bool) { assert!(x); debug_assert!(x); }");
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_lossy_casts_in_kernels_only() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\nfn g(x: f64) -> f32 { x as f32 }\nfn h(n: usize) -> u64 { n as u64 }";
+        let d = check("crates/linalg/src/matrix.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L005, 1), (RuleId::L005, 2)]);
+        assert_eq!(d[0].severity.label(), "warning");
+        // Same code outside a kernel crate: silent.
+        let d = check("crates/data/src/csv.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Widening casts are fine everywhere.
+        let d = check(
+            "crates/stats/src/chi2.rs",
+            FileContext::Library,
+            "fn f(n: u32) -> f64 { n as f64 }",
+        );
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l006_requires_safety_comment() {
+        let d = lib("fn f(p: *const u8) { unsafe { p.read(); } }");
+        assert_eq!(active(&d), vec![(RuleId::L006, 1)]);
+        let d = lib("// SAFETY: p is valid for reads per the caller contract.\nfn f(p: *const u8) { unsafe { p.read(); } }");
+        assert!(active(&d).is_empty());
+        // A SAFETY comment too far above does not count.
+        let d = lib("// SAFETY: stale\n\n\n\n\nfn f(p: *const u8) { unsafe { p.read(); } }");
+        assert_eq!(active(&d), vec![(RuleId::L006, 6)]);
+        // Applies in tests too.
+        let d = check(
+            "crates/x/tests/t.rs",
+            FileContext::Test,
+            "fn t() { unsafe { x(); } }",
+        );
+        assert_eq!(active(&d), vec![(RuleId::L006, 1)]);
+    }
+
+    #[test]
+    fn fdx_allow_suppresses_same_line_and_line_above() {
+        let src = "fn f() { x.unwrap(); } // fdx-allow: L001 startup path, cannot fail\n";
+        let d = lib(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d[0].suppressed.as_deref(),
+            Some("startup path, cannot fail")
+        );
+        let src = "// fdx-allow: L001 checked above\nfn f() { x.unwrap(); }\n";
+        let d = lib(src);
+        assert_eq!(d[0].suppressed.as_deref(), Some("checked above"));
+    }
+
+    #[test]
+    fn fdx_allow_is_rule_specific() {
+        // An allow for L002 does not waive the L001 on the same line.
+        let src = "fn f() { x.unwrap(); } // fdx-allow: L002 wrong rule\n";
+        let d = lib(src);
+        assert_eq!(active(&d), vec![(RuleId::L001, 1)]);
+    }
+
+    #[test]
+    fn fdx_allow_multiple_rules_and_missing_reason() {
+        let src = "fn f(v: f64) { if v == 0.0 { x.unwrap(); } } // fdx-allow: L001, L002\n";
+        let d = lib(src);
+        assert_eq!(d.len(), 2);
+        assert!(d
+            .iter()
+            .all(|x| x.suppressed.as_deref() == Some("(no reason given)")));
+    }
+
+    #[test]
+    fn fdx_allow_two_lines_above_does_not_apply() {
+        let src = "// fdx-allow: L001 too far\n\nfn f() { x.unwrap(); }\n";
+        let d = lib(src);
+        assert_eq!(active(&d), vec![(RuleId::L001, 3)]);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_positions_exact() {
+        let src = "fn f() { b.unwrap(); a.unwrap(); }\n";
+        let d = lib(src);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].col < d[1].col);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].col, 12); // `unwrap` of b.unwrap()
+    }
+}

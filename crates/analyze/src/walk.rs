@@ -1,0 +1,245 @@
+//! Workspace file discovery and build-context classification.
+//!
+//! Walks the workspace for `.rs` files, skipping VCS/build directories, and
+//! classifies each file as library, binary, or test/bench/example code by a
+//! combination of path conventions and the owning crate's manifest (a crate
+//! whose `Cargo.toml` declares no `[lib]` target is all-binary, like the
+//! CLI crate).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileContext;
+
+/// A discovered source file.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Absolute (or root-joined) path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Build context.
+    pub context: FileContext,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", ".claude", "node_modules"];
+
+/// Finds every `.rs` file under `root`, classified. Results are sorted by
+/// relative path so downstream output is deterministic.
+pub fn discover_files(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut rs_files = Vec::new();
+    let mut manifests: HashMap<PathBuf, bool> = HashMap::new(); // dir -> has [lib]
+    walk(root, root, &mut rs_files, &mut manifests)?;
+    let mut out: Vec<WorkspaceFile> = rs_files
+        .into_iter()
+        .map(|abs| {
+            let rel = relative_slash(root, &abs);
+            let context = classify(&rel, &abs, root, &manifests);
+            WorkspaceFile { abs, rel, context }
+        })
+        .collect();
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs_files: &mut Vec<PathBuf>,
+    manifests: &mut HashMap<PathBuf, bool>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, rs_files, manifests)?;
+        } else if ty.is_file() {
+            if name == "Cargo.toml" {
+                let text = fs::read_to_string(&path).unwrap_or_default();
+                let has_lib = text.lines().any(|l| l.trim() == "[lib]");
+                if let Some(parent) = path.parent() {
+                    manifests.insert(parent.to_path_buf(), has_lib);
+                }
+            } else if name.ends_with(".rs") {
+                rs_files.push(path);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn classify(rel: &str, abs: &Path, root: &Path, manifests: &HashMap<PathBuf, bool>) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Path conventions first: tests/benches/examples anywhere in the path.
+    if parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+    {
+        return FileContext::Test;
+    }
+    let file = parts.last().copied().unwrap_or_default();
+    if file == "main.rs" || file == "build.rs" || parts.windows(2).any(|w| w == ["src", "bin"]) {
+        return FileContext::Binary;
+    }
+    // Crate manifest: nearest ancestor directory holding a Cargo.toml. A
+    // crate with no `[lib]` section builds only binaries.
+    let mut dir = abs.parent();
+    while let Some(d) = dir {
+        if let Some(&has_lib) = manifests.get(d) {
+            return if has_lib {
+                FileContext::Library
+            } else {
+                FileContext::Binary
+            };
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    FileContext::Library
+}
+
+/// Walks upward from `start` to find the workspace root: the first ancestor
+/// whose `Cargo.toml` contains a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Creates a unique scratch workspace for one test.
+    pub(crate) fn scratch_workspace(files: &[(&str, &str)]) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("fdx-analyze-test-{}-{n}", std::process::id()));
+        for (rel, contents) in files {
+            let path = root.join(rel);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent).expect("mkdir");
+            }
+            fs::write(&path, contents).expect("write fixture");
+        }
+        root
+    }
+
+    fn ws() -> PathBuf {
+        scratch_workspace(&[
+            ("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n"),
+            (
+                "crates/liby/Cargo.toml",
+                "[package]\nname = \"liby\"\n\n[lib]\nname = \"liby\"\n",
+            ),
+            ("crates/liby/src/lib.rs", "pub fn f() {}\n"),
+            ("crates/liby/src/inner.rs", "pub fn g() {}\n"),
+            ("crates/liby/src/bin/tool.rs", "fn main() {}\n"),
+            ("crates/liby/tests/it.rs", "#[test]\nfn t() {}\n"),
+            ("crates/liby/benches/b.rs", "fn main() {}\n"),
+            ("crates/liby/examples/e.rs", "fn main() {}\n"),
+            (
+                "crates/binonly/Cargo.toml",
+                "[package]\nname = \"binonly\"\n\n[[bin]]\nname = \"b\"\npath = \"src/main.rs\"\n",
+            ),
+            ("crates/binonly/src/main.rs", "fn main() {}\n"),
+            ("crates/binonly/src/commands.rs", "pub fn run() {}\n"),
+            ("target/debug/generated.rs", "fn ignored() {}\n"),
+            (".hidden/x.rs", "fn ignored() {}\n"),
+        ])
+    }
+
+    fn ctx_of(files: &[WorkspaceFile], rel: &str) -> FileContext {
+        files
+            .iter()
+            .find(|f| f.rel == rel)
+            .unwrap_or_else(|| panic!("{rel} not discovered"))
+            .context
+    }
+
+    #[test]
+    fn discovers_and_classifies() {
+        let root = ws();
+        let files = discover_files(&root).expect("walk");
+        assert_eq!(
+            ctx_of(&files, "crates/liby/src/lib.rs"),
+            FileContext::Library
+        );
+        assert_eq!(
+            ctx_of(&files, "crates/liby/src/inner.rs"),
+            FileContext::Library
+        );
+        assert_eq!(
+            ctx_of(&files, "crates/liby/src/bin/tool.rs"),
+            FileContext::Binary
+        );
+        assert_eq!(ctx_of(&files, "crates/liby/tests/it.rs"), FileContext::Test);
+        assert_eq!(
+            ctx_of(&files, "crates/liby/benches/b.rs"),
+            FileContext::Test
+        );
+        assert_eq!(
+            ctx_of(&files, "crates/liby/examples/e.rs"),
+            FileContext::Test
+        );
+        // Module of a bin-only crate is Binary, even without main.rs naming.
+        assert_eq!(
+            ctx_of(&files, "crates/binonly/src/commands.rs"),
+            FileContext::Binary
+        );
+        // target/ and dot-dirs are never scanned.
+        assert!(!files.iter().any(|f| f.rel.starts_with("target/")));
+        assert!(!files.iter().any(|f| f.rel.contains(".hidden")));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let root = ws();
+        let files = discover_files(&root).expect("walk");
+        let rels: Vec<&String> = files.iter().map(|f| &f.rel).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn finds_workspace_root_from_nested_dir() {
+        let root = ws();
+        let nested = root.join("crates/liby/src");
+        assert_eq!(find_workspace_root(&nested), Some(root.clone()));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -198,6 +198,7 @@ impl Pyro {
                 stats.validations += 1;
                 let px = partitions
                     .get(&x)
+                    // fdx-allow: L001 ascend() inserts a partition before queuing any member
                     .expect("partition maintained for every level member");
                 let pxr = px.product(&singles[rhs]);
                 let error = px.fd_error(&pxr);

@@ -107,7 +107,7 @@ impl Tane {
                         validated += 1;
                         fds.insert(Fd::new(lattice::members(sub), a));
                         cp &= !lattice::singleton(a);
-                        if error == 0.0 {
+                        if fdx_linalg::is_exact_zero(error) {
                             // Exact FD: no attribute outside X can extend a
                             // minimal FD through this set.
                             cp &= x | !full;
@@ -284,8 +284,8 @@ mod tests {
             max_seconds: 0.001,
             ..Default::default()
         });
-        let start = std::time::Instant::now();
+        let span = fdx_obs::Span::enter("tane.time_budget_test");
         let _ = t.discover(&data.noisy);
-        assert!(start.elapsed().as_secs_f64() < 5.0);
+        assert!(span.elapsed_secs() < 5.0);
     }
 }

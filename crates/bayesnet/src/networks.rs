@@ -48,6 +48,7 @@ impl NetBuilder {
                 *self
                     .index
                     .get(p)
+                    // fdx-allow: L004 hard-coded reference networks; a bad parent name is a typo in this file
                     .unwrap_or_else(|| panic!("unknown parent {p}"))
             })
             .collect()

@@ -10,6 +10,7 @@ Usage:
   fdx profile  <file.csv>              per-column statistics + FD guidance
   fdx score    <file.csv> --lhs A,B --rhs C
                                        score one candidate FD exactly
+  fdx lint     [options]               run workspace static analysis
 
 Discover options:
   --threshold <f>     autoregression threshold (default 0.08)
@@ -21,7 +22,13 @@ Discover options:
   --no-validate       emit raw Algorithm 3 output (no validation pass)
   --heatmap           also print the autoregression heatmap
   --trace             print the per-phase wall-clock tree to stderr
-  --metrics <path>    write run metrics as JSON-lines to <path>";
+  --metrics <path>    write run metrics as JSON-lines to <path>
+
+Lint options:
+  --ratchet           fail only on violations not in lint-baseline.json
+  --write-baseline    regenerate lint-baseline.json from the current tree
+  --format <fmt>      text (default) or json
+  --root <dir>        workspace root (default: auto-detected from cwd)";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +54,25 @@ pub enum Command {
         /// Determined attribute name.
         rhs: String,
     },
+    /// `fdx lint`.
+    Lint {
+        /// Lint options.
+        options: LintArgs,
+    },
+}
+
+/// Options of the `lint` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintArgs {
+    /// Explicit workspace root (auto-detected when absent).
+    pub root: Option<String>,
+    /// Compare against the committed baseline instead of failing on every
+    /// violation.
+    pub ratchet: bool,
+    /// Regenerate the baseline instead of reporting.
+    pub write_baseline: bool,
+    /// Emit the deterministic JSON report instead of text.
+    pub format_json: bool,
 }
 
 /// Options of the `discover` subcommand.
@@ -156,6 +182,36 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 rhs: rhs.ok_or("score: --rhs is required")?,
             })
         }
+        "lint" => {
+            let mut options = LintArgs::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--ratchet" => options.ratchet = true,
+                    "--write-baseline" => options.write_baseline = true,
+                    "--format" => {
+                        i += 1;
+                        match rest.get(i).map(|s| s.as_str()) {
+                            Some("text") => options.format_json = false,
+                            Some("json") => options.format_json = true,
+                            Some(other) => {
+                                return Err(format!("--format: unknown format {other:?}"))
+                            }
+                            None => return Err("--format: missing value".into()),
+                        }
+                    }
+                    "--root" => {
+                        i += 1;
+                        let v = rest.get(i).ok_or("--root: missing value")?;
+                        options.root = Some(v.to_string());
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Lint { options })
+        }
         other => Err(format!("unknown subcommand {other}")),
     }
 }
@@ -238,6 +294,31 @@ mod tests {
         }
         // --metrics requires a value.
         assert!(parse(&argv("discover d.csv --metrics")).is_err());
+    }
+
+    #[test]
+    fn parses_lint() {
+        assert_eq!(
+            parse(&argv("lint")).unwrap(),
+            Command::Lint {
+                options: LintArgs::default()
+            }
+        );
+        let cmd = parse(&argv("lint --ratchet --format json --root /tmp/ws")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                options: LintArgs {
+                    root: Some("/tmp/ws".into()),
+                    ratchet: true,
+                    write_baseline: false,
+                    format_json: true,
+                }
+            }
+        );
+        assert!(parse(&argv("lint --format yaml")).is_err());
+        assert!(parse(&argv("lint --root")).is_err());
+        assert!(parse(&argv("lint --bogus")).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use fdx_core::{render_autoregression_heatmap, score_fd, Fdx, FdxConfig};
 use fdx_data::{read_csv_str, Dataset};
 
-use crate::args::{Command, DiscoverOptions};
+use crate::args::{Command, DiscoverOptions, LintArgs};
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -13,6 +13,54 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Discover { path, options } => discover(&path, &options),
         Command::Profile { path } => profile(&path),
         Command::Score { path, lhs, rhs } => score(&path, &lhs, &rhs),
+        Command::Lint { options } => lint(&options),
+    }
+}
+
+/// `fdx lint`: delegates to the `fdx-analyze` engine. The report goes to
+/// stdout; a failing run (new violations, or any violation outside ratchet
+/// mode) comes back as `Err` so `main` exits non-zero.
+fn lint(args: &LintArgs) -> Result<(), String> {
+    use std::path::{Path, PathBuf};
+
+    let root: PathBuf = match &args.root {
+        Some(r) => PathBuf::from(r),
+        None => std::env::current_dir()
+            .ok()
+            .and_then(|d| fdx_analyze::find_workspace_root(&d))
+            .ok_or("lint: no workspace root found (pass --root)")?,
+    };
+    if !Path::new(&root).join("Cargo.toml").exists() {
+        return Err(format!("lint: {} is not a workspace root", root.display()));
+    }
+    let mut opts = fdx_analyze::LintOptions::new(&root);
+    opts.ratchet = args.ratchet;
+
+    if args.write_baseline {
+        let b = fdx_analyze::write_baseline(&opts)?;
+        eprintln!(
+            "wrote {} ({} entries, {} violations)",
+            opts.baseline_path.display(),
+            b.entries.len(),
+            b.total()
+        );
+        return Ok(());
+    }
+
+    let report = fdx_analyze::run(&opts)?;
+    if args.format_json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.failed() {
+        Err(if args.ratchet {
+            "lint: new violations not in lint-baseline.json".into()
+        } else {
+            "lint: violations found".into()
+        })
+    } else {
+        Ok(())
     }
 }
 

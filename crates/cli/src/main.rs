@@ -7,6 +7,7 @@
 //!                       [--trace] [--metrics out.jsonl]
 //! fdx profile  data.csv
 //! fdx score    data.csv --lhs zip,street --rhs city
+//! fdx lint     [--ratchet] [--write-baseline] [--format text|json] [--root DIR]
 //! ```
 
 use std::process::ExitCode;

@@ -201,9 +201,11 @@ pub fn pair_transform(ds: &Dataset, cfg: &TransformConfig) -> PairStats {
             }
             handles
                 .into_iter()
+                // fdx-allow: L001 re-raises a worker panic on the caller thread
                 .map(|h| h.join().expect("transform worker panicked"))
                 .collect::<Vec<_>>()
         })
+        // fdx-allow: L001 re-raises a scoped-thread panic on the caller thread
         .expect("transform scope panicked");
         for p in &partials {
             total.merge(p);

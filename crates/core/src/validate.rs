@@ -303,6 +303,7 @@ fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
                 .into_iter()
                 .filter(|(s, ..)| s.lift >= best_lift - 0.06)
                 .max_by_key(|&(_, y, _)| ds.column(y).distinct_count())
+                // fdx-allow: L001 the filter keeps the max-lift element, so the round is non-empty
                 .expect("non-empty round");
             out.insert(Fd::new(lhs, y));
             unclaimed.retain(|&a| a != y);

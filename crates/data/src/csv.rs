@@ -21,6 +21,17 @@ pub enum CsvError {
         /// 1-based line number where the quote opened.
         line: usize,
     },
+    /// A quote appeared in the middle of an unquoted field (RFC 4180 only
+    /// allows quotes that wrap the whole field).
+    UnexpectedQuote {
+        /// 1-based line number of the stray quote.
+        line: usize,
+    },
+    /// Data followed the closing quote of a quoted field.
+    TrailingAfterQuote {
+        /// 1-based line number of the trailing data.
+        line: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -34,6 +45,12 @@ impl fmt::Display for CsvError {
             } => write!(f, "CSV line {line} has {found} fields, expected {expected}"),
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::UnexpectedQuote { line } => {
+                write!(f, "quote in the middle of an unquoted field on line {line}")
+            }
+            CsvError::TrailingAfterQuote { line } => {
+                write!(f, "data after the closing quote of a field on line {line}")
             }
         }
     }
@@ -51,6 +68,9 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     let mut field = String::new();
     let mut chars = input.chars().peekable();
     let mut in_quotes = false;
+    // Whether the field being accumulated came from a (now closed) quoted
+    // section — any further data before the next separator is malformed.
+    let mut field_was_quoted = false;
     let mut line = 1usize;
     let mut quote_line = 1usize;
     let mut any = false;
@@ -77,25 +97,36 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
         match c {
             '"' => {
+                if field_was_quoted || !field.is_empty() {
+                    return Err(CsvError::UnexpectedQuote { line });
+                }
                 in_quotes = true;
+                field_was_quoted = true;
                 quote_line = line;
             }
             ',' => {
                 record.push(std::mem::take(&mut field));
+                field_was_quoted = false;
             }
             '\r' => { /* swallow; \r\n handled by the \n branch */ }
             '\n' => {
                 line += 1;
                 record.push(std::mem::take(&mut field));
                 records.push(std::mem::take(&mut record));
+                field_was_quoted = false;
             }
-            _ => field.push(c),
+            _ => {
+                if field_was_quoted {
+                    return Err(CsvError::TrailingAfterQuote { line });
+                }
+                field.push(c);
+            }
         }
     }
     if in_quotes {
         return Err(CsvError::UnterminatedQuote { line: quote_line });
     }
-    if !field.is_empty() || !record.is_empty() {
+    if !field.is_empty() || !record.is_empty() || field_was_quoted {
         record.push(field);
         records.push(record);
     }
@@ -191,6 +222,40 @@ mod tests {
             parse_csv("a\n\"oops\n"),
             Err(CsvError::UnterminatedQuote { line: 2 })
         );
+    }
+
+    #[test]
+    fn quote_mid_field_is_error() {
+        assert_eq!(
+            parse_csv("a,b\nab\"cd\",2\n"),
+            Err(CsvError::UnexpectedQuote { line: 2 })
+        );
+        // A second quoted section in one field is equally malformed.
+        assert_eq!(
+            parse_csv("a\n\"x\"\"y\"\"z\"trailing\"\n"),
+            Err(CsvError::TrailingAfterQuote { line: 2 })
+        );
+    }
+
+    #[test]
+    fn data_after_closing_quote_is_error() {
+        assert_eq!(
+            parse_csv("a,b\n\"ab\"x,2\n"),
+            Err(CsvError::TrailingAfterQuote { line: 2 })
+        );
+    }
+
+    #[test]
+    fn quoted_field_followed_by_separator_is_fine() {
+        let recs = parse_csv("a,b\n\"x\",\"y\"\r\n\"\",z\n").unwrap();
+        assert_eq!(recs[1], vec!["x", "y"]);
+        assert_eq!(recs[2], vec!["", "z"]);
+    }
+
+    #[test]
+    fn lone_quoted_empty_field_is_one_record() {
+        let recs = parse_csv("\"\"").unwrap();
+        assert_eq!(recs, vec![vec![String::new()]]);
     }
 
     #[test]

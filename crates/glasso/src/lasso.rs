@@ -1,4 +1,4 @@
-use fdx_linalg::Matrix;
+use fdx_linalg::{is_exact_zero, Matrix};
 
 /// Coordinate-descent solver for the quadratic lasso subproblem
 ///
@@ -33,7 +33,7 @@ pub fn lasso_coordinate_descent(
         .map(|i| {
             let mut acc = s[i];
             for (k, &bk) in beta.iter().enumerate() {
-                if bk != 0.0 {
+                if !is_exact_zero(bk) {
                     acc -= v[(i, k)] * bk;
                 }
             }

@@ -147,7 +147,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             for (t, &i) in others.iter().enumerate() {
                 let mut v = 0.0;
                 for (u, &bu) in beta.iter().enumerate() {
-                    if bu != 0.0 {
+                    if !fdx_linalg::is_exact_zero(bu) {
                         v += w11[(t, u)] * bu;
                     }
                 }
@@ -257,7 +257,7 @@ fn record_sweep(
     let theta = recover_theta(w, betas);
     let active_set: usize = betas
         .iter()
-        .map(|b| b.iter().filter(|&&v| v != 0.0).count())
+        .map(|b| b.iter().filter(|&&v| !fdx_linalg::is_exact_zero(v)).count())
         .sum();
     let objective = primal_objective(s, &theta, lambda).unwrap_or(f64::NAN);
     let gap = duality_gap(s, &theta, lambda);

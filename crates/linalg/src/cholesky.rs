@@ -102,6 +102,7 @@ impl CholeskyFactor {
     /// Reconstructs `L Lᵀ` (mainly for testing and diagnostics).
     pub fn reconstruct(&self) -> Matrix {
         let lt = self.l.transpose();
+        // fdx-allow: L001 L and Lᵀ are square with matching dims by construction
         self.l.matmul(&lt).expect("square factors always multiply")
     }
 
@@ -122,6 +123,7 @@ impl LdltFactor {
             }
         }
         let lt = self.l.transpose();
+        // fdx-allow: L001 LD and Lᵀ are square with matching dims by construction
         ld.matmul(&lt).expect("square factors always multiply")
     }
 

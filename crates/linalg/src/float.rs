@@ -1,0 +1,71 @@
+//! Float comparison helpers shared across the workspace.
+//!
+//! Two distinct comparison regimes show up in the kernels, and conflating
+//! them is a classic source of silent numerical bugs:
+//!
+//! * **Tolerance comparisons** ([`approx_eq`]) — for values produced by
+//!   arithmetic, where rounding error makes bitwise equality meaningless.
+//! * **Exact-zero tests** ([`is_exact_zero`]) — for *structural* sparsity:
+//!   coordinate-descent lasso and the glasso active set write literal
+//!   `0.0` into coefficients they shrink away, and downstream code keys
+//!   behavior off that exact sentinel. A tolerance here would misclassify
+//!   small-but-genuine coefficients as absent and change the recovered
+//!   dependency structure.
+//!
+//! All raw `==`/`!=` on floats outside this module is flagged by
+//! `fdx-analyze` rule FDX-L002; code states which regime it wants by
+//! calling the matching helper.
+
+/// Default absolute tolerance for kernel-level comparisons of quantities
+/// that went through a handful of floating-point operations.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Absolute-tolerance equality: `|a - b| <= tol`.
+///
+/// NaN compares unequal to everything (the `<=` on a NaN difference is
+/// false), matching IEEE intent.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// `approx_eq` with [`DEFAULT_TOL`].
+#[inline]
+pub fn approx_eq_default(a: f64, b: f64) -> bool {
+    approx_eq(a, b, DEFAULT_TOL)
+}
+
+/// Exact structural-zero test, for sparsity sentinels written as literal
+/// `0.0` (lasso shrinkage, active-set membership, skipped matrix entries).
+/// Use [`approx_eq`] instead when the value came out of arithmetic.
+#[inline]
+pub fn is_exact_zero(x: f64) -> bool {
+    // fdx-allow: L002 this is the blessed exact sparsity-sentinel test
+    x == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-11, 1e-12));
+        assert!(approx_eq_default(0.1 + 0.2, 0.3));
+    }
+
+    #[test]
+    fn approx_eq_rejects_nan() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(!approx_eq(f64::NAN, 0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn exact_zero_is_exact() {
+        assert!(is_exact_zero(0.0));
+        assert!(is_exact_zero(-0.0));
+        assert!(!is_exact_zero(1e-300));
+        assert!(!is_exact_zero(f64::NAN));
+    }
+}

@@ -178,7 +178,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                if crate::float::is_exact_zero(aik) {
                     continue;
                 }
                 let rhs_row = rhs.row(k);
@@ -321,6 +321,14 @@ impl Matrix {
     pub fn permute_symmetric(&self, perm: &[usize]) -> Matrix {
         debug_assert!(self.is_square());
         debug_assert_eq!(perm.len(), self.rows);
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.rows];
+                perm.iter()
+                    .all(|&p| p < self.rows && !std::mem::replace(&mut seen[p], true))
+            },
+            "perm must be a bijection on 0..n"
+        );
         let n = self.rows;
         let mut out = Matrix::zeros(n, n);
         for i in 0..n {

@@ -53,6 +53,14 @@ pub fn udut(theta: &Matrix, perm: &Permutation) -> Result<UdutFactor> {
     }
     let mut d = f.d;
     d.reverse();
+    debug_assert!(
+        is_unit_upper_triangular(&u),
+        "UDUᵀ invariant violated: U must be unit upper-triangular"
+    );
+    debug_assert!(
+        d.iter().all(|&p| p.is_finite() && p > 0.0),
+        "UDUᵀ invariant violated: LDLᵀ of an SPD matrix yields positive finite pivots"
+    );
     if fdx_obs::enabled() {
         record_factor_stats(&u, &d);
     }
@@ -60,6 +68,17 @@ pub fn udut(theta: &Matrix, perm: &Permutation) -> Result<UdutFactor> {
         u,
         d,
         perm: perm.clone(),
+    })
+}
+
+/// Debug-build check that `u` has a unit diagonal and an exactly-zero
+/// strict lower triangle (both hold exactly: the LDLᵀ writes literal values
+/// there, no arithmetic is involved).
+fn is_unit_upper_triangular(u: &Matrix) -> bool {
+    let n = u.rows();
+    (0..n).all(|i| {
+        crate::float::approx_eq(u[(i, i)], 1.0, 0.0)
+            && (0..i).all(|j| crate::float::is_exact_zero(u[(i, j)]))
     })
 }
 
@@ -118,6 +137,7 @@ impl UdutFactor {
             }
         }
         let ut = self.u.transpose();
+        // fdx-allow: L001 UD and Uᵀ are square with matching dims by construction
         let permuted = ud.matmul(&ut).expect("square factors always multiply");
         // Undo the symmetric permutation: original = Pᵀ (PΘPᵀ) P.
         permuted.permute_symmetric(self.perm.inverse().as_slice())

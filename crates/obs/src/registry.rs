@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::json::{self, Obj};
 
@@ -256,6 +256,15 @@ pub struct Registry {
     events: Mutex<Vec<Event>>,
 }
 
+/// Locks a registry mutex, recovering from poisoning. Every map in the
+/// registry stays internally consistent under panic (insertions are the
+/// only mutations and complete atomically from the map's perspective), so
+/// observability must keep working in threads that outlive a panicking one
+/// rather than cascade the failure.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Registry {
     /// Creates an empty registry (tests; production code uses
     /// [`Registry::global`]).
@@ -271,7 +280,7 @@ impl Registry {
 
     /// Returns (registering if needed) the counter with this name.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock_recover(&self.counters);
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -282,7 +291,7 @@ impl Registry {
 
     /// Returns (registering if needed) the gauge with this name.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock_recover(&self.gauges);
         if let Some(g) = map.get(name) {
             return Arc::clone(g);
         }
@@ -293,7 +302,7 @@ impl Registry {
 
     /// Returns (registering if needed) the histogram with this name.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock_recover(&self.histograms);
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -311,43 +320,34 @@ impl Registry {
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
         };
-        self.events.lock().unwrap().push(ev);
+        lock_recover(&self.events).push(ev);
     }
 
     /// Copies out all metrics and events.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .counters
-                .lock()
-                .unwrap()
+            counters: lock_recover(&self.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock_recover(&self.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
+            histograms: lock_recover(&self.histograms)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.count(), v.sum(), v.bucket_counts()))
                 .collect(),
-            events: self.events.lock().unwrap().clone(),
+            events: lock_recover(&self.events).clone(),
         }
     }
 
     /// Removes every metric and event (a fresh run boundary).
     pub fn reset(&self) {
-        self.counters.lock().unwrap().clear();
-        self.gauges.lock().unwrap().clear();
-        self.histograms.lock().unwrap().clear();
-        self.events.lock().unwrap().clear();
+        lock_recover(&self.counters).clear();
+        lock_recover(&self.gauges).clear();
+        lock_recover(&self.histograms).clear();
+        lock_recover(&self.events).clear();
     }
 }
 

@@ -163,6 +163,7 @@ impl Drop for Span {
             // in LIFO order (e.g. moved out and dropped late), then close
             // our own frame; if our frame is already gone, do nothing.
             while tr.stack.len() > depth {
+                // fdx-allow: L001 loop condition guarantees the stack is non-empty
                 let frame = tr.stack.pop().expect("len > depth >= 0");
                 let node = PhaseNode {
                     name: frame.name,

@@ -131,6 +131,7 @@ fn elimination_to_order(mut elimination: Vec<usize>, method: OrderingMethod) -> 
     if method != OrderingMethod::Natural {
         elimination.reverse();
     }
+    // fdx-allow: L001 every ordering heuristic returns a permutation of 0..k
     Permutation::from_order(elimination).expect("heuristics emit valid permutations")
 }
 

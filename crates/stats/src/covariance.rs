@@ -44,6 +44,10 @@ pub fn second_moment(samples: &Matrix) -> Matrix {
         accumulate_outer_upper(&mut cov, samples.row(r));
     }
     finish_symmetric(&mut cov, n as f64);
+    debug_assert!(
+        fdx_linalg::is_exact_zero(cov.asymmetry()),
+        "covariance invariant violated: mirrored upper triangle must be exactly symmetric"
+    );
     cov
 }
 
@@ -52,7 +56,7 @@ fn accumulate_outer_upper(acc: &mut Matrix, v: &[f64]) {
     let k = v.len();
     for i in 0..k {
         let vi = v[i];
-        if vi == 0.0 {
+        if fdx_linalg::is_exact_zero(vi) {
             continue;
         }
         let row = acc.row_mut(i);

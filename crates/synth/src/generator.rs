@@ -158,7 +158,10 @@ pub fn generate(cfg: &SynthConfig) -> SynthData {
         };
         let members: Vec<usize> = (next..next + size).collect();
         next += size;
-        let (y, x) = members.split_last().unwrap();
+        let (y, x) = members
+            .split_last()
+            // fdx-allow: L001 size >= 2 above, so members is never empty
+            .expect("group has at least two members");
         groups.push((x.to_vec(), *y));
     }
 
@@ -188,7 +191,10 @@ pub fn generate(cfg: &SynthConfig) -> SynthData {
         let mut x_cards = vec![per; x_attrs.len()];
         // Adjust the last card so the product lands near v.
         let partial: usize = x_cards[..x_cards.len() - 1].iter().product();
-        *x_cards.last_mut().unwrap() = (v / partial.max(1)).max(2);
+        *x_cards
+            .last_mut()
+            // fdx-allow: L001 x_cards mirrors x_attrs, which every group keeps non-empty
+            .expect("per-group cardinalities are non-empty") = (v / partial.max(1)).max(2);
         let config_count: usize = x_cards.iter().product();
         let y_card = v.min(config_count).max(2);
 
