@@ -23,6 +23,8 @@ Discover options:
   --heatmap           also print the autoregression heatmap
   --trace             print the per-phase wall-clock tree to stderr
   --metrics <path>    write run metrics as JSON-lines to <path>
+  --time-budget <f>   abort the run after <f> wall-clock seconds
+  --strict            exit non-zero if the run degraded (fallbacks, retries)
 
 Lint options:
   --ratchet           fail only on violations not in lint-baseline.json
@@ -88,6 +90,8 @@ pub struct DiscoverOptions {
     pub heatmap: bool,
     pub trace: bool,
     pub metrics: Option<String>,
+    pub time_budget: Option<f64>,
+    pub strict: bool,
 }
 
 impl Default for DiscoverOptions {
@@ -103,6 +107,8 @@ impl Default for DiscoverOptions {
             heatmap: false,
             trace: false,
             metrics: None,
+            time_budget: None,
+            strict: false,
         }
     }
 }
@@ -142,6 +148,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--heatmap" => options.heatmap = true,
                     "--trace" => options.trace = true,
                     "--metrics" => options.metrics = Some(value(flag)?.clone()),
+                    "--time-budget" => options.time_budget = Some(parse_f64(value(flag)?)?),
+                    "--strict" => options.strict = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
@@ -294,6 +302,28 @@ mod tests {
         }
         // --metrics requires a value.
         assert!(parse(&argv("discover d.csv --metrics")).is_err());
+    }
+
+    #[test]
+    fn parses_strict_and_time_budget() {
+        let cmd = parse(&argv("discover d.csv --strict --time-budget 2.5")).unwrap();
+        match cmd {
+            Command::Discover { options, .. } => {
+                assert!(options.strict);
+                assert_eq!(options.time_budget, Some(2.5));
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("discover d.csv --time-budget")).is_err());
+        assert!(parse(&argv("discover d.csv --time-budget nope")).is_err());
+        let defaults = parse(&argv("discover d.csv")).unwrap();
+        match defaults {
+            Command::Discover { options, .. } => {
+                assert!(!options.strict);
+                assert_eq!(options.time_budget, None);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -65,7 +65,13 @@ fn lint(args: &LintArgs) -> Result<(), String> {
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let raw = String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "{path}: not valid UTF-8 (first invalid byte at offset {}); convert the file to UTF-8 and retry",
+            e.utf8_error().valid_up_to()
+        )
+    })?;
     read_csv_str(&raw).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -88,6 +94,9 @@ fn build_config(options: &DiscoverOptions) -> FdxConfig {
     }
     if let Some(seed) = options.seed {
         cfg.transform.seed = seed;
+    }
+    if let Some(budget) = options.time_budget {
+        cfg.time_budget = Some(budget);
     }
     cfg.validate = options.validate;
     cfg
@@ -129,6 +138,7 @@ fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
         result.timings.transform_secs,
         result.timings.model_secs()
     );
+    eprint!("# {}", result.health.render());
     if options.trace {
         eprint!("{}", fdx_obs::render_phase_tree(&trace));
     }
@@ -152,6 +162,13 @@ fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
     }
     if observing {
         fdx_obs::Registry::global().reset();
+    }
+    if options.strict && result.health.degraded() {
+        return Err(format!(
+            "strict: run degraded (rung {}, {} recoveries)",
+            result.health.rung,
+            result.health.recoveries.len()
+        ));
     }
     Ok(())
 }
@@ -290,6 +307,10 @@ mod tests {
         let text = std::fs::read_to_string(&metrics_path).unwrap();
         let first = text.lines().next().unwrap();
         assert!(first.contains(r#""kind":"run_summary""#), "{first}");
+        assert!(
+            first.contains(r#""health":{"kind":"health","rung":1"#),
+            "health report missing from run summary: {first}"
+        );
         assert!(text.contains(r#""kind":"phase""#), "phase tree missing");
         assert!(text.contains("fdx.discover"), "root span missing");
         assert!(
@@ -314,5 +335,43 @@ mod tests {
     fn missing_file_reports_path() {
         let err = load("/definitely/not/here.csv").unwrap_err();
         assert!(err.contains("here.csv"));
+    }
+
+    #[test]
+    fn non_utf8_file_reports_path_and_encoding() {
+        let dir = std::env::temp_dir().join("fdx_cli_utf8_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("latin1.csv");
+        // "a,b\ncafé,x\n" with é encoded as Latin-1 0xE9: invalid UTF-8.
+        std::fs::write(&path, b"a,b\ncaf\xE9,x\n").unwrap();
+        let err = load(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("latin1.csv"), "{err}");
+        assert!(err.contains("not valid UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn strict_mode_fails_only_degraded_runs() {
+        let dir = std::env::temp_dir().join("fdx_cli_strict_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        let mut csv = String::from("zip,city\n");
+        for i in 0..60 {
+            let zip = i % 12;
+            csv.push_str(&format!("z{zip},c{}\n", zip / 3));
+        }
+        std::fs::write(&path, csv).unwrap();
+        let p = path.to_str().unwrap();
+        let opts = DiscoverOptions {
+            strict: true,
+            ..Default::default()
+        };
+        discover(p, &opts).expect("clean run must pass --strict");
+        // Force a ladder descent: the same run must now exit non-zero.
+        let _f = fdx_obs::faults::arm_times("glasso.force_no_converge", 1);
+        let err = discover(p, &opts).unwrap_err();
+        assert!(err.contains("strict"), "{err}");
+        // Without --strict a degraded run still succeeds.
+        let _f = fdx_obs::faults::arm_times("glasso.force_no_converge", 1);
+        discover(p, &DiscoverOptions::default()).expect("degraded run passes without --strict");
     }
 }

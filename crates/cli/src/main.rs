@@ -5,6 +5,7 @@
 //!                       [--ordering natural|heuristic|amd|colamd|metis|nesdis]
 //!                       [--seed N] [--no-validate] [--heatmap]
 //!                       [--trace] [--metrics out.jsonl]
+//!                       [--time-budget SECS] [--strict]
 //! fdx profile  data.csv
 //! fdx score    data.csv --lhs zip,street --rhs city
 //! fdx lint     [--ratchet] [--write-baseline] [--format text|json] [--root DIR]

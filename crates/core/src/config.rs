@@ -99,6 +99,12 @@ pub struct FdxConfig {
     /// Minimum normalized agreement lift `(ρ − β)/(1 − β)` a candidate must
     /// reach during validation.
     pub min_lift: f64,
+    /// Wall-clock budget for one `discover` run, in seconds. Checked at
+    /// every phase boundary: when the elapsed time exceeds the budget the
+    /// run stops with a typed [`crate::FdxError::BudgetExceeded`] instead of
+    /// running arbitrarily long on pathological inputs. `None` (the default)
+    /// disables the check.
+    pub time_budget: Option<f64>,
 }
 
 impl Default for FdxConfig {
@@ -115,6 +121,7 @@ impl Default for FdxConfig {
             max_lhs: 5,
             validate: true,
             min_lift: 0.35,
+            time_budget: None,
         }
     }
 }
@@ -146,6 +153,12 @@ impl FdxConfig {
     /// Convenience: set the ordering method.
     pub fn with_ordering(mut self, ordering: OrderingMethod) -> FdxConfig {
         self.ordering = ordering;
+        self
+    }
+
+    /// Convenience: set the per-run wall-clock budget in seconds.
+    pub fn with_time_budget(mut self, secs: f64) -> FdxConfig {
+        self.time_budget = Some(secs);
         self
     }
 
@@ -186,10 +199,17 @@ mod tests {
         let cfg = FdxConfig::with_seed(7)
             .with_sparsity(0.004)
             .with_threshold(0.2)
-            .with_ordering(OrderingMethod::Natural);
+            .with_ordering(OrderingMethod::Natural)
+            .with_time_budget(30.0);
         assert_eq!(cfg.transform.seed, 7);
         assert_eq!(cfg.sparsity, 0.004);
         assert_eq!(cfg.threshold, 0.2);
         assert_eq!(cfg.ordering, OrderingMethod::Natural);
+        assert_eq!(cfg.time_budget, Some(30.0));
+        assert_eq!(
+            FdxConfig::default().time_budget,
+            None,
+            "budget is opt-in: a default run must never be killed by a clock"
+        );
     }
 }

@@ -1,13 +1,12 @@
 use std::fmt;
-use std::time::Instant;
 
 use fdx_data::{Dataset, Fd, FdSet};
-use fdx_glasso::{graphical_lasso, GlassoConfig};
 use fdx_linalg::{udut, LinalgError, Matrix};
 use fdx_order::compute_order_weighted;
 
 use crate::config::FdxConfig;
 use crate::report::{FdxResult, FdxTimings};
+use crate::resilience::{ensure_finite, estimate_precision, BudgetClock, RunHealth};
 use crate::transform::pair_transform;
 
 /// Errors from the FDX pipeline.
@@ -22,6 +21,22 @@ pub enum FdxError {
     },
     /// A numerical kernel failed even after regularization retries.
     Numerical(LinalgError),
+    /// A pipeline stage produced NaN or ±∞ that no recovery could absorb
+    /// (the finite-ness guards of `crate::resilience`).
+    NonFinite {
+        /// The guarded stage that tripped (e.g. `"covariance"`).
+        stage: &'static str,
+    },
+    /// The run exceeded [`FdxConfig::time_budget`]. Checked between phases,
+    /// so the overshoot is bounded by the length of one phase.
+    BudgetExceeded {
+        /// The phase that was about to start when the budget ran out.
+        phase: &'static str,
+        /// Wall-clock seconds consumed at the check.
+        elapsed_secs: f64,
+        /// The configured budget in seconds.
+        budget_secs: f64,
+    },
 }
 
 impl fmt::Display for FdxError {
@@ -32,6 +47,17 @@ impl fmt::Display for FdxError {
                 "FDX needs at least 2 rows and 2 attributes, got {rows} rows x {attrs} attributes"
             ),
             FdxError::Numerical(e) => write!(f, "numerical failure in structure learning: {e}"),
+            FdxError::NonFinite { stage } => {
+                write!(f, "non-finite values (NaN or infinity) at stage {stage}")
+            }
+            FdxError::BudgetExceeded {
+                phase,
+                elapsed_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "time budget exhausted before {phase}: {elapsed_secs:.3}s elapsed of {budget_secs:.3}s allowed"
+            ),
         }
     }
 }
@@ -77,21 +103,23 @@ impl Fdx {
             });
         }
         let cfg = &self.config;
-        let _run_span = fdx_obs::Span::enter("fdx.discover");
+        let run_span = fdx_obs::Span::enter("fdx.discover");
+        let budget = BudgetClock::new(&run_span, cfg.time_budget);
         let mut timings = FdxTimings::default();
+        let mut health = RunHealth::default();
 
         // Step 1: pair transform (Algorithm 2).
-        let t = Instant::now();
         let stats = {
-            let _span = fdx_obs::Span::enter("fdx.transform");
-            pair_transform(ds, &cfg.transform)
+            let span = fdx_obs::Span::enter("fdx.transform");
+            let stats = pair_transform(ds, &cfg.transform);
+            timings.transform_secs = span.elapsed_secs();
+            stats
         };
-        timings.transform_secs = t.elapsed().as_secs_f64();
+        budget.check("covariance")?;
 
         // Step 2a: covariance estimation with optional shrinkage.
-        let t = Instant::now();
         let s = {
-            let _span = fdx_obs::Span::enter("fdx.covariance");
+            let span = fdx_obs::Span::enter("fdx.covariance");
             let mut s = if cfg.use_correlation {
                 stats.correlation()
             } else {
@@ -103,26 +131,34 @@ impl Fdx {
                 s.scale_mut(1.0 - alpha);
                 s.add_diag_mut(alpha);
             }
+            if fdx_obs::faults::fire("covariance.inject_nan") && s.rows() > 0 {
+                s[(0, 0)] = f64::NAN;
+            }
+            timings.covariance_secs = span.elapsed_secs();
             s
         };
-        timings.covariance_secs = t.elapsed().as_secs_f64();
+        // A NaN here (degenerate agreement statistics) has no recovery:
+        // every downstream estimate would inherit it silently.
+        ensure_finite("covariance", &s)?;
+        budget.check("structure")?;
 
-        // Step 2b: sparse inverse covariance. `graphical_lasso` opens its
+        // Step 2b: sparse inverse covariance, through the recovery ladder
+        // (`crate::resilience`): configured glasso → relaxed retry → direct
+        // inversion → neighborhood selection. Each glasso solve opens its
         // own `fdx.glasso` span and emits per-sweep convergence events.
-        let t = Instant::now();
-        let glasso_cfg = GlassoConfig {
-            lambda: cfg.sparsity,
-            ..GlassoConfig::default()
+        let theta = {
+            let span = fdx_obs::Span::enter("fdx.structure");
+            let theta = estimate_precision(&s, cfg, &mut health)?;
+            timings.glasso_secs = span.elapsed_secs();
+            theta
         };
-        let theta = graphical_lasso(&s, &glasso_cfg)?.theta;
-        timings.glasso_secs = t.elapsed().as_secs_f64();
+        budget.check("ordering")?;
 
         // Step 3a: global attribute order.
         // Normalize Θ to unit diagonal first so the autoregression
         // coefficients (and therefore `threshold`) are scale-free.
-        let t = Instant::now();
         let (theta_n, order) = {
-            let _span = fdx_obs::Span::enter("fdx.ordering");
+            let span = fdx_obs::Span::enter("fdx.ordering");
             let theta_n = normalize_diagonal(&theta);
             // Agreement rates break ordering ties: frequently-agreeing
             // (determined) attributes are eliminated first and land late in
@@ -130,32 +166,46 @@ impl Fdx {
             let rates = stats.agreement_rates();
             let order =
                 compute_order_weighted(&theta_n, cfg.support_threshold, cfg.ordering, Some(&rates));
+            timings.ordering_secs = span.elapsed_secs();
             (theta_n, order)
         };
-        timings.ordering_secs = t.elapsed().as_secs_f64();
+        budget.check("factorization")?;
 
         // Step 3b: UDUᵀ factorization (with a ridge retry guard).
-        let t = Instant::now();
         let factor = {
-            let _span = fdx_obs::Span::enter("fdx.factorization");
-            match udut(&theta_n, &order) {
+            let span = fdx_obs::Span::enter("fdx.factorization");
+            let first = if fdx_obs::faults::fire("udut.force_not_pd") {
+                Err(LinalgError::NotPositiveDefinite {
+                    pivot: 0,
+                    value: 0.0,
+                })
+            } else {
+                udut(&theta_n, &order)
+            };
+            let factor = match first {
                 Ok(f) => f,
                 Err(LinalgError::NotPositiveDefinite { .. }) => {
                     // Glasso output should be PD; guard with a ridge anyway.
                     fdx_obs::counter_add("fdx.udut.ridge_retries", 1);
+                    health.udut_ridge_retries += 1;
+                    health.note(
+                        "UDUᵀ factorization hit a non-PD pivot; retried with ridge".to_string(),
+                    );
                     let mut ridged = theta_n.clone();
                     ridged.add_diag_mut(1e-8);
                     udut(&ridged, &order)?
                 }
                 Err(e) => return Err(e.into()),
-            }
+            };
+            timings.factorization_secs = span.elapsed_secs();
+            factor
         };
-        timings.factorization_secs = t.elapsed().as_secs_f64();
         let b_perm = factor.autoregression();
+        ensure_finite("autoregression", &b_perm)?;
+        budget.check("generation")?;
 
         // Step 4: FD generation (Algorithm 3) on the permuted B, mapped back
         // to schema attribute ids.
-        let t = Instant::now();
         let gen_span = fdx_obs::Span::enter("fdx.generation");
         let mut candidate_edges = 0u64;
         let mut fds = FdSet::new();
@@ -183,14 +233,14 @@ impl Fdx {
         }
         fdx_obs::counter_add("fdx.generation.candidate_edges", candidate_edges);
         fdx_obs::counter_add("fdx.generation.kept_edges", fds.edge_count() as u64);
+        timings.generation_secs = gen_span.elapsed_secs();
         drop(gen_span);
-        timings.generation_secs = t.elapsed().as_secs_f64();
 
         if cfg.validate {
-            let t = Instant::now();
-            let _span = fdx_obs::Span::enter("fdx.validation");
+            budget.check("validation")?;
+            let span = fdx_obs::Span::enter("fdx.validation");
             fds = crate::validate::refine(ds, &fds, cfg.min_lift);
-            timings.validation_secs = t.elapsed().as_secs_f64();
+            timings.validation_secs = span.elapsed_secs();
         }
 
         // Report B in original schema coordinates.
@@ -201,6 +251,7 @@ impl Fdx {
             }
         }
 
+        health.record_metrics();
         Ok(FdxResult {
             fds,
             autoregression: b_orig,
@@ -208,6 +259,7 @@ impl Fdx {
             order,
             noise_variances: factor.d.iter().map(|&d| 1.0 / d.max(1e-12)).collect(),
             timings,
+            health,
         })
     }
 }
@@ -380,6 +432,63 @@ mod tests {
         for fd in r.fds.iter() {
             assert!(fd.lhs().len() <= 1);
         }
+    }
+
+    #[test]
+    fn clean_run_reports_pristine_health() {
+        let ds = city_state_rows();
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        assert!(!r.health.degraded(), "{:?}", r.health);
+        assert_eq!(r.health.rung, crate::resilience::RecoveryRung::Glasso);
+        assert!(r.health.recoveries.is_empty());
+    }
+
+    #[test]
+    fn non_converged_glasso_is_recorded_not_fatal() {
+        let ds = city_state_rows();
+        let _f = fdx_obs::faults::arm_times("glasso.force_no_converge", 1);
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        assert!(r.health.degraded());
+        assert_eq!(r.health.rung, crate::resilience::RecoveryRung::RidgedRetry);
+        assert!(!r.health.recoveries.is_empty());
+    }
+
+    #[test]
+    fn injected_covariance_nan_is_a_typed_error() {
+        let ds = city_state_rows();
+        let _f = fdx_obs::faults::arm("covariance.inject_nan");
+        let err = Fdx::new(FdxConfig::default()).discover(&ds).unwrap_err();
+        assert_eq!(
+            err,
+            FdxError::NonFinite {
+                stage: "covariance"
+            }
+        );
+    }
+
+    #[test]
+    fn forced_not_pd_triggers_recorded_ridge_retry() {
+        let ds = city_state_rows();
+        let _f = fdx_obs::faults::arm_times("udut.force_not_pd", 1);
+        let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        assert_eq!(r.health.udut_ridge_retries, 1);
+        assert!(r.health.degraded());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_error() {
+        let ds = city_state_rows();
+        let _f = fdx_obs::faults::arm_value("clock.skew", 1e6);
+        let err = Fdx::new(FdxConfig::default().with_time_budget(1.0))
+            .discover(&ds)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FdxError::BudgetExceeded {
+                phase: "covariance",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! 4. **Generate FDs** (Algorithm 3): the above-threshold entries of column
 //!    `j` of `B` form the determinant set of an FD on attribute `j`.
 //!
+//! Every run carries a [`RunHealth`] degradation report: structure learning
+//! descends a deterministic recovery ladder (configured glasso → relaxed
+//! retry → direct inversion → neighborhood selection) instead of failing
+//! outright, phase boundaries enforce finite-ness guards, and an optional
+//! wall-clock budget ([`FdxConfig::time_budget`]) turns runaway runs into a
+//! typed [`FdxError::BudgetExceeded`].
+//!
 //! # Example
 //!
 //! ```
@@ -49,11 +56,13 @@
 mod config;
 mod discover;
 mod report;
+mod resilience;
 mod transform;
 mod validate;
 
 pub use config::{FdxConfig, NullPolicy, PairSampling, TransformConfig};
 pub use discover::{Fdx, FdxError};
 pub use report::{render_autoregression_heatmap, FdxResult, FdxTimings};
+pub use resilience::{RecoveryRung, RunHealth};
 pub use transform::{pair_transform, pair_transform_matrix, PairStats};
 pub use validate::{refine, score_fd, FdScore};

@@ -1,6 +1,8 @@
 use fdx_data::{FdSet, Schema};
 use fdx_linalg::{Matrix, Permutation};
 
+use crate::resilience::RunHealth;
+
 /// Wall-clock breakdown of a discovery run, one field per pipeline phase.
 ///
 /// The paper's Figure 6 plots two series — "mean of total runtime" and
@@ -89,6 +91,11 @@ pub struct FdxResult {
     pub noise_variances: Vec<f64>,
     /// Wall-clock breakdown.
     pub timings: FdxTimings,
+    /// Degradation report: which rung of the recovery ladder produced `Θ`
+    /// and every recovery that fired along the way. A pristine run has
+    /// `health.degraded() == false`; `fdx discover --strict` turns any
+    /// degradation into a non-zero exit.
+    pub health: RunHealth,
 }
 
 impl FdxResult {
@@ -102,6 +109,7 @@ impl FdxResult {
             .u64_("fds", self.fds.iter().count() as u64)
             .u64_("edges", self.fds.edge_count() as u64)
             .raw("timings", &self.timings.to_json())
+            .raw("health", &self.health.to_json())
             .finish()
     }
 }

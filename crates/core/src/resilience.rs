@@ -1,0 +1,583 @@
+//! Graceful degradation for the FDX pipeline.
+//!
+//! FDX's value proposition is surviving *noisy* data (paper §1, §4.2), so
+//! the pipeline must not fall over when the numerics do: a near-singular
+//! pair covariance can stall the graphical lasso (Friedman–Hastie–Tibshirani
+//! 2008 document non-convergence on such inputs), a non-PD iterate can break
+//! the `U D Uᵀ` factorization, and an adversarial input can make any of it
+//! arbitrarily slow. This module centralizes the recovery policy:
+//!
+//! * a deterministic **fallback ladder** for structure learning
+//!   ([`estimate_precision`]), descending only as far as the input forces:
+//!   1. graphical lasso exactly as configured,
+//!   2. retry with an escalated ridge and relaxed tolerance
+//!      ([`GlassoConfig::relaxed_retry`]),
+//!   3. ridge-stabilized direct inversion
+//!      (`fdx_glasso::precision_from_covariance`),
+//!   4. Meinshausen–Bühlmann neighborhood selection as a last resort:
+//!      only the *support* of `Θ` is recovered (PAPERS.md; the regression
+//!      estimator is consistent for the conditional-independence graph even
+//!      when the likelihood solver is numerically hopeless), and a
+//!      diagonally dominant surrogate `Θ` is built from it;
+//! * **finite-ness guards** at phase boundaries ([`ensure_finite`]) so a
+//!   NaN or ±∞ produced by one stage becomes a typed
+//!   [`FdxError::NonFinite`] instead of silently poisoning FD generation;
+//! * a per-run **wall-clock budget** ([`BudgetClock`], configured by
+//!   [`FdxConfig::time_budget`]) checked between phases, yielding a typed
+//!   [`FdxError::BudgetExceeded`];
+//! * a [`RunHealth`] report attached to every successful
+//!   [`crate::FdxResult`] recording exactly which recoveries fired, so
+//!   callers (and `fdx discover --strict`) can distinguish a pristine run
+//!   from a degraded-but-usable one.
+//!
+//! Every branch here is reachable deterministically through the
+//! fault-injection points in [`fdx_obs::faults`]:
+//! `glasso.force_no_converge` (drives rungs 2+), `covariance.inject_nan`
+//! (trips the covariance guard), `udut.force_not_pd` (forces the
+//! factorization ridge retry), `inversion.force_fail` (skips rung 3 so rung
+//! 4 runs), and `clock.skew` (advances the budget clock without sleeping).
+
+use std::fmt;
+
+use fdx_glasso::{
+    graphical_lasso, neighborhood_selection, precision_from_covariance_report, GlassoConfig,
+};
+use fdx_linalg::Matrix;
+use fdx_obs::faults;
+
+use crate::config::FdxConfig;
+use crate::discover::FdxError;
+
+/// Which rung of the fallback ladder produced the precision estimate.
+///
+/// Ordered from least to most degraded; [`RecoveryRung::index`] gives the
+/// 1-based rung number used in metrics and CLI output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryRung {
+    /// Rung 1: graphical lasso exactly as configured.
+    Glasso,
+    /// Rung 2: glasso retried with escalated ridge and relaxed tolerance.
+    RidgedRetry,
+    /// Rung 3: ridge-stabilized direct inversion of the covariance.
+    DirectInversion,
+    /// Rung 4: Meinshausen–Bühlmann neighborhood selection; only the support
+    /// of `Θ` is trustworthy, coefficient magnitudes are surrogate values.
+    NeighborhoodSelection,
+}
+
+impl RecoveryRung {
+    /// Stable lowercase label used in JSON and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryRung::Glasso => "glasso",
+            RecoveryRung::RidgedRetry => "ridged_retry",
+            RecoveryRung::DirectInversion => "direct_inversion",
+            RecoveryRung::NeighborhoodSelection => "neighborhood_selection",
+        }
+    }
+
+    /// 1-based ladder position.
+    pub fn index(&self) -> u8 {
+        match self {
+            RecoveryRung::Glasso => 1,
+            RecoveryRung::RidgedRetry => 2,
+            RecoveryRung::DirectInversion => 3,
+            RecoveryRung::NeighborhoodSelection => 4,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/4 ({})", self.index(), self.label())
+    }
+}
+
+/// Health report of one `discover` run: every recovery that fired.
+///
+/// A freshly constructed report describes a pristine run; the pipeline
+/// downgrades it as recoveries fire. [`RunHealth::degraded`] is the single
+/// predicate behind `fdx discover --strict`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHealth {
+    /// Ladder rung that produced the precision estimate.
+    pub rung: RecoveryRung,
+    /// Whether the structure-learning solve that was finally used met its
+    /// convergence criterion.
+    pub glasso_converged: bool,
+    /// Ridge escalations inside the structure-learning solves (reported by
+    /// `fdx_glasso`).
+    pub ridge_escalations: u32,
+    /// Ridge retries of the `U D Uᵀ` factorization.
+    pub udut_ridge_retries: u32,
+    /// Finite-ness guard trips that were *recovered from* (stage names).
+    /// Unrecoverable trips surface as [`FdxError::NonFinite`] instead.
+    pub guard_trips: Vec<String>,
+    /// Human-readable log of every recovery, in firing order.
+    pub recoveries: Vec<String>,
+}
+
+impl Default for RunHealth {
+    fn default() -> Self {
+        RunHealth {
+            rung: RecoveryRung::Glasso,
+            glasso_converged: true,
+            ridge_escalations: 0,
+            udut_ridge_retries: 0,
+            guard_trips: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+}
+
+impl RunHealth {
+    /// True iff any recovery fired: the run produced a usable result, but
+    /// not on the configured happy path.
+    pub fn degraded(&self) -> bool {
+        self.rung != RecoveryRung::Glasso
+            || !self.glasso_converged
+            || self.ridge_escalations > 0
+            || self.udut_ridge_retries > 0
+            || !self.guard_trips.is_empty()
+    }
+
+    /// Records a recovery note (also mirrored to the obs event log).
+    pub(crate) fn note(&mut self, msg: String) {
+        fdx_obs::event(
+            "fdx.resilience.recovery",
+            &[("detail", fdx_obs::Field::S(msg.clone()))],
+        );
+        self.recoveries.push(msg);
+    }
+
+    /// Records a *recovered* finite-ness guard trip at `stage`.
+    pub(crate) fn trip_guard(&mut self, stage: &str) {
+        fdx_obs::counter_add("fdx.resilience.guard_trips", 1);
+        self.guard_trips.push(stage.to_string());
+        self.note(format!("non-finite values detected at {stage}; recovering"));
+    }
+
+    /// Pushes the report's scalar facets into the global metric registry
+    /// (rung gauge + degradation counters). Called once per run by the
+    /// pipeline; a no-op while recording is disabled.
+    pub(crate) fn record_metrics(&self) {
+        fdx_obs::gauge_set("fdx.resilience.rung", self.rung.index() as f64);
+        if self.degraded() {
+            fdx_obs::counter_add("fdx.resilience.degraded_runs", 1);
+        }
+    }
+
+    /// One deterministic JSON object (the `--metrics` JSONL shape).
+    pub fn to_json(&self) -> String {
+        fdx_obs::json::Obj::new()
+            .str_("kind", "health")
+            .u64_("rung", self.rung.index() as u64)
+            .str_("rung_label", self.rung.label())
+            .bool_("glasso_converged", self.glasso_converged)
+            .u64_("ridge_escalations", self.ridge_escalations as u64)
+            .u64_("udut_ridge_retries", self.udut_ridge_retries as u64)
+            .raw(
+                "guard_trips",
+                &fdx_obs::json::array(
+                    self.guard_trips
+                        .iter()
+                        .map(|g| format!("\"{}\"", fdx_obs::json::escape(g))),
+                ),
+            )
+            .raw(
+                "recoveries",
+                &fdx_obs::json::array(
+                    self.recoveries
+                        .iter()
+                        .map(|r| format!("\"{}\"", fdx_obs::json::escape(r))),
+                ),
+            )
+            .bool_("degraded", self.degraded())
+            .finish()
+    }
+
+    /// Multi-line human-readable rendering (the `fdx discover` footer).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "health: {} | rung {} | glasso {} | ridge escalations {} | udut retries {}\n",
+            if self.degraded() { "DEGRADED" } else { "ok" },
+            self.rung,
+            if self.glasso_converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            self.ridge_escalations,
+            self.udut_ridge_retries,
+        );
+        for r in &self.recoveries {
+            out.push_str("  - ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The phase-boundary wall-clock budget.
+///
+/// Reads the pipeline's root span (always started, whether or not metric
+/// recording is on) plus the `clock.skew` fault payload, so resilience
+/// tests can exhaust a budget without sleeping.
+pub(crate) struct BudgetClock<'a> {
+    span: &'a fdx_obs::Span,
+    budget_secs: Option<f64>,
+}
+
+impl<'a> BudgetClock<'a> {
+    pub(crate) fn new(span: &'a fdx_obs::Span, budget_secs: Option<f64>) -> BudgetClock<'a> {
+        BudgetClock { span, budget_secs }
+    }
+
+    /// Seconds the run has consumed (including injected skew).
+    pub(crate) fn elapsed_secs(&self) -> f64 {
+        self.span.elapsed_secs() + faults::skew_secs()
+    }
+
+    /// Fails with [`FdxError::BudgetExceeded`] when the budget is spent.
+    /// Called between phases: a phase always runs to completion, so the
+    /// overshoot is bounded by one phase, never by the whole run.
+    pub(crate) fn check(&self, phase: &'static str) -> Result<(), FdxError> {
+        let Some(budget) = self.budget_secs else {
+            return Ok(());
+        };
+        let elapsed = self.elapsed_secs();
+        if elapsed > budget {
+            fdx_obs::counter_add("fdx.resilience.budget_exceeded", 1);
+            return Err(FdxError::BudgetExceeded {
+                phase,
+                elapsed_secs: elapsed,
+                budget_secs: budget,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Returns a typed error unless every entry of `m` is finite.
+///
+/// The check is O(k²) on k×k matrices — invisible next to the O(k³)
+/// factorizations it guards — and turns the worst numerical failure mode
+/// (NaN contaminating every downstream coefficient while the pipeline
+/// "succeeds") into an explicit [`FdxError::NonFinite`].
+pub(crate) fn ensure_finite(stage: &'static str, m: &Matrix) -> Result<(), FdxError> {
+    if matrix_is_finite(m) {
+        Ok(())
+    } else {
+        fdx_obs::counter_add("fdx.resilience.guard_trips", 1);
+        Err(FdxError::NonFinite { stage })
+    }
+}
+
+fn matrix_is_finite(m: &Matrix) -> bool {
+    (0..m.rows()).all(|i| (0..m.cols()).all(|j| m[(i, j)].is_finite()))
+}
+
+/// The structure-learning fallback ladder (tentpole of the recovery
+/// subsystem): estimates `Θ` from the pair covariance `s`, descending the
+/// ladder only as far as the input forces, and records every step into
+/// `health`.
+///
+/// Postcondition on success: the returned matrix is square, symmetric to
+/// solver tolerance, entirely finite, and positive definite enough for the
+/// downstream `U D Uᵀ` factorization's own ridge guard.
+pub(crate) fn estimate_precision(
+    s: &Matrix,
+    cfg: &FdxConfig,
+    health: &mut RunHealth,
+) -> Result<Matrix, FdxError> {
+    let glasso_cfg = GlassoConfig {
+        lambda: cfg.sparsity,
+        ..GlassoConfig::default()
+    };
+
+    // Rung 1: the configured solve.
+    match graphical_lasso(s, &glasso_cfg) {
+        Ok(r) => {
+            health.glasso_converged = r.converged;
+            health.ridge_escalations += r.ridge_escalations;
+            if r.converged && matrix_is_finite(&r.theta) {
+                health.rung = RecoveryRung::Glasso;
+                return Ok(r.theta);
+            }
+            if !r.converged {
+                fdx_obs::counter_add("fdx.glasso.not_converged", 1);
+                health.note(format!(
+                    "glasso did not converge in {} sweeps; retrying with relaxed tolerance",
+                    r.iterations
+                ));
+            } else {
+                health.trip_guard("glasso.theta");
+            }
+        }
+        Err(e) => {
+            health.note(format!(
+                "glasso failed ({e}); retrying with relaxed tolerance"
+            ));
+        }
+    }
+
+    // Rung 2: escalated ridge + relaxed tolerance.
+    match graphical_lasso(s, &glasso_cfg.relaxed_retry()) {
+        Ok(r) if r.converged && matrix_is_finite(&r.theta) => {
+            health.rung = RecoveryRung::RidgedRetry;
+            health.glasso_converged = true;
+            health.ridge_escalations += r.ridge_escalations.max(1);
+            health.note("relaxed-tolerance glasso retry converged".to_string());
+            return Ok(r.theta);
+        }
+        Ok(r) => {
+            if r.converged {
+                health.trip_guard("glasso.retry.theta");
+            } else {
+                health.note(
+                    "relaxed glasso retry still did not converge; falling back to direct inversion"
+                        .to_string(),
+                );
+            }
+        }
+        Err(e) => {
+            health.note(format!("relaxed glasso retry failed ({e})"));
+        }
+    }
+
+    // Rung 3: ridge-stabilized direct inversion (the λ = 0 fast path, run
+    // with a deliberately generous starting ridge).
+    if faults::fire("inversion.force_fail") {
+        health.note("direct inversion unavailable (fault injected)".to_string());
+    } else {
+        match precision_from_covariance_report(s, 1e-4) {
+            Ok(inv) if matrix_is_finite(&inv.theta) => {
+                health.rung = RecoveryRung::DirectInversion;
+                health.glasso_converged = false;
+                health.ridge_escalations += inv.escalations;
+                health.note(format!(
+                    "recovered Θ by direct inversion (ridge {:.1e})",
+                    inv.ridge_used
+                ));
+                return Ok(inv.theta);
+            }
+            Ok(_) => {
+                health.trip_guard("inversion.theta");
+            }
+            Err(e) => {
+                health.note(format!("direct inversion failed ({e})"));
+            }
+        }
+    }
+
+    // Rung 4: Meinshausen–Bühlmann neighborhood selection. Recovers only
+    // the support; magnitudes are surrogate values from a diagonally
+    // dominant reconstruction, so downstream FDs are flagged as degraded.
+    let lambda = if cfg.sparsity > 0.0 {
+        cfg.sparsity
+    } else {
+        0.01
+    };
+    match neighborhood_selection(s, lambda) {
+        Ok(adj) => {
+            health.rung = RecoveryRung::NeighborhoodSelection;
+            health.glasso_converged = false;
+            health.note(format!(
+                "recovered support only, via neighborhood selection (λ = {lambda})"
+            ));
+            Ok(support_surrogate_theta(&adj))
+        }
+        Err(e) => {
+            health.note(format!("neighborhood selection failed ({e}); no rung left"));
+            Err(FdxError::Numerical(e))
+        }
+    }
+}
+
+/// Builds a symmetric positive definite surrogate `Θ` from a 0/1 adjacency
+/// matrix: unit diagonal, off-diagonal `−c` on edges with
+/// `c = 0.9 / max_degree`. Strict diagonal dominance guarantees positive
+/// definiteness, so the downstream factorization always succeeds; the
+/// resulting autoregression weights are uniform by construction — only the
+/// support carries information, which is exactly what rung 4 promises.
+fn support_surrogate_theta(adj: &Matrix) -> Matrix {
+    let k = adj.rows();
+    let max_degree = (0..k)
+        // fdx-allow: L002 adjacency entries are exact 0.0/1.0 literals
+        .map(|i| (0..k).filter(|&j| j != i && adj[(i, j)] != 0.0).count())
+        .max()
+        .unwrap_or(0);
+    let c = if max_degree == 0 {
+        0.0
+    } else {
+        0.9 / max_degree as f64
+    };
+    let mut theta = Matrix::zeros(k, k);
+    for i in 0..k {
+        theta[(i, i)] = 1.0;
+        for j in 0..k {
+            // fdx-allow: L002 adjacency entries are exact 0.0/1.0 literals
+            if j != i && adj[(i, j)] != 0.0 {
+                theta[(i, j)] = -c;
+            }
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 0.4, 0.2], &[0.4, 1.0, 0.3], &[0.2, 0.3, 1.0]])
+    }
+
+    #[test]
+    fn pristine_health_is_not_degraded() {
+        let h = RunHealth::default();
+        assert!(!h.degraded());
+        assert_eq!(h.rung, RecoveryRung::Glasso);
+        let json = h.to_json();
+        assert!(json.contains(r#""kind":"health""#), "{json}");
+        assert!(json.contains(r#""degraded":false"#), "{json}");
+        assert!(h.render().starts_with("health: ok"), "{}", h.render());
+    }
+
+    #[test]
+    fn any_recovery_marks_degraded() {
+        for mutate in [
+            (|h: &mut RunHealth| h.rung = RecoveryRung::DirectInversion) as fn(&mut RunHealth),
+            |h| h.glasso_converged = false,
+            |h| h.ridge_escalations = 1,
+            |h| h.udut_ridge_retries = 1,
+            |h| h.guard_trips.push("covariance".to_string()),
+        ] {
+            let mut h = RunHealth::default();
+            mutate(&mut h);
+            assert!(h.degraded(), "{h:?}");
+            assert!(h.to_json().contains(r#""degraded":true"#));
+            assert!(h.render().starts_with("health: DEGRADED"));
+        }
+    }
+
+    #[test]
+    fn rung_labels_and_indices_are_stable() {
+        let rungs = [
+            RecoveryRung::Glasso,
+            RecoveryRung::RidgedRetry,
+            RecoveryRung::DirectInversion,
+            RecoveryRung::NeighborhoodSelection,
+        ];
+        for (i, r) in rungs.iter().enumerate() {
+            assert_eq!(r.index() as usize, i + 1);
+        }
+        assert!(rungs.windows(2).all(|w| w[0] < w[1]), "ordered by severity");
+        assert_eq!(
+            format!("{}", RecoveryRung::RidgedRetry),
+            "2/4 (ridged_retry)"
+        );
+    }
+
+    #[test]
+    fn clean_input_stays_on_rung_one() {
+        let mut h = RunHealth::default();
+        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        assert_eq!(h.rung, RecoveryRung::Glasso);
+        assert!(!h.degraded());
+        // Identical to the direct solve the ladder wraps.
+        let direct = graphical_lasso(&spd3(), &GlassoConfig::default())
+            .unwrap()
+            .theta;
+        assert_eq!(theta[(0, 1)], direct[(0, 1)]);
+    }
+
+    #[test]
+    fn forced_non_convergence_descends_to_rung_two() {
+        let mut h = RunHealth::default();
+        let _f = faults::arm_times("glasso.force_no_converge", 1);
+        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        assert_eq!(h.rung, RecoveryRung::RidgedRetry);
+        assert!(h.degraded());
+        assert!(theta[(0, 0)].is_finite());
+        assert!(!h.recoveries.is_empty());
+    }
+
+    #[test]
+    fn persistent_non_convergence_descends_to_rung_three() {
+        let mut h = RunHealth::default();
+        let _f = faults::arm("glasso.force_no_converge");
+        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        assert_eq!(h.rung, RecoveryRung::DirectInversion);
+        assert!(!h.glasso_converged);
+        assert!(theta[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn blocked_inversion_descends_to_rung_four() {
+        let mut h = RunHealth::default();
+        let _f1 = faults::arm("glasso.force_no_converge");
+        let _f2 = faults::arm("inversion.force_fail");
+        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        assert_eq!(h.rung, RecoveryRung::NeighborhoodSelection);
+        // Surrogate Θ must be factorizable (diagonally dominant SPD).
+        assert!(fdx_linalg::cholesky(&theta).is_ok());
+    }
+
+    #[test]
+    fn surrogate_theta_is_spd_for_dense_support() {
+        let k = 5;
+        let mut adj = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    adj[(i, j)] = 1.0;
+                }
+            }
+        }
+        let theta = support_surrogate_theta(&adj);
+        assert!(fdx_linalg::cholesky(&theta).is_ok());
+        // Empty support degenerates to the identity.
+        let id = support_surrogate_theta(&Matrix::zeros(3, 3));
+        assert_eq!(id[(0, 0)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn ensure_finite_catches_nan_and_inf() {
+        let mut m = spd3();
+        assert!(ensure_finite("covariance", &m).is_ok());
+        m[(1, 2)] = f64::NAN;
+        assert!(matches!(
+            ensure_finite("covariance", &m),
+            Err(FdxError::NonFinite {
+                stage: "covariance"
+            })
+        ));
+        m[(1, 2)] = f64::INFINITY;
+        assert!(ensure_finite("covariance", &m).is_err());
+    }
+
+    #[test]
+    fn budget_clock_respects_skew_fault() {
+        let span = fdx_obs::Span::enter("test.budget");
+        let unlimited = BudgetClock::new(&span, None);
+        assert!(unlimited.check("transform").is_ok());
+        let tight = BudgetClock::new(&span, Some(10.0));
+        assert!(tight.check("transform").is_ok(), "10s not yet consumed");
+        let _f = faults::arm_value("clock.skew", 60.0);
+        match tight.check("covariance") {
+            Err(FdxError::BudgetExceeded {
+                phase,
+                elapsed_secs,
+                budget_secs,
+            }) => {
+                assert_eq!(phase, "covariance");
+                assert!(elapsed_secs >= 60.0);
+                assert_eq!(budget_secs, 10.0);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+}

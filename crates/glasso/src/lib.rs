@@ -53,6 +53,22 @@ impl Default for GlassoConfig {
     }
 }
 
+impl GlassoConfig {
+    /// The escalated-retry variant of this configuration: tolerance relaxed
+    /// ×10, initial ridge escalated ×100, same λ and sweep budget. This is
+    /// rung 2 of the FDX recovery ladder (`fdx_core::resilience`) — loose
+    /// enough to converge on inputs where the configured solve plateaus,
+    /// tight enough that the recovered support is still meaningful.
+    pub fn relaxed_retry(&self) -> GlassoConfig {
+        GlassoConfig {
+            lambda: self.lambda,
+            max_iter: self.max_iter,
+            tol: self.tol * 10.0,
+            ridge: (self.ridge * 100.0).max(1e-8),
+        }
+    }
+}
+
 /// Output of [`graphical_lasso`].
 #[derive(Debug, Clone)]
 pub struct GlassoResult {
@@ -64,6 +80,11 @@ pub struct GlassoResult {
     pub iterations: usize,
     /// Whether the `tol` criterion was met within `max_iter` sweeps.
     pub converged: bool,
+    /// How many ×10 ridge escalations the λ = 0 direct-inversion path needed
+    /// before Cholesky succeeded (0 for the λ > 0 solver, which regularizes
+    /// through the penalty itself). Recovery bookkeeping: the FDX pipeline
+    /// copies this into its `RunHealth` report.
+    pub ridge_escalations: u32,
 }
 
 /// Estimates a sparse precision matrix from an empirical covariance `S`.
@@ -87,14 +108,16 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
     let _span = fdx_obs::Span::enter("fdx.glasso");
     let p = s.rows();
     if cfg.lambda <= 0.0 {
-        let theta = precision_from_covariance(s, cfg.ridge)?;
-        let w = spd_inverse(&theta)?;
-        record_summary(s, &theta, cfg.lambda, 0, true);
+        let inv = precision_from_covariance_report(s, cfg.ridge)?;
+        let w = spd_inverse(&inv.theta)?;
+        let converged = !fdx_obs::faults::fire("glasso.force_no_converge");
+        record_summary(s, &inv.theta, cfg.lambda, 0, converged);
         return Ok(GlassoResult {
-            theta,
+            theta: inv.theta,
             w,
             iterations: 0,
-            converged: true,
+            converged,
+            ridge_escalations: inv.escalations,
         });
     }
     if p == 1 {
@@ -106,6 +129,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             w: Matrix::from_diag(&[w00]),
             iterations: 0,
             converged: true,
+            ridge_escalations: 0,
         });
     }
 
@@ -167,6 +191,9 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
         }
     }
 
+    if fdx_obs::faults::fire("glasso.force_no_converge") {
+        converged = false;
+    }
     let theta = recover_theta(&w, &betas);
     record_summary(s, &theta, cfg.lambda, iterations, converged);
     Ok(GlassoResult {
@@ -174,6 +201,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
         w,
         iterations,
         converged,
+        ridge_escalations: 0,
     })
 }
 
@@ -299,6 +327,17 @@ fn record_summary(s: &Matrix, theta: &Matrix, lambda: f64, iterations: usize, co
     );
 }
 
+/// A ridge-stabilized inverse together with its recovery bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RidgedInverse {
+    /// The (possibly ridged) precision estimate.
+    pub theta: Matrix,
+    /// Number of ×10 ridge escalations performed (0 = clean inverse).
+    pub escalations: u32,
+    /// The ridge that finally succeeded (0.0 when no ridge was needed).
+    pub ridge_used: f64,
+}
+
 /// Inverts an empirical covariance with automatic ridge escalation.
 ///
 /// Pair-difference covariance matrices from small samples (or with constant
@@ -306,20 +345,43 @@ fn record_summary(s: &Matrix, theta: &Matrix, lambda: f64, iterations: usize, co
 /// definiteness with negligible effect on the recovered support. The ridge
 /// escalates ×10 (up to a fixed number of attempts) until Cholesky succeeds.
 pub fn precision_from_covariance(s: &Matrix, ridge: f64) -> fdx_linalg::Result<Matrix> {
+    precision_from_covariance_report(s, ridge).map(|r| r.theta)
+}
+
+/// [`precision_from_covariance`] with the escalation count and final ridge
+/// reported, so callers (the FDX recovery ladder) can record how much
+/// regularization a degraded input needed.
+pub fn precision_from_covariance_report(
+    s: &Matrix,
+    ridge: f64,
+) -> fdx_linalg::Result<RidgedInverse> {
     let mut attempt = s.clone();
     attempt.symmetrize_mut();
     match spd_inverse(&attempt) {
-        Ok(inv) => return Ok(inv),
+        Ok(theta) => {
+            return Ok(RidgedInverse {
+                theta,
+                escalations: 0,
+                ridge_used: 0.0,
+            })
+        }
         Err(LinalgError::NotPositiveDefinite { .. }) => {}
         Err(e) => return Err(e),
     }
     let mut eps = ridge.max(1e-12);
-    for _ in 0..12 {
+    for attempt_no in 1..=12u32 {
         let mut reg = s.clone();
         reg.symmetrize_mut();
         reg.add_diag_mut(eps);
         match spd_inverse(&reg) {
-            Ok(inv) => return Ok(inv),
+            Ok(theta) => {
+                fdx_obs::counter_add("fdx.glasso.ridge_escalations", attempt_no as u64);
+                return Ok(RidgedInverse {
+                    theta,
+                    escalations: attempt_no,
+                    ridge_used: eps,
+                });
+            }
             Err(LinalgError::NotPositiveDefinite { .. }) => eps *= 10.0,
             Err(e) => return Err(e),
         }
@@ -498,5 +560,62 @@ mod tests {
         let s = Matrix::zeros(2, 3);
         assert!(graphical_lasso(&s, &GlassoConfig::default()).is_err());
         assert!(neighborhood_selection(&s, 0.1).is_err());
+    }
+
+    #[test]
+    fn relaxed_retry_loosens_tolerance_and_ridge() {
+        let cfg = GlassoConfig {
+            lambda: 0.05,
+            ..Default::default()
+        };
+        let retry = cfg.relaxed_retry();
+        assert_eq!(retry.lambda, cfg.lambda);
+        assert_eq!(retry.max_iter, cfg.max_iter);
+        assert!(retry.tol > cfg.tol);
+        assert!(retry.ridge > cfg.ridge);
+    }
+
+    #[test]
+    fn ridge_escalations_are_reported() {
+        // Clean SPD input: no escalation.
+        let s = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let r = precision_from_covariance_report(&s, 1e-6).unwrap();
+        assert_eq!(r.escalations, 0);
+        assert_eq!(r.ridge_used, 0.0);
+        // Rank-1 input: at least one escalation, and the plain wrapper
+        // returns the identical matrix.
+        let singular = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let r = precision_from_covariance_report(&singular, 1e-6).unwrap();
+        assert!(r.escalations >= 1);
+        assert!(r.ridge_used > 0.0);
+        let plain = precision_from_covariance(&singular, 1e-6).unwrap();
+        assert_eq!(plain[(0, 1)], r.theta[(0, 1)]);
+        // The glasso fast path surfaces the count.
+        let g = graphical_lasso(&singular, &GlassoConfig::default()).unwrap();
+        assert_eq!(g.ridge_escalations, r.escalations);
+    }
+
+    #[test]
+    fn force_no_converge_fault_flips_the_flag() {
+        let s = Matrix::from_rows(&[&[1.0, 0.4], &[0.4, 1.0]]);
+        let clean = graphical_lasso(&s, &GlassoConfig::default()).unwrap();
+        assert!(clean.converged);
+        let faulted = {
+            let _f = fdx_obs::faults::arm("glasso.force_no_converge");
+            graphical_lasso(&s, &GlassoConfig::default()).unwrap()
+        };
+        assert!(
+            !faulted.converged,
+            "armed fault must report non-convergence"
+        );
+        // Θ itself is untouched: the fault only lies about convergence.
+        assert_eq!(faulted.theta[(0, 1)], clean.theta[(0, 1)]);
+        // λ > 0 path too.
+        let cfg = GlassoConfig {
+            lambda: 0.1,
+            ..Default::default()
+        };
+        let _f = fdx_obs::faults::arm("glasso.force_no_converge");
+        assert!(!graphical_lasso(&s, &cfg).unwrap().converged);
     }
 }

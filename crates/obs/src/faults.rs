@@ -1,0 +1,222 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! The FDX pipeline promises graceful degradation (a recovery ladder, phase
+//! guards, a wall-clock budget), but the failure paths it protects against —
+//! a non-converged glasso, a NaN-poisoned covariance, a non-PD factorization
+//! input — are hard to reach from well-formed data. This module provides
+//! **named injection points** that tests arm explicitly; production code
+//! queries them at the exact site where the real failure would surface.
+//!
+//! Design constraints (DESIGN.md §9):
+//!
+//! * **Zero dependencies, zero randomness, no env vars.** A fault fires iff
+//!   a test armed it on the current thread; runs are exactly reproducible.
+//! * **Thread-local arming.** The standard test harness runs each `#[test]`
+//!   on its own thread, so parallel tests cannot see each other's faults.
+//!   All FDX injection points sit on the pipeline's driving thread.
+//! * **Free when disarmed.** [`fire`] and [`skew_secs`] first consult one
+//!   process-wide relaxed atomic counting armed faults; while nothing is
+//!   armed anywhere they reduce to a single atomic load, like the metric
+//!   gates in this crate.
+//!
+//! Arming returns an RAII [`ArmedFault`] guard; dropping it disarms. Faults
+//! armed with [`arm_times`] are budgeted: each [`fire`] consumes one charge,
+//! so a test can fail the first attempt of a retry loop and let the retry
+//! succeed.
+//!
+//! Injection points are plain dotted names owned by the code that checks
+//! them; the pipeline's registry lives in `fdx_core::resilience` docs. The
+//! conventional points are `glasso.force_no_converge`, `covariance.inject_nan`,
+//! `udut.force_not_pd`, `inversion.force_fail`, and `clock.skew`.
+//!
+//! ```
+//! use fdx_obs::faults;
+//! assert!(!faults::fire("glasso.force_no_converge"));
+//! {
+//!     let _f = faults::arm("glasso.force_no_converge");
+//!     assert!(faults::fire("glasso.force_no_converge"));
+//! }
+//! assert!(!faults::fire("glasso.force_no_converge"));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of armed faults (across all threads). The disarmed
+/// fast path of [`fire`]/[`value`] is one relaxed load of this counter.
+static ARMED_ANYWHERE: AtomicUsize = AtomicUsize::new(0);
+
+struct FaultState {
+    /// Remaining charges; `u64::MAX` means unlimited.
+    remaining: u64,
+    /// Optional payload (e.g. fake seconds for `clock.skew`).
+    value: f64,
+}
+
+thread_local! {
+    static FAULTS: RefCell<HashMap<&'static str, FaultState>> =
+        RefCell::new(HashMap::new());
+}
+
+/// RAII handle to an armed fault; dropping it disarms the injection point.
+///
+/// Re-arming a name that is already armed on this thread replaces its state;
+/// whichever guard drops last removes the entry.
+#[derive(Debug)]
+pub struct ArmedFault {
+    name: &'static str,
+}
+
+fn arm_state(name: &'static str, state: FaultState) -> ArmedFault {
+    FAULTS.with(|f| f.borrow_mut().insert(name, state));
+    ARMED_ANYWHERE.fetch_add(1, Ordering::Relaxed);
+    ArmedFault { name }
+}
+
+/// Arms `name` on the current thread with unlimited charges.
+pub fn arm(name: &'static str) -> ArmedFault {
+    arm_times(name, u64::MAX)
+}
+
+/// Arms `name` with a fixed number of charges: the first `times` calls to
+/// [`fire`] return `true`, later ones `false`. `arm_times(p, 1)` fails
+/// exactly one attempt of a retry loop.
+pub fn arm_times(name: &'static str, times: u64) -> ArmedFault {
+    arm_state(
+        name,
+        FaultState {
+            remaining: times,
+            value: 0.0,
+        },
+    )
+}
+
+/// Arms `name` with an `f64` payload (readable via [`value`]) and unlimited
+/// charges. Used by `clock.skew` to advance the budget clock without
+/// sleeping.
+pub fn arm_value(name: &'static str, value: f64) -> ArmedFault {
+    arm_state(
+        name,
+        FaultState {
+            remaining: u64::MAX,
+            value,
+        },
+    )
+}
+
+impl Drop for ArmedFault {
+    fn drop(&mut self) {
+        FAULTS.with(|f| f.borrow_mut().remove(self.name));
+        ARMED_ANYWHERE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Queries (and consumes one charge of) the injection point `name`.
+///
+/// Returns `true` iff the fault is armed on this thread with charges left.
+/// While no fault is armed anywhere this is a single relaxed atomic load.
+#[inline]
+pub fn fire(name: &str) -> bool {
+    if ARMED_ANYWHERE.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    FAULTS.with(|f| {
+        let mut map = f.borrow_mut();
+        match map.get_mut(name) {
+            Some(state) if state.remaining > 0 => {
+                if state.remaining != u64::MAX {
+                    state.remaining -= 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Reads the payload of an armed fault without consuming charges; `None`
+/// when `name` is not armed on this thread (or is out of charges).
+#[inline]
+pub fn value(name: &str) -> Option<f64> {
+    if ARMED_ANYWHERE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    FAULTS.with(|f| {
+        f.borrow()
+            .get(name)
+            .filter(|s| s.remaining > 0)
+            .map(|s| s.value)
+    })
+}
+
+/// The `clock.skew` payload, or `0.0` when disarmed — added to every budget
+/// clock reading so tests can exhaust a wall-clock budget deterministically.
+#[inline]
+pub fn skew_secs() -> f64 {
+    value("clock.skew").unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_faults_never_fire() {
+        assert!(!fire("nope"));
+        assert_eq!(value("nope"), None);
+        assert_eq!(skew_secs(), 0.0);
+    }
+
+    #[test]
+    fn arm_and_drop() {
+        {
+            let _f = arm("t.basic");
+            assert!(fire("t.basic"));
+            assert!(fire("t.basic"), "unlimited charges");
+        }
+        assert!(!fire("t.basic"), "drop disarms");
+    }
+
+    #[test]
+    fn charges_are_consumed() {
+        let _f = arm_times("t.twice", 2);
+        assert!(fire("t.twice"));
+        assert!(fire("t.twice"));
+        assert!(!fire("t.twice"), "charges exhausted");
+        assert_eq!(value("t.twice"), None, "exhausted fault reads as disarmed");
+    }
+
+    #[test]
+    fn payload_is_not_consumed() {
+        let _f = arm_value("t.payload", 12.5);
+        assert_eq!(value("t.payload"), Some(12.5));
+        assert_eq!(value("t.payload"), Some(12.5));
+        assert!(fire("t.payload"), "value faults also fire");
+    }
+
+    #[test]
+    fn clock_skew_helper() {
+        assert_eq!(skew_secs(), 0.0);
+        let _f = arm_value("clock.skew", 3600.0);
+        assert_eq!(skew_secs(), 3600.0);
+    }
+
+    #[test]
+    fn rearming_replaces_state() {
+        let _a = arm_times("t.rearm", 1);
+        let _b = arm_times("t.rearm", 3);
+        assert!(fire("t.rearm"));
+        assert!(fire("t.rearm"));
+        assert!(fire("t.rearm"));
+        assert!(!fire("t.rearm"));
+    }
+
+    #[test]
+    fn faults_are_thread_local() {
+        let _f = arm("t.local");
+        let seen = std::thread::spawn(|| fire("t.local")).join().unwrap();
+        assert!(!seen, "other threads must not observe this thread's faults");
+        assert!(fire("t.local"));
+    }
+}

@@ -13,7 +13,10 @@
 //! * **exporters**: a human-readable text summary ([`render_text`]), a
 //!   phase-tree renderer ([`render_phase_tree`]), and deterministic
 //!   JSON-lines ([`export_jsonl`]) consumed by `fdx discover --metrics` and
-//!   the `fdx-bench` binaries.
+//!   the `fdx-bench` binaries,
+//! * deterministic **fault injection** ([`faults`]): named injection points
+//!   armed thread-locally by resilience tests, a single relaxed atomic load
+//!   when disarmed.
 //!
 //! ## Cost model
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod export;
+pub mod faults;
 pub mod json;
 mod registry;
 mod span;

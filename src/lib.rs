@@ -49,7 +49,7 @@
 pub use fdx_core::{
     pair_transform, pair_transform_matrix, refine, render_autoregression_heatmap, score_fd,
     FdScore, Fdx, FdxConfig, FdxError, FdxResult, FdxTimings, NullPolicy, PairSampling, PairStats,
-    TransformConfig,
+    RecoveryRung, RunHealth, TransformConfig,
 };
 
 pub use fdx_baselines;

@@ -1,0 +1,309 @@
+//! Resilience walk of the FDX pipeline: every rung of the recovery ladder,
+//! the phase guards, the wall-clock budget, and a hand-rolled fuzz smoke
+//! over degenerate inputs — all through the public `Fdx::discover` API,
+//! with failures injected deterministically via `fdx_obs::faults`.
+
+use fdx::{Fdx, FdxConfig, FdxError, RecoveryRung};
+use fdx_data::Dataset;
+use fdx_obs::faults;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// zip → city → state chain with solid support (the discover unit tests'
+/// fixture, reused so ladder output is comparable to the clean path).
+fn chain_dataset() -> Dataset {
+    let mut rows: Vec<[String; 3]> = Vec::new();
+    for s in 0..4 {
+        for c in 0..2 {
+            for z in 0..3 {
+                for _ in 0..4 {
+                    rows.push([
+                        format!("z{s}{c}{z}"),
+                        format!("city{s}{c}"),
+                        format!("state{s}"),
+                    ]);
+                }
+            }
+        }
+    }
+    string_dataset(&["zip", "city", "state"], &rows_as_refs(&rows))
+}
+
+fn rows_as_refs(rows: &[[String; 3]]) -> Vec<Vec<&str>> {
+    rows.iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect()
+}
+
+fn string_dataset(names: &[&str], rows: &[Vec<&str>]) -> Dataset {
+    let slices: Vec<&[&str]> = rows.iter().map(|v| &v[..]).collect();
+    Dataset::from_string_rows(names, &slices)
+}
+
+// ---------------------------------------------------------------------------
+// The ladder, rung by rung.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rung1_clean_run_is_pristine_and_deterministic() {
+    let ds = chain_dataset();
+    let a = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(a.health.rung, RecoveryRung::Glasso);
+    assert!(!a.health.degraded(), "{:?}", a.health);
+    assert!(
+        a.summary_json().contains(r#""rung":1"#),
+        "{}",
+        a.summary_json()
+    );
+    assert!(a.health.render().contains("1/4 (glasso)"));
+    // Disarmed injection points must not perturb anything: a second run is
+    // bit-identical in its discovered FDs and autoregression matrix.
+    let b = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(a.fds.edge_set(), b.fds.edge_set());
+    assert_eq!(a.autoregression, b.autoregression);
+    assert_eq!(a.health, b.health);
+}
+
+#[test]
+fn rung2_relaxed_retry_after_single_non_convergence() {
+    let ds = chain_dataset();
+    let _f = faults::arm_times("glasso.force_no_converge", 1);
+    let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(r.health.rung, RecoveryRung::RidgedRetry);
+    assert!(r.health.degraded());
+    assert!(
+        r.summary_json().contains(r#""rung":2"#),
+        "{}",
+        r.summary_json()
+    );
+    assert!(r.health.render().contains("2/4 (ridged_retry)"));
+    // Degraded, but still a working discovery: the chain's structure is an
+    // FD output, not garbage.
+    assert!(!r.fds.is_empty(), "{}", r.fds.render(ds.schema()));
+}
+
+#[test]
+fn rung3_direct_inversion_when_glasso_keeps_failing() {
+    let ds = chain_dataset();
+    let _f = faults::arm("glasso.force_no_converge");
+    let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(r.health.rung, RecoveryRung::DirectInversion);
+    assert!(!r.health.glasso_converged);
+    assert!(
+        r.summary_json().contains(r#""rung":3"#),
+        "{}",
+        r.summary_json()
+    );
+    assert!(r.health.render().contains("3/4 (direct_inversion)"));
+    assert!(!r.fds.is_empty(), "{}", r.fds.render(ds.schema()));
+}
+
+#[test]
+fn rung4_neighborhood_selection_as_last_resort() {
+    let ds = chain_dataset();
+    let _f1 = faults::arm("glasso.force_no_converge");
+    let _f2 = faults::arm("inversion.force_fail");
+    let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(r.health.rung, RecoveryRung::NeighborhoodSelection);
+    assert!(
+        r.summary_json().contains(r#""rung":4"#),
+        "{}",
+        r.summary_json()
+    );
+    assert!(
+        r.health.render().contains("4/4 (neighborhood_selection)"),
+        "{}",
+        r.health.render()
+    );
+    // Rung 4 promises support only; the surrogate Θ must still be finite
+    // and factorizable end to end.
+    for i in 0..3 {
+        for j in 0..3 {
+            assert!(r.autoregression[(i, j)].is_finite());
+        }
+    }
+}
+
+#[test]
+fn rung_gauge_lands_in_exported_metrics() {
+    let ds = chain_dataset();
+    fdx_obs::set_enabled(true);
+    let jsonl = {
+        let _f = faults::arm("glasso.force_no_converge");
+        Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+        fdx_obs::export_jsonl(&fdx_obs::Registry::global().snapshot())
+    };
+    fdx_obs::set_enabled(false);
+    fdx_obs::Registry::global().reset();
+    let _ = fdx_obs::take_trace();
+    assert!(jsonl.contains("fdx.resilience.rung"), "{jsonl}");
+    assert!(jsonl.contains("fdx.glasso.not_converged"), "{jsonl}");
+    assert!(jsonl.contains("fdx.resilience.degraded_runs"), "{jsonl}");
+}
+
+// ---------------------------------------------------------------------------
+// Guards and budget.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn covariance_nan_guard_is_a_typed_error_not_a_panic() {
+    let ds = chain_dataset();
+    let _f = faults::arm("covariance.inject_nan");
+    let err = Fdx::new(FdxConfig::default()).discover(&ds).unwrap_err();
+    assert_eq!(
+        err,
+        FdxError::NonFinite {
+            stage: "covariance"
+        }
+    );
+    assert!(err.to_string().contains("covariance"), "{err}");
+}
+
+#[test]
+fn udut_fault_descends_to_ridge_retry_not_failure() {
+    let ds = chain_dataset();
+    let _f = faults::arm_times("udut.force_not_pd", 1);
+    let r = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+    assert_eq!(r.health.udut_ridge_retries, 1);
+    assert!(r.health.degraded());
+    assert!(r.summary_json().contains(r#""udut_ridge_retries":1"#));
+}
+
+#[test]
+fn time_budget_exhaustion_is_typed_and_phase_labelled() {
+    let ds = chain_dataset();
+    let _f = faults::arm_value("clock.skew", 3600.0);
+    let err = Fdx::new(FdxConfig::default().with_time_budget(5.0))
+        .discover(&ds)
+        .unwrap_err();
+    match err {
+        FdxError::BudgetExceeded {
+            phase,
+            elapsed_secs,
+            budget_secs,
+        } => {
+            assert_eq!(phase, "covariance", "first post-transform check");
+            assert!(elapsed_secs >= 3600.0);
+            assert_eq!(budget_secs, 5.0);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // No budget, same skew: the run completes.
+    let _f2 = faults::arm_value("clock.skew", 3600.0);
+    Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs through the public API.
+// ---------------------------------------------------------------------------
+
+/// Every dataset must come out of `discover` as Ok or a typed error; this
+/// asserts the invariant and, on success, that the output is finite.
+fn assert_survives(ds: &Dataset, label: &str) {
+    match Fdx::new(FdxConfig::default()).discover(ds) {
+        Ok(r) => {
+            let k = ds.ncols();
+            for i in 0..k {
+                for j in 0..k {
+                    assert!(
+                        r.autoregression[(i, j)].is_finite(),
+                        "{label}: non-finite B[{i},{j}]"
+                    );
+                }
+            }
+            for fd in r.fds.iter() {
+                assert!(fd.rhs() < k, "{label}: FD names attribute out of range");
+            }
+        }
+        Err(
+            FdxError::InsufficientData { .. } | FdxError::Numerical(_) | FdxError::NonFinite { .. },
+        ) => {}
+        Err(other) => panic!("{label}: unexpected error class {other:?}"),
+    }
+}
+
+#[test]
+fn constant_column_survives() {
+    let rows: Vec<[String; 3]> = (0..30)
+        .map(|i| [format!("k{i}"), "same".to_string(), format!("v{}", i % 5)])
+        .collect();
+    let ds = string_dataset(&["key", "constant", "val"], &rows_as_refs(&rows));
+    assert_survives(&ds, "constant column");
+}
+
+#[test]
+fn all_null_column_survives() {
+    let rows: Vec<[String; 3]> = (0..30)
+        .map(|i| [format!("k{i}"), String::new(), format!("v{}", i % 5)])
+        .collect();
+    let ds = string_dataset(&["key", "nulls", "val"], &rows_as_refs(&rows));
+    assert_eq!(
+        ds.column(1).null_count(),
+        30,
+        "empty cells must parse as null"
+    );
+    assert_survives(&ds, "all-null column");
+}
+
+#[test]
+fn identical_rows_survive() {
+    let rows: Vec<[String; 3]> = (0..20)
+        .map(|_| ["a".to_string(), "b".to_string(), "c".to_string()])
+        .collect();
+    let ds = string_dataset(&["x", "y", "z"], &rows_as_refs(&rows));
+    assert_survives(&ds, "identical rows");
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz smoke: random tiny datasets, no proptest, fixed seed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fuzz_smoke_random_tiny_datasets() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFD_FA17);
+    // Cell alphabet mixing plain values with every null spelling the parser
+    // accepts, plus empties and oddballs.
+    const CELLS: [&str; 10] = ["a", "b", "c", "7", "3.5", "", "null", "NA", "?", "x y"];
+    for case in 0..200 {
+        let cols = rng.gen_range(0..=6usize);
+        let rows = rng.gen_range(0..=40usize);
+        let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        // Per-column domain size 1..=4 keeps agreement rates interesting.
+        let domains: Vec<usize> = (0..cols).map(|_| rng.gen_range(1..=4usize)).collect();
+        let data_rows: Vec<Vec<&str>> = (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|c| CELLS[rng.gen_range(0..domains[c].max(1) * 2) % CELLS.len()])
+                    .collect()
+            })
+            .collect();
+        let ds = string_dataset(&name_refs, &data_rows);
+        match Fdx::new(FdxConfig::default()).discover(&ds) {
+            Ok(r) => {
+                for i in 0..cols {
+                    for j in 0..cols {
+                        assert!(
+                            r.autoregression[(i, j)].is_finite(),
+                            "case {case}: non-finite autoregression"
+                        );
+                    }
+                }
+            }
+            Err(FdxError::InsufficientData {
+                rows: er,
+                attrs: ek,
+            }) => {
+                assert!(
+                    rows < 2 || cols < 2,
+                    "case {case}: spurious InsufficientData for {er}x{ek}"
+                );
+            }
+            Err(FdxError::Numerical(_) | FdxError::NonFinite { .. }) => {
+                // Typed numerical failures are acceptable outcomes; panics
+                // and unclassified errors are not.
+            }
+            Err(other) => panic!("case {case}: unexpected error {other:?}"),
+        }
+    }
+}
