@@ -1,0 +1,307 @@
+//! PR4 performance harness: times the three heavy pipeline phases —
+//! pair transform, covariance assembly, and the graphical lasso — over a
+//! `(rows, attributes, threads)` grid, and checks the `fdx-par`
+//! determinism contract while doing so (every thread count must produce
+//! bit-identical results).
+//!
+//! The glasso baseline is the unscreened single-threaded solver
+//! (`screen: false, threads: 1`), which executes exactly the pre-screening
+//! code path, so the reported speedups are against the old sequential
+//! implementation, not against a strawman.
+//!
+//! Knobs (environment variables, like every other bench binary):
+//!
+//! * `FDX_BENCH_PERF_ROWS`    — dataset rows (default 3000),
+//! * `FDX_BENCH_PERF_COLS`    — comma-separated attribute counts
+//!   (default `16,32,64`),
+//! * `FDX_BENCH_PERF_THREADS` — comma-separated thread counts
+//!   (default `1,2,4`),
+//! * `FDX_BENCH_PERF_REPS`    — repetitions per cell, best-of (default 3),
+//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR4.json`).
+
+use fdx_bench::env_usize;
+use fdx_core::{pair_transform, TransformConfig};
+use fdx_data::{Column, Dataset, Schema, Value};
+use fdx_glasso::{graphical_lasso, GlassoConfig, GlassoResult};
+use fdx_linalg::Matrix;
+use fdx_obs::json;
+
+/// Deterministic local generator (SplitMix64) so the synthetic inputs are
+/// identical on every platform without touching the global RNG stack.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => {
+            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// A synthetic categorical dataset: clusters of correlated columns (a
+/// "determinant" column plus noisy copies) so the transform sees realistic
+/// agreement structure rather than pure noise.
+fn synth_dataset(rng: &mut SplitMix64, n: usize, k: usize) -> Dataset {
+    let card = 32usize;
+    let dict: Vec<Value> = (0..card as i64).map(Value::Int).collect();
+    let mut columns = Vec::with_capacity(k);
+    let mut names = Vec::with_capacity(k);
+    let mut anchor: Vec<u32> = Vec::new();
+    for a in 0..k {
+        let codes: Vec<u32> = if a % 4 == 0 {
+            anchor = (0..n).map(|_| rng.below(card) as u32).collect();
+            anchor.clone()
+        } else {
+            // Noisy functional copy of the cluster anchor: ~10% flips.
+            anchor
+                .iter()
+                .map(|&c| {
+                    if rng.unit() < 0.1 {
+                        rng.below(card) as u32
+                    } else {
+                        (c * 7 + a as u32) % card as u32
+                    }
+                })
+                .collect()
+        };
+        columns.push(Column::from_codes(codes, dict.clone()));
+        names.push(format!("a{a}"));
+    }
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Dataset::new(Schema::from_names(&name_refs), columns)
+}
+
+/// A block-diagonal SPD matrix (unit diagonal, diagonally dominant) whose
+/// `|S_ij| > λ` graph splits into `k / block` components — the screening
+/// fast path the tentpole targets.
+fn block_spd(rng: &mut SplitMix64, k: usize, block: usize) -> Matrix {
+    let mut s = Matrix::zeros(k, k);
+    let mut start = 0;
+    while start < k {
+        let p = block.min(k - start);
+        let cap = if p > 1 { 0.9 / (p - 1) as f64 } else { 0.0 };
+        for i in 0..p {
+            s[(start + i, start + i)] = 1.0;
+            for j in (i + 1)..p {
+                let mag = (0.15 + 0.3 * rng.unit()).min(cap);
+                let sign = if rng.next_u64() % 2 == 0 { 1.0 } else { -1.0 };
+                s[(start + i, start + j)] = sign * mag;
+                s[(start + j, start + i)] = sign * mag;
+            }
+        }
+        start += p;
+    }
+    s
+}
+
+fn time_best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let span = fdx_obs::Span::enter("bench.perf.cell");
+        let value = run();
+        best = best.min(span.elapsed_secs());
+        out = Some(value);
+    }
+    let value = match out {
+        Some(v) => v,
+        None => unreachable!(), // fdx-allow: L001 reps.max(1) >= 1
+    };
+    (best, value)
+}
+
+fn assert_matrix_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "{what}: shape mismatch");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: entry ({i},{j}) differs: {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+fn solve(s: &Matrix, cfg: &GlassoConfig) -> GlassoResult {
+    match graphical_lasso(s, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf: glasso failed on the synthetic SPD input: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+struct GlassoCell {
+    threads: usize,
+    secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let rows = env_usize("FDX_BENCH_PERF_ROWS", 3_000);
+    let cols = env_list("FDX_BENCH_PERF_COLS", &[16, 32, 64]);
+    let threads = env_list("FDX_BENCH_PERF_THREADS", &[1, 2, 4]);
+    let reps = env_usize("FDX_BENCH_PERF_REPS", 3);
+    let out_path =
+        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let lambda = 0.05;
+    let block = 8usize;
+
+    println!("perf: rows={rows} cols={cols:?} threads={threads:?} reps={reps} (best-of)");
+    println!();
+
+    let mut settings = Vec::new();
+    for &k in &cols {
+        let mut rng = SplitMix64(0xFD_0004 ^ (k as u64) << 32);
+        let ds = synth_dataset(&mut rng, rows, k);
+
+        // --- transform ---------------------------------------------------
+        let mut transform_cells = Vec::new();
+        let mut reference: Option<Matrix> = None;
+        for &t in &threads {
+            let cfg = TransformConfig {
+                threads: Some(t),
+                ..TransformConfig::default()
+            };
+            let (secs, stats) = time_best_of(reps, || pair_transform(&ds, &cfg));
+            let cov = stats.covariance();
+            match &reference {
+                Some(r) => assert_matrix_bits_equal(r, &cov, "transform covariance"),
+                None => reference = Some(cov),
+            }
+            transform_cells.push((t, secs));
+        }
+        let stats = pair_transform(&ds, &TransformConfig::default());
+        let (cov_secs, _cov) = time_best_of(reps, || stats.covariance());
+
+        // --- glasso ------------------------------------------------------
+        let s = block_spd(&mut rng, k, block);
+        let seq_cfg = GlassoConfig {
+            lambda,
+            screen: false,
+            threads: Some(1),
+            ..GlassoConfig::default()
+        };
+        let (seq_secs, seq) = time_best_of(reps, || solve(&s, &seq_cfg));
+        let mut glasso_cells: Vec<GlassoCell> = Vec::new();
+        let mut screened_ref: Option<GlassoResult> = None;
+        for &t in &threads {
+            let cfg = GlassoConfig {
+                lambda,
+                threads: Some(t),
+                ..GlassoConfig::default()
+            };
+            let (secs, r) = time_best_of(reps, || solve(&s, &cfg));
+            match &screened_ref {
+                Some(first) => {
+                    assert_matrix_bits_equal(&first.theta, &r.theta, "glasso theta");
+                    assert_eq!(first.iterations, r.iterations, "glasso sweep count");
+                }
+                None => screened_ref = Some(r),
+            }
+            glasso_cells.push(GlassoCell {
+                threads: t,
+                secs,
+                speedup: seq_secs / secs.max(1e-12),
+            });
+        }
+        let screened = match screened_ref {
+            Some(r) => r,
+            None => unreachable!(), // fdx-allow: L001 thread grid is non-empty
+        };
+
+        println!(
+            "k={k}: {} component(s), largest {}",
+            screened.components, screened.largest_component
+        );
+        for (t, secs) in &transform_cells {
+            println!("  transform   threads={t}: {:.4}s", secs);
+        }
+        println!("  covariance  {:.4}s", cov_secs);
+        println!(
+            "  glasso      sequential unscreened: {:.4}s ({} sweeps, converged={})",
+            seq_secs, seq.iterations, seq.converged
+        );
+        for c in &glasso_cells {
+            println!(
+                "  glasso      threads={}: {:.4}s  ({:.2}x vs sequential)",
+                c.threads, c.secs, c.speedup
+            );
+        }
+        println!();
+
+        let transform_json = json::array(transform_cells.iter().map(|&(t, secs)| {
+            json::Obj::new()
+                .u64_("threads", t as u64)
+                .f64_("secs", secs)
+                .finish()
+        }));
+        let glasso_json = json::array(glasso_cells.iter().map(|c| {
+            json::Obj::new()
+                .u64_("threads", c.threads as u64)
+                .f64_("secs", c.secs)
+                .f64_("speedup", c.speedup)
+                .finish()
+        }));
+        settings.push(
+            json::Obj::new()
+                .u64_("k", k as u64)
+                .u64_("rows", rows as u64)
+                .raw("transform", &transform_json)
+                .f64_("covariance_secs", cov_secs)
+                .f64_("glasso_sequential_secs", seq_secs)
+                .u64_("glasso_components", screened.components as u64)
+                .u64_(
+                    "glasso_largest_component",
+                    screened.largest_component as u64,
+                )
+                .raw("glasso", &glasso_json)
+                .finish(),
+        );
+    }
+
+    let report = json::Obj::new()
+        .str_("bench", "perf_pr4")
+        .u64_("rows", rows as u64)
+        .u64_("reps", reps as u64)
+        .f64_("lambda", lambda)
+        .u64_("block", block as u64)
+        .raw("settings", &json::array(settings))
+        .finish();
+    match std::fs::write(&out_path, format!("{report}\n")) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("perf: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,7 @@ Discover options:
   --noise <f>         expected cell-noise rate (tunes lift & thresholds)
   --ordering <name>   heuristic|natural|amd|colamd|metis|nesdis
   --seed <n>          transform shuffle seed
+  --threads <n>       worker threads (default: FDX_THREADS or all cores)
   --no-validate       emit raw Algorithm 3 output (no validation pass)
   --heatmap           also print the autoregression heatmap
   --trace             print the per-phase wall-clock tree to stderr
@@ -86,6 +87,7 @@ pub struct DiscoverOptions {
     pub noise: Option<f64>,
     pub ordering: Option<OrderingMethod>,
     pub seed: Option<u64>,
+    pub threads: Option<usize>,
     pub validate: bool,
     pub heatmap: bool,
     pub trace: bool,
@@ -103,6 +105,7 @@ impl Default for DiscoverOptions {
             noise: None,
             ordering: None,
             seed: None,
+            threads: None,
             validate: true,
             heatmap: false,
             trace: false,
@@ -142,6 +145,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .parse()
                                 .map_err(|_| "--seed: expected an integer".to_string())?,
                         )
+                    }
+                    "--threads" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--threads: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--threads: expected a positive integer".into());
+                        }
+                        options.threads = Some(n);
                     }
                     "--ordering" => options.ordering = Some(parse_ordering(value(flag)?)?),
                     "--no-validate" => options.validate = false,
@@ -316,6 +328,13 @@ mod tests {
         }
         assert!(parse(&argv("discover d.csv --time-budget")).is_err());
         assert!(parse(&argv("discover d.csv --time-budget nope")).is_err());
+        let cmd = parse(&argv("discover d.csv --threads 4")).unwrap();
+        match cmd {
+            Command::Discover { options, .. } => assert_eq!(options.threads, Some(4)),
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("discover d.csv --threads 0")).is_err());
+        assert!(parse(&argv("discover d.csv --threads nope")).is_err());
         let defaults = parse(&argv("discover d.csv")).unwrap();
         match defaults {
             Command::Discover { options, .. } => {

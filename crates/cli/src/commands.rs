@@ -95,6 +95,9 @@ fn build_config(options: &DiscoverOptions) -> FdxConfig {
     if let Some(seed) = options.seed {
         cfg.transform.seed = seed;
     }
+    if let Some(threads) = options.threads {
+        cfg = cfg.with_threads(threads);
+    }
     if let Some(budget) = options.time_budget {
         cfg.time_budget = Some(budget);
     }
@@ -265,6 +268,13 @@ mod tests {
         assert_eq!(cfg.threshold, 0.3);
         assert!(!cfg.validate);
         assert!(cfg.min_lift < 0.85);
+        assert_eq!(cfg.threads, None);
+        let threaded = build_config(&DiscoverOptions {
+            threads: Some(3),
+            ..Default::default()
+        });
+        assert_eq!(threaded.threads, Some(3));
+        assert_eq!(threaded.transform.threads, Some(3));
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct TransformConfig {
     pub max_pairs_per_attr: Option<usize>,
     /// Fan out the per-attribute transform across threads.
     pub parallel: bool,
+    /// Worker-thread count for the parallel transform. `None` resolves
+    /// through `FDX_THREADS` → hardware parallelism
+    /// (`fdx_par::resolve_threads`). Results are bit-identical at every
+    /// thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for TransformConfig {
@@ -54,6 +59,7 @@ impl Default for TransformConfig {
             seed: 0x5D_F0_0D,
             max_pairs_per_attr: None,
             parallel: true,
+            threads: None,
         }
     }
 }
@@ -105,6 +111,11 @@ pub struct FdxConfig {
     /// running arbitrarily long on pathological inputs. `None` (the default)
     /// disables the check.
     pub time_budget: Option<f64>,
+    /// Worker-thread count for the parallel phases (pair transform,
+    /// screened glasso components, neighborhood selection). `None` resolves
+    /// through `FDX_THREADS` → hardware parallelism. Determinism contract:
+    /// every thread count produces bit-identical results (`fdx-par`).
+    pub threads: Option<usize>,
 }
 
 impl Default for FdxConfig {
@@ -122,6 +133,7 @@ impl Default for FdxConfig {
             validate: true,
             min_lift: 0.35,
             time_budget: None,
+            threads: None,
         }
     }
 }
@@ -159,6 +171,15 @@ impl FdxConfig {
     /// Convenience: set the per-run wall-clock budget in seconds.
     pub fn with_time_budget(mut self, secs: f64) -> FdxConfig {
         self.time_budget = Some(secs);
+        self
+    }
+
+    /// Convenience: pin the worker-thread count for every parallel phase
+    /// (`0` is treated as "use the default"). Any value yields bit-identical
+    /// results; `1` runs fully inline for debugging or measurement.
+    pub fn with_threads(mut self, threads: usize) -> FdxConfig {
+        self.threads = if threads > 0 { Some(threads) } else { None };
+        self.transform.threads = self.threads;
         self
     }
 
@@ -211,5 +232,15 @@ mod tests {
             None,
             "budget is opt-in: a default run must never be killed by a clock"
         );
+    }
+
+    #[test]
+    fn with_threads_propagates_to_transform() {
+        let cfg = FdxConfig::default().with_threads(3);
+        assert_eq!(cfg.threads, Some(3));
+        assert_eq!(cfg.transform.threads, Some(3));
+        let cfg = FdxConfig::default().with_threads(0);
+        assert_eq!(cfg.threads, None, "0 falls back to the default");
+        assert_eq!(FdxConfig::default().threads, None);
     }
 }

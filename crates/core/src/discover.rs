@@ -108,10 +108,15 @@ impl Fdx {
         let mut timings = FdxTimings::default();
         let mut health = RunHealth::default();
 
-        // Step 1: pair transform (Algorithm 2).
+        // Step 1: pair transform (Algorithm 2). The pipeline-level thread
+        // request flows down unless the transform pinned its own.
         let stats = {
             let span = fdx_obs::Span::enter("fdx.transform");
-            let stats = pair_transform(ds, &cfg.transform);
+            let mut tcfg = cfg.transform.clone();
+            if tcfg.threads.is_none() {
+                tcfg.threads = cfg.threads;
+            }
+            let stats = pair_transform(ds, &tcfg);
             timings.transform_secs = span.elapsed_secs();
             stats
         };

@@ -40,7 +40,8 @@
 use std::fmt;
 
 use fdx_glasso::{
-    graphical_lasso, neighborhood_selection, precision_from_covariance_report, GlassoConfig,
+    graphical_lasso, neighborhood_selection_threads, precision_from_covariance_report,
+    GlassoConfig, WarmStart,
 };
 use fdx_linalg::Matrix;
 use fdx_obs::faults;
@@ -110,6 +111,12 @@ pub struct RunHealth {
     pub ridge_escalations: u32,
     /// Ridge retries of the `U D Uᵀ` factorization.
     pub udut_ridge_retries: u32,
+    /// Connected components found by glasso screening (0 when structure
+    /// learning never reached a screened solve).
+    pub glasso_components: usize,
+    /// Largest screened component — the serial bottleneck of the parallel
+    /// structure-learning solve.
+    pub glasso_largest_component: usize,
     /// Finite-ness guard trips that were *recovered from* (stage names).
     /// Unrecoverable trips surface as [`FdxError::NonFinite`] instead.
     pub guard_trips: Vec<String>,
@@ -124,6 +131,8 @@ impl Default for RunHealth {
             glasso_converged: true,
             ridge_escalations: 0,
             udut_ridge_retries: 0,
+            glasso_components: 0,
+            glasso_largest_component: 0,
             guard_trips: Vec::new(),
             recoveries: Vec::new(),
         }
@@ -162,6 +171,13 @@ impl RunHealth {
     /// pipeline; a no-op while recording is disabled.
     pub(crate) fn record_metrics(&self) {
         fdx_obs::gauge_set("fdx.resilience.rung", self.rung.index() as f64);
+        if self.glasso_components > 0 {
+            fdx_obs::gauge_set("fdx.glasso.components", self.glasso_components as f64);
+            fdx_obs::gauge_set(
+                "fdx.glasso.largest_component",
+                self.glasso_largest_component as f64,
+            );
+        }
         if self.degraded() {
             fdx_obs::counter_add("fdx.resilience.degraded_runs", 1);
         }
@@ -176,6 +192,11 @@ impl RunHealth {
             .bool_("glasso_converged", self.glasso_converged)
             .u64_("ridge_escalations", self.ridge_escalations as u64)
             .u64_("udut_ridge_retries", self.udut_ridge_retries as u64)
+            .u64_("glasso_components", self.glasso_components as u64)
+            .u64_(
+                "glasso_largest_component",
+                self.glasso_largest_component as u64,
+            )
             .raw(
                 "guard_trips",
                 &fdx_obs::json::array(
@@ -293,14 +314,20 @@ pub(crate) fn estimate_precision(
 ) -> Result<Matrix, FdxError> {
     let glasso_cfg = GlassoConfig {
         lambda: cfg.sparsity,
+        threads: cfg.threads,
         ..GlassoConfig::default()
     };
 
-    // Rung 1: the configured solve.
+    // Rung 1: the configured solve. A failed-but-finite iterate is kept to
+    // warm-start rung 2 — the retry resumes where the solve plateaued
+    // instead of repeating the whole descent from cold.
+    let mut warm_start: Option<WarmStart> = None;
     match graphical_lasso(s, &glasso_cfg) {
         Ok(r) => {
             health.glasso_converged = r.converged;
             health.ridge_escalations += r.ridge_escalations;
+            health.glasso_components = r.components;
+            health.glasso_largest_component = r.largest_component;
             if r.converged && matrix_is_finite(&r.theta) {
                 health.rung = RecoveryRung::Glasso;
                 return Ok(r.theta);
@@ -311,6 +338,12 @@ pub(crate) fn estimate_precision(
                     "glasso did not converge in {} sweeps; retrying with relaxed tolerance",
                     r.iterations
                 ));
+                if matrix_is_finite(&r.theta) && matrix_is_finite(&r.w) {
+                    warm_start = Some(WarmStart {
+                        theta: r.theta,
+                        w: r.w,
+                    });
+                }
             } else {
                 health.trip_guard("glasso.theta");
             }
@@ -322,12 +355,19 @@ pub(crate) fn estimate_precision(
         }
     }
 
-    // Rung 2: escalated ridge + relaxed tolerance.
-    match graphical_lasso(s, &glasso_cfg.relaxed_retry()) {
+    // Rung 2: escalated ridge + relaxed tolerance, warm-started from rung
+    // 1's final iterate when one survived.
+    let retry_cfg = GlassoConfig {
+        warm_start,
+        ..glasso_cfg.relaxed_retry()
+    };
+    match graphical_lasso(s, &retry_cfg) {
         Ok(r) if r.converged && matrix_is_finite(&r.theta) => {
             health.rung = RecoveryRung::RidgedRetry;
             health.glasso_converged = true;
             health.ridge_escalations += r.ridge_escalations.max(1);
+            health.glasso_components = r.components;
+            health.glasso_largest_component = r.largest_component;
             health.note("relaxed-tolerance glasso retry converged".to_string());
             return Ok(r.theta);
         }
@@ -379,7 +419,7 @@ pub(crate) fn estimate_precision(
     } else {
         0.01
     };
-    match neighborhood_selection(s, lambda) {
+    match neighborhood_selection_threads(s, lambda, cfg.threads) {
         Ok(adj) => {
             health.rung = RecoveryRung::NeighborhoodSelection;
             health.glasso_converged = false;

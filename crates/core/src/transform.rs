@@ -179,34 +179,23 @@ pub fn pair_transform(ds: &Dataset, cfg: &TransformConfig) -> PairStats {
     shuffled.shuffle(&mut rng);
 
     let attrs: Vec<usize> = (0..k).collect();
-    if cfg.parallel && k > 1 {
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(k);
-        let chunk = k.div_ceil(threads);
-        let mut total = PairStats::zeros(k);
-        let partials = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for ids in attrs.chunks(chunk) {
-                let shuffled = &shuffled;
-                let seed = cfg.seed;
-                handles.push(scope.spawn(move |_| {
-                    let mut local = PairStats::zeros(k);
-                    for &attr in ids {
-                        accumulate_attribute(ds, cfg, shuffled, attr, seed, &mut local);
-                    }
-                    local
-                }));
+    let threads = fdx_par::resolve_threads(cfg.threads);
+    if cfg.parallel && k > 1 && threads > 1 {
+        // Chunk boundaries depend only on `k` (never on the thread count),
+        // and fdx-par returns the partials in attribute order, so the
+        // ordered merge below is the identical reduction at every thread
+        // count (integer counters make it commutative anyway — the ordering
+        // is what keeps the contract checkable). At most 32 partial
+        // `PairStats` are materialized, bounding memory at large `k`.
+        let chunk = k.div_ceil(32);
+        let partials = fdx_par::par_map_chunks(&attrs, chunk, threads, |_, ids| {
+            let mut local = PairStats::zeros(k);
+            for &attr in ids {
+                accumulate_attribute(ds, cfg, &shuffled, attr, cfg.seed, &mut local);
             }
-            handles
-                .into_iter()
-                // fdx-allow: L001 re-raises a worker panic on the caller thread
-                .map(|h| h.join().expect("transform worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        // fdx-allow: L001 re-raises a scoped-thread panic on the caller thread
-        .expect("transform scope panicked");
+            local
+        });
+        let mut total = PairStats::zeros(k);
         for p in &partials {
             total.merge(p);
         }

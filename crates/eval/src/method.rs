@@ -128,6 +128,17 @@ impl Method {
     }
 }
 
+/// Runs every method in the slice over `ds`, fanning the lineup across
+/// worker threads via [`fdx_par`]. Outcomes come back in lineup order
+/// regardless of thread count; each method times itself as in [`Method::run`].
+///
+/// `threads: None` defers to `FDX_THREADS` / available parallelism, exactly
+/// like the discovery pipeline.
+pub fn run_all(methods: &[Method], ds: &Dataset, threads: Option<usize>) -> Vec<MethodOutcome> {
+    let threads = fdx_par::resolve_threads(threads);
+    fdx_par::par_map_indexed(methods, threads, |_, m| m.run(ds))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +202,25 @@ mod tests {
         let out = Method::Fdx(Box::new(FdxConfig::default())).run(&tiny);
         assert!(out.skipped);
         assert!(out.fds.is_empty());
+    }
+
+    #[test]
+    fn run_all_matches_sequential_runs_in_order() {
+        let data = ds();
+        let methods = vec![
+            Method::Fdx(Box::new(FdxConfig::default())),
+            Method::Tane(TaneConfig::default()),
+            Method::Cords(CordsConfig::default()),
+        ];
+        let sequential: Vec<MethodOutcome> = methods.iter().map(|m| m.run(&data)).collect();
+        for threads in [1usize, 2, 4] {
+            let parallel = run_all(&methods, &data, Some(threads));
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.skipped, s.skipped);
+                assert_eq!(p.fds.edge_set(), s.fds.edge_set());
+            }
+        }
     }
 
     #[test]

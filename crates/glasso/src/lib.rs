@@ -19,12 +19,33 @@
 //! * [`neighborhood_selection`] — the Meinshausen–Bühlmann regression
 //!   alternative (paper §2.2 cites both optimization- and regression-based
 //!   estimators), used for cross-checking the recovered support.
+//!
+//! The λ > 0 solver applies **exact connected-component screening**
+//! ([`screen_components`], Witten et al. 2011 / Mazumder & Hastie 2012)
+//! before descending: components of the `|S_ij| > λ` graph are solved
+//! independently — and in parallel via `fdx-par`, with bit-identical
+//! results at any thread count — then reassembled block-diagonally.
 
 mod lasso;
+mod screen;
 
 pub use lasso::lasso_coordinate_descent;
+pub use screen::components as screen_components;
 
 use fdx_linalg::{spd_inverse, LinalgError, Matrix};
+
+/// A previous iterate to resume from: the recovered precision `Θ` and the
+/// working covariance `W` of an earlier (possibly unconverged) solve on the
+/// same `S`. See [`GlassoConfig::warm_start`].
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Previous precision estimate (regression coefficients are rebuilt
+    /// from its columns: `β_j = −θ_{·j} / θ_jj`).
+    pub theta: Matrix,
+    /// Previous working covariance (its off-diagonal is reused; the
+    /// diagonal is reset to `s_jj + λ`, which the glasso solution fixes).
+    pub w: Matrix,
+}
 
 /// Configuration for [`graphical_lasso`].
 #[derive(Debug, Clone)]
@@ -40,6 +61,21 @@ pub struct GlassoConfig {
     /// Initial ridge added to the diagonal when the input covariance is
     /// (numerically) singular; escalated ×10 on repeated failure.
     pub ridge: f64,
+    /// Connected-component screening (Witten/Mazumder–Hastie): partition
+    /// the `|S_ij| > λ` graph and solve each component independently (and
+    /// in parallel). Exact — the optimum is unchanged. On by default; the
+    /// flag exists so equivalence tests can pin the unscreened solver.
+    pub screen: bool,
+    /// Worker threads for per-component / per-column parallel solves.
+    /// `None` resolves through `FDX_THREADS` → hardware parallelism
+    /// (`fdx_par::resolve_threads`). Results are bit-identical for any
+    /// thread count.
+    pub threads: Option<usize>,
+    /// Optional previous iterate to warm-start from (the resilience
+    /// ladder's relaxed retry resumes from the failed run instead of from
+    /// cold). Ignored by the `λ = 0` direct path and by warm iterates
+    /// whose shape does not match `S`.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for GlassoConfig {
@@ -49,6 +85,9 @@ impl Default for GlassoConfig {
             max_iter: 100,
             tol: 1e-4,
             ridge: 1e-6,
+            screen: true,
+            threads: None,
+            warm_start: None,
         }
     }
 }
@@ -59,12 +98,13 @@ impl GlassoConfig {
     /// rung 2 of the FDX recovery ladder (`fdx_core::resilience`) — loose
     /// enough to converge on inputs where the configured solve plateaus,
     /// tight enough that the recovered support is still meaningful.
+    /// Screening/threading carry over; pair with [`GlassoConfig::warm_start`]
+    /// to resume from the failed iterate.
     pub fn relaxed_retry(&self) -> GlassoConfig {
         GlassoConfig {
-            lambda: self.lambda,
-            max_iter: self.max_iter,
             tol: self.tol * 10.0,
             ridge: (self.ridge * 100.0).max(1e-8),
+            ..self.clone()
         }
     }
 }
@@ -76,15 +116,23 @@ pub struct GlassoResult {
     pub theta: Matrix,
     /// The estimated covariance `W ≈ Θ⁻¹` maintained by the algorithm.
     pub w: Matrix,
-    /// Outer sweeps performed.
+    /// Outer sweeps performed (the maximum across components when
+    /// screening split the problem).
     pub iterations: usize,
-    /// Whether the `tol` criterion was met within `max_iter` sweeps.
+    /// Whether the `tol` criterion was met within `max_iter` sweeps (all
+    /// components, when screened).
     pub converged: bool,
     /// How many ×10 ridge escalations the λ = 0 direct-inversion path needed
     /// before Cholesky succeeded (0 for the λ > 0 solver, which regularizes
     /// through the penalty itself). Recovery bookkeeping: the FDX pipeline
     /// copies this into its `RunHealth` report.
     pub ridge_escalations: u32,
+    /// Connected components of the screened `|S_ij| > λ` graph (1 when
+    /// screening is off, trivial, or λ = 0).
+    pub components: usize,
+    /// Size of the largest screened component — the serial bottleneck of
+    /// the parallel solve.
+    pub largest_component: usize,
 }
 
 /// Estimates a sparse precision matrix from an empirical covariance `S`.
@@ -111,6 +159,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
         let inv = precision_from_covariance_report(s, cfg.ridge)?;
         let w = spd_inverse(&inv.theta)?;
         let converged = !fdx_obs::faults::fire("glasso.force_no_converge");
+        record_components(1, p);
         record_summary(s, &inv.theta, cfg.lambda, 0, converged);
         return Ok(GlassoResult {
             theta: inv.theta,
@@ -118,11 +167,14 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             iterations: 0,
             converged,
             ridge_escalations: inv.escalations,
+            components: 1,
+            largest_component: p,
         });
     }
     if p == 1 {
         let w00 = s[(0, 0)] + cfg.lambda;
         let theta = Matrix::from_diag(&[1.0 / w00]);
+        record_components(1, 1);
         record_summary(s, &theta, cfg.lambda, 0, true);
         return Ok(GlassoResult {
             theta,
@@ -130,14 +182,188 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             iterations: 0,
             converged: true,
             ridge_escalations: 0,
+            components: 1,
+            largest_component: 1,
         });
     }
 
-    // W = S with λ added on the diagonal (standard glasso initialization).
-    let mut w = s.clone();
-    w.add_diag_mut(cfg.lambda);
+    let comps = if cfg.screen {
+        screen::components(s, cfg.lambda)
+    } else {
+        vec![(0..p).collect()]
+    };
+    let n_components = comps.len();
+    let largest = comps.iter().map(Vec::len).max().unwrap_or(0);
+    record_components(n_components, largest);
+
+    if n_components == 1 {
+        // Single component: run on the caller thread with full per-sweep
+        // telemetry — byte-for-byte the pre-screening solver.
+        let solve = solve_block(s, cfg, cfg.warm_start.as_ref(), false);
+        let mut converged = solve.converged;
+        if fdx_obs::faults::fire("glasso.force_no_converge") {
+            converged = false;
+        }
+        let theta = recover_theta(&solve.w, &solve.betas);
+        record_summary(s, &theta, cfg.lambda, solve.iterations, converged);
+        return Ok(GlassoResult {
+            theta,
+            w: solve.w,
+            iterations: solve.iterations,
+            converged,
+            ridge_escalations: 0,
+            components: 1,
+            largest_component: p,
+        });
+    }
+
+    // Multiple components: each block is an independent glasso subproblem
+    // (screening theorem), solved in parallel. Worker solves are telemetry
+    // quiet — obs spans are thread-local, so per-sweep events from workers
+    // would fragment the trace nondeterministically.
+    let threads = fdx_par::resolve_threads(cfg.threads);
+    let solved = fdx_par::par_map_indexed(&comps, threads, |_, comp| solve_component(s, cfg, comp));
+
+    let mut theta = Matrix::zeros(p, p);
+    let mut w = Matrix::zeros(p, p);
+    let mut iterations = 0;
+    let mut converged = true;
+    for (comp, block) in comps.iter().zip(&solved) {
+        iterations = iterations.max(block.iterations);
+        converged &= block.converged;
+        for (a, &i) in comp.iter().enumerate() {
+            for (b, &j) in comp.iter().enumerate() {
+                theta[(i, j)] = block.theta[(a, b)];
+                w[(i, j)] = block.w[(a, b)];
+            }
+        }
+    }
+    if fdx_obs::faults::fire("glasso.force_no_converge") {
+        converged = false;
+    }
+    record_summary(s, &theta, cfg.lambda, iterations, converged);
+    Ok(GlassoResult {
+        theta,
+        w,
+        iterations,
+        converged,
+        ridge_escalations: 0,
+        components: n_components,
+        largest_component: largest,
+    })
+}
+
+/// Screening gauges, exported into `--metrics` run summaries so speedups
+/// can be attributed to component splits (Figure-6-style runs).
+fn record_components(components: usize, largest: usize) {
+    if fdx_obs::enabled() {
+        fdx_obs::gauge_set("fdx.glasso.components", components as f64);
+        fdx_obs::gauge_set("fdx.glasso.largest_component", largest as f64);
+    }
+}
+
+/// One component's solved block in its local (compacted) index space.
+struct ComponentSolve {
+    theta: Matrix,
+    w: Matrix,
+    iterations: usize,
+    converged: bool,
+}
+
+/// Solves the glasso subproblem restricted to `comp` (sorted global
+/// indices). Pure function of `(s, cfg, comp)` — safe to run on any worker
+/// thread without affecting determinism.
+fn solve_component(s: &Matrix, cfg: &GlassoConfig, comp: &[usize]) -> ComponentSolve {
+    if let [i] = comp {
+        // Singleton: W = s_ii + λ, Θ = 1/(s_ii + λ) — exactly what the full
+        // solver converges to for an unconnected variable.
+        let w00 = s[(*i, *i)] + cfg.lambda;
+        return ComponentSolve {
+            theta: Matrix::from_diag(&[1.0 / w00]),
+            w: Matrix::from_diag(&[w00]),
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let sub = s.principal_submatrix(comp);
+    let warm = cfg.warm_start.as_ref().and_then(|ws| {
+        if ws.theta.shape() == s.shape() && ws.w.shape() == s.shape() {
+            Some(WarmStart {
+                theta: ws.theta.principal_submatrix(comp),
+                w: ws.w.principal_submatrix(comp),
+            })
+        } else {
+            None
+        }
+    });
+    let solve = solve_block(&sub, cfg, warm.as_ref(), true);
+    let theta = recover_theta(&solve.w, &solve.betas);
+    ComponentSolve {
+        theta,
+        w: solve.w,
+        iterations: solve.iterations,
+        converged: solve.converged,
+    }
+}
+
+/// Raw output of the block coordinate-descent loop on one (sub)problem.
+struct BlockSolve {
+    w: Matrix,
+    betas: Vec<Vec<f64>>,
+    iterations: usize,
+    converged: bool,
+}
+
+/// Reconstructs per-column regression coefficients from a warm-start
+/// precision matrix: `β_j = −θ_{·j} / θ_jj` (the glasso parameterization).
+fn betas_from_theta(theta: &Matrix) -> Vec<Vec<f64>> {
+    let p = theta.rows();
+    (0..p)
+        .map(|j| {
+            let tjj = theta[(j, j)];
+            (0..p)
+                .filter(|&i| i != j)
+                .map(|i| if tjj > 0.0 { -theta[(i, j)] / tjj } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// The Friedman–Hastie–Tibshirani block coordinate descent over columns of
+/// the working covariance, on one connected component (or the whole
+/// problem when screening found a single component). `quiet` suppresses
+/// per-sweep spans/telemetry for worker-thread solves.
+fn solve_block(
+    s: &Matrix,
+    cfg: &GlassoConfig,
+    warm: Option<&WarmStart>,
+    quiet: bool,
+) -> BlockSolve {
+    let p = s.rows();
+    let warm = warm.filter(|ws| ws.theta.shape() == (p, p) && ws.w.shape() == (p, p));
+
+    // W = S with λ added on the diagonal (standard glasso initialization);
+    // with a warm start, resume from the previous off-diagonal iterate (the
+    // solution's diagonal is fixed at s_jj + λ either way).
+    let mut w = match warm {
+        Some(ws) => {
+            let mut w = ws.w.clone();
+            for j in 0..p {
+                w[(j, j)] = s[(j, j)] + cfg.lambda;
+            }
+            w
+        }
+        None => {
+            let mut w = s.clone();
+            w.add_diag_mut(cfg.lambda);
+            w
+        }
+    };
     // Regression coefficients per column, kept to reconstruct Θ at the end.
-    let mut betas = vec![vec![0.0; p - 1]; p];
+    let mut betas = match warm {
+        Some(ws) => betas_from_theta(&ws.theta),
+        None => vec![vec![0.0; p - 1]; p],
+    };
 
     // Scale for the convergence criterion: mean |off-diagonal of S|.
     let mut off_sum = 0.0;
@@ -156,7 +382,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
     let mut s12 = vec![0.0; p - 1];
     while iterations < cfg.max_iter {
         iterations += 1;
-        let sweep_span = fdx_obs::Span::enter("glasso.sweep");
+        let sweep_span = (!quiet).then(|| fdx_obs::Span::enter("glasso.sweep"));
         let mut total_change = 0.0;
         for j in 0..p {
             others.clear();
@@ -182,7 +408,7 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
         }
         let avg_change = total_change / ((p * p - p) as f64);
         drop(sweep_span);
-        if fdx_obs::enabled() {
+        if !quiet && fdx_obs::enabled() {
             record_sweep(s, &w, &betas, cfg.lambda, iterations, avg_change);
         }
         if avg_change < cfg.tol * scale {
@@ -190,19 +416,12 @@ pub fn graphical_lasso(s: &Matrix, cfg: &GlassoConfig) -> fdx_linalg::Result<Gla
             break;
         }
     }
-
-    if fdx_obs::faults::fire("glasso.force_no_converge") {
-        converged = false;
-    }
-    let theta = recover_theta(&w, &betas);
-    record_summary(s, &theta, cfg.lambda, iterations, converged);
-    Ok(GlassoResult {
-        theta,
+    BlockSolve {
         w,
+        betas,
         iterations,
         converged,
-        ridge_escalations: 0,
-    })
+    }
 }
 
 /// Recovers `Θ` from the per-column regressions:
@@ -401,29 +620,46 @@ pub fn precision_from_covariance_report(
 /// "efficient regression methods" citation) and serves as a cross-check on
 /// the support recovered from `Θ`.
 pub fn neighborhood_selection(s: &Matrix, lambda: f64) -> fdx_linalg::Result<Matrix> {
+    neighborhood_selection_threads(s, lambda, None)
+}
+
+/// [`neighborhood_selection`] with an explicit thread request: the
+/// per-column lassos are independent, so they fan out through `fdx-par`
+/// and the supports are reduced back in column order — the recovered
+/// adjacency is identical at every thread count.
+pub fn neighborhood_selection_threads(
+    s: &Matrix,
+    lambda: f64,
+    threads: Option<usize>,
+) -> fdx_linalg::Result<Matrix> {
     if !s.is_square() {
         return Err(LinalgError::NotSquare { shape: s.shape() });
     }
     let p = s.rows();
+    let columns: Vec<usize> = (0..p).collect();
+    let supports = fdx_par::par_map_indexed(
+        &columns,
+        fdx_par::resolve_threads(threads),
+        |_, &j| -> Vec<usize> {
+            let others: Vec<usize> = (0..p).filter(|&i| i != j).collect();
+            let v = s.principal_submatrix(&others);
+            let s12: Vec<f64> = others.iter().map(|&i| s[(i, j)]).collect();
+            let mut beta = vec![0.0; p.saturating_sub(1)];
+            lasso_coordinate_descent(&v, &s12, lambda, &mut beta, 500, 1e-8);
+            others
+                .iter()
+                .zip(&beta)
+                .filter(|(_, b)| b.abs() > 1e-10)
+                .map(|(&i, _)| i)
+                .collect()
+        },
+    );
     let mut adj = Matrix::zeros(p, p);
-    let mut others: Vec<usize> = Vec::with_capacity(p.saturating_sub(1));
-    let mut s12 = vec![0.0; p.saturating_sub(1)];
-    let mut beta = vec![0.0; p.saturating_sub(1)];
-    for j in 0..p {
-        others.clear();
-        others.extend((0..p).filter(|&i| i != j));
-        let v = s.principal_submatrix(&others);
-        for (t, &i) in others.iter().enumerate() {
-            s12[t] = s[(i, j)];
-        }
-        beta.iter_mut().for_each(|b| *b = 0.0);
-        lasso_coordinate_descent(&v, &s12, lambda, &mut beta, 500, 1e-8);
-        for (t, &i) in others.iter().enumerate() {
-            if beta[t].abs() > 1e-10 {
-                // OR-rule symmetrization.
-                adj[(i, j)] = 1.0;
-                adj[(j, i)] = 1.0;
-            }
+    for (j, support) in supports.iter().enumerate() {
+        for &i in support {
+            // OR-rule symmetrization.
+            adj[(i, j)] = 1.0;
+            adj[(j, i)] = 1.0;
         }
     }
     Ok(adj)
@@ -593,6 +829,142 @@ mod tests {
         // The glasso fast path surfaces the count.
         let g = graphical_lasso(&singular, &GlassoConfig::default()).unwrap();
         assert_eq!(g.ridge_escalations, r.escalations);
+    }
+
+    #[test]
+    fn screening_reports_components() {
+        // Two 2-blocks with zero cross coupling.
+        let s = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.0, 0.0],
+            &[0.5, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.4],
+            &[0.0, 0.0, 0.4, 1.0],
+        ]);
+        let cfg = GlassoConfig {
+            lambda: 0.1,
+            ..Default::default()
+        };
+        let r = graphical_lasso(&s, &cfg).unwrap();
+        assert_eq!(r.components, 2);
+        assert_eq!(r.largest_component, 2);
+        assert!(r.converged);
+        // Dense case reports a single component spanning everything.
+        let dense = Matrix::from_rows(&[&[1.0, 0.4], &[0.4, 1.0]]);
+        let r = graphical_lasso(&dense, &cfg).unwrap();
+        assert_eq!((r.components, r.largest_component), (1, 2));
+    }
+
+    #[test]
+    fn screened_matches_unscreened_on_block_diagonal() {
+        let s = Matrix::from_rows(&[
+            &[1.0, 0.45, 0.0, 0.0],
+            &[0.45, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.35],
+            &[0.0, 0.0, 0.35, 1.0],
+        ]);
+        let tight = GlassoConfig {
+            lambda: 0.1,
+            tol: 1e-300, // stop only at an exact fixed point
+            max_iter: 200,
+            ..Default::default()
+        };
+        let screened = graphical_lasso(&s, &tight).unwrap();
+        let unscreened = graphical_lasso(
+            &s,
+            &GlassoConfig {
+                screen: false,
+                ..tight.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(screened.components, 2);
+        assert_eq!(unscreened.components, 1);
+        assert!(close(&screened.theta, &unscreened.theta, 1e-12));
+        assert!(close(&screened.w, &unscreened.w, 1e-12));
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_across_thread_counts() {
+        let s = Matrix::from_rows(&[
+            &[1.0, 0.45, 0.0, 0.0, 0.0],
+            &[0.45, 1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.35, 0.2],
+            &[0.0, 0.0, 0.35, 1.0, 0.25],
+            &[0.0, 0.0, 0.2, 0.25, 1.0],
+        ]);
+        let base = GlassoConfig {
+            lambda: 0.1,
+            threads: Some(1),
+            ..Default::default()
+        };
+        let one = graphical_lasso(&s, &base).unwrap();
+        for threads in [2, 4, 8] {
+            let cfg = GlassoConfig {
+                threads: Some(threads),
+                ..base.clone()
+            };
+            let many = graphical_lasso(&s, &cfg).unwrap();
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(
+                        one.theta[(i, j)].to_bits(),
+                        many.theta[(i, j)].to_bits(),
+                        "threads={threads} theta[{i},{j}]"
+                    );
+                    assert_eq!(one.w[(i, j)].to_bits(), many.w[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_resumes_from_previous_iterate() {
+        let s = Matrix::from_rows(&[&[1.0, 0.4, 0.2], &[0.4, 1.0, 0.3], &[0.2, 0.3, 1.0]]);
+        let cfg = GlassoConfig {
+            lambda: 0.05,
+            ..Default::default()
+        };
+        let cold = graphical_lasso(&s, &cfg).unwrap();
+        assert!(cold.converged);
+        let warm_cfg = GlassoConfig {
+            warm_start: Some(WarmStart {
+                theta: cold.theta.clone(),
+                w: cold.w.clone(),
+            }),
+            ..cfg.clone()
+        };
+        let warm = graphical_lasso(&s, &warm_cfg).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= 2,
+            "restart from the solution should converge immediately, took {}",
+            warm.iterations
+        );
+        // Agreement is bounded by the solver tolerance (tol = 1e-4), not
+        // machine precision: the restart takes one polishing sweep.
+        assert!(close(&warm.theta, &cold.theta, 1e-3));
+        // A mismatched warm-start shape is ignored, not an error.
+        let stale = GlassoConfig {
+            warm_start: Some(WarmStart {
+                theta: Matrix::identity(2),
+                w: Matrix::identity(2),
+            }),
+            ..cfg
+        };
+        let r = graphical_lasso(&s, &stale).unwrap();
+        assert!(close(&r.theta, &cold.theta, 1e-6));
+    }
+
+    #[test]
+    fn neighborhood_selection_threads_match_sequential() {
+        let theta_true =
+            Matrix::from_rows(&[&[1.5, -0.6, 0.0], &[-0.6, 1.8, -0.6], &[0.0, -0.6, 1.5]]);
+        let sigma = spd_inverse(&theta_true).unwrap();
+        let seq = neighborhood_selection_threads(&sigma, 0.02, Some(1)).unwrap();
+        for threads in [2, 4] {
+            let par = neighborhood_selection_threads(&sigma, 0.02, Some(threads)).unwrap();
+            assert!(close(&seq, &par, 1e-15), "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Property tests for connected-component screening: the screened +
+//! parallel graphical lasso must match the unscreened sequential solver
+//! entrywise (≤ 1e-12) on randomized SPD covariances, across λ values that
+//! split the graph into 1, several, and p components — and must be
+//! bit-identical across thread counts.
+//!
+//! Hand-rolled randomness (splitmix64): `proptest` is a dev-dependency the
+//! offline build cannot fetch, and a fixed deterministic seed sequence is
+//! exactly what a cross-solver equivalence test wants anyway.
+
+use fdx_glasso::{graphical_lasso, screen_components, GlassoConfig};
+use fdx_linalg::Matrix;
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// A random diagonally dominant SPD correlation-like block: unit diagonal,
+/// off-diagonal magnitudes in [0.15, 0.45) with random signs, scaled so the
+/// matrix stays strictly diagonally dominant (sum of a row's off-diagonal
+/// magnitudes < 0.9).
+fn random_spd_block(rng: &mut SplitMix64, p: usize) -> Matrix {
+    let mut m = Matrix::identity(p);
+    if p == 1 {
+        return m;
+    }
+    let cap = 0.9 / (p - 1) as f64;
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let mag = rng.range(0.15, 0.45).min(cap.max(0.05));
+            let v = if rng.unit() < 0.5 { mag } else { -mag };
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
+
+/// Embeds random SPD blocks of the given sizes block-diagonally (exact 0.0
+/// cross-coupling) into one covariance.
+fn block_diag_spd(rng: &mut SplitMix64, sizes: &[usize]) -> Matrix {
+    let p: usize = sizes.iter().sum();
+    let mut s = Matrix::zeros(p, p);
+    let mut base = 0;
+    for &size in sizes {
+        let block = random_spd_block(rng, size);
+        for a in 0..size {
+            for b in 0..size {
+                s[(base + a, base + b)] = block[(a, b)];
+            }
+        }
+        base += size;
+    }
+    s
+}
+
+fn max_entry_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    let mut worst = 0.0_f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            worst = worst.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    worst
+}
+
+fn assert_bit_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: entry ({i}, {j}): {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+/// Runs the screened solver with the given thread count. A near-zero
+/// tolerance makes the outer loop stop only at an exact fixed point (or the
+/// sweep budget), which pins the comparison against the unscreened run: on
+/// exactly block-diagonal inputs the two perform bit-identical per-sweep
+/// updates within each block.
+fn solve(s: &Matrix, lambda: f64, screen: bool, threads: usize) -> fdx_glasso::GlassoResult {
+    let cfg = GlassoConfig {
+        lambda,
+        max_iter: 200,
+        tol: 1e-300,
+        screen,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    graphical_lasso(s, &cfg).unwrap()
+}
+
+#[test]
+fn single_component_lambda_takes_the_identical_path() {
+    // λ below every |S_ij|: the graph stays fully connected, screening is a
+    // no-op, and the screened solver must be bit-identical to the
+    // unscreened one (same code path by construction).
+    let mut rng = SplitMix64(0xFD_0401);
+    for trial in 0..5 {
+        let s = random_spd_block(&mut rng, 6);
+        let lambda = 0.01; // < 0.05 ≤ min |off-diagonal|
+        assert_eq!(screen_components(&s, lambda).len(), 1, "trial {trial}");
+        let screened = solve(&s, lambda, true, 4);
+        let unscreened = solve(&s, lambda, false, 1);
+        assert_eq!(screened.components, 1);
+        assert_bit_identical(&screened.theta, &unscreened.theta, "theta");
+        assert_bit_identical(&screened.w, &unscreened.w, "w");
+    }
+}
+
+#[test]
+fn multi_component_split_matches_unscreened_within_1e12() {
+    // Exactly block-diagonal S: the screening graph splits into one
+    // component per block, and per the Witten/Mazumder–Hastie theorem the
+    // screened solution equals the unscreened one.
+    let mut rng = SplitMix64(0xFD_0402);
+    for sizes in [vec![3, 2, 4], vec![2, 2, 2, 2], vec![5, 1, 3]] {
+        let s = block_diag_spd(&mut rng, &sizes);
+        let lambda = 0.05; // below in-block magnitudes, above the 0.0 cross
+        let comps = screen_components(&s, lambda);
+        assert_eq!(comps.len(), sizes.len(), "sizes {sizes:?}");
+        let screened = solve(&s, lambda, true, 4);
+        let unscreened = solve(&s, lambda, false, 1);
+        assert_eq!(screened.components, sizes.len());
+        let dtheta = max_entry_diff(&screened.theta, &unscreened.theta);
+        let dw = max_entry_diff(&screened.w, &unscreened.w);
+        assert!(dtheta <= 1e-12, "sizes {sizes:?}: theta diff {dtheta:e}");
+        assert!(dw <= 1e-12, "sizes {sizes:?}: w diff {dw:e}");
+    }
+}
+
+#[test]
+fn all_singletons_lambda_matches_unscreened_within_1e12() {
+    // λ above every |S_ij|: p singleton components; the unscreened solver
+    // soft-thresholds every coupling to zero and converges to
+    // W = diag(S) + λI, which is exactly the screened assembly.
+    let mut rng = SplitMix64(0xFD_0403);
+    for trial in 0..5 {
+        let s = random_spd_block(&mut rng, 7);
+        let lambda = 0.95; // > 0.45 ≥ max |off-diagonal|
+        let comps = screen_components(&s, lambda);
+        assert_eq!(comps.len(), 7, "trial {trial}");
+        let screened = solve(&s, lambda, true, 4);
+        let unscreened = solve(&s, lambda, false, 1);
+        assert_eq!(screened.components, 7);
+        let dtheta = max_entry_diff(&screened.theta, &unscreened.theta);
+        let dw = max_entry_diff(&screened.w, &unscreened.w);
+        assert!(dtheta <= 1e-12, "trial {trial}: theta diff {dtheta:e}");
+        assert!(dw <= 1e-12, "trial {trial}: w diff {dw:e}");
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_result() {
+    // Across the whole λ grid (1, several, p components), every thread
+    // count must produce bit-identical Θ and W.
+    let mut rng = SplitMix64(0xFD_0404);
+    let s = block_diag_spd(&mut rng, &[4, 3, 2]);
+    for lambda in [0.01, 0.05, 0.2, 0.95] {
+        let reference = solve(&s, lambda, true, 1);
+        for threads in [2, 3, 4, 8] {
+            let other = solve(&s, lambda, true, threads);
+            assert_bit_identical(
+                &reference.theta,
+                &other.theta,
+                &format!("lambda {lambda} threads {threads} theta"),
+            );
+            assert_bit_identical(
+                &reference.w,
+                &other.w,
+                &format!("lambda {lambda} threads {threads} w"),
+            );
+            assert_eq!(reference.components, other.components);
+            assert_eq!(reference.iterations, other.iterations);
+        }
+    }
+}
+
+#[test]
+fn warm_start_does_not_change_the_screened_fixed_point() {
+    // Resuming a tight-tolerance solve from its own solution must converge
+    // immediately to the same fixed point, through the screened parallel
+    // path as well.
+    let mut rng = SplitMix64(0xFD_0405);
+    let s = block_diag_spd(&mut rng, &[3, 3, 2]);
+    let lambda = 0.05;
+    let cold = solve(&s, lambda, true, 4);
+    let warm = graphical_lasso(
+        &s,
+        &GlassoConfig {
+            lambda,
+            max_iter: 200,
+            tol: 1e-300,
+            threads: Some(4),
+            warm_start: Some(fdx_glasso::WarmStart {
+                theta: cold.theta.clone(),
+                w: cold.w.clone(),
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let dtheta = max_entry_diff(&warm.theta, &cold.theta);
+    assert!(dtheta <= 1e-9, "theta diff {dtheta:e}");
+}

@@ -40,7 +40,7 @@ mod udut;
 
 pub use cholesky::{cholesky, ldlt, CholeskyFactor, LdltFactor};
 pub use error::LinalgError;
-pub use float::{approx_eq, approx_eq_default, is_exact_zero};
+pub use float::{approx_eq, approx_eq_default, is_exact_zero, DEFAULT_TOL};
 pub use matrix::Matrix;
 pub use perm::Permutation;
 pub use solve::{solve_lower_triangular, solve_spd, solve_upper_triangular, spd_inverse};

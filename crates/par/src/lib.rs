@@ -1,0 +1,268 @@
+//! # fdx-par — deterministic parallel runtime for the FDX pipeline
+//!
+//! The FDX pipeline's hot loops — the pair transform, the per-column lasso
+//! regressions of structure learning, and the per-component graphical-lasso
+//! solves after block screening — are all *embarrassingly parallel over an
+//! index set*. This crate provides the one primitive they share: map a
+//! function over a slice on a scoped thread pool and reduce the results **in
+//! index order**, so that the output is bit-identical regardless of how many
+//! threads executed the map.
+//!
+//! ## Determinism contract
+//!
+//! 1. **Work decomposition never depends on thread count.** Chunk boundaries
+//!    in [`par_map_chunks`] are derived from `(len, chunk_size)` only; the
+//!    unit of work in [`par_map_indexed`] is a single element. Adding threads
+//!    changes *who* computes a piece, never *what* the piece is.
+//! 2. **Reduction is ordered.** Results are placed into their original index
+//!    slot and returned as a `Vec` in index order. Callers that fold the
+//!    returned vector therefore see the same association order every run.
+//! 3. **Worker functions must be pure** with respect to shared state (they
+//!    receive `&T` and return an owned `R`). Under that condition,
+//!    `threads == 1` (which runs inline on the caller thread, spawning
+//!    nothing) and `threads == N` produce bit-identical output.
+//!
+//! Thread-count resolution: explicit request → `FDX_THREADS` env var →
+//! `std::thread::available_parallelism()`.
+//!
+//! ## Observability
+//!
+//! When `fdx_obs::enabled()`, each parallel region records
+//! `fdx.par.threads` (gauge: resolved thread count of the last region),
+//! `fdx.par.tasks` (counter: elements mapped) and `fdx.par.regions`
+//! (counter: parallel regions entered). Note that `fdx_obs::Span` phase
+//! trees are thread-local; worker closures should therefore not open spans
+//! (they would accumulate into per-thread forests invisible to the main
+//! trace). Time the region from the caller instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hardware parallelism as reported by the OS (≥ 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses an `FDX_THREADS`-style value: positive integer → that many
+/// threads; `0`, empty, or garbage → `None` (fall through to the hardware
+/// default). Factored out of [`default_threads`] so the policy is testable
+/// without mutating process-global environment.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The process-default thread count: `FDX_THREADS` if set to a positive
+/// integer, otherwise [`available`].
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var("FDX_THREADS").ok().as_deref()).unwrap_or_else(available)
+}
+
+/// Resolves a configured thread request (`None` = use the process default)
+/// to a concrete count ≥ 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    requested.filter(|&n| n > 0).unwrap_or_else(default_threads)
+}
+
+fn record_region(threads: usize, tasks: usize) {
+    if fdx_obs::enabled() {
+        fdx_obs::gauge_set("fdx.par.threads", threads as f64);
+        fdx_obs::counter_add("fdx.par.tasks", tasks as u64);
+        fdx_obs::counter_add("fdx.par.regions", 1);
+    }
+}
+
+/// Maps `f(index, &item)` over `items` on up to `threads` scoped threads and
+/// returns the results in index order.
+///
+/// Scheduling is dynamic (an atomic work queue hands out indices), but the
+/// unit of work is a single element and the reduction is ordered, so the
+/// output is independent of scheduling. With `threads <= 1` or fewer than
+/// two items the map runs inline on the caller thread.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    record_region(workers.max(1), n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // Re-raise the worker's own panic payload on the caller
+                // thread instead of wrapping it in a join error.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in produced.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Some(r) => r,
+            // fdx-allow: L001 the work queue covers every index exactly once
+            None => unreachable!("fdx-par: unfilled result slot"),
+        })
+        .collect()
+}
+
+/// Splits `items` into consecutive chunks of `chunk_size` (the last chunk
+/// may be shorter), maps `f(chunk_index, chunk)` over them on up to
+/// `threads` scoped threads, and returns the chunk results in chunk order.
+///
+/// Chunk boundaries depend only on `(items.len(), chunk_size)` — never on
+/// `threads` — so a caller that merges the returned partials left-to-right
+/// performs the identical reduction tree at every thread count. This is the
+/// primitive behind the pair transform's deterministic parallelism.
+pub fn par_map_chunks<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk = chunk_size.max(1);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    par_map_indexed(&chunks, threads, |i, c| f(i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_policy() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn map_indexed_is_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, &x: &u64| -> f64 { (x as f64 + i as f64).sqrt() * 1.000000001_f64 };
+        let seq = par_map_indexed(&items, 1, f);
+        for threads in [2, 3, 8, 64] {
+            let par = par_map_indexed(&items, threads, f);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_boundaries_are_thread_independent() {
+        let items: Vec<u32> = (0..100).collect();
+        // Record the exact chunk extents seen at each thread count.
+        let extents = |threads: usize| -> Vec<(usize, u32, usize)> {
+            par_map_chunks(&items, 7, threads, |ci, c| (ci, c[0], c.len()))
+        };
+        let one = extents(1);
+        assert_eq!(one.len(), 100usize.div_ceil(7));
+        assert_eq!(one[0], (0, 0, 7));
+        assert_eq!(one[one.len() - 1].2, 100 - 7 * (one.len() - 1));
+        for threads in [2, 5, 16] {
+            assert_eq!(one, extents(threads));
+        }
+    }
+
+    #[test]
+    fn ordered_reduction_matches_sequential_fold() {
+        // Float summation is order-sensitive; the ordered merge must make
+        // the parallel fold bitwise equal to the sequential one.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let partials = par_map_chunks(&items, 13, 8, |_, c| c.iter().sum::<f64>());
+        let folded: f64 = partials.iter().sum();
+        let seq_partials = par_map_chunks(&items, 13, 1, |_, c| c.iter().sum::<f64>());
+        let seq: f64 = seq_partials.iter().sum();
+        assert_eq!(folded.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(&empty, 8, |_, &x| x).is_empty());
+        assert!(par_map_chunks(&empty, 4, 8, |_, c| c.len()).is_empty());
+        assert_eq!(par_map_indexed(&[41u8], 8, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_indexed(&[1, 2, 3], 64, |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn chunk_size_zero_is_clamped_to_one() {
+        let out = par_map_chunks(&[10, 20], 0, 2, |_, c| c.to_vec());
+        assert_eq!(out, vec![vec![10], vec![20]]);
+    }
+
+    #[test]
+    fn records_obs_gauges_when_enabled() {
+        fdx_obs::set_enabled(true);
+        fdx_obs::Registry::global().reset();
+        let _ = par_map_indexed(&[1, 2, 3, 4], 2, |_, &x: &i32| x);
+        let snap = fdx_obs::Registry::global().snapshot();
+        let jsonl = fdx_obs::export_jsonl(&snap);
+        fdx_obs::set_enabled(false);
+        fdx_obs::Registry::global().reset();
+        assert!(jsonl.contains("fdx.par.threads"), "{jsonl}");
+        assert!(jsonl.contains("fdx.par.tasks"), "{jsonl}");
+        assert!(jsonl.contains("fdx.par.regions"), "{jsonl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = par_map_indexed(&items, 4, |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -90,7 +90,7 @@ pub fn correlation(cov: &Matrix) -> Matrix {
         for j in 0..k {
             if i == j {
                 corr[(i, j)] = 1.0;
-            } else if sd[i] > 1e-12 && sd[j] > 1e-12 {
+            } else if sd[i] > fdx_linalg::DEFAULT_TOL && sd[j] > fdx_linalg::DEFAULT_TOL {
                 corr[(i, j)] = cov[(i, j)] / (sd[i] * sd[j]);
             }
         }
@@ -123,7 +123,11 @@ pub fn standardize_columns(samples: &mut Matrix) {
         let sd = var.sqrt();
         for r in 0..n {
             let v = samples[(r, c)] - mean;
-            samples[(r, c)] = if sd > 1e-12 { v / sd } else { v };
+            samples[(r, c)] = if sd > fdx_linalg::DEFAULT_TOL {
+                v / sd
+            } else {
+                v
+            };
         }
     }
 }

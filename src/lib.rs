@@ -21,7 +21,8 @@
 //! * [`fdx_eval`] — metrics and the method harness,
 //! * [`fdx_ml`] — the Table 7 imputers,
 //! * [`fdx_linalg`] / [`fdx_glasso`] / [`fdx_order`] / [`fdx_stats`] — the
-//!   numerical substrates.
+//!   numerical substrates,
+//! * [`fdx_par`] — the deterministic scoped-thread parallel runtime.
 //!
 //! # Quickstart
 //!
@@ -60,5 +61,6 @@ pub use fdx_glasso;
 pub use fdx_linalg;
 pub use fdx_ml;
 pub use fdx_order;
+pub use fdx_par;
 pub use fdx_stats;
 pub use fdx_synth;
