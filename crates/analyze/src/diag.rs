@@ -19,17 +19,20 @@ pub enum RuleId {
     L005,
     /// `unsafe` without a `// SAFETY:` comment.
     L006,
+    /// `catch_unwind` outside the panic-isolation boundary crates.
+    L007,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::L001,
         RuleId::L002,
         RuleId::L003,
         RuleId::L004,
         RuleId::L005,
         RuleId::L006,
+        RuleId::L007,
     ];
 
     /// Full reported code, e.g. `FDX-L001`.
@@ -41,6 +44,7 @@ impl RuleId {
             RuleId::L004 => "FDX-L004",
             RuleId::L005 => "FDX-L005",
             RuleId::L006 => "FDX-L006",
+            RuleId::L007 => "FDX-L007",
         }
     }
 
@@ -53,6 +57,7 @@ impl RuleId {
             RuleId::L004 => "L004",
             RuleId::L005 => "L005",
             RuleId::L006 => "L006",
+            RuleId::L007 => "L007",
         }
     }
 
@@ -85,6 +90,7 @@ impl RuleId {
             RuleId::L004 => "`panic!`/`todo!`/`unimplemented!` in library code",
             RuleId::L005 => "lossy `as` cast in a numerical kernel crate",
             RuleId::L006 => "`unsafe` without a `// SAFETY:` comment",
+            RuleId::L007 => "`catch_unwind` outside crates/serve and crates/par (panic containment stays at the isolation boundary)",
         }
     }
 }

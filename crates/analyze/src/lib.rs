@@ -11,6 +11,7 @@
 //! | FDX-L004 | `panic!` / `todo!` / `unimplemented!` in library code |
 //! | FDX-L005 | lossy `as` casts inside linalg / glasso / stats kernels |
 //! | FDX-L006 | `unsafe` without a `// SAFETY:` comment |
+//! | FDX-L007 | `catch_unwind` outside `crates/serve` / `crates/par` |
 //!
 //! Pre-existing debt lives in a committed `lint-baseline.json`; `--ratchet`
 //! fails only on *new* violations, so the count can shrink but never grow.

@@ -50,6 +50,7 @@ pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
     rule_panic_family(file, &lexed, &test_mask, &mut hits);
     rule_lossy_cast(file, &lexed, &test_mask, &mut hits);
     rule_unsafe_without_safety(&lexed, &mut hits);
+    rule_catch_unwind(file, &lexed, &mut hits);
 
     let allows = suppression_map(&lexed);
     let mut out: Vec<Diagnostic> = hits
@@ -354,6 +355,29 @@ fn rule_unsafe_without_safety(lexed: &LexedFile, hits: &mut Vec<(RuleId, u32, u3
     }
 }
 
+/// Crates allowed to call `catch_unwind` for FDX-L007: the serve request
+/// boundary and the parallel runtime's worker re-raise path. Everywhere
+/// else, swallowing a panic hides corruption instead of containing it.
+const UNWIND_BOUNDARY_PREFIXES: &[&str] = &["crates/serve/", "crates/par/"];
+
+/// FDX-L007: `catch_unwind` outside the panic-isolation boundary crates.
+/// Applies to tests and binaries too — a test that swallows panics asserts
+/// nothing, and ad-hoc containment in binaries belongs behind the serve
+/// boundary.
+fn rule_catch_unwind(file: &SourceFile<'_>, lexed: &LexedFile, hits: &mut Vec<(RuleId, u32, u32)>) {
+    if UNWIND_BOUNDARY_PREFIXES
+        .iter()
+        .any(|p| file.rel_path.starts_with(p))
+    {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.is_ident("catch_unwind") {
+            hits.push((RuleId::L007, t.line, t.col));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +531,23 @@ mod tests {
             "fn t() { unsafe { x(); } }",
         );
         assert_eq!(active(&d), vec![(RuleId::L006, 1)]);
+    }
+
+    #[test]
+    fn l007_flags_catch_unwind_outside_boundary_crates() {
+        let src = "use std::panic;\nfn f() { let _ = panic::catch_unwind(|| g()); }";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L007, 2)]);
+        // Applies to tests and binaries too.
+        let d = check("crates/x/tests/t.rs", FileContext::Test, src);
+        assert_eq!(active(&d), vec![(RuleId::L007, 2)]);
+        // The isolation-boundary crates are exempt.
+        let d = check("crates/serve/src/server.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        let d = check("crates/par/src/lib.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Mentions in strings or comments do not count.
+        let d = lib("// catch_unwind is banned here\nfn f() { let s = \"catch_unwind\"; }");
+        assert!(active(&d).is_empty());
     }
 
     #[test]

@@ -11,6 +11,9 @@ Usage:
   fdx score    <file.csv> --lhs A,B --rhs C
                                        score one candidate FD exactly
   fdx lint     [options]               run workspace static analysis
+  fdx serve    [options]               run the discovery service (loopback TCP)
+  fdx request  <file.csv> --addr HOST:PORT [options]
+                                       send one request to a running server
 
 Discover options:
   --threshold <f>     autoregression threshold (default 0.08)
@@ -31,7 +34,30 @@ Lint options:
   --ratchet           fail only on violations not in lint-baseline.json
   --write-baseline    regenerate lint-baseline.json from the current tree
   --format <fmt>      text (default) or json
-  --root <dir>        workspace root (default: auto-detected from cwd)";
+  --root <dir>        workspace root (default: auto-detected from cwd)
+
+Serve options:
+  --addr <host:port>  bind address (default 127.0.0.1:0, prints the port)
+  --threads <n>       worker pool size (default: FDX_THREADS or all cores)
+  --queue-cap <n>     bounded request queue capacity (default 64)
+  --drain-timeout <f> seconds to drain in-flight work on shutdown (default 5)
+  --chaos             allow requests to arm fault-injection points
+  --metrics <path>    write the final metrics snapshot (atomic rename)
+
+Request options:
+  --addr <host:port>  server address (required)
+  --id <s>            request id echoed in the reply (default: request-1)
+  --deadline-ms <n>   per-request deadline, propagated into the pipeline
+  --threshold <f>     autoregression threshold override
+  --sparsity <f>      graphical-lasso lambda override
+  --min-lift <f>      validation lift threshold override
+  --seed <n>          transform shuffle seed override
+  --threads <n>       kernel threads for this request (default 1)
+  --no-validate       skip the validation pass
+  --chaos <list>      comma-separated fault points, each optionally
+                      point=value or point:times (server needs --chaos)
+  --retries <n>       retries on overloaded/connect failure (default 5)
+  --shutdown          send a shutdown frame instead of a discover request";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +88,91 @@ pub enum Command {
         /// Lint options.
         options: LintArgs,
     },
+    /// `fdx serve`.
+    Serve {
+        /// Server options.
+        options: ServeArgs,
+    },
+    /// `fdx request`.
+    Request {
+        /// Client options.
+        options: RequestArgs,
+    },
+}
+
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address; `127.0.0.1:0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker pool size (`None`: FDX_THREADS, then all cores).
+    pub threads: Option<usize>,
+    /// Bounded request queue capacity.
+    pub queue_cap: usize,
+    /// Seconds to drain in-flight work when shutting down.
+    pub drain_timeout: f64,
+    /// Allow requests to arm fault-injection points.
+    pub chaos: bool,
+    /// Final metrics snapshot path.
+    pub metrics: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:0".to_string(),
+            threads: None,
+            queue_cap: 64,
+            drain_timeout: 5.0,
+            chaos: false,
+            metrics: None,
+        }
+    }
+}
+
+/// Options of the `request` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestArgs {
+    /// CSV path (absent for `--shutdown`).
+    pub path: Option<String>,
+    /// Server address.
+    pub addr: String,
+    /// Request id echoed back in the reply.
+    pub id: String,
+    pub deadline_ms: Option<u64>,
+    pub threshold: Option<f64>,
+    pub sparsity: Option<f64>,
+    pub min_lift: Option<f64>,
+    pub seed: Option<u64>,
+    pub threads: Option<usize>,
+    pub validate: bool,
+    /// Raw chaos entries (`point`, `point=value`, `point:times`); validated
+    /// against the protocol's fault-point table when the frame is built.
+    pub chaos: Vec<String>,
+    /// Retries on `overloaded` / connect failure.
+    pub retries: u32,
+    /// Send a shutdown frame instead of a discover request.
+    pub shutdown: bool,
+}
+
+impl Default for RequestArgs {
+    fn default() -> Self {
+        RequestArgs {
+            path: None,
+            addr: String::new(),
+            id: "request-1".to_string(),
+            deadline_ms: None,
+            threshold: None,
+            sparsity: None,
+            min_lift: None,
+            seed: None,
+            threads: None,
+            validate: true,
+            chaos: Vec::new(),
+            retries: 5,
+            shutdown: false,
+        }
+    }
 }
 
 /// Options of the `lint` subcommand.
@@ -232,6 +343,130 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Lint { options })
         }
+        "serve" => {
+            let mut options = ServeArgs::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name}: missing value"))
+                };
+                match flag {
+                    "--addr" => options.addr = value(flag)?.clone(),
+                    "--threads" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--threads: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--threads: expected a positive integer".into());
+                        }
+                        options.threads = Some(n);
+                    }
+                    "--queue-cap" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--queue-cap: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--queue-cap: expected a positive integer".into());
+                        }
+                        options.queue_cap = n;
+                    }
+                    "--drain-timeout" => {
+                        let f = parse_f64(value(flag)?)?;
+                        if f.is_nan() || f < 0.0 {
+                            return Err("--drain-timeout: expected a non-negative number".into());
+                        }
+                        options.drain_timeout = f;
+                    }
+                    "--chaos" => options.chaos = true,
+                    "--metrics" => options.metrics = Some(value(flag)?.clone()),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve { options })
+        }
+        "request" => {
+            let mut options = RequestArgs::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            // Optional leading positional: the CSV path.
+            if rest.first().is_some_and(|a| !a.starts_with("--")) {
+                options.path = Some(rest[0].clone());
+                i = 1;
+            }
+            let mut saw_addr = false;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name}: missing value"))
+                };
+                match flag {
+                    "--addr" => {
+                        options.addr = value(flag)?.clone();
+                        saw_addr = true;
+                    }
+                    "--id" => options.id = value(flag)?.clone(),
+                    "--deadline-ms" => {
+                        options.deadline_ms = Some(
+                            value(flag)?
+                                .parse()
+                                .map_err(|_| "--deadline-ms: expected an integer".to_string())?,
+                        )
+                    }
+                    "--threshold" => options.threshold = Some(parse_f64(value(flag)?)?),
+                    "--sparsity" => options.sparsity = Some(parse_f64(value(flag)?)?),
+                    "--min-lift" => options.min_lift = Some(parse_f64(value(flag)?)?),
+                    "--seed" => {
+                        options.seed = Some(
+                            value(flag)?
+                                .parse()
+                                .map_err(|_| "--seed: expected an integer".to_string())?,
+                        )
+                    }
+                    "--threads" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--threads: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--threads: expected a positive integer".into());
+                        }
+                        options.threads = Some(n);
+                    }
+                    "--no-validate" => options.validate = false,
+                    "--chaos" => {
+                        options
+                            .chaos
+                            .extend(value(flag)?.split(',').map(|s| s.trim().to_string()));
+                    }
+                    "--retries" => {
+                        options.retries = value(flag)?
+                            .parse()
+                            .map_err(|_| "--retries: expected an integer".to_string())?;
+                    }
+                    "--shutdown" => options.shutdown = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            if !saw_addr {
+                return Err("request: --addr is required".into());
+            }
+            if options.shutdown && options.path.is_some() {
+                return Err("request: --shutdown takes no <file.csv>".into());
+            }
+            if !options.shutdown && options.path.is_none() {
+                return Err("request: missing <file.csv> (or pass --shutdown)".into());
+            }
+            Ok(Command::Request { options })
+        }
         other => Err(format!("unknown subcommand {other}")),
     }
 }
@@ -368,6 +603,75 @@ mod tests {
         assert!(parse(&argv("lint --format yaml")).is_err());
         assert!(parse(&argv("lint --root")).is_err());
         assert!(parse(&argv("lint --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                options: ServeArgs::default()
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --addr 127.0.0.1:7777 --threads 4 --queue-cap 2 --drain-timeout 0.5 --chaos --metrics m.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                options: ServeArgs {
+                    addr: "127.0.0.1:7777".into(),
+                    threads: Some(4),
+                    queue_cap: 2,
+                    drain_timeout: 0.5,
+                    chaos: true,
+                    metrics: Some("m.jsonl".into()),
+                }
+            }
+        );
+        assert!(parse(&argv("serve --queue-cap 0")).is_err());
+        assert!(parse(&argv("serve --threads 0")).is_err());
+        assert!(parse(&argv("serve --drain-timeout -1")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_request() {
+        let cmd = parse(&argv(
+            "request d.csv --addr 127.0.0.1:7777 --id r1 --deadline-ms 500 --seed 3 \
+             --chaos glasso.force_no_converge,clock.skew=1e6 --retries 2 --no-validate",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Request { options } => {
+                assert_eq!(options.path.as_deref(), Some("d.csv"));
+                assert_eq!(options.addr, "127.0.0.1:7777");
+                assert_eq!(options.id, "r1");
+                assert_eq!(options.deadline_ms, Some(500));
+                assert_eq!(options.seed, Some(3));
+                assert_eq!(
+                    options.chaos,
+                    vec!["glasso.force_no_converge", "clock.skew=1e6"]
+                );
+                assert_eq!(options.retries, 2);
+                assert!(!options.validate);
+                assert!(!options.shutdown);
+            }
+            _ => unreachable!(),
+        }
+        // Shutdown form: no csv path, addr still required.
+        let cmd = parse(&argv("request --addr 127.0.0.1:7777 --shutdown")).unwrap();
+        match cmd {
+            Command::Request { options } => {
+                assert!(options.shutdown);
+                assert_eq!(options.path, None);
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("request d.csv")).is_err(), "--addr is required");
+        assert!(parse(&argv("request --addr 1:2")).is_err(), "csv required");
+        assert!(parse(&argv("request d.csv --addr 1:2 --shutdown")).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use fdx_core::{render_autoregression_heatmap, score_fd, Fdx, FdxConfig};
 use fdx_data::{read_csv_str, Dataset};
 
-use crate::args::{Command, DiscoverOptions, LintArgs};
+use crate::args::{Command, DiscoverOptions, LintArgs, RequestArgs, ServeArgs};
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -14,6 +14,125 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Profile { path } => profile(&path),
         Command::Score { path, lhs, rhs } => score(&path, &lhs, &rhs),
         Command::Lint { options } => lint(&options),
+        Command::Serve { options } => serve(&options),
+        Command::Request { options } => request(&options),
+    }
+}
+
+/// `fdx serve`: run the discovery service until a `shutdown` frame arrives,
+/// then drain and exit 0 with a final flushed metrics snapshot.
+fn serve(args: &ServeArgs) -> Result<(), String> {
+    // The server mirrors its counters into obs; recording must be on for
+    // the final snapshot (and any --metrics export) to carry them.
+    fdx_obs::set_enabled(true);
+    fdx_obs::Registry::global().reset();
+    let config = fdx_serve::ServeConfig {
+        addr: args.addr.clone(),
+        threads: args.threads,
+        queue_cap: args.queue_cap,
+        drain_timeout_secs: args.drain_timeout,
+        chaos: args.chaos,
+        metrics_path: args.metrics.as_ref().map(std::path::PathBuf::from),
+        ..fdx_serve::ServeConfig::default()
+    };
+    let handle = fdx_serve::Server::start(config).map_err(|e| format!("serve: bind: {e}"))?;
+    println!("fdx-serve listening on {}", handle.addr());
+    if args.chaos {
+        eprintln!("# chaos enabled: requests may arm fault-injection points");
+    }
+    let report = handle.wait();
+    eprintln!(
+        "# drained: {} requests, {} completed, {} shed, {} panics, {} deadline-exceeded, {} abandoned{}",
+        report.requests,
+        report.completed,
+        report.shed,
+        report.panics,
+        report.deadline_exceeded,
+        report.abandoned,
+        if report.drain_timed_out {
+            " (drain timed out)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// Builds the wire frame for `fdx request` from parsed CLI options.
+/// Public to the crate for tests.
+fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::RequestFrame, String> {
+    let mut frame = fdx_serve::RequestFrame {
+        id: args.id.clone(),
+        csv,
+        deadline_ms: args.deadline_ms,
+        threshold: args.threshold,
+        sparsity: args.sparsity,
+        min_lift: args.min_lift,
+        seed: args.seed,
+        threads: args.threads,
+        validate: if args.validate { None } else { Some(false) },
+        chaos: Vec::new(),
+    };
+    for entry in &args.chaos {
+        // Accepted spellings: `point`, `point=value`, `point:times`.
+        let (name, times, value) = if let Some((n, v)) = entry.split_once('=') {
+            let v: f64 = v
+                .parse()
+                .map_err(|_| format!("--chaos: bad value in {entry:?}"))?;
+            (n, None, Some(v))
+        } else if let Some((n, t)) = entry.split_once(':') {
+            let t: u64 = t
+                .parse()
+                .map_err(|_| format!("--chaos: bad count in {entry:?}"))?;
+            (n, Some(t), None)
+        } else {
+            (entry.as_str(), None, None)
+        };
+        let point = fdx_serve::protocol::intern_fault_point(name).ok_or_else(|| {
+            format!(
+                "--chaos: unknown fault point {name:?} (known: {})",
+                fdx_serve::protocol::FAULT_POINTS.join(", ")
+            )
+        })?;
+        frame.chaos.push(fdx_serve::ChaosSpec {
+            point,
+            times,
+            value,
+        });
+    }
+    Ok(frame)
+}
+
+/// `fdx request`: one discover (or shutdown) exchange with a running
+/// server, retrying `overloaded`/connect failures on the deterministic
+/// backoff schedule.
+fn request(args: &RequestArgs) -> Result<(), String> {
+    let policy = fdx_serve::RetryPolicy {
+        retries: args.retries,
+        ..fdx_serve::RetryPolicy::default()
+    };
+    if args.shutdown {
+        let line = fdx_serve::shutdown_line(&args.id);
+        let resp = fdx_serve::client::send_line_with_retry(&args.addr, &line, &policy)
+            .map_err(|e| format!("request: {e}"))?;
+        println!("{}", resp.raw_line());
+        return Ok(());
+    }
+    let path = args.path.as_deref().ok_or("request: missing <file.csv>")?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let frame = build_request_frame(args, csv)?;
+    let resp =
+        fdx_serve::request(&args.addr, &frame, &policy).map_err(|e| format!("request: {e}"))?;
+    println!("{}", resp.raw_line());
+    if resp.is_ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "request {}: {} ({})",
+            resp.id,
+            resp.code.as_deref().unwrap_or("error"),
+            resp.detail.as_deref().unwrap_or("no detail")
+        ))
     }
 }
 
@@ -161,7 +280,9 @@ fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
         out.push_str(&fdx_obs::export_jsonl(
             &fdx_obs::Registry::global().snapshot(),
         ));
-        std::fs::write(mpath, out).map_err(|e| format!("{mpath}: {e}"))?;
+        // Crash-safe: a killed process must never leave truncated JSONL.
+        fdx_obs::write_atomic(std::path::Path::new(mpath), &out)
+            .map_err(|e| format!("{mpath}: {e}"))?;
     }
     if observing {
         fdx_obs::Registry::global().reset();
@@ -339,6 +460,71 @@ mod tests {
                 "{phase} missing from metrics:\n{text}"
             );
         }
+    }
+
+    #[test]
+    fn request_frame_building_maps_chaos_spellings() {
+        let args = RequestArgs {
+            id: "r1".into(),
+            deadline_ms: Some(500),
+            chaos: vec![
+                "glasso.force_no_converge".into(),
+                "clock.skew=1e6".into(),
+                "udut.force_not_pd:1".into(),
+            ],
+            validate: false,
+            ..RequestArgs::default()
+        };
+        let frame = build_request_frame(&args, "a,b\n1,2\n".into()).unwrap();
+        assert_eq!(frame.id, "r1");
+        assert_eq!(frame.deadline_ms, Some(500));
+        assert_eq!(frame.validate, Some(false));
+        assert_eq!(frame.chaos.len(), 3);
+        assert_eq!(frame.chaos[0].point, "glasso.force_no_converge");
+        assert_eq!(frame.chaos[1].value, Some(1e6));
+        assert_eq!(frame.chaos[2].times, Some(1));
+        // Validation defaults to "absent" (server default true).
+        let frame = build_request_frame(&RequestArgs::default(), "a\n1\n".into()).unwrap();
+        assert_eq!(frame.validate, None);
+        // Unknown fault points are rejected client-side with the full list.
+        let bad = RequestArgs {
+            chaos: vec!["nope.nope".into()],
+            ..RequestArgs::default()
+        };
+        let err = build_request_frame(&bad, String::new()).unwrap_err();
+        assert!(err.contains("unknown fault point"), "{err}");
+        assert!(err.contains("glasso.force_no_converge"), "{err}");
+    }
+
+    #[test]
+    fn metrics_file_write_is_atomic_no_temp_left_behind() {
+        let dir = std::env::temp_dir().join("fdx_cli_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("a.csv");
+        let mut csv = String::from("zip,city\n");
+        for i in 0..60 {
+            let zip = i % 12;
+            csv.push_str(&format!("z{zip},c{}\n", zip / 3));
+        }
+        std::fs::write(&csv_path, csv).unwrap();
+        let metrics_path = dir.join("a.jsonl");
+        // Pre-existing truncated output from a "killed" earlier run.
+        std::fs::write(&metrics_path, "{\"kind\":\"run_su").unwrap();
+        let opts = DiscoverOptions {
+            metrics: Some(metrics_path.to_str().unwrap().to_string()),
+            ..Default::default()
+        };
+        discover(csv_path.to_str().unwrap(), &opts).unwrap();
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(text.lines().next().unwrap().contains("run_summary"));
+        assert!(text.lines().all(|l| l.ends_with('}')), "truncated line");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
     }
 
     #[test]

@@ -62,8 +62,23 @@ impl std::error::Error for CsvError {}
 ///
 /// Supports RFC-4180-style quoting: fields may be wrapped in double quotes,
 /// quoted fields may contain commas, newlines, and doubled quotes (`""`).
+/// A leading UTF-8 BOM is stripped and CRLF line endings are accepted.
 pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
-    let mut records = Vec::new();
+    Ok(parse_csv_records(input)?
+        .into_iter()
+        .map(|(_, fields)| fields)
+        .collect())
+}
+
+/// Like [`parse_csv`], but tags each record with the 1-based *physical*
+/// line number it starts on. Quoted fields may span lines, so the record
+/// index alone misattributes errors on real-world exports; error reporting
+/// goes through this.
+pub fn parse_csv_records(input: &str) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
+    // Real-world exports (Excel, BI tools) prepend a UTF-8 BOM; without
+    // stripping it the first header name silently becomes "\u{feff}name".
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut records: Vec<(usize, Vec<String>)> = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut chars = input.chars().peekable();
@@ -72,6 +87,7 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     // section — any further data before the next separator is malformed.
     let mut field_was_quoted = false;
     let mut line = 1usize;
+    let mut record_line = 1usize;
     let mut quote_line = 1usize;
     let mut any = false;
 
@@ -110,10 +126,11 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
             }
             '\r' => { /* swallow; \r\n handled by the \n branch */ }
             '\n' => {
-                line += 1;
                 record.push(std::mem::take(&mut field));
-                records.push(std::mem::take(&mut record));
+                records.push((record_line, std::mem::take(&mut record)));
                 field_was_quoted = false;
+                line += 1;
+                record_line = line;
             }
             _ => {
                 if field_was_quoted {
@@ -128,7 +145,7 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     }
     if !field.is_empty() || !record.is_empty() || field_was_quoted {
         record.push(field);
-        records.push(record);
+        records.push((record_line, record));
     }
     if !any {
         return Err(CsvError::MissingHeader);
@@ -137,19 +154,20 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
 }
 
 /// Reads a CSV string (with header) into a [`Dataset`], inferring value
-/// types per cell via [`Value::infer`].
+/// types per cell via [`Value::infer`]. Ragged records are reported with
+/// the physical line number they start on.
 pub fn read_csv_str(input: &str) -> Result<Dataset, CsvError> {
-    let records = parse_csv(input)?;
+    let records = parse_csv_records(input)?;
     let mut iter = records.into_iter();
-    let header = iter.next().ok_or(CsvError::MissingHeader)?;
+    let (_, header) = iter.next().ok_or(CsvError::MissingHeader)?;
     let names: Vec<&str> = header.iter().map(String::as_str).collect();
     let schema = Schema::from_names(&names);
     let expected = schema.len();
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    for (i, rec) in iter.enumerate() {
+    for (line, rec) in iter {
         if rec.len() != expected {
             return Err(CsvError::RaggedRecord {
-                line: i + 2,
+                line,
                 found: rec.len(),
                 expected,
             });
@@ -278,6 +296,60 @@ mod tests {
                 expected: 2
             }
         );
+    }
+
+    #[test]
+    fn utf8_bom_is_stripped() {
+        let recs = parse_csv("\u{feff}a,b\n1,2\n").unwrap();
+        assert_eq!(recs[0], vec!["a", "b"], "BOM must not stick to the header");
+        let ds = read_csv_str("\u{feff}zip,city\n60608,Chicago\n").unwrap();
+        assert_eq!(ds.schema().name(0), "zip");
+        assert_eq!(ds.value(0, 0), &Value::Int(60608));
+        // A BOM *inside* the document is data, not a marker.
+        let recs = parse_csv("a\n\u{feff}x\n").unwrap();
+        assert_eq!(recs[1][0], "\u{feff}x");
+    }
+
+    #[test]
+    fn crlf_throughout_reads_into_dataset() {
+        let ds = read_csv_str("zip,city\r\n60608,Chicago\r\n53703,Madison\r\n").unwrap();
+        assert_eq!(ds.nrows(), 2);
+        assert_eq!(ds.value(1, 1), &Value::text("Madison"));
+        // CR inside a quoted field is preserved, not treated as an ending.
+        let recs = parse_csv("a\r\n\"x\ry\"\r\n").unwrap();
+        assert_eq!(recs[1][0], "x\ry");
+    }
+
+    #[test]
+    fn ragged_record_reports_physical_line_numbers() {
+        // A quoted field spanning three physical lines shifts every later
+        // record: the record *index* would say 3, the file says 5.
+        let err = read_csv_str("a,b\n\"l2\nl3\nl4\",x\nonly-one\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRecord {
+                line: 5,
+                found: 1,
+                expected: 2
+            }
+        );
+        // CRLF input reports the same physical line as LF input.
+        let err = read_csv_str("a,b\r\n1,2\r\n1\r\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRecord {
+                line: 3,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn parse_csv_records_tags_start_lines() {
+        let recs = parse_csv_records("a,b\n\"x\ny\",2\n3,4\n").unwrap();
+        let lines: Vec<usize> = recs.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod schema;
 mod value;
 
 pub use column::{Column, NULL_CODE};
-pub use csv::{parse_csv, read_csv_str, write_csv_string, CsvError};
+pub use csv::{parse_csv, parse_csv_records, read_csv_str, write_csv_string, CsvError};
 pub use dataset::Dataset;
 pub use fd::{Fd, FdSet};
 pub use schema::{AttrId, AttrType, Attribute, Schema};

@@ -1,10 +1,47 @@
 //! Exporters: human-readable text summary, phase-tree rendering, and
-//! deterministic JSON-lines.
+//! deterministic JSON-lines — plus the crash-safe file writer every
+//! exporter output goes through.
 
 use crate::json::{self, Obj};
 use crate::registry::{Snapshot, HISTOGRAM_BUCKETS};
 use crate::span::PhaseNode;
 use crate::Histogram;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Crash-safe file write: the contents land in a temp file *in the same
+/// directory* and are atomically renamed over `path`, so a reader (or a
+/// process killed mid-write) never observes truncated output. Same-dir
+/// placement keeps the rename on one filesystem, which is what makes it
+/// atomic. On failure the temp file is cleaned up best-effort.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    // pid + process-wide sequence keeps concurrent writers (or a stale
+    // temp from a killed run) from colliding.
+    let tmp = dir.join(format!(
+        ".{base}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
 
 /// Renders a snapshot as a human-readable summary: counters, gauges, then
 /// histograms (count / mean / p50 / p99 upper-edge estimates), each section
@@ -237,6 +274,41 @@ mod tests {
         assert!(text.contains("(self)"));
         assert!(text.contains("40.0%"));
         assert_eq!(render_phase_tree(&[]), "(no spans recorded)\n");
+    }
+
+    #[test]
+    fn write_atomic_replaces_a_partial_write() {
+        let dir = std::env::temp_dir().join(format!("fdx-obs-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("metrics.jsonl");
+
+        // Simulate a process killed mid-write: the target holds a
+        // truncated JSONL line and a stale temp file is lying around.
+        std::fs::write(&target, "{\"kind\":\"coun").unwrap();
+        std::fs::write(dir.join(".metrics.jsonl.tmp.1.0"), "{\"ki").unwrap();
+
+        let full = export_jsonl(&sample_snapshot());
+        write_atomic(&target, &full).unwrap();
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), full);
+
+        // No temp file from *this* write survives; each line is complete.
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&format!(".tmp.{}", std::process::id())))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        for line in std::fs::read_to_string(&target).unwrap().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_rejects_bare_directory_target() {
+        let err = write_atomic(Path::new("/"), "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

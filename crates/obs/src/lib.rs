@@ -53,7 +53,7 @@ pub mod json;
 mod registry;
 mod span;
 
-pub use export::{export_jsonl, render_phase_tree, render_text};
+pub use export::{export_jsonl, render_phase_tree, render_text, write_atomic};
 pub use registry::{
     counter_add, event, gauge_set, observe, Counter, Field, Gauge, Histogram, Registry, Snapshot,
     HISTOGRAM_BUCKETS,

@@ -1,0 +1,191 @@
+//! Client side of the serve protocol, with a deterministic retry policy.
+//!
+//! The backoff schedule is seedless and fixed — `base × 2^attempt`, no
+//! jitter — so `fdx request` behaves identically run-to-run, matching the
+//! workspace-wide determinism contract. Retries fire on connect failures
+//! and on typed `overloaded` rejections; every other reply (including
+//! typed errors) is returned to the caller on the first attempt.
+
+use crate::protocol::{codes, FrameError, RequestFrame, Response};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// Retry policy for [`request`]. The defaults give five retries spaced
+/// 25, 50, 100, 200, 400 ms — under a second of total waiting.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = retries + 1).
+    pub retries: u32,
+    /// First backoff delay; doubles each retry.
+    pub base_delay_ms: u64,
+    /// Ceiling on a single backoff delay.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 5,
+            base_delay_ms: 25,
+            max_delay_ms: 1000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The deterministic delay before retry `attempt` (0-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(20);
+        (self.base_delay_ms.saturating_mul(1u64 << shift)).min(self.max_delay_ms)
+    }
+}
+
+/// Client failure after retries are exhausted.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect (after retries).
+    Connect(io::Error),
+    /// Connected but the exchange failed mid-flight.
+    Io(io::Error),
+    /// The server closed without sending a reply line.
+    EmptyReply,
+    /// The reply line did not parse as a protocol response.
+    BadReply(FrameError),
+    /// Every attempt was answered `overloaded`.
+    Overloaded { attempts: u32 },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Io(e) => write!(f, "request i/o failed: {e}"),
+            ClientError::EmptyReply => write!(f, "server closed the connection without a reply"),
+            ClientError::BadReply(e) => write!(f, "unparseable reply: {e}"),
+            ClientError::Overloaded { attempts } => {
+                write!(f, "server overloaded after {attempts} attempts")
+            }
+        }
+    }
+}
+
+/// One raw exchange: connect, send `line` + newline, read one reply line.
+pub fn exchange(addr: &str, line: &str) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(ClientError::Io)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(ClientError::Io)?;
+    let mut reply = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk).map_err(ClientError::Io)?;
+        if n == 0 {
+            break;
+        }
+        if let Some(pos) = chunk[..n].iter().position(|b| *b == b'\n') {
+            reply.extend_from_slice(&chunk[..pos]);
+            break;
+        }
+        reply.extend_from_slice(&chunk[..n]);
+    }
+    if reply.is_empty() {
+        return Err(ClientError::EmptyReply);
+    }
+    String::from_utf8(reply).map_err(|_| {
+        ClientError::BadReply(FrameError {
+            detail: "reply is not valid utf-8".to_string(),
+        })
+    })
+}
+
+/// Send a discover request, retrying on connect failures and `overloaded`
+/// rejections under the policy's fixed backoff schedule.
+pub fn request(
+    addr: &str,
+    frame: &RequestFrame,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    send_line_with_retry(addr, &frame.to_line(), policy)
+}
+
+/// Like [`request`] but for an arbitrary pre-serialized frame line.
+pub fn send_line_with_retry(
+    addr: &str,
+    line: &str,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    let mut attempt = 0u32;
+    loop {
+        match exchange(addr, line) {
+            Ok(reply_line) => {
+                let resp = Response::parse(&reply_line).map_err(ClientError::BadReply)?;
+                if resp.code_is(codes::OVERLOADED) && attempt < policy.retries {
+                    thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                    attempt += 1;
+                    continue;
+                }
+                if resp.code_is(codes::OVERLOADED) {
+                    return Err(ClientError::Overloaded {
+                        attempts: attempt + 1,
+                    });
+                }
+                return Ok(resp);
+            }
+            Err(ClientError::Connect(e)) if attempt < policy.retries => {
+                let _ = e;
+                thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_fixed_and_capped() {
+        let p = RetryPolicy::default();
+        let delays: Vec<u64> = (0..6).map(|a| p.delay_ms(a)).collect();
+        assert_eq!(delays, vec![25, 50, 100, 200, 400, 800]);
+        assert_eq!(p.delay_ms(10), 1000, "capped at max_delay_ms");
+        // Deterministic: same schedule every time.
+        assert_eq!(delays, (0..6).map(|a| p.delay_ms(a)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn connect_to_dead_port_errors_after_retries() {
+        // Bind-then-drop gives a port that refuses connections.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            retries: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 4,
+        };
+        let err = send_line_with_retry(&format!("127.0.0.1:{port}"), "{}", &policy).unwrap_err();
+        assert!(matches!(err, ClientError::Connect(_)), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # fdx-serve — panic-isolated, deadline-aware FD-discovery service
+//!
+//! A zero-dependency (std-only) line-delimited-JSON server that puts the
+//! FDX discovery pipeline behind a long-lived loopback TCP endpoint. The
+//! ROADMAP's north star is a service that survives heavy, occasionally
+//! hostile traffic; this crate supplies the isolation boundary:
+//!
+//! * **one request per connection** — write one JSON frame line, read one
+//!   reply line ([`protocol`]);
+//! * **panic isolation** — requests run under `catch_unwind` on a bounded
+//!   worker pool; a panicking request gets a typed `panic` reply and the
+//!   process keeps serving ([`server`]);
+//! * **deadlines** — `deadline_ms` propagates into
+//!   `FdxConfig::time_budget`, riding the pipeline's `BudgetExceeded`
+//!   path;
+//! * **load shedding** — a bounded queue answers `overloaded` instead of
+//!   growing without bound;
+//! * **graceful drain** — a `shutdown` frame drains in-flight work under a
+//!   timeout and flushes a final metrics snapshot;
+//! * **request-scoped chaos** — with `--chaos`, a request can arm
+//!   `fdx_obs::faults` for its own worker thread only, which is what the
+//!   chaos soak test drives.
+//!
+//! The client half ([`client`]) retries `overloaded`/connect failures on a
+//! deterministic, seedless exponential-backoff schedule.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{request, ClientError, RetryPolicy};
+pub use protocol::{
+    codes, error_frame, ok_frame, parse_frame, shutdown_line, ChaosSpec, Frame, FrameError,
+    RequestFrame, Response,
+};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

@@ -1,0 +1,559 @@
+//! Wire protocol of the discovery service: line-delimited JSON frames.
+//!
+//! One request per connection: the client connects, writes a single
+//! newline-terminated JSON object, reads a single newline-terminated JSON
+//! reply, and the connection closes. The full frame schema is documented
+//! in DESIGN.md §11.
+//!
+//! Request frames:
+//!
+//! ```json
+//! {"op":"discover","id":"r1","csv":"zip,city\n...","deadline_ms":5000,
+//!  "threshold":0.08,"sparsity":0.05,"min_lift":0.0,"seed":7,"threads":2,
+//!  "validate":true,"chaos":["glasso.force_no_converge",
+//!  {"point":"clock.skew","value":1e6},{"point":"udut.force_not_pd","times":1}]}
+//! {"op":"shutdown","id":"ops-1"}
+//! ```
+//!
+//! `op` defaults to `"discover"`. Unknown keys, unknown ops, wrong types,
+//! and unknown chaos points are all typed `bad_request` rejections — the
+//! parser is strict so that a malformed frame can never be half-honored.
+
+use crate::json::{self, JsonValue};
+use fdx_core::{FdxError, FdxResult};
+use fdx_data::Schema;
+use fdx_obs::json::{array, escape, Obj};
+use std::fmt;
+
+/// Hard cap on a single request frame, in bytes. Bounds per-connection
+/// memory before a frame is even parsed (load shedding bounds the rest).
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Fault points a request may arm through the `chaos` field, mapped to the
+/// `&'static str` names `fdx_obs::faults` requires. `serve.stall` (worker
+/// sleeps `value` seconds) and `serve.force_panic` (worker panics inside
+/// the isolation boundary) live in this crate; the rest are the pipeline
+/// fault points from PR 3.
+pub const FAULT_POINTS: &[&str] = &[
+    "glasso.force_no_converge",
+    "covariance.inject_nan",
+    "udut.force_not_pd",
+    "inversion.force_fail",
+    "clock.skew",
+    "serve.force_panic",
+    "serve.stall",
+];
+
+/// Typed error codes carried in `"code"` of an error frame.
+pub mod codes {
+    /// Frame failed to parse or validate; also covers chaos requests when
+    /// the server was not started with `--chaos`.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The bounded request queue is full; retry after backoff.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's `deadline_ms` expired (either in the queue or via the
+    /// pipeline's `BudgetExceeded` path).
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Dataset too small for structure learning.
+    pub const INSUFFICIENT_DATA: &str = "insufficient_data";
+    /// The pipeline failed after exhausting the recovery ladder.
+    pub const DISCOVER_ERROR: &str = "discover_error";
+    /// The request handler panicked; the worker recovered and the process
+    /// keeps serving.
+    pub const PANIC: &str = "panic";
+    /// The server is draining and no longer accepts work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// One armed fault from a request's `chaos` array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Interned fault-point name (one of [`FAULT_POINTS`]).
+    pub point: &'static str,
+    /// Fire at most this many times (`None` = unlimited).
+    pub times: Option<u64>,
+    /// Value payload for value-carrying points like `clock.skew`.
+    pub value: Option<f64>,
+}
+
+/// A parsed `op: "discover"` request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestFrame {
+    pub id: String,
+    pub csv: String,
+    pub deadline_ms: Option<u64>,
+    pub threshold: Option<f64>,
+    pub sparsity: Option<f64>,
+    pub min_lift: Option<f64>,
+    pub seed: Option<u64>,
+    pub threads: Option<usize>,
+    pub validate: Option<bool>,
+    pub chaos: Vec<ChaosSpec>,
+}
+
+/// Any well-formed frame the acceptor understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Discover(Box<RequestFrame>),
+    Shutdown { id: String },
+}
+
+/// Frame rejection; always surfaces as a [`codes::BAD_REQUEST`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    pub detail: String,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+fn bad(detail: impl Into<String>) -> FrameError {
+    FrameError {
+        detail: detail.into(),
+    }
+}
+
+/// Look up the interned name for a request-supplied fault point.
+pub fn intern_fault_point(name: &str) -> Option<&'static str> {
+    FAULT_POINTS.iter().find(|p| **p == name).copied()
+}
+
+/// Parse one request line into a typed frame. Strict: unknown keys or ops,
+/// wrong field types, and unknown chaos points are errors.
+pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(bad(format!(
+            "frame of {} bytes exceeds the {} byte cap",
+            line.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    let v = json::parse(line).map_err(|e| bad(e.to_string()))?;
+    let fields = match &v {
+        JsonValue::Obj(fields) => fields,
+        _ => return Err(bad("frame must be a json object")),
+    };
+    let op = match v.get("op") {
+        None => "discover",
+        Some(o) => o.as_str().ok_or_else(|| bad("\"op\" must be a string"))?,
+    };
+    let id = match v.get("id") {
+        None => String::new(),
+        Some(i) => i
+            .as_str()
+            .ok_or_else(|| bad("\"id\" must be a string"))?
+            .to_string(),
+    };
+    match op {
+        "shutdown" => {
+            for (k, _) in fields {
+                if k != "op" && k != "id" {
+                    return Err(bad(format!("unknown key {k:?} in shutdown frame")));
+                }
+            }
+            Ok(Frame::Shutdown { id })
+        }
+        "discover" => {
+            let mut req = RequestFrame {
+                id,
+                ..RequestFrame::default()
+            };
+            let mut saw_csv = false;
+            for (k, val) in fields {
+                match k.as_str() {
+                    "op" | "id" => {}
+                    "csv" => {
+                        req.csv = val
+                            .as_str()
+                            .ok_or_else(|| bad("\"csv\" must be a string"))?
+                            .to_string();
+                        saw_csv = true;
+                    }
+                    "deadline_ms" => {
+                        req.deadline_ms = Some(val.as_u64().ok_or_else(|| {
+                            bad("\"deadline_ms\" must be a non-negative integer")
+                        })?);
+                    }
+                    "threshold" | "sparsity" | "min_lift" => {
+                        let f = val
+                            .as_f64()
+                            .filter(|f| f.is_finite())
+                            .ok_or_else(|| bad(format!("{k:?} must be a finite number")))?;
+                        match k.as_str() {
+                            "threshold" => req.threshold = Some(f),
+                            "sparsity" => req.sparsity = Some(f),
+                            _ => req.min_lift = Some(f),
+                        }
+                    }
+                    "seed" => {
+                        req.seed = Some(
+                            val.as_u64()
+                                .ok_or_else(|| bad("\"seed\" must be a non-negative integer"))?,
+                        );
+                    }
+                    "threads" => {
+                        let t = val
+                            .as_u64()
+                            .filter(|t| *t >= 1)
+                            .ok_or_else(|| bad("\"threads\" must be a positive integer"))?;
+                        req.threads = Some(t as usize);
+                    }
+                    "validate" => {
+                        req.validate = Some(
+                            val.as_bool()
+                                .ok_or_else(|| bad("\"validate\" must be a boolean"))?,
+                        );
+                    }
+                    "chaos" => {
+                        let arr = val
+                            .as_arr()
+                            .ok_or_else(|| bad("\"chaos\" must be an array"))?;
+                        for item in arr {
+                            req.chaos.push(parse_chaos_spec(item)?);
+                        }
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in discover frame"))),
+                }
+            }
+            if !saw_csv {
+                return Err(bad("discover frame requires a \"csv\" field"));
+            }
+            Ok(Frame::Discover(Box::new(req)))
+        }
+        other => Err(bad(format!("unknown op {other:?}"))),
+    }
+}
+
+fn parse_chaos_spec(item: &JsonValue) -> Result<ChaosSpec, FrameError> {
+    match item {
+        JsonValue::Str(name) => {
+            let point = intern_fault_point(name)
+                .ok_or_else(|| bad(format!("unknown chaos point {name:?}")))?;
+            Ok(ChaosSpec {
+                point,
+                times: None,
+                value: None,
+            })
+        }
+        JsonValue::Obj(fields) => {
+            let name = item
+                .get("point")
+                .and_then(|p| p.as_str())
+                .ok_or_else(|| bad("chaos entry requires a string \"point\""))?;
+            let point = intern_fault_point(name)
+                .ok_or_else(|| bad(format!("unknown chaos point {name:?}")))?;
+            let mut spec = ChaosSpec {
+                point,
+                times: None,
+                value: None,
+            };
+            for (k, v) in fields {
+                match k.as_str() {
+                    "point" => {}
+                    "times" => {
+                        spec.times = Some(v.as_u64().ok_or_else(|| {
+                            bad("chaos \"times\" must be a non-negative integer")
+                        })?);
+                    }
+                    "value" => {
+                        spec.value = Some(
+                            v.as_f64()
+                                .filter(|f| f.is_finite())
+                                .ok_or_else(|| bad("chaos \"value\" must be a finite number"))?,
+                        );
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in chaos entry"))),
+                }
+            }
+            Ok(spec)
+        }
+        _ => Err(bad("chaos entries must be strings or objects")),
+    }
+}
+
+impl RequestFrame {
+    /// Serialize back to a single request line (client side). Inverse of
+    /// [`parse_frame`] for well-formed frames.
+    pub fn to_line(&self) -> String {
+        let mut o = Obj::new()
+            .str_("op", "discover")
+            .str_("id", &self.id)
+            .str_("csv", &self.csv);
+        if let Some(d) = self.deadline_ms {
+            o = o.u64_("deadline_ms", d);
+        }
+        if let Some(t) = self.threshold {
+            o = o.f64_("threshold", t);
+        }
+        if let Some(s) = self.sparsity {
+            o = o.f64_("sparsity", s);
+        }
+        if let Some(m) = self.min_lift {
+            o = o.f64_("min_lift", m);
+        }
+        if let Some(s) = self.seed {
+            o = o.u64_("seed", s);
+        }
+        if let Some(t) = self.threads {
+            o = o.u64_("threads", t as u64);
+        }
+        if let Some(v) = self.validate {
+            o = o.bool_("validate", v);
+        }
+        if !self.chaos.is_empty() {
+            let specs: Vec<String> = self
+                .chaos
+                .iter()
+                .map(|c| {
+                    let mut co = Obj::new().str_("point", c.point);
+                    if let Some(t) = c.times {
+                        co = co.u64_("times", t);
+                    }
+                    if let Some(v) = c.value {
+                        co = co.f64_("value", v);
+                    }
+                    co.finish()
+                })
+                .collect();
+            o = o.raw("chaos", &array(specs));
+        }
+        o.finish()
+    }
+}
+
+/// A shutdown request line, for clients and tests.
+pub fn shutdown_line(id: &str) -> String {
+    Obj::new().str_("op", "shutdown").str_("id", id).finish()
+}
+
+/// Build the success reply for a completed discover request.
+pub fn ok_frame(id: &str, result: &FdxResult, schema: &Schema, queue_wait_secs: f64) -> String {
+    let fds: Vec<String> = result
+        .fds
+        .iter()
+        .map(|fd| format!("\"{}\"", escape(&fd.display(schema).to_string())))
+        .collect();
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .u64_("attrs", schema.len() as u64)
+        .raw("fds", &array(fds))
+        .u64_("edges", result.fds.edge_count() as u64)
+        .bool_("degraded", result.health.degraded())
+        .u64_("rung", result.health.rung.index() as u64)
+        .raw("health", &result.health.to_json())
+        .f64_("queue_wait_secs", queue_wait_secs)
+        .finish()
+}
+
+/// Build a typed error reply.
+pub fn error_frame(id: &str, code: &str, detail: &str) -> String {
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "error")
+        .str_("code", code)
+        .str_("detail", detail)
+        .finish()
+}
+
+/// Build the acknowledgement reply for a shutdown frame.
+pub fn shutdown_ack(id: &str) -> String {
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .str_("op", "shutdown")
+        .finish()
+}
+
+/// Map a pipeline error to its `(code, detail)` reply pair.
+pub fn map_fdx_error(err: &FdxError) -> (&'static str, String) {
+    match err {
+        FdxError::BudgetExceeded { .. } => (codes::DEADLINE_EXCEEDED, err.to_string()),
+        FdxError::InsufficientData { .. } => (codes::INSUFFICIENT_DATA, err.to_string()),
+        FdxError::Numerical(_) | FdxError::NonFinite { .. } => {
+            (codes::DISCOVER_ERROR, err.to_string())
+        }
+    }
+}
+
+/// A parsed reply frame, for the client and for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub id: String,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// Error code when `status == "error"`.
+    pub code: Option<String>,
+    /// Human-readable error detail when `status == "error"`.
+    pub detail: Option<String>,
+    /// Rendered FDs (`"lhs -> rhs"`) when `status == "ok"` on a discover.
+    pub fds: Option<Vec<String>>,
+    pub degraded: Option<bool>,
+    /// Recovery-ladder rung (1 = pristine glasso).
+    pub rung: Option<u64>,
+    /// The full reply document for fields not lifted above.
+    pub raw: JsonValue,
+    /// The reply line exactly as received (trailing whitespace trimmed).
+    pub line: String,
+}
+
+impl Response {
+    pub fn parse(line: &str) -> Result<Response, FrameError> {
+        let line = line.trim_end();
+        let raw = json::parse(line).map_err(|e| bad(e.to_string()))?;
+        let status = raw
+            .get("status")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| bad("reply missing \"status\""))?
+            .to_string();
+        let id = raw
+            .get("id")
+            .and_then(|s| s.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let code = raw.get("code").and_then(|c| c.as_str()).map(String::from);
+        let detail = raw.get("detail").and_then(|c| c.as_str()).map(String::from);
+        let fds = raw.get("fds").and_then(|f| f.as_arr()).map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(String::from))
+                .collect()
+        });
+        let degraded = raw.get("degraded").and_then(|d| d.as_bool());
+        let rung = raw.get("rung").and_then(|r| r.as_u64());
+        Ok(Response {
+            id,
+            status,
+            code,
+            detail,
+            fds,
+            degraded,
+            rung,
+            raw,
+            line: line.to_string(),
+        })
+    }
+
+    /// The reply line exactly as received, for relaying to stdout.
+    pub fn raw_line(&self) -> &str {
+        &self.line
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    pub fn code_is(&self, code: &str) -> bool {
+        self.code.as_deref() == Some(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_discover_frame() {
+        let f = parse_frame(r#"{"csv":"a,b\n1,2\n"}"#).unwrap();
+        match f {
+            Frame::Discover(req) => {
+                assert_eq!(req.csv, "a,b\n1,2\n");
+                assert_eq!(req.id, "");
+                assert!(req.chaos.is_empty());
+            }
+            other => panic!("expected discover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_discover_frame() {
+        let line = r#"{"op":"discover","id":"r1","csv":"a\n1\n","deadline_ms":250,
+            "threshold":0.1,"sparsity":0.05,"min_lift":0.2,"seed":7,"threads":2,
+            "validate":false,"chaos":["glasso.force_no_converge",
+            {"point":"clock.skew","value":1000000.0},
+            {"point":"udut.force_not_pd","times":1}]}"#;
+        let f = parse_frame(line).unwrap();
+        let req = match f {
+            Frame::Discover(req) => req,
+            other => panic!("expected discover, got {other:?}"),
+        };
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.threads, Some(2));
+        assert_eq!(req.validate, Some(false));
+        assert_eq!(req.chaos.len(), 3);
+        assert_eq!(req.chaos[0].point, "glasso.force_no_converge");
+        assert_eq!(req.chaos[1].value, Some(1_000_000.0));
+        assert_eq!(req.chaos[2].times, Some(1));
+    }
+
+    #[test]
+    fn shutdown_frame_roundtrip() {
+        let f = parse_frame(&shutdown_line("ops")).unwrap();
+        assert_eq!(f, Frame::Shutdown { id: "ops".into() });
+    }
+
+    #[test]
+    fn request_frame_to_line_roundtrips() {
+        let req = RequestFrame {
+            id: "x".into(),
+            csv: "a,b\n\"1,\n\",2\n".into(),
+            deadline_ms: Some(1000),
+            threshold: Some(0.08),
+            seed: Some(3),
+            chaos: vec![ChaosSpec {
+                point: "clock.skew",
+                times: None,
+                value: Some(5.0),
+            }],
+            ..RequestFrame::default()
+        };
+        let parsed = parse_frame(&req.to_line()).unwrap();
+        assert_eq!(parsed, Frame::Discover(Box::new(req)));
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_detail() {
+        for (line, needle) in [
+            ("not json", "invalid json"),
+            ("[1,2]", "must be a json object"),
+            (r#"{"op":"evict"}"#, "unknown op"),
+            (r#"{"op":"discover"}"#, "requires a \"csv\""),
+            (r#"{"csv":3}"#, "\"csv\" must be a string"),
+            (r#"{"csv":"a\n","deadline_ms":-5}"#, "deadline_ms"),
+            (r#"{"csv":"a\n","deadline_ms":1.5}"#, "deadline_ms"),
+            (r#"{"csv":"a\n","bogus":1}"#, "unknown key"),
+            (r#"{"csv":"a\n","threads":0}"#, "threads"),
+            (
+                r#"{"csv":"a\n","chaos":["nope.nope"]}"#,
+                "unknown chaos point",
+            ),
+            (r#"{"csv":"a\n","chaos":[{"value":1}]}"#, "\"point\""),
+            (r#"{"op":"shutdown","csv":"a\n"}"#, "unknown key"),
+        ] {
+            let err = parse_frame(line).unwrap_err();
+            assert!(
+                err.detail.contains(needle),
+                "{line}: expected {needle:?} in {:?}",
+                err.detail
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_cheaply() {
+        let line = format!("{{\"csv\":\"{}\"}}", "x".repeat(MAX_FRAME_BYTES));
+        let err = parse_frame(&line).unwrap_err();
+        assert!(err.detail.contains("byte cap"));
+    }
+
+    #[test]
+    fn error_frame_parses_as_response() {
+        let r = Response::parse(&error_frame("r9", codes::OVERLOADED, "queue full")).unwrap();
+        assert_eq!(r.id, "r9");
+        assert!(!r.is_ok());
+        assert!(r.code_is(codes::OVERLOADED));
+        assert_eq!(r.detail.as_deref(), Some("queue full"));
+    }
+}

@@ -1,0 +1,650 @@
+//! The discovery server: acceptor, bounded queue, panic-isolated workers,
+//! graceful drain.
+//!
+//! Robustness mechanisms (DESIGN.md §11):
+//!
+//! 1. **Panic isolation** — every request runs under `catch_unwind` on a
+//!    worker thread; a panicking request answers a typed `panic` frame,
+//!    bumps `fdx.serve.panics`, and the worker keeps serving. This crate
+//!    and `fdx-par` are the only places `catch_unwind` is allowed
+//!    (enforced by lint rule FDX-L007).
+//! 2. **Deadline propagation** — a request's `deadline_ms`, minus the time
+//!    it spent queued, becomes `FdxConfig::time_budget`, so the pipeline's
+//!    own `BudgetExceeded` path terminates runaway work between phases.
+//! 3. **Load shedding** — the request queue is bounded by `queue_cap`;
+//!    when full, new requests are answered `overloaded` immediately and
+//!    `fdx.serve.shed` counts every rejection. Frame size is capped before
+//!    parsing, so per-connection memory is bounded too.
+//! 4. **Graceful drain** — a `shutdown` frame (or [`ServerHandle::shutdown`])
+//!    stops the acceptor, lets workers drain the queue under
+//!    `drain_timeout_secs`, answers abandoned jobs `shutting_down` when the
+//!    timeout expires, and flushes a final metrics snapshot.
+//! 5. **Request-scoped chaos** — with [`ServeConfig::chaos`] enabled, a
+//!    request's `chaos` field arms `fdx_obs::faults` on the worker thread
+//!    for the duration of that request only; the RAII guards disarm on
+//!    return *and* on unwind, so faults never leak across requests.
+
+use crate::protocol::{self, codes, Frame, RequestFrame};
+use fdx_core::{Fdx, FdxConfig, FdxError};
+use fdx_data::read_csv_str;
+use fdx_obs::faults::{self, ArmedFault};
+use fdx_obs::{counter_add, gauge_set, observe, Span};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server configuration; see `fdx serve --help` for the CLI mapping.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. The default asks the OS for an ephemeral loopback
+    /// port; [`ServerHandle::addr`] reports what was bound.
+    pub addr: String,
+    /// Worker-pool size. `None` resolves like the rest of the workspace:
+    /// `FDX_THREADS`, then available cores (`fdx_par::resolve_threads`).
+    pub threads: Option<usize>,
+    /// Bounded request-queue capacity; beyond it requests are shed.
+    pub queue_cap: usize,
+    /// Seconds to wait for queued + in-flight work after shutdown begins.
+    pub drain_timeout_secs: f64,
+    /// Allow requests to arm fault points via their `chaos` field.
+    pub chaos: bool,
+    /// Write the final metrics snapshot here on drain (atomic rename).
+    pub metrics_path: Option<PathBuf>,
+    /// Per-connection socket read timeout.
+    pub io_timeout_secs: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: None,
+            queue_cap: 64,
+            drain_timeout_secs: 5.0,
+            chaos: false,
+            metrics_path: None,
+            io_timeout_secs: 10.0,
+        }
+    }
+}
+
+/// Final tally returned by [`ServerHandle::wait`]. Authoritative even when
+/// obs recording is disabled (the obs counters mirror these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests a worker answered (ok or typed error).
+    pub completed: u64,
+    /// Requests rejected with `overloaded` because the queue was full.
+    pub shed: u64,
+    /// Requests whose handler panicked (answered with a `panic` frame).
+    pub panics: u64,
+    /// Connections answered `bad_request` (malformed/oversized frames,
+    /// chaos without `--chaos`).
+    pub bad_frames: u64,
+    /// Requests that exceeded their deadline (queued or in the pipeline).
+    pub deadline_exceeded: u64,
+    /// Queued requests answered `shutting_down` at the drain timeout.
+    pub abandoned: u64,
+    /// Whether the drain timed out before queued + in-flight work finished.
+    pub drain_timed_out: bool,
+}
+
+struct QueueInner {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+}
+
+struct State {
+    inner: Mutex<QueueInner>,
+    job_ready: Condvar,
+    /// Signalled whenever the queue may have drained (job finished).
+    drained: Condvar,
+    shutting_down: AtomicBool,
+    /// Signalled once when shutdown begins; `wait()` blocks on it.
+    shutdown_started: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Set when the drain timeout expires: workers answer remaining jobs
+    /// with `shutting_down` instead of running them.
+    abandon: AtomicBool,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    bad_frames: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    abandoned: AtomicU64,
+}
+
+impl State {
+    fn new() -> State {
+        State {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                in_flight: 0,
+            }),
+            job_ready: Condvar::new(),
+            drained: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            shutdown_started: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            abandon: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+        }
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let mut started = lock_recover(&self.shutdown_started);
+        *started = true;
+        self.shutdown_cv.notify_all();
+        // Wake idle workers so they can observe the flag and exit once the
+        // queue is empty.
+        self.job_ready.notify_all();
+    }
+}
+
+/// Mutex lock that shrugs off poisoning: the protected state is a queue of
+/// jobs plus counters, all of which stay coherent across an unwind.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One queued request: the parsed frame, the connection to answer on, and
+/// a span measuring time spent in the queue.
+struct Job {
+    req: Box<RequestFrame>,
+    stream: TcpStream,
+    wait: Span,
+}
+
+/// The discovery server. [`Server::start`] binds, spawns the acceptor and
+/// the worker pool, and returns a handle.
+pub struct Server;
+
+/// Handle to a running server: address, test hooks, and the drain loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    config: ServeConfig,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr`, spawn the worker pool (sized by
+    /// `fdx_par::resolve_threads`) and the acceptor thread.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State::new());
+        let n_workers = fdx_par::resolve_threads(config.threads).max(1);
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let state = Arc::clone(&state);
+            let cfg = config.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("fdx-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &cfg))?,
+            );
+        }
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let cfg = config.clone();
+            thread::Builder::new()
+                .name("fdx-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &state, &cfg))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            config,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port of `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Test hook: initiate shutdown exactly as a `shutdown` frame would.
+    pub fn shutdown(&self) {
+        if !self.state.is_shutting_down() {
+            self.state.begin_shutdown();
+        }
+        // Wake the acceptor out of its blocking accept so it can observe
+        // the flag and exit; a no-payload connection reads as EOF.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until shutdown begins (via a `shutdown` frame or
+    /// [`ServerHandle::shutdown`]), drain under the configured timeout,
+    /// flush the final metrics snapshot, and return the tally.
+    pub fn wait(mut self) -> ServeReport {
+        {
+            let mut started = lock_recover(&self.state.shutdown_started);
+            while !*started {
+                started = self
+                    .state
+                    .shutdown_cv
+                    .wait(started)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Make sure the acceptor is awake even if shutdown came in through
+        // a frame on a connection the acceptor already finished with.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+
+        // Drain: wait for queued + in-flight work, bounded by the timeout.
+        let drain = Span::enter("serve.drain");
+        let mut timed_out = false;
+        {
+            let mut inner = lock_recover(&self.state.inner);
+            loop {
+                if inner.queue.is_empty() && inner.in_flight == 0 {
+                    break;
+                }
+                let remaining = self.config.drain_timeout_secs - drain.elapsed_secs();
+                if remaining <= 0.0 {
+                    timed_out = true;
+                    self.state.abandon.store(true, Ordering::Release);
+                    // Answer everything still queued; in-flight work cannot
+                    // be cancelled and is detached below.
+                    while let Some(job) = inner.queue.pop_front() {
+                        self.state.abandoned.fetch_add(1, Ordering::Relaxed);
+                        counter_add("fdx.serve.abandoned", 1);
+                        let Job {
+                            req, mut stream, ..
+                        } = job;
+                        write_reply(
+                            &mut stream,
+                            &protocol::error_frame(
+                                &req.id,
+                                codes::SHUTTING_DOWN,
+                                "server drain timed out before this request ran",
+                            ),
+                        );
+                    }
+                    gauge_set("fdx.serve.queue_depth", 0.0);
+                    break;
+                }
+                let (guard, _) = self
+                    .state
+                    .drained
+                    .wait_timeout(inner, Duration::from_secs_f64(remaining.min(0.05)))
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+        drop(drain);
+
+        if timed_out {
+            // Workers may be stuck mid-request; detach rather than block
+            // past the drain deadline. (On CLI exit the process teardown
+            // reaps them; in tests they finish and answer late.)
+            self.workers.clear();
+        } else {
+            self.state.job_ready.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+
+        let report = ServeReport {
+            requests: self.state.requests.load(Ordering::Relaxed),
+            completed: self.state.completed.load(Ordering::Relaxed),
+            shed: self.state.shed.load(Ordering::Relaxed),
+            panics: self.state.panics.load(Ordering::Relaxed),
+            bad_frames: self.state.bad_frames.load(Ordering::Relaxed),
+            deadline_exceeded: self.state.deadline_exceeded.load(Ordering::Relaxed),
+            abandoned: self.state.abandoned.load(Ordering::Relaxed),
+            drain_timed_out: timed_out,
+        };
+
+        if let Some(path) = &self.config.metrics_path {
+            let snap = fdx_obs::Registry::global().snapshot();
+            let _ = fdx_obs::write_atomic(path, &fdx_obs::export_jsonl(&snap));
+        }
+        report
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, state: &Arc<State>, cfg: &ServeConfig) {
+    for conn in listener.incoming() {
+        if state.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Defense in depth: the per-connection path is already designed
+        // not to panic (typed errors end-to-end), but a bug here must not
+        // take the acceptor down with it.
+        let _ = catch_unwind(AssertUnwindSafe(|| accept_conn(stream, state, cfg)));
+        if state.is_shutting_down() {
+            break;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Line(Vec<u8>),
+    TooLarge,
+    Eof,
+}
+
+/// Read one newline-terminated frame, bounded by the frame-size cap.
+fn read_frame_line(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(if buf.is_empty() {
+                ReadOutcome::Eof
+            } else {
+                // Tolerate a missing trailing newline on EOF.
+                ReadOutcome::Line(buf)
+            });
+        }
+        if let Some(pos) = chunk[..n].iter().position(|b| *b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            return Ok(ReadOutcome::Line(buf));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > protocol::MAX_FRAME_BYTES {
+            return Ok(ReadOutcome::TooLarge);
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, line: &str) {
+    // The client may already be gone; a failed reply must not unwind.
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs_f64(cfg.io_timeout_secs.max(0.01))));
+    let _ = stream.set_nodelay(true);
+    let line = match read_frame_line(&mut stream) {
+        Err(_) | Ok(ReadOutcome::Eof) => return,
+        Ok(ReadOutcome::TooLarge) => {
+            state.bad_frames.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.bad_request", 1);
+            write_reply(
+                &mut stream,
+                &protocol::error_frame(
+                    "",
+                    codes::BAD_REQUEST,
+                    &format!("frame exceeds the {} byte cap", protocol::MAX_FRAME_BYTES),
+                ),
+            );
+            return;
+        }
+        Ok(ReadOutcome::Line(bytes)) => bytes,
+    };
+    let line = match String::from_utf8(line) {
+        Ok(s) => s,
+        Err(_) => {
+            state.bad_frames.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.bad_request", 1);
+            write_reply(
+                &mut stream,
+                &protocol::error_frame("", codes::BAD_REQUEST, "frame is not valid utf-8"),
+            );
+            return;
+        }
+    };
+
+    match protocol::parse_frame(line.trim_end_matches('\r')) {
+        Err(e) => {
+            state.bad_frames.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.bad_request", 1);
+            write_reply(
+                &mut stream,
+                &protocol::error_frame("", codes::BAD_REQUEST, &e.detail),
+            );
+        }
+        Ok(Frame::Shutdown { id }) => {
+            write_reply(&mut stream, &protocol::shutdown_ack(&id));
+            state.begin_shutdown();
+        }
+        Ok(Frame::Discover(req)) => {
+            if !cfg.chaos && !req.chaos.is_empty() {
+                state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                counter_add("fdx.serve.bad_request", 1);
+                write_reply(
+                    &mut stream,
+                    &protocol::error_frame(
+                        &req.id,
+                        codes::BAD_REQUEST,
+                        "chaos requested but the server was not started with --chaos",
+                    ),
+                );
+                return;
+            }
+            let mut inner = lock_recover(&state.inner);
+            if inner.queue.len() >= cfg.queue_cap {
+                drop(inner);
+                state.shed.fetch_add(1, Ordering::Relaxed);
+                counter_add("fdx.serve.shed", 1);
+                write_reply(
+                    &mut stream,
+                    &protocol::error_frame(
+                        &req.id,
+                        codes::OVERLOADED,
+                        &format!("request queue is full (cap {})", cfg.queue_cap),
+                    ),
+                );
+                return;
+            }
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.requests", 1);
+            inner.queue.push_back(Job {
+                req,
+                stream,
+                wait: Span::enter("serve.queue_wait"),
+            });
+            gauge_set("fdx.serve.queue_depth", inner.queue.len() as f64);
+            drop(inner);
+            state.job_ready.notify_one();
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
+    loop {
+        let job = {
+            let mut inner = lock_recover(&state.inner);
+            loop {
+                if let Some(job) = inner.queue.pop_front() {
+                    inner.in_flight += 1;
+                    gauge_set("fdx.serve.queue_depth", inner.queue.len() as f64);
+                    break Some(job);
+                }
+                if state.is_shutting_down() {
+                    break None;
+                }
+                inner = state
+                    .job_ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else {
+            // Queue drained under shutdown: wake siblings and exit.
+            state.job_ready.notify_all();
+            return;
+        };
+
+        if state.abandon.load(Ordering::Acquire) {
+            let Job {
+                req, mut stream, ..
+            } = job;
+            state.abandoned.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.abandoned", 1);
+            write_reply(
+                &mut stream,
+                &protocol::error_frame(
+                    &req.id,
+                    codes::SHUTTING_DOWN,
+                    "server drain timed out before this request ran",
+                ),
+            );
+        } else {
+            process_job(state, cfg, job);
+        }
+
+        let mut inner = lock_recover(&state.inner);
+        inner.in_flight -= 1;
+        if inner.queue.is_empty() && inner.in_flight == 0 {
+            state.drained.notify_all();
+        }
+    }
+}
+
+/// Run one request under the panic-isolation boundary and answer it.
+fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
+    let Job {
+        req,
+        mut stream,
+        wait,
+    } = job;
+    let queue_wait = wait.elapsed_secs();
+    observe("fdx.serve.queue_wait_us", (queue_wait * 1e6) as u64);
+    drop(wait);
+    let request_span = Span::enter("serve.request");
+    let id = req.id.clone();
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        handle_discover(state, &req, queue_wait)
+    }));
+    let reply = match outcome {
+        Ok(reply) => reply,
+        Err(_) => {
+            state.panics.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.panics", 1);
+            protocol::error_frame(
+                &id,
+                codes::PANIC,
+                "request handler panicked; worker recovered and the server keeps serving",
+            )
+        }
+    };
+    state.completed.fetch_add(1, Ordering::Relaxed);
+    counter_add("fdx.serve.completed", 1);
+    drop(request_span);
+    write_reply(&mut stream, &reply);
+}
+
+/// Arm the request's chaos faults on this worker thread only. The returned
+/// guards disarm on drop — including during an unwind — so a faulted or
+/// panicking request can never contaminate the next one on this worker.
+fn arm_chaos(req: &RequestFrame) -> Vec<ArmedFault> {
+    req.chaos
+        .iter()
+        .map(|c| match (c.times, c.value) {
+            (_, Some(v)) => faults::arm_value(c.point, v),
+            (Some(t), None) => faults::arm_times(c.point, t),
+            (None, None) => faults::arm(c.point),
+        })
+        .collect()
+}
+
+fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> String {
+    let _chaos_guards = arm_chaos(req);
+
+    // Serve-level fault points, inside the isolation boundary.
+    if let Some(secs) = faults::value("serve.stall") {
+        thread::sleep(Duration::from_secs_f64(secs.clamp(0.0, 60.0)));
+    }
+    if faults::fire("serve.force_panic") {
+        std::panic::panic_any("injected fault: serve.force_panic".to_string());
+    }
+
+    let mut config = match req.seed {
+        Some(seed) => FdxConfig::with_seed(seed),
+        None => FdxConfig::default(),
+    };
+    if let Some(t) = req.threshold {
+        config = config.with_threshold(t);
+    }
+    if let Some(s) = req.sparsity {
+        config = config.with_sparsity(s);
+    }
+    if let Some(m) = req.min_lift {
+        config.min_lift = m;
+    }
+    if let Some(v) = req.validate {
+        config.validate = v;
+    }
+    // The worker pool already provides request-level parallelism; kernel
+    // threads stay at 1 unless the client asks, so `threads × workers`
+    // can't silently oversubscribe the box.
+    config = config.with_threads(req.threads.unwrap_or(1));
+
+    if let Some(deadline_ms) = req.deadline_ms {
+        let remaining = deadline_ms as f64 / 1000.0 - queue_wait;
+        if remaining <= 0.0 {
+            state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.deadline_exceeded", 1);
+            return protocol::error_frame(
+                &req.id,
+                codes::DEADLINE_EXCEEDED,
+                &format!(
+                    "deadline of {deadline_ms} ms expired after {queue_wait:.3} s in the queue"
+                ),
+            );
+        }
+        config = config.with_time_budget(remaining);
+    }
+
+    let dataset = match read_csv_str(&req.csv) {
+        Ok(ds) => ds,
+        Err(e) => {
+            state.bad_frames.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.bad_request", 1);
+            return protocol::error_frame(&req.id, codes::BAD_REQUEST, &format!("csv: {e}"));
+        }
+    };
+
+    match Fdx::new(config).discover(&dataset) {
+        Ok(result) => protocol::ok_frame(&req.id, &result, dataset.schema(), queue_wait),
+        Err(err) => {
+            if matches!(err, FdxError::BudgetExceeded { .. }) {
+                state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                counter_add("fdx.serve.deadline_exceeded", 1);
+            }
+            let (code, detail) = protocol::map_fdx_error(&err);
+            protocol::error_frame(&req.id, code, &detail)
+        }
+    }
+}

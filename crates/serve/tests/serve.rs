@@ -1,0 +1,375 @@
+//! Integration tests: full server lifecycle over real loopback sockets.
+//!
+//! Each test boots its own server on an ephemeral port and exercises one
+//! robustness mechanism end-to-end: panic isolation, deadline propagation,
+//! load shedding with client retry, graceful drain (clean and timed-out),
+//! the shutdown frame, chaos opt-in, and the final metrics flush.
+//!
+//! The obs registry is process-global, so tests that assert on counters
+//! serialize through [`serial`], which also resets the registry.
+
+use fdx_serve::client::{exchange, send_line_with_retry, RetryPolicy};
+use fdx_serve::{codes, shutdown_line, ChaosSpec, RequestFrame, Response, ServeConfig, Server};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Serialize tests sharing the global obs registry; resets it on entry.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    fdx_obs::set_enabled(true);
+    fdx_obs::Registry::global().reset();
+    guard
+}
+
+fn counter(snap: &fdx_obs::Snapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// 80 rows with clean FDs zip -> city -> state.
+fn fd_csv() -> String {
+    let mut csv = String::from("zip,city,state\n");
+    for i in 0..80 {
+        let z = i % 16;
+        csv.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+    }
+    csv
+}
+
+fn discover_frame(id: &str) -> RequestFrame {
+    RequestFrame {
+        id: id.to_string(),
+        csv: fd_csv(),
+        seed: Some(7),
+        ..RequestFrame::default()
+    }
+}
+
+fn send(addr: &str, frame: &RequestFrame) -> Response {
+    let line = exchange(addr, &frame.to_line()).expect("exchange");
+    Response::parse(&line).expect("parse reply")
+}
+
+fn chaos(point: &'static str) -> ChaosSpec {
+    ChaosSpec {
+        point,
+        times: None,
+        value: None,
+    }
+}
+
+fn chaos_value(point: &'static str, value: f64) -> ChaosSpec {
+    ChaosSpec {
+        point,
+        times: None,
+        value: Some(value),
+    }
+}
+
+#[test]
+fn panicking_request_is_isolated_and_the_server_keeps_serving() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut boom = discover_frame("boom");
+    boom.chaos.push(chaos("serve.force_panic"));
+    let resp = send(&addr, &boom);
+    assert_eq!(resp.status, "error");
+    assert!(resp.code_is(codes::PANIC), "{resp:?}");
+    assert_eq!(resp.id, "boom");
+
+    // The same (sole) worker thread answers the next request cleanly:
+    // the worker survived the unwind and no fault leaked across requests.
+    let resp = send(&addr, &discover_frame("after"));
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.degraded, Some(false));
+    assert!(resp
+        .fds
+        .as_ref()
+        .is_some_and(|fds| fds.iter().any(|fd| fd.contains("city"))));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.requests, 2);
+    let snap = fdx_obs::Registry::global().snapshot();
+    assert_eq!(counter(&snap, "fdx.serve.panics"), 1);
+    assert_eq!(counter(&snap, "fdx.serve.completed"), 2);
+}
+
+#[test]
+fn deadline_propagates_into_the_pipeline_budget_and_the_queue() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // In-pipeline expiry: a huge clock skew makes the budget check trip
+    // via the core BudgetExceeded path, surfaced as deadline_exceeded.
+    let mut slow = discover_frame("slow");
+    slow.deadline_ms = Some(60_000);
+    slow.chaos.push(chaos_value("clock.skew", 1e6));
+    let resp = send(&addr, &slow);
+    assert!(resp.code_is(codes::DEADLINE_EXCEEDED), "{resp:?}");
+
+    // In-queue expiry: a stalled worker makes the next request outlive its
+    // deadline before it is ever scheduled.
+    let mut stall = discover_frame("stall");
+    stall.chaos.push(chaos_value("serve.stall", 0.4));
+    let a = addr.clone();
+    let stalled = thread::spawn(move || send(&a, &stall));
+    thread::sleep(Duration::from_millis(100));
+    let mut late = discover_frame("late");
+    late.deadline_ms = Some(50);
+    let resp = send(&addr, &late);
+    assert!(resp.code_is(codes::DEADLINE_EXCEEDED), "{resp:?}");
+    assert!(stalled.join().unwrap().is_ok());
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.deadline_exceeded, 2);
+    let snap = fdx_obs::Registry::global().snapshot();
+    assert_eq!(counter(&snap, "fdx.serve.deadline_exceeded"), 2);
+}
+
+#[test]
+fn full_queue_sheds_typed_overloaded_and_retry_succeeds_after_drain() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        queue_cap: 2,
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Occupy the single worker long enough for the whole burst to land.
+    let mut stall = discover_frame("stall");
+    stall.chaos.push(chaos_value("serve.stall", 1.5));
+    let a = addr.clone();
+    let stalled = thread::spawn(move || send(&a, &stall));
+    thread::sleep(Duration::from_millis(200));
+
+    // 8 simultaneous requests against a cap-2 queue: exactly 2 queue up,
+    // 6 are shed with a typed `overloaded` frame.
+    let burst: Vec<_> = (0..8)
+        .map(|i| {
+            let a = addr.clone();
+            thread::spawn(move || send(&a, &discover_frame(&format!("burst-{i}"))))
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    // A client retrying under deterministic backoff while the queue is
+    // still full gets through once the stall ends and the queue drains.
+    let retry = {
+        let a = addr.clone();
+        thread::spawn(move || {
+            let policy = RetryPolicy {
+                retries: 12,
+                base_delay_ms: 100,
+                max_delay_ms: 500,
+            };
+            send_line_with_retry(&a, &discover_frame("retry").to_line(), &policy)
+        })
+    };
+
+    let replies: Vec<Response> = burst.into_iter().map(|j| j.join().unwrap()).collect();
+    let overloaded = replies
+        .iter()
+        .filter(|r| r.code_is(codes::OVERLOADED))
+        .count();
+    let ok = replies.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(
+        overloaded, 6,
+        "queue cap 2 sheds exactly 6 of 8: {replies:?}"
+    );
+    assert_eq!(ok, 2, "{replies:?}");
+    assert!(stalled.join().unwrap().is_ok());
+    let retried = retry.join().unwrap().expect("retry exhausted");
+    assert!(retried.is_ok(), "{retried:?}");
+
+    handle.shutdown();
+    let report = handle.wait();
+    // 6 from the burst plus at least one overloaded answer to the
+    // retrying client before the queue drained.
+    assert!(report.shed >= 7, "{report:?}");
+    let snap = fdx_obs::Registry::global().snapshot();
+    assert_eq!(
+        counter(&snap, "fdx.serve.shed"),
+        report.shed,
+        "every overloaded frame is counted"
+    );
+    assert_eq!(report.completed, 4, "stall + 2 queued + retry");
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_and_stops_accepting() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut inflight = discover_frame("inflight");
+    inflight.chaos.push(chaos_value("serve.stall", 0.5));
+    let a = addr.clone();
+    let t = thread::spawn(move || send(&a, &inflight));
+    thread::sleep(Duration::from_millis(150));
+
+    handle.shutdown();
+    let report = handle.wait();
+    let resp = t.join().unwrap();
+    assert!(resp.is_ok(), "in-flight request completed: {resp:?}");
+    assert!(!report.drain_timed_out);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.abandoned, 0);
+
+    // The acceptor is gone: new connections are refused or answered never.
+    assert!(exchange(&addr, &discover_frame("late").to_line()).is_err());
+}
+
+#[test]
+fn drain_timeout_abandons_queued_requests_with_typed_frames() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        chaos: true,
+        drain_timeout_secs: 0.05,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut inflight = discover_frame("inflight");
+    inflight.chaos.push(chaos_value("serve.stall", 0.6));
+    let a = addr.clone();
+    let t1 = thread::spawn(move || send(&a, &inflight));
+    thread::sleep(Duration::from_millis(150));
+    let a = addr.clone();
+    let t2 = thread::spawn(move || send(&a, &discover_frame("queued")));
+    thread::sleep(Duration::from_millis(100));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert!(report.drain_timed_out, "{report:?}");
+    assert_eq!(report.abandoned, 1, "{report:?}");
+
+    // The queued request was answered with a typed frame at the timeout,
+    // not dropped on the floor.
+    let r2 = t2.join().unwrap();
+    assert!(r2.code_is(codes::SHUTTING_DOWN), "{r2:?}");
+    // The detached in-flight worker still answers its request late.
+    let r1 = t1.join().unwrap();
+    assert!(r1.is_ok(), "{r1:?}");
+}
+
+#[test]
+fn shutdown_frame_acks_drains_and_reports() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let resp = send(&addr, &discover_frame("one"));
+    assert!(resp.is_ok(), "{resp:?}");
+
+    let ack = Response::parse(&exchange(&addr, &shutdown_line("ops-1")).unwrap()).unwrap();
+    assert!(ack.is_ok());
+    assert_eq!(ack.id, "ops-1");
+
+    let report = handle.wait();
+    assert_eq!(report.completed, 1);
+    assert!(!report.drain_timed_out);
+    assert!(exchange(&addr, "{}").is_err(), "acceptor stopped");
+}
+
+#[test]
+fn chaos_requires_server_opt_in() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig::default()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut f = discover_frame("c");
+    f.chaos.push(chaos("serve.force_panic"));
+    let resp = send(&addr, &f);
+    assert!(resp.code_is(codes::BAD_REQUEST), "{resp:?}");
+    assert!(resp.detail.as_deref().unwrap_or("").contains("--chaos"));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.bad_frames, 1);
+    assert_eq!(report.requests, 0, "rejected before the queue");
+}
+
+#[test]
+fn malformed_frame_over_the_wire_gets_typed_bad_request() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig::default()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let r = Response::parse(&exchange(&addr, "this is not json").unwrap()).unwrap();
+    assert!(r.code_is(codes::BAD_REQUEST), "{r:?}");
+    let r = Response::parse(&exchange(&addr, r#"{"csv":"a\n","bogus":1}"#).unwrap()).unwrap();
+    assert!(r.code_is(codes::BAD_REQUEST), "{r:?}");
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.bad_frames, 2);
+}
+
+#[test]
+fn final_metrics_snapshot_is_flushed_atomically_on_drain() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join(format!("fdx-serve-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.jsonl");
+    // Partial write from a "previous crashed run" must be replaced whole.
+    std::fs::write(&path, "{\"kind\":\"cou").unwrap();
+
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        metrics_path: Some(path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+    assert!(send(&addr, &discover_frame("m")).is_ok());
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.completed, 1);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"fdx.serve.requests\""), "{text}");
+    assert!(text.contains("\"fdx.serve.completed\""), "{text}");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

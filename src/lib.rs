@@ -22,7 +22,8 @@
 //! * [`fdx_ml`] — the Table 7 imputers,
 //! * [`fdx_linalg`] / [`fdx_glasso`] / [`fdx_order`] / [`fdx_stats`] — the
 //!   numerical substrates,
-//! * [`fdx_par`] — the deterministic scoped-thread parallel runtime.
+//! * [`fdx_par`] — the deterministic scoped-thread parallel runtime,
+//! * [`fdx_serve`] — the panic-isolated, deadline-aware discovery server.
 //!
 //! # Quickstart
 //!
@@ -62,5 +63,6 @@ pub use fdx_linalg;
 pub use fdx_ml;
 pub use fdx_order;
 pub use fdx_par;
+pub use fdx_serve;
 pub use fdx_stats;
 pub use fdx_synth;

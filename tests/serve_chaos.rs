@@ -1,0 +1,179 @@
+//! Chaos soak of `fdx-serve`: concurrent requests with request-scoped
+//! fault injection.
+//!
+//! 16 simultaneous requests hit one server; 4 of them arm pipeline fault
+//! points through the request `chaos` field. The server must stay up, the
+//! faulted requests must come back as typed error or degraded frames, and
+//! the 12 clean requests must be bit-identical to a direct in-process
+//! `Fdx::discover` on the same CSV — i.e. chaos armed on one worker thread
+//! never contaminates another request.
+//!
+//! The final metrics snapshot is flushed to `FDX_SOAK_METRICS` (or a temp
+//! path) so CI can upload it as an artifact.
+
+use fdx::{Fdx, FdxConfig};
+use fdx_serve::client::exchange;
+use fdx_serve::{codes, ChaosSpec, RequestFrame, Response, ServeConfig, Server};
+use std::path::PathBuf;
+use std::thread;
+
+/// The soak corpus: clean FDs zip -> city -> state over 96 rows.
+fn soak_csv() -> String {
+    let mut csv = String::from("zip,city,state\n");
+    for i in 0..96 {
+        let z = i % 16;
+        csv.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+    }
+    csv
+}
+
+fn clean_frame(id: &str) -> RequestFrame {
+    RequestFrame {
+        id: id.to_string(),
+        csv: soak_csv(),
+        seed: Some(7),
+        ..RequestFrame::default()
+    }
+}
+
+fn spec(point: &'static str, times: Option<u64>, value: Option<f64>) -> ChaosSpec {
+    ChaosSpec {
+        point,
+        times,
+        value,
+    }
+}
+
+fn soak_metrics_path() -> PathBuf {
+    match std::env::var("FDX_SOAK_METRICS") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => std::env::temp_dir().join(format!("fdx-soak-metrics-{}.jsonl", std::process::id())),
+    }
+}
+
+#[test]
+fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
+    fdx_obs::set_enabled(true);
+    fdx_obs::Registry::global().reset();
+
+    // Reference: the exact pipeline the server runs for a clean request —
+    // same CSV through the same parser, seed 7, single kernel thread.
+    let dataset = fdx_data::read_csv_str(&soak_csv()).expect("soak csv");
+    let reference = Fdx::new(FdxConfig::with_seed(7).with_threads(1))
+        .discover(&dataset)
+        .expect("direct discover");
+    let reference_fds: Vec<String> = reference
+        .fds
+        .iter()
+        .map(|fd| fd.display(dataset.schema()).to_string())
+        .collect();
+    assert!(!reference_fds.is_empty(), "corpus must yield FDs");
+    assert!(!reference.health.degraded());
+
+    let handle = Server::start(ServeConfig {
+        queue_cap: 32,
+        chaos: true,
+        metrics_path: Some(soak_metrics_path()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // 4 faulted + 12 clean, all in flight at once.
+    let mut frames: Vec<RequestFrame> = Vec::new();
+    let mut f = clean_frame("fault-glasso");
+    f.chaos.push(spec("glasso.force_no_converge", None, None));
+    frames.push(f);
+    let mut f = clean_frame("fault-nan");
+    f.chaos.push(spec("covariance.inject_nan", None, None));
+    frames.push(f);
+    let mut f = clean_frame("fault-udut");
+    f.chaos.push(spec("udut.force_not_pd", Some(1), None));
+    frames.push(f);
+    let mut f = clean_frame("fault-skew");
+    f.deadline_ms = Some(5_000);
+    f.chaos.push(spec("clock.skew", None, Some(3_600.0)));
+    frames.push(f);
+    for i in 0..12 {
+        frames.push(clean_frame(&format!("clean-{i}")));
+    }
+
+    let joins: Vec<_> = frames
+        .into_iter()
+        .map(|frame| {
+            let a = addr.clone();
+            thread::spawn(move || {
+                let line = exchange(&a, &frame.to_line()).expect("exchange");
+                Response::parse(&line).expect("parse reply")
+            })
+        })
+        .collect();
+    let replies: Vec<Response> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    let by_id = |id: &str| -> &Response {
+        replies
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no reply for {id}"))
+    };
+
+    // Unbounded glasso non-convergence: the recovery ladder descends to
+    // direct inversion — a degraded but successful discovery.
+    let r = by_id("fault-glasso");
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.degraded, Some(true), "{r:?}");
+    assert!(r.rung.unwrap_or(0) >= 2, "{r:?}");
+
+    // NaN in the covariance trips the finiteness guard: typed error.
+    let r = by_id("fault-nan");
+    assert!(r.code_is(codes::DISCOVER_ERROR), "{r:?}");
+    assert!(r.detail.as_deref().unwrap_or("").contains("covariance"));
+
+    // One not-PD factorization: ridge retry succeeds, flagged degraded.
+    let r = by_id("fault-udut");
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.degraded, Some(true), "{r:?}");
+
+    // Clock skew blows the 5 s deadline inside the pipeline budget check.
+    let r = by_id("fault-skew");
+    assert!(r.code_is(codes::DEADLINE_EXCEEDED), "{r:?}");
+
+    // The 12 clean requests: ok, pristine rung, and FD output bit-identical
+    // to the direct run — no fault leaked across worker threads.
+    for i in 0..12 {
+        let r = by_id(&format!("clean-{i}"));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.degraded, Some(false), "chaos leaked into {r:?}");
+        assert_eq!(r.rung, Some(1), "{r:?}");
+        assert_eq!(
+            r.fds.as_deref(),
+            Some(&reference_fds[..]),
+            "clean reply diverged from direct discover: {r:?}"
+        );
+    }
+
+    // The server survived the soak: one more request round-trips clean.
+    let line = exchange(&addr, &clean_frame("post-soak").to_line()).expect("post-soak");
+    let r = Response::parse(&line).unwrap();
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.fds.as_deref(), Some(&reference_fds[..]));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    assert_eq!(report.requests, 17);
+    assert_eq!(report.completed, 17);
+    assert_eq!(report.shed, 0);
+    assert!(!report.drain_timed_out);
+
+    // The soak metrics artifact was flushed whole.
+    let text = std::fs::read_to_string(soak_metrics_path()).expect("soak metrics");
+    assert!(text.contains("\"fdx.serve.requests\""), "{text}");
+    assert!(text.contains("\"fdx.serve.deadline_exceeded\""), "{text}");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    fdx_obs::set_enabled(false);
+    fdx_obs::Registry::global().reset();
+}

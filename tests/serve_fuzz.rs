@@ -1,0 +1,159 @@
+//! Malformed-frame fuzz of the `fdx-serve` wire protocol.
+//!
+//! A deterministic ChaCha8-seeded generator throws 500 garbage frames at a
+//! live server — random printable soup, raw bytes (usually invalid UTF-8),
+//! truncated real frames, structurally-valid-but-wrong JSON, and
+//! pathological nesting. Every single one must come back as a typed
+//! `bad_request` reply on a healthy connection: no panic, no hang, no
+//! silent close. Afterwards the same server must still serve a clean
+//! discover request.
+
+use fdx_serve::client::exchange;
+use fdx_serve::{codes, RequestFrame, Response, ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One raw exchange in bytes: send `payload` + newline, read one reply
+/// line. Byte-level because much of the corpus is not valid UTF-8.
+fn raw_exchange(addr: &str, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(payload).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+    stream.flush().unwrap();
+    let mut reply = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk).expect("read");
+        if n == 0 {
+            break;
+        }
+        if let Some(pos) = chunk[..n].iter().position(|b| *b == b'\n') {
+            reply.extend_from_slice(&chunk[..pos]);
+            break;
+        }
+        reply.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8(reply).expect("server replies are always utf-8")
+}
+
+/// A syntactically valid discover frame, used as mutation stock.
+fn valid_line() -> String {
+    RequestFrame {
+        id: "stock".to_string(),
+        csv: "a,b\n1,2\n3,4\n".to_string(),
+        seed: Some(1),
+        ..RequestFrame::default()
+    }
+    .to_line()
+}
+
+/// Structurally valid JSON that must still be rejected by strict parsing.
+const WRONG_SHAPE: &[&str] = &[
+    "[1,2,3]",
+    "42",
+    "\"just a string\"",
+    "null",
+    "true",
+    "{}",
+    r#"{"op":"discover"}"#,
+    r#"{"op":"evict","id":"x"}"#,
+    r#"{"csv":123}"#,
+    r#"{"csv":"a\n","bogus":1}"#,
+    r#"{"csv":"a\n","deadline_ms":-1}"#,
+    r#"{"csv":"a\n","threads":0}"#,
+    r#"{"csv":"a\n","chaos":["not.a.point"]}"#,
+    r#"{"csv":"a\n","chaos":[7]}"#,
+    r#"{"op":"shutdown","csv":"a\n"}"#,
+    r#"{"csv":"a\n","threshold":"high"}"#,
+];
+
+fn garbage(rng: &mut ChaCha8Rng, case: usize) -> Vec<u8> {
+    match case % 5 {
+        // Random printable soup: overwhelmingly not JSON, and when it is
+        // (single digits etc.) it is not an object.
+        0 => {
+            let len = rng.gen_range(1..200usize);
+            (0..len)
+                .map(|_| rng.gen_range(32..127u8))
+                .map(|b| if b == b'\n' { b'?' } else { b })
+                .collect()
+        }
+        // Raw bytes: usually invalid UTF-8; newlines masked to keep the
+        // one-frame-per-line framing.
+        1 => {
+            let len = rng.gen_range(1..100usize);
+            (0..len)
+                .map(|_| rng.gen_range(0..=255u8))
+                .map(|b| if b == b'\n' { 0xFF } else { b })
+                .collect()
+        }
+        // A strict prefix of a valid frame: always unbalanced JSON.
+        2 => {
+            let line = valid_line().into_bytes();
+            let cut = rng.gen_range(1..line.len());
+            line[..cut].to_vec()
+        }
+        // Valid JSON, wrong shape for the protocol.
+        3 => WRONG_SHAPE[rng.gen_range(0..WRONG_SHAPE.len())]
+            .as_bytes()
+            .to_vec(),
+        // Pathological nesting beyond the parser's depth limit.
+        _ => {
+            let depth = rng.gen_range(65..300usize);
+            let mut v = vec![b'['; depth];
+            v.extend(vec![b']'; depth]);
+            v
+        }
+    }
+}
+
+#[test]
+fn five_hundred_garbage_frames_all_get_typed_bad_request() {
+    let handle = Server::start(ServeConfig {
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBAD_F8A3);
+    for case in 0..500 {
+        let payload = garbage(&mut rng, case);
+        let reply = raw_exchange(&addr, &payload);
+        let resp = Response::parse(&reply)
+            .unwrap_or_else(|e| panic!("case {case}: unparseable reply {reply:?}: {e}"));
+        assert_eq!(resp.status, "error", "case {case}: {payload:?} -> {resp:?}");
+        assert!(
+            resp.code_is(codes::BAD_REQUEST),
+            "case {case}: {payload:?} -> {resp:?}"
+        );
+    }
+
+    // The fuzzing left the server fully functional.
+    let mut csv = String::from("zip,city\n");
+    for i in 0..60 {
+        let z = i % 12;
+        csv.push_str(&format!("z{z},c{}\n", z / 3));
+    }
+    let clean = RequestFrame {
+        id: "after-fuzz".to_string(),
+        csv,
+        seed: Some(7),
+        ..RequestFrame::default()
+    };
+    let reply = exchange(&addr, &clean.to_line()).expect("post-fuzz exchange");
+    let resp = Response::parse(&reply).unwrap();
+    assert!(resp.is_ok(), "{resp:?}");
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.bad_frames, 500, "{report:?}");
+    assert_eq!(report.panics, 0);
+    assert_eq!(report.completed, 1);
+}
