@@ -21,11 +21,13 @@ pub enum RuleId {
     L006,
     /// `catch_unwind` outside the panic-isolation boundary crates.
     L007,
+    /// `fdx.*` metric name not in the canonical registry constant.
+    L008,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::L001,
         RuleId::L002,
         RuleId::L003,
@@ -33,6 +35,7 @@ impl RuleId {
         RuleId::L005,
         RuleId::L006,
         RuleId::L007,
+        RuleId::L008,
     ];
 
     /// Full reported code, e.g. `FDX-L001`.
@@ -45,6 +48,7 @@ impl RuleId {
             RuleId::L005 => "FDX-L005",
             RuleId::L006 => "FDX-L006",
             RuleId::L007 => "FDX-L007",
+            RuleId::L008 => "FDX-L008",
         }
     }
 
@@ -58,6 +62,7 @@ impl RuleId {
             RuleId::L005 => "L005",
             RuleId::L006 => "L006",
             RuleId::L007 => "L007",
+            RuleId::L008 => "L008",
         }
     }
 
@@ -91,6 +96,7 @@ impl RuleId {
             RuleId::L005 => "lossy `as` cast in a numerical kernel crate",
             RuleId::L006 => "`unsafe` without a `// SAFETY:` comment",
             RuleId::L007 => "`catch_unwind` outside crates/serve and crates/par (panic containment stays at the isolation boundary)",
+            RuleId::L008 => "`fdx.*` metric name not listed in crates/obs/src/metrics.rs (METRIC_NAMES is the canonical registry)",
         }
     }
 }

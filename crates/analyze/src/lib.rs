@@ -12,6 +12,7 @@
 //! | FDX-L005 | lossy `as` casts inside linalg / glasso / stats kernels |
 //! | FDX-L006 | `unsafe` without a `// SAFETY:` comment |
 //! | FDX-L007 | `catch_unwind` outside `crates/serve` / `crates/par` |
+//! | FDX-L008 | `fdx.*` metric names missing from the canonical registry |
 //!
 //! Pre-existing debt lives in a committed `lint-baseline.json`; `--ratchet`
 //! fails only on *new* violations, so the count can shrink but never grow.
@@ -36,7 +37,7 @@ use std::path::{Path, PathBuf};
 pub use baseline::{Baseline, RatchetOutcome};
 pub use diag::{Diagnostic, RuleId, Severity};
 pub use report::{RatchetResult, ScanReport};
-pub use rules::{check_file, FileContext, SourceFile};
+pub use rules::{check_file, check_file_with, FileContext, MetricNames, SourceFile};
 pub use walk::find_workspace_root;
 
 /// Configuration for one lint run.
@@ -67,15 +68,23 @@ impl LintOptions {
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let files =
         walk::discover_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    // FDX-L008 checks call sites against the canonical metric-name registry;
+    // when the workspace has no registry file the rule simply does not run.
+    let metric_names = fs::read_to_string(root.join("crates/obs/src/metrics.rs"))
+        .ok()
+        .map(|src| MetricNames::parse(&src));
     let mut diagnostics = Vec::new();
     for f in &files {
         let source =
             fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.abs.display()))?;
-        diagnostics.extend(check_file(&SourceFile {
-            rel_path: &f.rel,
-            source: &source,
-            context: f.context,
-        }));
+        diagnostics.extend(check_file_with(
+            &SourceFile {
+                rel_path: &f.rel,
+                source: &source,
+                context: f.context,
+            },
+            metric_names.as_ref(),
+        ));
     }
     diagnostics.sort_by_key(Diagnostic::sort_key);
     Ok(ScanReport {
@@ -237,6 +246,48 @@ mod tests {
         let report = run(&opts).expect("run");
         assert_eq!(report.suppressed().count(), 1);
         assert!(!report.failed());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_loads_metric_registry_and_flags_unregistered_names() {
+        let (root, opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/obs/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/obs/src/metrics.rs",
+                "pub const METRIC_NAMES: &[&str] = &[\"fdx.discover\"];\n",
+            ),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f() { counter_add(\"fdx.discover\", 1); counter_add(\"fdx.typo\", 1); }\n",
+            ),
+        ]);
+        let report = run(&opts).expect("run");
+        let hits: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::L008)
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(hits[0].path, "crates/x/src/lib.rs");
+        assert!(hits[0].snippet.contains("fdx.typo"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_without_registry_skips_l008() {
+        let (root, opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/x/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f() { counter_add(\"fdx.typo\", 1); }\n",
+            ),
+        ]);
+        let report = run(&opts).expect("run");
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
         let _ = std::fs::remove_dir_all(&root);
     }
 

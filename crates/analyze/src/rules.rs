@@ -36,9 +36,72 @@ const KERNEL_PREFIXES: &[&str] = &["crates/linalg/", "crates/glasso/", "crates/s
 /// count-typed values the kernels cast.
 const LOSSY_CAST_TARGETS: &[&str] = &["f32", "u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// The canonical metric-name registry for FDX-L008, parsed out of
+/// `crates/obs/src/metrics.rs`: every plain `"fdx.*"` string literal in
+/// that file is a registered name. Parsing the source (rather than linking
+/// against `fdx-obs`) keeps the analyzer dependency-free and means the lint
+/// always checks against the committed registry, not a stale build.
+#[derive(Debug, Clone, Default)]
+pub struct MetricNames {
+    /// Sorted, deduplicated registered names.
+    names: Vec<String>,
+}
+
+impl MetricNames {
+    /// Collects every `fdx.*` string literal in the registry source.
+    pub fn parse(source: &str) -> MetricNames {
+        let lexed = lex(source);
+        let mut names: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(str_literal)
+            .filter(|s| s.starts_with("fdx."))
+            .map(str::to_string)
+            .collect();
+        names.sort();
+        names.dedup();
+        MetricNames { names }
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the registry parsed to nothing (rule should not run).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .is_ok()
+    }
+}
+
+/// The quoted content of a plain `"…"` string-literal token. Raw and byte
+/// strings return `None` — metric names at call sites are always plain.
+fn str_literal(t: &Token) -> Option<&str> {
+    if t.kind != TokenKind::Str {
+        return None;
+    }
+    t.text.strip_prefix('"')?.strip_suffix('"')
+}
+
 /// Analyzes one file: runs every rule, applies suppressions, returns all
 /// diagnostics (suppressed ones carry `suppressed: Some(reason)`).
+/// Equivalent to [`check_file_with`] without a metric-name registry, so
+/// FDX-L008 does not run.
 pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
+    check_file_with(file, None)
+}
+
+/// [`check_file`] plus FDX-L008 when a parsed metric-name registry is
+/// supplied (the workspace scanner loads it once from
+/// `crates/obs/src/metrics.rs` and threads it through).
+pub fn check_file_with(file: &SourceFile<'_>, metrics: Option<&MetricNames>) -> Vec<Diagnostic> {
     let lexed = lex(file.source);
     let test_mask = cfg_test_mask(&lexed.tokens);
     let lines: Vec<&str> = file.source.lines().collect();
@@ -51,6 +114,9 @@ pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
     rule_lossy_cast(file, &lexed, &test_mask, &mut hits);
     rule_unsafe_without_safety(&lexed, &mut hits);
     rule_catch_unwind(file, &lexed, &mut hits);
+    if let Some(metrics) = metrics {
+        rule_metric_names(file, &lexed, &test_mask, metrics, &mut hits);
+    }
 
     let allows = suppression_map(&lexed);
     let mut out: Vec<Diagnostic> = hits
@@ -378,6 +444,64 @@ fn rule_catch_unwind(file: &SourceFile<'_>, lexed: &LexedFile, hits: &mut Vec<(R
     }
 }
 
+/// The registry source file itself — the one place `fdx.*` literals are
+/// definitionally registered.
+const METRIC_REGISTRY_PATH: &str = "crates/obs/src/metrics.rs";
+
+/// Obs entry points whose first argument is a metric/span name. Lookup
+/// helpers (`counter`, `gauge`, `histogram_summary`) are included: reading
+/// an unregistered name is the same typo bug as recording one.
+const METRIC_NAME_IDENTS: &[&str] = &[
+    "counter",
+    "counter_add",
+    "enter",
+    "enter_named",
+    "event",
+    "gauge",
+    "gauge_set",
+    "histogram",
+    "histogram_summary",
+    "observe",
+];
+
+/// FDX-L008: an `fdx.*` string literal passed to an obs recording or lookup
+/// entry point that is not listed in the canonical registry constant
+/// (`crates/obs/src/metrics.rs`). Library and binary code only — tests
+/// exercise deliberately unregistered names.
+fn rule_metric_names(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    metrics: &MetricNames,
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if metrics.is_empty()
+        || file.rel_path == METRIC_REGISTRY_PATH
+        || file.context == FileContext::Test
+    {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let [Some(name), Some(open), Some(lit)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)]
+        else {
+            continue;
+        };
+        if !METRIC_NAME_IDENTS.iter().any(|id| name.is_ident(id)) || !open.is_punct("(") {
+            continue;
+        }
+        let Some(metric) = str_literal(lit).filter(|s| s.starts_with("fdx.")) else {
+            continue;
+        };
+        if !metrics.contains(metric) {
+            hits.push((RuleId::L008, lit.line, lit.col));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +672,89 @@ mod tests {
         // Mentions in strings or comments do not count.
         let d = lib("// catch_unwind is banned here\nfn f() { let s = \"catch_unwind\"; }");
         assert!(active(&d).is_empty());
+    }
+
+    const REGISTRY: &str = "pub const METRIC_NAMES: &[&str] = &[\n    \
+         \"fdx.discover\",\n    \"fdx.serve.requests\",\n];\n";
+
+    fn check_metrics(rel_path: &str, context: FileContext, source: &str) -> Vec<Diagnostic> {
+        let metrics = MetricNames::parse(REGISTRY);
+        check_file_with(
+            &SourceFile {
+                rel_path,
+                source,
+                context,
+            },
+            Some(&metrics),
+        )
+    }
+
+    #[test]
+    fn metric_names_parse_collects_sorted_fdx_literals() {
+        let m = MetricNames::parse(REGISTRY);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains("fdx.discover"));
+        assert!(m.contains("fdx.serve.requests"));
+        assert!(!m.contains("fdx.typo"));
+        // Non-fdx literals in the registry source are not names.
+        let m = MetricNames::parse("const X: &str = \"other.name\";");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn l008_flags_unregistered_names_at_recording_sites() {
+        let src = "fn f() {\n    counter_add(\"fdx.serve.requests\", 1);\n    \
+             counter_add(\"fdx.serve.requsets\", 1);\n    \
+             gauge_set(\"fdx.typo\", 0.0);\n    \
+             observe(\"fdx.discover\", 1);\n}\n";
+        let d = check_metrics("crates/x/src/lib.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L008, 3), (RuleId::L008, 4)]);
+        assert_eq!(d[0].severity.label(), "error");
+    }
+
+    #[test]
+    fn l008_covers_span_enter_and_event() {
+        let src = "fn f() {\n    let _s = Span::enter(\"fdx.unknown_span\");\n    \
+             fdx_obs::event(\"fdx.unknown_event\", &[]);\n}\n";
+        let d = check_metrics("crates/x/src/lib.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L008, 2), (RuleId::L008, 3)]);
+        // Non-fdx span names (serve.drain, tane.discover) are out of scope.
+        let src = "fn f() { let _s = Span::enter(\"serve.drain\"); }";
+        let d = check_metrics("crates/x/src/lib.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l008_exempts_registry_tests_and_cfg_test() {
+        let src = "fn f() { counter_add(\"fdx.typo\", 1); }";
+        // The registry file itself is definitionally registered.
+        let d = check_metrics("crates/obs/src/metrics.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Test files exercise deliberately unregistered names.
+        let d = check_metrics("crates/x/tests/t.rs", FileContext::Test, src);
+        assert!(active(&d).is_empty());
+        // …and so do `#[cfg(test)]` modules inside library code.
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    \
+             fn t() { counter_add(\"fdx.typo\", 1); }\n}\n";
+        let d = check_metrics("crates/x/src/lib.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Binaries are NOT exempt: their recordings land in the registry.
+        let src = "fn main() { counter_add(\"fdx.typo\", 1); }";
+        let d = check_metrics("crates/x/src/main.rs", FileContext::Binary, src);
+        assert_eq!(active(&d), vec![(RuleId::L008, 1)]);
+    }
+
+    #[test]
+    fn l008_requires_a_registry_and_honors_fdx_allow() {
+        // Without a registry (plain check_file), the rule does not run.
+        let src = "fn f() { counter_add(\"fdx.typo\", 1); }";
+        let d = check("crates/x/src/lib.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // fdx-allow waives it like any other rule.
+        let src = "fn f() { counter_add(\"fdx.typo\", 1); } // fdx-allow: L008 staging a rename\n";
+        let d = check_metrics("crates/x/src/lib.rs", FileContext::Library, src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].suppressed.as_deref(), Some("staging a rename"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! PR4 performance harness: times the three heavy pipeline phases —
-//! pair transform, covariance assembly, and the graphical lasso — over a
-//! `(rows, attributes, threads)` grid, and checks the `fdx-par`
-//! determinism contract while doing so (every thread count must produce
-//! bit-identical results).
+//! Performance harness: times the heavy pipeline phases — pair transform,
+//! covariance assembly, and the graphical lasso — over a
+//! `(rows, attributes, threads)` grid, plus the full `Fdx::discover`
+//! pipeline with its per-phase breakdown (transform / covariance / glasso /
+//! ordering / factorization / generation / validation), and checks the
+//! `fdx-par` determinism contract while doing so (every thread count must
+//! produce bit-identical results, including the discovered FD set).
 //!
 //! The glasso baseline is the unscreened single-threaded solver
 //! (`screen: false, threads: 1`), which executes exactly the pre-screening
@@ -17,10 +19,10 @@
 //! * `FDX_BENCH_PERF_THREADS` — comma-separated thread counts
 //!   (default `1,2,4`),
 //! * `FDX_BENCH_PERF_REPS`    — repetitions per cell, best-of (default 3),
-//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR4.json`).
+//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR6.json`).
 
 use fdx_bench::env_usize;
-use fdx_core::{pair_transform, TransformConfig};
+use fdx_core::{pair_transform, Fdx, FdxConfig, FdxResult, TransformConfig};
 use fdx_data::{Column, Dataset, Schema, Value};
 use fdx_glasso::{graphical_lasso, GlassoConfig, GlassoResult};
 use fdx_linalg::Matrix;
@@ -160,6 +162,36 @@ fn solve(s: &Matrix, cfg: &GlassoConfig) -> GlassoResult {
     }
 }
 
+fn discover(ds: &Dataset, cfg: &FdxConfig) -> FdxResult {
+    match Fdx::new(cfg.clone()).discover(ds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf: discover failed on the synthetic dataset: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Best-of-`reps` full pipeline run: keeps the result whose own timing
+/// breakdown reports the smallest total (the per-phase fields travel with
+/// the winning rep, so the breakdown is internally consistent).
+fn discover_best_of(reps: usize, ds: &Dataset, cfg: &FdxConfig) -> FdxResult {
+    let mut best: Option<FdxResult> = None;
+    for _ in 0..reps.max(1) {
+        let r = discover(ds, cfg);
+        let better = best
+            .as_ref()
+            .map_or(true, |b| r.timings.total_secs() < b.timings.total_secs());
+        if better {
+            best = Some(r);
+        }
+    }
+    match best {
+        Some(r) => r,
+        None => unreachable!(), // fdx-allow: L001 reps.max(1) >= 1
+    }
+}
+
 struct GlassoCell {
     threads: usize,
     secs: f64,
@@ -172,7 +204,7 @@ fn main() {
     let threads = env_list("FDX_BENCH_PERF_THREADS", &[1, 2, 4]);
     let reps = env_usize("FDX_BENCH_PERF_REPS", 3);
     let out_path =
-        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     let lambda = 0.05;
     let block = 8usize;
 
@@ -239,6 +271,24 @@ fn main() {
             None => unreachable!(), // fdx-allow: L001 thread grid is non-empty
         };
 
+        // --- full pipeline (per-phase breakdown) -------------------------
+        let mut pipeline_cells: Vec<(usize, FdxResult)> = Vec::new();
+        for &t in &threads {
+            let cfg = FdxConfig {
+                threads: Some(t),
+                ..FdxConfig::default()
+            };
+            let r = discover_best_of(reps, &ds, &cfg);
+            if let Some((_, first)) = pipeline_cells.first() {
+                assert_eq!(
+                    first.fds, r.fds,
+                    "discover FD set differs across thread counts"
+                );
+                assert_matrix_bits_equal(&first.autoregression, &r.autoregression, "discover B");
+            }
+            pipeline_cells.push((t, r));
+        }
+
         println!(
             "k={k}: {} component(s), largest {}",
             screened.components, screened.largest_component
@@ -257,6 +307,20 @@ fn main() {
                 c.threads, c.secs, c.speedup
             );
         }
+        for (t, r) in &pipeline_cells {
+            let phases: Vec<String> = r
+                .timings
+                .phases()
+                .iter()
+                .map(|(name, secs)| format!("{name} {secs:.4}s"))
+                .collect();
+            println!(
+                "  pipeline    threads={t}: {:.4}s total, {} FDs  [{}]",
+                r.timings.total_secs(),
+                r.fds.iter().count(),
+                phases.join(", ")
+            );
+        }
         println!();
 
         let transform_json = json::array(transform_cells.iter().map(|&(t, secs)| {
@@ -272,6 +336,16 @@ fn main() {
                 .f64_("speedup", c.speedup)
                 .finish()
         }));
+        let pipeline_json = json::array(pipeline_cells.iter().map(|(t, r)| {
+            let mut obj = json::Obj::new().u64_("threads", *t as u64);
+            for (name, secs) in r.timings.phases() {
+                obj = obj.f64_(name, secs);
+            }
+            obj.f64_("model", r.timings.model_secs())
+                .f64_("total", r.timings.total_secs())
+                .u64_("fds", r.fds.iter().count() as u64)
+                .finish()
+        }));
         settings.push(
             json::Obj::new()
                 .u64_("k", k as u64)
@@ -285,12 +359,13 @@ fn main() {
                     screened.largest_component as u64,
                 )
                 .raw("glasso", &glasso_json)
+                .raw("pipeline", &pipeline_json)
                 .finish(),
         );
     }
 
     let report = json::Obj::new()
-        .str_("bench", "perf_pr4")
+        .str_("bench", "perf_pr6")
         .u64_("rows", rows as u64)
         .u64_("reps", reps as u64)
         .f64_("lambda", lambda)

@@ -14,6 +14,8 @@ Usage:
   fdx serve    [options]               run the discovery service (loopback TCP)
   fdx request  <file.csv> --addr HOST:PORT [options]
                                        send one request to a running server
+  fdx stats    <host:port> [options]   one-shot live snapshot of a server
+  fdx top      <host:port> [options]   periodically re-polled server view
 
 Discover options:
   --threshold <f>     autoregression threshold (default 0.08)
@@ -43,6 +45,7 @@ Serve options:
   --drain-timeout <f> seconds to drain in-flight work on shutdown (default 5)
   --chaos             allow requests to arm fault-injection points
   --metrics <path>    write the final metrics snapshot (atomic rename)
+  --journal <path>    write the request journal on drain (atomic rename)
 
 Request options:
   --addr <host:port>  server address (required)
@@ -57,7 +60,18 @@ Request options:
   --chaos <list>      comma-separated fault points, each optionally
                       point=value or point:times (server needs --chaos)
   --retries <n>       retries on overloaded/connect failure (default 5)
-  --shutdown          send a shutdown frame instead of a discover request";
+  --trace             ask the server for the per-phase waterfall and print
+                      it to stderr (like discover --trace, remotely)
+  --shutdown          send a shutdown frame instead of a discover request
+
+Stats options:
+  --text              render a table instead of the raw JSON reply
+  --journal <n>       journal-tail entries to request (default 16)
+
+Top options:
+  --interval <f>      seconds between polls (default 2)
+  --count <n>         stop after <n> polls (default: until interrupted)
+  --journal <n>       journal-tail entries to request (default 8)";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +112,40 @@ pub enum Command {
         /// Client options.
         options: RequestArgs,
     },
+    /// `fdx stats`.
+    Stats {
+        /// Probe options.
+        options: StatsArgs,
+    },
+    /// `fdx top`.
+    Top {
+        /// Poll options.
+        options: TopArgs,
+    },
+}
+
+/// Options of the `stats` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// Server address.
+    pub addr: String,
+    /// Render a human-readable table instead of raw JSON.
+    pub text: bool,
+    /// Journal-tail entries to request (`None`: server default).
+    pub journal: Option<u64>,
+}
+
+/// Options of the `top` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopArgs {
+    /// Server address.
+    pub addr: String,
+    /// Seconds between polls.
+    pub interval_secs: f64,
+    /// Stop after this many polls (`None`: until interrupted).
+    pub count: Option<u64>,
+    /// Journal-tail entries to request per poll.
+    pub journal: u64,
 }
 
 /// Options of the `serve` subcommand.
@@ -115,6 +163,8 @@ pub struct ServeArgs {
     pub chaos: bool,
     /// Final metrics snapshot path.
     pub metrics: Option<String>,
+    /// Request-journal flush path (written on drain).
+    pub journal: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -126,6 +176,7 @@ impl Default for ServeArgs {
             drain_timeout: 5.0,
             chaos: false,
             metrics: None,
+            journal: None,
         }
     }
 }
@@ -151,6 +202,8 @@ pub struct RequestArgs {
     pub chaos: Vec<String>,
     /// Retries on `overloaded` / connect failure.
     pub retries: u32,
+    /// Ask the server to embed the phase waterfall in the reply.
+    pub trace: bool,
     /// Send a shutdown frame instead of a discover request.
     pub shutdown: bool,
 }
@@ -170,6 +223,7 @@ impl Default for RequestArgs {
             validate: true,
             chaos: Vec::new(),
             retries: 5,
+            trace: false,
             shutdown: false,
         }
     }
@@ -384,11 +438,90 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--chaos" => options.chaos = true,
                     "--metrics" => options.metrics = Some(value(flag)?.clone()),
+                    "--journal" => options.journal = Some(value(flag)?.clone()),
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
             }
             Ok(Command::Serve { options })
+        }
+        "stats" => {
+            let addr = it.next().ok_or("stats: missing <host:port>")?.clone();
+            let mut options = StatsArgs {
+                addr,
+                text: false,
+                journal: None,
+            };
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name}: missing value"))
+                };
+                match flag {
+                    "--text" => options.text = true,
+                    "--journal" => {
+                        options.journal = Some(
+                            value(flag)?
+                                .parse()
+                                .map_err(|_| "--journal: expected an integer".to_string())?,
+                        );
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Stats { options })
+        }
+        "top" => {
+            let addr = it.next().ok_or("top: missing <host:port>")?.clone();
+            let mut options = TopArgs {
+                addr,
+                interval_secs: 2.0,
+                count: None,
+                journal: 8,
+            };
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name}: missing value"))
+                };
+                match flag {
+                    "--interval" => {
+                        let f = parse_f64(value(flag)?)?;
+                        if f.is_nan() || f <= 0.0 {
+                            return Err("--interval: expected a positive number".into());
+                        }
+                        options.interval_secs = f;
+                    }
+                    "--count" => {
+                        let n: u64 = value(flag)?
+                            .parse()
+                            .map_err(|_| "--count: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--count: expected a positive integer".into());
+                        }
+                        options.count = Some(n);
+                    }
+                    "--journal" => {
+                        options.journal = value(flag)?
+                            .parse()
+                            .map_err(|_| "--journal: expected an integer".to_string())?;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Top { options })
         }
         "request" => {
             let mut options = RequestArgs::default();
@@ -451,6 +584,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--retries: expected an integer".to_string())?;
                     }
+                    "--trace" => options.trace = true,
                     "--shutdown" => options.shutdown = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -614,7 +748,7 @@ mod tests {
             }
         );
         let cmd = parse(&argv(
-            "serve --addr 127.0.0.1:7777 --threads 4 --queue-cap 2 --drain-timeout 0.5 --chaos --metrics m.jsonl",
+            "serve --addr 127.0.0.1:7777 --threads 4 --queue-cap 2 --drain-timeout 0.5 --chaos --metrics m.jsonl --journal j.jsonl",
         ))
         .unwrap();
         assert_eq!(
@@ -627,6 +761,7 @@ mod tests {
                     drain_timeout: 0.5,
                     chaos: true,
                     metrics: Some("m.jsonl".into()),
+                    journal: Some("j.jsonl".into()),
                 }
             }
         );
@@ -672,6 +807,77 @@ mod tests {
         assert!(parse(&argv("request d.csv")).is_err(), "--addr is required");
         assert!(parse(&argv("request --addr 1:2")).is_err(), "csv required");
         assert!(parse(&argv("request d.csv --addr 1:2 --shutdown")).is_err());
+    }
+
+    #[test]
+    fn parses_request_trace() {
+        let cmd = parse(&argv("request d.csv --addr 1:2 --trace")).unwrap();
+        match cmd {
+            Command::Request { options } => assert!(options.trace),
+            _ => unreachable!(),
+        }
+        let cmd = parse(&argv("request d.csv --addr 1:2")).unwrap();
+        match cmd {
+            Command::Request { options } => assert!(!options.trace),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_stats() {
+        assert_eq!(
+            parse(&argv("stats 127.0.0.1:7777")).unwrap(),
+            Command::Stats {
+                options: StatsArgs {
+                    addr: "127.0.0.1:7777".into(),
+                    text: false,
+                    journal: None,
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("stats 127.0.0.1:7777 --text --journal 32")).unwrap(),
+            Command::Stats {
+                options: StatsArgs {
+                    addr: "127.0.0.1:7777".into(),
+                    text: true,
+                    journal: Some(32),
+                }
+            }
+        );
+        assert!(parse(&argv("stats")).is_err(), "addr is required");
+        assert!(parse(&argv("stats 1:2 --journal nope")).is_err());
+        assert!(parse(&argv("stats 1:2 --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_top() {
+        assert_eq!(
+            parse(&argv("top 127.0.0.1:7777")).unwrap(),
+            Command::Top {
+                options: TopArgs {
+                    addr: "127.0.0.1:7777".into(),
+                    interval_secs: 2.0,
+                    count: None,
+                    journal: 8,
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("top 1:2 --interval 0.5 --count 3 --journal 4")).unwrap(),
+            Command::Top {
+                options: TopArgs {
+                    addr: "1:2".into(),
+                    interval_secs: 0.5,
+                    count: Some(3),
+                    journal: 4,
+                }
+            }
+        );
+        assert!(parse(&argv("top")).is_err(), "addr is required");
+        assert!(parse(&argv("top 1:2 --interval 0")).is_err());
+        assert!(parse(&argv("top 1:2 --count 0")).is_err());
+        assert!(parse(&argv("top 1:2 --bogus")).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use fdx_core::{render_autoregression_heatmap, score_fd, Fdx, FdxConfig};
 use fdx_data::{read_csv_str, Dataset};
 
-use crate::args::{Command, DiscoverOptions, LintArgs, RequestArgs, ServeArgs};
+use crate::args::{Command, DiscoverOptions, LintArgs, RequestArgs, ServeArgs, StatsArgs, TopArgs};
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -16,6 +16,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Lint { options } => lint(&options),
         Command::Serve { options } => serve(&options),
         Command::Request { options } => request(&options),
+        Command::Stats { options } => stats(&options),
+        Command::Top { options } => top(&options),
     }
 }
 
@@ -26,6 +28,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
     // the final snapshot (and any --metrics export) to carry them.
     fdx_obs::set_enabled(true);
     fdx_obs::Registry::global().reset();
+    fdx_obs::journal::Journal::global().reset();
     let config = fdx_serve::ServeConfig {
         addr: args.addr.clone(),
         threads: args.threads,
@@ -33,6 +36,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         drain_timeout_secs: args.drain_timeout,
         chaos: args.chaos,
         metrics_path: args.metrics.as_ref().map(std::path::PathBuf::from),
+        journal_path: args.journal.as_ref().map(std::path::PathBuf::from),
         ..fdx_serve::ServeConfig::default()
     };
     let handle = fdx_serve::Server::start(config).map_err(|e| format!("serve: bind: {e}"))?;
@@ -42,13 +46,14 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
     }
     let report = handle.wait();
     eprintln!(
-        "# drained: {} requests, {} completed, {} shed, {} panics, {} deadline-exceeded, {} abandoned{}",
+        "# drained: {} requests, {} completed, {} shed, {} panics, {} deadline-exceeded, {} abandoned, {} stats{}",
         report.requests,
         report.completed,
         report.shed,
         report.panics,
         report.deadline_exceeded,
         report.abandoned,
+        report.stats_requests,
         if report.drain_timed_out {
             " (drain timed out)"
         } else {
@@ -71,6 +76,7 @@ fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::Req
         seed: args.seed,
         threads: args.threads,
         validate: if args.validate { None } else { Some(false) },
+        trace: args.trace,
         chaos: Vec::new(),
     };
     for entry in &args.chaos {
@@ -124,6 +130,10 @@ fn request(args: &RequestArgs) -> Result<(), String> {
     let resp =
         fdx_serve::request(&args.addr, &frame, &policy).map_err(|e| format!("request: {e}"))?;
     println!("{}", resp.raw_line());
+    if let Some(trace) = &resp.trace {
+        // Same waterfall `fdx discover --trace` prints, captured remotely.
+        eprint!("{}", fdx_obs::render_phase_tree(trace));
+    }
     if resp.is_ok() {
         Ok(())
     } else {
@@ -134,6 +144,125 @@ fn request(args: &RequestArgs) -> Result<(), String> {
             resp.detail.as_deref().unwrap_or("no detail")
         ))
     }
+}
+
+/// `fdx stats`: one `stats` exchange with a running server — the raw JSON
+/// reply by default, or a rendered table with `--text`.
+fn stats(args: &StatsArgs) -> Result<(), String> {
+    let resp = fdx_serve::stats_request(&args.addr, "stats-1", args.journal)
+        .map_err(|e| format!("stats: {e}"))?;
+    if !resp.is_ok() {
+        return Err(format!(
+            "stats: {} ({})",
+            resp.code.as_deref().unwrap_or("error"),
+            resp.detail.as_deref().unwrap_or("no detail")
+        ));
+    }
+    if args.text {
+        print!("{}", render_stats_text(&resp.raw));
+    } else {
+        println!("{}", resp.raw_line());
+    }
+    Ok(())
+}
+
+/// `fdx top`: periodically re-polled `fdx stats --text`. Errors after the
+/// first successful poll are reported and polling continues (the server
+/// may be briefly saturated — that is exactly when watching it matters).
+fn top(args: &TopArgs) -> Result<(), String> {
+    let mut poll: u64 = 0;
+    loop {
+        poll += 1;
+        match fdx_serve::stats_request(&args.addr, &format!("top-{poll}"), Some(args.journal)) {
+            Ok(resp) if resp.is_ok() => {
+                println!("== {}  poll {}", args.addr, poll);
+                print!("{}", render_stats_text(&resp.raw));
+            }
+            Ok(resp) => println!(
+                "== {}  poll {}: error {}",
+                args.addr,
+                poll,
+                resp.code.as_deref().unwrap_or("?")
+            ),
+            Err(e) if poll == 1 => return Err(format!("top: {e}")),
+            Err(e) => println!("== {}  poll {}: {e}", args.addr, poll),
+        }
+        if args.count.is_some_and(|c| poll >= c) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(args.interval_secs));
+    }
+}
+
+/// Renders a `stats` reply document as a compact table: server tallies,
+/// shed-pressure percentiles, and the journal tail (oldest first).
+fn render_stats_text(raw: &fdx_serve::json::JsonValue) -> String {
+    let u = |k: &str| raw.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let f = |k: &str| raw.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "uptime {:.1}s  workers {}  queue {}/{}  inflight {}",
+        f("uptime_secs"),
+        u("workers"),
+        u("queue_depth"),
+        u("queue_cap"),
+        u("inflight"),
+    );
+    let _ = writeln!(
+        out,
+        "requests {}  completed {}  shed {}  panics {}  bad_frames {}  \
+         deadline_exceeded {}  abandoned {}  stats {}",
+        u("requests"),
+        u("completed"),
+        u("shed"),
+        u("panics"),
+        u("bad_frames"),
+        u("deadline_exceeded"),
+        u("abandoned"),
+        u("stats_requests"),
+    );
+    for name in ["queue_wait_ms", "service_ms"] {
+        if let Some(h) = raw.get(name) {
+            let hu = |k: &str| h.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            let mean = h.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{name:<14} count {:<6} mean {mean:>8.1}  p50<={}  p95<={}  p99<={}",
+                hu("count"),
+                hu("p50"),
+                hu("p95"),
+                hu("p99"),
+            );
+        }
+    }
+    if let Some(journal) = raw.get("journal").and_then(|j| j.as_arr()) {
+        if !journal.is_empty() {
+            let _ = writeln!(out, "journal (oldest first):");
+            let _ = writeln!(
+                out,
+                "  {:>5}  {:<18} {:<18} {:>4}  {:>8}  {:>8}  {:>7}",
+                "seq", "id", "outcome", "rung", "wait_s", "total_s", "threads"
+            );
+            for e in journal {
+                let es = |k: &str| e.get(k).and_then(|v| v.as_str()).unwrap_or("-");
+                let eu = |k: &str| e.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let ef = |k: &str| e.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {:>5}  {:<18} {:<18} {:>4}  {:>8.3}  {:>8.3}  {:>7}",
+                    eu("seq"),
+                    es("id"),
+                    es("outcome"),
+                    eu("rung"),
+                    ef("queue_wait_secs"),
+                    ef("total_secs"),
+                    eu("threads"),
+                );
+            }
+        }
+    }
+    out
 }
 
 /// `fdx lint`: delegates to the `fdx-analyze` engine. The report goes to
@@ -525,6 +654,97 @@ mod tests {
             .filter(|n| n.contains(".tmp."))
             .collect();
         assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+    }
+
+    #[test]
+    fn request_frame_carries_trace_flag() {
+        let args = RequestArgs {
+            trace: true,
+            ..RequestArgs::default()
+        };
+        let frame = build_request_frame(&args, "a\n1\n".into()).unwrap();
+        assert!(frame.trace);
+        assert!(frame.to_line().contains("\"trace\":true"));
+    }
+
+    #[test]
+    fn render_stats_text_tabulates_reply() {
+        let stats = fdx_serve::ServerStats {
+            uptime_secs: 12.25,
+            workers: 4,
+            queue_depth: 2,
+            queue_cap: 64,
+            inflight: 4,
+            requests: 120,
+            completed: 110,
+            shed: 3,
+            deadline_exceeded: 2,
+            stats_requests: 5,
+            ..fdx_serve::ServerStats::default()
+        };
+        let entry = fdx_obs::journal::JournalEntry {
+            seq: 9,
+            id: "r9".into(),
+            outcome: "deadline_exceeded".into(),
+            queue_wait_secs: 0.125,
+            total_secs: 0.5,
+            phases: Vec::new(),
+            rung: 0,
+            threads: 1,
+        };
+        let line =
+            fdx_serve::protocol::stats_frame("s1", &stats, &fdx_obs::Snapshot::default(), &[entry]);
+        let resp = fdx_serve::Response::parse(&line).unwrap();
+        let text = render_stats_text(&resp.raw);
+        assert!(
+            text.contains("uptime 12.2s  workers 4  queue 2/64  inflight 4"),
+            "{text}"
+        );
+        assert!(text.contains("requests 120"), "{text}");
+        assert!(text.contains("queue_wait_ms"), "{text}");
+        assert!(text.contains("journal (oldest first):"), "{text}");
+        assert!(text.contains("deadline_exceeded"), "{text}");
+        assert!(text.contains("r9"), "{text}");
+    }
+
+    #[test]
+    fn stats_and_top_against_live_server() {
+        let handle = fdx_serve::Server::start(fdx_serve::ServeConfig {
+            threads: Some(1),
+            ..fdx_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        stats(&StatsArgs {
+            addr: addr.clone(),
+            text: false,
+            journal: None,
+        })
+        .unwrap();
+        stats(&StatsArgs {
+            addr: addr.clone(),
+            text: true,
+            journal: Some(4),
+        })
+        .unwrap();
+        top(&TopArgs {
+            addr: addr.clone(),
+            interval_secs: 0.01,
+            count: Some(2),
+            journal: 4,
+        })
+        .unwrap();
+        // A dead address fails fast on the first poll.
+        handle.shutdown();
+        let report = handle.wait();
+        assert_eq!(report.stats_requests, 4);
+        assert!(top(&TopArgs {
+            addr,
+            interval_secs: 0.01,
+            count: Some(1),
+            journal: 1,
+        })
+        .is_err());
     }
 
     #[test]

@@ -150,6 +150,18 @@ impl RunHealth {
             || !self.guard_trips.is_empty()
     }
 
+    /// Stable outcome code for request journals and service replies:
+    /// `"ok"` for a pristine run, `"degraded"` when any recovery fired.
+    /// Failed runs never reach a `RunHealth`; they carry a typed
+    /// [`FdxError`] code instead.
+    pub fn outcome_code(&self) -> &'static str {
+        if self.degraded() {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
     /// Records a recovery note (also mirrored to the obs event log).
     pub(crate) fn note(&mut self, msg: String) {
         fdx_obs::event(

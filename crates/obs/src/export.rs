@@ -3,7 +3,7 @@
 //! exporter output goes through.
 
 use crate::json::{self, Obj};
-use crate::registry::{Snapshot, HISTOGRAM_BUCKETS};
+use crate::registry::{quantile_from_buckets, Snapshot};
 use crate::span::PhaseNode;
 use crate::Histogram;
 use std::io;
@@ -70,8 +70,8 @@ pub fn render_text(snap: &Snapshot) -> String {
             };
             out.push_str(&format!(
                 "  {name:<40} count {count}  mean {mean:.1}  p50<={}  p99<={}\n",
-                quantile_upper_edge(buckets, *count, 0.5),
-                quantile_upper_edge(buckets, *count, 0.99),
+                quantile_from_buckets(buckets, *count, 0.5),
+                quantile_from_buckets(buckets, *count, 0.99),
             ));
         }
     }
@@ -82,21 +82,6 @@ pub fn render_text(snap: &Snapshot) -> String {
         out.push_str("(no metrics recorded)\n");
     }
     out
-}
-
-fn quantile_upper_edge(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, q: f64) -> u64 {
-    if count == 0 {
-        return 0;
-    }
-    let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
-    let mut cum = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        cum += c;
-        if cum >= rank {
-            return Histogram::bucket_upper_edge(i);
-        }
-    }
-    u64::MAX
 }
 
 /// Serializes a snapshot as deterministic JSON-lines: one object per

@@ -1,0 +1,244 @@
+//! Bounded ring-buffer request journal.
+//!
+//! Metric counters and histograms aggregate; the journal keeps the *last N
+//! individual requests* so a live `stats` probe (or a post-mortem on the
+//! drain-flushed artifact) can answer "what exactly ran just now, and how
+//! did it go" — per request: id, outcome code, queue wait, total and
+//! per-phase seconds, the resilience rung the run landed on, and the kernel
+//! thread count it ran with.
+//!
+//! The buffer is a fixed-capacity ring guarded by one mutex: recording is
+//! O(1), never allocates beyond the evicted entry's replacement, and
+//! wraparound is deterministic — after `M > cap` records the journal holds
+//! exactly the entries with sequence numbers `M-cap+1 ..= M`, oldest first.
+//! Recording is *not* gated on [`crate::enabled`]: the journal is written
+//! once per service request by explicit calls (not ambient instrumentation),
+//! and the `stats` protocol op must work even when metric recording is off.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Obj;
+
+/// Default ring capacity of the global journal.
+pub const DEFAULT_JOURNAL_CAP: usize = 256;
+
+/// One journaled request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// 1-based sequence number, assigned by [`Journal::record`] (leave 0).
+    pub seq: u64,
+    /// Caller-supplied request id.
+    pub id: String,
+    /// Outcome code: `"ok"`, `"degraded"`, or a typed error code.
+    pub outcome: String,
+    /// Seconds the request waited in the queue before a worker took it.
+    pub queue_wait_secs: f64,
+    /// Total pipeline seconds (or service seconds for failed requests).
+    pub total_secs: f64,
+    /// Per-phase seconds, in pipeline order; empty for failed requests.
+    pub phases: Vec<(String, f64)>,
+    /// Resilience-ladder rung that produced the result (0 when the request
+    /// never produced one).
+    pub rung: u8,
+    /// Kernel threads the request ran with.
+    pub threads: usize,
+}
+
+impl JournalEntry {
+    /// Serializes the entry as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut phases = Obj::new();
+        for (name, secs) in &self.phases {
+            phases = phases.f64_(name, *secs);
+        }
+        Obj::new()
+            .u64_("seq", self.seq)
+            .str_("id", &self.id)
+            .str_("outcome", &self.outcome)
+            .f64_("queue_wait_secs", self.queue_wait_secs)
+            .f64_("total_secs", self.total_secs)
+            .u64_("rung", self.rung as u64)
+            .u64_("threads", self.threads as u64)
+            .raw("phases", &phases.finish())
+            .finish()
+    }
+}
+
+struct Ring {
+    entries: VecDeque<JournalEntry>,
+    cap: usize,
+    /// Total entries ever recorded; also the seq of the newest entry.
+    recorded: u64,
+}
+
+/// A bounded request journal. Use [`Journal::global`] for the process-wide
+/// instance the service records into.
+pub struct Journal {
+    inner: Mutex<Ring>,
+}
+
+impl Journal {
+    /// A standalone journal with the given ring capacity (min 1).
+    pub fn with_capacity(cap: usize) -> Journal {
+        Journal {
+            inner: Mutex::new(Ring {
+                entries: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// The process-global journal ([`DEFAULT_JOURNAL_CAP`] entries).
+    pub fn global() -> &'static Journal {
+        static GLOBAL: OnceLock<Journal> = OnceLock::new();
+        GLOBAL.get_or_init(|| Journal::with_capacity(DEFAULT_JOURNAL_CAP))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // Entries stay coherent across an unwind; shrug off poisoning.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an entry, assigning and returning its sequence number; the
+    /// oldest entry is evicted once the ring is full.
+    pub fn record(&self, mut entry: JournalEntry) -> u64 {
+        let mut ring = self.lock();
+        ring.recorded += 1;
+        entry.seq = ring.recorded;
+        let seq = entry.seq;
+        if ring.entries.len() == ring.cap {
+            ring.entries.pop_front();
+        }
+        ring.entries.push_back(entry);
+        seq
+    }
+
+    /// The newest `n` entries, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<JournalEntry> {
+        let ring = self.lock();
+        let skip = ring.entries.len().saturating_sub(n);
+        ring.entries.iter().skip(skip).cloned().collect()
+    }
+
+    /// Entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether nothing is currently held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever recorded (monotonic across wraparound).
+    pub fn recorded(&self) -> u64 {
+        self.lock().recorded
+    }
+
+    /// Clears entries and the sequence counter (tests and fresh servers).
+    pub fn reset(&self) {
+        let mut ring = self.lock();
+        ring.entries.clear();
+        ring.recorded = 0;
+    }
+
+    /// All held entries as deterministic JSON lines, oldest first — the
+    /// drain-flush artifact shape.
+    pub fn export_jsonl(&self) -> String {
+        let ring = self.lock();
+        let mut out = String::new();
+        for e in &ring.entries {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, outcome: &str) -> JournalEntry {
+        JournalEntry {
+            seq: 0,
+            id: id.to_string(),
+            outcome: outcome.to_string(),
+            queue_wait_secs: 0.25,
+            total_secs: 1.5,
+            phases: vec![("transform".to_string(), 1.0)],
+            rung: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn wraparound_is_deterministic() {
+        let j = Journal::with_capacity(4);
+        for i in 0..11 {
+            let seq = j.record(entry(&format!("r{i}"), "ok"));
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.recorded(), 11);
+        // Exactly the last `cap` entries survive, oldest first.
+        let tail = j.tail(usize::MAX);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10, 11]);
+        let ids: Vec<&str> = tail.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, vec!["r7", "r8", "r9", "r10"]);
+    }
+
+    #[test]
+    fn tail_returns_newest_oldest_first() {
+        let j = Journal::with_capacity(8);
+        for i in 0..5 {
+            j.record(entry(&format!("r{i}"), "ok"));
+        }
+        let tail = j.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].id, "r3");
+        assert_eq!(tail[1].id, "r4");
+        assert_eq!(j.tail(0).len(), 0);
+    }
+
+    #[test]
+    fn reset_clears_entries_and_sequence() {
+        let j = Journal::with_capacity(2);
+        j.record(entry("a", "ok"));
+        assert!(!j.is_empty());
+        j.reset();
+        assert!(j.is_empty());
+        assert_eq!(j.recorded(), 0);
+        assert_eq!(j.record(entry("b", "ok")), 1);
+    }
+
+    #[test]
+    fn entry_json_shape() {
+        let mut e = entry("r1", "degraded");
+        e.seq = 7;
+        assert_eq!(
+            e.to_json(),
+            concat!(
+                r#"{"seq":7,"id":"r1","outcome":"degraded","queue_wait_secs":0.25,"#,
+                r#""total_secs":1.5,"rung":1,"threads":2,"phases":{"transform":1}}"#
+            )
+        );
+    }
+
+    #[test]
+    fn export_jsonl_is_one_object_per_line() {
+        let j = Journal::with_capacity(4);
+        j.record(entry("a", "ok"));
+        j.record(entry("b", "deadline_exceeded"));
+        let text = j.export_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"deadline_exceeded\""));
+    }
+}

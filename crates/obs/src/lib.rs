@@ -16,7 +16,13 @@
 //!   the `fdx-bench` binaries,
 //! * deterministic **fault injection** ([`faults`]): named injection points
 //!   armed thread-locally by resilience tests, a single relaxed atomic load
-//!   when disarmed.
+//!   when disarmed,
+//! * a bounded **request journal** ([`journal`]): a ring buffer of the last
+//!   N per-request outcomes, the substrate of the serve layer's live
+//!   `stats` op,
+//! * the canonical **metric-name registry** ([`metrics::METRIC_NAMES`]):
+//!   every `fdx.*` name recorded anywhere in the workspace, enforced at
+//!   lint time by rule FDX-L008.
 //!
 //! ## Cost model
 //!
@@ -49,16 +55,18 @@
 
 pub mod export;
 pub mod faults;
+pub mod journal;
 pub mod json;
+pub mod metrics;
 mod registry;
 mod span;
 
 pub use export::{export_jsonl, render_phase_tree, render_text, write_atomic};
 pub use registry::{
-    counter_add, event, gauge_set, observe, Counter, Field, Gauge, Histogram, Registry, Snapshot,
-    HISTOGRAM_BUCKETS,
+    counter_add, event, gauge_set, observe, quantile_from_buckets, Counter, Field, Gauge,
+    Histogram, HistogramSummary, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
-pub use span::{take_trace, PhaseNode, Span};
+pub use span::{take_trace, PhaseNode, Span, Stopwatch};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

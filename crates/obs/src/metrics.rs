@@ -1,0 +1,106 @@
+//! The canonical registry of every `fdx.*` metric name.
+//!
+//! Metric names are stringly-typed at the call sites (`counter_add`,
+//! `gauge_set`, `observe`, `event`, `Span::enter`), which makes a typo'd or
+//! orphaned name invisible until someone stares at a snapshot. This module
+//! is the single source of truth: every `fdx.*` name the workspace records
+//! must appear in [`METRIC_NAMES`], and lint rule FDX-L008 (`fdx-analyze`)
+//! rejects any `fdx.*` literal passed to a recording entry point that is
+//! not listed here. Names are kept sorted so membership is a binary search
+//! (and the diff of an addition is one line).
+//!
+//! Span names double as histogram names (a closing span records its
+//! duration into the histogram of the same name), so they are listed too.
+
+/// Every `fdx.*` metric name the workspace records, sorted.
+///
+/// Grouped by owner: pipeline phase spans (`fdx-core`), FD generation,
+/// glasso, ordering/factorization, the parallel runtime, resilience, and
+/// the serve layer.
+pub const METRIC_NAMES: &[&str] = &[
+    "fdx.covariance",
+    "fdx.discover",
+    "fdx.factorization",
+    "fdx.generation",
+    "fdx.generation.candidate_edges",
+    "fdx.generation.kept_edges",
+    "fdx.glasso",
+    "fdx.glasso.active_set",
+    "fdx.glasso.components",
+    "fdx.glasso.duality_gap",
+    "fdx.glasso.iterations",
+    "fdx.glasso.largest_component",
+    "fdx.glasso.not_converged",
+    "fdx.glasso.objective",
+    "fdx.glasso.ridge_escalations",
+    "fdx.glasso.summary",
+    "fdx.glasso.sweep",
+    "fdx.glasso.sweeps",
+    "fdx.order",
+    "fdx.order.support_edges",
+    "fdx.order.vertices",
+    "fdx.ordering",
+    "fdx.par.regions",
+    "fdx.par.tasks",
+    "fdx.par.threads",
+    "fdx.resilience.budget_exceeded",
+    "fdx.resilience.degraded_runs",
+    "fdx.resilience.guard_trips",
+    "fdx.resilience.recovery",
+    "fdx.resilience.rung",
+    "fdx.serve.abandoned",
+    "fdx.serve.bad_request",
+    "fdx.serve.completed",
+    "fdx.serve.deadline_exceeded",
+    "fdx.serve.panics",
+    "fdx.serve.queue_depth",
+    "fdx.serve.queue_wait_ms",
+    "fdx.serve.requests",
+    "fdx.serve.service_ms",
+    "fdx.serve.shed",
+    "fdx.serve.stats",
+    "fdx.structure",
+    "fdx.transform",
+    "fdx.udut.fill_nnz",
+    "fdx.udut.max_pivot",
+    "fdx.udut.min_pivot",
+    "fdx.udut.ridge_retries",
+    "fdx.validation",
+];
+
+/// Whether `name` is a registered `fdx.*` metric name.
+pub fn is_registered(name: &str) -> bool {
+    METRIC_NAMES.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sorted_and_unique() {
+        for w in METRIC_NAMES.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "{:?} must sort strictly before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn names_all_carry_the_fdx_prefix() {
+        for name in METRIC_NAMES {
+            assert!(name.starts_with("fdx."), "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(is_registered("fdx.discover"));
+        assert!(is_registered("fdx.serve.service_ms"));
+        assert!(!is_registered("fdx.serve.queue_wait_us"), "retired name");
+        assert!(!is_registered("fdx.typo"));
+    }
+}

@@ -241,6 +241,81 @@ pub struct Snapshot {
     pub events: Vec<Event>,
 }
 
+/// Percentile summary of one histogram inside a [`Snapshot`], in the
+/// histogram's recorded unit. Quantiles are bucket upper-edge estimates
+/// ([`Histogram::quantile_upper_edge`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Median upper-edge estimate.
+    pub p50: u64,
+    /// 95th-percentile upper-edge estimate.
+    pub p95: u64,
+    /// 99th-percentile upper-edge estimate.
+    pub p99: u64,
+}
+
+/// Upper-edge estimate of the `q`-quantile of a snapshotted bucket array:
+/// the upper edge of the first bucket whose cumulative count reaches `q·n`.
+pub fn quantile_from_buckets(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return Histogram::bucket_upper_edge(i);
+        }
+    }
+    u64::MAX
+}
+
+impl Snapshot {
+    /// The value of the named counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The value of the named gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// Percentile summary of the named histogram, if recorded.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let i = self
+            .histograms
+            .binary_search_by(|(n, ..)| n.as_str().cmp(name))
+            .ok()?;
+        let (_, count, sum, buckets) = &self.histograms[i];
+        Some(HistogramSummary {
+            count: *count,
+            sum: *sum,
+            mean: if *count == 0 {
+                0.0
+            } else {
+                *sum as f64 / *count as f64
+            },
+            p50: quantile_from_buckets(buckets, *count, 0.5),
+            p95: quantile_from_buckets(buckets, *count, 0.95),
+            p99: quantile_from_buckets(buckets, *count, 0.99),
+        })
+    }
+}
+
 /// A named-metric registry.
 ///
 /// Most callers use the process-wide [`Registry::global`] through the
@@ -458,6 +533,32 @@ mod tests {
         assert_eq!(snap.gauges, vec![("g".to_string(), 1.5)]);
         r.reset();
         assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = Registry::new();
+        r.counter("b.count").add(3);
+        r.counter("a.count").add(1);
+        r.gauge("z.gap").set(0.25);
+        let h = r.histogram("span.us");
+        for v in [1u64, 1, 2, 100] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(1));
+        assert_eq!(snap.counter("b.count"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("z.gap"), Some(0.25));
+        assert_eq!(snap.gauge("missing"), None);
+        let s = snap.histogram_summary("span.us").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 104);
+        assert!((s.mean - 26.0).abs() < 1e-12);
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p99, 127);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+        assert!(snap.histogram_summary("missing").is_none());
     }
 
     #[test]

@@ -142,6 +142,37 @@ impl Span {
     }
 }
 
+/// A plain start-instant timer with no registry or phase-tree side effects.
+///
+/// Unlike [`Span`], a `Stopwatch` records nothing on drop and touches no
+/// thread-local state, so it is safe to construct on one thread and read on
+/// another. This is what the serve queue uses to measure queue wait: the
+/// watch starts on the acceptor thread and is read on the worker thread (a
+/// `Span` moved like that would leak its open frame on the origin thread's
+/// stack and pop frames it does not own on the destination's). It is also
+/// the sanctioned wall clock for code outside `crates/obs` (lint rule
+/// FDX-L003 bans raw `Instant::now()` elsewhere).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the watch now.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since the watch was started.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let Some((name, depth)) = self.recording.take() else {
@@ -250,6 +281,22 @@ mod tests {
         assert_eq!(trace[0].name, "a");
         assert_eq!(trace[0].children.len(), 1);
         assert_eq!(trace[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn stopwatch_is_inert_and_cross_thread_safe() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let _t = take_trace();
+        let w = Stopwatch::start();
+        // Reading a stopwatch started on another thread must not disturb
+        // this thread's phase tree.
+        let elapsed = std::thread::spawn(move || w.elapsed_secs())
+            .join()
+            .unwrap_or_else(|_| panic!("stopwatch thread"));
+        assert!(elapsed >= 0.0);
+        assert!(take_trace().is_empty(), "stopwatch must not record");
+        crate::set_enabled(false);
     }
 
     #[test]

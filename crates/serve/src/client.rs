@@ -126,6 +126,13 @@ pub fn request(
     send_line_with_retry(addr, &frame.to_line(), policy)
 }
 
+/// Send a `stats` probe. No retries: stats is a liveness check, so a
+/// failure to answer promptly is itself the signal.
+pub fn stats_request(addr: &str, id: &str, journal: Option<u64>) -> Result<Response, ClientError> {
+    let reply = exchange(addr, &crate::protocol::stats_line(id, journal))?;
+    Response::parse(&reply).map_err(ClientError::BadReply)
+}
+
 /// Like [`request`] but for an arbitrary pre-serialized frame line.
 pub fn send_line_with_retry(
     addr: &str,

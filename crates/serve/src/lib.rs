@@ -19,7 +19,12 @@
 //!   timeout and flushes a final metrics snapshot;
 //! * **request-scoped chaos** — with `--chaos`, a request can arm
 //!   `fdx_obs::faults` for its own worker thread only, which is what the
-//!   chaos soak test drives.
+//!   chaos soak test drives;
+//! * **live introspection** — a `stats` op answered on the accept thread
+//!   (works while every worker is saturated or panicking) returns server
+//!   tallies, metric snapshots, and the tail of the bounded request
+//!   journal; `"trace": true` on a discover request embeds the per-request
+//!   phase waterfall in the reply.
 //!
 //! The client half ([`client`]) retries `overloaded`/connect failures on a
 //! deterministic, seedless exponential-backoff schedule.
@@ -29,9 +34,9 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{request, ClientError, RetryPolicy};
+pub use client::{request, stats_request, ClientError, RetryPolicy};
 pub use protocol::{
-    codes, error_frame, ok_frame, parse_frame, shutdown_line, ChaosSpec, Frame, FrameError,
-    RequestFrame, Response,
+    codes, error_frame, ok_frame, parse_frame, phase_nodes_from_json, shutdown_line, stats_line,
+    ChaosSpec, Frame, FrameError, RequestFrame, Response, ServerStats,
 };
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

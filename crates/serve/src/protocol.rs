@@ -22,7 +22,9 @@
 use crate::json::{self, JsonValue};
 use fdx_core::{FdxError, FdxResult};
 use fdx_data::Schema;
+use fdx_obs::journal::JournalEntry;
 use fdx_obs::json::{array, escape, Obj};
+use fdx_obs::{PhaseNode, Snapshot};
 use std::fmt;
 
 /// Hard cap on a single request frame, in bytes. Bounds per-connection
@@ -88,14 +90,27 @@ pub struct RequestFrame {
     pub seed: Option<u64>,
     pub threads: Option<usize>,
     pub validate: Option<bool>,
+    /// Embed the per-request phase waterfall in the reply (`"trace": true`).
+    pub trace: bool,
     pub chaos: Vec<ChaosSpec>,
 }
+
+/// Default journal-tail length returned by a `stats` reply.
+pub const DEFAULT_STATS_JOURNAL: usize = 16;
 
 /// Any well-formed frame the acceptor understands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     Discover(Box<RequestFrame>),
-    Shutdown { id: String },
+    Shutdown {
+        id: String,
+    },
+    /// Live-introspection probe, answered on the accept thread.
+    Stats {
+        id: String,
+        /// Journal-tail length to include in the reply.
+        journal: usize,
+    },
 }
 
 /// Frame rejection; always surfaces as a [`codes::BAD_REQUEST`] reply.
@@ -207,6 +222,11 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                                 .ok_or_else(|| bad("\"validate\" must be a boolean"))?,
                         );
                     }
+                    "trace" => {
+                        req.trace = val
+                            .as_bool()
+                            .ok_or_else(|| bad("\"trace\" must be a boolean"))?;
+                    }
                     "chaos" => {
                         let arr = val
                             .as_arr()
@@ -222,6 +242,22 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                 return Err(bad("discover frame requires a \"csv\" field"));
             }
             Ok(Frame::Discover(Box::new(req)))
+        }
+        "stats" => {
+            let mut journal = DEFAULT_STATS_JOURNAL;
+            for (k, val) in fields {
+                match k.as_str() {
+                    "op" | "id" => {}
+                    "journal" => {
+                        journal = val
+                            .as_u64()
+                            .ok_or_else(|| bad("\"journal\" must be a non-negative integer"))?
+                            as usize;
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in stats frame"))),
+                }
+            }
+            Ok(Frame::Stats { id, journal })
         }
         other => Err(bad(format!("unknown op {other:?}"))),
     }
@@ -303,6 +339,9 @@ impl RequestFrame {
         if let Some(v) = self.validate {
             o = o.bool_("validate", v);
         }
+        if self.trace {
+            o = o.bool_("trace", true);
+        }
         if !self.chaos.is_empty() {
             let specs: Vec<String> = self
                 .chaos
@@ -329,14 +368,32 @@ pub fn shutdown_line(id: &str) -> String {
     Obj::new().str_("op", "shutdown").str_("id", id).finish()
 }
 
-/// Build the success reply for a completed discover request.
-pub fn ok_frame(id: &str, result: &FdxResult, schema: &Schema, queue_wait_secs: f64) -> String {
+/// A stats request line, for clients and tests. `journal = None` uses the
+/// server-side default tail length ([`DEFAULT_STATS_JOURNAL`]).
+pub fn stats_line(id: &str, journal: Option<u64>) -> String {
+    let mut o = Obj::new().str_("op", "stats").str_("id", id);
+    if let Some(n) = journal {
+        o = o.u64_("journal", n);
+    }
+    o.finish()
+}
+
+/// Build the success reply for a completed discover request. When `trace`
+/// is `Some`, the per-request phase forest is embedded as a `"trace"`
+/// array of nested `{name, secs, count, children}` objects.
+pub fn ok_frame(
+    id: &str,
+    result: &FdxResult,
+    schema: &Schema,
+    queue_wait_secs: f64,
+    trace: Option<&[PhaseNode]>,
+) -> String {
     let fds: Vec<String> = result
         .fds
         .iter()
         .map(|fd| format!("\"{}\"", escape(&fd.display(schema).to_string())))
         .collect();
-    Obj::new()
+    let mut o = Obj::new()
         .str_("id", id)
         .str_("status", "ok")
         .u64_("attrs", schema.len() as u64)
@@ -346,6 +403,98 @@ pub fn ok_frame(id: &str, result: &FdxResult, schema: &Schema, queue_wait_secs: 
         .u64_("rung", result.health.rung.index() as u64)
         .raw("health", &result.health.to_json())
         .f64_("queue_wait_secs", queue_wait_secs)
+        .f64_("total_secs", result.timings.total_secs());
+    if let Some(nodes) = trace {
+        o = o.raw("trace", &array(nodes.iter().map(PhaseNode::to_json)));
+    }
+    o.finish()
+}
+
+/// Accept-thread tallies included in a `stats` reply, assembled by the
+/// server without entering the discovery pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Seconds since the server started accepting.
+    pub uptime_secs: f64,
+    /// Configured worker-thread count.
+    pub workers: usize,
+    /// Requests currently parked in the bounded queue.
+    pub queue_depth: usize,
+    /// Capacity of the bounded queue.
+    pub queue_cap: usize,
+    /// Requests currently being processed by workers.
+    pub inflight: usize,
+    pub requests: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub panics: u64,
+    pub bad_frames: u64,
+    pub deadline_exceeded: u64,
+    pub abandoned: u64,
+    /// `stats` probes answered (not counted in `requests`).
+    pub stats_requests: u64,
+}
+
+fn histogram_summary_json(snapshot: &Snapshot, name: &str) -> String {
+    match snapshot.histogram_summary(name) {
+        Some(s) => Obj::new()
+            .u64_("count", s.count)
+            .f64_("mean", s.mean)
+            .u64_("p50", s.p50)
+            .u64_("p95", s.p95)
+            .u64_("p99", s.p99)
+            .finish(),
+        None => Obj::new().u64_("count", 0).finish(),
+    }
+}
+
+/// Build the reply for a `stats` frame: server tallies, shed-pressure
+/// histogram summaries, the full counter/gauge snapshot, and the newest
+/// journal entries (oldest first).
+pub fn stats_frame(
+    id: &str,
+    stats: &ServerStats,
+    snapshot: &Snapshot,
+    journal: &[JournalEntry],
+) -> String {
+    let counters = snapshot
+        .counters
+        .iter()
+        .fold(Obj::new(), |o, (name, v)| o.u64_(name, *v))
+        .finish();
+    let gauges = snapshot
+        .gauges
+        .iter()
+        .fold(Obj::new(), |o, (name, v)| o.f64_(name, *v))
+        .finish();
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .str_("op", "stats")
+        .f64_("uptime_secs", stats.uptime_secs)
+        .u64_("workers", stats.workers as u64)
+        .u64_("queue_depth", stats.queue_depth as u64)
+        .u64_("queue_cap", stats.queue_cap as u64)
+        .u64_("inflight", stats.inflight as u64)
+        .u64_("requests", stats.requests)
+        .u64_("completed", stats.completed)
+        .u64_("shed", stats.shed)
+        .u64_("panics", stats.panics)
+        .u64_("bad_frames", stats.bad_frames)
+        .u64_("deadline_exceeded", stats.deadline_exceeded)
+        .u64_("abandoned", stats.abandoned)
+        .u64_("stats_requests", stats.stats_requests)
+        .raw(
+            "queue_wait_ms",
+            &histogram_summary_json(snapshot, "fdx.serve.queue_wait_ms"),
+        )
+        .raw(
+            "service_ms",
+            &histogram_summary_json(snapshot, "fdx.serve.service_ms"),
+        )
+        .raw("counters", &counters)
+        .raw("gauges", &gauges)
+        .raw("journal", &array(journal.iter().map(JournalEntry::to_json)))
         .finish()
 }
 
@@ -394,10 +543,34 @@ pub struct Response {
     pub degraded: Option<bool>,
     /// Recovery-ladder rung (1 = pristine glasso).
     pub rung: Option<u64>,
+    /// Pipeline wall clock reported by the server, in seconds.
+    pub total_secs: Option<f64>,
+    /// Phase waterfall when the request set `"trace": true`.
+    pub trace: Option<Vec<PhaseNode>>,
     /// The full reply document for fields not lifted above.
     pub raw: JsonValue,
     /// The reply line exactly as received (trailing whitespace trimmed).
     pub line: String,
+}
+
+/// Reconstruct a phase forest from the `"trace"` array of a reply.
+/// Returns `None` if any node is malformed.
+pub fn phase_nodes_from_json(v: &JsonValue) -> Option<Vec<PhaseNode>> {
+    let arr = v.as_arr()?;
+    let mut nodes = Vec::with_capacity(arr.len());
+    for item in arr {
+        let name = item.get("name")?.as_str()?.to_string();
+        let secs = item.get("secs")?.as_f64()?;
+        let count = item.get("count")?.as_u64()?;
+        let children = phase_nodes_from_json(item.get("children")?)?;
+        nodes.push(PhaseNode {
+            name,
+            secs,
+            count,
+            children,
+        });
+    }
+    Some(nodes)
 }
 
 impl Response {
@@ -423,6 +596,8 @@ impl Response {
         });
         let degraded = raw.get("degraded").and_then(|d| d.as_bool());
         let rung = raw.get("rung").and_then(|r| r.as_u64());
+        let total_secs = raw.get("total_secs").and_then(|t| t.as_f64());
+        let trace = raw.get("trace").and_then(phase_nodes_from_json);
         Ok(Response {
             id,
             status,
@@ -431,6 +606,8 @@ impl Response {
             fds,
             degraded,
             rung,
+            total_secs,
+            trace,
             raw,
             line: line.to_string(),
         })
@@ -546,6 +723,104 @@ mod tests {
         let line = format!("{{\"csv\":\"{}\"}}", "x".repeat(MAX_FRAME_BYTES));
         let err = parse_frame(&line).unwrap_err();
         assert!(err.detail.contains("byte cap"));
+    }
+
+    #[test]
+    fn parses_stats_frames() {
+        let f = parse_frame(r#"{"op":"stats","id":"s1"}"#).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stats {
+                id: "s1".into(),
+                journal: DEFAULT_STATS_JOURNAL
+            }
+        );
+        let f = parse_frame(&stats_line("s2", Some(64))).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stats {
+                id: "s2".into(),
+                journal: 64
+            }
+        );
+        let err = parse_frame(r#"{"op":"stats","csv":"a\n"}"#).unwrap_err();
+        assert!(err.detail.contains("unknown key"));
+        let err = parse_frame(r#"{"op":"stats","journal":-1}"#).unwrap_err();
+        assert!(err.detail.contains("journal"));
+    }
+
+    #[test]
+    fn trace_flag_roundtrips_and_rejects_non_bool() {
+        let req = RequestFrame {
+            id: "t".into(),
+            csv: "a\n1\n".into(),
+            trace: true,
+            ..RequestFrame::default()
+        };
+        let parsed = parse_frame(&req.to_line()).unwrap();
+        assert_eq!(parsed, Frame::Discover(Box::new(req)));
+        let err = parse_frame(r#"{"csv":"a\n","trace":1}"#).unwrap_err();
+        assert!(err.detail.contains("trace"));
+    }
+
+    #[test]
+    fn phase_nodes_roundtrip_through_json() {
+        let nodes = vec![PhaseNode {
+            name: "fdx.discover".into(),
+            secs: 0.5,
+            count: 1,
+            children: vec![PhaseNode {
+                name: "fdx.glasso".into(),
+                secs: 0.25,
+                count: 3,
+                children: Vec::new(),
+            }],
+        }];
+        let line = array(nodes.iter().map(PhaseNode::to_json));
+        let parsed = phase_nodes_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, nodes);
+        assert!(phase_nodes_from_json(&json::parse(r#"[{"name":"x"}]"#).unwrap()).is_none());
+    }
+
+    #[test]
+    fn stats_frame_parses_as_response_with_journal() {
+        let stats = ServerStats {
+            uptime_secs: 1.5,
+            workers: 4,
+            queue_depth: 2,
+            queue_cap: 8,
+            inflight: 4,
+            requests: 10,
+            completed: 4,
+            shed: 1,
+            stats_requests: 1,
+            ..ServerStats::default()
+        };
+        let entry = JournalEntry {
+            seq: 7,
+            id: "r7".into(),
+            outcome: "ok".into(),
+            queue_wait_secs: 0.001,
+            total_secs: 0.1,
+            phases: vec![("glasso".into(), 0.05)],
+            rung: 1,
+            threads: 2,
+        };
+        let line = stats_frame("s1", &stats, &Snapshot::default(), &[entry]);
+        let r = Response::parse(&line).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.raw.get("op").and_then(|o| o.as_str()), Some("stats"));
+        assert_eq!(r.raw.get("queue_depth").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(r.raw.get("inflight").and_then(|v| v.as_u64()), Some(4));
+        let journal = r.raw.get("journal").and_then(|j| j.as_arr()).unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(
+            journal[0].get("outcome").and_then(|o| o.as_str()),
+            Some("ok")
+        );
+        // Empty snapshot still yields well-formed (zero-count) summaries.
+        let qw = r.raw.get("queue_wait_ms").unwrap();
+        assert_eq!(qw.get("count").and_then(|c| c.as_u64()), Some(0));
     }
 
     #[test]

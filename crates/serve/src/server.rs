@@ -24,11 +24,12 @@
 //!    for the duration of that request only; the RAII guards disarm on
 //!    return *and* on unwind, so faults never leak across requests.
 
-use crate::protocol::{self, codes, Frame, RequestFrame};
-use fdx_core::{Fdx, FdxConfig, FdxError};
-use fdx_data::read_csv_str;
+use crate::protocol::{self, codes, Frame, RequestFrame, ServerStats};
+use fdx_core::{Fdx, FdxConfig, FdxError, FdxResult};
+use fdx_data::{read_csv_str, Dataset};
 use fdx_obs::faults::{self, ArmedFault};
-use fdx_obs::{counter_add, gauge_set, observe, Span};
+use fdx_obs::journal::{Journal, JournalEntry};
+use fdx_obs::{counter_add, gauge_set, observe, Span, Stopwatch};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +57,8 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Write the final metrics snapshot here on drain (atomic rename).
     pub metrics_path: Option<PathBuf>,
+    /// Write the request journal (JSON lines, oldest first) here on drain.
+    pub journal_path: Option<PathBuf>,
     /// Per-connection socket read timeout.
     pub io_timeout_secs: f64,
 }
@@ -69,6 +72,7 @@ impl Default for ServeConfig {
             drain_timeout_secs: 5.0,
             chaos: false,
             metrics_path: None,
+            journal_path: None,
             io_timeout_secs: 10.0,
         }
     }
@@ -93,6 +97,8 @@ pub struct ServeReport {
     pub deadline_exceeded: u64,
     /// Queued requests answered `shutting_down` at the drain timeout.
     pub abandoned: u64,
+    /// `stats` probes answered on the accept thread (not in `requests`).
+    pub stats_requests: u64,
     /// Whether the drain timed out before queued + in-flight work finished.
     pub drain_timed_out: bool,
 }
@@ -103,6 +109,10 @@ struct QueueInner {
 }
 
 struct State {
+    /// Worker-pool size, frozen at start for `stats` replies.
+    workers: usize,
+    /// Server start time; `stats` reports uptime from it.
+    started: Stopwatch,
     inner: Mutex<QueueInner>,
     job_ready: Condvar,
     /// Signalled whenever the queue may have drained (job finished).
@@ -121,11 +131,14 @@ struct State {
     bad_frames: AtomicU64,
     deadline_exceeded: AtomicU64,
     abandoned: AtomicU64,
+    stats_requests: AtomicU64,
 }
 
 impl State {
-    fn new() -> State {
+    fn new(workers: usize) -> State {
         State {
+            workers,
+            started: Stopwatch::start(),
             inner: Mutex::new(QueueInner {
                 queue: VecDeque::new(),
                 in_flight: 0,
@@ -143,6 +156,7 @@ impl State {
             bad_frames: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             abandoned: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
         }
     }
 
@@ -168,11 +182,14 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// One queued request: the parsed frame, the connection to answer on, and
-/// a span measuring time spent in the queue.
+/// a stopwatch measuring time spent in the queue. A [`Stopwatch`] (not a
+/// [`Span`]) because the job is created on the acceptor thread and consumed
+/// on a worker thread — a `Span` would leak its frame into the acceptor's
+/// thread-local trace stack.
 struct Job {
     req: Box<RequestFrame>,
     stream: TcpStream,
-    wait: Span,
+    wait: Stopwatch,
 }
 
 /// The discovery server. [`Server::start`] binds, spawns the acceptor and
@@ -194,8 +211,8 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(State::new());
         let n_workers = fdx_par::resolve_threads(config.threads).max(1);
+        let state = Arc::new(State::new(n_workers));
 
         let mut workers = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
@@ -282,8 +299,11 @@ impl ServerHandle {
                         self.state.abandoned.fetch_add(1, Ordering::Relaxed);
                         counter_add("fdx.serve.abandoned", 1);
                         let Job {
-                            req, mut stream, ..
+                            req,
+                            mut stream,
+                            wait,
                         } = job;
+                        journal_unserved(&req, codes::SHUTTING_DOWN, wait.elapsed_secs());
                         write_reply(
                             &mut stream,
                             &protocol::error_frame(
@@ -326,6 +346,7 @@ impl ServerHandle {
             bad_frames: self.state.bad_frames.load(Ordering::Relaxed),
             deadline_exceeded: self.state.deadline_exceeded.load(Ordering::Relaxed),
             abandoned: self.state.abandoned.load(Ordering::Relaxed),
+            stats_requests: self.state.stats_requests.load(Ordering::Relaxed),
             drain_timed_out: timed_out,
         };
 
@@ -333,8 +354,26 @@ impl ServerHandle {
             let snap = fdx_obs::Registry::global().snapshot();
             let _ = fdx_obs::write_atomic(path, &fdx_obs::export_jsonl(&snap));
         }
+        if let Some(path) = &self.config.journal_path {
+            let _ = fdx_obs::write_atomic(path, &Journal::global().export_jsonl());
+        }
         report
     }
+}
+
+/// Journal a request the pipeline never ran (shed or abandoned): no phase
+/// timings, rung 0, outcome = the error code it was answered with.
+fn journal_unserved(req: &RequestFrame, outcome: &str, queue_wait_secs: f64) {
+    Journal::global().record(JournalEntry {
+        seq: 0,
+        id: req.id.clone(),
+        outcome: outcome.to_string(),
+        queue_wait_secs,
+        total_secs: 0.0,
+        phases: Vec::new(),
+        rung: 0,
+        threads: req.threads.unwrap_or(1),
+    });
 }
 
 fn acceptor_loop(listener: TcpListener, state: &Arc<State>, cfg: &ServeConfig) {
@@ -437,6 +476,38 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
             write_reply(&mut stream, &protocol::shutdown_ack(&id));
             state.begin_shutdown();
         }
+        Ok(Frame::Stats { id, journal }) => {
+            // Answered right here on the accept thread: a brief queue-lock
+            // peek plus lock-cheap snapshots, never the discovery pipeline —
+            // so stats stays responsive when every worker is busy or wedged.
+            state.stats_requests.fetch_add(1, Ordering::Relaxed);
+            counter_add("fdx.serve.stats", 1);
+            let (queue_depth, inflight) = {
+                let inner = lock_recover(&state.inner);
+                (inner.queue.len(), inner.in_flight)
+            };
+            let stats = ServerStats {
+                uptime_secs: state.started.elapsed_secs(),
+                workers: state.workers,
+                queue_depth,
+                queue_cap: cfg.queue_cap,
+                inflight,
+                requests: state.requests.load(Ordering::Relaxed),
+                completed: state.completed.load(Ordering::Relaxed),
+                shed: state.shed.load(Ordering::Relaxed),
+                panics: state.panics.load(Ordering::Relaxed),
+                bad_frames: state.bad_frames.load(Ordering::Relaxed),
+                deadline_exceeded: state.deadline_exceeded.load(Ordering::Relaxed),
+                abandoned: state.abandoned.load(Ordering::Relaxed),
+                stats_requests: state.stats_requests.load(Ordering::Relaxed),
+            };
+            let snap = fdx_obs::Registry::global().snapshot();
+            let tail = Journal::global().tail(journal);
+            write_reply(
+                &mut stream,
+                &protocol::stats_frame(&id, &stats, &snap, &tail),
+            );
+        }
         Ok(Frame::Discover(req)) => {
             if !cfg.chaos && !req.chaos.is_empty() {
                 state.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -456,6 +527,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
                 drop(inner);
                 state.shed.fetch_add(1, Ordering::Relaxed);
                 counter_add("fdx.serve.shed", 1);
+                journal_unserved(&req, codes::OVERLOADED, 0.0);
                 write_reply(
                     &mut stream,
                     &protocol::error_frame(
@@ -471,7 +543,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
             inner.queue.push_back(Job {
                 req,
                 stream,
-                wait: Span::enter("serve.queue_wait"),
+                wait: Stopwatch::start(),
             });
             gauge_set("fdx.serve.queue_depth", inner.queue.len() as f64);
             drop(inner);
@@ -507,10 +579,13 @@ fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
 
         if state.abandon.load(Ordering::Acquire) {
             let Job {
-                req, mut stream, ..
+                req,
+                mut stream,
+                wait,
             } = job;
             state.abandoned.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.abandoned", 1);
+            journal_unserved(&req, codes::SHUTTING_DOWN, wait.elapsed_secs());
             write_reply(
                 &mut stream,
                 &protocol::error_frame(
@@ -531,7 +606,15 @@ fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
     }
 }
 
-/// Run one request under the panic-isolation boundary and answer it.
+/// How a request left the isolation boundary: a full result (plus the
+/// dataset, whose schema renders the FDs) or a typed failure.
+enum Handled {
+    Done(Box<FdxResult>, Dataset),
+    Failed { code: &'static str, detail: String },
+}
+
+/// Run one request under the panic-isolation boundary, answer it, and
+/// journal the outcome.
 fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
     let Job {
         req,
@@ -539,29 +622,91 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
         wait,
     } = job;
     let queue_wait = wait.elapsed_secs();
-    observe("fdx.serve.queue_wait_us", (queue_wait * 1e6) as u64);
-    drop(wait);
+    observe("fdx.serve.queue_wait_ms", (queue_wait * 1e3) as u64);
+    let service = Stopwatch::start();
+    if req.trace {
+        // Discard roots accumulated by earlier (untraced) requests on this
+        // worker so the capture below holds exactly this request's tree.
+        let _ = fdx_obs::take_trace();
+    }
     let request_span = Span::enter("serve.request");
     let id = req.id.clone();
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         handle_discover(state, &req, queue_wait)
     }));
-    let reply = match outcome {
-        Ok(reply) => reply,
+    drop(request_span);
+    let trace = req.trace.then(|| {
+        let roots = fdx_obs::take_trace();
+        match roots.into_iter().next() {
+            Some(root) if root.name == "serve.request" => root.children,
+            Some(root) => vec![root],
+            None => Vec::new(),
+        }
+    });
+
+    let (reply, journal_outcome, rung, total_secs, phases) = match outcome {
+        Ok(Handled::Done(result, dataset)) => {
+            let reply = protocol::ok_frame(
+                &req.id,
+                &result,
+                dataset.schema(),
+                queue_wait,
+                trace.as_deref(),
+            );
+            let phases = result
+                .timings
+                .phases()
+                .iter()
+                .map(|(name, secs)| (name.to_string(), *secs))
+                .collect();
+            (
+                reply,
+                result.health.outcome_code().to_string(),
+                result.health.rung.index() as u8,
+                result.timings.total_secs(),
+                phases,
+            )
+        }
+        Ok(Handled::Failed { code, detail }) => (
+            protocol::error_frame(&id, code, &detail),
+            code.to_string(),
+            0,
+            service.elapsed_secs(),
+            Vec::new(),
+        ),
         Err(_) => {
             state.panics.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.panics", 1);
-            protocol::error_frame(
-                &id,
-                codes::PANIC,
-                "request handler panicked; worker recovered and the server keeps serving",
+            (
+                protocol::error_frame(
+                    &id,
+                    codes::PANIC,
+                    "request handler panicked; worker recovered and the server keeps serving",
+                ),
+                codes::PANIC.to_string(),
+                0,
+                service.elapsed_secs(),
+                Vec::new(),
             )
         }
     };
+    observe(
+        "fdx.serve.service_ms",
+        (service.elapsed_secs() * 1e3) as u64,
+    );
+    Journal::global().record(JournalEntry {
+        seq: 0,
+        id,
+        outcome: journal_outcome,
+        queue_wait_secs: queue_wait,
+        total_secs,
+        phases,
+        rung,
+        threads: req.threads.unwrap_or(1),
+    });
     state.completed.fetch_add(1, Ordering::Relaxed);
     counter_add("fdx.serve.completed", 1);
-    drop(request_span);
     write_reply(&mut stream, &reply);
 }
 
@@ -579,7 +724,7 @@ fn arm_chaos(req: &RequestFrame) -> Vec<ArmedFault> {
         .collect()
 }
 
-fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> String {
+fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> Handled {
     let _chaos_guards = arm_chaos(req);
 
     // Serve-level fault points, inside the isolation boundary.
@@ -616,13 +761,12 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> S
         if remaining <= 0.0 {
             state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.deadline_exceeded", 1);
-            return protocol::error_frame(
-                &req.id,
-                codes::DEADLINE_EXCEEDED,
-                &format!(
+            return Handled::Failed {
+                code: codes::DEADLINE_EXCEEDED,
+                detail: format!(
                     "deadline of {deadline_ms} ms expired after {queue_wait:.3} s in the queue"
                 ),
-            );
+            };
         }
         config = config.with_time_budget(remaining);
     }
@@ -632,19 +776,22 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> S
         Err(e) => {
             state.bad_frames.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.bad_request", 1);
-            return protocol::error_frame(&req.id, codes::BAD_REQUEST, &format!("csv: {e}"));
+            return Handled::Failed {
+                code: codes::BAD_REQUEST,
+                detail: format!("csv: {e}"),
+            };
         }
     };
 
     match Fdx::new(config).discover(&dataset) {
-        Ok(result) => protocol::ok_frame(&req.id, &result, dataset.schema(), queue_wait),
+        Ok(result) => Handled::Done(Box::new(result), dataset),
         Err(err) => {
             if matches!(err, FdxError::BudgetExceeded { .. }) {
                 state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 counter_add("fdx.serve.deadline_exceeded", 1);
             }
             let (code, detail) = protocol::map_fdx_error(&err);
-            protocol::error_frame(&req.id, code, &detail)
+            Handled::Failed { code, detail }
         }
     }
 }

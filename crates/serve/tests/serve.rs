@@ -23,6 +23,7 @@ fn serial() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner());
     fdx_obs::set_enabled(true);
     fdx_obs::Registry::global().reset();
+    fdx_obs::journal::Journal::global().reset();
     guard
 }
 
@@ -342,6 +343,204 @@ fn malformed_frame_over_the_wire_gets_typed_bad_request() {
     handle.shutdown();
     let report = handle.wait();
     assert_eq!(report.bad_frames, 2);
+}
+
+/// Acceptance criterion: a `stats` request against a fully busy server —
+/// sole worker stalled, queue holding two more requests — is answered on
+/// the accept thread within 100 ms and reports accurate inflight and
+/// queue-depth figures.
+#[test]
+fn stats_answers_under_100ms_while_workers_are_saturated() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        queue_cap: 4,
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Pin the only worker for 1.5s, then land two requests in the queue.
+    let mut stall = discover_frame("stall");
+    stall.chaos.push(chaos_value("serve.stall", 1.5));
+    let a = addr.clone();
+    let stalled = thread::spawn(move || send(&a, &stall));
+    thread::sleep(Duration::from_millis(300));
+    let queued: Vec<_> = (0..2)
+        .map(|i| {
+            let a = addr.clone();
+            thread::spawn(move || send(&a, &discover_frame(&format!("queued-{i}"))))
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    let watch = fdx_obs::Stopwatch::start();
+    let stats = fdx_serve::stats_request(&addr, "live", None).expect("stats reply");
+    let elapsed = watch.elapsed_secs();
+    assert!(
+        elapsed < 0.1,
+        "stats took {elapsed:.3}s against a saturated server"
+    );
+    assert!(stats.is_ok(), "{stats:?}");
+    assert_eq!(stats.raw.get("workers").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(stats.raw.get("inflight").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        stats.raw.get("queue_depth").and_then(|v| v.as_u64()),
+        Some(2),
+        "{}",
+        stats.line
+    );
+    assert_eq!(stats.raw.get("queue_cap").and_then(|v| v.as_u64()), Some(4));
+
+    assert!(stalled.join().unwrap().is_ok());
+    for j in queued {
+        assert!(j.join().unwrap().is_ok());
+    }
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.stats_requests, 1);
+    assert_eq!(report.requests, 3, "stats is not a discovery request");
+    assert_eq!(report.completed, 3);
+}
+
+fn phase_names(nodes: &[fdx_obs::PhaseNode]) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in nodes {
+        out.push(n.name.clone());
+        out.extend(phase_names(&n.children));
+    }
+    out
+}
+
+/// Acceptance criterion: a `"trace": true` reply embeds the phase waterfall
+/// and its root total agrees with the reply's `total_secs` scalar; the FD
+/// set and trace structure are identical across request thread counts.
+#[test]
+fn trace_reply_waterfall_matches_total_and_is_thread_stable() {
+    let _g = serial();
+    let handle = Server::start(ServeConfig {
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut replies = Vec::new();
+    for threads in [1usize, 4] {
+        let mut f = discover_frame(&format!("trace-{threads}"));
+        f.trace = true;
+        f.threads = Some(threads);
+        let resp = send(&addr, &f);
+        assert!(resp.is_ok(), "{resp:?}");
+        let total = resp.total_secs.expect("total_secs in traced reply");
+        let trace = resp.trace.clone().expect("trace in traced reply");
+        let root = trace
+            .iter()
+            .find(|n| n.name == "fdx.discover")
+            .expect("fdx.discover root span");
+        assert!(
+            (root.secs - total).abs() < 0.05 + 0.25 * total,
+            "trace root {:.4}s vs total_secs {:.4}s",
+            root.secs,
+            total
+        );
+        let children: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert!(children.contains(&"fdx.transform"), "{children:?}");
+        assert!(children.contains(&"fdx.structure"), "{children:?}");
+        let nested = phase_names(&root.children);
+        assert!(
+            nested.iter().any(|n| n == "fdx.glasso"),
+            "glasso span nests under structure: {nested:?}"
+        );
+        replies.push(resp);
+    }
+
+    // Bit-stability across request thread counts: identical FDs, identical
+    // phase-tree structure (wall-clock seconds may of course differ).
+    let (r1, r4) = (&replies[0], &replies[1]);
+    assert_eq!(r1.fds, r4.fds, "FD set must be thread-count invariant");
+    let t1 = r1.trace.as_ref().map(|t| phase_names(t));
+    let t4 = r4.trace.as_ref().map(|t| phase_names(t));
+    assert_eq!(t1, t4, "trace structure must be thread-count invariant");
+
+    // An untraced request does not pay for (or leak) a waterfall.
+    let resp = send(&addr, &discover_frame("untraced"));
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(resp.trace.is_none(), "{}", resp.line);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Acceptance: the journal visible through `stats` agrees with the file
+/// flushed at drain, and live snapshot counters match the flushed metrics.
+#[test]
+fn stats_snapshot_and_journal_agree_with_drain_flush() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join(format!("fdx-serve-introspect-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("metrics.jsonl");
+    let journal_path = dir.join("journal.jsonl");
+
+    let handle = Server::start(ServeConfig {
+        threads: Some(1),
+        metrics_path: Some(metrics_path.clone()),
+        journal_path: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    assert!(send(&addr, &discover_frame("a")).is_ok());
+    assert!(send(&addr, &discover_frame("b")).is_ok());
+    let mut bad = discover_frame("bad");
+    bad.csv = "zip\n".to_string(); // single-column: discovery cannot run
+    let bad_resp = send(&addr, &bad);
+    assert!(!bad_resp.is_ok(), "{bad_resp:?}");
+
+    let stats = fdx_serve::stats_request(&addr, "s", Some(16)).expect("stats");
+    let counters = stats.raw.get("counters").expect("counters object").clone();
+    let completed_live = counters
+        .get("fdx.serve.completed")
+        .and_then(|v| v.as_u64())
+        .expect("completed counter");
+    assert_eq!(completed_live, 3, "{}", stats.line);
+    let journal = stats.raw.get("journal").and_then(|j| j.as_arr()).unwrap();
+    assert_eq!(journal.len(), 3, "{}", stats.line);
+    let outcomes: Vec<&str> = journal
+        .iter()
+        .filter_map(|e| e.get("outcome").and_then(|o| o.as_str()))
+        .collect();
+    assert_eq!(outcomes.iter().filter(|o| **o == "ok").count(), 2);
+    assert_eq!(outcomes.iter().filter(|o| **o != "ok").count(), 1);
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.completed, 3);
+
+    // The drain-time metrics flush reports exactly the counters the live
+    // snapshot showed (nothing ran in between).
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(
+        text.contains(r#""name":"fdx.serve.completed","value":3"#),
+        "{text}"
+    );
+    // The journal flush holds the same three entries, oldest first.
+    let jtext = std::fs::read_to_string(&journal_path).unwrap();
+    let ids: Vec<String> = jtext
+        .lines()
+        .map(|l| {
+            fdx_serve::json::parse(l)
+                .expect("journal line parses")
+                .get("id")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(ids, vec!["a", "b", "bad"], "{jtext}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -8,8 +8,10 @@
 //! `Fdx::discover` on the same CSV — i.e. chaos armed on one worker thread
 //! never contaminates another request.
 //!
-//! The final metrics snapshot is flushed to `FDX_SOAK_METRICS` (or a temp
-//! path) so CI can upload it as an artifact.
+//! Mid-soak, a `stats` frame polls the live journal and must show every
+//! faulted request with a non-ok outcome. The final metrics snapshot is
+//! flushed to `FDX_SOAK_METRICS` and the request journal to
+//! `FDX_SOAK_JOURNAL` (or temp paths) so CI can upload both as artifacts.
 
 use fdx::{Fdx, FdxConfig};
 use fdx_serve::client::exchange;
@@ -51,10 +53,20 @@ fn soak_metrics_path() -> PathBuf {
     }
 }
 
+fn soak_journal_path() -> PathBuf {
+    match std::env::var("FDX_SOAK_JOURNAL") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => std::env::temp_dir().join(format!("fdx-soak-journal-{}.jsonl", std::process::id())),
+    }
+}
+
+const FAULT_IDS: [&str; 4] = ["fault-glasso", "fault-nan", "fault-udut", "fault-skew"];
+
 #[test]
 fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
     fdx_obs::set_enabled(true);
     fdx_obs::Registry::global().reset();
+    fdx_obs::journal::Journal::global().reset();
 
     // Reference: the exact pipeline the server runs for a clean request —
     // same CSV through the same parser, seed 7, single kernel thread.
@@ -74,6 +86,7 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
         queue_cap: 32,
         chaos: true,
         metrics_path: Some(soak_metrics_path()),
+        journal_path: Some(soak_journal_path()),
         ..ServeConfig::default()
     })
     .expect("bind");
@@ -152,6 +165,35 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
         );
     }
 
+    // Mid-soak introspection: a `stats` frame (answered on the accept
+    // thread) sees all 16 soaked requests in the journal — the 4 faulted
+    // ones with non-ok outcomes, the clean ones as "ok".
+    let stats = fdx_serve::stats_request(&addr, "soak-stats", Some(64)).expect("stats reply");
+    assert!(stats.is_ok(), "{stats:?}");
+    let journal = stats
+        .raw
+        .get("journal")
+        .and_then(|j| j.as_arr())
+        .expect("journal array");
+    assert_eq!(journal.len(), 16, "{}", stats.line);
+    let outcome_of = |id: &str| -> &str {
+        journal
+            .iter()
+            .find(|e| e.get("id").and_then(|v| v.as_str()) == Some(id))
+            .and_then(|e| e.get("outcome").and_then(|o| o.as_str()))
+            .unwrap_or_else(|| panic!("no journal entry for {id}: {}", stats.line))
+    };
+    for id in FAULT_IDS {
+        assert_ne!(outcome_of(id), "ok", "{id} must journal a non-ok outcome");
+    }
+    assert_eq!(outcome_of("fault-nan"), codes::DISCOVER_ERROR);
+    assert_eq!(outcome_of("fault-skew"), codes::DEADLINE_EXCEEDED);
+    assert_eq!(outcome_of("fault-glasso"), "degraded");
+    assert_eq!(outcome_of("fault-udut"), "degraded");
+    for i in 0..12 {
+        assert_eq!(outcome_of(&format!("clean-{i}")), "ok");
+    }
+
     // The server survived the soak: one more request round-trips clean.
     let line = exchange(&addr, &clean_frame("post-soak").to_line()).expect("post-soak");
     let r = Response::parse(&line).unwrap();
@@ -161,9 +203,10 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
     handle.shutdown();
     let report = handle.wait();
     assert_eq!(report.panics, 0, "{report:?}");
-    assert_eq!(report.requests, 17);
+    assert_eq!(report.requests, 17, "stats polls are not requests");
     assert_eq!(report.completed, 17);
     assert_eq!(report.shed, 0);
+    assert_eq!(report.stats_requests, 1);
     assert!(!report.drain_timed_out);
 
     // The soak metrics artifact was flushed whole.
@@ -172,6 +215,26 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
     assert!(text.contains("\"fdx.serve.deadline_exceeded\""), "{text}");
     for line in text.lines() {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    // The journal artifact holds all 17 served requests; the faulted ids
+    // carry the same non-ok outcomes the live stats poll showed.
+    let jtext = std::fs::read_to_string(soak_journal_path()).expect("soak journal");
+    let entries: Vec<fdx_serve::json::JsonValue> = jtext
+        .lines()
+        .map(|l| fdx_serve::json::parse(l).expect("journal line parses"))
+        .collect();
+    assert_eq!(entries.len(), 17, "{jtext}");
+    for id in FAULT_IDS {
+        let e = entries
+            .iter()
+            .find(|e| e.get("id").and_then(|v| v.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("{id} missing from journal artifact"));
+        assert_ne!(
+            e.get("outcome").and_then(|o| o.as_str()),
+            Some("ok"),
+            "{id}: {e:?}"
+        );
     }
 
     fdx_obs::set_enabled(false);
