@@ -23,11 +23,23 @@ pub enum RuleId {
     L007,
     /// `fdx.*` metric name not in the canonical registry constant.
     L008,
+    /// `HashMap`/`HashSet` iteration order reaching results unsorted.
+    L009,
+    /// Atomic-ordering audit: `Relaxed` read-modify-write / any `SeqCst`.
+    L010,
+    /// Thread creation outside the parallel-runtime boundary crates.
+    L011,
+    /// Float reduction over a hash-ordered source in a kernel crate.
+    L012,
+    /// Wall-clock (`SystemTime::now`) or env-dependent result paths.
+    L013,
+    /// `fdx-allow` suppression without a reason string.
+    L014,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 14] = [
         RuleId::L001,
         RuleId::L002,
         RuleId::L003,
@@ -36,6 +48,12 @@ impl RuleId {
         RuleId::L006,
         RuleId::L007,
         RuleId::L008,
+        RuleId::L009,
+        RuleId::L010,
+        RuleId::L011,
+        RuleId::L012,
+        RuleId::L013,
+        RuleId::L014,
     ];
 
     /// Full reported code, e.g. `FDX-L001`.
@@ -49,6 +67,12 @@ impl RuleId {
             RuleId::L006 => "FDX-L006",
             RuleId::L007 => "FDX-L007",
             RuleId::L008 => "FDX-L008",
+            RuleId::L009 => "FDX-L009",
+            RuleId::L010 => "FDX-L010",
+            RuleId::L011 => "FDX-L011",
+            RuleId::L012 => "FDX-L012",
+            RuleId::L013 => "FDX-L013",
+            RuleId::L014 => "FDX-L014",
         }
     }
 
@@ -63,6 +87,12 @@ impl RuleId {
             RuleId::L006 => "L006",
             RuleId::L007 => "L007",
             RuleId::L008 => "L008",
+            RuleId::L009 => "L009",
+            RuleId::L010 => "L010",
+            RuleId::L011 => "L011",
+            RuleId::L012 => "L012",
+            RuleId::L013 => "L013",
+            RuleId::L014 => "L014",
         }
     }
 
@@ -81,7 +111,7 @@ impl RuleId {
     /// Severity of violations of this rule.
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::L005 => Severity::Warning,
+            RuleId::L005 | RuleId::L010 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -97,6 +127,12 @@ impl RuleId {
             RuleId::L006 => "`unsafe` without a `// SAFETY:` comment",
             RuleId::L007 => "`catch_unwind` outside crates/serve and crates/par (panic containment stays at the isolation boundary)",
             RuleId::L008 => "`fdx.*` metric name not listed in crates/obs/src/metrics.rs (METRIC_NAMES is the canonical registry)",
+            RuleId::L009 => "`HashMap`/`HashSet` iteration reaching results without a sort (use `BTreeMap`/`BTreeSet` or collect-then-sort)",
+            RuleId::L010 => "atomic-ordering audit: `Ordering::Relaxed` on a read-modify-write outside crates/obs, or any `SeqCst`",
+            RuleId::L011 => "thread creation (`thread::spawn`/`Builder`/`scope`) outside crates/par and crates/serve",
+            RuleId::L012 => "float reduction over a hash-ordered source in a linalg/glasso/stats kernel (order-dependent rounding)",
+            RuleId::L013 => "`SystemTime::now()` or env-var reads in result paths (outside crates/par and crates/bench)",
+            RuleId::L014 => "`fdx-allow` suppression without a reason string (every waiver must say why)",
         }
     }
 }

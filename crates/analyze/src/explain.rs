@@ -1,0 +1,241 @@
+//! Per-rule documentation: rationale, an offending example, and the
+//! compliant rewrite. This module is the *single source* for rule prose —
+//! `fdx lint --explain <rule>` renders it, and the README's rule table is
+//! generated from the same [`crate::diag::RuleId`] metadata (an anti-drift
+//! test asserts the README contains exactly the rows [`readme_table`]
+//! produces).
+
+use std::fmt::Write as _;
+
+use crate::diag::RuleId;
+
+/// Documentation for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// Why the rule exists — the invariant it protects.
+    pub rationale: &'static str,
+    /// A minimal offending example.
+    pub bad: &'static str,
+    /// The compliant rewrite of the same code.
+    pub good: &'static str,
+}
+
+/// The documentation for `rule`.
+pub fn doc(rule: RuleId) -> RuleDoc {
+    match rule {
+        RuleId::L001 => RuleDoc {
+            rationale: "Library code is reached through the serve boundary and the \
+                 CLI; a stray `.unwrap()` turns a recoverable data problem into a \
+                 worker panic. Errors must flow out as `Result` so callers choose \
+                 the failure policy.",
+            bad: "let sigma = cov.get(&key).unwrap();",
+            good: "let sigma = cov.get(&key).ok_or(FdxError::MissingCovariance)?;",
+        },
+        RuleId::L002 => RuleDoc {
+            rationale: "Float equality is a rounding-mode lottery: two \
+                 mathematically equal expressions routinely differ in the last \
+                 ulp. Comparisons must state their tolerance explicitly.",
+            bad: "if lambda == 0.0 { return Graph::empty(); }",
+            good: "if lambda.abs() < TOL { return Graph::empty(); }",
+        },
+        RuleId::L003 => RuleDoc {
+            rationale: "All timing flows through obs spans so traces, metrics, \
+                 and the request journal agree. An ad-hoc `Instant::now()` is a \
+                 measurement the observability stack cannot see.",
+            bad: "let t0 = Instant::now(); run(); log(t0.elapsed());",
+            good: "let _span = obs::enter(\"fdx.discover\"); run();",
+        },
+        RuleId::L004 => RuleDoc {
+            rationale: "A panic in library code tears down the serve worker that \
+                 hosts it. `todo!`/`unimplemented!` are stubs that must not ship; \
+                 `panic!` on bad data belongs to the caller as an error value.",
+            bad: "if cols == 0 { panic!(\"empty dataset\"); }",
+            good: "if cols == 0 { return Err(FdxError::EmptyDataset); }",
+        },
+        RuleId::L005 => RuleDoc {
+            rationale: "Inside the linalg/glasso/stats kernels a narrowing `as` \
+                 cast silently truncates counts and indices, corrupting \
+                 Θ-estimation long before anything overflows visibly.",
+            bad: "let n = rows.len() as u32;",
+            good: "let n = u32::try_from(rows.len()).map_err(|_| FdxError::TooManyRows)?;",
+        },
+        RuleId::L006 => RuleDoc {
+            rationale: "Every `unsafe` block is a proof obligation. The `// \
+                 SAFETY:` comment records the argument so the next editor can \
+                 re-check it instead of guessing.",
+            bad: "unsafe { slice.get_unchecked(i) }",
+            good: "// SAFETY: i < slice.len() is checked by the loop bound above.\n\
+                 unsafe { slice.get_unchecked(i) }",
+        },
+        RuleId::L007 => RuleDoc {
+            rationale: "Panic containment lives at exactly two places: the serve \
+                 request boundary and the parallel runtime's worker re-raise \
+                 path. Anywhere else, `catch_unwind` hides corruption instead of \
+                 containing it.",
+            bad: "let r = std::panic::catch_unwind(|| kernel(x));",
+            good: "let r = kernel(x); // let the serve boundary isolate panics",
+        },
+        RuleId::L008 => RuleDoc {
+            rationale: "Metric names are looked up by dashboards and the stats \
+                 op; a typo records into a parallel series nobody reads. The \
+                 registry constant in crates/obs/src/metrics.rs is the single \
+                 namespace.",
+            bad: "counter_add(\"fdx.serve.requsets\", 1);",
+            good: "counter_add(\"fdx.serve.requests\", 1); // listed in METRIC_NAMES",
+        },
+        RuleId::L009 => RuleDoc {
+            rationale: "std's HashMap/HashSet iteration order is randomized per \
+                 process. When that order reaches a result path — a Vec of FDs, a \
+                 serialized report — identical inputs produce different outputs \
+                 across runs, which poisons the result cache (keyed by dataset \
+                 hash + config fingerprint) and makes regressions undiagnosable.",
+            bad: "for (attr, count) in &counts { out.push((attr, count)); }",
+            good: "let mut pairs: Vec<_> = counts.iter().collect();\n\
+                 pairs.sort_unstable();\n\
+                 for (attr, count) in pairs { out.push((attr, count)); }",
+        },
+        RuleId::L010 => RuleDoc {
+            rationale: "`Ordering::Relaxed` on a read-modify-write gives no \
+                 happens-before edge; outside the audited obs counter fast paths \
+                 that is usually a latent race. `SeqCst` is the opposite smell — \
+                 a total order nothing here needs, papering over a reasoning gap. \
+                 Say what you mean: `AcqRel`/`Acquire`/`Release` with a comment.",
+            bad: "queue_head.fetch_add(1, Ordering::Relaxed);",
+            good: "// fdx-allow: L010 index handout only needs atomicity, \
+                 reduction is index-ordered\n\
+                 queue_head.fetch_add(1, Ordering::Relaxed);",
+        },
+        RuleId::L011 => RuleDoc {
+            rationale: "fdx-par guarantees bit-identical results at any thread \
+                 count via index-ordered reduction. A raw `thread::spawn` \
+                 bypasses that contract, letting scheduling (and thus float \
+                 summation order) leak into results.",
+            bad: "let h = std::thread::spawn(move || estimate(block));",
+            good: "let results = fdx_par::par_map_indexed(blocks, estimate);",
+        },
+        RuleId::L012 => RuleDoc {
+            rationale: "Float addition does not commute in rounding: summing the \
+                 same values in a different order gives a different last ulp. A \
+                 reduction over a hash-ordered source inside a numerical kernel \
+                 makes Θ-estimates and λ-path stability scores run-dependent.",
+            bad: "let h: f64 = joint.values().map(|&c| plogp(c)).sum::<f64>();",
+            good: "let mut terms: Vec<_> = joint.iter().collect();\n\
+                 terms.sort_unstable();\n\
+                 let h: f64 = terms.into_iter().map(|(_, &c)| plogp(c)).sum::<f64>();",
+        },
+        RuleId::L013 => RuleDoc {
+            rationale: "Results must be a function of the dataset and the \
+                 config, never of when or where they ran. Wall-clock reads and \
+                 env-dependent branches in result paths break replayability and \
+                 cache correctness; configuration enters through arguments.",
+            bad: "let seed = SystemTime::now().duration_since(UNIX_EPOCH)?.as_nanos();",
+            good: "let seed = config.seed; // explicit, recorded in the run summary",
+        },
+        RuleId::L014 => RuleDoc {
+            rationale: "A suppression without a reason cannot be re-audited when \
+                 the surrounding code changes — nobody knows what argument it \
+                 froze. Every `fdx-allow` must say why the violation is safe.",
+            bad: "// fdx-allow: L001",
+            good: "// fdx-allow: L001 startup config parse; missing file is fatal by design",
+        },
+    }
+}
+
+/// Renders the `fdx lint --explain <rule>` page.
+pub fn explain(rule: RuleId) -> String {
+    let d = doc(rule);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} [{}] — {}",
+        rule.code(),
+        rule.severity().label(),
+        rule.summary()
+    );
+    let _ = writeln!(out, "\nwhy:\n  {}", d.rationale);
+    let _ = writeln!(out, "\noffending:");
+    for line in d.bad.lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+    let _ = writeln!(out, "\ncompliant:");
+    for line in d.good.lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+    let _ = writeln!(
+        out,
+        "\nwaiving:\n  // fdx-allow: {} <reason> — same line or the line above; \
+         the reason is mandatory (FDX-L014).",
+        rule.short()
+    );
+    out
+}
+
+/// The markdown rule-table rows the README must contain, generated from
+/// the same metadata `--list-rules` and the SARIF driver use. One row per
+/// rule: `| `FDX-LXXX` | severity | summary |`.
+pub fn readme_table() -> String {
+    let mut out = String::new();
+    for r in RuleId::ALL {
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} |",
+            r.code(),
+            r.severity().label(),
+            r.summary()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::find_workspace_root;
+
+    #[test]
+    fn every_rule_has_nonempty_docs() {
+        for r in RuleId::ALL {
+            let d = doc(r);
+            assert!(!d.rationale.is_empty(), "{} rationale", r.code());
+            assert!(!d.bad.is_empty(), "{} bad example", r.code());
+            assert!(!d.good.is_empty(), "{} good example", r.code());
+            let page = explain(r);
+            assert!(page.contains(r.code()));
+            assert!(page.contains("why:"));
+            assert!(page.contains("offending:"));
+            assert!(page.contains("compliant:"));
+        }
+    }
+
+    #[test]
+    fn readme_table_has_one_row_per_rule() {
+        let table = readme_table();
+        assert_eq!(table.lines().count(), RuleId::ALL.len());
+        for r in RuleId::ALL {
+            assert!(table.contains(&format!("| `{}` |", r.code())));
+        }
+    }
+
+    /// Anti-drift: the committed README's rule table must contain exactly
+    /// the generated rows — edit `RuleId::summary()` / `severity()`, not
+    /// the markdown. Skipped when the crate is built out of tree.
+    #[test]
+    fn readme_rule_table_matches_generated_rows() {
+        let Some(root) = std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+        else {
+            return;
+        };
+        let Ok(readme) = std::fs::read_to_string(root.join("README.md")) else {
+            return;
+        };
+        for row in readme_table().lines() {
+            assert!(
+                readme.contains(row),
+                "README.md rule table is missing or stale for row:\n{row}\n\
+                 regenerate it from explain::readme_table()"
+            );
+        }
+    }
+}

@@ -222,8 +222,21 @@ pub fn lex(src: &str) -> LexedFile {
                 // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#,
                 // and raw identifiers r#ident.
                 match (text.as_str(), cur.peek(0)) {
-                    ("r" | "b" | "br" | "rb", Some('"')) => {
+                    ("b", Some('"')) => {
+                        // Byte strings have escapes, raw strings do not.
                         let body = lex_quoted_string(&mut cur);
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: format!("{text}{body}"),
+                            line,
+                            col,
+                        });
+                    }
+                    ("r" | "br" | "rb", Some('"')) => {
+                        // Hashless raw string: `\` is a literal character, so
+                        // the escape-aware scanner would overrun on `r"\"`.
+                        // lex_raw_string handles the zero-hash case exactly.
+                        let body = lex_raw_string(&mut cur);
                         out.tokens.push(Token {
                             kind: TokenKind::Str,
                             text: format!("{text}{body}"),
@@ -544,6 +557,92 @@ mod tests {
         let lexed = lex(r###"let s = r#"contains "quotes" and .unwrap()"#; y"###);
         assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
         assert!(lexed.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn raw_strings_without_hashes_have_no_escapes() {
+        // In `r"\"` the backslash is literal and the string ends at the
+        // quote; an escape-aware scan would swallow the rest of the file.
+        let lexed = lex("let s = r\"\\\"; tail.unwrap()");
+        assert!(
+            lexed.tokens.iter().any(|t| t.is_ident("unwrap")),
+            "{:?}",
+            lexed.tokens
+        );
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.text, "r\"\\\"");
+        // Windows-path flavor: `r"C:\dir\"` ends at the final quote.
+        let lexed = lex("let p = r\"C:\\dir\\\"; after");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        // Byte strings keep escape processing: `b"\""` is one literal.
+        let lexed = lex("let b = b\"\\\"\"; done");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // `r##"…"#…"##` only closes on a quote followed by BOTH hashes.
+        let src = "let s = r##\"inner \"# not the end .unwrap()\"##; y";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("y")));
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert!(s.text.starts_with("r##\"") && s.text.ends_with("\"##"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_balance_by_depth() {
+        // Two levels of nesting plus code on both sides; the first `*/`
+        // closes only the inner comment.
+        let src = "before /* a /* b /* c */ b2 */ a2 */ after";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("before")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("b2")));
+        assert_eq!(lexed.comments.len(), 1);
+        // An unterminated nested comment consumes the remainder (forgiving
+        // mid-edit behavior) instead of resurfacing as tokens.
+        let lexed = lex("x /* outer /* inner */ still open\nunwrap()");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_ambiguity_in_generics() {
+        // `<'a>` and `&'a` are lifetimes; `'a'` is a char even when the
+        // same letter is in scope as a lifetime on the same line.
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { let c: char = 'a'; c }");
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, ["'a'"]);
+        // `'static` never closes; an escaped quote char `'\''` does.
+        let toks = kinds("fn g(x: &'static str) { let q = '\\''; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\''".to_string())));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! `fdx-analyze` — zero-dependency static analysis for the fdx workspace.
 //!
-//! A handwritten Rust lexer feeds a small pack of token-pattern rules that
-//! police the numerical invariants this codebase lives or dies by:
+//! A handwritten Rust lexer feeds two layers of rules that police the
+//! numerical invariants this codebase lives or dies by: token-pattern
+//! rules (L001–L008) and semantic rules over a lightweight item/expression
+//! tree built by [`parse`] and queried by [`sema`] (L009–L013), plus the
+//! suppression-hygiene audit (L014):
 //!
 //! | rule | checks |
 //! |------|--------|
@@ -13,11 +16,19 @@
 //! | FDX-L006 | `unsafe` without a `// SAFETY:` comment |
 //! | FDX-L007 | `catch_unwind` outside `crates/serve` / `crates/par` |
 //! | FDX-L008 | `fdx.*` metric names missing from the canonical registry |
+//! | FDX-L009 | `HashMap`/`HashSet` iteration reaching results unsorted |
+//! | FDX-L010 | `Relaxed` read-modify-writes outside obs; any `SeqCst` |
+//! | FDX-L011 | thread creation outside `crates/par` / `crates/serve` |
+//! | FDX-L012 | float reductions over hash-ordered sources in kernels |
+//! | FDX-L013 | `SystemTime::now()` / env reads in result paths |
+//! | FDX-L014 | `fdx-allow` suppressions without a reason |
 //!
 //! Pre-existing debt lives in a committed `lint-baseline.json`; `--ratchet`
 //! fails only on *new* violations, so the count can shrink but never grow.
 //! Intentional violations are annotated `// fdx-allow: <rule> <reason>` and
 //! reported in a suppression audit section rather than vanishing silently.
+//! Findings export as SARIF 2.1.0 ([`sarif`]) for CI code-scanning
+//! annotations, and every rule documents itself via [`explain`].
 //!
 //! The crate is deliberately dependency-free (no `syn`, no `serde`): it
 //! lexes with [`lexer`], parses its baseline with the tiny [`json`] module,
@@ -25,10 +36,14 @@
 
 pub mod baseline;
 pub mod diag;
+pub mod explain;
 pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod sema;
 pub mod walk;
 
 use std::fs;
@@ -37,7 +52,7 @@ use std::path::{Path, PathBuf};
 pub use baseline::{Baseline, RatchetOutcome};
 pub use diag::{Diagnostic, RuleId, Severity};
 pub use report::{RatchetResult, ScanReport};
-pub use rules::{check_file, check_file_with, FileContext, MetricNames, SourceFile};
+pub use rules::{check_file, check_file_with, check_parsed, FileContext, MetricNames, SourceFile};
 pub use walk::find_workspace_root;
 
 /// Configuration for one lint run.
@@ -73,17 +88,38 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let metric_names = fs::read_to_string(root.join("crates/obs/src/metrics.rs"))
         .ok()
         .map(|src| MetricNames::parse(&src));
-    let mut diagnostics = Vec::new();
+    // Pass 1: lex and parse every file once, accumulating the workspace-wide
+    // set of hash-returning fn names so FDX-L009/L012 classify bindings like
+    // `let joint = joint_counts(…)` even when the helper lives elsewhere.
+    let mut sources = Vec::with_capacity(files.len());
     for f in &files {
         let source =
             fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.abs.display()))?;
-        diagnostics.extend(check_file_with(
+        sources.push(source);
+    }
+    let mut parsed_files = Vec::with_capacity(files.len());
+    let mut hash_fns = sema::HashFns::default();
+    for source in &sources {
+        let lexed = lexer::lex(source);
+        let parsed = parse::parse(&lexed.tokens);
+        hash_fns.collect_file(&lexed.tokens, &parsed);
+        parsed_files.push((lexed, parsed));
+    }
+    hash_fns.finish();
+    // Pass 2: run the full rule pipeline over the pre-parsed inputs.
+    let mut diagnostics = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let (lexed, parsed) = &parsed_files[i];
+        diagnostics.extend(check_parsed(
             &SourceFile {
                 rel_path: &f.rel,
-                source: &source,
+                source: &sources[i],
                 context: f.context,
             },
+            lexed,
+            parsed,
             metric_names.as_ref(),
+            &hash_fns,
         ));
     }
     diagnostics.sort_by_key(Diagnostic::sort_key);
@@ -288,6 +324,48 @@ mod tests {
         ]);
         let report = run(&opts).expect("run");
         assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cross_file_hash_returning_fn_classifies_caller() {
+        // `joint_counts` returns a HashMap in one file; the float
+        // accumulation over its result lives in another. Only the
+        // workspace-wide pre-pass can connect the two — and inside a
+        // kernel crate the finding is the sharper FDX-L012.
+        let (root, opts) = lint_workspace(&[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/stats/Cargo.toml", LIB_MANIFEST),
+            (
+                "crates/stats/src/groups.rs",
+                "use std::collections::HashMap;\n\
+                 pub fn joint_counts(xs: &[u32]) -> HashMap<(u32, u32), usize> {\n    \
+                 let mut m = HashMap::new();\n    \
+                 for &x in xs { *m.entry((x, x)).or_insert(0) += 1; }\n    \
+                 m\n}\n",
+            ),
+            (
+                "crates/stats/src/entropy.rs",
+                "use crate::groups::joint_counts;\n\
+                 pub fn mi(xs: &[u32]) -> f64 {\n    \
+                 let joint = joint_counts(xs);\n    \
+                 let mut acc = 0.0;\n    \
+                 for (_, &c) in &joint { acc += c as f64; }\n    \
+                 acc\n}\n",
+            ),
+        ]);
+        let report = run(&opts).expect("run");
+        let hits: Vec<(&str, RuleId, u32)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.as_str(), d.rule, d.line))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![("crates/stats/src/entropy.rs", RuleId::L012, 5)],
+            "{:?}",
+            report.diagnostics
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

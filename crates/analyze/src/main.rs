@@ -7,7 +7,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fdx_analyze::{find_workspace_root, report, run, write_baseline, LintOptions};
+use fdx_analyze::{
+    explain, find_workspace_root, report, run, sarif, write_baseline, LintOptions, RuleId,
+};
 
 const USAGE: &str = "\
 fdx-analyze — zero-dependency static analysis for the fdx workspace
@@ -21,6 +23,8 @@ OPTIONS:
     --ratchet            Fail only on violations NOT in the baseline
     --write-baseline     Regenerate the baseline from the current tree
     --format <FMT>       Output format: text (default) or json
+    --sarif <PATH>       Also write the scan as SARIF 2.1.0 to PATH
+    --explain <RULE>     Print rationale and examples for a rule and exit
     --list-rules         Print the rule table and exit
     -h, --help           Show this help
 ";
@@ -31,6 +35,8 @@ struct Args {
     ratchet: bool,
     write_baseline: bool,
     format_json: bool,
+    sarif: Option<PathBuf>,
+    explain: Option<RuleId>,
     list_rules: bool,
 }
 
@@ -41,6 +47,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ratchet: false,
         write_baseline: false,
         format_json: false,
+        sarif: None,
+        explain: None,
         list_rules: false,
     };
     let mut it = argv.iter();
@@ -64,6 +72,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
+            "--sarif" => {
+                let v = it.next().ok_or("--sarif requires a path")?;
+                args.sarif = Some(PathBuf::from(v));
+            }
+            "--explain" => {
+                let v = it.next().ok_or("--explain requires a rule id, e.g. L009")?;
+                args.explain = Some(RuleId::parse(v).ok_or_else(|| format!("unknown rule `{v}`"))?);
+            }
             "--list-rules" => args.list_rules = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -85,6 +101,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = args.explain {
+        print!("{}", explain::explain(rule));
+        return ExitCode::SUCCESS;
+    }
 
     if args.list_rules {
         print!("{}", report::list_rules());
@@ -129,6 +150,18 @@ fn main() -> ExitCode {
 
     match run(&opts) {
         Ok(report) => {
+            if let Some(path) = &args.sarif {
+                let doc = sarif::to_sarif(&report);
+                if let Err(e) = sarif::validate(&doc) {
+                    eprintln!("error: generated SARIF failed self-validation: {e}");
+                    return ExitCode::from(2);
+                }
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote SARIF to {}", path.display());
+            }
             if args.format_json {
                 print!("{}", report.to_json());
             } else {

@@ -1,0 +1,372 @@
+//! A lightweight recursive-descent pass over the lexer's token stream.
+//!
+//! This is deliberately **not** a Rust parser. It recovers just enough
+//! structure for the semantic rules in [`crate::sema`]:
+//!
+//! - `use` declarations, with nested groups (`use a::{b, c as d, self}`)
+//!   expanded into flat local-name → canonical-path bindings;
+//! - `fn` items (free functions, methods inside `impl`/`mod`/`trait`
+//!   blocks, nested fns), each with its name, the token range of its
+//!   parameter list and the token range of its body;
+//! - balanced-delimiter matching, shared via [`match_forward`].
+//!
+//! Everything else — expressions, types, generics — stays a token stream;
+//! [`crate::sema`] runs targeted scans inside the recovered ranges. The
+//! pass is error-tolerant: malformed or mid-edit code degrades to "no item
+//! recognized here", never to a panic or a skipped file.
+
+use crate::lexer::Token;
+
+/// One local name introduced by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// The identifier visible in this file (the alias, for `as` imports).
+    pub name: String,
+    /// Canonical `::`-joined path the name resolves to.
+    pub path: String,
+}
+
+/// One `fn` item: name plus the token ranges semantic scans operate on.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the parameter list, *excluding* the outer
+    /// parentheses: `params.0..params.1`.
+    pub params: (usize, usize),
+    /// Token index range of the return type / where clause: everything
+    /// between the closing `)` and the body `{` (or terminating `;`).
+    pub ret: (usize, usize),
+    /// Token index range of the body, *excluding* the outer braces:
+    /// `body.0..body.1`. Empty for bodyless trait-method declarations.
+    pub body: (usize, usize),
+}
+
+/// The recovered item-level structure of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Flattened `use` bindings in declaration order.
+    pub uses: Vec<UseBinding>,
+    /// Every `fn` item in source order (nested fns appear after their
+    /// enclosing fn; their body ranges nest inside it).
+    pub fns: Vec<FnItem>,
+}
+
+/// Index of the token matching the opening delimiter at `open` (`(`, `[`,
+/// or `{`), or `tokens.len()` when unbalanced. Counts only the same
+/// delimiter family, so `f(g(x)[1])` resolves correctly.
+pub fn match_forward(tokens: &[Token], open: usize) -> usize {
+    let (open_s, close_s) = match tokens.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ("(", ")"),
+        Some("[") => ("[", "]"),
+        Some("{") => ("{", "}"),
+        _ => return tokens.len(),
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_s) {
+            depth += 1;
+        } else if t.is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Parses the token stream into items. Single forward scan; `use` trees
+/// and `fn` signatures are parsed in place, all other tokens are skipped.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("use") {
+            i = parse_use(tokens, i + 1, &mut out.uses);
+        } else if t.is_ident("fn") {
+            i = parse_fn(tokens, i, &mut out.fns);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses one `use` declaration starting just after the `use` keyword;
+/// returns the index after its terminating `;` (or wherever recovery
+/// stopped). Groups recurse; globs (`*`) bind nothing.
+fn parse_use(tokens: &[Token], mut i: usize, uses: &mut Vec<UseBinding>) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    i = parse_use_tree(tokens, i, &mut prefix, uses);
+    // Skip to the terminating `;` in case recovery bailed mid-tree.
+    while i < tokens.len() && !tokens[i].is_punct(";") {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Parses one use-tree node (path segment sequence, optionally ending in a
+/// group, a glob, or an `as` alias) and returns the index where it stopped.
+fn parse_use_tree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    uses: &mut Vec<UseBinding>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            // Group: parse comma-separated subtrees until the closing brace.
+            let close = match_forward(tokens, i);
+            i += 1;
+            while i < close {
+                i = parse_use_tree(tokens, i, prefix, uses);
+                if i < close && tokens[i].is_punct(",") {
+                    i += 1;
+                }
+            }
+            prefix.truncate(depth_at_entry);
+            return close + 1;
+        }
+        if t.is_punct("*") {
+            // Glob import: nothing nameable to bind.
+            prefix.truncate(depth_at_entry);
+            return i + 1;
+        }
+        if t.kind == crate::lexer::TokenKind::Ident && t.text != "as" {
+            if t.text == "self" {
+                // `self` binds the enclosing segment's name.
+                if let Some(last) = prefix.last().cloned() {
+                    bind(uses, last, prefix);
+                }
+                prefix.truncate(depth_at_entry);
+                return i + 1;
+            }
+            prefix.push(t.text.clone());
+            match tokens.get(i + 1) {
+                Some(n) if n.is_punct("::") => {
+                    i += 2;
+                    continue;
+                }
+                Some(n) if n.is_ident("as") => {
+                    // Alias: the *local* name differs from the path tail.
+                    if let Some(alias) = tokens.get(i + 2) {
+                        bind(uses, alias.text.clone(), prefix);
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return i + 3;
+                }
+                _ => {
+                    bind(uses, t.text.clone(), prefix);
+                    prefix.truncate(depth_at_entry);
+                    return i + 1;
+                }
+            }
+        }
+        // Anything else (`;`, `,`, `}`) ends this subtree.
+        prefix.truncate(depth_at_entry);
+        return i;
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+fn bind(uses: &mut Vec<UseBinding>, name: String, path: &[String]) {
+    uses.push(UseBinding {
+        name,
+        path: path.join("::"),
+    });
+}
+
+/// Parses one `fn` item starting at the `fn` keyword; returns the index
+/// after the signature (NOT after the body — the main scan continues into
+/// the body so nested fns are found too).
+fn parse_fn(tokens: &[Token], at: usize, fns: &mut Vec<FnItem>) -> usize {
+    let Some(name_tok) = tokens.get(at + 1) else {
+        return at + 1;
+    };
+    if name_tok.kind != crate::lexer::TokenKind::Ident {
+        // `fn` as part of `Fn(..)` trait sugar or a bare fn-pointer type.
+        return at + 1;
+    }
+    // Find the parameter list: the first `(` before any `{` or `;`
+    // (generic params `<…>` may intervene but contain no parens).
+    let mut i = at + 2;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("(") {
+            break;
+        }
+        if t.is_punct("{") || t.is_punct(";") {
+            return at + 1; // malformed; resume after the keyword
+        }
+        i += 1;
+    }
+    if i >= tokens.len() {
+        return at + 1;
+    }
+    let params_close = match_forward(tokens, i);
+    let params = (i + 1, params_close.min(tokens.len()));
+    // Find the body `{` (skipping the return type / where clause) or a `;`
+    // for bodyless declarations. Bracket generics like `-> Vec<[u8; 4]>`
+    // contain `;` inside `[]`, so track square-bracket depth.
+    let mut j = params_close + 1;
+    let mut sq_depth = 0usize;
+    let (ret_end, body) = loop {
+        match tokens.get(j) {
+            None => break (tokens.len(), (tokens.len(), tokens.len())),
+            Some(t) if t.is_punct("[") => sq_depth += 1,
+            Some(t) if t.is_punct("]") => sq_depth = sq_depth.saturating_sub(1),
+            Some(t) if t.is_punct(";") && sq_depth == 0 => break (j, (j, j)),
+            Some(t) if t.is_punct("{") => {
+                let close = match_forward(tokens, j);
+                break (j, (j + 1, close.min(tokens.len())));
+            }
+            Some(_) => {}
+        }
+        j += 1;
+    };
+    fns.push(FnItem {
+        name: name_tok.text.clone(),
+        line: tokens[at].line,
+        params,
+        ret: (params_close + 1, ret_end),
+        body,
+    });
+    // Continue scanning from the params so nested fns inside the body are
+    // picked up by the caller's loop.
+    params.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    fn use_pairs(src: &str) -> Vec<(String, String)> {
+        parsed(src)
+            .uses
+            .into_iter()
+            .map(|u| (u.name, u.path))
+            .collect()
+    }
+
+    #[test]
+    fn plain_and_aliased_uses() {
+        assert_eq!(
+            use_pairs("use std::collections::HashMap;"),
+            vec![("HashMap".into(), "std::collections::HashMap".into())]
+        );
+        assert_eq!(
+            use_pairs("use std::collections::HashMap as Map;"),
+            vec![("Map".into(), "std::collections::HashMap".into())]
+        );
+    }
+
+    #[test]
+    fn grouped_and_nested_uses() {
+        assert_eq!(
+            use_pairs("use std::collections::{HashMap, HashSet as Set, btree_map::{self, Entry}};"),
+            vec![
+                ("HashMap".into(), "std::collections::HashMap".into()),
+                ("Set".into(), "std::collections::HashSet".into()),
+                ("btree_map".into(), "std::collections::btree_map".into()),
+                ("Entry".into(), "std::collections::btree_map::Entry".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn glob_binds_nothing_and_recovery_reaches_next_item() {
+        let pairs = use_pairs("use std::collections::*;\nuse std::fmt;\n");
+        assert_eq!(pairs, vec![("fmt".into(), "std::fmt".into())]);
+    }
+
+    #[test]
+    fn fn_items_with_params_and_body_ranges() {
+        let src = "pub fn add(a: u32, b: u32) -> u32 { a + b }\nfn empty() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "add");
+        assert_eq!(p.fns[1].name, "empty");
+        // The body range of `add` covers `a + b`.
+        let toks = lex(src).tokens;
+        let body: Vec<&str> = toks[p.fns[0].body.0..p.fns[0].body.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["a", "+", "b"]);
+        // `empty`'s body is empty but well-formed.
+        assert_eq!(p.fns[1].body.0, p.fns[1].body.1);
+    }
+
+    #[test]
+    fn methods_in_impl_blocks_and_nested_fns() {
+        let src = "impl Foo {\n  fn outer(&self) { fn inner(x: u8) -> u8 { x } inner(1); }\n}\n";
+        let p = parsed(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        // inner's body nests inside outer's.
+        assert!(p.fns[1].body.0 > p.fns[0].body.0);
+        assert!(p.fns[1].body.1 <= p.fns[0].body.1);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_empty_bodies() {
+        let src = "trait T { fn required(&self, n: usize) -> bool; fn provided(&self) {} }";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "required");
+        assert_eq!(p.fns[0].body.0, p.fns[0].body.1);
+        assert_eq!(p.fns[1].name, "provided");
+    }
+
+    #[test]
+    fn generic_fn_and_where_clause() {
+        let src = "fn f<T: Ord>(items: &[T]) -> Option<&T> where T: Clone { items.first() }";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        let toks = lex(src).tokens;
+        let body: Vec<&str> = toks[p.fns[0].body.0..p.fns[0].body.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["items", ".", "first", "(", ")"]);
+    }
+
+    #[test]
+    fn fn_trait_sugar_is_not_an_item() {
+        let p = parsed("fn apply(f: impl Fn(u32) -> u32) -> u32 { f(1) }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn match_forward_balances_same_family_only() {
+        let toks = lex("f(g(x)[1])").tokens;
+        // tokens: f ( g ( x ) [ 1 ] )
+        assert_eq!(match_forward(&toks, 1), 9);
+        assert_eq!(match_forward(&toks, 3), 5);
+        assert_eq!(match_forward(&toks, 6), 8);
+        // Unbalanced input degrades to len, not a panic.
+        let toks = lex("f(x").tokens;
+        assert_eq!(match_forward(&toks, 1), toks.len());
+    }
+
+    #[test]
+    fn malformed_input_recovers() {
+        // `fn` with no name, unterminated use — nothing recognized, no panic.
+        let p = parsed("use ::;\nfn (x) {}\nfn ok() {}");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "ok");
+    }
+}

@@ -73,22 +73,24 @@ impl ScanReport {
         let suppressed: Vec<&Diagnostic> = self.suppressed().collect();
         if !suppressed.is_empty() {
             let _ = writeln!(out, "\nsuppressed (fdx-allow audit):");
-            for d in &suppressed {
-                let reason = d.suppressed.as_deref().unwrap_or("");
-                let reason = if reason.is_empty() {
-                    "(no reason given)"
-                } else {
-                    reason
-                };
-                let _ = writeln!(
-                    out,
-                    "  {}:{}:{}: {} — {}",
-                    d.path,
-                    d.line,
-                    d.col,
-                    d.rule.code(),
-                    reason
-                );
+            // Grouped by rule with counts so the audit reads as a waiver
+            // budget per invariant, not an undifferentiated list.
+            for rule in RuleId::ALL {
+                let group: Vec<&&Diagnostic> =
+                    suppressed.iter().filter(|d| d.rule == rule).collect();
+                if group.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out, "  {} ({} waived):", rule.code(), group.len());
+                for d in group {
+                    let reason = d.suppressed.as_deref().unwrap_or("");
+                    let reason = if reason.is_empty() {
+                        "(no reason given)"
+                    } else {
+                        reason
+                    };
+                    let _ = writeln!(out, "    {}:{}:{} — {}", d.path, d.line, d.col, reason);
+                }
             }
         }
         let _ = writeln!(
@@ -296,6 +298,8 @@ mod tests {
         let text = sample().to_text();
         assert!(text.contains("FDX-L001"));
         assert!(text.contains("suppressed (fdx-allow audit):"));
+        // The audit is grouped by rule with a waiver count.
+        assert!(text.contains("FDX-L002 (1 waived):"));
         assert!(text.contains("exact sparsity guard"));
         assert!(text.contains("4 files scanned: 1 errors, 1 warnings, 1 suppressed"));
     }

@@ -1,9 +1,13 @@
-//! The rule pack: token-pattern rules over a lexed file, context-aware
-//! (library vs. test/bench/bin code, `#[cfg(test)]` regions), with
-//! `// fdx-allow: <rule> <reason>` suppression.
+//! The rule pack: token-pattern rules (FDX-L001–L008) plus semantic rules
+//! over the [`crate::parse`]/[`crate::sema`] layer (FDX-L009–L013),
+//! context-aware (library vs. test/bench/bin code, `#[cfg(test)]`
+//! regions), with `// fdx-allow: <rule> <reason>` suppression and a
+//! suppression-hygiene rule (FDX-L014) auditing the allows themselves.
 
 use crate::diag::{Diagnostic, RuleId};
 use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::parse::{match_forward, parse, ParsedFile};
+use crate::sema::{self, EventKind, HashFns};
 
 /// How a file participates in the build — decides which rules apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,25 +104,48 @@ pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
 
 /// [`check_file`] plus FDX-L008 when a parsed metric-name registry is
 /// supplied (the workspace scanner loads it once from
-/// `crates/obs/src/metrics.rs` and threads it through).
+/// `crates/obs/src/metrics.rs` and threads it through). Lexes and parses
+/// the file itself; hash-returning fns are taken from this file only.
 pub fn check_file_with(file: &SourceFile<'_>, metrics: Option<&MetricNames>) -> Vec<Diagnostic> {
     let lexed = lex(file.source);
+    let parsed = parse(&lexed.tokens);
+    let mut hash_fns = HashFns::default();
+    hash_fns.collect_file(&lexed.tokens, &parsed);
+    hash_fns.finish();
+    check_parsed(file, &lexed, &parsed, metrics, &hash_fns)
+}
+
+/// The full rule pipeline over pre-lexed, pre-parsed input. The workspace
+/// scanner calls this directly so the lex/parse work is done once per file
+/// and `hash_fns` carries workspace-wide return-type knowledge.
+pub fn check_parsed(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    parsed: &ParsedFile,
+    metrics: Option<&MetricNames>,
+    hash_fns: &HashFns,
+) -> Vec<Diagnostic> {
     let test_mask = cfg_test_mask(&lexed.tokens);
     let lines: Vec<&str> = file.source.lines().collect();
     let mut hits: Vec<(RuleId, u32, u32)> = Vec::new();
 
-    rule_unwrap_expect(file, &lexed, &test_mask, &mut hits);
-    rule_float_eq(file, &lexed, &test_mask, &mut hits);
-    rule_instant_now(file, &lexed, &mut hits);
-    rule_panic_family(file, &lexed, &test_mask, &mut hits);
-    rule_lossy_cast(file, &lexed, &test_mask, &mut hits);
-    rule_unsafe_without_safety(&lexed, &mut hits);
-    rule_catch_unwind(file, &lexed, &mut hits);
+    rule_unwrap_expect(file, lexed, &test_mask, &mut hits);
+    rule_float_eq(file, lexed, &test_mask, &mut hits);
+    rule_instant_now(file, lexed, &mut hits);
+    rule_panic_family(file, lexed, &test_mask, &mut hits);
+    rule_lossy_cast(file, lexed, &test_mask, &mut hits);
+    rule_unsafe_without_safety(lexed, &mut hits);
+    rule_catch_unwind(file, lexed, &mut hits);
     if let Some(metrics) = metrics {
-        rule_metric_names(file, &lexed, &test_mask, metrics, &mut hits);
+        rule_metric_names(file, lexed, &test_mask, metrics, &mut hits);
     }
+    rule_hash_iteration(file, lexed, parsed, hash_fns, &test_mask, &mut hits);
+    rule_atomic_ordering(file, lexed, &test_mask, &mut hits);
+    rule_thread_creation(file, lexed, &test_mask, &mut hits);
+    rule_wallclock_and_env(file, lexed, &test_mask, &mut hits);
 
-    let allows = suppression_map(&lexed);
+    let allows = suppression_map(lexed);
+    rule_allow_without_reason(&allows, &mut hits);
     let mut out: Vec<Diagnostic> = hits
         .into_iter()
         .map(|(rule, line, col)| {
@@ -126,7 +153,13 @@ pub fn check_file_with(file: &SourceFile<'_>, metrics: Option<&MetricNames>) -> 
                 .get(line as usize - 1)
                 .map(|l| truncate(l.trim()))
                 .unwrap_or_default();
-            let suppressed = find_allow(&allows, rule, line);
+            // Suppression hygiene itself cannot be waived: an fdx-allow
+            // listing L014 would otherwise excuse its own missing reason.
+            let suppressed = if rule == RuleId::L014 {
+                None
+            } else {
+                find_allow(&allows, rule, line)
+            };
             Diagnostic {
                 rule,
                 path: file.rel_path.to_string(),
@@ -502,6 +535,201 @@ fn rule_metric_names(
     }
 }
 
+/// FDX-L009 / FDX-L012: hash-ordered iteration reaching a result path.
+/// The [`crate::sema`] pass finds the events; this rule maps them to
+/// rules by context. A float reduction inside a numerical kernel crate is
+/// the sharper FDX-L012 (the *rounding* becomes order-dependent, which
+/// poisons cached Θ-estimates and λ-path stability scores); everything
+/// else is FDX-L009. Library and binary code only — tests that iterate a
+/// hash map to assert set-membership are fine.
+fn rule_hash_iteration(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    parsed: &ParsedFile,
+    hash_fns: &HashFns,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if file.context == FileContext::Test {
+        return;
+    }
+    let in_kernel = KERNEL_PREFIXES.iter().any(|p| file.rel_path.starts_with(p));
+    for ev in sema::hash_iter_events(&lexed.tokens, parsed, hash_fns) {
+        if test_mask.get(ev.token_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let rule = match ev.kind {
+            EventKind::FloatReduction if in_kernel => RuleId::L012,
+            EventKind::FloatReduction | EventKind::HashIter => RuleId::L009,
+        };
+        hits.push((rule, ev.line, ev.col));
+    }
+}
+
+/// Atomic read-modify-write methods for FDX-L010: the ones where `Relaxed`
+/// gives no happens-before edge for the value being modified.
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "swap",
+];
+
+/// The one crate whose `Relaxed` fast paths are documented and audited:
+/// obs counters are monotonic and read only for reporting.
+const RELAXED_FAST_PATH_PREFIX: &str = "crates/obs/";
+
+/// FDX-L010 (warning): the atomic-ordering audit. Two triggers:
+/// `Ordering::Relaxed` as an argument of a read-modify-write call outside
+/// crates/obs (obs counters are the documented fast path), and *any*
+/// `Ordering::SeqCst` (this workspace has no algorithm that needs a total
+/// order; SeqCst is almost always a guess that hides a reasoning gap).
+fn rule_atomic_ordering(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if file.context == FileContext::Test {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let obs_fast_path = file.rel_path.starts_with(RELAXED_FAST_PATH_PREFIX);
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let [Some(a), Some(b), Some(c)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)] else {
+            continue;
+        };
+        if a.is_ident("Ordering") && b.is_punct("::") && c.is_ident("SeqCst") {
+            hits.push((RuleId::L010, a.line, a.col));
+            continue;
+        }
+        if obs_fast_path {
+            continue;
+        }
+        // `.fetch_add(…)` etc.: scan the argument list for `Relaxed`.
+        if a.is_punct(".") && RMW_METHODS.iter().any(|m| b.is_ident(m)) && c.is_punct("(") {
+            let close = match_forward(toks, i + 2);
+            let relaxed = toks[i + 3..close.min(toks.len())]
+                .iter()
+                .any(|t| t.is_ident("Relaxed"));
+            if relaxed {
+                hits.push((RuleId::L010, b.line, b.col));
+            }
+        }
+    }
+}
+
+/// Crates allowed to create threads for FDX-L011: the deterministic
+/// parallel runtime and the serve accept/worker loop. Everywhere else,
+/// ad-hoc threads bypass fdx-par's index-ordered reduction and make thread
+/// count (and thus float summation order) leak into results.
+const THREAD_BOUNDARY_PREFIXES: &[&str] = &["crates/par/", "crates/serve/"];
+
+/// FDX-L011: thread creation (`thread::spawn`, `thread::Builder`,
+/// `thread::scope`) outside the parallel-runtime boundary crates.
+/// `thread::sleep`/`thread::yield_now` are deliberately not flagged —
+/// they schedule, they do not create concurrency.
+fn rule_thread_creation(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if file.context == FileContext::Test
+        || THREAD_BOUNDARY_PREFIXES
+            .iter()
+            .any(|p| file.rel_path.starts_with(p))
+    {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let [Some(a), Some(b), Some(c)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)] else {
+            continue;
+        };
+        if a.is_ident("thread")
+            && b.is_punct("::")
+            && (c.is_ident("spawn") || c.is_ident("Builder") || c.is_ident("scope"))
+        {
+            hits.push((RuleId::L011, a.line, a.col));
+        }
+    }
+}
+
+/// Crates exempt from FDX-L013: fdx-par reads `FDX_THREADS` by contract
+/// (the documented thread-resolution order), and the bench harness
+/// timestamps its own reports.
+const TIME_ENV_EXEMPT_PREFIXES: &[&str] = &["crates/par/", "crates/bench/"];
+
+/// FDX-L013: wall-clock or environment leaking into result paths.
+/// `SystemTime::now()` is flagged in library and binary code (results must
+/// be a function of dataset and config, never of when they ran);
+/// `env::var`-family reads are flagged in library code only — binaries own
+/// their process environment, libraries must take config as arguments.
+fn rule_wallclock_and_env(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if file.context == FileContext::Test
+        || TIME_ENV_EXEMPT_PREFIXES
+            .iter()
+            .any(|p| file.rel_path.starts_with(p))
+    {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let [Some(a), Some(b), Some(c)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)] else {
+            continue;
+        };
+        if !b.is_punct("::") {
+            continue;
+        }
+        if a.is_ident("SystemTime") && c.is_ident("now") {
+            hits.push((RuleId::L013, a.line, a.col));
+        } else if file.context == FileContext::Library
+            && a.is_ident("env")
+            && (c.is_ident("var")
+                || c.is_ident("var_os")
+                || c.is_ident("vars")
+                || c.is_ident("vars_os"))
+        {
+            hits.push((RuleId::L013, a.line, a.col));
+        }
+    }
+}
+
+/// FDX-L014: every `fdx-allow` must carry a reason. A waiver that does not
+/// say *why* cannot be re-audited when the code around it changes, so a
+/// reasonless allow is itself a violation — reported at the allow comment
+/// and not waivable (see the pipeline's L014 special case).
+fn rule_allow_without_reason(allows: &[Allow], hits: &mut Vec<(RuleId, u32, u32)>) {
+    for a in allows {
+        if a.reason.is_empty() {
+            hits.push((RuleId::L014, a.line, 1));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,10 +1011,14 @@ mod tests {
     fn fdx_allow_multiple_rules_and_missing_reason() {
         let src = "fn f(v: f64) { if v == 0.0 { x.unwrap(); } } // fdx-allow: L001, L002\n";
         let d = lib(src);
-        assert_eq!(d.len(), 2);
+        // The L001 and L002 are waived (audit trail says no reason was
+        // given) — and the reasonless allow itself is an L014 violation.
+        assert_eq!(d.len(), 3);
         assert!(d
             .iter()
+            .filter(|x| x.rule != RuleId::L014)
             .all(|x| x.suppressed.as_deref() == Some("(no reason given)")));
+        assert_eq!(active(&d), vec![(RuleId::L014, 1)]);
     }
 
     #[test]
@@ -804,5 +1036,189 @@ mod tests {
         assert!(d[0].col < d[1].col);
         assert_eq!(d[0].line, 1);
         assert_eq!(d[0].col, 12); // `unwrap` of b.unwrap()
+    }
+
+    #[test]
+    fn l009_flags_hash_iteration_reaching_results() {
+        // Seeded true positive: for-loop over a HashMap param feeds a Vec.
+        let src = "use std::collections::HashMap;\n\
+             pub fn attrs(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+             let mut out = Vec::new();\n    \
+             for (k, _) in m { out.push(*k); }\n    \
+             out\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L009, 4)]);
+        // Binary code is in scope too (binaries print results).
+        let d = check("crates/x/src/main.rs", FileContext::Binary, src);
+        assert_eq!(active(&d), vec![(RuleId::L009, 4)]);
+        // Test code is not.
+        let d = check("crates/x/tests/t.rs", FileContext::Test, src);
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l009_compliant_patterns_are_silent() {
+        // BTreeMap iteration, lookups, and collect-then-sort all pass.
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+             pub fn f(b: &BTreeMap<u32, u32>, h: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+             let mut v: Vec<u32> = h.keys().copied().collect::<Vec<u32>>();\n    \
+             v.sort_unstable();\n    \
+             for (k, _) in b { v.push(*k); }\n    \
+             let _ = h.get(&1);\n    \
+             v\n}\n";
+        assert!(active(&lib(src)).is_empty(), "{:?}", active(&lib(src)));
+    }
+
+    #[test]
+    fn l009_honors_cfg_test_and_fdx_allow() {
+        let src = "pub fn f() {}\n\
+             #[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    \
+             fn t(m: &HashMap<u32, u32>) -> Vec<u32> {\n        \
+             let mut out = Vec::new();\n        \
+             for (k, _) in m { out.push(*k); }\n        \
+             out\n    }\n}\n";
+        assert!(active(&lib(src)).is_empty());
+        let src = "use std::collections::HashMap;\n\
+             pub fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+             let mut out = Vec::new();\n    \
+             // fdx-allow: L009 order-insensitive count fixup, values all equal\n    \
+             for (k, _) in m { out.push(*k); }\n    \
+             out\n}\n";
+        let d = lib(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].suppressed.is_some());
+    }
+
+    #[test]
+    fn l012_float_reduction_in_kernel_crate() {
+        // Seeded true positive: MI-style float accumulation over a hash map
+        // inside crates/stats — exactly the entropy.rs bug class.
+        let src = "use std::collections::HashMap;\n\
+             pub fn mi(joint: &HashMap<(u32, u32), usize>) -> f64 {\n    \
+             let mut acc = 0.0;\n    \
+             for (_, &c) in joint { acc += c as f64; }\n    \
+             acc\n}\n";
+        let d = check("crates/stats/src/entropy.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L012, 4)]);
+        // The same shape outside a kernel crate is the generic L009.
+        assert_eq!(active(&lib(src)), vec![(RuleId::L009, 4)]);
+        // Turbofish float sums are L012 in kernels too.
+        let src = "use std::collections::HashMap;\n\
+             pub fn total(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }\n";
+        let d = check("crates/glasso/src/lib.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L012, 2)]);
+    }
+
+    #[test]
+    fn l012_integer_reductions_are_compliant() {
+        // Integer sums commute exactly: no rounding, no order dependence.
+        let src = "use std::collections::HashMap;\n\
+             pub fn total(m: &HashMap<u32, usize>) -> usize { m.values().sum::<usize>() }\n";
+        let d = check("crates/stats/src/groups.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty(), "{:?}", active(&d));
+    }
+
+    #[test]
+    fn l010_flags_relaxed_rmw_outside_obs() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             pub fn bump(n: &AtomicUsize) -> usize {\n    \
+             n.fetch_add(1, Ordering::Relaxed)\n}\n";
+        let d = lib(src);
+        assert_eq!(active(&d), vec![(RuleId::L010, 3)]);
+        assert_eq!(d[0].severity.label(), "warning");
+        // The obs counter fast path is the documented exemption.
+        let d = check("crates/obs/src/metrics.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Relaxed *loads* are not read-modify-writes.
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             pub fn read(n: &AtomicUsize) -> usize { n.load(Ordering::Relaxed) }\n";
+        assert!(active(&lib(src)).is_empty());
+        // Acquire/Release RMWs carry their ordering honestly.
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             pub fn bump(n: &AtomicUsize) -> usize { n.fetch_add(1, Ordering::AcqRel) }\n";
+        assert!(active(&lib(src)).is_empty());
+    }
+
+    #[test]
+    fn l010_flags_seqcst_everywhere() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             pub fn read(n: &AtomicUsize) -> usize { n.load(Ordering::SeqCst) }\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L010, 2)]);
+        // Even inside obs: the fast-path exemption covers Relaxed, not SeqCst.
+        let d = check("crates/obs/src/metrics.rs", FileContext::Library, src);
+        assert_eq!(active(&d), vec![(RuleId::L010, 2)]);
+    }
+
+    #[test]
+    fn l011_flags_thread_creation_outside_boundary_crates() {
+        let src = "use std::thread;\n\
+             pub fn f() {\n    \
+             let h = thread::spawn(|| 1);\n    \
+             let _ = h.join();\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L011, 3)]);
+        // Builder and scope are creation forms too.
+        let src = "pub fn f() { let _ = std::thread::Builder::new(); }\n\
+             pub fn g() { std::thread::scope(|_| {}); }\n";
+        assert_eq!(
+            active(&lib(src)),
+            vec![(RuleId::L011, 1), (RuleId::L011, 2)]
+        );
+    }
+
+    #[test]
+    fn l011_exempts_boundary_crates_tests_and_sleep() {
+        let src = "use std::thread;\npub fn f() { let _ = thread::spawn(|| 1); }\n";
+        let d = check("crates/par/src/lib.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        let d = check("crates/serve/src/server.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        let d = check("crates/x/tests/t.rs", FileContext::Test, src);
+        assert!(active(&d).is_empty());
+        // sleep/yield_now schedule, they do not create concurrency.
+        let src = "use std::thread;\npub fn f() { thread::sleep(std::time::Duration::from_millis(1)); }\n";
+        assert!(active(&lib(src)).is_empty());
+    }
+
+    #[test]
+    fn l013_flags_wallclock_and_library_env_reads() {
+        let src = "use std::time::SystemTime;\n\
+             pub fn stamp() -> SystemTime { SystemTime::now() }\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L013, 2)]);
+        // Binaries may not wall-clock results either.
+        let d = check("crates/x/src/main.rs", FileContext::Binary, src);
+        assert_eq!(active(&d), vec![(RuleId::L013, 2)]);
+        let src = "pub fn threads() -> usize {\n    \
+             std::env::var(\"FDX_THREADS\").ok().and_then(|v| v.parse().ok()).unwrap_or(1)\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L013, 2)]);
+    }
+
+    #[test]
+    fn l013_exempts_par_bench_binaries_and_tests() {
+        let env_src = "pub fn threads() -> usize {\n    \
+             std::env::var(\"FDX_THREADS\").map_or(1, |v| v.len())\n}\n";
+        // fdx-par owns the FDX_THREADS contract; bench stamps its reports.
+        let d = check("crates/par/src/lib.rs", FileContext::Library, env_src);
+        assert!(active(&d).is_empty());
+        let time_src = "pub fn f() { let _ = std::time::SystemTime::now(); }";
+        let d = check("crates/bench/src/report.rs", FileContext::Library, time_src);
+        assert!(active(&d).is_empty());
+        // Binaries own their process environment.
+        let d = check("crates/x/src/main.rs", FileContext::Binary, env_src);
+        assert!(active(&d).is_empty());
+        let d = check("crates/x/tests/t.rs", FileContext::Test, time_src);
+        assert!(active(&d).is_empty());
+    }
+
+    #[test]
+    fn l014_reasonless_allow_is_a_violation_and_cannot_waive_itself() {
+        let src = "fn f() { x.unwrap(); } // fdx-allow: L001\n";
+        let d = lib(src);
+        assert_eq!(active(&d), vec![(RuleId::L014, 1)]);
+        // Listing L014 in the reasonless allow does not excuse it.
+        let src = "fn f() { x.unwrap(); } // fdx-allow: L001 L014\n";
+        let d = lib(src);
+        assert_eq!(active(&d), vec![(RuleId::L014, 1)]);
+        // A reasoned allow produces no L014.
+        let src = "fn f() { x.unwrap(); } // fdx-allow: L001 startup path, cannot fail\n";
+        assert!(active(&lib(src)).is_empty());
     }
 }

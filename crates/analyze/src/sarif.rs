@@ -1,0 +1,288 @@
+//! SARIF 2.1.0 export: the interchange format CI code-scanning uploads
+//! consume, so lint findings annotate pull requests inline. Handwritten
+//! with the same discipline as [`crate::json`] — deterministic key order,
+//! sorted results (the scan already sorts), trailing newline — and
+//! self-validated by [`validate`], which re-parses the document and checks
+//! the structural invariants the uploader relies on.
+
+use std::fmt::Write as _;
+
+use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::json::{self, write_escaped, Value};
+use crate::report::ScanReport;
+
+/// The schema URI embedded in every document (and checked by [`validate`]).
+pub const SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Tool name reported in `tool.driver.name`.
+pub const TOOL_NAME: &str = "fdx-analyze";
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// Renders every diagnostic in the scan as a SARIF 2.1.0 document.
+/// Suppressed findings carry a SARIF `suppressions` entry
+/// (`kind: inSource`) so the fdx-allow audit trail survives the export —
+/// code-scanning UIs show them as dismissed rather than dropping them.
+pub fn to_sarif(report: &ScanReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": ");
+    write_escaped(&mut out, SCHEMA_URI);
+    out.push_str(",\n  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n          \"name\": ");
+    write_escaped(&mut out, TOOL_NAME);
+    out.push_str(",\n          \"rules\": [");
+    for (i, r) in RuleId::ALL.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("            {\"id\": ");
+        write_escaped(&mut out, r.code());
+        out.push_str(", \"shortDescription\": {\"text\": ");
+        write_escaped(&mut out, r.summary());
+        out.push_str("}, \"defaultConfiguration\": {\"level\": ");
+        write_escaped(&mut out, level(r.severity()));
+        out.push_str("}}");
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("        ");
+        write_result(&mut out, d);
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn write_result(out: &mut String, d: &Diagnostic) {
+    out.push_str("{\"ruleId\": ");
+    write_escaped(out, d.rule.code());
+    let rule_index = RuleId::ALL
+        .iter()
+        .position(|r| *r == d.rule)
+        .unwrap_or_default();
+    let _ = write!(out, ", \"ruleIndex\": {rule_index}, \"level\": ");
+    write_escaped(out, level(d.severity));
+    out.push_str(", \"message\": {\"text\": ");
+    let message = format!("{}: `{}`", d.rule.summary(), d.snippet);
+    write_escaped(out, &message);
+    out.push_str("}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+    write_escaped(out, &d.path);
+    let _ = write!(
+        out,
+        "}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
+        d.line, d.col
+    );
+    if let Some(reason) = &d.suppressed {
+        out.push_str(", \"suppressions\": [{\"kind\": \"inSource\", \"justification\": ");
+        write_escaped(out, reason);
+        out.push_str("}]");
+    }
+    out.push('}');
+}
+
+/// Structural self-check: re-parses `doc` and verifies the invariants the
+/// code-scanning uploader relies on. Returns the first violation found.
+pub fn validate(doc: &str) -> Result<(), String> {
+    let v = json::parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v.get("$schema").and_then(Value::as_str) != Some(SCHEMA_URI) {
+        return Err("missing or wrong $schema".to_string());
+    }
+    if v.get("version").and_then(Value::as_str) != Some("2.1.0") {
+        return Err("version must be \"2.1.0\"".to_string());
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("runs must be an array")?;
+    if runs.len() != 1 {
+        return Err(format!("expected exactly one run, found {}", runs.len()));
+    }
+    let run = &runs[0];
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .ok_or("run missing tool.driver")?;
+    if driver.get("name").and_then(Value::as_str) != Some(TOOL_NAME) {
+        return Err("tool.driver.name mismatch".to_string());
+    }
+    let rules = driver
+        .get("rules")
+        .and_then(Value::as_arr)
+        .ok_or("driver.rules must be an array")?;
+    let rule_ids: Vec<&str> = rules
+        .iter()
+        .map(|r| r.get("id").and_then(Value::as_str).ok_or("rule missing id"))
+        .collect::<Result<_, _>>()?;
+    for r in RuleId::ALL {
+        if !rule_ids.contains(&r.code()) {
+            return Err(format!("driver.rules missing {}", r.code()));
+        }
+    }
+    let results = run
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("run.results must be an array")?;
+    for (i, r) in results.iter().enumerate() {
+        let rule_id = r
+            .get("ruleId")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("result {i} missing ruleId"))?;
+        if !rule_ids.contains(&rule_id) {
+            return Err(format!("result {i} references unknown rule {rule_id}"));
+        }
+        let idx = r
+            .get("ruleIndex")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("result {i} missing ruleIndex"))?;
+        if rule_ids.get(idx as usize) != Some(&rule_id) {
+            return Err(format!("result {i} ruleIndex does not match ruleId"));
+        }
+        match r.get("level").and_then(Value::as_str) {
+            Some("error" | "warning" | "note" | "none") => {}
+            other => return Err(format!("result {i} has invalid level {other:?}")),
+        }
+        if r.get("message").and_then(|m| m.get("text")).is_none() {
+            return Err(format!("result {i} missing message.text"));
+        }
+        let locations = r
+            .get("locations")
+            .and_then(Value::as_arr)
+            .filter(|l| !l.is_empty())
+            .ok_or_else(|| format!("result {i} missing locations"))?;
+        for loc in locations {
+            let phys = loc
+                .get("physicalLocation")
+                .ok_or_else(|| format!("result {i} location missing physicalLocation"))?;
+            let uri = phys
+                .get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("result {i} missing artifactLocation.uri"))?;
+            if uri.starts_with('/') || uri.contains('\\') {
+                return Err(format!(
+                    "result {i} uri must be relative with forward slashes: {uri}"
+                ));
+            }
+            let start_line = phys
+                .get("region")
+                .and_then(|reg| reg.get("startLine"))
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("result {i} missing region.startLine"))?;
+            if start_line == 0 {
+                return Err(format!("result {i} startLine must be 1-based"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: RuleId, path: &str, line: u32, suppressed: Option<&str>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 5,
+            snippet: "for (k, v) in &map {".to_string(),
+            severity: rule.severity(),
+            suppressed: suppressed.map(str::to_string),
+        }
+    }
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            files_scanned: 2,
+            diagnostics: vec![
+                diag(RuleId::L009, "crates/a/src/lib.rs", 10, None),
+                diag(RuleId::L010, "crates/b/src/lib.rs", 20, None),
+                diag(RuleId::L001, "crates/c/src/lib.rs", 30, Some("startup")),
+            ],
+            ratchet: None,
+        }
+    }
+
+    #[test]
+    fn sarif_output_validates_against_self_check() {
+        let doc = to_sarif(&sample());
+        validate(&doc).expect("valid SARIF");
+        // Determinism: byte-identical across renders.
+        assert_eq!(doc, to_sarif(&sample()));
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let doc = to_sarif(&ScanReport {
+            files_scanned: 0,
+            diagnostics: Vec::new(),
+            ratchet: None,
+        });
+        validate(&doc).expect("valid SARIF");
+    }
+
+    #[test]
+    fn results_carry_levels_positions_and_suppressions() {
+        let doc = to_sarif(&sample());
+        let v = json::parse(&doc).unwrap();
+        let results = v.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Value::as_str),
+            Some("FDX-L009")
+        );
+        assert_eq!(
+            results[0].get("level").and_then(Value::as_str),
+            Some("error")
+        );
+        // L010 is the warning-severity audit rule.
+        assert_eq!(
+            results[1].get("level").and_then(Value::as_str),
+            Some("warning")
+        );
+        let region = results[0].get("locations").and_then(Value::as_arr).unwrap()[0]
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .unwrap();
+        assert_eq!(region.get("startLine").and_then(Value::as_u64), Some(10));
+        assert_eq!(region.get("startColumn").and_then(Value::as_u64), Some(5));
+        // The fdx-allow audit trail survives as a SARIF suppression.
+        let sup = results[2].get("suppressions").and_then(Value::as_arr);
+        assert_eq!(
+            sup.and_then(|s| s[0].get("justification"))
+                .and_then(Value::as_str),
+            Some("startup")
+        );
+        assert!(results[0].get("suppressions").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let good = to_sarif(&sample());
+        // Wrong version.
+        assert!(validate(&good.replace("\"2.1.0\"", "\"2.0.0\"")).is_err());
+        // A result referencing a rule the driver does not declare.
+        assert!(
+            validate(&good.replace("\"ruleId\": \"FDX-L009\"", "\"ruleId\": \"FDX-L099\""))
+                .is_err()
+        );
+        // 0-based line numbers.
+        assert!(validate(&good.replace("\"startLine\": 10", "\"startLine\": 0")).is_err());
+    }
+}

@@ -1,0 +1,801 @@
+//! Semantic queries over the [`crate::parse`] item tree: which local names
+//! denote hash-ordered containers, which bindings hold them, and where
+//! their iteration order can reach a result-producing path.
+//!
+//! The analysis is deliberately shallow — one file, no cross-crate type
+//! inference — but *sound for the patterns this workspace uses*: std
+//! containers are named `HashMap`/`HashSet` (directly, path-qualified, or
+//! through a `use … as` alias resolved by the parser), bindings are plain
+//! `let` identifiers or typed fn params, and iteration is either a `for`
+//! loop or a postfix method chain. Anything the pass cannot see (a hash
+//! map returned by a helper fn, say) is out of scope rather than guessed
+//! at; the rule stays precise instead of noisy.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{match_forward, FnItem, ParsedFile};
+
+/// Methods that begin an iteration over a container's elements.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Chain terminals whose value is independent of iteration order.
+/// `sum`/`product` are handled separately (integer turbofish only).
+const ORDER_INSENSITIVE: &[&str] = &[
+    "count", "len", "any", "all", "contains", "is_empty", "max", "min",
+];
+
+/// Collect destinations that re-establish a deterministic order (sorted
+/// trees) or keep set semantics (hash containers feeding further lookups).
+const ORDERED_COLLECT_TARGETS: &[&str] = &["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
+
+/// Sort-method prefixes accepted as ordering evidence on a collected Vec.
+fn is_sort_method(name: &str) -> bool {
+    name.starts_with("sort")
+}
+
+/// How an iteration event can leak nondeterminism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Hash-ordered elements reach an order-sensitive consumer.
+    HashIter,
+    /// A float accumulation folds over hash-ordered elements — the
+    /// rounding itself becomes order-dependent.
+    FloatReduction,
+}
+
+/// One hash-iteration event, positioned for diagnostics.
+#[derive(Debug, Clone)]
+pub struct IterEvent {
+    /// Token index (for `#[cfg(test)]` masking).
+    pub token_idx: usize,
+    /// 1-based line of the event.
+    pub line: u32,
+    /// 1-based column of the event.
+    pub col: u32,
+    /// Event classification.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Hash,
+    FloatAcc,
+    Other,
+}
+
+/// Function names — workspace-wide — whose return type mentions a hash
+/// container. Collected in a pre-pass over every file (like the metric
+/// registry for FDX-L008) so that `let joint = joint_counts(&gx, &gy);`
+/// classifies as hash-ordered even though `joint_counts` is defined in a
+/// different file.
+#[derive(Debug, Clone, Default)]
+pub struct HashFns {
+    names: Vec<String>,
+}
+
+impl HashFns {
+    /// Collects hash-returning fn names from one parsed file.
+    pub fn collect_file(&mut self, tokens: &[Token], parsed: &ParsedFile) {
+        let hash_names = hash_type_names(parsed);
+        for f in &parsed.fns {
+            if mentions_any(tokens, f.ret, &hash_names) {
+                self.names.push(f.name.clone());
+            }
+        }
+    }
+
+    /// Sorts and deduplicates after the last `collect_file` call.
+    pub fn finish(&mut self) {
+        self.names.sort();
+        self.names.dedup();
+    }
+
+    /// Whether `name` is a known hash-returning fn.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .is_ok()
+    }
+
+    /// True when no hash-returning fns are known.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Binding {
+    name: String,
+    class: Class,
+    /// Token range of the `let` initializer, when this came from a `let`.
+    init: Option<(usize, usize)>,
+}
+
+/// The local names that denote std hash containers in this file: the
+/// canonical names themselves (covers path-qualified uses) plus any `use
+/// … as` aliases whose target is one.
+fn hash_type_names(parsed: &ParsedFile) -> Vec<String> {
+    let mut names = vec!["HashMap".to_string(), "HashSet".to_string()];
+    for u in &parsed.uses {
+        let tail = u.path.rsplit("::").next().unwrap_or(&u.path);
+        if (tail == "HashMap" || tail == "HashSet") && !names.iter().any(|n| *n == u.name) {
+            names.push(u.name.clone());
+        }
+    }
+    names
+}
+
+fn mentions_any(tokens: &[Token], range: (usize, usize), names: &[String]) -> bool {
+    tokens[range.0..range.1.min(tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && names.iter().any(|n| t.text == *n))
+}
+
+/// Extracts `name: Type` param bindings whose type mentions a hash
+/// container. `::` is its own token, so every single `:` inside the param
+/// range separates a name from its type.
+fn scan_params(tokens: &[Token], f: &FnItem, hash_names: &[String], out: &mut Vec<Binding>) {
+    let (start, end) = f.params;
+    let mut owner: Option<String> = None;
+    for i in start..end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.is_punct(":") {
+            if i > start && tokens[i - 1].kind == TokenKind::Ident {
+                owner = Some(tokens[i - 1].text.clone());
+            }
+        } else if t.kind == TokenKind::Ident && hash_names.iter().any(|n| t.text == *n) {
+            if let Some(name) = owner.take() {
+                out.push(Binding {
+                    name,
+                    class: Class::Hash,
+                    init: None,
+                });
+            }
+        }
+    }
+}
+
+/// Extracts classified `let` bindings from a fn body: hash containers (by
+/// type annotation, initializer, or a call to a known hash-returning fn),
+/// float accumulators (`let mut x = 0.0`), and plain bindings (kept so a
+/// `collect()` event can be associated with its binding for sort-evidence).
+fn scan_lets(
+    tokens: &[Token],
+    f: &FnItem,
+    hash_names: &[String],
+    hash_fns: &HashFns,
+    out: &mut Vec<Binding>,
+) {
+    let (start, end) = f.body;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = tokens.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue; // destructuring pattern — out of scope
+        };
+        let name = name_tok.text.clone();
+        // Find `=` and the terminating `;` at delimiter depth 0.
+        let mut k = j + 1;
+        let mut depth = 0usize;
+        let mut eq_at = None;
+        while k < end.min(tokens.len()) {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct("=") && eq_at.is_none() {
+                eq_at = Some(k);
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            k += 1;
+        }
+        let semi = k;
+        let ty_range = (j + 1, eq_at.unwrap_or(semi));
+        let init_range = (eq_at.map_or(semi, |e| e + 1), semi);
+        let class = if mentions_any(tokens, ty_range, hash_names)
+            || mentions_any(tokens, init_range, hash_names)
+            || calls_hash_fn(tokens, init_range, hash_fns)
+        {
+            Class::Hash
+        } else if init_range.1 == init_range.0 + 1
+            && tokens
+                .get(init_range.0)
+                .is_some_and(|t| t.kind == TokenKind::Float)
+        {
+            Class::FloatAcc
+        } else {
+            Class::Other
+        };
+        out.push(Binding {
+            name,
+            class,
+            init: Some(init_range),
+        });
+        // Resume just after the `=`, not after the `;`: a block initializer
+        // (`let mi = { let joint = …; … };`) contains further `let`s that
+        // would otherwise be skipped — the shape entropy-style accumulators
+        // actually take.
+        i = eq_at.map_or(semi, |e| e) + 1;
+    }
+}
+
+/// Whether the initializer calls a known hash-returning fn (`joint_counts(
+/// …)` or `groups::joint_counts(…)`).
+fn calls_hash_fn(tokens: &[Token], range: (usize, usize), hash_fns: &HashFns) -> bool {
+    if hash_fns.is_empty() {
+        return false;
+    }
+    for i in range.0..range.1.min(tokens.len()).saturating_sub(1) {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i + 1].is_punct("(")
+            && hash_fns.contains(&tokens[i].text)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_hash_binding(bindings: &[Binding], name: &str) -> bool {
+    bindings
+        .iter()
+        .any(|b| b.class == Class::Hash && b.name == name)
+}
+
+fn is_float_acc(bindings: &[Binding], name: &str) -> bool {
+    bindings
+        .iter()
+        .any(|b| b.class == Class::FloatAcc && b.name == name)
+}
+
+/// Whether `range` contains `acc += …` for any float-accumulator binding —
+/// the refinement that upgrades a hash iteration to a float reduction.
+fn has_float_accumulation(tokens: &[Token], range: (usize, usize), bindings: &[Binding]) -> bool {
+    for i in range.0..range.1.min(tokens.len()).saturating_sub(1) {
+        if tokens[i + 1].is_punct("+=")
+            && tokens[i].kind == TokenKind::Ident
+            && is_float_acc(bindings, &tokens[i].text)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Turbofish parse starting at a `::` token: returns the idents inside
+/// `::<…>` and the index just past the closing `>`, or `None`.
+fn parse_turbofish(tokens: &[Token], at: usize) -> Option<(Vec<String>, usize)> {
+    if !tokens.get(at)?.is_punct("::") || !tokens.get(at + 1)?.is_punct("<") {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut i = at + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "<" | "<<" if t.kind == TokenKind::Punct => {
+                depth += if t.text == "<<" { 2 } else { 1 };
+            }
+            ">" | ">>" if t.kind == TokenKind::Punct => {
+                depth -= if t.text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    return Some((idents, i + 1));
+                }
+            }
+            _ => {
+                if t.kind == TokenKind::Ident {
+                    idents.push(t.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A postfix method chain: `(method, turbofish)` pairs plus the index
+/// just past the chain.
+fn walk_chain(tokens: &[Token], mut i: usize) -> (Vec<(String, Vec<String>)>, usize) {
+    let mut links = Vec::new();
+    loop {
+        if !tokens.get(i).is_some_and(|t| t.is_punct(".")) {
+            return (links, i);
+        }
+        let Some(m) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            return (links, i);
+        };
+        let mut j = i + 2;
+        let turbofish = match parse_turbofish(tokens, j) {
+            Some((idents, next)) => {
+                j = next;
+                idents
+            }
+            None => Vec::new(),
+        };
+        if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            let close = match_forward(tokens, j);
+            links.push((m.text.clone(), turbofish));
+            i = close + 1;
+        } else {
+            // Field access, not a call — stop the chain.
+            return (links, i);
+        }
+    }
+}
+
+/// Whether a chain terminal is order-insensitive, given its turbofish.
+fn terminal_is_order_insensitive(method: &str, turbofish: &[String]) -> bool {
+    if ORDER_INSENSITIVE.contains(&method) {
+        return true;
+    }
+    if method == "sum" || method == "product" {
+        // Integer reduction commutes exactly; float reduction does not.
+        // Without a turbofish the element type is unknown — stay strict.
+        const INT_TYPES: &[&str] = &[
+            "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        ];
+        return turbofish.iter().any(|t| INT_TYPES.contains(&t.as_str()))
+            && !turbofish.iter().any(|t| t == "f32" || t == "f64");
+    }
+    false
+}
+
+fn terminal_is_float_reduction(method: &str, turbofish: &[String], tokens_after: &[Token]) -> bool {
+    if (method == "sum" || method == "product")
+        && turbofish.iter().any(|t| t == "f32" || t == "f64")
+    {
+        return true;
+    }
+    if method == "fold" || method == "reduce" {
+        // `fold(0.0, …)` — float seed makes the accumulation float-typed.
+        return tokens_after
+            .first()
+            .is_some_and(|t| t.kind == TokenKind::Float);
+    }
+    false
+}
+
+/// Searches `tokens[from..to]` for `binding.sort*()` — the evidence that a
+/// hash-sourced `collect::<Vec<_>>` was deterministically re-ordered.
+fn sorted_later(tokens: &[Token], from: usize, to: usize, binding: &str) -> bool {
+    for i in from..to.min(tokens.len()).saturating_sub(2) {
+        if tokens[i].is_ident(binding)
+            && tokens[i + 1].is_punct(".")
+            && tokens[i + 2].kind == TokenKind::Ident
+            && is_sort_method(&tokens[i + 2].text)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Analyzes one file and returns every hash-iteration event that can leak
+/// iteration order into a result. `hash_fns` carries workspace-level
+/// knowledge of hash-returning fns (pass a default for single-file use).
+pub fn hash_iter_events(
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    hash_fns: &HashFns,
+) -> Vec<IterEvent> {
+    let hash_names = hash_type_names(parsed);
+    let mut events = Vec::new();
+    for f in &parsed.fns {
+        if f.body.0 >= f.body.1 {
+            continue;
+        }
+        let mut bindings = Vec::new();
+        scan_params(tokens, f, &hash_names, &mut bindings);
+        scan_lets(tokens, f, &hash_names, hash_fns, &mut bindings);
+        if !bindings.iter().any(|b| b.class == Class::Hash) {
+            continue;
+        }
+        let mut for_expr_ranges: Vec<(usize, usize)> = Vec::new();
+        scan_for_loops(tokens, f, &bindings, &mut for_expr_ranges, &mut events);
+        scan_chains(tokens, f, &bindings, &for_expr_ranges, &mut events);
+    }
+    events.sort_by_key(|e| e.token_idx);
+    events
+}
+
+/// Finds `for <pat> in <hash-source> { … }` loops.
+fn scan_for_loops(
+    tokens: &[Token],
+    f: &FnItem,
+    bindings: &[Binding],
+    for_expr_ranges: &mut Vec<(usize, usize)>,
+    events: &mut Vec<IterEvent>,
+) {
+    let (start, end) = f.body;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        if !tokens[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Locate `in` at delimiter depth 0 (the pattern may contain parens).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let in_at = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.is_punct("(") || t.is_punct("[") => depth += 1,
+                Some(t) if t.is_punct(")") || t.is_punct("]") => depth = depth.saturating_sub(1),
+                Some(t) if depth == 0 && t.is_ident("in") => break Some(j),
+                Some(t) if depth == 0 && (t.is_punct("{") || t.is_punct(";")) => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(in_at) = in_at else {
+            i += 1;
+            continue;
+        };
+        // Iteration expression: tokens until the body `{` at depth 0.
+        let mut k = in_at + 1;
+        let mut depth = 0usize;
+        let body_open = loop {
+            match tokens.get(k) {
+                None => break None,
+                Some(t) if t.is_punct("(") || t.is_punct("[") => depth += 1,
+                Some(t) if t.is_punct(")") || t.is_punct("]") => depth = depth.saturating_sub(1),
+                Some(t) if depth == 0 && t.is_punct("{") => break Some(k),
+                Some(_) => {}
+            }
+            k += 1;
+        };
+        let Some(body_open) = body_open else {
+            i = in_at + 1;
+            continue;
+        };
+        let expr = (in_at + 1, body_open);
+        if let Some(src_idx) = hash_source(tokens, expr, bindings) {
+            for_expr_ranges.push(expr);
+            let body_close = match_forward(tokens, body_open);
+            let loop_body = (body_open + 1, body_close.min(tokens.len()));
+            let kind = if has_float_accumulation(tokens, loop_body, bindings) {
+                EventKind::FloatReduction
+            } else {
+                EventKind::HashIter
+            };
+            let t = &tokens[src_idx];
+            events.push(IterEvent {
+                token_idx: src_idx,
+                line: t.line,
+                col: t.col,
+                kind,
+            });
+        }
+        i = body_open + 1;
+    }
+}
+
+/// If the expression iterates a hash binding (`map`, `&map`, `map.iter()`,
+/// `map.keys().…`), returns the token index of the binding.
+fn hash_source(tokens: &[Token], expr: (usize, usize), bindings: &[Binding]) -> Option<usize> {
+    let mut s = expr.0;
+    while tokens
+        .get(s)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        s += 1;
+    }
+    let first = tokens.get(s).filter(|t| t.kind == TokenKind::Ident)?;
+    if !is_hash_binding(bindings, &first.text) {
+        return None;
+    }
+    if s + 1 >= expr.1 {
+        return Some(s); // bare `map` / `&map`
+    }
+    if tokens.get(s + 1).is_some_and(|t| t.is_punct(".")) {
+        let m = tokens.get(s + 2)?;
+        if ITER_METHODS.iter().any(|im| m.is_ident(im)) {
+            return Some(s);
+        }
+        return None; // `.get()`, `.len()`, … — not an iteration
+    }
+    None
+}
+
+/// Finds `map.iter()…`-style chains outside for-loop headers and flags the
+/// ones whose terminal is order-sensitive.
+fn scan_chains(
+    tokens: &[Token],
+    f: &FnItem,
+    bindings: &[Binding],
+    for_expr_ranges: &[(usize, usize)],
+    events: &mut Vec<IterEvent>,
+) {
+    let (start, end) = f.body;
+    let mut i = start;
+    while i + 2 < end.min(tokens.len()) {
+        let t = &tokens[i];
+        let starts_chain = t.kind == TokenKind::Ident
+            && is_hash_binding(bindings, &t.text)
+            && tokens[i + 1].is_punct(".")
+            && ITER_METHODS.iter().any(|im| tokens[i + 2].is_ident(im))
+            && tokens.get(i + 3).is_some_and(|x| x.is_punct("("));
+        if !starts_chain {
+            i += 1;
+            continue;
+        }
+        if for_expr_ranges.iter().any(|&(a, b)| i >= a && i < b) {
+            i += 1;
+            continue; // already reported as the for-loop's source
+        }
+        let open = i + 3;
+        let after_call = match_forward(tokens, open) + 1;
+        let (links, chain_end) = walk_chain(tokens, after_call);
+        let mut all = vec![(tokens[i + 2].text.clone(), Vec::new())];
+        all.extend(links);
+        if let Some(kind) = classify_chain(tokens, f, bindings, i, chain_end, &all) {
+            events.push(IterEvent {
+                token_idx: i,
+                line: t.line,
+                col: t.col,
+                kind,
+            });
+        }
+        i = chain_end.max(i + 1);
+    }
+}
+
+/// Decides whether a chain leaks iteration order. `None` = compliant.
+fn classify_chain(
+    tokens: &[Token],
+    f: &FnItem,
+    bindings: &[Binding],
+    chain_start: usize,
+    chain_end: usize,
+    links: &[(String, Vec<String>)],
+) -> Option<EventKind> {
+    let (terminal, turbofish) = links.last()?;
+    if terminal_is_order_insensitive(terminal, turbofish) {
+        return None;
+    }
+    // Peek at the fold seed (first token inside the terminal's arg list).
+    let fold_seed = fold_seed_tokens(tokens, chain_start, chain_end, terminal);
+    if terminal_is_float_reduction(terminal, turbofish, fold_seed) {
+        return Some(EventKind::FloatReduction);
+    }
+    if terminal == "collect" {
+        // Destination from the turbofish (`collect::<BTreeMap<…>>`) or the
+        // enclosing let's classification (`let m: HashMap<…> = …collect()`).
+        if turbofish
+            .iter()
+            .any(|d| ORDERED_COLLECT_TARGETS.contains(&d.as_str()))
+        {
+            return None;
+        }
+        let owner = bindings.iter().find(|b| {
+            b.init
+                .is_some_and(|(a, b)| chain_start >= a && chain_start < b)
+        });
+        if let Some(b) = owner {
+            if b.class == Class::Hash {
+                return None; // collected back into a hash/tree container
+            }
+            let after = b.init.map_or(chain_end, |(_, e)| e);
+            if sorted_later(tokens, after, f.body.1, &b.name) {
+                return None; // collect-then-sort: deterministic
+            }
+        }
+        return Some(EventKind::HashIter);
+    }
+    Some(EventKind::HashIter)
+}
+
+/// The first token of the terminal call's argument list (the fold seed),
+/// found by locating the terminal's `(` scanning back from the chain end.
+fn fold_seed_tokens<'t>(
+    tokens: &'t [Token],
+    chain_start: usize,
+    chain_end: usize,
+    terminal: &str,
+) -> &'t [Token] {
+    let hi = chain_end.min(tokens.len());
+    for i in (chain_start..hi).rev() {
+        if tokens[i].is_ident(terminal) {
+            let mut j = i + 1;
+            if let Some((_, next)) = parse_turbofish(tokens, j) {
+                j = next;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct("(")) && j + 1 < tokens.len() {
+                return &tokens[j + 1..hi];
+            }
+        }
+    }
+    &[]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn events(src: &str) -> Vec<(u32, EventKind)> {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        let mut hash_fns = HashFns::default();
+        hash_fns.collect_file(&lexed.tokens, &parsed);
+        hash_fns.finish();
+        hash_iter_events(&lexed.tokens, &parsed, &hash_fns)
+            .into_iter()
+            .map(|e| (e.line, e.kind))
+            .collect()
+    }
+
+    #[test]
+    fn hash_returning_fn_classifies_callers_binding() {
+        // `joint_counts` returns a HashMap; the caller's `let joint = …`
+        // binding is classified hash-ordered even with no type annotation —
+        // this is the exact shape of the entropy/MI accumulation bug.
+        let src = "use std::collections::HashMap;\n\
+                   fn joint_counts(xs: &[u32]) -> HashMap<(u32, u32), usize> {\n\
+                   let mut m = HashMap::new();\n\
+                   for &x in xs { *m.entry((x, x)).or_insert(0) += 1; }\n\
+                   m\n}\n\
+                   fn mi(xs: &[u32]) -> f64 {\n\
+                   let joint = joint_counts(xs);\n\
+                   let mut acc = 0.0;\n\
+                   for (_, &c) in &joint { acc += c as f64; }\n\
+                   acc\n}\n";
+        assert_eq!(events(src), vec![(10, EventKind::FloatReduction)]);
+    }
+
+    #[test]
+    fn lets_inside_block_initializers_are_collected() {
+        // The entropy-style shape: the hash binding and the accumulator live
+        // inside a `let mi = { … };` block initializer. Linear scanning that
+        // skips to the statement's `;` never sees them.
+        let src = "use std::collections::HashMap;\n\
+                   fn joint_counts(xs: &[u32]) -> HashMap<(u32, u32), usize> {\n\
+                   let mut m = HashMap::new();\n\
+                   for &x in xs { *m.entry((x, x)).or_insert(0) += 1; }\n\
+                   m\n}\n\
+                   fn mi(xs: &[u32]) -> f64 {\n\
+                   let mi = {\n\
+                   let joint = joint_counts(xs);\n\
+                   let mut acc = 0.0;\n\
+                   for (_, &c) in &joint { acc += c as f64; }\n\
+                   acc\n};\n\
+                   mi\n}\n";
+        assert_eq!(events(src), vec![(11, EventKind::FloatReduction)]);
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_is_an_event() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in m { out.push(*k); }\n\
+                   out\n}\n";
+        assert_eq!(events(src), vec![(4, EventKind::HashIter)]);
+    }
+
+    #[test]
+    fn for_loop_with_float_accumulation_is_a_float_reduction() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   for (_, v) in m.iter() { acc += v; }\n\
+                   acc\n}\n";
+        assert_eq!(events(src), vec![(3, EventKind::FloatReduction)]);
+    }
+
+    #[test]
+    fn btree_map_iteration_is_not_an_event() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, u32>) -> Vec<u32> {\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in m { out.push(*k); }\n\
+                   out\n}\n";
+        assert!(events(src).is_empty());
+    }
+
+    #[test]
+    fn lookups_and_order_insensitive_terminals_are_compliant() {
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   fn f(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> usize {\n\
+                   let _v = m.get(&1);\n\
+                   let has = s.contains(&2);\n\
+                   let n = m.iter().count();\n\
+                   let any = m.values().any(|v| *v > 3);\n\
+                   let total: usize = m.values().sum::<usize>();\n\
+                   n + usize::from(has) + usize::from(any) + total\n}\n";
+        assert!(events(src).is_empty(), "{:?}", events(src));
+    }
+
+    #[test]
+    fn float_sum_turbofish_is_a_float_reduction() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   m.values().sum::<f64>()\n}\n";
+        assert_eq!(events(src), vec![(2, EventKind::FloatReduction)]);
+    }
+
+    #[test]
+    fn fold_with_float_seed_is_a_float_reduction() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   m.values().fold(0.0, |a, v| a + v)\n}\n";
+        assert_eq!(events(src), vec![(2, EventKind::FloatReduction)]);
+        // Integer fold is still order-flagged (monoid unknown), but not float.
+        let src = "fn g(m: &std::collections::HashMap<u32, u64>) -> u64 {\n\
+                   m.values().fold(0, |a, v| a + v)\n}\n";
+        assert_eq!(events(src), vec![(2, EventKind::HashIter)]);
+    }
+
+    #[test]
+    fn collect_to_vec_without_sort_is_flagged() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                   let v: Vec<u32> = m.keys().copied().collect::<Vec<u32>>();\n\
+                   v\n}\n";
+        assert_eq!(events(src), vec![(2, EventKind::HashIter)]);
+    }
+
+    #[test]
+    fn collect_then_sort_is_compliant() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                   let mut v = m.keys().copied().collect::<Vec<u32>>();\n\
+                   v.sort_unstable();\n\
+                   v\n}\n";
+        assert!(events(src).is_empty(), "{:?}", events(src));
+    }
+
+    #[test]
+    fn collect_into_btree_is_compliant() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   fn f(m: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {\n\
+                   m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, u32>>()\n}\n";
+        assert!(events(src).is_empty(), "{:?}", events(src));
+    }
+
+    #[test]
+    fn aliased_hash_map_is_resolved_through_use() {
+        let src = "use std::collections::HashMap as Map;\n\
+                   fn f(m: &Map<u32, u32>) -> Vec<u32> {\n\
+                   let mut out = Vec::new();\n\
+                   for k in m.keys() { out.push(*k); }\n\
+                   out\n}\n";
+        assert_eq!(events(src), vec![(4, EventKind::HashIter)]);
+    }
+
+    #[test]
+    fn local_let_hash_map_drain_is_flagged() {
+        let src = "fn f(rows: &[u32]) -> Vec<u32> {\n\
+                   let mut counts = std::collections::HashMap::new();\n\
+                   for &r in rows { *counts.entry(r).or_insert(0u32) += 1; }\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in counts.drain() { out.push(k); }\n\
+                   out\n}\n";
+        assert_eq!(events(src), vec![(5, EventKind::HashIter)]);
+    }
+
+    #[test]
+    fn unrelated_bindings_do_not_trigger() {
+        let src = "fn f(rows: &[u32]) -> u32 {\n\
+                   let mut total = 0u32;\n\
+                   for &r in rows { total += r; }\n\
+                   total\n}\n";
+        assert!(events(src).is_empty());
+    }
+}

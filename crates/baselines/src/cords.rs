@@ -98,8 +98,13 @@ impl Cords {
                 for (&gia, &giab) in ga.ids.iter().zip(&gab.ids) {
                     *joint_sizes.entry((gia, giab)).or_insert(0) += 1;
                 }
+                // Collect-then-sort before walking the cells: integer max is
+                // order-insensitive in value, but result paths must not
+                // depend on hash iteration order (FDX-L009).
+                let mut cells: Vec<((u32, u32), usize)> = joint_sizes.into_iter().collect();
+                cells.sort_unstable();
                 let mut majority = vec![0usize; ga.count];
-                for (&(gia, _), &c) in &joint_sizes {
+                for ((gia, _), c) in cells {
                     let slot = &mut majority[gia as usize];
                     *slot = (*slot).max(c);
                 }

@@ -77,22 +77,31 @@ impl StrippedPartition {
             }
         }
         let mut out: Vec<Vec<u32>> = Vec::new();
-        // Scratch: per-self-class accumulation for the current other-class.
-        let mut scratch: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
+        // Scratch: per-self-class accumulation for the current other-class,
+        // indexed by self-class id with a touched-list for O(|class|) reset.
+        // (A HashMap drained here would emit classes in hash order, making
+        // the partition's class order — and everything serialized from it —
+        // run-dependent; the indexed scratch is deterministic and faster.)
+        let mut scratch: Vec<Vec<u32>> = vec![Vec::new(); self.classes.len()];
+        let mut touched: Vec<u32> = Vec::new();
         for class in &other.classes {
-            scratch.clear();
             for &r in class {
                 let ti = t[r as usize];
                 if ti != u32::MAX {
-                    scratch.entry(ti).or_default().push(r);
+                    let slot = &mut scratch[ti as usize];
+                    if slot.is_empty() {
+                        touched.push(ti);
+                    }
+                    slot.push(r);
                 }
             }
-            for (_, group) in scratch.drain() {
+            for &ti in &touched {
+                let group = std::mem::take(&mut scratch[ti as usize]);
                 if group.len() >= 2 {
                     out.push(group);
                 }
             }
+            touched.clear();
         }
         StrippedPartition {
             classes: out,

@@ -36,6 +36,8 @@ Lint options:
   --ratchet           fail only on violations not in lint-baseline.json
   --write-baseline    regenerate lint-baseline.json from the current tree
   --format <fmt>      text (default) or json
+  --sarif <path>      also write the scan as SARIF 2.1.0 to <path>
+  --explain <rule>    print rationale and examples for a rule and exit
   --root <dir>        workspace root (default: auto-detected from cwd)
 
 Serve options:
@@ -241,6 +243,11 @@ pub struct LintArgs {
     pub write_baseline: bool,
     /// Emit the deterministic JSON report instead of text.
     pub format_json: bool,
+    /// Also write the scan as SARIF 2.1.0 to this path.
+    pub sarif: Option<String>,
+    /// Print the documentation page for one rule and exit (rule id as
+    /// typed; validated against the rule table when the command runs).
+    pub explain: Option<String>,
 }
 
 /// Options of the `discover` subcommand.
@@ -390,6 +397,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         i += 1;
                         let v = rest.get(i).ok_or("--root: missing value")?;
                         options.root = Some(v.to_string());
+                    }
+                    "--sarif" => {
+                        i += 1;
+                        let v = rest.get(i).ok_or("--sarif: missing value")?;
+                        options.sarif = Some(v.to_string());
+                    }
+                    "--explain" => {
+                        i += 1;
+                        let v = rest.get(i).ok_or("--explain: missing rule id")?;
+                        options.explain = Some(v.to_string());
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -731,12 +748,33 @@ mod tests {
                     ratchet: true,
                     write_baseline: false,
                     format_json: true,
+                    sarif: None,
+                    explain: None,
                 }
             }
         );
         assert!(parse(&argv("lint --format yaml")).is_err());
         assert!(parse(&argv("lint --root")).is_err());
         assert!(parse(&argv("lint --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_lint_sarif_and_explain() {
+        let cmd = parse(&argv("lint --ratchet --sarif lint.sarif")).unwrap();
+        match cmd {
+            Command::Lint { options } => {
+                assert!(options.ratchet);
+                assert_eq!(options.sarif.as_deref(), Some("lint.sarif"));
+            }
+            _ => unreachable!(),
+        }
+        let cmd = parse(&argv("lint --explain L009")).unwrap();
+        match cmd {
+            Command::Lint { options } => assert_eq!(options.explain.as_deref(), Some("L009")),
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("lint --sarif")).is_err());
+        assert!(parse(&argv("lint --explain")).is_err());
     }
 
     #[test]

@@ -271,6 +271,13 @@ fn render_stats_text(raw: &fdx_serve::json::JsonValue) -> String {
 fn lint(args: &LintArgs) -> Result<(), String> {
     use std::path::{Path, PathBuf};
 
+    if let Some(rule) = &args.explain {
+        let rule = fdx_analyze::RuleId::parse(rule)
+            .ok_or_else(|| format!("lint: unknown rule `{rule}` (see --list-rules)"))?;
+        print!("{}", fdx_analyze::explain::explain(rule));
+        return Ok(());
+    }
+
     let root: PathBuf = match &args.root {
         Some(r) => PathBuf::from(r),
         None => std::env::current_dir()
@@ -296,6 +303,13 @@ fn lint(args: &LintArgs) -> Result<(), String> {
     }
 
     let report = fdx_analyze::run(&opts)?;
+    if let Some(path) = &args.sarif {
+        let doc = fdx_analyze::sarif::to_sarif(&report);
+        fdx_analyze::sarif::validate(&doc)
+            .map_err(|e| format!("lint: generated SARIF failed self-validation: {e}"))?;
+        std::fs::write(path, &doc).map_err(|e| format!("lint: writing {path}: {e}"))?;
+        eprintln!("wrote SARIF to {path}");
+    }
     if args.format_json {
         print!("{}", report.to_json());
     } else {

@@ -102,6 +102,7 @@ where
                 scope.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
+                        // fdx-allow: L010 the counter only hands out indices; results are reduced in index order, so no ordering stronger than the RMW's own atomicity is needed
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;

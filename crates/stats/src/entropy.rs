@@ -112,6 +112,9 @@ pub fn reliable_fraction_of_information(ds: &Dataset, y: AttrId, x: &[AttrId]) -
     let gx = group_ids(ds, x);
     let gy = group_ids(ds, &[y]);
     let mi = {
+        // `joint_counts` returns a BTreeMap, so this float accumulation
+        // visits cells in sorted (gx, gy) order — the MI value is
+        // bit-identical across runs and thread counts.
         let joint = joint_counts(&gx, &gy);
         let n = ds.nrows() as f64;
         let ax = gx.sizes();

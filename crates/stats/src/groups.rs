@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use fdx_data::{AttrId, Dataset};
 
@@ -93,9 +93,14 @@ fn renumber(ids: Vec<u32>, upper_bound: usize) -> GroupIds {
 
 /// Joint contingency counts over two group assignments: `counts[(gx, gy)]`
 /// is the number of rows in X-group `gx` and Y-group `gy`.
-pub fn joint_counts(x: &GroupIds, y: &GroupIds) -> HashMap<(u32, u32), usize> {
+///
+/// Returns a `BTreeMap` so iterating the cells visits them in sorted
+/// `(gx, gy)` order: the mutual-information accumulation in `entropy.rs`
+/// sums floats over these cells, and a hash-ordered walk would make the
+/// rounding (and therefore the cached MI scores) run-dependent.
+pub fn joint_counts(x: &GroupIds, y: &GroupIds) -> BTreeMap<(u32, u32), usize> {
     assert_eq!(x.ids.len(), y.ids.len());
-    let mut counts = HashMap::new();
+    let mut counts = BTreeMap::new();
     for (&gx, &gy) in x.ids.iter().zip(&y.ids) {
         *counts.entry((gx, gy)).or_insert(0) += 1;
     }

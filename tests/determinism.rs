@@ -1,0 +1,72 @@
+//! End-to-end determinism pin: the invariant FDX-L009/L012 protect.
+//!
+//! `Fdx::discover` must be a pure function of (data, config): the same
+//! synth corpus run under `FDX_THREADS` ∈ {1, 2, 4} has to produce
+//! byte-identical run-summary JSON (timings zeroed — wall clock is the
+//! one sanctioned nondeterminism) and a byte-identical rendered FD set.
+//! This is what makes a result cache keyed by (dataset hash, config
+//! fingerprint) sound and keeps λ-path stability scores reproducible;
+//! it is also the proof that this PR's sweep fixes (BTreeMap joint
+//! counts in fdx-stats, sorted CORDS majority cells, the indexed
+//! partition-product scratch) are behavior-preserving.
+
+use fdx::{Fdx, FdxConfig, FdxTimings};
+use fdx_synth::generator::{self, SynthConfig};
+use fdx_synth::realworld;
+
+/// Discovers under a given `FDX_THREADS` setting and returns the
+/// (FD render, zero-timing run summary) pair for every corpus member.
+fn run_corpus(threads: &str) -> Vec<(String, String)> {
+    // The config leaves `threads: None`, so the thread count resolves
+    // through the real `FDX_THREADS` contract in fdx-par.
+    std::env::set_var("FDX_THREADS", threads);
+    let mut out = Vec::new();
+    for seed in [1u64, 7] {
+        let data = generator::generate(&SynthConfig {
+            tuples: 600,
+            attributes: 8,
+            domain_range: (16, 64),
+            noise_rate: 0.02,
+            seed,
+        });
+        let mut result = Fdx::new(FdxConfig::default().for_noise_rate(0.02))
+            .discover(&data.noisy)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        result.timings = FdxTimings::default();
+        out.push((
+            result.fds.render(data.noisy.schema()),
+            result.summary_json(),
+        ));
+    }
+    let rw = realworld::hospital(3);
+    let mut result = Fdx::new(FdxConfig::default())
+        .discover(&rw.data)
+        .unwrap_or_else(|e| panic!("hospital: {e}"));
+    result.timings = FdxTimings::default();
+    out.push((result.fds.render(rw.data.schema()), result.summary_json()));
+    out
+}
+
+#[test]
+fn discovery_is_byte_identical_across_thread_counts() {
+    let baseline = run_corpus("1");
+    assert!(
+        baseline.iter().any(|(fds, _)| !fds.trim().is_empty()),
+        "corpus must exercise a non-empty FD set for the pin to mean anything"
+    );
+    for threads in ["2", "4"] {
+        let got = run_corpus(threads);
+        assert_eq!(baseline.len(), got.len());
+        for (i, ((base_fds, base_json), (fds, json))) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                base_fds, fds,
+                "corpus[{i}]: FD set drifted between FDX_THREADS=1 and {threads}"
+            );
+            assert_eq!(
+                base_json, json,
+                "corpus[{i}]: run summary drifted between FDX_THREADS=1 and {threads}"
+            );
+        }
+    }
+    std::env::remove_var("FDX_THREADS");
+}
