@@ -19,11 +19,22 @@
 //! * `FDX_BENCH_PERF_THREADS` — comma-separated thread counts
 //!   (default `1,2,4`),
 //! * `FDX_BENCH_PERF_REPS`    — repetitions per cell, best-of (default 3),
-//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR6.json`).
+//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR8.json`),
+//! * `FDX_BENCH_INGEST_ROWS`  — rows for the out-of-core ingest grid
+//!   (default 50000),
+//! * `FDX_BENCH_INGEST_CHUNKS` — comma-separated `chunk_rows` widths for
+//!   the ingest grid (default `256,1024,4096,16384`).
+//!
+//! The ingest grid writes a synthetic CSV to a temp file and times the
+//! chunked out-of-core reader (`ingest_csv_file`) at each chunk width
+//! against the resident `read_csv_str` baseline, reporting MB/s and the
+//! reader's peak accounted bytes, plus one run under a deliberately tight
+//! memory budget to show the sampled-rows degradation rung and its
+//! bounded footprint.
 
 use fdx_bench::env_usize;
 use fdx_core::{pair_transform, Fdx, FdxConfig, FdxResult, TransformConfig};
-use fdx_data::{Column, Dataset, Schema, Value};
+use fdx_data::{ingest_csv_file, read_csv_str, Column, Dataset, IngestConfig, Schema, Value};
 use fdx_glasso::{graphical_lasso, GlassoConfig, GlassoResult};
 use fdx_linalg::Matrix;
 use fdx_obs::json;
@@ -198,13 +209,182 @@ struct GlassoCell {
     speedup: f64,
 }
 
+/// The synthetic corpus for the ingest grid, rendered as CSV text: the
+/// same cluster structure as [`synth_dataset`] so dictionaries stay
+/// realistic (32 distinct values per column, correlated clusters).
+fn synth_csv(rng: &mut SplitMix64, n: usize, k: usize) -> String {
+    let card = 32usize;
+    let mut cols: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut anchor: Vec<u32> = Vec::new();
+    for a in 0..k {
+        let codes: Vec<u32> = if a % 4 == 0 {
+            anchor = (0..n).map(|_| rng.below(card) as u32).collect();
+            anchor.clone()
+        } else {
+            anchor
+                .iter()
+                .map(|&c| {
+                    if rng.unit() < 0.1 {
+                        rng.below(card) as u32
+                    } else {
+                        (c * 7 + a as u32) % card as u32
+                    }
+                })
+                .collect()
+        };
+        cols.push(codes);
+    }
+    let mut csv = String::with_capacity(n * k * 4);
+    for a in 0..k {
+        if a > 0 {
+            csv.push(',');
+        }
+        csv.push_str(&format!("a{a}"));
+    }
+    csv.push('\n');
+    for i in 0..n {
+        for (a, codes) in cols.iter().enumerate() {
+            if a > 0 {
+                csv.push(',');
+            }
+            csv.push_str(&format!("v{}", codes[i]));
+        }
+        csv.push('\n');
+    }
+    csv
+}
+
+/// Times the out-of-core reader across chunk widths against the resident
+/// baseline and returns the `"ingest"` report section.
+fn ingest_grid(reps: usize) -> String {
+    let rows = env_usize("FDX_BENCH_INGEST_ROWS", 50_000);
+    let chunks = env_list("FDX_BENCH_INGEST_CHUNKS", &[256, 1024, 4096, 16384]);
+    let k = 16usize;
+    let mut rng = SplitMix64(0xFD_0008);
+    let csv = synth_csv(&mut rng, rows, k);
+    let bytes = csv.len() as u64;
+    let path = std::env::temp_dir().join(format!("fdx-perf-ingest-{}.csv", std::process::id()));
+    if let Err(e) = std::fs::write(&path, &csv) {
+        eprintln!("perf: cannot write ingest corpus {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let mbps = |secs: f64| bytes as f64 / (1u64 << 20) as f64 / secs.max(1e-12);
+
+    println!("ingest: rows={rows} cols={k} bytes={bytes} chunks={chunks:?}");
+    let (resident_secs, resident) = time_best_of(reps, || match read_csv_str(&csv) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("perf: resident read failed: {e}");
+            std::process::exit(1);
+        }
+    });
+    println!(
+        "  resident    {:.4}s  ({:.1} MB/s)",
+        resident_secs,
+        mbps(resident_secs)
+    );
+
+    let mut cells = Vec::new();
+    for &chunk_rows in &chunks {
+        let cfg = IngestConfig {
+            chunk_rows: Some(chunk_rows),
+            ..IngestConfig::default()
+        };
+        let (secs, got) = time_best_of(reps, || match ingest_csv_file(&path, &cfg) {
+            Ok(got) => got,
+            Err(e) => {
+                eprintln!("perf: chunked ingest failed at chunk_rows={chunk_rows}: {e}");
+                std::process::exit(1);
+            }
+        });
+        assert_eq!(
+            got.dataset, resident,
+            "chunked ingest diverged from resident at chunk_rows={chunk_rows}"
+        );
+        println!(
+            "  chunked     chunk_rows={chunk_rows}: {:.4}s  ({:.1} MB/s, peak {} bytes)",
+            secs,
+            mbps(secs),
+            got.health.peak_bytes
+        );
+        cells.push(
+            json::Obj::new()
+                .u64_("chunk_rows", chunk_rows as u64)
+                .f64_("secs", secs)
+                .f64_("mb_per_sec", mbps(secs))
+                .u64_("peak_bytes", got.health.peak_bytes)
+                .finish(),
+        );
+    }
+
+    // One deliberately starved run: the budget forces the sampled-rows
+    // rung; the run must still complete and report its degradation.
+    let unbudgeted_peak = match ingest_csv_file(
+        &path,
+        &IngestConfig {
+            chunk_rows: Some(4096),
+            ..IngestConfig::default()
+        },
+    ) {
+        Ok(got) => got.health.peak_bytes,
+        Err(e) => {
+            eprintln!("perf: ingest failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let budget = (unbudgeted_peak / 4).max(1);
+    let budget_cfg = IngestConfig {
+        chunk_rows: Some(4096),
+        memory_budget: Some(budget),
+        ..IngestConfig::default()
+    };
+    let (budget_secs, budgeted) =
+        time_best_of(reps, || match ingest_csv_file(&path, &budget_cfg) {
+            Ok(got) => got,
+            Err(e) => {
+                eprintln!("perf: budgeted ingest failed: {e}");
+                std::process::exit(1);
+            }
+        });
+    println!(
+        "  budgeted    budget={budget}: {:.4}s  (sampled={}, keep_every={}, kept {} of {} rows)",
+        budget_secs,
+        budgeted.health.sampled,
+        budgeted.health.keep_every,
+        budgeted.health.rows_kept,
+        rows
+    );
+    println!();
+    let _ = std::fs::remove_file(&path);
+
+    json::Obj::new()
+        .u64_("rows", rows as u64)
+        .u64_("cols", k as u64)
+        .u64_("bytes", bytes)
+        .f64_("resident_secs", resident_secs)
+        .f64_("resident_mb_per_sec", mbps(resident_secs))
+        .raw("cells", &json::array(cells))
+        .raw(
+            "budgeted",
+            &json::Obj::new()
+                .u64_("budget_bytes", budget)
+                .f64_("secs", budget_secs)
+                .bool_("sampled", budgeted.health.sampled)
+                .u64_("keep_every", budgeted.health.keep_every)
+                .u64_("rows_kept", budgeted.health.rows_kept)
+                .u64_("peak_bytes", budgeted.health.peak_bytes)
+                .finish(),
+        )
+        .finish()
+}
+
 fn main() {
     let rows = env_usize("FDX_BENCH_PERF_ROWS", 3_000);
     let cols = env_list("FDX_BENCH_PERF_COLS", &[16, 32, 64]);
     let threads = env_list("FDX_BENCH_PERF_THREADS", &[1, 2, 4]);
     let reps = env_usize("FDX_BENCH_PERF_REPS", 3);
     let out_path =
-        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     let lambda = 0.05;
     let block = 8usize;
 
@@ -364,13 +544,16 @@ fn main() {
         );
     }
 
+    let ingest_json = ingest_grid(reps);
+
     let report = json::Obj::new()
-        .str_("bench", "perf_pr6")
+        .str_("bench", "perf_pr8")
         .u64_("rows", rows as u64)
         .u64_("reps", reps as u64)
         .f64_("lambda", lambda)
         .u64_("block", block as u64)
         .raw("settings", &json::array(settings))
+        .raw("ingest", &ingest_json)
         .finish();
     match std::fs::write(&out_path, format!("{report}\n")) {
         Ok(()) => println!("wrote {out_path}"),

@@ -31,6 +31,12 @@ Discover options:
   --metrics <path>    write run metrics as JSON-lines to <path>
   --time-budget <f>   abort the run after <f> wall-clock seconds
   --strict            exit non-zero if the run degraded (fallbacks, retries)
+  --chunk-rows <n>    streaming-ingest chunk size in rows (default 4096)
+  --memory-budget <b> ingest working-set budget in bytes (k/m/g suffixes ok);
+                      over budget the reader degrades to sampled rows
+  --on-bad-row <p>    malformed-row policy: abort (default) | skip | quarantine
+  --quarantine <path> write quarantined rows as JSON lines to <path>
+                      (implies --on-bad-row quarantine)
 
 Lint options:
   --ratchet           fail only on violations not in lint-baseline.json
@@ -250,6 +256,20 @@ pub struct LintArgs {
     pub explain: Option<String>,
 }
 
+/// Malformed-row policy of `fdx discover` (maps onto
+/// `fdx_data::BadRowPolicy`; the quarantine path rides in
+/// [`DiscoverOptions::quarantine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnBadRow {
+    /// Fail the run on the first malformed row.
+    #[default]
+    Abort,
+    /// Drop malformed rows, count them in ingest health.
+    Skip,
+    /// Drop malformed rows and append them to the quarantine file.
+    Quarantine,
+}
+
 /// Options of the `discover` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscoverOptions {
@@ -266,6 +286,14 @@ pub struct DiscoverOptions {
     pub metrics: Option<String>,
     pub time_budget: Option<f64>,
     pub strict: bool,
+    /// Streaming-ingest chunk size in rows.
+    pub chunk_rows: Option<usize>,
+    /// Ingest working-set budget in bytes.
+    pub memory_budget: Option<u64>,
+    /// Malformed-row policy.
+    pub on_bad_row: OnBadRow,
+    /// Quarantine file path (requires/implies `on_bad_row == Quarantine`).
+    pub quarantine: Option<String>,
 }
 
 impl Default for DiscoverOptions {
@@ -284,6 +312,10 @@ impl Default for DiscoverOptions {
             metrics: None,
             time_budget: None,
             strict: false,
+            chunk_rows: None,
+            memory_budget: None,
+            on_bad_row: OnBadRow::Abort,
+            quarantine: None,
         }
     }
 }
@@ -334,9 +366,40 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--metrics" => options.metrics = Some(value(flag)?.clone()),
                     "--time-budget" => options.time_budget = Some(parse_f64(value(flag)?)?),
                     "--strict" => options.strict = true,
+                    "--chunk-rows" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--chunk-rows: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--chunk-rows: expected a positive integer".into());
+                        }
+                        options.chunk_rows = Some(n);
+                    }
+                    "--memory-budget" => {
+                        options.memory_budget = Some(parse_bytes(value(flag)?)?);
+                    }
+                    "--on-bad-row" => {
+                        options.on_bad_row = match value(flag)?.as_str() {
+                            "abort" => OnBadRow::Abort,
+                            "skip" => OnBadRow::Skip,
+                            "quarantine" => OnBadRow::Quarantine,
+                            other => {
+                                return Err(format!(
+                                "--on-bad-row: unknown policy {other:?} (abort, skip, quarantine)"
+                            ))
+                            }
+                        };
+                    }
+                    "--quarantine" => {
+                        options.quarantine = Some(value(flag)?.clone());
+                        options.on_bad_row = OnBadRow::Quarantine;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
+            }
+            if options.on_bad_row == OnBadRow::Quarantine && options.quarantine.is_none() {
+                return Err("--on-bad-row quarantine requires --quarantine <path>".into());
             }
             Ok(Command::Discover { path, options })
         }
@@ -627,6 +690,26 @@ fn parse_f64(s: &str) -> Result<f64, String> {
         .map_err(|_| format!("expected a number, got {s:?}"))
 }
 
+/// Parses a byte count with an optional binary k/m/g suffix ("4096",
+/// "64k", "8M", "1g").
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('g') | Some('G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1u64),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("expected a byte count (k/m/g suffix ok), got {s:?}"))?;
+    if n == 0 {
+        return Err("expected a positive byte count".into());
+    }
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte count {s:?} overflows u64"))
+}
+
 fn parse_ordering(s: &str) -> Result<OrderingMethod, String> {
     OrderingMethod::ALL
         .into_iter()
@@ -729,6 +812,58 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parses_ingest_flags() {
+        let cmd = parse(&argv(
+            "discover d.csv --chunk-rows 512 --memory-budget 64m --on-bad-row skip",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Discover { options, .. } => {
+                assert_eq!(options.chunk_rows, Some(512));
+                assert_eq!(options.memory_budget, Some(64 << 20));
+                assert_eq!(options.on_bad_row, OnBadRow::Skip);
+                assert_eq!(options.quarantine, None);
+            }
+            _ => unreachable!(),
+        }
+        // --quarantine implies the quarantine policy.
+        let cmd = parse(&argv("discover d.csv --quarantine bad.jsonl")).unwrap();
+        match cmd {
+            Command::Discover { options, .. } => {
+                assert_eq!(options.on_bad_row, OnBadRow::Quarantine);
+                assert_eq!(options.quarantine.as_deref(), Some("bad.jsonl"));
+            }
+            _ => unreachable!(),
+        }
+        // Quarantine policy without a path is rejected.
+        assert!(parse(&argv("discover d.csv --on-bad-row quarantine")).is_err());
+        assert!(parse(&argv("discover d.csv --on-bad-row nuke")).is_err());
+        assert!(parse(&argv("discover d.csv --chunk-rows 0")).is_err());
+        assert!(parse(&argv("discover d.csv --memory-budget 0")).is_err());
+        assert!(parse(&argv("discover d.csv --memory-budget lots")).is_err());
+        // Defaults: resident-identical ingest, abort policy.
+        match parse(&argv("discover d.csv")).unwrap() {
+            Command::Discover { options, .. } => {
+                assert_eq!(options.chunk_rows, None);
+                assert_eq!(options.memory_budget, None);
+                assert_eq!(options.on_bad_row, OnBadRow::Abort);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_byte_suffixes() {
+        assert_eq!(parse_bytes("4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("8M").unwrap(), 8 << 20);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert!(parse_bytes("0").is_err());
+        assert!(parse_bytes("1t").is_err());
+        assert!(parse_bytes("99999999999g").is_err(), "overflow is caught");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use std::fmt::Write as _;
 
 use fdx_core::{render_autoregression_heatmap, score_fd, Fdx, FdxConfig};
-use fdx_data::{read_csv_str, Dataset};
+use fdx_data::{read_csv_str, BadRowPolicy, Dataset, IngestConfig, Ingested};
 
-use crate::args::{Command, DiscoverOptions, LintArgs, RequestArgs, ServeArgs, StatsArgs, TopArgs};
+use crate::args::{
+    Command, DiscoverOptions, LintArgs, OnBadRow, RequestArgs, ServeArgs, StatsArgs, TopArgs,
+};
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -69,6 +71,7 @@ fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::Req
     let mut frame = fdx_serve::RequestFrame {
         id: args.id.clone(),
         csv,
+        path: None,
         deadline_ms: args.deadline_ms,
         threshold: args.threshold,
         sparsity: args.sparsity,
@@ -367,8 +370,27 @@ fn build_config(options: &DiscoverOptions) -> FdxConfig {
     cfg
 }
 
+/// Maps the CLI ingest flags onto an `fdx_data::IngestConfig`.
+fn build_ingest_config(options: &DiscoverOptions) -> IngestConfig {
+    IngestConfig {
+        chunk_rows: options.chunk_rows,
+        on_bad_row: match options.on_bad_row {
+            OnBadRow::Abort => BadRowPolicy::Abort,
+            OnBadRow::Skip => BadRowPolicy::Skip,
+            // args::parse guarantees the path is present for this policy.
+            OnBadRow::Quarantine => BadRowPolicy::Quarantine(
+                options
+                    .quarantine
+                    .as_deref()
+                    .unwrap_or("quarantine.jsonl")
+                    .into(),
+            ),
+        },
+        memory_budget: options.memory_budget,
+    }
+}
+
 fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
-    let data = load(path)?;
     let cfg = build_config(options);
     let observing = options.trace || options.metrics.is_some();
     if observing {
@@ -377,14 +399,32 @@ fn discover(path: &str, options: &DiscoverOptions) -> Result<(), String> {
         fdx_obs::Registry::global().reset();
         let _ = fdx_obs::take_trace();
     }
-    let run = Fdx::new(cfg).discover(&data);
+    // Every discover goes through the chunked out-of-core reader; with the
+    // default flags it reconstructs the identical dataset a resident read
+    // would (asserted in fdx_data), so this is a pure superset.
+    let run = fdx_data::ingest_csv_file(path, &build_ingest_config(options))
+        .map_err(|e| e.to_string())
+        .map(
+            |Ingested {
+                 dataset, health, ..
+             }| (dataset, health),
+        )
+        .and_then(|(data, ingest_health)| {
+            Fdx::new(cfg)
+                .discover(&data)
+                .map_err(|e| e.to_string())
+                .map(|mut result| {
+                    result.health.ingest = Some(ingest_health);
+                    (result, data)
+                })
+        });
     let trace = if observing {
         fdx_obs::set_enabled(false);
         fdx_obs::take_trace()
     } else {
         Vec::new()
     };
-    let result = run.map_err(|e| e.to_string())?;
+    let (result, data) = run?;
     if options.heatmap {
         println!(
             "{}",
@@ -759,6 +799,84 @@ mod tests {
             journal: 1,
         })
         .is_err());
+    }
+
+    #[test]
+    fn discover_quarantines_bad_rows() {
+        let dir = std::env::temp_dir().join("fdx_cli_quarantine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.csv");
+        let mut csv = String::from("zip,city\n");
+        for i in 0..60 {
+            let zip = i % 12;
+            csv.push_str(&format!("z{zip},c{}\n", zip / 3));
+            if i == 30 {
+                csv.push_str("ragged,row,extra,fields\n");
+            }
+        }
+        std::fs::write(&path, csv).unwrap();
+        let p = path.to_str().unwrap();
+
+        // The default abort policy fails with a typed, line-numbered error.
+        let err = discover(p, &DiscoverOptions::default()).unwrap_err();
+        assert!(err.contains("line"), "{err}");
+
+        // Quarantine: the run succeeds and the bad row lands in the file.
+        let qpath = dir.join("bad.jsonl");
+        let _ = std::fs::remove_file(&qpath);
+        let opts = DiscoverOptions {
+            on_bad_row: OnBadRow::Quarantine,
+            quarantine: Some(qpath.to_str().unwrap().to_string()),
+            ..Default::default()
+        };
+        discover(p, &opts).unwrap();
+        let q = std::fs::read_to_string(&qpath).unwrap();
+        assert!(q.contains(r#""kind":"quarantine""#), "{q}");
+        assert!(q.contains("ragged"), "{q}");
+
+        // The same run under --strict fails: quarantined rows degrade it.
+        let strict = DiscoverOptions {
+            strict: true,
+            ..opts
+        };
+        let err = discover(p, &strict).unwrap_err();
+        assert!(err.contains("strict"), "{err}");
+    }
+
+    #[test]
+    fn discover_respects_memory_budget() {
+        let dir = std::env::temp_dir().join("fdx_cli_budget_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.csv");
+        let mut csv = String::from("zip,city\n");
+        for i in 0..400 {
+            let zip = i % 12;
+            csv.push_str(&format!("z{zip},c{}\n", zip / 3));
+        }
+        std::fs::write(&path, csv).unwrap();
+        let p = path.to_str().unwrap();
+
+        // A tight budget degrades to sampled rows but still completes.
+        let opts = DiscoverOptions {
+            chunk_rows: Some(32),
+            memory_budget: Some(4000),
+            ..Default::default()
+        };
+        discover(p, &opts).unwrap();
+        // Under --strict the sampled rung is a failure.
+        let strict = DiscoverOptions {
+            strict: true,
+            ..opts
+        };
+        assert!(discover(p, &strict).is_err());
+        // An impossible budget is a typed error, not a hang or a panic.
+        let impossible = DiscoverOptions {
+            chunk_rows: Some(32),
+            memory_budget: Some(16),
+            ..Default::default()
+        };
+        let err = discover(p, &impossible).unwrap_err();
+        assert!(err.contains("memory budget"), "{err}");
     }
 
     #[test]

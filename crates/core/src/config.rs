@@ -116,6 +116,14 @@ pub struct FdxConfig {
     /// through `FDX_THREADS` → hardware parallelism. Determinism contract:
     /// every thread count produces bit-identical results (`fdx-par`).
     pub threads: Option<usize>,
+    /// Byte budget for the ingest working set when discovery loads a
+    /// dataset from a path (`fdx_data::ingest`). Exceeding it engages the
+    /// deterministic sampled-rows degradation rung (recorded in
+    /// `RunHealth::ingest`; `--strict` fails such runs); when even
+    /// sampling cannot fit, the run stops with a typed
+    /// [`crate::FdxError::MemoryBudget`]. `None` (the default) disables
+    /// the check.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for FdxConfig {
@@ -134,6 +142,7 @@ impl Default for FdxConfig {
             min_lift: 0.35,
             time_budget: None,
             threads: None,
+            memory_budget: None,
         }
     }
 }
@@ -171,6 +180,13 @@ impl FdxConfig {
     /// Convenience: set the per-run wall-clock budget in seconds.
     pub fn with_time_budget(mut self, secs: f64) -> FdxConfig {
         self.time_budget = Some(secs);
+        self
+    }
+
+    /// Convenience: set the ingest memory budget in bytes (`0` is treated
+    /// as "no budget").
+    pub fn with_memory_budget(mut self, bytes: u64) -> FdxConfig {
+        self.memory_budget = if bytes > 0 { Some(bytes) } else { None };
         self
     }
 
@@ -232,6 +248,15 @@ mod tests {
             None,
             "budget is opt-in: a default run must never be killed by a clock"
         );
+    }
+
+    #[test]
+    fn memory_budget_builder() {
+        let cfg = FdxConfig::default().with_memory_budget(1 << 20);
+        assert_eq!(cfg.memory_budget, Some(1 << 20));
+        let cfg = FdxConfig::default().with_memory_budget(0);
+        assert_eq!(cfg.memory_budget, None, "0 disables the budget");
+        assert_eq!(FdxConfig::default().memory_budget, None);
     }
 
     #[test]

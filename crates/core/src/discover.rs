@@ -37,6 +37,20 @@ pub enum FdxError {
         /// The configured budget in seconds.
         budget_secs: f64,
     },
+    /// The ingest working set exceeded [`FdxConfig::memory_budget`] and the
+    /// sampled-rows degradation rung bottomed out (`fdx_data::ingest`).
+    MemoryBudget {
+        /// The ingest stage that was charging when the budget bottomed out.
+        stage: &'static str,
+        /// Bytes charged at that point.
+        bytes: u64,
+    },
+    /// Loading the dataset from a path failed before any statistics were
+    /// computed (I/O, encoding, header, or an aborting bad row).
+    Ingest {
+        /// Rendered `fdx_data::IngestError`.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FdxError {
@@ -58,6 +72,11 @@ impl fmt::Display for FdxError {
                 f,
                 "time budget exhausted before {phase}: {elapsed_secs:.3}s elapsed of {budget_secs:.3}s allowed"
             ),
+            FdxError::MemoryBudget { stage, bytes } => write!(
+                f,
+                "memory budget exceeded in ingest stage '{stage}' ({bytes} bytes charged)"
+            ),
+            FdxError::Ingest { detail } => write!(f, "ingest failed: {detail}"),
         }
     }
 }
@@ -67,6 +86,19 @@ impl std::error::Error for FdxError {}
 impl From<LinalgError> for FdxError {
     fn from(e: LinalgError) -> Self {
         FdxError::Numerical(e)
+    }
+}
+
+impl From<fdx_data::IngestError> for FdxError {
+    fn from(e: fdx_data::IngestError) -> Self {
+        match e {
+            fdx_data::IngestError::MemoryBudget { stage, bytes } => {
+                FdxError::MemoryBudget { stage, bytes }
+            }
+            other => FdxError::Ingest {
+                detail: other.to_string(),
+            },
+        }
     }
 }
 

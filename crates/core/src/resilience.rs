@@ -122,6 +122,10 @@ pub struct RunHealth {
     pub guard_trips: Vec<String>,
     /// Human-readable log of every recovery, in firing order.
     pub recoveries: Vec<String>,
+    /// Ingest health when the dataset was loaded through the chunked
+    /// out-of-core reader (`fdx_data::ingest`); `None` for resident
+    /// datasets handed to [`crate::Fdx::discover`] directly.
+    pub ingest: Option<fdx_data::IngestHealth>,
 }
 
 impl Default for RunHealth {
@@ -135,6 +139,7 @@ impl Default for RunHealth {
             glasso_largest_component: 0,
             guard_trips: Vec::new(),
             recoveries: Vec::new(),
+            ingest: None,
         }
     }
 }
@@ -148,6 +153,7 @@ impl RunHealth {
             || self.ridge_escalations > 0
             || self.udut_ridge_retries > 0
             || !self.guard_trips.is_empty()
+            || self.ingest.as_ref().is_some_and(|i| i.degraded())
     }
 
     /// Stable outcome code for request journals and service replies:
@@ -197,7 +203,7 @@ impl RunHealth {
 
     /// One deterministic JSON object (the `--metrics` JSONL shape).
     pub fn to_json(&self) -> String {
-        fdx_obs::json::Obj::new()
+        let mut obj = fdx_obs::json::Obj::new()
             .str_("kind", "health")
             .u64_("rung", self.rung.index() as u64)
             .str_("rung_label", self.rung.label())
@@ -224,9 +230,11 @@ impl RunHealth {
                         .iter()
                         .map(|r| format!("\"{}\"", fdx_obs::json::escape(r))),
                 ),
-            )
-            .bool_("degraded", self.degraded())
-            .finish()
+            );
+        if let Some(ingest) = &self.ingest {
+            obj = obj.raw("ingest", &ingest.to_json());
+        }
+        obj.bool_("degraded", self.degraded()).finish()
     }
 
     /// Multi-line human-readable rendering (the `fdx discover` footer).
@@ -243,6 +251,11 @@ impl RunHealth {
             self.ridge_escalations,
             self.udut_ridge_retries,
         );
+        if let Some(ingest) = &self.ingest {
+            out.push_str("  ");
+            out.push_str(&ingest.render());
+            out.push('\n');
+        }
         for r in &self.recoveries {
             out.push_str("  - ");
             out.push_str(r);
@@ -512,6 +525,24 @@ mod tests {
             assert!(h.to_json().contains(r#""degraded":true"#));
             assert!(h.render().starts_with("health: DEGRADED"));
         }
+    }
+
+    #[test]
+    fn ingest_degradation_marks_run_degraded() {
+        let mut clean = RunHealth::default();
+        clean.ingest = Some(fdx_data::IngestHealth::default());
+        assert!(!clean.degraded(), "clean ingest keeps the run pristine");
+        assert!(clean.to_json().contains(r#""ingest":{"kind":"ingest""#));
+
+        let mut h = RunHealth::default();
+        h.ingest = Some(fdx_data::IngestHealth {
+            rows_quarantined: 3,
+            policy: "skip".to_string(),
+            ..fdx_data::IngestHealth::default()
+        });
+        assert!(h.degraded(), "quarantined rows degrade the run");
+        assert!(h.to_json().contains(r#""rows_quarantined":3"#));
+        assert!(h.render().contains("quarantined"), "{}", h.render());
     }
 
     #[test]

@@ -417,6 +417,39 @@ mod tests {
     }
 
     #[test]
+    fn single_chunk_stream_stats_are_bit_identical_to_resident() {
+        // The streaming accumulator (fdx_stats::StreamStats) fed the whole
+        // dataset as one chunk must replicate the resident transform
+        // operation for operation: same shuffle stream, same stable sort,
+        // same popcount math — every counter and every covariance bit.
+        let ds = ds();
+        let cfg = TransformConfig::default();
+        let resident = pair_transform(&ds, &cfg);
+        let cols: Vec<&[u32]> = (0..ds.ncols()).map(|a| ds.column(a).codes()).collect();
+        let mut stream = fdx_stats::StreamStats::new(ds.ncols(), cfg.seed, false);
+        stream.accumulate_chunk(&cols, 0);
+
+        assert_eq!(stream.co_counts(), resident.co_counts.as_slice());
+        assert_eq!(stream.ones(), resident.ones.as_slice());
+        assert_eq!(stream.block_ones(), resident.block_ones.as_slice());
+        let sizes: Vec<u64> = resident.block_sizes.iter().map(|&s| s as u64).collect();
+        assert_eq!(stream.block_sizes(), sizes.as_slice());
+        assert_eq!(stream.num_samples() as usize, resident.num_samples());
+
+        let a = stream.covariance();
+        let b = resident.covariance();
+        for i in 0..ds.ncols() {
+            for j in 0..ds.ncols() {
+                assert_eq!(
+                    a[(i, j)].to_bits(),
+                    b[(i, j)].to_bits(),
+                    "covariance ({i},{j}) must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fd_shows_as_positive_covariance() {
         let stats = pair_transform(&ds(), &TransformConfig::default());
         let s = stats.covariance();

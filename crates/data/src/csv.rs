@@ -2,6 +2,15 @@ use std::fmt;
 
 use crate::{Dataset, Schema, Value};
 
+/// Hard cap on the byte length of a single quoted field. An unterminated
+/// quote turns the rest of the file into "one field"; without a cap a
+/// malformed multi-GB export makes the parser buffer the whole remainder
+/// before it can report the error. 1 MiB is far beyond any legitimate cell.
+pub const MAX_QUOTED_FIELD_BYTES: usize = 1 << 20;
+
+/// Bytes of raw record text retained for quarantine reporting per bad row.
+const RAW_CAP: usize = 256;
+
 /// Errors from the CSV loader.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CsvError {
@@ -32,6 +41,24 @@ pub enum CsvError {
         /// 1-based line number of the trailing data.
         line: usize,
     },
+    /// An embedded NUL byte — never legitimate in textual CSV, and a
+    /// classic symptom of binary data or a torn write.
+    NulByte {
+        /// 1-based line number of the NUL.
+        line: usize,
+        /// Absolute byte offset of the NUL in the input.
+        byte_offset: u64,
+    },
+    /// A quoted field grew past [`MAX_QUOTED_FIELD_BYTES`] — almost always
+    /// an unterminated quote swallowing the rest of the file.
+    QuoteTooLong {
+        /// 1-based line number where the quote opened.
+        line: usize,
+        /// Absolute byte offset of the opening quote.
+        byte_offset: u64,
+        /// The cap that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -52,17 +79,321 @@ impl fmt::Display for CsvError {
             CsvError::TrailingAfterQuote { line } => {
                 write!(f, "data after the closing quote of a field on line {line}")
             }
+            CsvError::NulByte { line, byte_offset } => {
+                write!(
+                    f,
+                    "embedded NUL byte on line {line} (byte offset {byte_offset})"
+                )
+            }
+            CsvError::QuoteTooLong {
+                line,
+                byte_offset,
+                limit,
+            } => write!(
+                f,
+                "quoted field opened on line {line} (byte offset {byte_offset}) \
+                 exceeds {limit} bytes — likely an unterminated quote"
+            ),
         }
     }
 }
 
 impl std::error::Error for CsvError {}
 
+/// One event from the incremental CSV machine: either a complete record or
+/// a malformed row (after which the machine resynchronizes to the next
+/// physical line on its own).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvEvent {
+    /// A complete record.
+    Record {
+        /// 1-based physical line the record starts on.
+        line: usize,
+        /// Absolute byte offset the record starts at.
+        byte_offset: u64,
+        /// The record's fields.
+        fields: Vec<String>,
+    },
+    /// A malformed row. The machine has already discarded the partial
+    /// record and will skip to the next physical line before resuming.
+    BadRow {
+        /// 1-based physical line of the offending row.
+        line: usize,
+        /// Absolute byte offset of the offending character (for
+        /// [`CsvError::UnterminatedQuote`]/[`CsvError::QuoteTooLong`], of
+        /// the opening quote).
+        byte_offset: u64,
+        /// What was wrong.
+        error: CsvError,
+        /// Up to 256 bytes of the raw record text, for quarantine files.
+        raw: String,
+    },
+}
+
+/// Incremental RFC-4180 tokenizer: feed it text in arbitrary chunks (split
+/// anywhere on a char boundary) via [`CsvMachine::push`], then call
+/// [`CsvMachine::finish`]. Both the whole-string [`parse_csv_records`] and
+/// the chunked out-of-core reader in [`crate::ingest`] drive this one
+/// machine, so their parsing semantics cannot drift apart.
+///
+/// Supports RFC-4180-style quoting (fields wrapped in double quotes may
+/// contain commas, newlines, and doubled quotes), strips a leading UTF-8
+/// BOM, accepts CRLF line endings, rejects embedded NUL bytes, and caps
+/// quoted-field growth at a configurable limit
+/// (default [`MAX_QUOTED_FIELD_BYTES`]).
+///
+/// Unlike the historical whole-string parser, the machine does not stop at
+/// the first malformed row: it emits a [`CsvEvent::BadRow`] and resumes at
+/// the next physical line, which is what row-level quarantine needs.
+/// Abort-on-first-error callers simply stop consuming events.
+#[derive(Debug)]
+pub struct CsvMachine {
+    record: Vec<String>,
+    field: String,
+    raw: String,
+    in_quotes: bool,
+    /// Saw a `"` inside a quoted section; the next char decides whether it
+    /// was an escaped quote (`""`) or the closing quote. Carrying this as
+    /// state (instead of peeking) lets chunk boundaries fall between the
+    /// two quotes.
+    pending_quote: bool,
+    field_was_quoted: bool,
+    /// Resynchronizing after a bad row: discard input until the next `\n`.
+    skipping: bool,
+    line: usize,
+    record_line: usize,
+    record_offset: u64,
+    quote_line: usize,
+    quote_offset: u64,
+    /// Absolute byte offset of the next char to be consumed.
+    offset: u64,
+    at_start: bool,
+    any: bool,
+    max_quoted: usize,
+}
+
+impl Default for CsvMachine {
+    fn default() -> Self {
+        CsvMachine::new()
+    }
+}
+
+impl CsvMachine {
+    /// A machine with the default quoted-field cap.
+    pub fn new() -> CsvMachine {
+        CsvMachine::with_max_quoted(MAX_QUOTED_FIELD_BYTES)
+    }
+
+    /// A machine with a custom quoted-field byte cap (tests use tiny caps).
+    pub fn with_max_quoted(max_quoted: usize) -> CsvMachine {
+        CsvMachine {
+            record: Vec::new(),
+            field: String::new(),
+            raw: String::new(),
+            in_quotes: false,
+            pending_quote: false,
+            field_was_quoted: false,
+            skipping: false,
+            line: 1,
+            record_line: 1,
+            record_offset: 0,
+            quote_line: 1,
+            quote_offset: 0,
+            offset: 0,
+            at_start: true,
+            any: false,
+            max_quoted,
+        }
+    }
+
+    fn emit_bad(&mut self, byte_offset: u64, error: CsvError, sink: &mut impl FnMut(CsvEvent)) {
+        sink(CsvEvent::BadRow {
+            line: self.record_line,
+            byte_offset,
+            error,
+            raw: std::mem::take(&mut self.raw),
+        });
+        self.record.clear();
+        self.field.clear();
+        self.in_quotes = false;
+        self.pending_quote = false;
+        self.field_was_quoted = false;
+        self.skipping = true;
+    }
+
+    fn end_record(&mut self, sink: &mut impl FnMut(CsvEvent)) {
+        self.record.push(std::mem::take(&mut self.field));
+        sink(CsvEvent::Record {
+            line: self.record_line,
+            byte_offset: self.record_offset,
+            fields: std::mem::take(&mut self.record),
+        });
+        self.raw.clear();
+        self.field_was_quoted = false;
+    }
+
+    /// Feeds a chunk of text. Chunks may split anywhere (even between the
+    /// two quotes of an escaped `""`); only UTF-8 char boundaries matter,
+    /// and the caller owns byte-level carry (see `ingest`).
+    pub fn push(&mut self, text: &str, sink: &mut impl FnMut(CsvEvent)) {
+        for c in text.chars() {
+            let len = c.len_utf8() as u64;
+            if self.at_start {
+                self.at_start = false;
+                if c == '\u{feff}' {
+                    // Real-world exports (Excel, BI tools) prepend a BOM;
+                    // without stripping it the first header name silently
+                    // becomes "\u{feff}name". It still counts toward byte
+                    // offsets so they match the file on disk.
+                    self.offset += len;
+                    self.record_offset = self.offset;
+                    continue;
+                }
+            }
+            self.any = true;
+
+            if self.skipping {
+                if c == '\n' {
+                    self.line += 1;
+                    self.record_line = self.line;
+                    self.record_offset = self.offset + len;
+                    self.skipping = false;
+                }
+                self.offset += len;
+                continue;
+            }
+
+            if self.raw.len() < RAW_CAP {
+                self.raw.push(c);
+            }
+
+            if c == '\0' {
+                let at = self.offset;
+                self.emit_bad(
+                    at,
+                    CsvError::NulByte {
+                        line: self.line,
+                        byte_offset: at,
+                    },
+                    sink,
+                );
+                self.offset += len;
+                continue;
+            }
+
+            if self.pending_quote {
+                self.pending_quote = false;
+                if c == '"' {
+                    self.field.push('"');
+                    self.offset += len;
+                    self.check_quote_cap(sink);
+                    continue;
+                }
+                // The pending quote closed the section; reprocess `c` in
+                // the unquoted state below.
+                self.in_quotes = false;
+            }
+
+            if self.in_quotes {
+                match c {
+                    '"' => self.pending_quote = true,
+                    '\n' => {
+                        self.line += 1;
+                        self.field.push('\n');
+                    }
+                    _ => self.field.push(c),
+                }
+                self.offset += len;
+                self.check_quote_cap(sink);
+                continue;
+            }
+
+            match c {
+                '"' => {
+                    if self.field_was_quoted || !self.field.is_empty() {
+                        let line = self.line;
+                        let at = self.offset;
+                        self.emit_bad(at, CsvError::UnexpectedQuote { line }, sink);
+                    } else {
+                        self.in_quotes = true;
+                        self.field_was_quoted = true;
+                        self.quote_line = self.line;
+                        self.quote_offset = self.offset;
+                    }
+                }
+                ',' => {
+                    self.record.push(std::mem::take(&mut self.field));
+                    self.field_was_quoted = false;
+                }
+                '\r' => { /* swallow; \r\n handled by the \n branch */ }
+                '\n' => {
+                    self.end_record(sink);
+                    self.line += 1;
+                    self.record_line = self.line;
+                    self.record_offset = self.offset + len;
+                }
+                _ => {
+                    if self.field_was_quoted {
+                        let line = self.line;
+                        let at = self.offset;
+                        self.emit_bad(at, CsvError::TrailingAfterQuote { line }, sink);
+                    } else {
+                        self.field.push(c);
+                    }
+                }
+            }
+            self.offset += len;
+        }
+    }
+
+    fn check_quote_cap(&mut self, sink: &mut impl FnMut(CsvEvent)) {
+        if self.in_quotes && self.field.len() > self.max_quoted {
+            let err = CsvError::QuoteTooLong {
+                line: self.quote_line,
+                byte_offset: self.quote_offset,
+                limit: self.max_quoted,
+            };
+            let at = self.quote_offset;
+            self.emit_bad(at, err, sink);
+        }
+    }
+
+    /// Flushes the trailing record (inputs without a final newline) and
+    /// reports an unterminated quote. Returns `true` iff any non-BOM char
+    /// was ever consumed — `false` means the input was empty (no header).
+    pub fn finish(&mut self, sink: &mut impl FnMut(CsvEvent)) -> bool {
+        if self.pending_quote {
+            // A `"` at EOF closes its quoted section.
+            self.pending_quote = false;
+            self.in_quotes = false;
+        }
+        if self.skipping {
+            // The bad row was already reported; the remainder is discarded.
+        } else if self.in_quotes {
+            let err = CsvError::UnterminatedQuote {
+                line: self.quote_line,
+            };
+            let at = self.quote_offset;
+            self.emit_bad(at, err, sink);
+        } else if !self.field.is_empty() || !self.record.is_empty() || self.field_was_quoted {
+            self.end_record(sink);
+        }
+        self.any
+    }
+
+    /// Total bytes consumed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.offset
+    }
+}
+
 /// Parses CSV text into records of string fields.
 ///
 /// Supports RFC-4180-style quoting: fields may be wrapped in double quotes,
 /// quoted fields may contain commas, newlines, and doubled quotes (`""`).
 /// A leading UTF-8 BOM is stripped and CRLF line endings are accepted.
+/// Embedded NUL bytes and quoted fields over [`MAX_QUOTED_FIELD_BYTES`]
+/// are rejected with typed errors carrying the byte offset.
 pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     Ok(parse_csv_records(input)?
         .into_iter()
@@ -73,79 +404,24 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
 /// Like [`parse_csv`], but tags each record with the 1-based *physical*
 /// line number it starts on. Quoted fields may span lines, so the record
 /// index alone misattributes errors on real-world exports; error reporting
-/// goes through this.
+/// goes through this. Fails on the first malformed row (row-level
+/// skip/quarantine policies live in [`crate::ingest`]).
 pub fn parse_csv_records(input: &str) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
-    // Real-world exports (Excel, BI tools) prepend a UTF-8 BOM; without
-    // stripping it the first header name silently becomes "\u{feff}name".
-    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
     let mut records: Vec<(usize, Vec<String>)> = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = input.chars().peekable();
-    let mut in_quotes = false;
-    // Whether the field being accumulated came from a (now closed) quoted
-    // section — any further data before the next separator is malformed.
-    let mut field_was_quoted = false;
-    let mut line = 1usize;
-    let mut record_line = 1usize;
-    let mut quote_line = 1usize;
-    let mut any = false;
-
-    while let Some(c) = chars.next() {
-        any = true;
-        if in_quotes {
-            match c {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    field.push('\n');
-                }
-                _ => field.push(c),
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                if field_was_quoted || !field.is_empty() {
-                    return Err(CsvError::UnexpectedQuote { line });
-                }
-                in_quotes = true;
-                field_was_quoted = true;
-                quote_line = line;
-            }
-            ',' => {
-                record.push(std::mem::take(&mut field));
-                field_was_quoted = false;
-            }
-            '\r' => { /* swallow; \r\n handled by the \n branch */ }
-            '\n' => {
-                record.push(std::mem::take(&mut field));
-                records.push((record_line, std::mem::take(&mut record)));
-                field_was_quoted = false;
-                line += 1;
-                record_line = line;
-            }
-            _ => {
-                if field_was_quoted {
-                    return Err(CsvError::TrailingAfterQuote { line });
-                }
-                field.push(c);
+    let mut first_err: Option<CsvError> = None;
+    let mut sink = |ev: CsvEvent| match ev {
+        CsvEvent::Record { line, fields, .. } => records.push((line, fields)),
+        CsvEvent::BadRow { error, .. } => {
+            if first_err.is_none() {
+                first_err = Some(error);
             }
         }
-    }
-    if in_quotes {
-        return Err(CsvError::UnterminatedQuote { line: quote_line });
-    }
-    if !field.is_empty() || !record.is_empty() || field_was_quoted {
-        record.push(field);
-        records.push((record_line, record));
+    };
+    let mut machine = CsvMachine::new();
+    machine.push(input, &mut sink);
+    let any = machine.finish(&mut sink);
+    if let Some(e) = first_err {
+        return Err(e);
     }
     if !any {
         return Err(CsvError::MissingHeader);
@@ -365,5 +641,104 @@ mod tests {
     fn empty_input_is_missing_header() {
         assert_eq!(parse_csv(""), Err(CsvError::MissingHeader));
         assert!(read_csv_str("").is_err());
+    }
+
+    #[test]
+    fn nul_byte_is_rejected_with_offset() {
+        let err = parse_csv("a,b\n1,\u{0}2\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::NulByte {
+                line: 2,
+                byte_offset: 6
+            }
+        );
+        // Inside quotes a NUL is equally malformed.
+        let err = parse_csv("a\n\"x\u{0}y\"\n").unwrap_err();
+        assert!(matches!(err, CsvError::NulByte { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn quoted_field_growth_is_capped() {
+        let mut bad = String::from("a,b\n\"");
+        bad.push_str(&"x".repeat(MAX_QUOTED_FIELD_BYTES + 8));
+        // No closing quote: historically this buffered the whole tail.
+        let err = parse_csv(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::QuoteTooLong {
+                line: 2,
+                byte_offset: 4,
+                limit: MAX_QUOTED_FIELD_BYTES
+            }
+        );
+    }
+
+    #[test]
+    fn machine_is_chunk_split_invariant() {
+        // Every split point of a tricky document must yield the same events
+        // as the whole-string parse — including a split between the two
+        // quotes of an escaped "".
+        let doc = "\u{feff}a,b\r\n\"x\"\"y\",2\n\"m\nn\",4\nbad\"q,5\n6,7\n";
+        let collect = |chunks: &[&str]| {
+            let mut events = Vec::new();
+            let mut machine = CsvMachine::new();
+            let mut sink = |ev: CsvEvent| events.push(ev);
+            for c in chunks {
+                machine.push(c, &mut sink);
+            }
+            machine.finish(&mut sink);
+            events
+        };
+        let whole = collect(&[doc]);
+        // The quoted field on line 3 spans two physical lines, so the bad
+        // row lands on line 5.
+        assert!(whole
+            .iter()
+            .any(|e| matches!(e, CsvEvent::BadRow { line: 5, .. })));
+        for split in 1..doc.len() {
+            if !doc.is_char_boundary(split) {
+                continue;
+            }
+            let (a, b) = doc.split_at(split);
+            assert_eq!(collect(&[a, b]), whole, "split at byte {split}");
+        }
+    }
+
+    #[test]
+    fn machine_resumes_after_bad_rows() {
+        // Three malformed rows, three clean ones; the machine must emit all
+        // six events and keep line numbers straight.
+        let doc = "h1,h2\nok,1\nbad\"q,2\n\"trail\"x,3\nok,4\nnul\u{0},5\nok,6\n";
+        let mut records = Vec::new();
+        let mut bad = Vec::new();
+        let mut machine = CsvMachine::new();
+        let mut sink = |ev: CsvEvent| match ev {
+            CsvEvent::Record { line, fields, .. } => records.push((line, fields)),
+            CsvEvent::BadRow { line, error, .. } => bad.push((line, error)),
+        };
+        machine.push(doc, &mut sink);
+        machine.finish(&mut sink);
+        let lines: Vec<usize> = records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 5, 7]);
+        assert_eq!(bad.len(), 3, "{bad:?}");
+        assert!(matches!(bad[0], (3, CsvError::UnexpectedQuote { .. })));
+        assert!(matches!(bad[1], (4, CsvError::TrailingAfterQuote { .. })));
+        assert!(matches!(bad[2], (6, CsvError::NulByte { .. })));
+    }
+
+    #[test]
+    fn machine_reports_record_byte_offsets() {
+        let mut offsets = Vec::new();
+        let mut machine = CsvMachine::new();
+        let mut sink = |ev: CsvEvent| {
+            if let CsvEvent::Record { byte_offset, .. } = ev {
+                offsets.push(byte_offset);
+            }
+        };
+        machine.push("ab,c\n12,3\n45,6\n", &mut sink);
+        machine.finish(&mut sink);
+        assert_eq!(offsets, vec![0, 5, 10]);
+        assert_eq!(machine.bytes_consumed(), 15);
     }
 }

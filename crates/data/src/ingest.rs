@@ -1,0 +1,1221 @@
+//! Resilient out-of-core CSV ingestion: chunked reading, row quarantine,
+//! and byte-accounted memory budgets.
+//!
+//! The FDX estimator needs only sufficient statistics of the pair
+//! transform, so discovery does not require the whole file in RAM. This
+//! module reads a CSV in fixed-size byte buffers, drives the incremental
+//! [`CsvMachine`](crate::csv::CsvMachine), groups records into fixed-row
+//! **chunks**, interns each chunk into a per-chunk **dictionary page**, and
+//! merges pages into the global dictionary-encoded columns. On clean data
+//! the merged result is *bit-identical* to [`crate::read_csv_str`]: local
+//! codes are translated through the global dictionary in row order, so
+//! first-appearance interning order — the property the resident path
+//! defines — is preserved exactly.
+//!
+//! The robustness envelope mirrors the `fdx_core` recovery ladder
+//! (DESIGN.md §14):
+//!
+//! * **Quarantine** — malformed rows are recorded (physical line, byte
+//!   offset, reason, raw prefix) and handled per [`BadRowPolicy`]:
+//!   `Abort` (the historical behavior), `Skip`, or `Quarantine(path)`
+//!   which additionally appends one JSONL record per bad row to a
+//!   quarantine file. Totals surface in [`IngestHealth`].
+//! * **Memory budget** — a byte-accounting [`MemoryMeter`] shim charges
+//!   every interned value, every code, and the transient chunk working
+//!   set. When a budget is exceeded the ingest degrades to a deterministic
+//!   **sampled-rows rung** (keep every 2ᵏ-th row — the sampled-pairs
+//!   estimator of Guo & Rekatsinas's pairwise view) instead of failing;
+//!   only when even sampling cannot fit does it return
+//!   [`IngestError::MemoryBudget`].
+//! * **Fault injection** — [`FAULT_SHORT_READ`], [`FAULT_CORRUPT_CHUNK`],
+//!   [`FAULT_DISK_STALL`], and [`FAULT_OOM_AT_CHUNK`] are
+//!   `fdx_obs::faults` points checked at the exact sites the real failures
+//!   would surface; the ingest fault-matrix test pins every
+//!   (fault × policy) outcome.
+//!
+//! Ingestion records `fdx.ingest.*` metrics (chunks, rows, quarantined,
+//! merge time, peak bytes) and runs under an `fdx.ingest` span so traces
+//! and metric exports show the ingest phase alongside the pipeline phases.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use fdx_obs::{counter_add, gauge_set, json, observe, Span};
+
+use crate::csv::{CsvEvent, CsvMachine};
+use crate::{Column, Dataset, Schema, Value, NULL_CODE};
+
+/// Fault point: a read returns fewer bytes than expected and the stream
+/// ends early (torn download, truncated copy).
+pub const FAULT_SHORT_READ: &str = "ingest.short_read";
+/// Fault point: a chunk fails its integrity check; every row in it is
+/// malformed at once (bad disk sector, torn page).
+pub const FAULT_CORRUPT_CHUNK: &str = "ingest.corrupt_chunk";
+/// Fault point: a read stalls and is retried (flaky NFS, throttled disk).
+pub const FAULT_DISK_STALL: &str = "ingest.disk_stall";
+/// Fault point: the memory budget is reported exhausted at a chunk merge
+/// regardless of actual accounting.
+pub const FAULT_OOM_AT_CHUNK: &str = "ingest.oom_at_chunk";
+
+/// Default rows per chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+/// Bytes per read(2) into the carry buffer.
+const READ_BUF_BYTES: usize = 64 * 1024;
+/// In-memory cap on retained [`QuarantinedRow`] samples (the quarantine
+/// *file* gets every row; the in-memory list is a bounded sample).
+const QUARANTINE_KEEP: usize = 64;
+/// Approximate per-allocation bookkeeping overhead charged per string.
+const ALLOC_OVERHEAD: u64 = 24;
+
+/// What to do with a malformed row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BadRowPolicy {
+    /// Fail the ingest on the first malformed row (historical behavior).
+    #[default]
+    Abort,
+    /// Count and drop malformed rows.
+    Skip,
+    /// Count, drop, and append each malformed row as a JSONL record to the
+    /// given quarantine file.
+    Quarantine(PathBuf),
+}
+
+impl BadRowPolicy {
+    /// Stable label used in health reports and the CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BadRowPolicy::Abort => "abort",
+            BadRowPolicy::Skip => "skip",
+            BadRowPolicy::Quarantine(_) => "quarantine",
+        }
+    }
+}
+
+/// Knobs for a chunked ingest run.
+#[derive(Debug, Clone, Default)]
+pub struct IngestConfig {
+    /// Rows per chunk; `None` means [`DEFAULT_CHUNK_ROWS`].
+    pub chunk_rows: Option<usize>,
+    /// Malformed-row policy.
+    pub on_bad_row: BadRowPolicy,
+    /// Optional byte budget for the ingest working set; exceeding it
+    /// engages the sampled-rows degradation rung.
+    pub memory_budget: Option<u64>,
+}
+
+/// One malformed row, as recorded for quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based physical line the row starts on.
+    pub line: usize,
+    /// Absolute byte offset of the offending character.
+    pub byte_offset: u64,
+    /// Human-readable reason (the typed CSV error, rendered).
+    pub reason: String,
+    /// Up to 256 bytes of the raw record text.
+    pub raw: String,
+}
+
+impl QuarantinedRow {
+    /// The JSONL record written to quarantine files.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str_("kind", "quarantine")
+            .u64_("line", self.line as u64)
+            .u64_("byte_offset", self.byte_offset)
+            .str_("reason", &self.reason)
+            .str_("raw", &self.raw)
+            .finish()
+    }
+}
+
+/// Byte-accounting allocator shim for the ingest path.
+///
+/// Not a real allocator: the ingest charges it for every retained
+/// allocation (codes, dictionary values, the transient chunk working set)
+/// and releases what it frees, so `current()` tracks the ingest working
+/// set and `peak()` its high-water mark. The budget check is explicit at
+/// the call sites that can react (chunk merges), which keeps degradation
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryMeter {
+    current: u64,
+    peak: u64,
+}
+
+impl MemoryMeter {
+    /// Charges `bytes` to the meter.
+    pub fn charge(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Releases `bytes` from the meter (saturating).
+    pub fn release(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Current charged bytes.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// Health of one ingest run — the `ingest` section of
+/// `fdx_core::RunHealth` and of `--metrics` output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestHealth {
+    /// Source label (file path, or a caller-supplied tag).
+    pub source: String,
+    /// Chunks merged.
+    pub chunks: u64,
+    /// Well-formed data rows parsed (before sampling).
+    pub rows_read: u64,
+    /// Rows retained after the sampling rung (== `rows_read` when clean).
+    pub rows_kept: u64,
+    /// Malformed rows skipped or quarantined.
+    pub rows_quarantined: u64,
+    /// Total input bytes consumed.
+    pub bytes_read: u64,
+    /// Peak bytes charged to the [`MemoryMeter`].
+    pub peak_bytes: u64,
+    /// The bad-row policy label ("abort" / "skip" / "quarantine").
+    pub policy: String,
+    /// Whether the sampled-rows degradation rung engaged.
+    pub sampled: bool,
+    /// Sampling stride: 1 = every row; 2ᵏ after k halvings.
+    pub keep_every: u64,
+    /// The configured budget, if any.
+    pub memory_budget: Option<u64>,
+    /// Quarantine file path, when the policy wrote one.
+    pub quarantine_path: Option<String>,
+    /// Recovery notes (fault retries, truncation, sampling escalations).
+    pub notes: Vec<String>,
+}
+
+impl IngestHealth {
+    /// Whether this ingest deviated from a clean, complete read.
+    pub fn degraded(&self) -> bool {
+        self.rows_quarantined > 0 || self.sampled || !self.notes.is_empty()
+    }
+
+    /// Deterministic JSON object (embedded in run-health JSON).
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .str_("kind", "ingest")
+            .str_("source", &self.source)
+            .u64_("chunks", self.chunks)
+            .u64_("rows_read", self.rows_read)
+            .u64_("rows_kept", self.rows_kept)
+            .u64_("rows_quarantined", self.rows_quarantined)
+            .u64_("bytes_read", self.bytes_read)
+            .u64_("peak_bytes", self.peak_bytes)
+            .str_("policy", &self.policy)
+            .bool_("sampled", self.sampled)
+            .u64_("keep_every", self.keep_every);
+        if let Some(b) = self.memory_budget {
+            obj = obj.u64_("memory_budget", b);
+        }
+        if let Some(p) = &self.quarantine_path {
+            obj = obj.str_("quarantine_path", p);
+        }
+        obj.raw(
+            "notes",
+            &json::array(
+                self.notes
+                    .iter()
+                    .map(|n| format!("\"{}\"", json::escape(n))),
+            ),
+        )
+        .bool_("degraded", self.degraded())
+        .finish()
+    }
+
+    /// One-line summary for `RunHealth::render`.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "ingest: {} chunk(s), {} row(s) kept of {}",
+            self.chunks, self.rows_kept, self.rows_read
+        );
+        if self.rows_quarantined > 0 {
+            s.push_str(&format!(
+                ", {} quarantined ({})",
+                self.rows_quarantined, self.policy
+            ));
+        }
+        if self.sampled {
+            s.push_str(&format!(", sampled 1/{}", self.keep_every));
+        }
+        s
+    }
+}
+
+/// Errors from chunked ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Filesystem-level failure.
+    Io {
+        /// Source path (or label).
+        path: String,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// The input is not valid UTF-8.
+    Encoding {
+        /// Source path (or label).
+        path: String,
+        /// Offset of the first invalid byte.
+        byte_offset: u64,
+    },
+    /// Structural failure before any data row (missing/malformed header).
+    Header {
+        /// Source path (or label).
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A malformed row under [`BadRowPolicy::Abort`].
+    BadRow {
+        /// Source path (or label).
+        path: String,
+        /// 1-based physical line.
+        line: usize,
+        /// Absolute byte offset of the offending character.
+        byte_offset: u64,
+        /// Rendered typed error.
+        reason: String,
+    },
+    /// The working set cannot fit the memory budget even after the
+    /// sampling rung bottomed out.
+    MemoryBudget {
+        /// Which ingest stage was charging when the budget bottomed out.
+        stage: &'static str,
+        /// Bytes charged at that point.
+        bytes: u64,
+    },
+    /// The quarantine file could not be written.
+    QuarantineIo {
+        /// Quarantine file path.
+        path: String,
+        /// OS error rendering.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            IngestError::Encoding { path, byte_offset } => {
+                write!(
+                    f,
+                    "{path}: not valid UTF-8 (first invalid byte at offset {byte_offset})"
+                )
+            }
+            IngestError::Header { path, detail } => write!(f, "{path}: {detail}"),
+            IngestError::BadRow {
+                path,
+                line,
+                byte_offset,
+                reason,
+            } => write!(
+                f,
+                "{path}: line {line} (byte offset {byte_offset}): {reason}"
+            ),
+            IngestError::MemoryBudget { stage, bytes } => write!(
+                f,
+                "memory budget exceeded in ingest stage '{stage}' ({bytes} bytes charged)"
+            ),
+            IngestError::QuarantineIo { path, detail } => {
+                write!(f, "quarantine file {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Everything an ingest run produces.
+#[derive(Debug, Clone)]
+pub struct Ingested {
+    /// The (possibly sampled) dataset.
+    pub dataset: Dataset,
+    /// Ingest health: totals, policy, degradation flags, notes.
+    pub health: IngestHealth,
+    /// Bounded in-memory sample of quarantined rows (first
+    /// [`QUARANTINE_KEEP`]); the quarantine file, when configured, holds
+    /// all of them.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+/// Approximate heap bytes of an interned value.
+fn value_bytes(v: &Value) -> u64 {
+    let text = match v {
+        Value::Text(s) => s.len() as u64 + ALLOC_OVERHEAD,
+        _ => 0,
+    };
+    std::mem::size_of::<Value>() as u64 + text
+}
+
+/// Approximate transient bytes of one pending (parsed, not yet merged) row.
+fn row_bytes(fields: &[String]) -> u64 {
+    fields
+        .iter()
+        .map(|s| s.len() as u64 + ALLOC_OVERHEAD)
+        .sum::<u64>()
+        + ALLOC_OVERHEAD
+}
+
+/// A parsed record waiting for its chunk to fill.
+struct PendingRow {
+    line: usize,
+    byte_offset: u64,
+    fields: Vec<String>,
+    bytes: u64,
+}
+
+/// One chunk's dictionary page: chunk-local interning of every cell, plus
+/// chunk-local codes. Pages are merged into the global columns by
+/// translating local codes through the global dictionary in row order,
+/// which preserves the resident path's first-appearance interning order.
+struct ChunkPage {
+    /// Per column: local dictionary in chunk-first-appearance order.
+    dicts: Vec<Vec<Value>>,
+    /// Per column: local codes, row-major within the column.
+    codes: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl ChunkPage {
+    fn build(rows: &[PendingRow], k: usize) -> ChunkPage {
+        let mut dicts: Vec<Vec<Value>> = vec![Vec::new(); k];
+        let mut maps: Vec<HashMap<Value, u32>> = vec![HashMap::new(); k];
+        let mut codes: Vec<Vec<u32>> = vec![Vec::with_capacity(rows.len()); k];
+        for row in rows {
+            for (a, cell) in row.fields.iter().enumerate() {
+                let v = Value::infer(cell);
+                if v.is_null() {
+                    codes[a].push(NULL_CODE);
+                    continue;
+                }
+                let next = dicts[a].len() as u32;
+                let code = *maps[a].entry(v.clone()).or_insert_with(|| {
+                    dicts[a].push(v);
+                    next
+                });
+                codes[a].push(code);
+            }
+        }
+        ChunkPage {
+            dicts,
+            codes,
+            rows: rows.len(),
+        }
+    }
+}
+
+/// Global column accumulator with the deterministic sampling rung.
+struct GlobalBuilder {
+    k: usize,
+    dicts: Vec<Vec<Value>>,
+    maps: Vec<HashMap<Value, u32>>,
+    codes: Vec<Vec<u32>>,
+    /// Data rows offered so far (global row index of the next row).
+    rows_offered: u64,
+    rows_kept: u64,
+    /// Keep rows whose global index is ≡ 0 (mod `keep_every`).
+    keep_every: u64,
+    codes_bytes: u64,
+    dict_bytes: u64,
+}
+
+impl GlobalBuilder {
+    fn new(k: usize) -> GlobalBuilder {
+        GlobalBuilder {
+            k,
+            dicts: vec![Vec::new(); k],
+            maps: vec![HashMap::new(); k],
+            codes: vec![Vec::new(); k],
+            rows_offered: 0,
+            rows_kept: 0,
+            keep_every: 1,
+            codes_bytes: 0,
+            dict_bytes: 0,
+        }
+    }
+
+    /// Merges a chunk page: translates local codes of kept rows through
+    /// the global dictionaries, appending unseen values in row order.
+    fn merge(&mut self, page: &ChunkPage, meter: &mut MemoryMeter) {
+        // Lazy local→global code translation, filled on first use so the
+        // global dictionary only ever sees values from kept rows.
+        let mut translate: Vec<Vec<u32>> =
+            page.dicts.iter().map(|d| vec![u32::MAX; d.len()]).collect();
+        for r in 0..page.rows {
+            let keep = self.rows_offered % self.keep_every == 0;
+            self.rows_offered += 1;
+            if !keep {
+                continue;
+            }
+            self.rows_kept += 1;
+            for a in 0..self.k {
+                let local = page.codes[a][r];
+                let global = if local == NULL_CODE {
+                    NULL_CODE
+                } else {
+                    let slot = translate[a][local as usize];
+                    if slot != u32::MAX {
+                        slot
+                    } else {
+                        let v = &page.dicts[a][local as usize];
+                        let next = self.dicts[a].len() as u32;
+                        let code = *self.maps[a].entry(v.clone()).or_insert_with(|| {
+                            self.dicts[a].push(v.clone());
+                            next
+                        });
+                        if code == next {
+                            let b = value_bytes(v);
+                            self.dict_bytes += b;
+                            meter.charge(b);
+                        }
+                        translate[a][local as usize] = code;
+                        code
+                    }
+                };
+                self.codes[a].push(global);
+            }
+            self.codes_bytes += 4 * self.k as u64;
+            meter.charge(4 * self.k as u64);
+        }
+    }
+
+    /// One halving of the sampling rung: keep every other currently-kept
+    /// row (equivalently, double `keep_every`). Deterministic — no RNG.
+    fn halve(&mut self, meter: &mut MemoryMeter) {
+        for col in &mut self.codes {
+            let mut w = 0;
+            for r in (0..col.len()).step_by(2) {
+                col[w] = col[r];
+                w += 1;
+            }
+            col.truncate(w);
+        }
+        let new_kept = self.codes.first().map(|c| c.len() as u64).unwrap_or(0);
+        let freed = (self.rows_kept - new_kept) * 4 * self.k as u64;
+        self.codes_bytes -= freed;
+        meter.release(freed);
+        self.rows_kept = new_kept;
+        self.keep_every *= 2;
+    }
+}
+
+/// Ingests a CSV file through the chunked, quarantining, budget-aware
+/// reader. On clean data the resulting dataset is bit-identical to
+/// [`crate::read_csv_str`] on the same bytes.
+pub fn ingest_csv_file(
+    path: impl AsRef<Path>,
+    cfg: &IngestConfig,
+) -> Result<Ingested, IngestError> {
+    let p = path.as_ref();
+    let label = p.display().to_string();
+    let file = File::open(p).map_err(|e| IngestError::Io {
+        path: label.clone(),
+        detail: e.to_string(),
+    })?;
+    ingest_csv_reader(file, &label, cfg)
+}
+
+/// Ingests in-memory bytes through the same chunked machinery (tests, and
+/// the serve path's csv-by-value requests).
+pub fn ingest_csv_bytes(
+    bytes: &[u8],
+    label: &str,
+    cfg: &IngestConfig,
+) -> Result<Ingested, IngestError> {
+    ingest_csv_reader(bytes, label, cfg)
+}
+
+/// Core driver: byte reads → UTF-8 carry → [`CsvMachine`] → chunk pages →
+/// global merge, with faults, quarantine, and the memory budget applied at
+/// the stage each failure would really surface.
+fn ingest_csv_reader<R: Read>(
+    mut reader: R,
+    label: &str,
+    cfg: &IngestConfig,
+) -> Result<Ingested, IngestError> {
+    let _span = Span::enter("fdx.ingest");
+    let chunk_rows = cfg.chunk_rows.unwrap_or(DEFAULT_CHUNK_ROWS).max(1);
+
+    let mut machine = CsvMachine::new();
+    let mut carry: Vec<u8> = Vec::new();
+    let mut buf = vec![0u8; READ_BUF_BYTES];
+    let mut events: Vec<CsvEvent> = Vec::new();
+
+    let mut header: Option<Vec<String>> = None;
+    let mut expected = 0usize;
+    let mut builder: Option<GlobalBuilder> = None;
+    let mut pending: Vec<PendingRow> = Vec::new();
+    let mut meter = MemoryMeter::default();
+    let mut quarantined: Vec<QuarantinedRow> = Vec::new();
+    let mut qwriter: Option<BufWriter<File>> = None;
+    let mut merge_secs = 0f64;
+
+    let mut health = IngestHealth {
+        source: label.to_string(),
+        policy: cfg.on_bad_row.label().to_string(),
+        keep_every: 1,
+        memory_budget: cfg.memory_budget,
+        quarantine_path: match &cfg.on_bad_row {
+            BadRowPolicy::Quarantine(p) => Some(p.display().to_string()),
+            _ => None,
+        },
+        ..IngestHealth::default()
+    };
+
+    // Applies the bad-row policy to one malformed row.
+    macro_rules! bad_row {
+        ($line:expr, $off:expr, $reason:expr, $raw:expr) => {{
+            let (line, off, reason, raw): (usize, u64, String, String) =
+                ($line, $off, $reason, $raw);
+            match &cfg.on_bad_row {
+                BadRowPolicy::Abort => {
+                    return Err(IngestError::BadRow {
+                        path: label.to_string(),
+                        line,
+                        byte_offset: off,
+                        reason,
+                    });
+                }
+                policy => {
+                    let row = QuarantinedRow {
+                        line,
+                        byte_offset: off,
+                        reason,
+                        raw,
+                    };
+                    if let BadRowPolicy::Quarantine(qpath) = policy {
+                        if qwriter.is_none() {
+                            let f = File::create(qpath).map_err(|e| IngestError::QuarantineIo {
+                                path: qpath.display().to_string(),
+                                detail: e.to_string(),
+                            })?;
+                            qwriter = Some(BufWriter::new(f));
+                        }
+                        if let Some(w) = qwriter.as_mut() {
+                            writeln!(w, "{}", row.to_json()).map_err(|e| {
+                                IngestError::QuarantineIo {
+                                    path: qpath.display().to_string(),
+                                    detail: e.to_string(),
+                                }
+                            })?;
+                        }
+                    }
+                    health.rows_quarantined += 1;
+                    if quarantined.len() < QUARANTINE_KEEP {
+                        quarantined.push(row);
+                    }
+                }
+            }
+        }};
+    }
+
+    // Merges the first `take` pending rows as one chunk.
+    macro_rules! flush_chunk {
+        ($take:expr) => {{
+            let take: usize = $take;
+            if take > 0 {
+                let chunk_index = health.chunks;
+                let rows: Vec<PendingRow> = pending.drain(..take).collect();
+                let freed: u64 = rows.iter().map(|r| r.bytes).sum();
+                if fdx_obs::faults::fire(FAULT_CORRUPT_CHUNK) {
+                    // The whole chunk fails its integrity check at once.
+                    health
+                        .notes
+                        .push(format!("chunk {chunk_index} failed integrity check"));
+                    for row in &rows {
+                        bad_row!(
+                            row.line,
+                            row.byte_offset,
+                            "corrupt chunk (integrity check failed)".to_string(),
+                            row.fields.join(",")
+                        );
+                    }
+                } else {
+                    let b = builder.get_or_insert_with(|| GlobalBuilder::new(expected));
+                    let span = Span::enter("fdx.ingest.merge");
+                    let page = ChunkPage::build(&rows, expected);
+                    b.merge(&page, &mut meter);
+                    merge_secs += span.elapsed_secs();
+                    health.rows_read += rows.len() as u64;
+                }
+                health.chunks += 1;
+                meter.release(freed);
+                // Budget enforcement at the merge boundary: engage (or
+                // deepen) the sampling rung until the working set fits.
+                let forced_oom = fdx_obs::faults::fire(FAULT_OOM_AT_CHUNK);
+                if forced_oom {
+                    health.notes.push(format!(
+                        "injected allocation failure at chunk {chunk_index}"
+                    ));
+                }
+                if let Some(b) = builder.as_mut() {
+                    let over_budget =
+                        |m: &MemoryMeter| cfg.memory_budget.is_some_and(|l| m.current() > l);
+                    if forced_oom || over_budget(&meter) {
+                        let mut halvings = 0u32;
+                        while (halvings == 0 && forced_oom) || over_budget(&meter) {
+                            if b.rows_kept <= 2 && (halvings > 0 || !forced_oom) {
+                                return Err(IngestError::MemoryBudget {
+                                    stage: "chunk merge",
+                                    bytes: meter.current(),
+                                });
+                            }
+                            b.halve(&mut meter);
+                            halvings += 1;
+                        }
+                        if !health.sampled {
+                            health
+                                .notes
+                                .push("memory budget: sampled-rows rung engaged".to_string());
+                        }
+                        health.sampled = true;
+                        health.keep_every = b.keep_every;
+                    }
+                }
+            }
+        }};
+    }
+
+    let mut eof = false;
+    while !eof {
+        if fdx_obs::faults::fire(FAULT_DISK_STALL) {
+            // A stalled read that recovered on retry: degraded, not fatal.
+            health.notes.push(format!(
+                "disk stall reading after byte {}; retried",
+                machine.bytes_consumed()
+            ));
+        }
+        let mut n = reader.read(&mut buf).map_err(|e| IngestError::Io {
+            path: label.to_string(),
+            detail: e.to_string(),
+        })?;
+        if n == 0 {
+            eof = true;
+        } else if fdx_obs::faults::fire(FAULT_SHORT_READ) {
+            n /= 2;
+            eof = true;
+            health.notes.push(format!(
+                "short read: input truncated near byte {}",
+                machine.bytes_consumed() + n as u64
+            ));
+        }
+        carry.extend_from_slice(&buf[..n]);
+
+        // Decode the maximal valid UTF-8 prefix; an incomplete trailing
+        // char is carried into the next read.
+        match std::str::from_utf8(&carry) {
+            Ok(text) => {
+                machine.push(text, &mut |ev| events.push(ev));
+                carry.clear();
+            }
+            Err(e) if e.error_len().is_none() && !eof => {
+                let valid = e.valid_up_to();
+                if valid > 0 {
+                    if let Ok(text) = std::str::from_utf8(&carry[..valid]) {
+                        machine.push(text, &mut |ev| events.push(ev));
+                    }
+                    carry.drain(..valid);
+                }
+            }
+            Err(e) => {
+                return Err(IngestError::Encoding {
+                    path: label.to_string(),
+                    byte_offset: machine.bytes_consumed() + e.valid_up_to() as u64,
+                })
+            }
+        }
+        if eof {
+            machine.finish(&mut |ev| events.push(ev));
+        }
+
+        for ev in std::mem::take(&mut events) {
+            match ev {
+                CsvEvent::Record {
+                    line,
+                    byte_offset,
+                    fields,
+                } => {
+                    if header.is_none() {
+                        expected = fields.len();
+                        header = Some(fields);
+                        continue;
+                    }
+                    if fields.len() != expected {
+                        bad_row!(
+                            line,
+                            byte_offset,
+                            format!(
+                                "CSV line {line} has {} fields, expected {expected}",
+                                fields.len()
+                            ),
+                            fields.join(",")
+                        );
+                        continue;
+                    }
+                    let bytes = row_bytes(&fields);
+                    meter.charge(bytes);
+                    pending.push(PendingRow {
+                        line,
+                        byte_offset,
+                        fields,
+                        bytes,
+                    });
+                    // Flush as soon as a chunk fills so the transient
+                    // working set never exceeds one chunk of parsed rows,
+                    // whatever the read-buffer size.
+                    if pending.len() >= chunk_rows {
+                        flush_chunk!(chunk_rows);
+                    }
+                }
+                CsvEvent::BadRow {
+                    line,
+                    byte_offset,
+                    error,
+                    raw,
+                } => {
+                    if header.is_none() {
+                        // A broken header is structural: no policy can
+                        // recover column identity, so this is fatal even
+                        // under skip/quarantine.
+                        return Err(IngestError::Header {
+                            path: label.to_string(),
+                            detail: error.to_string(),
+                        });
+                    }
+                    bad_row!(line, byte_offset, error.to_string(), raw);
+                }
+            }
+        }
+        if eof {
+            flush_chunk!(pending.len());
+        }
+    }
+
+    if let Some(w) = qwriter.as_mut() {
+        w.flush().map_err(|e| IngestError::QuarantineIo {
+            path: health
+                .quarantine_path
+                .clone()
+                .unwrap_or_else(|| "<quarantine>".to_string()),
+            detail: e.to_string(),
+        })?;
+    }
+
+    let header = header.ok_or_else(|| IngestError::Header {
+        path: label.to_string(),
+        detail: "CSV input is empty (no header row)".to_string(),
+    })?;
+    let names: Vec<&str> = header.iter().map(String::as_str).collect();
+    let schema = Schema::from_names(&names);
+    let builder = builder.unwrap_or_else(|| GlobalBuilder::new(schema.len()));
+    // Compact each dictionary to the codes the kept rows actually
+    // reference, renumbered in first-appearance order. On a clean run
+    // this is the identity; after the sampling rung it drops values that
+    // only dropped rows referenced, so a sampled ingest equals a resident
+    // read of exactly the kept rows.
+    let columns: Vec<Column> = builder
+        .dicts
+        .into_iter()
+        .zip(builder.codes)
+        .map(|(dict, mut codes)| {
+            let mut remap = vec![u32::MAX; dict.len()];
+            let mut compacted: Vec<Value> = Vec::new();
+            for c in codes.iter_mut() {
+                if *c == NULL_CODE {
+                    continue;
+                }
+                let m = remap[*c as usize];
+                if m == u32::MAX {
+                    let next = compacted.len() as u32;
+                    compacted.push(dict[*c as usize].clone());
+                    remap[*c as usize] = next;
+                    *c = next;
+                } else {
+                    *c = m;
+                }
+            }
+            Column::from_codes(codes, compacted)
+        })
+        .collect();
+    let dataset = Dataset::new(schema, columns);
+
+    health.rows_kept = builder.rows_kept;
+    health.bytes_read = machine.bytes_consumed();
+    health.peak_bytes = meter.peak();
+
+    counter_add("fdx.ingest.chunks", health.chunks);
+    counter_add("fdx.ingest.rows", health.rows_read);
+    counter_add("fdx.ingest.quarantined", health.rows_quarantined);
+    gauge_set("fdx.ingest.peak_bytes", health.peak_bytes as f64);
+    observe("fdx.ingest.merge_ms", (merge_secs * 1_000.0) as u64);
+    if health.sampled {
+        counter_add("fdx.ingest.sampled_runs", 1);
+    }
+
+    Ok(Ingested {
+        dataset,
+        health,
+        quarantined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read_csv_str;
+
+    fn clean_csv(rows: usize) -> String {
+        let mut s = String::from("zip,city,state\n");
+        for i in 0..rows {
+            let z = i % 16;
+            s.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+        }
+        s
+    }
+
+    fn ingest_str(input: &str, cfg: &IngestConfig) -> Result<Ingested, IngestError> {
+        ingest_csv_bytes(input.as_bytes(), "<mem>", cfg)
+    }
+
+    #[test]
+    fn clean_chunked_ingest_is_bit_identical_to_resident() {
+        let csv = clean_csv(100);
+        let resident = read_csv_str(&csv).unwrap();
+        for chunk_rows in [1, 7, 64, 100, 4096] {
+            let got = ingest_str(
+                &csv,
+                &IngestConfig {
+                    chunk_rows: Some(chunk_rows),
+                    ..IngestConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(got.dataset, resident, "chunk_rows={chunk_rows}");
+            assert!(!got.health.degraded());
+            assert_eq!(got.health.rows_read, 100);
+            assert_eq!(got.health.rows_kept, 100);
+            assert_eq!(got.health.keep_every, 1);
+            assert_eq!(got.health.bytes_read, csv.len() as u64);
+        }
+    }
+
+    #[test]
+    fn dictionary_page_merge_preserves_interning_order() {
+        // Values that first appear in different chunks, including repeats
+        // across chunk boundaries — the interning order must match the
+        // resident path's first-appearance order exactly.
+        let csv = "a,b\nx,1\ny,2\nx,3\nz,1\nw,2\ny,9\n";
+        let resident = read_csv_str(csv).unwrap();
+        for chunk_rows in [1, 2, 3] {
+            let got = ingest_str(
+                csv,
+                &IngestConfig {
+                    chunk_rows: Some(chunk_rows),
+                    ..IngestConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(got.dataset, resident, "chunk_rows={chunk_rows}");
+            for a in 0..2 {
+                assert_eq!(
+                    got.dataset.column(a).dictionary(),
+                    resident.column(a).dictionary()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abort_policy_matches_resident_error_line() {
+        let csv = "a,b\n1,2\nonly-one\n3,4\n";
+        let err = ingest_str(csv, &IngestConfig::default()).unwrap_err();
+        match err {
+            IngestError::BadRow { line, reason, .. } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("1 fields, expected 2"), "{reason}");
+            }
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_drops_and_counts() {
+        let csv = "a,b\n1,2\nonly-one\nbad\"q,5\n3,4\n";
+        let got = ingest_str(
+            csv,
+            &IngestConfig {
+                on_bad_row: BadRowPolicy::Skip,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.dataset.nrows(), 2);
+        assert_eq!(got.health.rows_quarantined, 2);
+        assert!(got.health.degraded());
+        assert_eq!(got.quarantined.len(), 2);
+        assert_eq!(got.quarantined[0].line, 3);
+        assert_eq!(got.quarantined[1].line, 4);
+    }
+
+    #[test]
+    fn quarantine_policy_writes_jsonl() {
+        let dir = std::env::temp_dir().join("fdx_ingest_test_q");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qpath = dir.join("rows.jsonl");
+        let csv = "a,b\n1,2\noops\n3,4\n";
+        let got = ingest_str(
+            csv,
+            &IngestConfig {
+                on_bad_row: BadRowPolicy::Quarantine(qpath.clone()),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.health.rows_quarantined, 1);
+        let text = std::fs::read_to_string(&qpath).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kind\":\"quarantine\""), "{text}");
+        assert!(text.contains("\"line\":3"), "{text}");
+        assert!(text.contains("expected 2"), "{text}");
+        std::fs::remove_file(&qpath).ok();
+    }
+
+    #[test]
+    fn broken_header_is_fatal_under_every_policy() {
+        for policy in [BadRowPolicy::Abort, BadRowPolicy::Skip] {
+            let err = ingest_str(
+                "a\"b,c\n1,2\n",
+                &IngestConfig {
+                    on_bad_row: policy,
+                    ..IngestConfig::default()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, IngestError::Header { .. }), "{err:?}");
+        }
+        let err = ingest_str("", &IngestConfig::default()).unwrap_err();
+        assert!(matches!(err, IngestError::Header { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn memory_budget_engages_sampling_rung() {
+        let csv = clean_csv(400);
+        // A budget big enough for the dictionaries and the chunk working
+        // set but too small for all 400 rows of codes.
+        let got = ingest_str(
+            &csv,
+            &IngestConfig {
+                chunk_rows: Some(32),
+                memory_budget: Some(6_000),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(got.health.sampled);
+        assert!(got.health.keep_every >= 2);
+        assert!(got.health.degraded());
+        assert!(got.dataset.nrows() < 400);
+        assert!(got.dataset.nrows() > 0);
+        assert!(got.health.peak_bytes > 0);
+        // The kept rows are the deterministic stride-k subsample.
+        let stride = got.health.keep_every as usize;
+        let resident = read_csv_str(&csv).unwrap();
+        for (kept_idx, orig_idx) in (0..400).step_by(stride).enumerate() {
+            if kept_idx >= got.dataset.nrows() {
+                break;
+            }
+            assert_eq!(
+                got.dataset.value(kept_idx, 0),
+                resident.value(orig_idx, 0),
+                "kept row {kept_idx} should be original row {orig_idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_budget_is_a_typed_error() {
+        let csv = clean_csv(64);
+        let err = ingest_str(
+            &csv,
+            &IngestConfig {
+                chunk_rows: Some(8),
+                memory_budget: Some(16),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IngestError::MemoryBudget {
+                    stage: "chunk merge",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_sampling_matches_resident_read_of_sampled_rows() {
+        // Bit-identity of the degraded run: ingesting under a budget must
+        // equal the resident read of exactly the kept row subset.
+        let csv = clean_csv(256);
+        let got = ingest_str(
+            &csv,
+            &IngestConfig {
+                chunk_rows: Some(32),
+                memory_budget: Some(4_000),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(got.health.sampled);
+        let stride = got.health.keep_every as usize;
+        let mut sampled_csv = String::from("zip,city,state\n");
+        for (i, line) in clean_csv(256).lines().skip(1).enumerate() {
+            if i % stride == 0 {
+                sampled_csv.push_str(line);
+                sampled_csv.push('\n');
+            }
+        }
+        let resident = read_csv_str(&sampled_csv).unwrap();
+        assert_eq!(got.dataset.nrows(), resident.nrows());
+        for a in 0..3 {
+            assert_eq!(got.dataset.column(a).codes(), resident.column(a).codes());
+        }
+    }
+
+    #[test]
+    fn fault_short_read_truncates_but_degrades_gracefully() {
+        let csv = clean_csv(2000);
+        let _f = fdx_obs::faults::arm_times(FAULT_SHORT_READ, 1);
+        let got = ingest_str(
+            &csv,
+            &IngestConfig {
+                on_bad_row: BadRowPolicy::Skip,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(got.health.degraded());
+        assert!(
+            got.health.notes.iter().any(|n| n.contains("short read")),
+            "{:?}",
+            got.health.notes
+        );
+        assert!(got.dataset.nrows() < 2000);
+    }
+
+    #[test]
+    fn fault_disk_stall_is_noted_and_run_completes() {
+        let csv = clean_csv(50);
+        let _f = fdx_obs::faults::arm_times(FAULT_DISK_STALL, 1);
+        let got = ingest_str(&csv, &IngestConfig::default()).unwrap();
+        assert_eq!(got.dataset.nrows(), 50, "stall must not lose data");
+        assert!(got.health.degraded());
+        assert!(
+            got.health.notes.iter().any(|n| n.contains("disk stall")),
+            "{:?}",
+            got.health.notes
+        );
+    }
+
+    #[test]
+    fn fault_corrupt_chunk_quarantines_whole_chunk() {
+        let csv = clean_csv(40);
+        let _f = fdx_obs::faults::arm_times(FAULT_CORRUPT_CHUNK, 1);
+        let got = ingest_str(
+            &csv,
+            &IngestConfig {
+                chunk_rows: Some(10),
+                on_bad_row: BadRowPolicy::Skip,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.health.rows_quarantined, 10);
+        assert_eq!(got.dataset.nrows(), 30);
+        assert!(got.health.degraded());
+    }
+
+    #[test]
+    fn fault_oom_at_chunk_forces_sampling_rung() {
+        let csv = clean_csv(64);
+        let _f = fdx_obs::faults::arm_times(FAULT_OOM_AT_CHUNK, 1);
+        let got = ingest_str(
+            &csv,
+            &IngestConfig {
+                chunk_rows: Some(16),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(got.health.sampled);
+        assert_eq!(got.health.keep_every, 2);
+        assert!(got.health.degraded());
+    }
+
+    #[test]
+    fn health_json_shape() {
+        let csv = "a,b\n1,2\noops\n";
+        let got = ingest_str(
+            csv,
+            &IngestConfig {
+                on_bad_row: BadRowPolicy::Skip,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        let j = got.health.to_json();
+        assert!(j.starts_with(r#"{"kind":"ingest","source":"<mem>""#), "{j}");
+        for key in [
+            "chunks",
+            "rows_read",
+            "rows_kept",
+            "rows_quarantined",
+            "bytes_read",
+            "peak_bytes",
+            "policy",
+            "sampled",
+            "keep_every",
+            "notes",
+            "degraded",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "{key} missing: {j}");
+        }
+        assert!(j.contains("\"degraded\":true"), "{j}");
+        assert!(got.health.render().contains("quarantined"), "render");
+    }
+
+    #[test]
+    fn meter_tracks_peak() {
+        let mut m = MemoryMeter::default();
+        m.charge(100);
+        m.charge(50);
+        m.release(120);
+        assert_eq!(m.current(), 30);
+        assert_eq!(m.peak(), 150);
+        m.release(1000);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 150);
+    }
+}

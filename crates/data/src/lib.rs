@@ -13,7 +13,11 @@
 //! * [`Fd`] / [`FdSet`] — the functional-dependency vocabulary shared by the
 //!   FDX core, every baseline, and the evaluation harness,
 //! * a small CSV reader/writer with type inference for loading external
-//!   instances.
+//!   instances, plus an incremental [`CsvMachine`] parser,
+//! * [`ingest`] — resilient out-of-core ingestion: chunked reading with
+//!   per-chunk dictionary pages, row quarantine, memory budgets, and
+//!   deterministic fault injection (bit-identical to [`read_csv_str`] on
+//!   clean data).
 //!
 //! # Example
 //!
@@ -37,12 +41,20 @@ mod column;
 mod csv;
 mod dataset;
 mod fd;
+pub mod ingest;
 mod schema;
 mod value;
 
 pub use column::{Column, NULL_CODE};
-pub use csv::{parse_csv, parse_csv_records, read_csv_str, write_csv_string, CsvError};
+pub use csv::{
+    parse_csv, parse_csv_records, read_csv_str, write_csv_string, CsvError, CsvEvent, CsvMachine,
+    MAX_QUOTED_FIELD_BYTES,
+};
 pub use dataset::Dataset;
 pub use fd::{Fd, FdSet};
+pub use ingest::{
+    ingest_csv_bytes, ingest_csv_file, BadRowPolicy, IngestConfig, IngestError, IngestHealth,
+    Ingested, MemoryMeter, QuarantinedRow,
+};
 pub use schema::{AttrId, AttrType, Attribute, Schema};
 pub use value::{OrderedF64, Value};

@@ -27,7 +27,9 @@
 //! Injection points are plain dotted names owned by the code that checks
 //! them; the pipeline's registry lives in `fdx_core::resilience` docs. The
 //! conventional points are `glasso.force_no_converge`, `covariance.inject_nan`,
-//! `udut.force_not_pd`, `inversion.force_fail`, and `clock.skew`.
+//! `udut.force_not_pd`, `inversion.force_fail`, and `clock.skew`; the
+//! chunked-ingestion path adds `ingest.short_read`, `ingest.corrupt_chunk`,
+//! `ingest.disk_stall`, and `ingest.oom_at_chunk` (DESIGN.md §14).
 //!
 //! ```
 //! use fdx_obs::faults;

@@ -15,8 +15,8 @@
 /// Every `fdx.*` metric name the workspace records, sorted.
 ///
 /// Grouped by owner: pipeline phase spans (`fdx-core`), FD generation,
-/// glasso, ordering/factorization, the parallel runtime, resilience, and
-/// the serve layer.
+/// glasso, chunked ingestion (`fdx-data`), ordering/factorization, the
+/// parallel runtime, resilience, and the serve layer.
 pub const METRIC_NAMES: &[&str] = &[
     "fdx.covariance",
     "fdx.discover",
@@ -36,6 +36,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "fdx.glasso.summary",
     "fdx.glasso.sweep",
     "fdx.glasso.sweeps",
+    "fdx.ingest",
+    "fdx.ingest.chunks",
+    "fdx.ingest.merge",
+    "fdx.ingest.merge_ms",
+    "fdx.ingest.peak_bytes",
+    "fdx.ingest.quarantined",
+    "fdx.ingest.rows",
+    "fdx.ingest.sampled_runs",
     "fdx.order",
     "fdx.order.support_edges",
     "fdx.order.vertices",

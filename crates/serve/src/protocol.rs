@@ -34,8 +34,9 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// Fault points a request may arm through the `chaos` field, mapped to the
 /// `&'static str` names `fdx_obs::faults` requires. `serve.stall` (worker
 /// sleeps `value` seconds) and `serve.force_panic` (worker panics inside
-/// the isolation boundary) live in this crate; the rest are the pipeline
-/// fault points from PR 3.
+/// the isolation boundary) live in this crate; the `ingest.*` points fire
+/// inside `fdx_data::ingest` when a request discovers from a `path`; the
+/// rest are the pipeline fault points from PR 3.
 pub const FAULT_POINTS: &[&str] = &[
     "glasso.force_no_converge",
     "covariance.inject_nan",
@@ -44,6 +45,10 @@ pub const FAULT_POINTS: &[&str] = &[
     "clock.skew",
     "serve.force_panic",
     "serve.stall",
+    "ingest.short_read",
+    "ingest.corrupt_chunk",
+    "ingest.disk_stall",
+    "ingest.oom_at_chunk",
 ];
 
 /// Typed error codes carried in `"code"` of an error frame.
@@ -60,6 +65,12 @@ pub mod codes {
     pub const INSUFFICIENT_DATA: &str = "insufficient_data";
     /// The pipeline failed after exhausting the recovery ladder.
     pub const DISCOVER_ERROR: &str = "discover_error";
+    /// The ingest memory budget was exhausted even after the sampled-rows
+    /// degradation rung; the request needs a larger budget (or none).
+    pub const MEMORY_BUDGET: &str = "memory_budget";
+    /// Loading the dataset from `path` failed (I/O, encoding, header, or a
+    /// malformed row under the abort policy).
+    pub const INGEST_ERROR: &str = "ingest_error";
     /// The request handler panicked; the worker recovered and the process
     /// keeps serving.
     pub const PANIC: &str = "panic";
@@ -83,6 +94,10 @@ pub struct ChaosSpec {
 pub struct RequestFrame {
     pub id: String,
     pub csv: String,
+    /// Server-side dataset path, streamed through `fdx_data::ingest`
+    /// (chunked, bounded memory) instead of an inline `csv` body. Exactly
+    /// one of `csv` / `path` must be present.
+    pub path: Option<String>,
     pub deadline_ms: Option<u64>,
     pub threshold: Option<f64>,
     pub sparsity: Option<f64>,
@@ -187,6 +202,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                             .to_string();
                         saw_csv = true;
                     }
+                    "path" => {
+                        req.path = Some(
+                            val.as_str()
+                                .ok_or_else(|| bad("\"path\" must be a string"))?
+                                .to_string(),
+                        );
+                    }
                     "deadline_ms" => {
                         req.deadline_ms = Some(val.as_u64().ok_or_else(|| {
                             bad("\"deadline_ms\" must be a non-negative integer")
@@ -238,8 +260,11 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                     other => return Err(bad(format!("unknown key {other:?} in discover frame"))),
                 }
             }
-            if !saw_csv {
-                return Err(bad("discover frame requires a \"csv\" field"));
+            if saw_csv && req.path.is_some() {
+                return Err(bad("\"csv\" and \"path\" are mutually exclusive"));
+            }
+            if !saw_csv && req.path.is_none() {
+                return Err(bad("discover frame requires a \"csv\" or \"path\" field"));
             }
             Ok(Frame::Discover(Box::new(req)))
         }
@@ -314,10 +339,11 @@ impl RequestFrame {
     /// Serialize back to a single request line (client side). Inverse of
     /// [`parse_frame`] for well-formed frames.
     pub fn to_line(&self) -> String {
-        let mut o = Obj::new()
-            .str_("op", "discover")
-            .str_("id", &self.id)
-            .str_("csv", &self.csv);
+        let mut o = Obj::new().str_("op", "discover").str_("id", &self.id);
+        match &self.path {
+            Some(p) => o = o.str_("path", p),
+            None => o = o.str_("csv", &self.csv),
+        }
         if let Some(d) = self.deadline_ms {
             o = o.u64_("deadline_ms", d);
         }
@@ -404,6 +430,19 @@ pub fn ok_frame(
         .raw("health", &result.health.to_json())
         .f64_("queue_wait_secs", queue_wait_secs)
         .f64_("total_secs", result.timings.total_secs());
+    if let Some(ingest) = &result.health.ingest {
+        // The request discovered from a `path`: summarize what the chunked
+        // reader actually consumed so the client can audit coverage.
+        let source = Obj::new()
+            .str_("path", &ingest.source)
+            .u64_("chunks", ingest.chunks)
+            .u64_("rows", ingest.rows_kept)
+            .u64_("quarantined", ingest.rows_quarantined)
+            .u64_("bytes", ingest.bytes_read)
+            .bool_("sampled", ingest.sampled)
+            .finish();
+        o = o.raw("source", &source);
+    }
     if let Some(nodes) = trace {
         o = o.raw("trace", &array(nodes.iter().map(PhaseNode::to_json)));
     }
@@ -525,6 +564,8 @@ pub fn map_fdx_error(err: &FdxError) -> (&'static str, String) {
         FdxError::Numerical(_) | FdxError::NonFinite { .. } => {
             (codes::DISCOVER_ERROR, err.to_string())
         }
+        FdxError::MemoryBudget { .. } => (codes::MEMORY_BUDGET, err.to_string()),
+        FdxError::Ingest { .. } => (codes::INGEST_ERROR, err.to_string()),
     }
 }
 
@@ -663,6 +704,63 @@ mod tests {
         assert_eq!(req.chaos[0].point, "glasso.force_no_converge");
         assert_eq!(req.chaos[1].value, Some(1_000_000.0));
         assert_eq!(req.chaos[2].times, Some(1));
+    }
+
+    #[test]
+    fn parses_path_discover_frame() {
+        let f = parse_frame(r#"{"op":"discover","id":"p1","path":"/data/in.csv"}"#).unwrap();
+        match f {
+            Frame::Discover(req) => {
+                assert_eq!(req.path.as_deref(), Some("/data/in.csv"));
+                assert_eq!(req.csv, "");
+            }
+            other => panic!("expected discover, got {other:?}"),
+        }
+        // Exactly one of csv/path.
+        let err = parse_frame(r#"{"csv":"a\n1\n","path":"/data/in.csv"}"#).unwrap_err();
+        assert!(err.detail.contains("mutually exclusive"));
+        let err = parse_frame(r#"{"op":"discover","id":"p2"}"#).unwrap_err();
+        assert!(err.detail.contains("\"csv\" or \"path\""));
+        let err = parse_frame(r#"{"path":7}"#).unwrap_err();
+        assert!(err.detail.contains("\"path\" must be a string"));
+    }
+
+    #[test]
+    fn path_frame_roundtrips_and_ingest_chaos_points_intern() {
+        let req = RequestFrame {
+            id: "p".into(),
+            path: Some("/tmp/big.csv".into()),
+            chaos: vec![ChaosSpec {
+                point: "ingest.short_read",
+                times: Some(1),
+                value: None,
+            }],
+            ..RequestFrame::default()
+        };
+        let parsed = parse_frame(&req.to_line()).unwrap();
+        assert_eq!(parsed, Frame::Discover(Box::new(req)));
+        for p in [
+            "ingest.short_read",
+            "ingest.corrupt_chunk",
+            "ingest.disk_stall",
+            "ingest.oom_at_chunk",
+        ] {
+            assert_eq!(intern_fault_point(p), Some(p));
+        }
+    }
+
+    #[test]
+    fn ingest_errors_map_to_typed_codes() {
+        let (code, detail) = map_fdx_error(&FdxError::MemoryBudget {
+            stage: "chunk merge",
+            bytes: 4096,
+        });
+        assert_eq!(code, codes::MEMORY_BUDGET);
+        assert!(detail.contains("4096"));
+        let (code, _) = map_fdx_error(&FdxError::Ingest {
+            detail: "boom".into(),
+        });
+        assert_eq!(code, codes::INGEST_ERROR);
     }
 
     #[test]

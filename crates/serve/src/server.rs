@@ -26,7 +26,7 @@
 
 use crate::protocol::{self, codes, Frame, RequestFrame, ServerStats};
 use fdx_core::{Fdx, FdxConfig, FdxError, FdxResult};
-use fdx_data::{read_csv_str, Dataset};
+use fdx_data::{ingest_csv_file, read_csv_str, BadRowPolicy, Dataset, IngestConfig};
 use fdx_obs::faults::{self, ArmedFault};
 use fdx_obs::journal::{Journal, JournalEntry};
 use fdx_obs::{counter_add, gauge_set, observe, Span, Stopwatch};
@@ -296,6 +296,7 @@ impl ServerHandle {
                     // Answer everything still queued; in-flight work cannot
                     // be cancelled and is detached below.
                     while let Some(job) = inner.queue.pop_front() {
+                        // fdx-allow: L010 monotonic tally; exact totals are read after threads join
                         self.state.abandoned.fetch_add(1, Ordering::Relaxed);
                         counter_add("fdx.serve.abandoned", 1);
                         let Job {
@@ -436,6 +437,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
     let line = match read_frame_line(&mut stream) {
         Err(_) | Ok(ReadOutcome::Eof) => return,
         Ok(ReadOutcome::TooLarge) => {
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.bad_frames.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.bad_request", 1);
             write_reply(
@@ -453,6 +455,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
     let line = match String::from_utf8(line) {
         Ok(s) => s,
         Err(_) => {
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.bad_frames.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.bad_request", 1);
             write_reply(
@@ -465,6 +468,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
 
     match protocol::parse_frame(line.trim_end_matches('\r')) {
         Err(e) => {
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.bad_frames.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.bad_request", 1);
             write_reply(
@@ -480,6 +484,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
             // Answered right here on the accept thread: a brief queue-lock
             // peek plus lock-cheap snapshots, never the discovery pipeline —
             // so stats stays responsive when every worker is busy or wedged.
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.stats_requests.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.stats", 1);
             let (queue_depth, inflight) = {
@@ -510,6 +515,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
         }
         Ok(Frame::Discover(req)) => {
             if !cfg.chaos && !req.chaos.is_empty() {
+                // fdx-allow: L010 monotonic tally; exact totals are read after threads join
                 state.bad_frames.fetch_add(1, Ordering::Relaxed);
                 counter_add("fdx.serve.bad_request", 1);
                 write_reply(
@@ -525,6 +531,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
             let mut inner = lock_recover(&state.inner);
             if inner.queue.len() >= cfg.queue_cap {
                 drop(inner);
+                // fdx-allow: L010 monotonic tally; exact totals are read after threads join
                 state.shed.fetch_add(1, Ordering::Relaxed);
                 counter_add("fdx.serve.shed", 1);
                 journal_unserved(&req, codes::OVERLOADED, 0.0);
@@ -538,6 +545,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
                 );
                 return;
             }
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.requests.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.requests", 1);
             inner.queue.push_back(Job {
@@ -583,6 +591,7 @@ fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
                 mut stream,
                 wait,
             } = job;
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.abandoned.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.abandoned", 1);
             journal_unserved(&req, codes::SHUTTING_DOWN, wait.elapsed_secs());
@@ -676,6 +685,7 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
             Vec::new(),
         ),
         Err(_) => {
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.panics.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.panics", 1);
             (
@@ -705,6 +715,7 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
         rung,
         threads: req.threads.unwrap_or(1),
     });
+    // fdx-allow: L010 monotonic tally; exact totals are read after threads join
     state.completed.fetch_add(1, Ordering::Relaxed);
     counter_add("fdx.serve.completed", 1);
     write_reply(&mut stream, &reply);
@@ -759,6 +770,7 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
     if let Some(deadline_ms) = req.deadline_ms {
         let remaining = deadline_ms as f64 / 1000.0 - queue_wait;
         if remaining <= 0.0 {
+            // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             counter_add("fdx.serve.deadline_exceeded", 1);
             return Handled::Failed {
@@ -771,22 +783,45 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
         config = config.with_time_budget(remaining);
     }
 
-    let dataset = match read_csv_str(&req.csv) {
-        Ok(ds) => ds,
-        Err(e) => {
-            state.bad_frames.fetch_add(1, Ordering::Relaxed);
-            counter_add("fdx.serve.bad_request", 1);
-            return Handled::Failed {
-                code: codes::BAD_REQUEST,
-                detail: format!("csv: {e}"),
-            };
+    let (dataset, ingest_health) = if let Some(path) = &req.path {
+        // Server-side dataset: stream it through the chunked reader with
+        // the skip policy, so one malformed row degrades the reply (visible
+        // in its `source` block and health) instead of failing it.
+        let icfg = IngestConfig {
+            on_bad_row: BadRowPolicy::Skip,
+            memory_budget: config.memory_budget,
+            ..IngestConfig::default()
+        };
+        match ingest_csv_file(path, &icfg) {
+            Ok(ingested) => (ingested.dataset, Some(ingested.health)),
+            Err(e) => {
+                let (code, detail) = protocol::map_fdx_error(&FdxError::from(e));
+                return Handled::Failed { code, detail };
+            }
+        }
+    } else {
+        match read_csv_str(&req.csv) {
+            Ok(ds) => (ds, None),
+            Err(e) => {
+                // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                counter_add("fdx.serve.bad_request", 1);
+                return Handled::Failed {
+                    code: codes::BAD_REQUEST,
+                    detail: format!("csv: {e}"),
+                };
+            }
         }
     };
 
     match Fdx::new(config).discover(&dataset) {
-        Ok(result) => Handled::Done(Box::new(result), dataset),
+        Ok(mut result) => {
+            result.health.ingest = ingest_health;
+            Handled::Done(Box::new(result), dataset)
+        }
         Err(err) => {
             if matches!(err, FdxError::BudgetExceeded { .. }) {
+                // fdx-allow: L010 monotonic tally; exact totals are read after threads join
                 state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 counter_add("fdx.serve.deadline_exceeded", 1);
             }

@@ -16,11 +16,16 @@
 //! Grouping utilities ([`group_ids`], [`joint_counts`]) convert attribute
 //! sets over a [`fdx_data::Dataset`] into the compact integer partitions the
 //! estimators consume.
+//!
+//! For out-of-core ingestion, [`StreamStats`] accumulates the pair
+//! transform's sufficient statistics chunk by chunk with an exact,
+//! associative merge (see `fdx_data::ingest`).
 
 mod chi2;
 mod covariance;
 mod entropy;
 mod groups;
+mod stream;
 
 pub use chi2::{chi_squared, chi_squared_p_value, ChiSquared};
 pub use covariance::{correlation, covariance, second_moment, standardize_columns};
@@ -29,3 +34,4 @@ pub use entropy::{
     fraction_of_information, mutual_information, reliable_fraction_of_information,
 };
 pub use groups::{group_ids, joint_counts, GroupIds};
+pub use stream::{chunk_seed, StreamStats};

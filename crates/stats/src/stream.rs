@@ -1,0 +1,450 @@
+//! One-pass streaming accumulator for pair-difference statistics.
+//!
+//! Out-of-core ingestion (`fdx_data::ingest`) delivers a relation as
+//! fixed-row chunks; this module accumulates the sufficient statistics of
+//! the paper's pair transform (§4.2) chunk by chunk, without ever holding
+//! more than one chunk of rows. Each chunk contributes one sort+shift pair
+//! block per attribute — the chunk's rows are shuffled (ChaCha8, seeded
+//! per chunk via [`chunk_seed`]), stably sorted by the attribute's codes,
+//! and every row is paired with its successor under a circular shift —
+//! exactly the resident transform's pairing applied to the chunk. Guo &
+//! Rekatsinas's sparse-regression formulation treats FD discovery as
+//! estimation over *sampled* tuple pairs, which is what licenses per-chunk
+//! pairing as a degradation rung: the chunked statistic is a pair
+//! subsample of the resident one, not an approximation of a different
+//! quantity.
+//!
+//! All counters are `u64` counts, so [`StreamStats::merge`] is **exact and
+//! associative**: merging chunk statistics in any grouping yields
+//! bit-identical state. On a single chunk the accumulator replicates the
+//! resident path operation for operation (same shuffle stream, same stable
+//! sort, same bit-packed AND+popcount), which the `fdx_core` transform
+//! tests pin against `pair_transform` field by field.
+
+use fdx_data::NULL_CODE;
+use fdx_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Derives the shuffle seed for chunk `chunk_index` from the run seed.
+///
+/// Chunk 0 uses the run seed itself, so a single-chunk stream shuffles
+/// identically to the resident `pair_transform`.
+pub fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
+    seed ^ chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Streaming sufficient statistics of the pair transform.
+///
+/// Holds the same aggregates as the resident path — co-agreement counts,
+/// per-attribute agreement counts, and per-sort-block totals for pooled
+/// within-block centering — as exact integer counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    k: usize,
+    seed: u64,
+    /// Treat NULL = NULL as agreement (the resident `NullPolicy` knob).
+    nulls_equal: bool,
+    /// Upper-triangular (including diagonal) co-agreement counts, row-major.
+    co_counts: Vec<u64>,
+    ones: Vec<u64>,
+    /// `block_ones[blk * k + a]`: agreements on attribute `a` among pairs
+    /// produced while sorted by attribute `blk`, pooled across chunks.
+    block_ones: Vec<u64>,
+    /// Pairs contributed by each sort block, pooled across chunks.
+    block_sizes: Vec<u64>,
+    n_samples: u64,
+    chunks: u64,
+}
+
+impl StreamStats {
+    /// Empty statistics over `k` attributes.
+    pub fn new(k: usize, seed: u64, nulls_equal: bool) -> StreamStats {
+        StreamStats {
+            k,
+            seed,
+            nulls_equal,
+            co_counts: vec![0; k * k],
+            ones: vec![0; k],
+            block_ones: vec![0; k * k],
+            block_sizes: vec![0; k],
+            n_samples: 0,
+            chunks: 0,
+        }
+    }
+
+    /// Number of attributes `k`.
+    pub fn num_attributes(&self) -> usize {
+        self.k
+    }
+
+    /// Pair samples accumulated so far.
+    pub fn num_samples(&self) -> u64 {
+        self.n_samples
+    }
+
+    /// Chunks accumulated so far.
+    pub fn num_chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Raw co-agreement counts (row-major `k × k`, upper triangle).
+    pub fn co_counts(&self) -> &[u64] {
+        &self.co_counts
+    }
+
+    /// Raw per-attribute agreement counts.
+    pub fn ones(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Raw per-block agreement counts (`block_ones[blk * k + a]`).
+    pub fn block_ones(&self) -> &[u64] {
+        &self.block_ones
+    }
+
+    /// Pairs contributed by each sort block.
+    pub fn block_sizes(&self) -> &[u64] {
+        &self.block_sizes
+    }
+
+    /// Accumulates one chunk given as per-attribute code slices (all of
+    /// equal length; `chunk_index` is the 0-based position of the chunk in
+    /// the stream). Chunks of fewer than 2 rows contribute nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns.len() != k` or the columns have unequal lengths.
+    pub fn accumulate_chunk(&mut self, columns: &[&[u32]], chunk_index: u64) {
+        let k = self.k;
+        assert_eq!(columns.len(), k, "chunk has wrong attribute count");
+        let m = columns.first().map_or(0, |c| c.len());
+        for col in columns {
+            assert_eq!(col.len(), m, "chunk columns of unequal length");
+        }
+        if m < 2 {
+            return;
+        }
+
+        let mut shuffled: Vec<usize> = (0..m).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(chunk_seed(self.seed, chunk_index));
+        shuffled.shuffle(&mut rng);
+
+        let words = m.div_ceil(64);
+        let mut bits = vec![0u64; k * words];
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        for attr in 0..k {
+            // Stable sort of the shuffled order by this attribute's codes,
+            // then circular-shift pairing — the resident Algorithm 2 block.
+            order.clear();
+            order.extend_from_slice(&shuffled);
+            let sort_codes = columns[attr];
+            order.sort_by_key(|&r| sort_codes[r]);
+
+            bits.iter_mut().for_each(|w| *w = 0);
+            for (a, chunk) in (0..k).zip(bits.chunks_mut(words)) {
+                let codes = columns[a];
+                for r in 0..m {
+                    let ci = codes[order[r]];
+                    let cj = codes[order[(r + 1) % m]];
+                    let equal = if self.nulls_equal {
+                        ci == cj
+                    } else {
+                        ci != NULL_CODE && ci == cj
+                    };
+                    if equal {
+                        chunk[r / 64] |= 1u64 << (r % 64);
+                    }
+                }
+            }
+            for a in 0..k {
+                let col_a = &bits[a * words..(a + 1) * words];
+                let ones_a: u64 = col_a.iter().map(|w| w.count_ones() as u64).sum();
+                self.ones[a] += ones_a;
+                self.block_ones[attr * k + a] += ones_a;
+                self.co_counts[a * k + a] += ones_a;
+                for b in (a + 1)..k {
+                    let col_b = &bits[b * words..(b + 1) * words];
+                    let co: u64 = col_a
+                        .iter()
+                        .zip(col_b)
+                        .map(|(x, y)| (x & y).count_ones() as u64)
+                        .sum();
+                    self.co_counts[a * k + b] += co;
+                }
+            }
+            self.block_sizes[attr] += m as u64;
+            self.n_samples += m as u64;
+        }
+        self.chunks += 1;
+    }
+
+    /// Exact, associative merge: element-wise integer addition of every
+    /// counter. `merge(a, merge(b, c)) == merge(merge(a, b), c)`
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides disagree on `k`, seed, or null handling —
+    /// those statistics describe different experiments.
+    pub fn merge(&mut self, other: &StreamStats) {
+        assert_eq!(self.k, other.k, "merge across attribute counts");
+        assert_eq!(self.seed, other.seed, "merge across seeds");
+        assert_eq!(
+            self.nulls_equal, other.nulls_equal,
+            "merge across null policies"
+        );
+        for (a, b) in self.co_counts.iter_mut().zip(&other.co_counts) {
+            *a += b;
+        }
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        for (a, b) in self.block_ones.iter_mut().zip(&other.block_ones) {
+            *a += b;
+        }
+        for (a, b) in self.block_sizes.iter_mut().zip(&other.block_sizes) {
+            *a += b;
+        }
+        self.n_samples += other.n_samples;
+        self.chunks += other.chunks;
+    }
+
+    /// Per-attribute empirical agreement rate `P(z[a] = 1)`.
+    pub fn agreement_rates(&self) -> Vec<f64> {
+        let n = self.n_samples.max(1) as f64;
+        self.ones.iter().map(|&o| o as f64 / n).collect()
+    }
+
+    /// Pooled **within-block** covariance of the accumulated pair samples
+    /// — the resident path's stratification-corrected `S`, with blocks
+    /// pooled across chunks.
+    pub fn covariance(&self) -> Matrix {
+        let n = self.n_samples.max(1) as f64;
+        let k = self.k;
+        let mut s = Matrix::zeros(k, k);
+        for a in 0..k {
+            for b in a..k {
+                let mut c = self.co_counts[a * k + b] as f64;
+                for blk in 0..k {
+                    let m = self.block_sizes[blk];
+                    if m > 0 {
+                        let oa = self.block_ones[blk * k + a] as f64;
+                        let ob = self.block_ones[blk * k + b] as f64;
+                        c -= oa * ob / m as f64;
+                    }
+                }
+                let v = c / n;
+                s[(a, b)] = v;
+                s[(b, a)] = v;
+            }
+        }
+        s
+    }
+
+    /// Naive pooled covariance (single global mean, no block centering).
+    pub fn pooled_covariance(&self) -> Matrix {
+        let n = self.n_samples.max(1) as f64;
+        let p = self.agreement_rates();
+        let mut s = Matrix::zeros(self.k, self.k);
+        for a in 0..self.k {
+            for b in a..self.k {
+                let c = self.co_counts[a * self.k + b] as f64 / n;
+                let v = c - p[a] * p[b];
+                s[(a, b)] = v;
+                s[(b, a)] = v;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance;
+
+    /// Three categorical columns with a planted zip→city dependency.
+    fn columns(rows: usize) -> Vec<Vec<u32>> {
+        let mut zip = Vec::new();
+        let mut city = Vec::new();
+        let mut noise = Vec::new();
+        for i in 0..rows {
+            let z = (i % 16) as u32;
+            zip.push(z);
+            city.push(z / 2);
+            noise.push(((i * 7 + 3) % 5) as u32);
+        }
+        vec![zip, city, noise]
+    }
+
+    fn slices(cols: &[Vec<u32>]) -> Vec<&[u32]> {
+        cols.iter().map(Vec::as_slice).collect()
+    }
+
+    #[test]
+    fn sample_counts_per_chunk() {
+        let cols = columns(50);
+        let mut s = StreamStats::new(3, 42, false);
+        s.accumulate_chunk(&slices(&cols), 0);
+        assert_eq!(s.num_samples(), 50 * 3);
+        assert_eq!(s.num_chunks(), 1);
+        s.accumulate_chunk(&slices(&cols), 1);
+        assert_eq!(s.num_samples(), 2 * 50 * 3);
+        assert_eq!(s.num_chunks(), 2);
+    }
+
+    #[test]
+    fn tiny_chunks_contribute_nothing() {
+        let mut s = StreamStats::new(2, 1, false);
+        s.accumulate_chunk(&[&[], &[]], 0);
+        s.accumulate_chunk(&[&[3], &[4]], 1);
+        assert_eq!(s.num_samples(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_associative() {
+        let cols = columns(64);
+        let views = slices(&cols);
+        let chunks: Vec<(u64, Vec<&[u32]>)> = (0..4)
+            .map(|c| {
+                let lo = c * 16;
+                (
+                    c as u64,
+                    views.iter().map(|v| &v[lo..lo + 16]).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+
+        // One accumulator fed sequentially.
+        let mut seq = StreamStats::new(3, 7, false);
+        for (idx, view) in &chunks {
+            seq.accumulate_chunk(view, *idx);
+        }
+
+        // Per-chunk accumulators merged left-to-right.
+        let partials: Vec<StreamStats> = chunks
+            .iter()
+            .map(|(idx, view)| {
+                let mut p = StreamStats::new(3, 7, false);
+                p.accumulate_chunk(view, *idx);
+                p
+            })
+            .collect();
+        let mut left = StreamStats::new(3, 7, false);
+        for p in &partials {
+            left.merge(p);
+        }
+
+        // Merged in a different grouping: (0+1) + (2+3).
+        let mut ab = partials[0].clone();
+        ab.merge(&partials[1]);
+        let mut cd = partials[2].clone();
+        cd.merge(&partials[3]);
+        let mut grouped = ab.clone();
+        grouped.merge(&cd);
+
+        assert_eq!(seq, left, "sequential == merged");
+        assert_eq!(left, grouped, "merge grouping must not matter");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_chunk() {
+        let cols = columns(40);
+        let mut a = StreamStats::new(3, 5, false);
+        let mut b = StreamStats::new(3, 5, false);
+        a.accumulate_chunk(&slices(&cols), 0);
+        b.accumulate_chunk(&slices(&cols), 0);
+        assert_eq!(a, b);
+        // A different chunk index shuffles differently but keeps totals.
+        let mut c = StreamStats::new(3, 5, false);
+        c.accumulate_chunk(&slices(&cols), 9);
+        assert_eq!(a.num_samples(), c.num_samples());
+        assert_eq!(a.block_sizes(), c.block_sizes());
+    }
+
+    #[test]
+    fn planted_fd_shows_positive_covariance() {
+        let cols = columns(200);
+        let mut s = StreamStats::new(3, 42, false);
+        for (idx, chunk) in cols[0].chunks(50).enumerate() {
+            let view: Vec<&[u32]> = (0..3)
+                .map(|a| &cols[a][idx * 50..idx * 50 + chunk.len()])
+                .collect();
+            s.accumulate_chunk(&view, idx as u64);
+        }
+        let cov = s.covariance();
+        assert!(
+            cov[(0, 1)] > 0.0,
+            "zip→city should co-agree: {:?}",
+            cov[(0, 1)]
+        );
+        assert!(cov[(0, 1)] > cov[(0, 2)], "dependency beats noise");
+    }
+
+    #[test]
+    fn pooled_covariance_matches_materialized_samples() {
+        // Materialize the exact same pairs densely and compare the plain
+        // covariance with the streaming pooled covariance.
+        let cols = columns(30);
+        let k = 3;
+        let mut s = StreamStats::new(k, 11, false);
+        s.accumulate_chunk(&slices(&cols), 0);
+
+        let m = 30;
+        let mut shuffled: Vec<usize> = (0..m).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(chunk_seed(11, 0));
+        shuffled.shuffle(&mut rng);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for attr in 0..k {
+            let mut order = shuffled.clone();
+            order.sort_by_key(|&r| cols[attr][r]);
+            for r in 0..m {
+                let (i, j) = (order[r], order[(r + 1) % m]);
+                rows.push(
+                    (0..k)
+                        .map(|a| if cols[a][i] == cols[a][j] { 1.0 } else { 0.0 })
+                        .collect(),
+                );
+            }
+        }
+        let mut mat = Matrix::zeros(rows.len(), k);
+        for (r, row) in rows.iter().enumerate() {
+            for (a, &v) in row.iter().enumerate() {
+                mat[(r, a)] = v;
+            }
+        }
+        let dense = covariance(&mat);
+        let stream = s.pooled_covariance();
+        for a in 0..k {
+            for b in 0..k {
+                assert!(
+                    (dense[(a, b)] - stream[(a, b)]).abs() < 1e-12,
+                    "({a},{b}): {} vs {}",
+                    dense[(a, b)],
+                    stream[(a, b)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn null_handling_toggles_agreement() {
+        let with_nulls = vec![vec![NULL_CODE, NULL_CODE, 1, NULL_CODE], vec![0, 0, 1, 0]];
+        let views = slices(&with_nulls);
+        let mut never = StreamStats::new(2, 3, false);
+        never.accumulate_chunk(&views, 0);
+        let mut eq = StreamStats::new(2, 3, true);
+        eq.accumulate_chunk(&views, 0);
+        assert!(eq.ones()[0] > never.ones()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge across seeds")]
+    fn merge_rejects_mismatched_experiments() {
+        let mut a = StreamStats::new(2, 1, false);
+        let b = StreamStats::new(2, 2, false);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Out-of-core equivalence: chunked ingestion is bit-identical to the
+//! resident reader, at every chunk size and every thread count.
+//!
+//! A 300-row noisy-FD corpus is ingested at chunk sizes {1, 7, 64, n} and
+//! compared against `read_csv_str` of the same bytes: the datasets must be
+//! equal (same codes, same interning order), the pooled covariance must
+//! match to the bit, and the full discovery output (FD set, autoregression,
+//! Θ, order, noise variances, run summary) must be byte-identical — under
+//! explicit kernel thread counts 1/2/4 and under the `FDX_THREADS`
+//! environment override. One `#[test]` so the env mutation cannot race a
+//! sibling test thread.
+
+use fdx::{pair_transform, Fdx, FdxConfig, TransformConfig};
+use fdx_data::{ingest_csv_file, read_csv_str, Dataset, IngestConfig};
+
+const ROWS: usize = 300;
+
+/// zip -> city -> state plus a noise column: real FDs with distractors.
+fn corpus() -> String {
+    let mut csv = String::from("zip,city,state,noise\n");
+    for i in 0..ROWS {
+        let z = i % 16;
+        csv.push_str(&format!(
+            "z{z},c{},s{},n{}\n",
+            z / 2,
+            z / 8,
+            (i * 7919) % 13
+        ));
+    }
+    csv
+}
+
+/// All f64 entries of a k×k matrix as raw bits — equality means identical
+/// to the last ulp.
+fn matrix_bits(m: &fdx_linalg::Matrix) -> Vec<u64> {
+    let k = m.rows();
+    (0..k)
+        .flat_map(|i| (0..k).map(move |j| (i, j)))
+        .map(|(i, j)| m[(i, j)].to_bits())
+        .collect()
+}
+
+/// Everything deterministic about a run, rendered for comparison: the run
+/// summary (timings stripped), FDs, and the numeric output to the bit.
+fn fingerprint(dataset: &Dataset, threads: Option<usize>) -> String {
+    let mut cfg = FdxConfig::with_seed(7);
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let result = Fdx::new(cfg).discover(dataset).expect("discover");
+    let summary = result.summary_json();
+    let (head, _) = summary
+        .split_once(",\"timings\"")
+        .expect("summary has timings");
+    let fds: Vec<String> = result
+        .fds
+        .iter()
+        .map(|fd| fd.display(dataset.schema()).to_string())
+        .collect();
+    format!(
+        "{head} fds={fds:?} order={:?} b={:?} theta={:?} omega={:?} health={}",
+        result.order,
+        matrix_bits(&result.autoregression),
+        matrix_bits(&result.theta),
+        result
+            .noise_variances
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        result.health.to_json(),
+    )
+}
+
+#[test]
+fn chunked_ingest_is_bit_identical_to_resident_at_every_width() {
+    let csv = corpus();
+    let path = std::env::temp_dir().join(format!("fdx-equiv-{}.csv", std::process::id()));
+    std::fs::write(&path, &csv).expect("write corpus");
+
+    let resident = read_csv_str(&csv).expect("resident read");
+    let mut chunked: Vec<(usize, Dataset)> = Vec::new();
+    for chunk_rows in [1, 7, 64, ROWS] {
+        let got = ingest_csv_file(
+            &path,
+            &IngestConfig {
+                chunk_rows: Some(chunk_rows),
+                ..IngestConfig::default()
+            },
+        )
+        .expect("chunked ingest");
+        assert!(!got.health.degraded(), "chunk_rows={chunk_rows}");
+        assert_eq!(got.health.rows_kept, ROWS as u64, "chunk_rows={chunk_rows}");
+        assert_eq!(got.health.keep_every, 1, "chunk_rows={chunk_rows}");
+        assert_eq!(
+            got.dataset, resident,
+            "chunk_rows={chunk_rows}: dataset diverged from resident read"
+        );
+        chunked.push((chunk_rows, got.dataset));
+    }
+
+    // Pooled covariance to the bit, at kernel thread counts 1/2/4.
+    for threads in [1usize, 2, 4] {
+        let tc = TransformConfig {
+            threads: Some(threads),
+            ..TransformConfig::default()
+        };
+        let want = pair_transform(&resident, &tc).pooled_covariance();
+        let want_bits = matrix_bits(&want);
+        for (chunk_rows, ds) in &chunked {
+            let got = pair_transform(ds, &tc).pooled_covariance();
+            assert_eq!(
+                matrix_bits(&got),
+                want_bits,
+                "covariance bits diverged at chunk_rows={chunk_rows} threads={threads}"
+            );
+        }
+    }
+
+    // Full-pipeline fingerprint: resident at 1 thread is the reference;
+    // every (chunk size × thread count) cell must reproduce it exactly.
+    let reference = fingerprint(&resident, Some(1));
+    assert!(reference.contains("\"fds\":"), "{reference}");
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            fingerprint(&resident, Some(threads)),
+            reference,
+            "resident run diverged at threads={threads}"
+        );
+        for (chunk_rows, ds) in &chunked {
+            assert_eq!(
+                fingerprint(ds, Some(threads)),
+                reference,
+                "chunk_rows={chunk_rows} threads={threads}"
+            );
+        }
+    }
+
+    // The FDX_THREADS override resolves through the same path the CLI and
+    // server use; the answer must not move. Single #[test] in this binary,
+    // so the process-global env mutation cannot race another test.
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FDX_THREADS", threads);
+        for (chunk_rows, ds) in &chunked {
+            assert_eq!(
+                fingerprint(ds, None),
+                reference,
+                "chunk_rows={chunk_rows} FDX_THREADS={threads}"
+            );
+        }
+    }
+    std::env::remove_var("FDX_THREADS");
+
+    let _ = std::fs::remove_file(path);
+}

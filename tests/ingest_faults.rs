@@ -1,0 +1,352 @@
+//! Ingest fault matrix: every (fault × bad-row policy) cell pinned.
+//!
+//! Four `fdx_obs::faults` points model the real out-of-core failure modes
+//! — a torn download ([`ingest::FAULT_SHORT_READ`]), a bad disk sector
+//! ([`ingest::FAULT_CORRUPT_CHUNK`]), a flaky NFS read
+//! ([`ingest::FAULT_DISK_STALL`]) and an allocation failure at a chunk
+//! merge ([`ingest::FAULT_OOM_AT_CHUNK`]). Each is armed under each
+//! [`BadRowPolicy`]; every cell must end in a typed outcome — an
+//! [`IngestError`] or a degraded [`IngestHealth`] — never a panic and
+//! never a silently wrong answer. All twelve outcomes are deterministic
+//! and asserted exactly.
+//!
+//! A second test drives the same faults end-to-end through `fdx-serve`
+//! path-based discovery: the reply must carry the `source` block and the
+//! degradation flag, and the server must survive.
+
+use fdx_data::ingest::{
+    FAULT_CORRUPT_CHUNK, FAULT_DISK_STALL, FAULT_OOM_AT_CHUNK, FAULT_SHORT_READ,
+};
+use fdx_data::{ingest_csv_file, BadRowPolicy, IngestConfig, Ingested};
+use std::path::PathBuf;
+
+/// 2000 clean rows of the zip -> city -> state corpus.
+fn write_corpus(rows: usize, name: &str) -> PathBuf {
+    let mut csv = String::from("zip,city,state\n");
+    for i in 0..rows {
+        let z = i % 16;
+        csv.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+    }
+    let path = std::env::temp_dir().join(format!("fdx-faults-{}-{name}.csv", std::process::id()));
+    std::fs::write(&path, csv).expect("write corpus");
+    path
+}
+
+fn quarantine_path(cell: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "fdx-faults-{}-{cell}-quarantine.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The three policies for one matrix row; `cell` names the fault for the
+/// quarantine file.
+fn policies(cell: &str) -> [(&'static str, BadRowPolicy); 3] {
+    [
+        ("abort", BadRowPolicy::Abort),
+        ("skip", BadRowPolicy::Skip),
+        (
+            "quarantine",
+            BadRowPolicy::Quarantine(quarantine_path(cell)),
+        ),
+    ]
+}
+
+#[test]
+fn short_read_matrix() {
+    // A short read truncates the stream mid-row: the ragged tail row is the
+    // single bad row; everything before it is kept.
+    let path = write_corpus(2000, "short");
+    for (name, policy) in policies("short") {
+        let _f = fdx_obs::faults::arm_times(FAULT_SHORT_READ, 1);
+        let got = ingest_csv_file(
+            &path,
+            &IngestConfig {
+                on_bad_row: policy.clone(),
+                ..IngestConfig::default()
+            },
+        );
+        match (name, got) {
+            ("abort", Err(e)) => {
+                let msg = e.to_string();
+                assert!(msg.contains("line 1001"), "{msg}");
+                assert!(msg.contains("has 2 fields, expected 3"), "{msg}");
+            }
+            ("abort", Ok(_)) => panic!("abort policy must surface the truncated row"),
+            (
+                _,
+                Ok(Ingested {
+                    dataset, health, ..
+                }),
+            ) => {
+                assert_eq!(dataset.nrows(), 999, "{name}");
+                assert_eq!(health.rows_quarantined, 1, "{name}");
+                assert!(health.degraded(), "{name}");
+                assert!(
+                    health.notes.iter().any(|n| n.contains("short read")),
+                    "{name}: {:?}",
+                    health.notes
+                );
+                if let BadRowPolicy::Quarantine(qp) = &policy {
+                    let text = std::fs::read_to_string(qp).expect("quarantine file");
+                    assert_eq!(text.lines().count(), 1, "{text}");
+                    assert!(text.contains(r#""kind":"quarantine""#), "{text}");
+                }
+            }
+            (_, Err(e)) => panic!("{name} policy must degrade, not fail: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn corrupt_chunk_matrix() {
+    // A chunk-level integrity failure voids all 16 rows of the chunk at
+    // once; the policy decides whether that aborts the run or quarantines
+    // the whole chunk.
+    let path = write_corpus(64, "corrupt");
+    for (name, policy) in policies("corrupt") {
+        let _f = fdx_obs::faults::arm_times(FAULT_CORRUPT_CHUNK, 1);
+        let got = ingest_csv_file(
+            &path,
+            &IngestConfig {
+                chunk_rows: Some(16),
+                on_bad_row: policy.clone(),
+                ..IngestConfig::default()
+            },
+        );
+        match (name, got) {
+            ("abort", Err(e)) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("corrupt chunk (integrity check failed)"),
+                    "{msg}"
+                );
+                assert!(msg.contains("line 2"), "first chunk row is line 2: {msg}");
+            }
+            ("abort", Ok(_)) => panic!("abort policy must surface the corrupt chunk"),
+            (
+                _,
+                Ok(Ingested {
+                    dataset,
+                    health,
+                    quarantined,
+                }),
+            ) => {
+                assert_eq!(dataset.nrows(), 48, "{name}");
+                assert_eq!(health.rows_quarantined, 16, "{name}");
+                assert_eq!(quarantined.len(), 16, "{name}");
+                assert!(health.degraded(), "{name}");
+                assert!(
+                    health
+                        .notes
+                        .iter()
+                        .any(|n| n.contains("failed integrity check")),
+                    "{name}: {:?}",
+                    health.notes
+                );
+                if let BadRowPolicy::Quarantine(qp) = &policy {
+                    let text = std::fs::read_to_string(qp).expect("quarantine file");
+                    assert_eq!(text.lines().count(), 16, "{text}");
+                    for line in text.lines() {
+                        assert!(line.contains("corrupt chunk"), "{line}");
+                    }
+                }
+            }
+            (_, Err(e)) => panic!("{name} policy must degrade, not fail: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn disk_stall_matrix() {
+    // A stalled-then-retried read loses nothing under any policy: the run
+    // completes with every row and a recovery note.
+    let path = write_corpus(64, "stall");
+    for (name, policy) in policies("stall") {
+        let _f = fdx_obs::faults::arm_times(FAULT_DISK_STALL, 1);
+        let got = ingest_csv_file(
+            &path,
+            &IngestConfig {
+                on_bad_row: policy,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: stall must never fail ingest: {e}"));
+        assert_eq!(got.dataset.nrows(), 64, "{name}: stall must not lose rows");
+        assert_eq!(got.health.rows_quarantined, 0, "{name}");
+        assert!(got.health.degraded(), "{name}");
+        assert!(
+            got.health.notes.iter().any(|n| n.contains("disk stall")),
+            "{name}: {:?}",
+            got.health.notes
+        );
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn oom_at_chunk_matrix() {
+    // A forced allocation failure at a chunk merge engages the sampled-rows
+    // rung (keep every 2nd row) under every policy instead of failing.
+    let path = write_corpus(64, "oom");
+    for (name, policy) in policies("oom") {
+        let _f = fdx_obs::faults::arm_times(FAULT_OOM_AT_CHUNK, 1);
+        let got = ingest_csv_file(
+            &path,
+            &IngestConfig {
+                chunk_rows: Some(16),
+                on_bad_row: policy,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: oom must degrade to sampling, not fail: {e}"));
+        assert!(got.health.sampled, "{name}");
+        assert_eq!(got.health.keep_every, 2, "{name}");
+        assert_eq!(got.dataset.nrows(), 32, "{name}");
+        assert_eq!(got.health.rows_quarantined, 0, "{name}");
+        assert!(got.health.degraded(), "{name}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn faulted_ingest_surfaces_in_run_health() {
+    // The degraded ingest propagates into RunHealth: a discover over a
+    // faulted ingest reports degraded() and renders the ingest section.
+    use fdx::{Fdx, FdxConfig};
+    let path = write_corpus(96, "health");
+    let _f = fdx_obs::faults::arm_times(FAULT_DISK_STALL, 1);
+    let got = ingest_csv_file(&path, &IngestConfig::default()).expect("ingest");
+    let mut result = Fdx::new(FdxConfig::with_seed(7).with_threads(1))
+        .discover(&got.dataset)
+        .expect("discover");
+    assert!(!result.health.degraded(), "pipeline itself is clean");
+    result.health.ingest = Some(got.health);
+    assert!(
+        result.health.degraded(),
+        "ingest degradation must propagate"
+    );
+    let j = result.health.to_json();
+    assert!(j.contains(r#""ingest":{"kind":"ingest""#), "{j}");
+    assert!(j.contains("disk stall"), "{j}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn serve_path_discovery_reports_faulted_sources() {
+    // End-to-end: path-based discovery through fdx-serve with request-scoped
+    // ingest chaos. Faulted replies stay typed and carry the source block;
+    // the server survives all of it.
+    use fdx::{Fdx, FdxConfig};
+    use fdx_serve::client::exchange;
+    use fdx_serve::{codes, ChaosSpec, RequestFrame, Response, ServeConfig, Server};
+
+    let path = write_corpus(96, "serve");
+    let csv_path = path.to_string_lossy().to_string();
+
+    let dataset = fdx_data::read_csv_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let reference = Fdx::new(FdxConfig::with_seed(7).with_threads(1))
+        .discover(&dataset)
+        .expect("direct discover");
+    let reference_fds: Vec<String> = reference
+        .fds
+        .iter()
+        .map(|fd| fd.display(dataset.schema()).to_string())
+        .collect();
+
+    let handle = Server::start(ServeConfig {
+        chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let frame = |id: &str| RequestFrame {
+        id: id.to_string(),
+        path: Some(csv_path.clone()),
+        seed: Some(7),
+        ..RequestFrame::default()
+    };
+    let source_of = |r: &Response| {
+        r.raw
+            .get("source")
+            .cloned()
+            .unwrap_or_else(|| panic!("no source block: {}", r.line))
+    };
+
+    // Clean path request: bit-identical to the direct run, clean source.
+    let r = Response::parse(&exchange(&addr, &frame("clean").to_line()).unwrap()).unwrap();
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.degraded, Some(false), "{r:?}");
+    assert_eq!(r.fds.as_deref(), Some(&reference_fds[..]), "{r:?}");
+    let s = source_of(&r);
+    assert_eq!(
+        s.get("rows").and_then(|v| v.as_f64()),
+        Some(96.0),
+        "{}",
+        r.line
+    );
+    assert_eq!(s.get("quarantined").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(s.get("sampled").and_then(|v| v.as_bool()), Some(false));
+
+    // Disk stall: same answer, degraded reply, source intact.
+    let mut f = frame("stall");
+    f.chaos.push(ChaosSpec {
+        point: "ingest.disk_stall",
+        times: Some(1),
+        value: None,
+    });
+    let r = Response::parse(&exchange(&addr, &f.to_line()).unwrap()).unwrap();
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.degraded, Some(true), "{r:?}");
+    assert_eq!(r.fds.as_deref(), Some(&reference_fds[..]), "{r:?}");
+    assert_eq!(
+        source_of(&r).get("rows").and_then(|v| v.as_f64()),
+        Some(96.0)
+    );
+
+    // Forced allocation failure: the reply is degraded and its source block
+    // discloses the sampled-rows rung (48 of 96 rows kept).
+    let mut f = frame("oom");
+    f.chaos.push(ChaosSpec {
+        point: "ingest.oom_at_chunk",
+        times: Some(1),
+        value: None,
+    });
+    let r = Response::parse(&exchange(&addr, &f.to_line()).unwrap()).unwrap();
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.degraded, Some(true), "{r:?}");
+    let s = source_of(&r);
+    assert_eq!(s.get("sampled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(s.get("rows").and_then(|v| v.as_f64()), Some(48.0));
+
+    // A missing file is a typed ingest error, not a connection drop.
+    let r = Response::parse(
+        &exchange(
+            &addr,
+            &RequestFrame {
+                id: "missing".to_string(),
+                path: Some("/nonexistent/fdx-no-such-file.csv".to_string()),
+                ..RequestFrame::default()
+            }
+            .to_line(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(r.code_is(codes::INGEST_ERROR), "{r:?}");
+
+    // The server took four path requests (one faulted per cell) and lives.
+    let r = Response::parse(&exchange(&addr, &frame("post").to_line()).unwrap()).unwrap();
+    assert!(r.is_ok(), "{r:?}");
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    assert_eq!(report.requests, 5);
+    let _ = std::fs::remove_file(path);
+}

@@ -1,125 +1,186 @@
 //! Cross-crate property-based tests: invariants of the pair transform, the
 //! validation scores, the metrics, and the discovery pipeline on random
 //! inputs.
+//!
+//! Deterministic ChaCha8-seeded generators (the same zero-dependency style
+//! as `serve_fuzz.rs`) replace an external property-testing framework: each
+//! property runs a fixed number of cases from a pinned seed, so a failure
+//! reproduces exactly by case index.
 
 use fdx::{pair_transform, pair_transform_matrix, score_fd, Fdx, FdxConfig, TransformConfig};
 use fdx_data::{Column, Dataset, Fd, FdSet, Schema, Value};
 use fdx_eval::{edge_prf, undirected_edge_prf};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: a random categorical dataset with `rows` rows and `cols`
-/// columns, each with a small domain.
-fn dataset(rows: usize, cols: usize) -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec(0u32..5, rows * cols).prop_map(move |codes| {
-        let schema = Schema::new(
-            (0..cols)
-                .map(|c| fdx_data::Attribute::categorical(format!("A{c}")))
-                .collect(),
-        );
-        let columns: Vec<Column> = (0..cols)
-            .map(|c| {
-                let col_codes: Vec<u32> = (0..rows).map(|r| codes[r * cols + c]).collect();
-                let dict: Vec<Value> = (0..5).map(|v| Value::text(format!("v{v}"))).collect();
-                Column::from_codes(col_codes, dict)
-            })
-            .collect();
-        Dataset::new(schema, columns)
-    })
+const CASES: usize = 24;
+
+/// A random categorical dataset with `rows` rows and `cols` columns, each
+/// with a small domain (codes 0..5).
+fn random_dataset(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Dataset {
+    let schema = Schema::new(
+        (0..cols)
+            .map(|c| fdx_data::Attribute::categorical(format!("A{c}")))
+            .collect(),
+    );
+    let columns: Vec<Column> = (0..cols)
+        .map(|_| {
+            let col_codes: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..5u32)).collect();
+            let dict: Vec<Value> = (0..5).map(|v| Value::text(format!("v{v}"))).collect();
+            Column::from_codes(col_codes, dict)
+        })
+        .collect();
+    Dataset::new(schema, columns)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random small FD set: `1..5` edges with lhs in `0..lhs_max` and rhs in
+/// `lhs_max..8` (so no edge is trivial).
+fn random_fd_set(rng: &mut ChaCha8Rng, lhs_max: usize) -> FdSet {
+    let n = rng.gen_range(1..5usize);
+    FdSet::from_fds((0..n).map(|_| {
+        let x = rng.gen_range(0..lhs_max);
+        let y = rng.gen_range(lhs_max..8);
+        Fd::new([x], y)
+    }))
+}
 
-    #[test]
-    fn streaming_stats_match_materialized_matrix(ds in dataset(30, 4)) {
+#[test]
+fn streaming_stats_match_materialized_matrix() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A01);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng, 30, 4);
         let cfg = TransformConfig {
             parallel: false,
             ..TransformConfig::default()
         };
         let stats = pair_transform(&ds, &cfg);
         let m = pair_transform_matrix(&ds, &cfg);
-        prop_assert_eq!(m.rows(), stats.num_samples());
+        assert_eq!(m.rows(), stats.num_samples(), "case {case}");
         let s_stream = stats.pooled_covariance();
         let s_mat = fdx_stats::covariance(&m);
         for a in 0..4 {
             for b in 0..4 {
-                prop_assert!((s_stream[(a, b)] - s_mat[(a, b)]).abs() < 1e-10);
+                assert!(
+                    (s_stream[(a, b)] - s_mat[(a, b)]).abs() < 1e-10,
+                    "case {case} ({a},{b}): {} vs {}",
+                    s_stream[(a, b)],
+                    s_mat[(a, b)]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn covariance_is_psd_diagonal(ds in dataset(40, 5)) {
+#[test]
+fn covariance_is_psd_diagonal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A02);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng, 40, 5);
         let stats = pair_transform(&ds, &TransformConfig::default());
         let s = stats.covariance();
         for i in 0..5 {
             // Diagonal of any covariance is non-negative.
-            prop_assert!(s[(i, i)] >= -1e-12, "var {} = {}", i, s[(i, i)]);
+            assert!(s[(i, i)] >= -1e-12, "case {case}: var {i} = {}", s[(i, i)]);
         }
-        prop_assert!(s.asymmetry() < 1e-12);
+        assert!(s.asymmetry() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn correlation_entries_bounded(ds in dataset(40, 4)) {
+#[test]
+fn correlation_entries_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A03);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng, 40, 4);
         let stats = pair_transform(&ds, &TransformConfig::default());
         let c = stats.correlation();
         for i in 0..4 {
             for j in 0..4 {
-                prop_assert!(c[(i, j)].abs() <= 1.0 + 1e-9);
+                assert!(
+                    c[(i, j)].abs() <= 1.0 + 1e-9,
+                    "case {case} ({i},{j}): {}",
+                    c[(i, j)]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn fd_scores_are_probabilities(ds in dataset(30, 4)) {
+#[test]
+fn fd_scores_are_probabilities() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A04);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng, 30, 4);
         for lhs in 0..4usize {
             for rhs in 0..4usize {
-                if lhs == rhs { continue; }
+                if lhs == rhs {
+                    continue;
+                }
                 let s = score_fd(&ds, &[lhs], rhs);
-                prop_assert!((0.0..=1.0).contains(&s.conditional));
-                prop_assert!((0.0..=1.0).contains(&s.baseline));
-                prop_assert!((0.0..=1.0).contains(&s.lift));
+                assert!(
+                    (0.0..=1.0).contains(&s.conditional),
+                    "case {case}: {}",
+                    s.conditional
+                );
+                assert!(
+                    (0.0..=1.0).contains(&s.baseline),
+                    "case {case}: {}",
+                    s.baseline
+                );
+                assert!((0.0..=1.0).contains(&s.lift), "case {case}: {}", s.lift);
             }
         }
     }
+}
 
-    #[test]
-    fn discovery_output_is_wellformed(ds in dataset(50, 5)) {
+#[test]
+fn discovery_output_is_wellformed() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A05);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng, 50, 5);
         let result = Fdx::new(FdxConfig::default()).discover(&ds).unwrap();
         // No trivial FDs, rhs in range, at most one FD per rhs.
         let mut rhs_seen = std::collections::HashSet::new();
         for fd in result.fds.iter() {
-            prop_assert!(fd.rhs() < 5);
-            prop_assert!(!fd.lhs().contains(&fd.rhs()));
-            prop_assert!(rhs_seen.insert(fd.rhs()));
+            assert!(fd.rhs() < 5, "case {case}");
+            assert!(!fd.lhs().contains(&fd.rhs()), "case {case}");
+            assert!(rhs_seen.insert(fd.rhs()), "case {case}: duplicate rhs");
         }
         // B is strictly upper triangular in permuted coordinates: the
         // original-coordinate matrix must have zero diagonal.
         for i in 0..5 {
-            prop_assert_eq!(result.autoregression[(i, i)], 0.0);
+            assert_eq!(result.autoregression[(i, i)], 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn metrics_are_symmetric_on_equal_sets(fds in proptest::collection::vec((0usize..5, 5usize..8), 1..5)) {
-        let set = FdSet::from_fds(fds.into_iter().map(|(x, y)| Fd::new([x], y)));
+#[test]
+fn metrics_are_symmetric_on_equal_sets() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A06);
+    for case in 0..CASES {
+        let set = random_fd_set(&mut rng, 5);
         let prf = edge_prf(&set, &set.clone());
-        prop_assert_eq!(prf.f1, 1.0);
+        assert_eq!(prf.f1, 1.0, "case {case}");
         let u = undirected_edge_prf(&set, &set.clone());
-        prop_assert_eq!(u.f1, 1.0);
+        assert_eq!(u.f1, 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn f1_never_exceeds_one(
-        a in proptest::collection::vec((0usize..4, 4usize..8), 1..5),
-        b in proptest::collection::vec((0usize..4, 4usize..8), 1..5),
-    ) {
-        let sa = FdSet::from_fds(a.into_iter().map(|(x, y)| Fd::new([x], y)));
-        let sb = FdSet::from_fds(b.into_iter().map(|(x, y)| Fd::new([x], y)));
+#[test]
+fn f1_never_exceeds_one() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9_1A07);
+    for case in 0..CASES {
+        let sa = random_fd_set(&mut rng, 4);
+        let sb = random_fd_set(&mut rng, 4);
         let prf = edge_prf(&sa, &sb);
-        prop_assert!((0.0..=1.0).contains(&prf.precision));
-        prop_assert!((0.0..=1.0).contains(&prf.recall));
-        prop_assert!((0.0..=1.0).contains(&prf.f1));
-        prop_assert!(prf.f1 <= prf.precision.max(prf.recall) + 1e-12);
+        assert!((0.0..=1.0).contains(&prf.precision), "case {case}");
+        assert!((0.0..=1.0).contains(&prf.recall), "case {case}");
+        assert!((0.0..=1.0).contains(&prf.f1), "case {case}");
+        assert!(
+            prf.f1 <= prf.precision.max(prf.recall) + 1e-12,
+            "case {case}: f1 {} > max(p {}, r {})",
+            prf.f1,
+            prf.precision,
+            prf.recall
+        );
     }
 }
