@@ -6,6 +6,15 @@
 //! `fdx-par` determinism contract while doing so (every thread count must
 //! produce bit-identical results, including the discovered FD set).
 //!
+//! Two before/after comparisons ride along, each with its own exactness
+//! gate (DESIGN.md §15):
+//!
+//! * **packed kernel** — the popcount transform vs the materialized float
+//!   sample matrix; their second moments must match bit for bit;
+//! * **validation** — `refine_with_options` with the partition cache off
+//!   (threads = 1) vs on at every thread count; the refined FD set must be
+//!   byte-identical in every cell.
+//!
 //! The glasso baseline is the unscreened single-threaded solver
 //! (`screen: false, threads: 1`), which executes exactly the pre-screening
 //! code path, so the reported speedups are against the old sequential
@@ -19,7 +28,7 @@
 //! * `FDX_BENCH_PERF_THREADS` — comma-separated thread counts
 //!   (default `1,2,4`),
 //! * `FDX_BENCH_PERF_REPS`    — repetitions per cell, best-of (default 3),
-//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR8.json`),
+//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR9.json`),
 //! * `FDX_BENCH_INGEST_ROWS`  — rows for the out-of-core ingest grid
 //!   (default 50000),
 //! * `FDX_BENCH_INGEST_CHUNKS` — comma-separated `chunk_rows` widths for
@@ -33,7 +42,10 @@
 //! bounded footprint.
 
 use fdx_bench::env_usize;
-use fdx_core::{pair_transform, Fdx, FdxConfig, FdxResult, TransformConfig};
+use fdx_core::{
+    pair_transform, pair_transform_matrix, refine_with_options, Fdx, FdxConfig, FdxResult,
+    RefineOptions, TransformConfig,
+};
 use fdx_data::{ingest_csv_file, read_csv_str, Column, Dataset, IngestConfig, Schema, Value};
 use fdx_glasso::{graphical_lasso, GlassoConfig, GlassoResult};
 use fdx_linalg::Matrix;
@@ -384,7 +396,7 @@ fn main() {
     let threads = env_list("FDX_BENCH_PERF_THREADS", &[1, 2, 4]);
     let reps = env_usize("FDX_BENCH_PERF_REPS", 3);
     let out_path =
-        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     let lambda = 0.05;
     let block = 8usize;
 
@@ -414,6 +426,83 @@ fn main() {
         }
         let stats = pair_transform(&ds, &TransformConfig::default());
         let (cov_secs, _cov) = time_best_of(reps, || stats.covariance());
+
+        // --- packed kernel vs float reference ----------------------------
+        // The "before" column: materialize the float 0/1 sample matrix and
+        // accumulate the second moment with float dot products — the
+        // arithmetic the packed popcount path replaces. The entries are
+        // exact 0.0/1.0, so both paths compute the same integers and the
+        // moments must match bit for bit (asserted here; the bench-smoke CI
+        // job runs this binary, so the gate is exercised on every push).
+        let float_cfg = TransformConfig::default();
+        let (float_secs, float_sm) = time_best_of(reps, || {
+            let z = pair_transform_matrix(&ds, &float_cfg);
+            let (n, kk) = (z.rows(), z.cols());
+            let mut sm = Matrix::zeros(kk, kk);
+            for a in 0..kk {
+                for b in a..kk {
+                    let mut dot = 0.0f64;
+                    for r in 0..n {
+                        dot += z[(r, a)] * z[(r, b)];
+                    }
+                    let v = dot / n.max(1) as f64;
+                    sm[(a, b)] = v;
+                    sm[(b, a)] = v;
+                }
+            }
+            sm
+        });
+        assert_matrix_bits_equal(
+            &stats.second_moment(),
+            &float_sm,
+            "packed second moment vs float reference",
+        );
+        let packed_secs = transform_cells
+            .first()
+            .map_or(f64::INFINITY, |&(_, secs)| secs);
+
+        // --- validation: partition cache off vs on -----------------------
+        // Candidates come from the pipeline with validation disabled (the
+        // raw Algorithm 3 output), so the refinement cells see the same
+        // workload `discover` does. The refined FD set must be byte-
+        // identical across every (threads, cache) combination.
+        let raw_cfg = FdxConfig {
+            validate: false,
+            ..FdxConfig::default()
+        };
+        let candidates = discover(&ds, &raw_cfg).fds;
+        let min_lift = FdxConfig::default().min_lift;
+        let (uncached_secs, uncached_fds) = time_best_of(reps, || {
+            refine_with_options(
+                &ds,
+                &candidates,
+                min_lift,
+                RefineOptions {
+                    threads: Some(1),
+                    partition_cache: false,
+                },
+            )
+        });
+        let mut validation_cells: Vec<(usize, f64, f64)> = Vec::new();
+        for &t in &threads {
+            let (secs, refined) = time_best_of(reps, || {
+                refine_with_options(
+                    &ds,
+                    &candidates,
+                    min_lift,
+                    RefineOptions {
+                        threads: Some(t),
+                        partition_cache: true,
+                    },
+                )
+            });
+            assert_eq!(
+                refined.fds(),
+                uncached_fds.fds(),
+                "refined FD set differs from the uncached baseline at threads={t}"
+            );
+            validation_cells.push((t, secs, uncached_secs / secs.max(1e-12)));
+        }
 
         // --- glasso ------------------------------------------------------
         let s = block_spd(&mut rng, k, block);
@@ -476,6 +565,11 @@ fn main() {
         for (t, secs) in &transform_cells {
             println!("  transform   threads={t}: {:.4}s", secs);
         }
+        println!(
+            "  transform   float reference: {:.4}s  (packed {:.2}x, bit-identical)",
+            float_secs,
+            float_secs / packed_secs.max(1e-12)
+        );
         println!("  covariance  {:.4}s", cov_secs);
         println!(
             "  glasso      sequential unscreened: {:.4}s ({} sweeps, converged={})",
@@ -485,6 +579,18 @@ fn main() {
             println!(
                 "  glasso      threads={}: {:.4}s  ({:.2}x vs sequential)",
                 c.threads, c.secs, c.speedup
+            );
+        }
+        println!(
+            "  validation  uncached threads=1: {:.4}s  ({} candidates -> {} FDs)",
+            uncached_secs,
+            candidates.iter().count(),
+            uncached_fds.iter().count()
+        );
+        for &(t, secs, speedup) in &validation_cells {
+            println!(
+                "  validation  cached threads={t}: {:.4}s  ({:.2}x vs uncached, FD set identical)",
+                secs, speedup
             );
         }
         for (t, r) in &pipeline_cells {
@@ -526,11 +632,32 @@ fn main() {
                 .u64_("fds", r.fds.iter().count() as u64)
                 .finish()
         }));
+        let validation_json = json::Obj::new()
+            .u64_("candidates", candidates.iter().count() as u64)
+            .u64_("fds", uncached_fds.iter().count() as u64)
+            .f64_("uncached_secs", uncached_secs)
+            .raw(
+                "cached",
+                &json::array(validation_cells.iter().map(|&(t, secs, speedup)| {
+                    json::Obj::new()
+                        .u64_("threads", t as u64)
+                        .f64_("secs", secs)
+                        .f64_("speedup", speedup)
+                        .finish()
+                })),
+            )
+            .finish();
         settings.push(
             json::Obj::new()
                 .u64_("k", k as u64)
                 .u64_("rows", rows as u64)
                 .raw("transform", &transform_json)
+                .f64_("transform_float_reference_secs", float_secs)
+                .f64_(
+                    "transform_packed_speedup",
+                    float_secs / packed_secs.max(1e-12),
+                )
+                .raw("validation", &validation_json)
                 .f64_("covariance_secs", cov_secs)
                 .f64_("glasso_sequential_secs", seq_secs)
                 .u64_("glasso_components", screened.components as u64)
@@ -547,7 +674,13 @@ fn main() {
     let ingest_json = ingest_grid(reps);
 
     let report = json::Obj::new()
-        .str_("bench", "perf_pr8")
+        .str_("bench", "perf_pr9")
+        .str_(
+            "harness",
+            "all crates and the bench binary compiled with -O; earlier \
+             BENCH_PR*.json files were produced with unoptimized library \
+             builds, so cross-file comparisons overstate in-kernel gains",
+        )
         .u64_("rows", rows as u64)
         .u64_("reps", reps as u64)
         .f64_("lambda", lambda)

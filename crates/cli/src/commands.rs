@@ -637,12 +637,18 @@ mod tests {
             "fdx.ordering",
             "fdx.factorization",
             "fdx.generation",
+            "fdx.validation.repair",
+            "fdx.validation.scoring",
         ] {
             assert!(
                 text.contains(phase),
                 "{phase} missing from metrics:\n{text}"
             );
         }
+        assert!(
+            text.contains("fdx.validate.score_calls"),
+            "validation scoring counters missing from metrics:\n{text}"
+        );
     }
 
     #[test]

@@ -276,7 +276,11 @@ impl Fdx {
         if cfg.validate {
             budget.check("validation")?;
             let span = fdx_obs::Span::enter("fdx.validation");
-            fds = crate::validate::refine(ds, &fds, cfg.min_lift);
+            let opts = crate::validate::RefineOptions {
+                threads: cfg.threads,
+                ..Default::default()
+            };
+            fds = crate::validate::refine_with_options(ds, &fds, cfg.min_lift, opts);
             timings.validation_secs = span.elapsed_secs();
         }
 

@@ -65,4 +65,4 @@ pub use discover::{Fdx, FdxError};
 pub use report::{render_autoregression_heatmap, FdxResult, FdxTimings};
 pub use resilience::{RecoveryRung, RunHealth};
 pub use transform::{pair_transform, pair_transform_matrix, PairStats};
-pub use validate::{refine, score_fd, FdScore};
+pub use validate::{refine, refine_with_options, score_fd, FdScore, RefineOptions};

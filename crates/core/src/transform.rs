@@ -1,5 +1,6 @@
 use fdx_data::{Dataset, NULL_CODE};
-use fdx_linalg::Matrix;
+use fdx_linalg::{BitMatrix, Matrix};
+use fdx_stats::{pack_adjacent_agreement, pack_pair_agreement, stable_sort_by_codes};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -210,6 +211,15 @@ pub fn pair_transform(ds: &Dataset, cfg: &TransformConfig) -> PairStats {
 }
 
 /// Accumulates the pair block contributed by sorting on `attr`.
+///
+/// The hot path is fully bit-packed: each attribute's codes are gathered
+/// into the block's sort order once (a sequential write over an
+/// L1-resident column), agreement bits are packed word-at-a-time with the
+/// branch-free `fdx_stats` packers, and all `k²` co-agreement counts come
+/// out of the cache-blocked popcount Gram kernel
+/// ([`BitMatrix::gram_accumulate`]). Every aggregate is an exact integer,
+/// so this path is bit-identical to any scalar evaluation of the same
+/// pairs — the property `tests/bitkernel.rs` pins.
 fn accumulate_attribute(
     ds: &Dataset,
     cfg: &TransformConfig,
@@ -220,21 +230,44 @@ fn accumulate_attribute(
 ) {
     let n = ds.nrows();
     let k = ds.ncols();
-    let pairs: Vec<(usize, usize)> = match cfg.sampling {
+    let nulls_equal = match cfg.null_policy {
+        NullPolicy::NeverEqual => false,
+        NullPolicy::NullEqualsNull => true,
+    };
+    match cfg.sampling {
         PairSampling::CircularShift => {
-            // Stable sort of the shuffled order by this attribute's codes.
+            // Stable sort of the shuffled order by this attribute's codes
+            // (a counting sort over the dense code space — same permutation
+            // as `sort_by_key`); pair r compares sort position r with its
+            // circular successor.
             let codes = ds.column(attr).codes();
-            let mut order: Vec<usize> = shuffled.to_vec();
-            order.sort_by_key(|&r| codes[r]);
+            let mut order: Vec<usize> = Vec::new();
+            stable_sort_by_codes(shuffled, codes, &mut order);
             let limit = cfg.max_pairs_per_attr.unwrap_or(n).min(n);
-            (0..limit).map(|r| (order[r], order[(r + 1) % n])).collect()
+            if limit == 0 {
+                return;
+            }
+            let mut bits = BitMatrix::zeros(k, limit);
+            // Gathered codes carry a wrap sentinel (`gathered[n] =
+            // gathered[0]`) so the packer's pair loop is a pure adjacent
+            // compare with no wraparound branch.
+            let mut gathered = vec![0u32; n + 1];
+            for a in 0..k {
+                let col = ds.column(a).codes();
+                for (g, &r) in gathered[..n].iter_mut().zip(&order) {
+                    *g = col[r];
+                }
+                gathered[n] = gathered[0];
+                pack_adjacent_agreement(&gathered, limit, nulls_equal, bits.row_mut(a));
+            }
+            accumulate_block(&bits, attr, out);
         }
         PairSampling::UniformRandom { pairs_per_attr } => {
             // Derive a distinct stream per attribute for reproducibility
             // independent of thread scheduling.
             let mut rng =
                 ChaCha8Rng::seed_from_u64(seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            (0..pairs_per_attr)
+            let pairs: Vec<(usize, usize)> = (0..pairs_per_attr)
                 .map(|_| {
                     let i = rng.gen_range(0..n);
                     let mut j = rng.gen_range(0..n - 1);
@@ -243,47 +276,41 @@ fn accumulate_attribute(
                     }
                     (i, j)
                 })
-                .collect()
-        }
-    };
-
-    let m = pairs.len();
-    if m == 0 {
-        return;
-    }
-    let words = m.div_ceil(64);
-    // Column-major bitmaps: bit r of column a says "pair r agrees on a".
-    let mut bits = vec![0u64; k * words];
-    for (a, chunk) in (0..k).zip(bits.chunks_mut(words)) {
-        let codes = ds.column(a).codes();
-        for (r, &(i, j)) in pairs.iter().enumerate() {
-            let ci = codes[i];
-            let cj = codes[j];
-            let equal = match cfg.null_policy {
-                NullPolicy::NeverEqual => ci != NULL_CODE && ci == cj,
-                NullPolicy::NullEqualsNull => ci == cj,
-            };
-            if equal {
-                chunk[r / 64] |= 1u64 << (r % 64);
+                .collect();
+            if pairs.is_empty() {
+                return;
             }
+            let m = pairs.len();
+            let mut bits = BitMatrix::zeros(k, m);
+            let mut left = vec![0u32; m];
+            let mut right = vec![0u32; m];
+            for a in 0..k {
+                let col = ds.column(a).codes();
+                for ((l, r), &(i, j)) in left.iter_mut().zip(right.iter_mut()).zip(&pairs) {
+                    *l = col[i];
+                    *r = col[j];
+                }
+                pack_pair_agreement(&left, &right, nulls_equal, bits.row_mut(a));
+            }
+            accumulate_block(&bits, attr, out);
         }
     }
+}
+
+/// Folds one sort block's packed agreement rows into the running totals.
+///
+/// Row popcounts feed `ones` and `block_ones`; the blocked popcount Gram
+/// feeds `co_counts`, whose diagonal (`row AND row`) is exactly the row
+/// popcount, so the diagonal receives the same increment as `ones`.
+fn accumulate_block(bits: &BitMatrix, attr: usize, out: &mut PairStats) {
+    let k = bits.rows();
+    let m = bits.bits();
+    let pops = bits.row_popcounts();
     for a in 0..k {
-        let col_a = &bits[a * words..(a + 1) * words];
-        let ones_a: u64 = col_a.iter().map(|w| w.count_ones() as u64).sum();
-        out.ones[a] += ones_a;
-        out.block_ones[attr * k + a] += ones_a;
-        out.co_counts[a * k + a] += ones_a;
-        for b in (a + 1)..k {
-            let col_b = &bits[b * words..(b + 1) * words];
-            let co: u64 = col_a
-                .iter()
-                .zip(col_b)
-                .map(|(x, y)| (x & y).count_ones() as u64)
-                .sum();
-            out.co_counts[a * k + b] += co;
-        }
+        out.ones[a] += pops[a];
+        out.block_ones[attr * k + a] += pops[a];
     }
+    bits.gram_accumulate(BitMatrix::DEFAULT_BLOCK_WORDS, &mut out.co_counts);
     out.block_sizes[attr] += m;
     out.n_samples += m;
 }

@@ -24,9 +24,24 @@
 //!    agreement, `β` the marginal), greedily minimized while the lift is
 //!    preserved, reoriented if the reverse direction clearly dominates, and
 //!    dropped if no orientation validates.
+//!
+//! Both stages funnel every score through a [`ScoreCtx`]: a partition cache
+//! keyed by the *sorted* attribute set (larger partitions are derived from a
+//! cached prefix with one [`fdx_stats::refine_groups`] pass instead of a
+//! from-scratch hash of the joint key) plus a score memo, so the thousands
+//! of overlapping `score_fd` calls issued by minimization and component
+//! repair each hash the data at most once per distinct attribute set. All
+//! scores are exact integer pair counts, so the cache changes nothing about
+//! the output — see DESIGN.md §15 for the invariants — and the score rounds
+//! can fan out over [`fdx_par::par_map_indexed`] with an index-ordered
+//! reduction that keeps the refined FD set bit-identical at every thread
+//! count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use fdx_data::{AttrId, Dataset, Fd, FdSet};
-use fdx_stats::group_ids;
+use fdx_stats::{group_ids, refine_groups, GroupIds};
 
 /// The exact pair-agreement statistics of a candidate FD.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,19 +63,28 @@ pub struct FdScore {
 /// number also agreeing on rhs is `Σ C(c_{i,y}, 2)` — no pair sampling, no
 /// quadratic blowup.
 pub fn score_fd(ds: &Dataset, lhs: &[AttrId], rhs: AttrId) -> FdScore {
-    let n = ds.nrows() as u64;
     let gx = group_ids(ds, lhs);
     let mut joint: Vec<AttrId> = lhs.to_vec();
     joint.push(rhs);
     let gxy = group_ids(ds, &joint);
     let gy = group_ids(ds, &[rhs]);
+    score_from_pair_counts(
+        ds.nrows() as u64,
+        gx.pair_count(),
+        gxy.pair_count(),
+        gy.pair_count(),
+    )
+}
 
+/// Builds an [`FdScore`] from exact within-group pair counts.
+///
+/// Shared by the uncached [`score_fd`] and the partition-cached
+/// [`ScoreCtx::score`]: both produce the same integer pair counts, and this
+/// is the single place those integers meet floating point, so the two paths
+/// are bit-identical by construction.
+fn score_from_pair_counts(n: u64, pairs_x: u64, pairs_xy: u64, pairs_y: u64) -> FdScore {
     let pairs2 = |c: u64| c * c.saturating_sub(1) / 2;
-    let pairs_x: u64 = gx.sizes().iter().map(|&c| pairs2(c as u64)).sum();
-    let pairs_xy: u64 = gxy.sizes().iter().map(|&c| pairs2(c as u64)).sum();
-    let pairs_y: u64 = gy.sizes().iter().map(|&c| pairs2(c as u64)).sum();
     let all_pairs = pairs2(n).max(1);
-
     let conditional = if pairs_x > 0 {
         pairs_xy as f64 / pairs_x as f64
     } else {
@@ -77,6 +101,135 @@ pub fn score_fd(ds: &Dataset, lhs: &[AttrId], rhs: AttrId) -> FdScore {
         baseline,
         lift,
         support_pairs: pairs_x,
+    }
+}
+
+/// Options steering [`refine_with_options`]; [`refine`] uses the defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineOptions {
+    /// Thread budget for the score rounds (`None` = process default, see
+    /// `fdx_par::resolve_threads`). The refined FD set is bit-identical at
+    /// every thread count.
+    pub threads: Option<usize>,
+    /// Whether to reuse partitions across scores. Scores are exact integer
+    /// pair counts either way; disabling the cache only costs time. Exposed
+    /// so tests and benchmarks can pin the equivalence.
+    pub partition_cache: bool,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            threads: None,
+            partition_cache: true,
+        }
+    }
+}
+
+/// Shared scoring state for one [`refine`] run.
+///
+/// Two memo layers sit in front of the partition math:
+///
+/// * **Partition cache** — `sorted attribute set → GroupIds`. A multi-
+///   attribute partition is derived by refining the cached partition of its
+///   sorted prefix with the last attribute's code column
+///   ([`refine_groups`]), which is a dense counting pass instead of a
+///   `HashMap<Vec<u32>, _>` build over the joint key. Sorting the key is
+///   sound because a partition (and its first-appearance numbering) is
+///   invariant under attribute order.
+/// * **Score memo** — `(sorted lhs, rhs) → FdScore`. Minimization revisits
+///   the same subsets along different removal paths; those re-scores are a
+///   single hash lookup.
+///
+/// Both maps are insert-only and every insert for a given key computes the
+/// identical value, so concurrent score rounds may race on insertion
+/// without affecting any result.
+struct ScoreCtx<'a> {
+    ds: &'a Dataset,
+    /// Resolved thread budget for the outer score rounds.
+    threads: usize,
+    cache_enabled: bool,
+    partitions: Mutex<HashMap<Vec<AttrId>, Arc<GroupIds>>>,
+    scores: Mutex<HashMap<(Vec<AttrId>, AttrId), FdScore>>,
+}
+
+/// Locks a cache mutex, recovering the guard if a worker panicked while
+/// holding it (the maps are insert-only, so they are never left in a
+/// half-updated state).
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<'a> ScoreCtx<'a> {
+    fn new(ds: &'a Dataset, threads: usize, cache_enabled: bool) -> Self {
+        ScoreCtx {
+            ds,
+            threads,
+            cache_enabled,
+            partitions: Mutex::new(HashMap::new()),
+            scores: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the row partition of the sorted attribute set `attrs`,
+    /// deriving it from the cached partition of `attrs[..len-1]` where
+    /// possible.
+    fn partition(&self, attrs: &[AttrId]) -> Arc<GroupIds> {
+        debug_assert!(attrs.windows(2).all(|w| w[0] <= w[1]));
+        if let Some(p) = lock_cache(&self.partitions).get(attrs) {
+            fdx_obs::counter_add("fdx.validate.partition_hits", 1);
+            return Arc::clone(p);
+        }
+        fdx_obs::counter_add("fdx.validate.partition_misses", 1);
+        let part = if attrs.len() <= 1 {
+            Arc::new(group_ids(self.ds, attrs))
+        } else {
+            let last = attrs[attrs.len() - 1];
+            let base = self.partition(&attrs[..attrs.len() - 1]);
+            Arc::new(refine_groups(&base, self.ds.column(last).codes()))
+        };
+        // Another round may have inserted the same key meanwhile; both
+        // computed the identical partition, so keep whichever landed first.
+        Arc::clone(
+            lock_cache(&self.partitions)
+                .entry(attrs.to_vec())
+                .or_insert(part),
+        )
+    }
+
+    /// Cached equivalent of [`score_fd`]; bit-identical to it by
+    /// construction (both call [`score_from_pair_counts`] on the same
+    /// integer pair counts).
+    fn score(&self, lhs: &[AttrId], rhs: AttrId) -> FdScore {
+        fdx_obs::counter_add("fdx.validate.score_calls", 1);
+        if !self.cache_enabled {
+            return score_fd(self.ds, lhs, rhs);
+        }
+        let mut key = lhs.to_vec();
+        key.sort_unstable();
+        let memo_key = (key, rhs);
+        if let Some(&s) = lock_cache(&self.scores).get(&memo_key) {
+            fdx_obs::counter_add("fdx.validate.score_memo_hits", 1);
+            return s;
+        }
+        let gx = self.partition(&memo_key.0);
+        let mut joint = memo_key.0.clone();
+        match joint.binary_search(&rhs) {
+            // rhs already in the lhs: the joint partition is the lhs
+            // partition, matching `group_ids` over the duplicated set.
+            Ok(_) => {}
+            Err(pos) => joint.insert(pos, rhs),
+        }
+        let gxy = self.partition(&joint);
+        let gy = self.partition(&[rhs]);
+        let s = score_from_pair_counts(
+            self.ds.nrows() as u64,
+            gx.pair_count(),
+            gxy.pair_count(),
+            gy.pair_count(),
+        );
+        lock_cache(&self.scores).insert(memo_key, s);
+        s
     }
 }
 
@@ -99,24 +252,51 @@ const HUB_GUARD: f64 = 0.92;
 /// Largest attribute cluster the component repair will re-decompose.
 const MAX_COMPONENT: usize = 8;
 
+/// Copies `lhs` minus the attribute at `i` into `scratch`.
+fn leave_one_out(lhs: &[AttrId], i: usize, scratch: &mut Vec<AttrId>) {
+    scratch.clear();
+    scratch.extend_from_slice(&lhs[..i]);
+    scratch.extend_from_slice(&lhs[i + 1..]);
+}
+
 /// Greedily removes determinant attributes while the lift stays within
 /// [`MINIMIZE_SLACK`] of the full determinant's lift. Returns the minimized
 /// determinant and its score.
+///
+/// Each round scores the `|lhs|` leave-one-out subsets — on up to `threads`
+/// threads when the round is wide enough — then picks the best candidate by
+/// an index-ordered scan, so the removal sequence is the one the serial
+/// loop would take at any thread count. Subsets revisited along different
+/// removal paths hit the [`ScoreCtx`] memo instead of re-hashing the data.
 fn minimize_lhs(
-    ds: &Dataset,
+    ctx: &ScoreCtx,
     lhs: &[AttrId],
     rhs: AttrId,
     full: FdScore,
     min_lift: f64,
+    threads: usize,
 ) -> (Vec<AttrId>, FdScore) {
     let mut lhs = lhs.to_vec();
     let mut current = full;
+    let mut scratch: Vec<AttrId> = Vec::with_capacity(lhs.len());
     while lhs.len() > 1 {
+        let scored: Vec<FdScore> = if threads > 1 && lhs.len() > 2 {
+            let indices: Vec<usize> = (0..lhs.len()).collect();
+            fdx_par::par_map_indexed(&indices, threads, |_, &i| {
+                let mut reduced = Vec::with_capacity(lhs.len() - 1);
+                leave_one_out(&lhs, i, &mut reduced);
+                ctx.score(&reduced, rhs)
+            })
+        } else {
+            (0..lhs.len())
+                .map(|i| {
+                    leave_one_out(&lhs, i, &mut scratch);
+                    ctx.score(&scratch, rhs)
+                })
+                .collect()
+        };
         let mut best: Option<(usize, FdScore)> = None;
-        for i in 0..lhs.len() {
-            let mut reduced = lhs.clone();
-            reduced.remove(i);
-            let s = score_fd(ds, &reduced, rhs);
+        for (i, &s) in scored.iter().enumerate() {
             if best.as_ref().map_or(true, |(_, b)| s.lift > b.lift) {
                 best = Some((i, s));
             }
@@ -135,15 +315,41 @@ fn minimize_lhs(
 /// Validates, minimizes, and (where necessary) reorients candidate FDs.
 /// See the module docs for the full pipeline.
 pub fn refine(ds: &Dataset, candidates: &FdSet, min_lift: f64) -> FdSet {
-    let repaired = component_repair(ds, candidates, min_lift);
+    refine_with_options(ds, candidates, min_lift, RefineOptions::default())
+}
+
+/// [`refine`] with an explicit thread budget and cache toggle.
+///
+/// The refined FD set is bit-identical across every combination of
+/// `threads` and `partition_cache`: scores are exact integer pair counts,
+/// parallel score rounds reduce in index order, and tie-breaks are
+/// index-ordered scans of those reductions.
+pub fn refine_with_options(
+    ds: &Dataset,
+    candidates: &FdSet,
+    min_lift: f64,
+    opts: RefineOptions,
+) -> FdSet {
+    let ctx = ScoreCtx::new(
+        ds,
+        fdx_par::resolve_threads(opts.threads),
+        opts.partition_cache,
+    );
+    let repaired = {
+        let span = fdx_obs::Span::enter("fdx.validation.repair");
+        let repaired = component_repair(&ctx, candidates, min_lift);
+        drop(span);
+        repaired
+    };
+    let span = fdx_obs::Span::enter("fdx.validation.scoring");
     let mut out = FdSet::new();
     for fd in repaired.iter() {
         let rhs = fd.rhs();
-        let full = score_fd(ds, fd.lhs(), rhs);
+        let full = ctx.score(fd.lhs(), rhs);
         if full.lift >= min_lift && full.support_pairs >= MIN_SUPPORT_PAIRS {
-            let (lhs, current) = minimize_lhs(ds, fd.lhs(), rhs, full, min_lift);
+            let (lhs, current) = minimize_lhs(&ctx, fd.lhs(), rhs, full, min_lift, ctx.threads);
             if lhs.len() == 1 {
-                out.insert(orient(ds, lhs[0], rhs, current, min_lift));
+                out.insert(orient(&ctx, lhs[0], rhs, current, min_lift));
             } else {
                 out.insert(Fd::new(lhs, rhs));
             }
@@ -153,14 +359,14 @@ pub fn refine(ds: &Dataset, candidates: &FdSet, min_lift: f64) -> FdSet {
         // either orientation.
         let mut best: Option<(Fd, f64)> = None;
         for &x in fd.lhs() {
-            let fwd = score_fd(ds, &[x], rhs);
+            let fwd = ctx.score(&[x], rhs);
             if fwd.lift >= min_lift
                 && fwd.support_pairs >= MIN_SUPPORT_PAIRS
                 && best.as_ref().map_or(true, |&(_, l)| fwd.lift > l)
             {
                 best = Some((Fd::new([x], rhs), fwd.lift));
             }
-            let rev = score_fd(ds, &[rhs], x);
+            let rev = ctx.score(&[rhs], x);
             if rev.lift >= min_lift
                 && rev.support_pairs >= MIN_SUPPORT_PAIRS
                 && best.as_ref().map_or(true, |&(_, l)| rev.lift > l)
@@ -172,7 +378,9 @@ pub fn refine(ds: &Dataset, candidates: &FdSet, min_lift: f64) -> FdSet {
             out.insert(fd);
         }
     }
-    drop_inversion_artifacts(ds, &out).minimize()
+    let refined = drop_inversion_artifacts(ds, &out).minimize();
+    drop(span);
+    refined
 }
 
 /// Drops FDs that are inversion artifacts of other FDs in the set.
@@ -212,16 +420,20 @@ fn drop_inversion_artifacts(ds: &Dataset, fds: &FdSet) -> FdSet {
 }
 
 /// Re-decomposes weakly-explained attribute clusters (see module docs).
-fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
+fn component_repair(ctx: &ScoreCtx, fds: &FdSet, min_lift: f64) -> FdSet {
+    let ds = ctx.ds;
     let k = ds.ncols();
+    let all: Vec<&Fd> = fds.iter().collect();
+    let lifts = fdx_par::par_map_indexed(&all, ctx.threads, |_, fd| {
+        ctx.score(fd.lhs(), fd.rhs()).lift
+    });
     let mut strong: Vec<Fd> = Vec::new();
     let mut weak: Vec<Fd> = Vec::new();
-    for fd in fds.iter() {
-        let s = score_fd(ds, fd.lhs(), fd.rhs());
-        if s.lift >= HUB_GUARD {
-            strong.push(fd.clone());
+    for (fd, &lift) in all.iter().zip(&lifts) {
+        if lift >= HUB_GUARD {
+            strong.push((*fd).clone());
         } else {
-            weak.push(fd.clone());
+            weak.push((*fd).clone());
         }
     }
     if weak.is_empty() {
@@ -274,20 +486,31 @@ fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
         // Greedy best-sink decomposition of the cluster.
         let mut unclaimed: Vec<AttrId> = comp.clone();
         while unclaimed.len() >= 2 {
-            let mut round: Vec<(FdScore, AttrId, Vec<AttrId>)> = Vec::new();
-            for &y in &unclaimed {
-                // Determinants come from the *unclaimed* attributes only:
-                // sinks are extracted in reverse topological order, so an
-                // already-extracted sink (which is statistically near-
-                // injective) can never masquerade as a determinant.
-                let x_all: Vec<AttrId> = unclaimed.iter().copied().filter(|&a| a != y).collect();
-                let full = score_fd(ds, &x_all, y);
-                if full.lift < min_lift || full.support_pairs < MIN_SUPPORT_PAIRS {
-                    continue;
-                }
-                let (lhs, s) = minimize_lhs(ds, &x_all, y, full, min_lift);
-                round.push((s, y, lhs));
-            }
+            fdx_obs::counter_add("fdx.validate.repair_rounds", 1);
+            // One candidate sink per unclaimed attribute, scored and
+            // minimized in parallel; flattening the index-ordered results
+            // reproduces the serial push order exactly. Each worker
+            // minimizes serially (threads = 1) so the round is the only
+            // layer that spawns.
+            let round: Vec<(FdScore, AttrId, Vec<AttrId>)> =
+                fdx_par::par_map_indexed(&unclaimed, ctx.threads, |_, &y| {
+                    // Determinants come from the *unclaimed* attributes
+                    // only: sinks are extracted in reverse topological
+                    // order, so an already-extracted sink (which is
+                    // statistically near-injective) can never masquerade
+                    // as a determinant.
+                    let x_all: Vec<AttrId> =
+                        unclaimed.iter().copied().filter(|&a| a != y).collect();
+                    let full = ctx.score(&x_all, y);
+                    if full.lift < min_lift || full.support_pairs < MIN_SUPPORT_PAIRS {
+                        return None;
+                    }
+                    let (lhs, s) = minimize_lhs(ctx, &x_all, y, full, min_lift, 1);
+                    Some((s, y, lhs))
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             if round.is_empty() {
                 break;
             }
@@ -314,8 +537,8 @@ fn component_repair(ds: &Dataset, fds: &FdSet, min_lift: f64) -> FdSet {
 
 /// Chooses the orientation of a validated single-attribute dependency:
 /// flips to `rhs → x` only when the reverse lift clearly dominates.
-fn orient(ds: &Dataset, x: AttrId, rhs: AttrId, forward: FdScore, min_lift: f64) -> Fd {
-    let rev = score_fd(ds, &[rhs], x);
+fn orient(ctx: &ScoreCtx, x: AttrId, rhs: AttrId, forward: FdScore, min_lift: f64) -> Fd {
+    let rev = ctx.score(&[rhs], x);
     if rev.lift >= min_lift
         && rev.support_pairs >= MIN_SUPPORT_PAIRS
         && rev.lift > forward.lift + FLIP_MARGIN
@@ -510,6 +733,66 @@ mod tests {
             "got {}",
             refined.render(ds.schema())
         );
+    }
+
+    #[test]
+    fn cached_score_matches_uncached_exactly() {
+        let ds = group_dataset();
+        let ctx = ScoreCtx::new(&ds, 1, true);
+        let queries: Vec<(Vec<AttrId>, AttrId)> = vec![
+            (vec![0], 3),
+            (vec![0, 1], 3),
+            (vec![0, 1, 2], 3),
+            (vec![2, 0, 1], 3), // permuted lhs
+            (vec![3], 0),
+            (vec![1, 3], 2),
+            (vec![3, 1], 2), // permuted again: must hit the memo
+            (vec![0, 3], 3), // rhs inside the lhs
+        ];
+        for (lhs, rhs) in &queries {
+            assert_eq!(
+                ctx.score(lhs, *rhs),
+                score_fd(&ds, lhs, *rhs),
+                "{lhs:?} -> {rhs}"
+            );
+        }
+        // Second pass: every answer now comes from the memo, still exact.
+        for (lhs, rhs) in &queries {
+            assert_eq!(ctx.score(lhs, *rhs), score_fd(&ds, lhs, *rhs));
+        }
+    }
+
+    #[test]
+    fn refine_is_identical_across_cache_and_threads() {
+        let ds = group_dataset();
+        let cands = FdSet::from_fds([Fd::new([3], 0), Fd::new([3, 0], 1), Fd::new([0, 1], 2)]);
+        let baseline = refine_with_options(
+            &ds,
+            &cands,
+            0.7,
+            RefineOptions {
+                threads: Some(1),
+                partition_cache: false,
+            },
+        );
+        for threads in [1, 2, 4] {
+            for partition_cache in [false, true] {
+                let got = refine_with_options(
+                    &ds,
+                    &cands,
+                    0.7,
+                    RefineOptions {
+                        threads: Some(threads),
+                        partition_cache,
+                    },
+                );
+                assert_eq!(
+                    got.fds(),
+                    baseline.fds(),
+                    "threads={threads} cache={partition_cache}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! }
 //! ```
 
+mod bitmat;
 mod cholesky;
 mod error;
 pub mod float;
@@ -38,6 +39,7 @@ mod perm;
 mod solve;
 mod udut;
 
+pub use bitmat::{and_popcount_words, BitMatrix};
 pub use cholesky::{cholesky, ldlt, CholeskyFactor, LdltFactor};
 pub use error::LinalgError;
 pub use float::{approx_eq, approx_eq_default, is_exact_zero, DEFAULT_TOL};

@@ -73,7 +73,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "fdx.udut.max_pivot",
     "fdx.udut.min_pivot",
     "fdx.udut.ridge_retries",
+    "fdx.validate.partition_hits",
+    "fdx.validate.partition_misses",
+    "fdx.validate.repair_rounds",
+    "fdx.validate.score_calls",
+    "fdx.validate.score_memo_hits",
     "fdx.validation",
+    "fdx.validation.repair",
+    "fdx.validation.scoring",
 ];
 
 /// Whether `name` is a registered `fdx.*` metric name.

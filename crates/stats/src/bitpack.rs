@@ -1,0 +1,216 @@
+//! Word-at-a-time packers from code columns to agreement bit-rows.
+//!
+//! Both pair-transform paths — the resident `fdx_core` transform and the
+//! streaming [`crate::StreamStats`] accumulator — reduce a sort block to
+//! the same primitive: for each attribute, a row of indicator bits
+//! `z[r] = 1(t_i[a] = t_j[a])` over the block's sampled pairs, packed into
+//! `u64` words for the popcount Gram kernel
+//! ([`fdx_linalg::BitMatrix::gram_accumulate`]).
+//!
+//! The circular-shift packer takes the attribute's codes pre-gathered into
+//! the block's sort order **with a wrap sentinel appended**
+//! (`gathered[n] = gathered[0]`), so every pair is an adjacent compare
+//! `gathered[r] == gathered[r + 1]` — a branch-free sequential scan the
+//! compiler auto-vectorizes. Each group of 64 comparisons lands in a byte
+//! buffer and is compressed to one `u64` with an eight-bytes-to-eight-bits
+//! multiply gather (`x · 0x0102_0408_1020_4080 >> 56` picks up each
+//! byte's low bit; the partial products of distinct byte lanes occupy
+//! distinct bit positions, so no carries corrupt the result). The packers
+//! *assign* every word rather than OR into it, which lets callers reuse
+//! one scratch [`fdx_linalg::BitMatrix`] across sort blocks without
+//! clearing; bits past the pair count in the final word are left zero,
+//! the invariant the popcount kernels rely on.
+
+use fdx_data::NULL_CODE;
+
+/// Gathers the low bit of each of 8 little-endian bytes into 8 bits.
+///
+/// Byte lane `i` contributes `2^(8i)`; the multiplier places lane `i` at
+/// bit `56 + i` and every cross-lane partial product at a distinct other
+/// position (or past bit 63, where wrapping drops it), so the top byte of
+/// the product is exactly the packed 8 bits.
+#[inline]
+fn pack8(bytes: &[u8]) -> u64 {
+    let mut chunk = [0u8; 8];
+    chunk.copy_from_slice(bytes);
+    u64::from_le_bytes(chunk).wrapping_mul(0x0102_0408_1020_4080) >> 56
+}
+
+/// Compresses a 64-byte 0/1 buffer into one bit-packed word.
+#[inline]
+fn pack64(eq: &[u8; 64]) -> u64 {
+    let mut word = 0u64;
+    for b in 0..8 {
+        word |= pack8(&eq[b * 8..b * 8 + 8]) << (b * 8);
+    }
+    word
+}
+
+/// Packs circular-shift agreement bits for one attribute of a sort block.
+///
+/// `gathered` holds the attribute's codes permuted into the block's sort
+/// order **plus a wrap sentinel**: `gathered[r] = codes[order[r]]` for
+/// `r < n` and `gathered[n] = gathered[0]`, so pair `r` is always the
+/// adjacent compare `gathered[r] == gathered[r + 1]`. The first `limit`
+/// of the `n` circular pairs are emitted into `row`. Under `nulls_equal`
+/// two NULLs agree; otherwise a NULL agrees with nothing (the
+/// `NeverEqual` policy, with `NULL_CODE` as the sentinel).
+///
+/// # Panics
+///
+/// Panics if `gathered` has fewer than `limit + 1` entries or `row` is
+/// shorter than `limit.div_ceil(64)` words.
+pub fn pack_adjacent_agreement(gathered: &[u32], limit: usize, nulls_equal: bool, row: &mut [u64]) {
+    assert!(
+        gathered.len() > limit,
+        "gathered block must include the wrap sentinel"
+    );
+    let words = limit.div_ceil(64);
+    for (w, slot) in row.iter_mut().enumerate().take(words) {
+        let lo = w * 64;
+        let hi = (lo + 64).min(limit);
+        let mut eq = [0u8; 64];
+        // Two loop bodies so the hot path is a pure compare the
+        // auto-vectorizer can turn into wide u32 lane compares.
+        if nulls_equal {
+            for (e, pair) in eq.iter_mut().zip(gathered[lo..hi + 1].windows(2)) {
+                *e = u8::from(pair[0] == pair[1]);
+            }
+        } else {
+            for (e, pair) in eq.iter_mut().zip(gathered[lo..hi + 1].windows(2)) {
+                *e = u8::from(pair[0] == pair[1] && pair[0] != NULL_CODE);
+            }
+        }
+        *slot = pack64(&eq);
+    }
+}
+
+/// Packs agreement bits for one attribute over gathered pair endpoints.
+///
+/// `left` and `right` hold the attribute's codes at the pair endpoints
+/// (`left[r] = codes[pairs[r].0]`, `right[r] = codes[pairs[r].1]`); bit
+/// `r` of `row` is their agreement under the same NULL semantics as
+/// [`pack_adjacent_agreement`]. Used by the uniform-random sampling path,
+/// where pairs are arbitrary row tuples rather than a circular shift.
+///
+/// # Panics
+///
+/// Panics if `left` and `right` differ in length or `row` is shorter than
+/// `left.len().div_ceil(64)` words.
+pub fn pack_pair_agreement(left: &[u32], right: &[u32], nulls_equal: bool, row: &mut [u64]) {
+    assert_eq!(left.len(), right.len(), "pair endpoint columns must align");
+    let m = left.len();
+    let words = m.div_ceil(64);
+    for (w, slot) in row.iter_mut().enumerate().take(words) {
+        let lo = w * 64;
+        let hi = (lo + 64).min(m);
+        let mut eq = [0u8; 64];
+        if nulls_equal {
+            for ((e, ci), cj) in eq.iter_mut().zip(&left[lo..hi]).zip(&right[lo..hi]) {
+                *e = u8::from(ci == cj);
+            }
+        } else {
+            for ((e, ci), cj) in eq.iter_mut().zip(&left[lo..hi]).zip(&right[lo..hi]) {
+                *e = u8::from(ci == cj && *ci != NULL_CODE);
+            }
+        }
+        *slot = pack64(&eq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_sentinel(codes: &[u32]) -> Vec<u32> {
+        let mut v = codes.to_vec();
+        v.push(codes[0]);
+        v
+    }
+
+    #[test]
+    fn adjacent_agreement_matches_scalar_loop() {
+        let codes: Vec<u32> = (0..200).map(|i| (i / 3) as u32).collect();
+        let gathered = with_sentinel(&codes);
+        for limit in [1usize, 63, 64, 65, 130, 200] {
+            let mut row = vec![u64::MAX; limit.div_ceil(64)];
+            pack_adjacent_agreement(&gathered, limit, false, &mut row);
+            for r in 0..limit {
+                let expect = codes[r] == codes[(r + 1) % codes.len()];
+                let got = (row[r / 64] >> (r % 64)) & 1 == 1;
+                assert_eq!(got, expect, "limit={limit} r={r}");
+            }
+            if limit % 64 != 0 {
+                let tail = row[limit / 64] >> (limit % 64);
+                assert_eq!(tail, 0, "trailing bits must stay zero at limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_wraps_through_sentinel() {
+        // Last position pairs with position 0 via the sentinel: 7 == 7.
+        let gathered = with_sentinel(&[7u32, 1, 2, 7]);
+        let mut row = vec![0u64; 1];
+        pack_adjacent_agreement(&gathered, 4, false, &mut row);
+        assert_eq!(row[0], 1 << 3);
+    }
+
+    #[test]
+    fn null_semantics_toggle() {
+        let gathered = with_sentinel(&[NULL_CODE, NULL_CODE, 5, 5]);
+        let mut never = vec![0u64; 1];
+        pack_adjacent_agreement(&gathered, 3, false, &mut never);
+        // NULL==NULL suppressed; 5==5 at r=2 agrees.
+        assert_eq!(never[0], 1 << 2);
+        let mut eq = vec![0u64; 1];
+        pack_adjacent_agreement(&gathered, 3, true, &mut eq);
+        assert_eq!(eq[0], (1 << 0) | (1 << 2));
+    }
+
+    #[test]
+    fn pair_agreement_matches_scalar_loop() {
+        let codes: Vec<u32> = (0..50).map(|i| (i % 4) as u32).collect();
+        let pairs: Vec<(usize, usize)> = (0..130).map(|r| (r % 50, (r * 7 + 1) % 50)).collect();
+        let left: Vec<u32> = pairs.iter().map(|&(i, _)| codes[i]).collect();
+        let right: Vec<u32> = pairs.iter().map(|&(_, j)| codes[j]).collect();
+        let mut row = vec![u64::MAX; 3];
+        pack_pair_agreement(&left, &right, false, &mut row);
+        for (r, &(i, j)) in pairs.iter().enumerate() {
+            let expect = codes[i] == codes[j];
+            let got = (row[r / 64] >> (r % 64)) & 1 == 1;
+            assert_eq!(got, expect, "r={r}");
+        }
+        assert_eq!(row[2] >> 2, 0, "trailing bits must stay zero");
+    }
+
+    #[test]
+    fn pair_agreement_null_left_never_agrees() {
+        let left = [NULL_CODE, 3];
+        let right = [NULL_CODE, 3];
+        let mut row = vec![0u64; 1];
+        pack_pair_agreement(&left, &right, false, &mut row);
+        assert_eq!(row[0], 1 << 1);
+        pack_pair_agreement(&left, &right, true, &mut row);
+        assert_eq!(row[0], 0b11);
+    }
+
+    #[test]
+    fn packers_assign_not_or() {
+        // Reusing a dirty buffer must not leak stale bits.
+        let gathered = with_sentinel(&[1u32, 2, 3, 4]);
+        let mut row = vec![u64::MAX; 1];
+        pack_adjacent_agreement(&gathered, 4, false, &mut row);
+        assert_eq!(row[0], 0, "no agreements, despite dirty scratch");
+    }
+
+    #[test]
+    fn pack8_places_each_lane() {
+        for i in 0..8 {
+            let mut bytes = [0u8; 8];
+            bytes[i] = 1;
+            assert_eq!(pack8(&bytes), 1 << i, "lane {i}");
+        }
+        assert_eq!(pack8(&[1; 8]), 0xFF);
+    }
+}

@@ -27,16 +27,18 @@ pub fn chi_squared(x: &GroupIds, y: &GroupIds) -> ChiSquared {
     let joint = joint_counts(x, y);
     let nf = n as f64;
     let mut stat = 0.0;
-    for (i, &ai) in ax.iter().enumerate() {
+    // Group ids are dense u32s, so pairing each size with its id up front
+    // keeps the inner loop free of narrowing casts.
+    for (i, &ai) in (0u32..).zip(&ax) {
         if ai == 0 {
             continue;
         }
-        for (j, &bj) in by.iter().enumerate() {
+        for (j, &bj) in (0u32..).zip(&by) {
             if bj == 0 {
                 continue;
             }
             let expected = ai as f64 * bj as f64 / nf;
-            let observed = joint.get(&(i as u32, j as u32)).copied().unwrap_or(0) as f64;
+            let observed = joint.get(&(i, j)).copied().unwrap_or(0) as f64;
             let d = observed - expected;
             stat += d * d / expected;
         }

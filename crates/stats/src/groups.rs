@@ -1,6 +1,6 @@
 use std::collections::{BTreeMap, HashMap};
 
-use fdx_data::{AttrId, Dataset};
+use fdx_data::{AttrId, Dataset, NULL_CODE};
 
 /// Compact group assignment for the rows of a dataset under a set of
 /// attributes: rows with identical value combinations share a group id.
@@ -23,6 +23,19 @@ impl GroupIds {
             sizes[g as usize] += 1;
         }
         sizes
+    }
+
+    /// Number of within-group row pairs: `Σ_g |g|·(|g|−1)/2`.
+    ///
+    /// This is the quantity Equation 2's validation scores are built from
+    /// (pairs agreeing on the grouping attributes), computed without
+    /// materializing the per-group size vector for the caller.
+    pub fn pair_count(&self) -> u64 {
+        let mut sizes = vec![0u64; self.count];
+        for &g in &self.ids {
+            sizes[g as usize] += 1;
+        }
+        sizes.iter().map(|&c| c * c.saturating_sub(1) / 2).sum()
     }
 }
 
@@ -71,6 +84,130 @@ pub fn group_ids(ds: &Dataset, attrs: &[AttrId]) -> GroupIds {
     }
     let count = map.len();
     GroupIds { ids, count }
+}
+
+/// Refines a partition by one more code column: rows land in the same
+/// output group iff they share a `base` group **and** a code. NULL codes
+/// participate as their own shared value, matching [`group_ids`]'s
+/// multi-attribute convention.
+///
+/// Output ids are densely numbered by first appearance in row order —
+/// exactly the numbering [`group_ids`] produces — so
+/// `refine_groups(group_ids(ds, X), ds.column(b).codes())` equals
+/// `group_ids(ds, X ∪ {b})` bit for bit. This is the primitive behind the
+/// validation partition cache: a joint partition `gxy` costs one linear
+/// refinement of the cached `gx` instead of a full multi-attribute
+/// re-grouping.
+///
+/// # Panics
+///
+/// Panics if `base` and `codes` disagree on the row count.
+pub fn refine_groups(base: &GroupIds, codes: &[u32]) -> GroupIds {
+    assert_eq!(
+        base.ids.len(),
+        codes.len(),
+        "partition and code column must cover the same rows"
+    );
+    let n = codes.len();
+    let mut dmax = 0u32;
+    for &c in codes {
+        if c != NULL_CODE && c > dmax {
+            dmax = c;
+        }
+    }
+    // Dictionary codes are dense, so a flat (group, code) table usually
+    // fits; fall back to hashing for pathological code ranges.
+    let width = dmax as usize + 2; // + 1 slot for NULL at the end
+    let null_slot = width - 1;
+    let table_size = base.count.saturating_mul(width);
+    let mut ids = Vec::with_capacity(n);
+    let mut next = 0u32;
+    if table_size <= (1 << 22).max(4 * n) {
+        let mut table = vec![u32::MAX; table_size];
+        for (&g, &c) in base.ids.iter().zip(codes) {
+            let col = if c == NULL_CODE {
+                null_slot
+            } else {
+                c as usize
+            };
+            let slot = &mut table[g as usize * width + col];
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+            ids.push(*slot);
+        }
+    } else {
+        let mut map: HashMap<u64, u32> = HashMap::with_capacity(n.min(1024));
+        for (&g, &c) in base.ids.iter().zip(codes) {
+            let key = (u64::from(g) << 32) | u64::from(c);
+            let id = *map.entry(key).or_insert(next);
+            if id == next {
+                next += 1;
+            }
+            ids.push(id);
+        }
+    }
+    GroupIds {
+        ids,
+        count: next as usize,
+    }
+}
+
+/// Stably sorts the row indices of `base` by their dictionary codes into
+/// `out`, reusing `out`'s allocation.
+///
+/// Produces exactly the permutation of `base.to_vec().sort_by_key(|&r|
+/// codes[r])` — a stable counting sort over the dense code space, with
+/// `NULL_CODE` rows last (consistent with `u32` ordering of the sentinel).
+/// Dictionary codes are dense, so the bucket array stays proportional to
+/// the block; for degenerate sparse code ranges it falls back to the
+/// comparison sort. This is the sort inside every pair-transform block
+/// (Algorithm 2 sorts the shuffled relation once per attribute), where it
+/// replaces `k` `O(n log n)` comparison sorts with `O(n + d)` passes.
+pub fn stable_sort_by_codes(base: &[usize], codes: &[u32], out: &mut Vec<usize>) {
+    out.clear();
+    let mut dmax = 0u32;
+    let mut saw_null = false;
+    for &r in base {
+        let c = codes[r];
+        if c == NULL_CODE {
+            saw_null = true;
+        } else if c > dmax {
+            dmax = c;
+        }
+    }
+    let buckets = dmax as usize + 1 + usize::from(saw_null);
+    if buckets > base.len().saturating_mul(4).max(1024) {
+        out.extend_from_slice(base);
+        out.sort_by_key(|&r| codes[r]);
+        return;
+    }
+    let null_bucket = buckets - 1; // only used when saw_null
+    let mut offsets = vec![0u32; buckets + 1];
+    for &r in base {
+        let c = codes[r];
+        let b = if c == NULL_CODE {
+            null_bucket
+        } else {
+            c as usize
+        };
+        offsets[b + 1] += 1;
+    }
+    for b in 0..buckets {
+        offsets[b + 1] += offsets[b];
+    }
+    out.resize(base.len(), 0);
+    for &r in base {
+        let c = codes[r];
+        let b = if c == NULL_CODE {
+            null_bucket
+        } else {
+            c as usize
+        };
+        out[offsets[b] as usize] = r;
+        offsets[b] += 1;
+    }
 }
 
 fn renumber(ids: Vec<u32>, upper_bound: usize) -> GroupIds {
@@ -163,5 +300,113 @@ mod tests {
         let g = group_ids(&d, &[0]);
         assert_eq!(g.count, 2);
         assert!(g.ids.iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn pair_count_matches_sizes() {
+        let g = group_ids(&ds(), &[0]);
+        let manual: u64 = g
+            .sizes()
+            .iter()
+            .map(|&c| (c * c.saturating_sub(1) / 2) as u64)
+            .sum();
+        assert_eq!(g.pair_count(), manual);
+        // x appears 3 times → 3 pairs; y and null are singletons.
+        assert_eq!(g.pair_count(), 3);
+    }
+
+    #[test]
+    fn refine_equals_joint_group_ids() {
+        let d = ds();
+        let gx = group_ids(&d, &[0]);
+        let refined = refine_groups(&gx, d.column(1).codes());
+        let joint = group_ids(&d, &[0, 1]);
+        assert_eq!(refined, joint, "refinement must reproduce joint grouping");
+    }
+
+    #[test]
+    fn refine_chain_matches_multi_attribute() {
+        // Wider dataset with nulls: refine one attribute at a time and
+        // compare against the direct multi-attribute grouping.
+        let rows: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                vec![
+                    format!("a{}", i % 5),
+                    if i % 7 == 0 {
+                        String::new()
+                    } else {
+                        format!("b{}", i % 3)
+                    },
+                    format!("c{}", i % 4),
+                ]
+            })
+            .collect();
+        let row_refs: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let refs: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+        let d = Dataset::from_string_rows(&["x", "y", "z"], &refs);
+        let mut part = group_ids(&d, &[0]);
+        part = refine_groups(&part, d.column(1).codes());
+        part = refine_groups(&part, d.column(2).codes());
+        assert_eq!(part, group_ids(&d, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn refine_hash_fallback_matches_dense() {
+        // Force the hash path with a tiny base.count but huge code range by
+        // constructing codes directly (sparse, far beyond 4n).
+        let base = GroupIds {
+            ids: vec![0, 1, 0, 1, 0],
+            count: 2,
+        };
+        let sparse: Vec<u32> = vec![9_000_000, 9_000_000, 5, 9_000_000, 5];
+        let refined = refine_groups(&base, &sparse);
+        // Groups: (0,9M) r0,? ; (1,9M) r1,r3 ; (0,5) r2,r4.
+        assert_eq!(refined.ids, vec![0, 1, 2, 1, 2]);
+        assert_eq!(refined.count, 3);
+    }
+
+    #[test]
+    fn stable_sort_matches_comparison_sort() {
+        // Shuffled base with duplicates and nulls; counting sort must equal
+        // the stable comparison sort exactly, tie order included.
+        let codes: Vec<u32> = (0..100)
+            .map(|i| {
+                if i % 11 == 0 {
+                    NULL_CODE
+                } else {
+                    (i * 13 % 7) as u32
+                }
+            })
+            .collect();
+        let base: Vec<usize> = (0..100).map(|i| (i * 37 + 5) % 100).collect();
+        let mut expect = base.clone();
+        expect.sort_by_key(|&r| codes[r]);
+        let mut got = Vec::new();
+        stable_sort_by_codes(&base, &codes, &mut got);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stable_sort_sparse_codes_fall_back() {
+        let codes = vec![4_000_000_000u32, 7, 4_000_000_000, 0];
+        let base = vec![0usize, 1, 2, 3];
+        let mut expect = base.clone();
+        expect.sort_by_key(|&r| codes[r]);
+        let mut got = Vec::new();
+        stable_sort_by_codes(&base, &codes, &mut got);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stable_sort_reuses_buffer() {
+        let codes = vec![2u32, 0, 1];
+        let mut out = vec![99usize; 17];
+        stable_sort_by_codes(&[0, 1, 2], &codes, &mut out);
+        assert_eq!(out, vec![1, 2, 0]);
+        stable_sort_by_codes(&[], &codes, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -21,17 +21,19 @@
 //! transform's sufficient statistics chunk by chunk with an exact,
 //! associative merge (see `fdx_data::ingest`).
 
+mod bitpack;
 mod chi2;
 mod covariance;
 mod entropy;
 mod groups;
 mod stream;
 
+pub use bitpack::{pack_adjacent_agreement, pack_pair_agreement};
 pub use chi2::{chi_squared, chi_squared_p_value, ChiSquared};
 pub use covariance::{correlation, covariance, second_moment, standardize_columns};
 pub use entropy::{
     conditional_entropy, entropy, entropy_of_counts, expected_mutual_information,
     fraction_of_information, mutual_information, reliable_fraction_of_information,
 };
-pub use groups::{group_ids, joint_counts, GroupIds};
+pub use groups::{group_ids, joint_counts, refine_groups, stable_sort_by_codes, GroupIds};
 pub use stream::{chunk_seed, StreamStats};

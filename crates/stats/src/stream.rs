@@ -21,11 +21,13 @@
 //! sort, same bit-packed AND+popcount), which the `fdx_core` transform
 //! tests pin against `pair_transform` field by field.
 
-use fdx_data::NULL_CODE;
-use fdx_linalg::Matrix;
+use fdx_linalg::{BitMatrix, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+use crate::bitpack::pack_adjacent_agreement;
+use crate::groups::stable_sort_by_codes;
 
 /// Derives the shuffle seed for chunk `chunk_index` from the run seed.
 ///
@@ -131,49 +133,34 @@ impl StreamStats {
         let mut rng = ChaCha8Rng::seed_from_u64(chunk_seed(self.seed, chunk_index));
         shuffled.shuffle(&mut rng);
 
-        let words = m.div_ceil(64);
-        let mut bits = vec![0u64; k * words];
+        let mut bits = BitMatrix::zeros(k, m);
+        let mut gathered = vec![0u32; m + 1];
         let mut order: Vec<usize> = Vec::with_capacity(m);
         for attr in 0..k {
-            // Stable sort of the shuffled order by this attribute's codes,
-            // then circular-shift pairing — the resident Algorithm 2 block.
-            order.clear();
-            order.extend_from_slice(&shuffled);
-            let sort_codes = columns[attr];
-            order.sort_by_key(|&r| sort_codes[r]);
+            // Stable sort of the shuffled order by this attribute's codes
+            // (counting sort, same permutation as `sort_by_key`), then
+            // circular-shift pairing — the resident Algorithm 2 block.
+            stable_sort_by_codes(&shuffled, columns[attr], &mut order);
 
-            bits.iter_mut().for_each(|w| *w = 0);
-            for (a, chunk) in (0..k).zip(bits.chunks_mut(words)) {
-                let codes = columns[a];
-                for r in 0..m {
-                    let ci = codes[order[r]];
-                    let cj = codes[order[(r + 1) % m]];
-                    let equal = if self.nulls_equal {
-                        ci == cj
-                    } else {
-                        ci != NULL_CODE && ci == cj
-                    };
-                    if equal {
-                        chunk[r / 64] |= 1u64 << (r % 64);
-                    }
+            // Gather each attribute into the block's sort order once with a
+            // wrap sentinel, then pack adjacent-agreement bits word at a
+            // time; the packer assigns every word, so the bit-matrix is
+            // reused across sort blocks without clearing.
+            for (a, codes) in columns.iter().enumerate() {
+                for (g, &r) in gathered[..m].iter_mut().zip(&order) {
+                    *g = codes[r];
                 }
+                gathered[m] = gathered[0];
+                pack_adjacent_agreement(&gathered, m, self.nulls_equal, bits.row_mut(a));
             }
+            let pops = bits.row_popcounts();
             for a in 0..k {
-                let col_a = &bits[a * words..(a + 1) * words];
-                let ones_a: u64 = col_a.iter().map(|w| w.count_ones() as u64).sum();
-                self.ones[a] += ones_a;
-                self.block_ones[attr * k + a] += ones_a;
-                self.co_counts[a * k + a] += ones_a;
-                for b in (a + 1)..k {
-                    let col_b = &bits[b * words..(b + 1) * words];
-                    let co: u64 = col_a
-                        .iter()
-                        .zip(col_b)
-                        .map(|(x, y)| (x & y).count_ones() as u64)
-                        .sum();
-                    self.co_counts[a * k + b] += co;
-                }
+                self.ones[a] += pops[a];
+                self.block_ones[attr * k + a] += pops[a];
             }
+            // The Gram diagonal is each row's popcount, so `co_counts`'
+            // diagonal receives the same `ones` increment as before.
+            bits.gram_accumulate(BitMatrix::DEFAULT_BLOCK_WORDS, &mut self.co_counts);
             self.block_sizes[attr] += m as u64;
             self.n_samples += m as u64;
         }
@@ -264,6 +251,7 @@ impl StreamStats {
 mod tests {
     use super::*;
     use crate::covariance;
+    use fdx_data::NULL_CODE;
 
     /// Three categorical columns with a planted zip→city dependency.
     fn columns(rows: usize) -> Vec<Vec<u32>> {

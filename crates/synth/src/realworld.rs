@@ -10,7 +10,7 @@
 //! realistic domain cardinalities, and naturally-missing values. See
 //! `DESIGN.md`, substitution #2.
 
-use fdx_data::{Dataset, Fd, FdSet, Schema, Value};
+use fdx_data::{AttrId, Dataset, Fd, FdSet, Schema, Value};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -26,6 +26,17 @@ pub struct RealWorld {
     /// The dependencies planted by the generator (used as reference in the
     /// qualitative analyses and Table 7's with/without-FD split).
     pub planted: FdSet,
+}
+
+/// Looks up a planted attribute by name. Each generator writes its `Fd`
+/// list a few lines below the schema it just built, so a missing name is a
+/// bug in this module, not a recoverable condition.
+fn attr(data: &Dataset, name: &str) -> AttrId {
+    match data.schema().id_of(name) {
+        Some(id) => id,
+        // fdx-allow: L004 generator invariant: planted names come from the schema literal above
+        None => panic!("realworld schema has no attribute named {name:?}"),
+    }
 }
 
 /// Hospital: 1,000 × 17, the dataset of Figures 3–4.
@@ -128,7 +139,7 @@ pub fn hospital(seed: u64) -> RealWorld {
     let mut data = Dataset::from_rows(schema, &rows);
     inject_missing(&mut data, 0.02, &mut rng);
 
-    let id = |n: &str| data.schema().id_of(n).unwrap();
+    let id = |n: &str| attr(&data, n);
     let planted = FdSet::from_fds([
         Fd::new([id("ProviderNumber")], id("HospitalName")),
         Fd::new([id("ProviderNumber")], id("Address1")),
@@ -195,7 +206,7 @@ pub fn mammographic(seed: u64) -> RealWorld {
         let shape = rng.gen_range(0..4u32);
         let margin = rng.gen_range(0..5u32);
         // severity = f(shape, margin), 6% exceptions (clinical noise).
-        let base = usize::try_from(shape * 5 + margin).unwrap() % 2;
+        let base = (shape * 5 + margin) as usize % 2;
         let severity = if rng.gen_bool(0.94) { base } else { 1 - base };
         // BI-RADS tracks severity with 8% exceptions.
         let rads = if rng.gen_bool(0.92) {
@@ -311,7 +322,7 @@ pub fn nypd(seed: u64) -> RealWorld {
     }
     let mut data = Dataset::from_rows(schema, &rows);
     inject_missing(&mut data, 0.04, &mut rng);
-    let id = |n: &str| data.schema().id_of(n).unwrap();
+    let id = |n: &str| attr(&data, n);
     let planted = FdSet::from_fds([
         Fd::new([id("KY_CD")], id("OFNS_DESC")),
         Fd::new([id("KY_CD")], id("LAW_CAT_CD")),
@@ -362,7 +373,7 @@ pub fn thoracic(seed: u64) -> RealWorld {
     }
     let mut data = Dataset::from_rows(schema, &rows);
     inject_missing(&mut data, 0.02, &mut rng);
-    let id = |n: &str| data.schema().id_of(n).unwrap();
+    let id = |n: &str| attr(&data, n);
     let planted = FdSet::from_fds([
         Fd::new([id("DGN")], id("PRE14")),
         Fd::new([id("PRE14")], id("PRE6")),

@@ -49,9 +49,10 @@
 //! ```
 
 pub use fdx_core::{
-    pair_transform, pair_transform_matrix, refine, render_autoregression_heatmap, score_fd,
-    FdScore, Fdx, FdxConfig, FdxError, FdxResult, FdxTimings, NullPolicy, PairSampling, PairStats,
-    RecoveryRung, RunHealth, TransformConfig,
+    pair_transform, pair_transform_matrix, refine, refine_with_options,
+    render_autoregression_heatmap, score_fd, FdScore, Fdx, FdxConfig, FdxError, FdxResult,
+    FdxTimings, NullPolicy, PairSampling, PairStats, RecoveryRung, RefineOptions, RunHealth,
+    TransformConfig,
 };
 
 pub use fdx_baselines;

@@ -1,0 +1,251 @@
+//! Property suite for the bit-packed pair-agreement kernels (DESIGN.md §15).
+//!
+//! The packed transform and the partition-cached validation are pure
+//! reorganizations of exact integer arithmetic, so their outputs must be
+//! *bit-identical* — not merely close — to the reference paths:
+//!
+//! * the popcount Gram kernel vs a naive per-bit double loop, across
+//!   matrix shapes and cache-block widths;
+//! * [`fdx::pair_transform`]'s moment matrices vs the materialized 0/1
+//!   sample matrix, across row counts, attribute counts, null policies,
+//!   sampling strategies, and thread counts;
+//! * [`fdx::refine_with_options`]'s FD sets with the partition cache on
+//!   vs off, across thread counts, on synthetic and realistic corpora.
+
+use fdx::{
+    pair_transform, pair_transform_matrix, refine_with_options, Fdx, FdxConfig, NullPolicy,
+    PairSampling, RefineOptions, TransformConfig,
+};
+use fdx_data::Dataset;
+use fdx_linalg::BitMatrix;
+use fdx_synth::generator::{self, SynthConfig};
+use fdx_synth::realworld;
+
+/// Deterministic splitmix64 stream for the kernel grids.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn gram_kernel_matches_naive_popcount_across_shapes_and_blocks() {
+    let mut state = 0xFD;
+    for (rows, bits) in [
+        (1, 1),
+        (3, 64),
+        (5, 63),
+        (8, 200),
+        (17, 1000),
+        (4, 64 * 600),
+    ] {
+        let mut m = BitMatrix::zeros(rows, bits);
+        for r in 0..rows {
+            for (w, word) in m.row_mut(r).iter_mut().enumerate() {
+                *word = splitmix(&mut state);
+                // Keep the trailing-bits-zero invariant on the last word.
+                let used = bits - w * 64;
+                if used < 64 {
+                    *word &= (1u64 << used) - 1;
+                }
+            }
+        }
+        let mut naive = vec![0u64; rows * rows];
+        for a in 0..rows {
+            for b in a..rows {
+                let mut c = 0;
+                for i in 0..bits {
+                    if m.get(a, i) && m.get(b, i) {
+                        c += 1;
+                    }
+                }
+                naive[a * rows + b] = c;
+            }
+        }
+        assert_eq!(m.gram(), naive, "rows={rows} bits={bits}");
+        for block in [1, 2, 7, 512] {
+            let mut acc = vec![0u64; rows * rows];
+            m.gram_accumulate(block, &mut acc);
+            assert_eq!(acc, naive, "rows={rows} bits={bits} block={block}");
+        }
+    }
+}
+
+/// A categorical dataset with duplicate-heavy columns and a sprinkling of
+/// nulls (empty strings infer as [`fdx_data::Value::Null`]).
+fn noisy_dataset(rows: usize, k: usize, seed: u64) -> Dataset {
+    let mut state = seed;
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = Vec::with_capacity(k);
+        for a in 0..k {
+            let r = splitmix(&mut state);
+            if r % 13 == 0 {
+                row.push(String::new()); // null cell
+            } else {
+                let domain = 2 + (a % 5) * 7;
+                row.push(format!("v{}", r as usize % domain));
+            }
+        }
+        cells.push(row);
+    }
+    let names: Vec<String> = (0..k).map(|a| format!("c{a}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let refs: Vec<Vec<&str>> = cells
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let slices: Vec<&[&str]> = refs.iter().map(|v| &v[..]).collect();
+    Dataset::from_string_rows(&name_refs, &slices)
+}
+
+/// Reference second moment from the materialized 0/1 sample matrix.
+///
+/// The matrix entries are exact 0.0/1.0, so the accumulated dot products
+/// are exact integers (far below 2^53) and `dot / n` performs the identical
+/// float division as `PairStats::second_moment` — any packing bug shows up
+/// as a bit difference, not a tolerance failure.
+fn reference_second_moment(ds: &Dataset, cfg: &TransformConfig) -> Vec<u64> {
+    let z = pair_transform_matrix(ds, cfg);
+    let (n, k) = (z.rows(), z.cols());
+    let mut counts = vec![0u64; k * k];
+    for a in 0..k {
+        for b in 0..k {
+            let mut dot = 0u64;
+            for r in 0..n {
+                if z[(r, a)] != 0.0 && z[(r, b)] != 0.0 {
+                    dot += 1;
+                }
+            }
+            counts[a * k + b] = dot;
+        }
+    }
+    counts
+}
+
+#[test]
+fn packed_moments_bit_identical_to_materialized_matrix() {
+    for (rows, k) in [(64, 3), (129, 5), (400, 9)] {
+        let ds = noisy_dataset(rows, k, 0xA11CE + rows as u64);
+        for null_policy in [NullPolicy::NeverEqual, NullPolicy::NullEqualsNull] {
+            for sampling in [
+                PairSampling::CircularShift,
+                PairSampling::UniformRandom { pairs_per_attr: 96 },
+            ] {
+                let cfg = TransformConfig {
+                    sampling,
+                    null_policy,
+                    threads: Some(1),
+                    ..TransformConfig::default()
+                };
+                let stats = pair_transform(&ds, &cfg);
+                let n = stats.num_samples();
+                let counts = reference_second_moment(&ds, &cfg);
+                let s = stats.second_moment();
+                for a in 0..k {
+                    for b in 0..k {
+                        let reference = counts[a * k + b] as f64 / n.max(1) as f64;
+                        assert_eq!(
+                            s[(a, b)].to_bits(),
+                            reference.to_bits(),
+                            "rows={rows} k={k} {null_policy:?} {sampling:?} cell=({a},{b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_moments_bit_identical_across_thread_counts() {
+    for (rows, k) in [(150, 6), (333, 11)] {
+        let ds = noisy_dataset(rows, k, 0xBEE + k as u64);
+        let base_cfg = TransformConfig {
+            threads: Some(1),
+            ..TransformConfig::default()
+        };
+        let base = pair_transform(&ds, &base_cfg);
+        let (cov0, sm0) = (base.covariance(), base.second_moment());
+        for threads in [2, 4, 8] {
+            let cfg = TransformConfig {
+                threads: Some(threads),
+                ..TransformConfig::default()
+            };
+            let stats = pair_transform(&ds, &cfg);
+            let (cov, sm) = (stats.covariance(), stats.second_moment());
+            for a in 0..k {
+                for b in 0..k {
+                    assert_eq!(
+                        cov[(a, b)].to_bits(),
+                        cov0[(a, b)].to_bits(),
+                        "covariance threads={threads} cell=({a},{b})"
+                    );
+                    assert_eq!(
+                        sm[(a, b)].to_bits(),
+                        sm0[(a, b)].to_bits(),
+                        "second moment threads={threads} cell=({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Unrefined candidates for a dataset: the pipeline with validation off.
+fn raw_candidates(ds: &Dataset) -> fdx_data::FdSet {
+    let cfg = FdxConfig {
+        validate: false,
+        ..FdxConfig::default()
+    };
+    Fdx::new(cfg).discover(ds).unwrap().fds
+}
+
+#[test]
+fn partition_cache_and_threads_leave_fd_sets_byte_identical() {
+    let synth = generator::generate(&SynthConfig {
+        tuples: 800,
+        attributes: 10,
+        domain_range: (27, 125),
+        noise_rate: 0.02,
+        seed: 7,
+    });
+    let hospital = realworld::hospital(0);
+    for (name, ds) in [("synth", &synth.noisy), ("hospital", &hospital.data)] {
+        let candidates = raw_candidates(ds);
+        let min_lift = FdxConfig::default().min_lift;
+        let baseline = refine_with_options(
+            ds,
+            &candidates,
+            min_lift,
+            RefineOptions {
+                threads: Some(1),
+                partition_cache: false,
+            },
+        );
+        assert!(
+            !baseline.is_empty(),
+            "{name}: refinement dropped every candidate; the equivalence check would be vacuous"
+        );
+        for threads in [1, 2, 4] {
+            for partition_cache in [false, true] {
+                let got = refine_with_options(
+                    ds,
+                    &candidates,
+                    min_lift,
+                    RefineOptions {
+                        threads: Some(threads),
+                        partition_cache,
+                    },
+                );
+                assert_eq!(
+                    got.fds(),
+                    baseline.fds(),
+                    "{name}: threads={threads} cache={partition_cache}"
+                );
+            }
+        }
+    }
+}
