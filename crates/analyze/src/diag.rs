@@ -35,11 +35,13 @@ pub enum RuleId {
     L013,
     /// `fdx-allow` suppression without a reason string.
     L014,
+    /// Persistent file write bypassing `fdx_obs::write_atomic`.
+    L015,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 14] = [
+    pub const ALL: [RuleId; 15] = [
         RuleId::L001,
         RuleId::L002,
         RuleId::L003,
@@ -54,6 +56,7 @@ impl RuleId {
         RuleId::L012,
         RuleId::L013,
         RuleId::L014,
+        RuleId::L015,
     ];
 
     /// Full reported code, e.g. `FDX-L001`.
@@ -73,6 +76,7 @@ impl RuleId {
             RuleId::L012 => "FDX-L012",
             RuleId::L013 => "FDX-L013",
             RuleId::L014 => "FDX-L014",
+            RuleId::L015 => "FDX-L015",
         }
     }
 
@@ -93,6 +97,7 @@ impl RuleId {
             RuleId::L012 => "L012",
             RuleId::L013 => "L013",
             RuleId::L014 => "L014",
+            RuleId::L015 => "L015",
         }
     }
 
@@ -133,6 +138,7 @@ impl RuleId {
             RuleId::L012 => "float reduction over a hash-ordered source in a linalg/glasso/stats kernel (order-dependent rounding)",
             RuleId::L013 => "`SystemTime::now()` or env-var reads in result paths (outside crates/par and crates/bench)",
             RuleId::L014 => "`fdx-allow` suppression without a reason string (every waiver must say why)",
+            RuleId::L015 => "persistent file write (`fs::write`/`File::create`/`OpenOptions`) in library code bypassing `fdx_obs::write_atomic` (a kill mid-write must never leave a torn file)",
         }
     }
 }

@@ -138,6 +138,17 @@ pub fn doc(rule: RuleId) -> RuleDoc {
             bad: "// fdx-allow: L001",
             good: "// fdx-allow: L001 startup config parse; missing file is fatal by design",
         },
+        RuleId::L015 => RuleDoc {
+            rationale: "A process killed halfway through `fs::write` leaves a \
+                 torn file that a later reader half-parses — the exact \
+                 corruption the snapshot store's recovery scan quarantines. \
+                 `fdx_obs::write_atomic` writes a temp file, fsyncs, and \
+                 renames, so readers only ever see old-complete or \
+                 new-complete bytes. Append-only streams that cannot be \
+                 renamed without losing rows carry a reasoned allow.",
+            bad: "std::fs::write(&path, &snapshot_bytes)?;",
+            good: "fdx_obs::write_atomic_bytes(&path, &snapshot_bytes)?;",
+        },
     }
 }
 

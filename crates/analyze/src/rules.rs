@@ -1,8 +1,9 @@
 //! The rule pack: token-pattern rules (FDX-L001–L008) plus semantic rules
-//! over the [`crate::parse`]/[`crate::sema`] layer (FDX-L009–L013),
-//! context-aware (library vs. test/bench/bin code, `#[cfg(test)]`
-//! regions), with `// fdx-allow: <rule> <reason>` suppression and a
-//! suppression-hygiene rule (FDX-L014) auditing the allows themselves.
+//! over the [`crate::parse`]/[`crate::sema`] layer (FDX-L009–L013, and
+//! the atomic-write rule FDX-L015), context-aware (library vs.
+//! test/bench/bin code, `#[cfg(test)]` regions), with
+//! `// fdx-allow: <rule> <reason>` suppression and a suppression-hygiene
+//! rule (FDX-L014) auditing the allows themselves.
 
 use crate::diag::{Diagnostic, RuleId};
 use crate::lexer::{lex, LexedFile, Token, TokenKind};
@@ -143,6 +144,7 @@ pub fn check_parsed(
     rule_atomic_ordering(file, lexed, &test_mask, &mut hits);
     rule_thread_creation(file, lexed, &test_mask, &mut hits);
     rule_wallclock_and_env(file, lexed, &test_mask, &mut hits);
+    rule_persistent_write(file, lexed, &test_mask, &mut hits);
 
     let allows = suppression_map(lexed);
     rule_allow_without_reason(&allows, &mut hits);
@@ -718,6 +720,47 @@ fn rule_wallclock_and_env(
     }
 }
 
+/// The one file allowed to open files for writing directly:
+/// `fdx_obs::write_atomic`'s own implementation (it must write the temp
+/// file it later renames).
+const ATOMIC_WRITE_IMPL: &str = "crates/obs/src/export.rs";
+
+/// FDX-L015: persistent file writes in library code must go through
+/// `fdx_obs::write_atomic` (temp file + fsync + rename). A direct
+/// `fs::write` / `File::create` / `OpenOptions` open leaves a torn,
+/// half-written file when the process is killed mid-write — exactly the
+/// corruption the snapshot store's recovery scan exists to quarantine.
+/// Streams that are append-only by design (quarantine logs) carry a
+/// reasoned `fdx-allow`.
+fn rule_persistent_write(
+    file: &SourceFile<'_>,
+    lexed: &LexedFile,
+    test_mask: &[bool],
+    hits: &mut Vec<(RuleId, u32, u32)>,
+) {
+    if file.context != FileContext::Library || file.rel_path == ATOMIC_WRITE_IMPL {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let [Some(a), Some(b), Some(c)] = [toks.get(i), toks.get(i + 1), toks.get(i + 2)] else {
+            continue;
+        };
+        if !b.is_punct("::") {
+            continue;
+        }
+        if (a.is_ident("fs") && c.is_ident("write"))
+            || (a.is_ident("File") && c.is_ident("create"))
+            || (a.is_ident("OpenOptions") && c.is_ident("new"))
+        {
+            hits.push((RuleId::L015, a.line, a.col));
+        }
+    }
+}
+
 /// FDX-L014: every `fdx-allow` must carry a reason. A waiver that does not
 /// say *why* cannot be re-audited when the code around it changes, so a
 /// reasonless allow is itself a violation — reported at the allow comment
@@ -1219,6 +1262,44 @@ mod tests {
         assert_eq!(active(&d), vec![(RuleId::L014, 1)]);
         // A reasoned allow produces no L014.
         let src = "fn f() { x.unwrap(); } // fdx-allow: L001 startup path, cannot fail\n";
+        assert!(active(&lib(src)).is_empty());
+    }
+
+    #[test]
+    fn l015_flags_library_writes_outside_write_atomic() {
+        let src = "pub fn save(p: &std::path::Path, s: &str) {\n    \
+             let _ = std::fs::write(p, s);\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L015, 2)]);
+        let src = "pub fn open(p: &std::path::Path) {\n    \
+             let _ = std::fs::File::create(p);\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L015, 2)]);
+        let src = "pub fn append(p: &std::path::Path) {\n    \
+             let _ = std::fs::OpenOptions::new().append(true).open(p);\n}\n";
+        assert_eq!(active(&lib(src)), vec![(RuleId::L015, 2)]);
+    }
+
+    #[test]
+    fn l015_exempts_write_atomic_impl_tests_binaries_and_reasoned_allows() {
+        let src = "pub fn save(p: &std::path::Path, s: &str) {\n    \
+             let _ = std::fs::write(p, s);\n}\n";
+        // The write_atomic implementation must write its temp file.
+        let d = check("crates/obs/src/export.rs", FileContext::Library, src);
+        assert!(active(&d).is_empty());
+        // Binaries and tests own their outputs.
+        let d = check("crates/x/src/main.rs", FileContext::Binary, src);
+        assert!(active(&d).is_empty());
+        let d = check("crates/x/tests/t.rs", FileContext::Test, src);
+        assert!(active(&d).is_empty());
+        // An append-only stream with a reasoned allow is waived (and the
+        // waiver is recorded, not dropped).
+        let src = "pub fn append(p: &std::path::Path) {\n    \
+             // fdx-allow: L015 append-only quarantine stream, rename would lose rows\n    \
+             let _ = std::fs::OpenOptions::new().append(true).open(p);\n}\n";
+        let d = lib(src);
+        assert!(active(&d).is_empty());
+        assert!(d.iter().any(|x| x.suppressed.is_some()));
+        // Reads are not writes.
+        let src = "pub fn load(p: &std::path::Path) { let _ = std::fs::read(p); }\n";
         assert!(active(&lib(src)).is_empty());
     }
 }

@@ -28,11 +28,14 @@
 //! * `FDX_BENCH_PERF_THREADS` — comma-separated thread counts
 //!   (default `1,2,4`),
 //! * `FDX_BENCH_PERF_REPS`    — repetitions per cell, best-of (default 3),
-//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR9.json`),
+//! * `FDX_BENCH_PERF_OUT`     — JSON report path (default `BENCH_PR10.json`),
 //! * `FDX_BENCH_INGEST_ROWS`  — rows for the out-of-core ingest grid
 //!   (default 50000),
 //! * `FDX_BENCH_INGEST_CHUNKS` — comma-separated `chunk_rows` widths for
-//!   the ingest grid (default `256,1024,4096,16384`).
+//!   the ingest grid (default `256,1024,4096,16384`),
+//! * `FDX_BENCH_SESSION_ROWS` — rows for the session grid (default 2000),
+//! * `FDX_BENCH_SESSION_LAMBDAS` — comma-separated λ sweep for the
+//!   cold-vs-warm session grid (default `0.002,0.004,0.006,0.008`).
 //!
 //! The ingest grid writes a synthetic CSV to a temp file and times the
 //! chunked out-of-core reader (`ingest_csv_file`) at each chunk width
@@ -40,6 +43,15 @@
 //! reader's peak accounted bytes, plus one run under a deliberately tight
 //! memory budget to show the sampled-rows degradation rung and its
 //! bounded footprint.
+//!
+//! The session grid drives a real `fdx-serve` instance over loopback and
+//! sweeps λ three ways: **cold** (a fresh server and snapshot directory
+//! per λ — no cache, no warm start), **warm** (one session sweeping the λ
+//! grid, so each solve warm-starts from the nearest cached iterate), and
+//! **replay** (the same λ again — a pure result-cache hit). The warm
+//! sweep must discover the same FD set as the cold runs, the replay must
+//! be byte-identical to the reply that populated the cache, and the
+//! server's own counters must confirm warm starts actually engaged.
 
 use fdx_bench::env_usize;
 use fdx_core::{
@@ -390,13 +402,240 @@ fn ingest_grid(reps: usize) -> String {
         .finish()
 }
 
+fn env_f64_list(name: &str, default: &[f64]) -> Vec<f64> {
+    match std::env::var(name) {
+        Ok(v) => {
+            let parsed: Vec<f64> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// One discover round trip against a live server; exits on any transport
+/// or server-side failure (a bench cell must not silently degrade).
+fn serve_discover(addr: &str, frame: &fdx_serve::RequestFrame) -> fdx_serve::Response {
+    let line = match fdx_serve::client::exchange(addr, &frame.to_line()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("perf: session exchange failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let r = match fdx_serve::Response::parse(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf: session reply unparseable: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    if !r.is_ok() {
+        eprintln!("perf: session discover failed: {}", r.line);
+        std::process::exit(1);
+    }
+    r
+}
+
+/// Times the cold / warm / replay λ sweep against a live server and
+/// returns the `"session"` report section.
+fn session_grid(reps: usize) -> String {
+    use fdx_serve::{RequestFrame, ServeConfig, Server};
+
+    let rows = env_usize("FDX_BENCH_SESSION_ROWS", 2_000);
+    let lambdas = env_f64_list("FDX_BENCH_SESSION_LAMBDAS", &[0.002, 0.004, 0.006, 0.008]);
+    let k = 12usize;
+    let mut rng = SplitMix64(0xFD_0010);
+    let csv = synth_csv(&mut rng, rows, k);
+    fdx_obs::set_enabled(true);
+
+    let start = |dir: &std::path::Path| -> fdx_serve::ServerHandle {
+        match Server::start(ServeConfig {
+            session_dir: Some(dir.to_path_buf()),
+            ..ServeConfig::default()
+        }) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("perf: session server failed to bind: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let upload = |addr: &str| -> String {
+        let line = match fdx_serve::client::exchange(addr, &fdx_serve::upload_line("up", &csv, &[]))
+        {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("perf: session upload failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        match fdx_serve::Response::parse(&line).ok().and_then(|r| {
+            r.raw
+                .get("dataset")
+                .and_then(|v| v.as_str())
+                .map(String::from)
+        }) {
+            Some(h) => h,
+            None => {
+                eprintln!("perf: upload reply carried no dataset handle: {line}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let frame = |id: &str, handle: &str, lambda: f64| RequestFrame {
+        id: id.to_string(),
+        csv: String::new(),
+        dataset: Some(handle.to_string()),
+        sparsity: Some(lambda),
+        seed: Some(7),
+        threads: Some(1),
+        ..RequestFrame::default()
+    };
+    let tmp = std::env::temp_dir();
+    let tag = std::process::id();
+
+    println!("session: rows={rows} cols={k} lambdas={lambdas:?}");
+
+    // Cold column: every rep gets a virgin server and snapshot directory,
+    // so the solve starts from scratch — the pre-session baseline. Only
+    // the discover round trip is timed (server spin-up and upload happen
+    // outside the span), so cold vs warm compares solves, not setup.
+    let mut cold: Vec<(f64, Vec<String>)> = Vec::new();
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut fds = Vec::new();
+        for rep in 0..reps.max(1) {
+            let dir = tmp.join(format!("fdx-perf-session-cold-{tag}-{i}-{rep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let server = start(&dir);
+            let addr = server.addr().to_string();
+            let handle = upload(&addr);
+            let span = fdx_obs::Span::enter("bench.perf.cell");
+            let r = serve_discover(&addr, &frame("cold", &handle, lambda));
+            best = best.min(span.elapsed_secs());
+            fds = r.fds.clone().unwrap_or_default();
+            server.shutdown();
+            server.wait();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        println!(
+            "  cold        lambda={lambda}: {best:.4}s  ({} FDs)",
+            fds.len()
+        );
+        cold.push((best, fds));
+    }
+
+    // Warm column: one session sweeps the grid in order; solve i+1 warm
+    // starts from the persisted iterate of solve i. Single-shot per λ —
+    // a repeat would be a cache hit, not a warm solve.
+    let dir = tmp.join(format!("fdx-perf-session-warm-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = start(&dir);
+    let addr = server.addr().to_string();
+    let handle = upload(&addr);
+    let mut warm: Vec<(f64, String)> = Vec::new();
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let span = fdx_obs::Span::enter("bench.perf.cell");
+        let r = serve_discover(&addr, &frame(&format!("warm-{i}"), &handle, lambda));
+        let secs = span.elapsed_secs();
+        assert_eq!(
+            r.fds.clone().unwrap_or_default(),
+            cold[i].1,
+            "warm-started sweep found a different FD set at lambda={lambda}"
+        );
+        let core = match fdx_serve::reply_result_core(&r.line) {
+            Some(c) => c.to_string(),
+            None => {
+                eprintln!("perf: warm reply has no result core: {}", r.line);
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "  warm        lambda={lambda}: {secs:.4}s  ({:.2}x vs cold)",
+            cold[i].0 / secs.max(1e-12)
+        );
+        warm.push((secs, core));
+    }
+
+    // Replay column: the sweep again — every cell is now a cache hit and
+    // must replay the warm run's reply core byte-for-byte.
+    let mut replay: Vec<f64> = Vec::new();
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let (secs, line) = time_best_of(reps, || {
+            serve_discover(&addr, &frame(&format!("replay-{i}"), &handle, lambda)).line
+        });
+        let core = fdx_serve::reply_result_core(&line).unwrap_or("");
+        assert_eq!(
+            core, warm[i].1,
+            "cache replay diverged from the computed reply at lambda={lambda}"
+        );
+        println!(
+            "  replay      lambda={lambda}: {secs:.4}s  ({:.2}x vs cold)",
+            cold[i].0 / secs.max(1e-12)
+        );
+        replay.push(secs);
+    }
+
+    // The grid is only honest if warm starts actually engaged: all but
+    // the first sweep cell had a nearby-λ iterate to resume from.
+    let stats = match fdx_serve::stats_request(
+        &addr,
+        "bench-stats",
+        Some(0),
+        &fdx_serve::RetryPolicy::none(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf: session stats probe failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let warm_starts = stats
+        .raw
+        .get("counters")
+        .and_then(|c| c.get("fdx.session.warm_starts"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert!(
+        warm_starts as usize >= lambdas.len().saturating_sub(1),
+        "expected at least {} warm starts, counters saw {warm_starts}",
+        lambdas.len().saturating_sub(1)
+    );
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+
+    let cells = json::array(lambdas.iter().enumerate().map(|(i, &lambda)| {
+        json::Obj::new()
+            .f64_("lambda", lambda)
+            .f64_("cold_secs", cold[i].0)
+            .f64_("warm_secs", warm[i].0)
+            .f64_("warm_speedup", cold[i].0 / warm[i].0.max(1e-12))
+            .f64_("replay_secs", replay[i])
+            .f64_("replay_speedup", cold[i].0 / replay[i].max(1e-12))
+            .u64_("fds", cold[i].1.len() as u64)
+            .finish()
+    }));
+    json::Obj::new()
+        .u64_("rows", rows as u64)
+        .u64_("cols", k as u64)
+        .u64_("warm_starts", warm_starts)
+        .raw("cells", &cells)
+        .finish()
+}
+
 fn main() {
     let rows = env_usize("FDX_BENCH_PERF_ROWS", 3_000);
     let cols = env_list("FDX_BENCH_PERF_COLS", &[16, 32, 64]);
     let threads = env_list("FDX_BENCH_PERF_THREADS", &[1, 2, 4]);
     let reps = env_usize("FDX_BENCH_PERF_REPS", 3);
     let out_path =
-        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+        std::env::var("FDX_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     let lambda = 0.05;
     let block = 8usize;
 
@@ -672,9 +911,10 @@ fn main() {
     }
 
     let ingest_json = ingest_grid(reps);
+    let session_json = session_grid(reps);
 
     let report = json::Obj::new()
-        .str_("bench", "perf_pr9")
+        .str_("bench", "perf_pr10")
         .str_(
             "harness",
             "all crates and the bench binary compiled with -O; earlier \
@@ -687,6 +927,7 @@ fn main() {
         .u64_("block", block as u64)
         .raw("settings", &json::array(settings))
         .raw("ingest", &ingest_json)
+        .raw("session", &session_json)
         .finish();
     match std::fs::write(&out_path, format!("{report}\n")) {
         Ok(()) => println!("wrote {out_path}"),

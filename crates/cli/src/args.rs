@@ -54,10 +54,24 @@ Serve options:
   --chaos             allow requests to arm fault-injection points
   --metrics <path>    write the final metrics snapshot (atomic rename)
   --journal <path>    write the request journal on drain (atomic rename)
+  --session-dir <dir> persist dataset/result snapshots here; a restart
+                      recovers every intact session (corrupt snapshots are
+                      quarantined with typed reasons, never a crash)
+  --session-budget <b> resident-dataset memory budget in bytes (k/m/g
+                      suffixes ok; default 256m); LRU eviction past it
+  --max-conns <n>     concurrent connection cap (default 64); excess
+                      connections get a typed overloaded reply
 
 Request options:
   --addr <host:port>  server address (required)
   --id <s>            request id echoed in the reply (default: request-1)
+  --upload            upload <file.csv> as a session dataset; prints the
+                      content-hash handle (idempotent: re-uploads dedupe)
+  --open <handle>     open a session dataset (no csv path)
+  --close <handle>    drop a session dataset from the resident set
+  --dataset <handle>  discover against an uploaded dataset instead of
+                      sending csv; cached results replay byte-identically
+                      and the exchange retries across server restarts
   --deadline-ms <n>   per-request deadline, propagated into the pipeline
   --threshold <f>     autoregression threshold override
   --sparsity <f>      graphical-lasso lambda override
@@ -173,6 +187,12 @@ pub struct ServeArgs {
     pub metrics: Option<String>,
     /// Request-journal flush path (written on drain).
     pub journal: Option<String>,
+    /// Snapshot directory for crash-safe sessions (`None`: in-memory only).
+    pub session_dir: Option<String>,
+    /// Resident-dataset memory budget in bytes (`None`: server default).
+    pub session_budget: Option<u64>,
+    /// Concurrent connection cap.
+    pub max_conns: usize,
 }
 
 impl Default for ServeArgs {
@@ -185,6 +205,9 @@ impl Default for ServeArgs {
             chaos: false,
             metrics: None,
             journal: None,
+            session_dir: None,
+            session_budget: None,
+            max_conns: 64,
         }
     }
 }
@@ -214,6 +237,14 @@ pub struct RequestArgs {
     pub trace: bool,
     /// Send a shutdown frame instead of a discover request.
     pub shutdown: bool,
+    /// Upload `<file.csv>` as a session dataset instead of discovering.
+    pub upload: bool,
+    /// Open a session dataset by content-hash handle.
+    pub open: Option<String>,
+    /// Close (evict) a session dataset by content-hash handle.
+    pub close: Option<String>,
+    /// Discover against an uploaded dataset handle instead of sending csv.
+    pub dataset: Option<String>,
 }
 
 impl Default for RequestArgs {
@@ -233,6 +264,10 @@ impl Default for RequestArgs {
             retries: 5,
             trace: false,
             shutdown: false,
+            upload: false,
+            open: None,
+            close: None,
+            dataset: None,
         }
     }
 }
@@ -519,6 +554,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--chaos" => options.chaos = true,
                     "--metrics" => options.metrics = Some(value(flag)?.clone()),
                     "--journal" => options.journal = Some(value(flag)?.clone()),
+                    "--session-dir" => options.session_dir = Some(value(flag)?.clone()),
+                    "--session-budget" => {
+                        options.session_budget = Some(parse_bytes(value(flag)?)?);
+                    }
+                    "--max-conns" => {
+                        let n: usize = value(flag)?
+                            .parse()
+                            .map_err(|_| "--max-conns: expected a positive integer".to_string())?;
+                        if n == 0 {
+                            return Err("--max-conns: expected a positive integer".into());
+                        }
+                        options.max_conns = n;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
@@ -666,6 +714,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--trace" => options.trace = true,
                     "--shutdown" => options.shutdown = true,
+                    "--upload" => options.upload = true,
+                    "--open" => options.open = Some(value(flag)?.clone()),
+                    "--close" => options.close = Some(value(flag)?.clone()),
+                    "--dataset" => options.dataset = Some(value(flag)?.clone()),
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
@@ -673,11 +725,33 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !saw_addr {
                 return Err("request: --addr is required".into());
             }
-            if options.shutdown && options.path.is_some() {
-                return Err("request: --shutdown takes no <file.csv>".into());
+            let ops = [
+                options.shutdown,
+                options.upload,
+                options.open.is_some(),
+                options.close.is_some(),
+                options.dataset.is_some(),
+            ]
+            .iter()
+            .filter(|b| **b)
+            .count();
+            if ops > 1 {
+                return Err(
+                    "request: --shutdown, --upload, --open, --close and --dataset \
+                     are mutually exclusive"
+                        .into(),
+                );
             }
-            if !options.shutdown && options.path.is_none() {
+            // Only the csv-bearing forms (plain discover, --upload) take a path.
+            let wants_path = !options.shutdown
+                && options.open.is_none()
+                && options.close.is_none()
+                && options.dataset.is_none();
+            if wants_path && options.path.is_none() {
                 return Err("request: missing <file.csv> (or pass --shutdown)".into());
+            }
+            if !wants_path && options.path.is_some() {
+                return Err("request: this form takes no <file.csv>".into());
             }
             Ok(Command::Request { options })
         }
@@ -935,6 +1009,9 @@ mod tests {
                     chaos: true,
                     metrics: Some("m.jsonl".into()),
                     journal: Some("j.jsonl".into()),
+                    session_dir: None,
+                    session_budget: None,
+                    max_conns: 64,
                 }
             }
         );
@@ -942,6 +1019,64 @@ mod tests {
         assert!(parse(&argv("serve --threads 0")).is_err());
         assert!(parse(&argv("serve --drain-timeout -1")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_session_flags() {
+        let cmd = parse(&argv(
+            "serve --session-dir /tmp/sess --session-budget 64m --max-conns 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { options } => {
+                assert_eq!(options.session_dir.as_deref(), Some("/tmp/sess"));
+                assert_eq!(options.session_budget, Some(64 << 20));
+                assert_eq!(options.max_conns, 8);
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("serve --max-conns 0")).is_err());
+        assert!(parse(&argv("serve --session-budget 0")).is_err());
+        assert!(parse(&argv("serve --session-dir")).is_err());
+    }
+
+    #[test]
+    fn parses_request_session_ops() {
+        // Upload carries the csv path; the handle forms must not.
+        let cmd = parse(&argv("request d.csv --addr 1:2 --upload")).unwrap();
+        match cmd {
+            Command::Request { options } => {
+                assert!(options.upload);
+                assert_eq!(options.path.as_deref(), Some("d.csv"));
+            }
+            _ => unreachable!(),
+        }
+        let cmd = parse(&argv("request --addr 1:2 --open 00000000000000aa")).unwrap();
+        match cmd {
+            Command::Request { options } => {
+                assert_eq!(options.open.as_deref(), Some("00000000000000aa"));
+                assert_eq!(options.path, None);
+            }
+            _ => unreachable!(),
+        }
+        let cmd = parse(&argv(
+            "request --addr 1:2 --dataset 00000000000000aa --sparsity 0.05",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Request { options } => {
+                assert_eq!(options.dataset.as_deref(), Some("00000000000000aa"));
+                assert_eq!(options.sparsity, Some(0.05));
+            }
+            _ => unreachable!(),
+        }
+        // Handle forms reject a csv path; ops are mutually exclusive.
+        assert!(parse(&argv("request d.csv --addr 1:2 --open aa")).is_err());
+        assert!(parse(&argv("request d.csv --addr 1:2 --dataset aa")).is_err());
+        assert!(parse(&argv("request --addr 1:2 --open aa --close bb")).is_err());
+        assert!(parse(&argv("request d.csv --addr 1:2 --upload --shutdown")).is_err());
+        // Plain upload without a path is rejected.
+        assert!(parse(&argv("request --addr 1:2 --upload")).is_err());
     }
 
     #[test]

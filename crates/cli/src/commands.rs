@@ -39,12 +39,27 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         chaos: args.chaos,
         metrics_path: args.metrics.as_ref().map(std::path::PathBuf::from),
         journal_path: args.journal.as_ref().map(std::path::PathBuf::from),
+        session_dir: args.session_dir.as_ref().map(std::path::PathBuf::from),
+        session_budget: args.session_budget,
+        max_conns: args.max_conns,
         ..fdx_serve::ServeConfig::default()
     };
     let handle = fdx_serve::Server::start(config).map_err(|e| format!("serve: bind: {e}"))?;
     println!("fdx-serve listening on {}", handle.addr());
     if args.chaos {
         eprintln!("# chaos enabled: requests may arm fault-injection points");
+    }
+    let rec = handle.recovery();
+    if args.session_dir.is_some() {
+        eprintln!(
+            "# sessions recovered: {} datasets, {} cached results, {} quarantined",
+            rec.datasets,
+            rec.results,
+            rec.quarantined.len()
+        );
+        for q in &rec.quarantined {
+            eprintln!("#   quarantined {}: {}", q.file, q.reason);
+        }
     }
     let report = handle.wait();
     eprintln!(
@@ -68,10 +83,11 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
 /// Builds the wire frame for `fdx request` from parsed CLI options.
 /// Public to the crate for tests.
 fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::RequestFrame, String> {
-    let mut frame = fdx_serve::RequestFrame {
+    let frame = fdx_serve::RequestFrame {
         id: args.id.clone(),
         csv,
         path: None,
+        dataset: args.dataset.clone(),
         deadline_ms: args.deadline_ms,
         threshold: args.threshold,
         sparsity: args.sparsity,
@@ -80,8 +96,14 @@ fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::Req
         threads: args.threads,
         validate: if args.validate { None } else { Some(false) },
         trace: args.trace,
-        chaos: Vec::new(),
+        chaos: parse_chaos_specs(args)?,
     };
+    Ok(frame)
+}
+
+/// Parses the raw `--chaos` entries into validated wire specs.
+fn parse_chaos_specs(args: &RequestArgs) -> Result<Vec<fdx_serve::ChaosSpec>, String> {
+    let mut specs = Vec::new();
     for entry in &args.chaos {
         // Accepted spellings: `point`, `point=value`, `point:times`.
         let (name, times, value) = if let Some((n, v)) = entry.split_once('=') {
@@ -103,18 +125,19 @@ fn build_request_frame(args: &RequestArgs, csv: String) -> Result<fdx_serve::Req
                 fdx_serve::protocol::FAULT_POINTS.join(", ")
             )
         })?;
-        frame.chaos.push(fdx_serve::ChaosSpec {
+        specs.push(fdx_serve::ChaosSpec {
             point,
             times,
             value,
         });
     }
-    Ok(frame)
+    Ok(specs)
 }
 
-/// `fdx request`: one discover (or shutdown) exchange with a running
-/// server, retrying `overloaded`/connect failures on the deterministic
-/// backoff schedule.
+/// `fdx request`: one exchange with a running server, retrying
+/// `overloaded`/connect failures on the deterministic backoff schedule.
+/// Idempotent forms — session ops and `--dataset` discovers — also retry
+/// dropped connections, so a server restart mid-session is invisible.
 fn request(args: &RequestArgs) -> Result<(), String> {
     let policy = fdx_serve::RetryPolicy {
         retries: args.retries,
@@ -127,11 +150,34 @@ fn request(args: &RequestArgs) -> Result<(), String> {
         println!("{}", resp.raw_line());
         return Ok(());
     }
-    let path = args.path.as_deref().ok_or("request: missing <file.csv>")?;
-    let csv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(line) = session_op_line(args)? {
+        let resp = fdx_serve::send_idempotent_line(&args.addr, &line, &policy)
+            .map_err(|e| format!("request: {e}"))?;
+        println!("{}", resp.raw_line());
+        return if resp.is_ok() {
+            Ok(())
+        } else {
+            Err(format!(
+                "request {}: {} ({})",
+                resp.id,
+                resp.code.as_deref().unwrap_or("error"),
+                resp.detail.as_deref().unwrap_or("no detail")
+            ))
+        };
+    }
+    let csv = match args.path.as_deref() {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => String::new(), // --dataset discover: the handle is the payload
+    };
     let frame = build_request_frame(args, csv)?;
-    let resp =
-        fdx_serve::request(&args.addr, &frame, &policy).map_err(|e| format!("request: {e}"))?;
+    let resp = if args.dataset.is_some() {
+        // Handle discovers are idempotent (cached results replay verbatim),
+        // so they may ride through a dropped connection.
+        fdx_serve::send_idempotent_line(&args.addr, &frame.to_line(), &policy)
+            .map_err(|e| format!("request: {e}"))?
+    } else {
+        fdx_serve::request(&args.addr, &frame, &policy).map_err(|e| format!("request: {e}"))?
+    };
     println!("{}", resp.raw_line());
     if let Some(trace) = &resp.trace {
         // Same waterfall `fdx discover --trace` prints, captured remotely.
@@ -149,11 +195,35 @@ fn request(args: &RequestArgs) -> Result<(), String> {
     }
 }
 
+/// Builds the wire line for a session op (`--upload`/`--open`/`--close`),
+/// or `None` when the request is a discover/shutdown form.
+fn session_op_line(args: &RequestArgs) -> Result<Option<String>, String> {
+    if args.upload {
+        let path = args.path.as_deref().ok_or("request: missing <file.csv>")?;
+        let csv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let chaos = parse_chaos_specs(args)?;
+        return Ok(Some(fdx_serve::upload_line(&args.id, &csv, &chaos)));
+    }
+    if let Some(handle) = &args.open {
+        return Ok(Some(fdx_serve::open_line(&args.id, handle)));
+    }
+    if let Some(handle) = &args.close {
+        return Ok(Some(fdx_serve::close_line(&args.id, handle)));
+    }
+    Ok(None)
+}
+
 /// `fdx stats`: one `stats` exchange with a running server — the raw JSON
-/// reply by default, or a rendered table with `--text`.
+/// reply by default, or a rendered table with `--text`. Stats is
+/// idempotent, so the exchange retries across dropped connections.
 fn stats(args: &StatsArgs) -> Result<(), String> {
-    let resp = fdx_serve::stats_request(&args.addr, "stats-1", args.journal)
-        .map_err(|e| format!("stats: {e}"))?;
+    let resp = fdx_serve::stats_request(
+        &args.addr,
+        "stats-1",
+        args.journal,
+        &fdx_serve::RetryPolicy::default(),
+    )
+    .map_err(|e| format!("stats: {e}"))?;
     if !resp.is_ok() {
         return Err(format!(
             "stats: {} ({})",
@@ -176,7 +246,13 @@ fn top(args: &TopArgs) -> Result<(), String> {
     let mut poll: u64 = 0;
     loop {
         poll += 1;
-        match fdx_serve::stats_request(&args.addr, &format!("top-{poll}"), Some(args.journal)) {
+        // No retries: a missed poll is itself the signal when watching live.
+        match fdx_serve::stats_request(
+            &args.addr,
+            &format!("top-{poll}"),
+            Some(args.journal),
+            &fdx_serve::RetryPolicy::none(),
+        ) {
             Ok(resp) if resp.is_ok() => {
                 println!("== {}  poll {}", args.addr, poll);
                 print!("{}", render_stats_text(&resp.raw));
@@ -225,6 +301,52 @@ fn render_stats_text(raw: &fdx_serve::json::JsonValue) -> String {
         u("abandoned"),
         u("stats_requests"),
     );
+    // Session/snapshot counters appear once a session op has run (or a
+    // recovery scan found snapshots); silent otherwise to keep the plain
+    // serve view compact.
+    let counters = raw.get("counters");
+    let c = |k: &str| {
+        counters
+            .and_then(|o| o.get(k))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let session_total = c("fdx.session.uploads")
+        + c("fdx.session.opens")
+        + c("fdx.session.closes")
+        + c("fdx.session.cache_hits")
+        + c("fdx.session.cache_misses")
+        + c("fdx.snapshot.writes")
+        + c("fdx.snapshot.recovered")
+        + c("fdx.snapshot.quarantined");
+    if session_total > 0 {
+        let resident = raw
+            .get("gauges")
+            .and_then(|o| o.get("fdx.session.resident_bytes"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "sessions: uploads {}  opens {}  closes {}  cache {}/{} hit  \
+             evictions {}  warm_starts {}  resident {:.0}B",
+            c("fdx.session.uploads"),
+            c("fdx.session.opens"),
+            c("fdx.session.closes"),
+            c("fdx.session.cache_hits"),
+            c("fdx.session.cache_hits") + c("fdx.session.cache_misses"),
+            c("fdx.session.evictions"),
+            c("fdx.session.warm_starts"),
+            resident,
+        );
+        let _ = writeln!(
+            out,
+            "snapshots: writes {}  recovered {}  quarantined {}  conn_rejected {}",
+            c("fdx.snapshot.writes"),
+            c("fdx.snapshot.recovered"),
+            c("fdx.snapshot.quarantined"),
+            c("fdx.session.conn_rejected"),
+        );
+    }
     for name in ["queue_wait_ms", "service_ms"] {
         if let Some(h) = raw.get(name) {
             let hu = |k: &str| h.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
@@ -244,8 +366,8 @@ fn render_stats_text(raw: &fdx_serve::json::JsonValue) -> String {
             let _ = writeln!(out, "journal (oldest first):");
             let _ = writeln!(
                 out,
-                "  {:>5}  {:<18} {:<18} {:>4}  {:>8}  {:>8}  {:>7}",
-                "seq", "id", "outcome", "rung", "wait_s", "total_s", "threads"
+                "  {:>5}  {:<18} {:<18} {:<16} {:>4}  {:>8}  {:>8}  {:>7}",
+                "seq", "id", "outcome", "session", "rung", "wait_s", "total_s", "threads"
             );
             for e in journal {
                 let es = |k: &str| e.get(k).and_then(|v| v.as_str()).unwrap_or("-");
@@ -253,10 +375,11 @@ fn render_stats_text(raw: &fdx_serve::json::JsonValue) -> String {
                 let ef = |k: &str| e.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
                 let _ = writeln!(
                     out,
-                    "  {:>5}  {:<18} {:<18} {:>4}  {:>8.3}  {:>8.3}  {:>7}",
+                    "  {:>5}  {:<18} {:<18} {:<16} {:>4}  {:>8.3}  {:>8.3}  {:>7}",
                     eu("seq"),
                     es("id"),
                     es("outcome"),
+                    es("session"),
                     eu("rung"),
                     ef("queue_wait_secs"),
                     ef("total_secs"),
@@ -310,7 +433,8 @@ fn lint(args: &LintArgs) -> Result<(), String> {
         let doc = fdx_analyze::sarif::to_sarif(&report);
         fdx_analyze::sarif::validate(&doc)
             .map_err(|e| format!("lint: generated SARIF failed self-validation: {e}"))?;
-        std::fs::write(path, &doc).map_err(|e| format!("lint: writing {path}: {e}"))?;
+        fdx_obs::write_atomic(Path::new(path), &doc)
+            .map_err(|e| format!("lint: writing {path}: {e}"))?;
         eprintln!("wrote SARIF to {path}");
     }
     if args.format_json {
@@ -746,6 +870,7 @@ mod tests {
             seq: 9,
             id: "r9".into(),
             outcome: "deadline_exceeded".into(),
+            session: Some("00000000000000aa".into()),
             queue_wait_secs: 0.125,
             total_secs: 0.5,
             phases: Vec::new(),
@@ -765,6 +890,9 @@ mod tests {
         assert!(text.contains("journal (oldest first):"), "{text}");
         assert!(text.contains("deadline_exceeded"), "{text}");
         assert!(text.contains("r9"), "{text}");
+        assert!(text.contains("00000000000000aa"), "{text}");
+        // No session ops recorded → the session summary lines stay silent.
+        assert!(!text.contains("sessions:"), "{text}");
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use fdx_glasso::WarmStart;
 use fdx_order::OrderingMethod;
 
 /// How the pair transform treats null cells when testing `t_i[A] = t_j[A]`.
@@ -124,6 +125,15 @@ pub struct FdxConfig {
     /// [`crate::FdxError::MemoryBudget`]. `None` (the default) disables
     /// the check.
     pub memory_budget: Option<u64>,
+    /// Warm-start iterate `(Θ, W)` for the graphical-lasso solve, typically
+    /// the converged iterate of an earlier run on the *same dataset* at a
+    /// nearby λ (the serve-layer result cache wires this across a session's
+    /// λ sweep). Determinism contract: the solve is a pure function of
+    /// (input, config) — the *same* warm start always reproduces the same
+    /// bits, and the serve layer derives the warm start deterministically
+    /// from its persisted result cache so recovered sessions replay the
+    /// exact choice. `None` (the default) starts cold.
+    pub glasso_warm_start: Option<WarmStart>,
 }
 
 impl Default for FdxConfig {
@@ -143,6 +153,7 @@ impl Default for FdxConfig {
             time_budget: None,
             threads: None,
             memory_budget: None,
+            glasso_warm_start: None,
         }
     }
 }
@@ -196,6 +207,13 @@ impl FdxConfig {
     pub fn with_threads(mut self, threads: usize) -> FdxConfig {
         self.threads = if threads > 0 { Some(threads) } else { None };
         self.transform.threads = self.threads;
+        self
+    }
+
+    /// Convenience: seed the glasso solve with a prior iterate (see
+    /// [`FdxConfig::glasso_warm_start`]).
+    pub fn with_glasso_warm_start(mut self, warm: WarmStart) -> FdxConfig {
+        self.glasso_warm_start = Some(warm);
         self
     }
 

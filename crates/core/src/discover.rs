@@ -183,11 +183,11 @@ impl Fdx {
         // (`crate::resilience`): configured glasso → relaxed retry → direct
         // inversion → neighborhood selection. Each glasso solve opens its
         // own `fdx.glasso` span and emits per-sweep convergence events.
-        let theta = {
+        let (theta, glasso_warm) = {
             let span = fdx_obs::Span::enter("fdx.structure");
-            let theta = estimate_precision(&s, cfg, &mut health)?;
+            let pair = estimate_precision(&s, cfg, &mut health)?;
             timings.glasso_secs = span.elapsed_secs();
-            theta
+            pair
         };
         budget.check("ordering")?;
 
@@ -301,6 +301,7 @@ impl Fdx {
             noise_variances: factor.d.iter().map(|&d| 1.0 / d.max(1e-12)).collect(),
             timings,
             health,
+            glasso_warm,
         })
     }
 }
@@ -530,6 +531,43 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn result_carries_reusable_glasso_warm_iterate() {
+        let ds = city_state_rows();
+        let r = Fdx::new(FdxConfig::with_seed(7).with_sparsity(0.004))
+            .discover(&ds)
+            .unwrap();
+        let warm = r
+            .glasso_warm
+            .clone()
+            .expect("clean run ends on a glasso rung");
+        // The warm iterate IS the run's Θ — feeding it back must be valid.
+        assert_eq!(warm.theta[(0, 1)].to_bits(), r.theta[(0, 1)].to_bits());
+        let warmed = Fdx::new(
+            FdxConfig::with_seed(7)
+                .with_sparsity(0.006)
+                .with_glasso_warm_start(warm),
+        )
+        .discover(&ds)
+        .unwrap();
+        // A warm start may change the descent path, never the discovery:
+        // the nearby-λ solve lands on the same FD set.
+        assert_eq!(warmed.fds, r.fds);
+        // And the warmed run is itself deterministic: same config (incl.
+        // the same warm start) reproduces the same bits.
+        let again = Fdx::new(
+            FdxConfig::with_seed(7)
+                .with_sparsity(0.006)
+                .with_glasso_warm_start(r.glasso_warm.clone().unwrap()),
+        )
+        .discover(&ds)
+        .unwrap();
+        assert_eq!(
+            warmed.theta[(0, 1)].to_bits(),
+            again.theta[(0, 1)].to_bits()
+        );
     }
 
     #[test]

@@ -62,6 +62,11 @@ mod validate;
 
 pub use config::{FdxConfig, NullPolicy, PairSampling, TransformConfig};
 pub use discover::{Fdx, FdxError};
+// Re-exported so downstream crates (notably fdx-serve's session layer) can
+// thread a warm start between runs without direct fdx-glasso/fdx-linalg
+// dependencies.
+pub use fdx_glasso::WarmStart;
+pub use fdx_linalg::Matrix;
 pub use report::{render_autoregression_heatmap, FdxResult, FdxTimings};
 pub use resilience::{RecoveryRung, RunHealth};
 pub use transform::{pair_transform, pair_transform_matrix, PairStats};

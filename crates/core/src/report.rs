@@ -1,4 +1,5 @@
 use fdx_data::{FdSet, Schema};
+use fdx_glasso::WarmStart;
 use fdx_linalg::{Matrix, Permutation};
 
 use crate::resilience::RunHealth;
@@ -96,6 +97,11 @@ pub struct FdxResult {
     /// `health.degraded() == false`; `fdx discover --strict` turns any
     /// degradation into a non-zero exit.
     pub health: RunHealth,
+    /// The converged glasso iterate `(Θ, W)` when the run ended on a glasso
+    /// rung, reusable as [`crate::FdxConfig::glasso_warm_start`] for a
+    /// follow-up solve on the same dataset at a nearby λ. `None` when a
+    /// fallback rung produced `Θ`.
+    pub glasso_warm: Option<WarmStart>,
 }
 
 impl FdxResult {

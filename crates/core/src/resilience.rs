@@ -332,14 +332,20 @@ fn matrix_is_finite(m: &Matrix) -> bool {
 /// Postcondition on success: the returned matrix is square, symmetric to
 /// solver tolerance, entirely finite, and positive definite enough for the
 /// downstream `U D Uᵀ` factorization's own ridge guard.
+///
+/// Alongside `Θ` the ladder returns the converged glasso iterate `(Θ, W)`
+/// when one exists (rungs 1–2); callers that sweep λ on the same dataset
+/// can feed it back through [`FdxConfig::glasso_warm_start`]. Fallback
+/// rungs yield `None` — their output is not a glasso fixed point.
 pub(crate) fn estimate_precision(
     s: &Matrix,
     cfg: &FdxConfig,
     health: &mut RunHealth,
-) -> Result<Matrix, FdxError> {
+) -> Result<(Matrix, Option<WarmStart>), FdxError> {
     let glasso_cfg = GlassoConfig {
         lambda: cfg.sparsity,
         threads: cfg.threads,
+        warm_start: cfg.glasso_warm_start.clone(),
         ..GlassoConfig::default()
     };
 
@@ -355,7 +361,11 @@ pub(crate) fn estimate_precision(
             health.glasso_largest_component = r.largest_component;
             if r.converged && matrix_is_finite(&r.theta) {
                 health.rung = RecoveryRung::Glasso;
-                return Ok(r.theta);
+                let warm = WarmStart {
+                    theta: r.theta.clone(),
+                    w: r.w,
+                };
+                return Ok((r.theta, Some(warm)));
             }
             if !r.converged {
                 fdx_obs::counter_add("fdx.glasso.not_converged", 1);
@@ -394,7 +404,11 @@ pub(crate) fn estimate_precision(
             health.glasso_components = r.components;
             health.glasso_largest_component = r.largest_component;
             health.note("relaxed-tolerance glasso retry converged".to_string());
-            return Ok(r.theta);
+            let warm = WarmStart {
+                theta: r.theta.clone(),
+                w: r.w,
+            };
+            return Ok((r.theta, Some(warm)));
         }
         Ok(r) => {
             if r.converged {
@@ -425,7 +439,7 @@ pub(crate) fn estimate_precision(
                     "recovered Θ by direct inversion (ridge {:.1e})",
                     inv.ridge_used
                 ));
-                return Ok(inv.theta);
+                return Ok((inv.theta, None));
             }
             Ok(_) => {
                 health.trip_guard("inversion.theta");
@@ -451,7 +465,7 @@ pub(crate) fn estimate_precision(
             health.note(format!(
                 "recovered support only, via neighborhood selection (λ = {lambda})"
             ));
-            Ok(support_surrogate_theta(&adj))
+            Ok((support_surrogate_theta(&adj), None))
         }
         Err(e) => {
             health.note(format!("neighborhood selection failed ({e}); no rung left"));
@@ -566,9 +580,11 @@ mod tests {
     #[test]
     fn clean_input_stays_on_rung_one() {
         let mut h = RunHealth::default();
-        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        let (theta, warm) = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
         assert_eq!(h.rung, RecoveryRung::Glasso);
         assert!(!h.degraded());
+        let warm = warm.expect("converged glasso yields a warm iterate");
+        assert_eq!(warm.theta[(0, 1)], theta[(0, 1)]);
         // Identical to the direct solve the ladder wraps.
         let direct = graphical_lasso(&spd3(), &GlassoConfig::default())
             .unwrap()
@@ -580,9 +596,10 @@ mod tests {
     fn forced_non_convergence_descends_to_rung_two() {
         let mut h = RunHealth::default();
         let _f = faults::arm_times("glasso.force_no_converge", 1);
-        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        let (theta, warm) = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
         assert_eq!(h.rung, RecoveryRung::RidgedRetry);
         assert!(h.degraded());
+        assert!(warm.is_some(), "rung 2 is still a glasso fixed point");
         assert!(theta[(0, 0)].is_finite());
         assert!(!h.recoveries.is_empty());
     }
@@ -591,9 +608,10 @@ mod tests {
     fn persistent_non_convergence_descends_to_rung_three() {
         let mut h = RunHealth::default();
         let _f = faults::arm("glasso.force_no_converge");
-        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        let (theta, warm) = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
         assert_eq!(h.rung, RecoveryRung::DirectInversion);
         assert!(!h.glasso_converged);
+        assert!(warm.is_none(), "fallback rungs are not glasso fixed points");
         assert!(theta[(0, 0)].is_finite());
     }
 
@@ -602,7 +620,7 @@ mod tests {
         let mut h = RunHealth::default();
         let _f1 = faults::arm("glasso.force_no_converge");
         let _f2 = faults::arm("inversion.force_fail");
-        let theta = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
+        let (theta, _) = estimate_precision(&spd3(), &FdxConfig::default(), &mut h).unwrap();
         assert_eq!(h.rung, RecoveryRung::NeighborhoodSelection);
         // Surrogate Θ must be factorizable (diagonally dominant SPD).
         assert!(fdx_linalg::cholesky(&theta).is_ok());

@@ -603,6 +603,7 @@ fn ingest_csv_reader<R: Read>(
                     };
                     if let BadRowPolicy::Quarantine(qpath) = policy {
                         if qwriter.is_none() {
+                            // fdx-allow: L015 append-only quarantine stream written row-by-row as bad rows surface; an atomic rename would drop rows on a mid-ingest kill
                             let f = File::create(qpath).map_err(|e| IngestError::QuarantineIo {
                                 path: qpath.display().to_string(),
                                 detail: e.to_string(),

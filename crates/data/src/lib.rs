@@ -17,7 +17,10 @@
 //! * [`ingest`] — resilient out-of-core ingestion: chunked reading with
 //!   per-chunk dictionary pages, row quarantine, memory budgets, and
 //!   deterministic fault injection (bit-identical to [`read_csv_str`] on
-//!   clean data).
+//!   clean data),
+//! * [`snapshot`] — checksummed, versioned snapshot records and a canonical
+//!   bit-exact dataset codec, the persistence substrate for crash-safe
+//!   serving sessions.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ mod dataset;
 mod fd;
 pub mod ingest;
 mod schema;
+pub mod snapshot;
 mod value;
 
 pub use column::{Column, NULL_CODE};
@@ -57,4 +61,8 @@ pub use ingest::{
     Ingested, MemoryMeter, QuarantinedRow,
 };
 pub use schema::{AttrId, AttrType, Attribute, Schema};
+pub use snapshot::{
+    dataset_content_hash, decode_dataset, decode_record, encode_dataset, encode_record,
+    SnapshotError, SnapshotRecord, KIND_DATASET, KIND_RESULT,
+};
 pub use value::{OrderedF64, Value};

@@ -1,0 +1,615 @@
+//! Checksummed, versioned snapshot records for crash-safe dataset sessions.
+//!
+//! The serve layer persists uploaded datasets (and cached discovery
+//! results) as *snapshot records* under `--session-dir`. A record is a
+//! single self-validating blob:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "FDXSNAP1"
+//! 8       2     format version (little-endian u16, currently 1)
+//! 10      2     record kind    (little-endian u16; 1 = dataset, 2 = result)
+//! 12      8     payload length (little-endian u64)
+//! 20      n     payload bytes
+//! 20+n    4     CRC-32 (IEEE) over bytes [0, 20+n)
+//! ```
+//!
+//! Every field a reader needs to reject a damaged file comes *before* the
+//! payload, and the trailing CRC covers header and payload both, so the
+//! recovery scan can classify any torn, truncated, or bit-flipped file
+//! with a typed [`SnapshotError`] — never a panic, never a silent
+//! half-read. Records are written through `fdx_obs::write_atomic`, which
+//! makes a *whole* record appear or nothing; the decoder's job is to
+//! survive the cases where that contract was violated underneath us
+//! (power loss mid-rename on exotic filesystems, manual tampering, fault
+//! injection in tests).
+//!
+//! The dataset payload codec is canonical and bit-exact: dictionary
+//! values serialize tagged (ints as little-endian two's complement,
+//! floats by IEEE bit pattern), so `decode_dataset(encode_dataset(ds))`
+//! reproduces `ds` exactly and the FNV-1a [`dataset_content_hash`] over
+//! the payload is a stable content address for upload deduplication.
+
+use std::fmt;
+
+use crate::column::{Column, NULL_CODE};
+use crate::dataset::Dataset;
+use crate::schema::{AttrType, Attribute, Schema};
+use crate::value::Value;
+
+/// Leading magic of every snapshot record.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FDXSNAP1";
+
+/// Current record format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Record kind tag for a serialized [`Dataset`].
+pub const KIND_DATASET: u16 = 1;
+
+/// Record kind tag for a cached discovery result.
+pub const KIND_RESULT: u16 = 2;
+
+/// Header bytes before the payload: magic + version + kind + length.
+pub const HEADER_LEN: usize = 8 + 2 + 2 + 8;
+
+/// Why a snapshot failed to decode. Every variant is a *typed* recovery
+/// outcome — the startup scan quarantines the file and keeps serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file is shorter than its header + declared payload + CRC
+    /// claim — the classic torn/truncated write.
+    Truncated {
+        /// Bytes the record claims to need.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The leading magic is not `FDXSNAP1` — not a snapshot at all.
+    BadMagic,
+    /// The format version is newer (or older) than this reader speaks.
+    BadVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The trailing CRC-32 does not match the header + payload bytes.
+    BadCrc {
+        /// CRC stored in the record.
+        stored: u32,
+        /// CRC computed over the bytes present.
+        computed: u32,
+    },
+    /// Extra bytes follow a structurally complete record.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The payload passed the CRC but does not decode as its kind claims
+    /// (an encoder bug or a hand-crafted record).
+    Corrupt {
+        /// What failed inside the payload.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated snapshot: {actual} of {expected} bytes present"
+                )
+            }
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::BadCrc { stored, computed } => write!(
+                f,
+                "snapshot crc mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after snapshot record")
+            }
+            SnapshotError::Corrupt { detail } => write!(f, "corrupt snapshot payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl SnapshotError {
+    /// Short machine-readable reason, used in quarantine records and
+    /// recovery metrics.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            SnapshotError::Truncated { .. } => "truncated",
+            SnapshotError::BadMagic => "bad_magic",
+            SnapshotError::BadVersion { .. } => "bad_version",
+            SnapshotError::BadCrc { .. } => "bad_crc",
+            SnapshotError::TrailingBytes { .. } => "trailing_bytes",
+            SnapshotError::Corrupt { .. } => "corrupt_payload",
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `bytes`.
+/// Bitwise — no table — because snapshot I/O is dominated by disk, not
+/// the checksum, and a 4-line loop cannot drift from its table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A decoded snapshot record: kind tag plus the validated payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRecord {
+    /// Record kind ([`KIND_DATASET`] or [`KIND_RESULT`]).
+    pub kind: u16,
+    /// Payload bytes, CRC-validated.
+    pub payload: Vec<u8>,
+}
+
+/// Encode one snapshot record (header + payload + CRC).
+pub fn encode_record(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate one snapshot record. Checks, in order: magic,
+/// version, declared length vs bytes present, trailing garbage, CRC.
+pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, SnapshotError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        // Too short even for an empty record; magic first so a wholly
+        // foreign file reads as BadMagic, a cut-off real one as Truncated.
+        if bytes.len() >= 8 && bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_LEN + 4,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    let kind = u16::from_le_bytes([bytes[10], bytes[11]]);
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[12..20]);
+    let payload_len = u64::from_le_bytes(len8) as usize;
+    let expected = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(4))
+        .ok_or(SnapshotError::Corrupt {
+            detail: "payload length overflows".to_string(),
+        })?;
+    if bytes.len() < expected {
+        return Err(SnapshotError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    if bytes.len() > expected {
+        return Err(SnapshotError::TrailingBytes {
+            extra: bytes.len() - expected,
+        });
+    }
+    let body = &bytes[..HEADER_LEN + payload_len];
+    let mut crc4 = [0u8; 4];
+    crc4.copy_from_slice(&bytes[HEADER_LEN + payload_len..expected]);
+    let stored = u32::from_le_bytes(crc4);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(SnapshotError::BadCrc { stored, computed });
+    }
+    Ok(SnapshotRecord {
+        kind,
+        payload: bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Canonical dataset payload codec.
+
+fn corrupt(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        // Nulls never intern into a dictionary, but the codec stays total.
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.0.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Sequential little-endian reader with typed exhaustion errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt(format!("payload exhausted reading {what}")))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, SnapshotError> {
+        let len = self.u32(what)? as usize;
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| corrupt(format!("{what} is not utf-8")))
+    }
+
+    fn value(&mut self) -> Result<Value, SnapshotError> {
+        match self.u8("value tag")? {
+            0 => Ok(Value::Null),
+            1 => {
+                let b = self.take(8, "int value")?;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(b);
+                Ok(Value::Int(i64::from_le_bytes(a)))
+            }
+            2 => {
+                let bits = self.u64("float value")?;
+                Ok(Value::float(f64::from_bits(bits)))
+            }
+            3 => Ok(Value::Text(self.str("text value")?)),
+            t => Err(corrupt(format!("unknown value tag {t}"))),
+        }
+    }
+
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(corrupt(format!(
+                "{} unread payload bytes",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn attr_type_tag(ty: AttrType) -> u8 {
+    match ty {
+        AttrType::Categorical => 0,
+        AttrType::Integer => 1,
+        AttrType::Real => 2,
+    }
+}
+
+fn attr_type_from_tag(tag: u8) -> Result<AttrType, SnapshotError> {
+    match tag {
+        0 => Ok(AttrType::Categorical),
+        1 => Ok(AttrType::Integer),
+        2 => Ok(AttrType::Real),
+        t => Err(corrupt(format!("unknown attribute type tag {t}"))),
+    }
+}
+
+/// Serialize a dataset to its canonical snapshot payload: schema, row
+/// count, then per column the interned dictionary and the code vector.
+pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ds.ncols() as u32).to_le_bytes());
+    for attr in ds.schema().attributes() {
+        put_str(&mut out, &attr.name);
+        out.push(attr_type_tag(attr.ty));
+    }
+    out.extend_from_slice(&(ds.nrows() as u64).to_le_bytes());
+    for col in ds.columns() {
+        out.extend_from_slice(&(col.dictionary().len() as u32).to_le_bytes());
+        for v in col.dictionary() {
+            put_value(&mut out, v);
+        }
+        for &code in col.codes() {
+            out.extend_from_slice(&code.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Rebuild a dataset from its canonical payload — the bit-exact inverse
+/// of [`encode_dataset`].
+pub fn decode_dataset(payload: &[u8]) -> Result<Dataset, SnapshotError> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let ncols = cur.u32("attribute count")? as usize;
+    let mut attrs = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = cur.str("attribute name")?;
+        let ty = attr_type_from_tag(cur.u8("attribute type")?)?;
+        attrs.push(Attribute::new(name, ty));
+    }
+    for i in 0..attrs.len() {
+        for j in (i + 1)..attrs.len() {
+            if attrs[i].name == attrs[j].name {
+                return Err(corrupt(format!("duplicate attribute {:?}", attrs[i].name)));
+            }
+        }
+    }
+    let nrows = cur.u64("row count")? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let dict_len = cur.u32("dictionary length")? as usize;
+        let mut dict = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            dict.push(cur.value()?);
+        }
+        let mut codes = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let code = cur.u32("code")?;
+            if code != NULL_CODE && code as usize >= dict_len {
+                return Err(corrupt(format!(
+                    "code {code} out of range for dictionary of {dict_len} in column {c}"
+                )));
+            }
+            codes.push(code);
+        }
+        columns.push(Column::from_codes(codes, dict));
+    }
+    cur.done()?;
+    Ok(Dataset::new(Schema::new(attrs), columns))
+}
+
+/// FNV-1a 64-bit over the canonical dataset payload — the content address
+/// of an uploaded dataset. Two uploads with identical values (in identical
+/// row order) hash alike no matter how the CSV was formatted.
+pub fn content_hash(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`content_hash`] of a dataset's canonical encoding.
+pub fn dataset_content_hash(ds: &Dataset) -> u64 {
+    content_hash(&encode_dataset(ds))
+}
+
+/// Render a content hash as the 16-hex-digit handle used on the wire.
+pub fn handle_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parse a 16-hex-digit dataset handle.
+pub fn parse_handle(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("city", AttrType::Categorical),
+            Attribute::new("pop", AttrType::Integer),
+            Attribute::new("temp", AttrType::Real),
+        ]);
+        let cities = Column::from_values(&[
+            Value::text("nyc"),
+            Value::text("sf"),
+            Value::Null,
+            Value::text("nyc"),
+        ]);
+        let pops =
+            Column::from_values(&[Value::Int(8), Value::Int(1), Value::Int(8), Value::Int(-3)]);
+        let temps = Column::from_values(&[
+            Value::float(1.5),
+            Value::float(-0.0),
+            Value::Null,
+            Value::float(f64::MAX),
+        ]);
+        Dataset::new(schema, vec![cities, pops, temps])
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = encode_record(KIND_DATASET, b"hello");
+        let dec = decode_record(&rec).unwrap();
+        assert_eq!(dec.kind, KIND_DATASET);
+        assert_eq!(dec.payload, b"hello");
+        let empty = decode_record(&encode_record(KIND_RESULT, b"")).unwrap();
+        assert_eq!(empty.kind, KIND_RESULT);
+        assert!(empty.payload.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_cut() {
+        let rec = encode_record(KIND_DATASET, b"payload-bytes");
+        for cut in 0..rec.len() {
+            let err = decode_record(&rec[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. })
+                    || matches!(err, SnapshotError::BadCrc { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed_at_every_byte() {
+        let rec = encode_record(KIND_DATASET, b"payload");
+        for i in 0..rec.len() {
+            let mut bad = rec.clone();
+            bad[i] ^= 0x40;
+            let err = decode_record(&bad).unwrap_err();
+            match i {
+                0..=7 => assert_eq!(err, SnapshotError::BadMagic, "byte {i}"),
+                8..=9 => assert!(matches!(err, SnapshotError::BadVersion { .. }), "byte {i}"),
+                12..=19 => assert!(
+                    matches!(err, SnapshotError::Truncated { .. })
+                        | matches!(err, SnapshotError::TrailingBytes { .. })
+                        | matches!(err, SnapshotError::Corrupt { .. }),
+                    "byte {i}: {err:?}"
+                ),
+                _ => assert!(
+                    matches!(err, SnapshotError::BadCrc { .. }),
+                    "byte {i}: {err:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut rec = encode_record(KIND_DATASET, b"x");
+        rec.extend_from_slice(b"junk");
+        assert_eq!(
+            decode_record(&rec).unwrap_err(),
+            SnapshotError::TrailingBytes { extra: 4 }
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        assert_eq!(
+            decode_record(b"NOTASNAP________________").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut rec = encode_record(KIND_DATASET, b"x");
+        rec[8] = 9; // version 9
+                    // Version check precedes CRC: an unreadable future format must not
+                    // masquerade as bit rot.
+        assert_eq!(
+            decode_record(&rec).unwrap_err(),
+            SnapshotError::BadVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn dataset_roundtrips_bit_identically() {
+        let ds = sample_dataset();
+        let payload = encode_dataset(&ds);
+        let back = decode_dataset(&payload).unwrap();
+        assert_eq!(back, ds);
+        // Bit-exact: re-encoding the decoded dataset is byte-identical.
+        assert_eq!(encode_dataset(&back), payload);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_format_insensitive() {
+        let ds = sample_dataset();
+        let h1 = dataset_content_hash(&ds);
+        let h2 = dataset_content_hash(&sample_dataset());
+        assert_eq!(h1, h2);
+        let other = Dataset::from_string_rows(&["a"], &[&["1"], &["2"]]);
+        assert_ne!(h1, dataset_content_hash(&other));
+        // CSV formatting differences that parse to equal values hash alike.
+        let a = crate::read_csv_str("x,y\n1, a\n2,b\n").unwrap();
+        let b = crate::read_csv_str("x,y\n1,a\n2,b \n").unwrap();
+        assert_eq!(dataset_content_hash(&a), dataset_content_hash(&b));
+    }
+
+    #[test]
+    fn handles_roundtrip_and_reject_garbage() {
+        let h = 0x0123_4567_89ab_cdef_u64;
+        assert_eq!(handle_hex(h), "0123456789abcdef");
+        assert_eq!(parse_handle(&handle_hex(h)), Some(h));
+        assert_eq!(parse_handle("0123456789abcde"), None, "too short");
+        assert_eq!(parse_handle("0123456789abcdeg"), None, "non-hex");
+        assert_eq!(parse_handle(""), None);
+    }
+
+    #[test]
+    fn corrupt_payload_is_typed_not_a_panic() {
+        // A CRC-valid record whose payload lies about its structure.
+        let mut payload = encode_dataset(&sample_dataset());
+        payload.truncate(payload.len() - 3);
+        let err = decode_dataset(&payload).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+        // Out-of-range code.
+        let schema_only = {
+            let mut out = Vec::new();
+            out.extend_from_slice(&1u32.to_le_bytes());
+            put_str(&mut out, "a");
+            out.push(0);
+            out.extend_from_slice(&1u64.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // empty dictionary
+            out.extend_from_slice(&7u32.to_le_bytes()); // code 7 into empty dict
+            out
+        };
+        let err = decode_dataset(&schema_only).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+        // Reasons are stable strings for metrics.
+        assert_eq!(err.reason(), "corrupt_payload");
+        assert_eq!(SnapshotError::BadMagic.reason(), "bad_magic");
+    }
+}

@@ -16,6 +16,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// placement keeps the rename on one filesystem, which is what makes it
 /// atomic. On failure the temp file is cleaned up best-effort.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level [`write_atomic`]: same temp-file + rename protocol, for
+/// binary artifacts (snapshot records) that are not UTF-8.
+pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,

@@ -43,6 +43,9 @@ pub struct JournalEntry {
     pub rung: u8,
     /// Kernel threads the request ran with.
     pub threads: usize,
+    /// Session the request ran against — the content-hash dataset handle
+    /// for session-mode requests, `None` for one-shot CSV requests.
+    pub session: Option<String>,
 }
 
 impl JournalEntry {
@@ -52,11 +55,14 @@ impl JournalEntry {
         for (name, secs) in &self.phases {
             phases = phases.f64_(name, *secs);
         }
-        Obj::new()
+        let mut obj = Obj::new()
             .u64_("seq", self.seq)
             .str_("id", &self.id)
-            .str_("outcome", &self.outcome)
-            .f64_("queue_wait_secs", self.queue_wait_secs)
+            .str_("outcome", &self.outcome);
+        if let Some(session) = &self.session {
+            obj = obj.str_("session", session);
+        }
+        obj.f64_("queue_wait_secs", self.queue_wait_secs)
             .f64_("total_secs", self.total_secs)
             .u64_("rung", self.rung as u64)
             .u64_("threads", self.threads as u64)
@@ -171,6 +177,7 @@ mod tests {
             phases: vec![("transform".to_string(), 1.0)],
             rung: 1,
             threads: 2,
+            session: None,
         }
     }
 
@@ -224,6 +231,21 @@ mod tests {
             concat!(
                 r#"{"seq":7,"id":"r1","outcome":"degraded","queue_wait_secs":0.25,"#,
                 r#""total_secs":1.5,"rung":1,"threads":2,"phases":{"transform":1}}"#
+            )
+        );
+    }
+
+    #[test]
+    fn entry_json_carries_session_when_set() {
+        let mut e = entry("r1", "ok");
+        e.seq = 7;
+        e.session = Some("00c0ffee00c0ffee".to_string());
+        assert_eq!(
+            e.to_json(),
+            concat!(
+                r#"{"seq":7,"id":"r1","outcome":"ok","session":"00c0ffee00c0ffee","#,
+                r#""queue_wait_secs":0.25,"total_secs":1.5,"rung":1,"threads":2,"#,
+                r#""phases":{"transform":1}}"#
             )
         );
     }

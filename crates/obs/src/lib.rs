@@ -61,7 +61,7 @@ pub mod metrics;
 mod registry;
 mod span;
 
-pub use export::{export_jsonl, render_phase_tree, render_text, write_atomic};
+pub use export::{export_jsonl, render_phase_tree, render_text, write_atomic, write_atomic_bytes};
 pub use registry::{
     counter_add, event, gauge_set, observe, quantile_from_buckets, Counter, Field, Gauge,
     Histogram, HistogramSummary, Registry, Snapshot, HISTOGRAM_BUCKETS,

@@ -67,6 +67,18 @@ pub const METRIC_NAMES: &[&str] = &[
     "fdx.serve.service_ms",
     "fdx.serve.shed",
     "fdx.serve.stats",
+    "fdx.session.cache_hits",
+    "fdx.session.cache_misses",
+    "fdx.session.closes",
+    "fdx.session.conn_rejected",
+    "fdx.session.evictions",
+    "fdx.session.opens",
+    "fdx.session.resident_bytes",
+    "fdx.session.uploads",
+    "fdx.session.warm_starts",
+    "fdx.snapshot.quarantined",
+    "fdx.snapshot.recovered",
+    "fdx.snapshot.writes",
     "fdx.structure",
     "fdx.transform",
     "fdx.udut.fill_nnz",

@@ -5,6 +5,12 @@
 //! workspace-wide determinism contract. Retries fire on connect failures
 //! and on typed `overloaded` rejections; every other reply (including
 //! typed errors) is returned to the caller on the first attempt.
+//!
+//! Idempotent frames — `stats`, session ops (`upload`/`open`/`close` are
+//! content-addressed), and discovers that reference a dataset handle —
+//! may additionally be retried when the connection resets mid-exchange
+//! ([`send_idempotent_line`]), which is what makes a server restart
+//! invisible to scripted session sweeps.
 
 use crate::protocol::{codes, FrameError, RequestFrame, Response};
 use std::fmt;
@@ -126,11 +132,16 @@ pub fn request(
     send_line_with_retry(addr, &frame.to_line(), policy)
 }
 
-/// Send a `stats` probe. No retries: stats is a liveness check, so a
-/// failure to answer promptly is itself the signal.
-pub fn stats_request(addr: &str, id: &str, journal: Option<u64>) -> Result<Response, ClientError> {
-    let reply = exchange(addr, &crate::protocol::stats_line(id, journal))?;
-    Response::parse(&reply).map_err(ClientError::BadReply)
+/// Send a `stats` probe. Stats never mutates server state, so it is safe
+/// to retry across dropped connections — pass [`RetryPolicy::none`] when
+/// the probe is a liveness check and a missed answer is itself the signal.
+pub fn stats_request(
+    addr: &str,
+    id: &str,
+    journal: Option<u64>,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    send_idempotent_line(addr, &crate::protocol::stats_line(id, journal), policy)
 }
 
 /// Like [`request`] but for an arbitrary pre-serialized frame line.
@@ -138,6 +149,32 @@ pub fn send_line_with_retry(
     addr: &str,
     line: &str,
     policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    send_with_retry(addr, line, policy, false)
+}
+
+/// Send a pre-serialized frame line, additionally retrying when the
+/// connection drops mid-exchange (reset, EOF before the reply line).
+///
+/// Only safe for **idempotent** frames: `stats`, session ops (`upload` is
+/// content-addressed, `open`/`close` converge to the same state on
+/// replay), and discover requests that name a `dataset` handle (the
+/// result cache makes the rerun byte-identical). A `csv`/`path` discover
+/// without a handle re-runs the full pipeline on retry, so it stays on
+/// [`send_line_with_retry`]'s narrower schedule.
+pub fn send_idempotent_line(
+    addr: &str,
+    line: &str,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    send_with_retry(addr, line, policy, true)
+}
+
+fn send_with_retry(
+    addr: &str,
+    line: &str,
+    policy: &RetryPolicy,
+    retry_dropped: bool,
 ) -> Result<Response, ClientError> {
     let mut attempt = 0u32;
     loop {
@@ -158,6 +195,15 @@ pub fn send_line_with_retry(
             }
             Err(ClientError::Connect(e)) if attempt < policy.retries => {
                 let _ = e;
+                thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+            }
+            Err(ClientError::Io(e)) if retry_dropped && attempt < policy.retries => {
+                let _ = e;
+                thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+            }
+            Err(ClientError::EmptyReply) if retry_dropped && attempt < policy.retries => {
                 thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
                 attempt += 1;
             }
@@ -194,5 +240,65 @@ mod tests {
         };
         let err = send_line_with_retry(&format!("127.0.0.1:{port}"), "{}", &policy).unwrap_err();
         assert!(matches!(err, ClientError::Connect(_)), "{err}");
+    }
+
+    /// A scripted server that drops the first connection without a reply
+    /// and answers the second: idempotent sends ride through the reset,
+    /// non-idempotent sends surface it.
+    #[test]
+    fn idempotent_send_survives_a_dropped_connection() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = format!("{}", listener.local_addr().unwrap());
+        let script = std::thread::spawn(move || {
+            // First connection: read the frame, then close with no reply.
+            let (first, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            BufReader::new(&first).read_line(&mut line).unwrap();
+            drop(first);
+            // Second connection: answer properly.
+            let (mut second, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            BufReader::new(&second).read_line(&mut line).unwrap();
+            second
+                .write_all(b"{\"id\":\"r1\",\"status\":\"ok\",\"stats\":{\"requests\":0,\"completed\":0,\"panics\":0,\"shed\":0,\"deadline_exceeded\":0,\"abandoned\":0,\"bad_frames\":0,\"stats_requests\":0,\"queue_depth\":0,\"workers\":1,\"uptime_secs\":0.0}}\n")
+                .unwrap();
+        });
+        let policy = RetryPolicy {
+            retries: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 4,
+        };
+        let resp = stats_request(&addr, "r1", None, &policy).expect("retry across the reset");
+        assert_eq!(resp.id, "r1");
+        script.join().unwrap();
+    }
+
+    #[test]
+    fn non_idempotent_send_surfaces_a_dropped_connection() {
+        use std::io::{BufRead, BufReader};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = format!("{}", listener.local_addr().unwrap());
+        let script = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            BufReader::new(&first).read_line(&mut line).unwrap();
+            drop(first);
+        });
+        let policy = RetryPolicy {
+            retries: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 4,
+        };
+        let err = send_line_with_retry(&addr, "{}", &policy).unwrap_err();
+        assert!(
+            matches!(err, ClientError::EmptyReply | ClientError::Io(_)),
+            "{err}"
+        );
+        script.join().unwrap();
     }
 }

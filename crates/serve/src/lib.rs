@@ -24,19 +24,36 @@
 //!   (works while every worker is saturated or panicking) returns server
 //!   tallies, metric snapshots, and the tail of the bounded request
 //!   journal; `"trace": true` on a discover request embeds the per-request
-//!   phase waterfall in the reply.
+//!   phase waterfall in the reply;
+//! * **crash-safe sessions** — `upload`/`open`/`close` ops register
+//!   datasets by content hash in a [`session::SessionStore`]: an
+//!   LRU-bounded resident set backed by a checksummed snapshot store under
+//!   `--session-dir`, with a startup recovery scan that quarantines torn
+//!   or corrupt records with typed reasons and a discovery-result cache
+//!   whose hits replay reply bytes verbatim (and whose entries seed glasso
+//!   warm starts across a session's λ sweep).
 //!
 //! The client half ([`client`]) retries `overloaded`/connect failures on a
-//! deterministic, seedless exponential-backoff schedule.
+//! deterministic, seedless exponential-backoff schedule, and additionally
+//! retries dropped connections for idempotent ops (stats, session ops,
+//! dataset-handle discovers) so a server restart mid-session is invisible
+//! to scripted sweeps.
 
 pub mod client;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
-pub use client::{request, stats_request, ClientError, RetryPolicy};
+pub use client::{request, send_idempotent_line, stats_request, ClientError, RetryPolicy};
 pub use protocol::{
-    codes, error_frame, ok_frame, parse_frame, phase_nodes_from_json, shutdown_line, stats_line,
+    cached_ok_frame, close_line, codes, error_frame, ok_frame, open_line, parse_frame,
+    phase_nodes_from_json, reply_result_core, result_core, shutdown_line, stats_line, upload_line,
     ChaosSpec, Frame, FrameError, RequestFrame, Response, ServerStats,
 };
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use session::{
+    base_fingerprint, config_fingerprint, CachedResult, OpenOutcome, QuarantinedSnapshot,
+    RecoveryReport, SessionConfig, SessionError, SessionStore, UploadOutcome,
+    DEFAULT_SESSION_BUDGET,
+};

@@ -49,6 +49,11 @@ pub const FAULT_POINTS: &[&str] = &[
     "ingest.corrupt_chunk",
     "ingest.disk_stall",
     "ingest.oom_at_chunk",
+    "session.torn_write",
+    "session.corrupt_crc",
+    "session.disk_full",
+    "session.evict_during_open",
+    "session.partial_upload",
 ];
 
 /// Typed error codes carried in `"code"` of an error frame.
@@ -76,6 +81,16 @@ pub mod codes {
     pub const PANIC: &str = "panic";
     /// The server is draining and no longer accepts work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The referenced dataset handle names no known session (never
+    /// uploaded, or its snapshot was quarantined).
+    pub const SESSION_NOT_FOUND: &str = "session_not_found";
+    /// The upload body was incomplete or unparseable; nothing was stored.
+    pub const UPLOAD_ERROR: &str = "upload_error";
+    /// The snapshot store could not persist a record.
+    pub const DISK_FULL: &str = "disk_full";
+    /// A session snapshot failed its integrity check at open time and was
+    /// quarantined; re-upload the dataset.
+    pub const SNAPSHOT_CORRUPT: &str = "snapshot_corrupt";
 }
 
 /// One armed fault from a request's `chaos` array.
@@ -96,8 +111,13 @@ pub struct RequestFrame {
     pub csv: String,
     /// Server-side dataset path, streamed through `fdx_data::ingest`
     /// (chunked, bounded memory) instead of an inline `csv` body. Exactly
-    /// one of `csv` / `path` must be present.
+    /// one of `csv` / `path` / `dataset` must be present.
     pub path: Option<String>,
+    /// Content-hash handle of a previously uploaded dataset (16 hex
+    /// digits, as returned by an `upload` reply). Discovers from the
+    /// session store instead of re-sending the data, and makes the
+    /// request eligible for the discovery-result cache.
+    pub dataset: Option<String>,
     pub deadline_ms: Option<u64>,
     pub threshold: Option<f64>,
     pub sparsity: Option<f64>,
@@ -125,6 +145,26 @@ pub enum Frame {
         id: String,
         /// Journal-tail length to include in the reply.
         journal: usize,
+    },
+    /// Register a dataset with the session store; replies with its
+    /// content-hash handle. Idempotent: the same bytes always hash to the
+    /// same handle.
+    Upload {
+        id: String,
+        csv: String,
+        /// Session-layer fault points to arm for this upload.
+        chaos: Vec<ChaosSpec>,
+    },
+    /// Make an uploaded dataset resident (rehydrating from its snapshot
+    /// if needed) and report its shape.
+    Open {
+        id: String,
+        dataset: String,
+    },
+    /// Drop a dataset from the resident set (its snapshot stays on disk).
+    Close {
+        id: String,
+        dataset: String,
     },
 }
 
@@ -209,6 +249,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                                 .to_string(),
                         );
                     }
+                    "dataset" => {
+                        req.dataset = Some(
+                            val.as_str()
+                                .ok_or_else(|| bad("\"dataset\" must be a string"))?
+                                .to_string(),
+                        );
+                    }
                     "deadline_ms" => {
                         req.deadline_ms = Some(val.as_u64().ok_or_else(|| {
                             bad("\"deadline_ms\" must be a non-negative integer")
@@ -260,11 +307,17 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                     other => return Err(bad(format!("unknown key {other:?} in discover frame"))),
                 }
             }
-            if saw_csv && req.path.is_some() {
-                return Err(bad("\"csv\" and \"path\" are mutually exclusive"));
+            let sources =
+                saw_csv as usize + req.path.is_some() as usize + req.dataset.is_some() as usize;
+            if sources > 1 {
+                return Err(bad(
+                    "\"csv\", \"path\", and \"dataset\" are mutually exclusive",
+                ));
             }
-            if !saw_csv && req.path.is_none() {
-                return Err(bad("discover frame requires a \"csv\" or \"path\" field"));
+            if sources == 0 {
+                return Err(bad(
+                    "discover frame requires a \"csv\", \"path\", or \"dataset\" field",
+                ));
             }
             Ok(Frame::Discover(Box::new(req)))
         }
@@ -283,6 +336,55 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
                 }
             }
             Ok(Frame::Stats { id, journal })
+        }
+        "upload" => {
+            let mut csv = None;
+            let mut chaos = Vec::new();
+            for (k, val) in fields {
+                match k.as_str() {
+                    "op" | "id" => {}
+                    "csv" => {
+                        csv = Some(
+                            val.as_str()
+                                .ok_or_else(|| bad("\"csv\" must be a string"))?
+                                .to_string(),
+                        );
+                    }
+                    "chaos" => {
+                        let arr = val
+                            .as_arr()
+                            .ok_or_else(|| bad("\"chaos\" must be an array"))?;
+                        for item in arr {
+                            chaos.push(parse_chaos_spec(item)?);
+                        }
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in upload frame"))),
+                }
+            }
+            let csv = csv.ok_or_else(|| bad("upload frame requires a \"csv\" field"))?;
+            Ok(Frame::Upload { id, csv, chaos })
+        }
+        "open" | "close" => {
+            let mut dataset = None;
+            for (k, val) in fields {
+                match k.as_str() {
+                    "op" | "id" => {}
+                    "dataset" => {
+                        dataset = Some(
+                            val.as_str()
+                                .ok_or_else(|| bad("\"dataset\" must be a string"))?
+                                .to_string(),
+                        );
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in {op} frame"))),
+                }
+            }
+            let dataset =
+                dataset.ok_or_else(|| bad(format!("{op} frame requires a \"dataset\" field")))?;
+            Ok(match op {
+                "open" => Frame::Open { id, dataset },
+                _ => Frame::Close { id, dataset },
+            })
         }
         other => Err(bad(format!("unknown op {other:?}"))),
     }
@@ -340,9 +442,10 @@ impl RequestFrame {
     /// [`parse_frame`] for well-formed frames.
     pub fn to_line(&self) -> String {
         let mut o = Obj::new().str_("op", "discover").str_("id", &self.id);
-        match &self.path {
-            Some(p) => o = o.str_("path", p),
-            None => o = o.str_("csv", &self.csv),
+        match (&self.path, &self.dataset) {
+            (Some(p), _) => o = o.str_("path", p),
+            (None, Some(d)) => o = o.str_("dataset", d),
+            (None, None) => o = o.str_("csv", &self.csv),
         }
         if let Some(d) = self.deadline_ms {
             o = o.u64_("deadline_ms", d);
@@ -369,20 +472,7 @@ impl RequestFrame {
             o = o.bool_("trace", true);
         }
         if !self.chaos.is_empty() {
-            let specs: Vec<String> = self
-                .chaos
-                .iter()
-                .map(|c| {
-                    let mut co = Obj::new().str_("point", c.point);
-                    if let Some(t) = c.times {
-                        co = co.u64_("times", t);
-                    }
-                    if let Some(v) = c.value {
-                        co = co.f64_("value", v);
-                    }
-                    co.finish()
-                })
-                .collect();
+            let specs: Vec<String> = self.chaos.iter().map(chaos_spec_json).collect();
             o = o.raw("chaos", &array(specs));
         }
         o.finish()
@@ -404,6 +494,128 @@ pub fn stats_line(id: &str, journal: Option<u64>) -> String {
     o.finish()
 }
 
+/// An upload request line, for clients and tests.
+pub fn upload_line(id: &str, csv: &str, chaos: &[ChaosSpec]) -> String {
+    let mut o = Obj::new()
+        .str_("op", "upload")
+        .str_("id", id)
+        .str_("csv", csv);
+    if !chaos.is_empty() {
+        let specs: Vec<String> = chaos.iter().map(chaos_spec_json).collect();
+        o = o.raw("chaos", &array(specs));
+    }
+    o.finish()
+}
+
+/// An open request line, for clients and tests.
+pub fn open_line(id: &str, dataset: &str) -> String {
+    Obj::new()
+        .str_("op", "open")
+        .str_("id", id)
+        .str_("dataset", dataset)
+        .finish()
+}
+
+/// A close request line, for clients and tests.
+pub fn close_line(id: &str, dataset: &str) -> String {
+    Obj::new()
+        .str_("op", "close")
+        .str_("id", id)
+        .str_("dataset", dataset)
+        .finish()
+}
+
+fn chaos_spec_json(c: &ChaosSpec) -> String {
+    let mut co = Obj::new().str_("point", c.point);
+    if let Some(t) = c.times {
+        co = co.u64_("times", t);
+    }
+    if let Some(v) = c.value {
+        co = co.f64_("value", v);
+    }
+    co.finish()
+}
+
+/// Build the success reply for an upload: the dataset's content-hash
+/// handle, its canonical payload size, and whether it was already known.
+pub fn upload_ok(id: &str, dataset: &str, bytes: u64, deduped: bool) -> String {
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .str_("op", "upload")
+        .str_("dataset", dataset)
+        .u64_("bytes", bytes)
+        .bool_("deduped", deduped)
+        .finish()
+}
+
+/// Build the success reply for an open. `source` is `"resident"` (memory
+/// hit) or `"disk"` (rehydrated from a snapshot record).
+pub fn open_ok(id: &str, dataset: &str, attrs: u64, rows: u64, source: &str) -> String {
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .str_("op", "open")
+        .str_("dataset", dataset)
+        .u64_("attrs", attrs)
+        .u64_("rows", rows)
+        .str_("source", source)
+        .finish()
+}
+
+/// Build the success reply for a close.
+pub fn close_ok(id: &str, dataset: &str, was_resident: bool) -> String {
+    Obj::new()
+        .str_("id", id)
+        .str_("status", "ok")
+        .str_("op", "close")
+        .str_("dataset", dataset)
+        .bool_("was_resident", was_resident)
+        .finish()
+}
+
+/// The deterministic *result core* of a discover reply: the
+/// `attrs`/`fds`/`edges`/`degraded`/`rung`/`health` fields as a standalone
+/// JSON object, excluding everything timing- or transport-dependent
+/// (`queue_wait_secs`, `total_secs`, `source`, `trace`). This is the unit
+/// the session layer caches and replays byte-for-byte, and the span the
+/// crash-recovery tests compare for byte-identity.
+pub fn result_core(result: &FdxResult, schema: &Schema) -> String {
+    let fds: Vec<String> = result
+        .fds
+        .iter()
+        .map(|fd| format!("\"{}\"", escape(&fd.display(schema).to_string())))
+        .collect();
+    Obj::new()
+        .u64_("attrs", schema.len() as u64)
+        .raw("fds", &array(fds))
+        .u64_("edges", result.fds.edge_count() as u64)
+        .bool_("degraded", result.health.degraded())
+        .u64_("rung", result.health.rung.index() as u64)
+        .raw("health", &result.health.to_json())
+        .finish()
+}
+
+/// Concatenate JSON objects field-wise: `{a} + {b} → {a,b}`. Keeps every
+/// reply path routed through `Obj`'s (deterministic) formatting while
+/// letting a cached core be spliced between freshly built head and tail
+/// fields without re-parsing.
+fn splice_objects(parts: &[&str]) -> String {
+    let mut out = String::from("{");
+    for part in parts {
+        let inner = &part[1..part.len() - 1];
+        if inner.is_empty() {
+            continue;
+        }
+        if out.len() > 1 {
+            out.push(',');
+        }
+        out.push_str(inner);
+    }
+    out.push('}');
+    out
+}
+
 /// Build the success reply for a completed discover request. When `trace`
 /// is `Some`, the per-request phase forest is embedded as a `"trace"`
 /// array of nested `{name, secs, count, children}` objects.
@@ -414,20 +626,9 @@ pub fn ok_frame(
     queue_wait_secs: f64,
     trace: Option<&[PhaseNode]>,
 ) -> String {
-    let fds: Vec<String> = result
-        .fds
-        .iter()
-        .map(|fd| format!("\"{}\"", escape(&fd.display(schema).to_string())))
-        .collect();
-    let mut o = Obj::new()
-        .str_("id", id)
-        .str_("status", "ok")
-        .u64_("attrs", schema.len() as u64)
-        .raw("fds", &array(fds))
-        .u64_("edges", result.fds.edge_count() as u64)
-        .bool_("degraded", result.health.degraded())
-        .u64_("rung", result.health.rung.index() as u64)
-        .raw("health", &result.health.to_json())
+    let head = Obj::new().str_("id", id).str_("status", "ok").finish();
+    let core = result_core(result, schema);
+    let mut tail = Obj::new()
         .f64_("queue_wait_secs", queue_wait_secs)
         .f64_("total_secs", result.timings.total_secs());
     if let Some(ingest) = &result.health.ingest {
@@ -441,12 +642,39 @@ pub fn ok_frame(
             .u64_("bytes", ingest.bytes_read)
             .bool_("sampled", ingest.sampled)
             .finish();
-        o = o.raw("source", &source);
+        tail = tail.raw("source", &source);
     }
     if let Some(nodes) = trace {
-        o = o.raw("trace", &array(nodes.iter().map(PhaseNode::to_json)));
+        tail = tail.raw("trace", &array(nodes.iter().map(PhaseNode::to_json)));
     }
-    o.finish()
+    splice_objects(&[&head, &core, &tail.finish()])
+}
+
+/// Build a discover reply from a cached result core: same shape as
+/// [`ok_frame`] with the core bytes replayed verbatim, plus a
+/// `"cached":true` marker. `total_secs` here is the cache-hit service
+/// time, not the original compute time.
+pub fn cached_ok_frame(id: &str, core: &str, queue_wait_secs: f64, total_secs: f64) -> String {
+    let head = Obj::new().str_("id", id).str_("status", "ok").finish();
+    let tail = Obj::new()
+        .f64_("queue_wait_secs", queue_wait_secs)
+        .f64_("total_secs", total_secs)
+        .bool_("cached", true)
+        .finish();
+    splice_objects(&[&head, core, &tail])
+}
+
+/// Extract the result-core span from a discover reply line: the byte range
+/// from `"attrs"` up to (excluding) `,"queue_wait_secs"`. Computed and
+/// cached replies for the same result return identical spans — the
+/// byte-identity contract the recovery tests pin.
+pub fn reply_result_core(line: &str) -> Option<&str> {
+    let start = line.find("\"attrs\":")?;
+    let end = line.find(",\"queue_wait_secs\":")?;
+    if start >= end {
+        return None;
+    }
+    Some(&line[start..end])
 }
 
 /// Accept-thread tallies included in a `stats` reply, assembled by the
@@ -720,7 +948,7 @@ mod tests {
         let err = parse_frame(r#"{"csv":"a\n1\n","path":"/data/in.csv"}"#).unwrap_err();
         assert!(err.detail.contains("mutually exclusive"));
         let err = parse_frame(r#"{"op":"discover","id":"p2"}"#).unwrap_err();
-        assert!(err.detail.contains("\"csv\" or \"path\""));
+        assert!(err.detail.contains("\"csv\", \"path\", or \"dataset\""));
         let err = parse_frame(r#"{"path":7}"#).unwrap_err();
         assert!(err.detail.contains("\"path\" must be a string"));
     }
@@ -898,6 +1126,7 @@ mod tests {
             seq: 7,
             id: "r7".into(),
             outcome: "ok".into(),
+            session: None,
             queue_wait_secs: 0.001,
             total_secs: 0.1,
             phases: vec![("glasso".into(), 0.05)],
@@ -919,6 +1148,133 @@ mod tests {
         // Empty snapshot still yields well-formed (zero-count) summaries.
         let qw = r.raw.get("queue_wait_ms").unwrap();
         assert_eq!(qw.get("count").and_then(|c| c.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn parses_session_op_frames() {
+        let f = parse_frame(&upload_line("u1", "a,b\n1,2\n", &[])).unwrap();
+        assert_eq!(
+            f,
+            Frame::Upload {
+                id: "u1".into(),
+                csv: "a,b\n1,2\n".into(),
+                chaos: Vec::new(),
+            }
+        );
+        let f = parse_frame(&upload_line(
+            "u2",
+            "a\n1\n",
+            &[ChaosSpec {
+                point: "session.disk_full",
+                times: Some(1),
+                value: None,
+            }],
+        ))
+        .unwrap();
+        match f {
+            Frame::Upload { chaos, .. } => {
+                assert_eq!(chaos.len(), 1);
+                assert_eq!(chaos[0].point, "session.disk_full");
+            }
+            other => panic!("expected upload, got {other:?}"),
+        }
+        let f = parse_frame(&open_line("o1", "00c0ffee00c0ffee")).unwrap();
+        assert_eq!(
+            f,
+            Frame::Open {
+                id: "o1".into(),
+                dataset: "00c0ffee00c0ffee".into(),
+            }
+        );
+        let f = parse_frame(&close_line("c1", "00c0ffee00c0ffee")).unwrap();
+        assert_eq!(
+            f,
+            Frame::Close {
+                id: "c1".into(),
+                dataset: "00c0ffee00c0ffee".into(),
+            }
+        );
+        for p in [
+            "session.torn_write",
+            "session.corrupt_crc",
+            "session.disk_full",
+            "session.evict_during_open",
+            "session.partial_upload",
+        ] {
+            assert_eq!(intern_fault_point(p), Some(p));
+        }
+    }
+
+    #[test]
+    fn session_op_frames_are_strict() {
+        for (line, needle) in [
+            (r#"{"op":"upload","id":"u"}"#, "requires a \"csv\""),
+            (r#"{"op":"upload","csv":7}"#, "\"csv\" must be a string"),
+            (r#"{"op":"upload","csv":"a\n","path":"x"}"#, "unknown key"),
+            (r#"{"op":"open","id":"o"}"#, "requires a \"dataset\""),
+            (r#"{"op":"open","dataset":7}"#, "must be a string"),
+            (r#"{"op":"close","id":"c"}"#, "requires a \"dataset\""),
+            (r#"{"op":"close","dataset":"d","csv":"a"}"#, "unknown key"),
+            (r#"{"csv":"a\n","dataset":"d"}"#, "mutually exclusive"),
+            (r#"{"path":"/x","dataset":"d"}"#, "mutually exclusive"),
+        ] {
+            let err = parse_frame(line).unwrap_err();
+            assert!(
+                err.detail.contains(needle),
+                "{line}: expected {needle:?} in {:?}",
+                err.detail
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_discover_frame_roundtrips() {
+        let req = RequestFrame {
+            id: "d1".into(),
+            dataset: Some("00000000deadbeef".into()),
+            sparsity: Some(0.004),
+            seed: Some(7),
+            ..RequestFrame::default()
+        };
+        let parsed = parse_frame(&req.to_line()).unwrap();
+        assert_eq!(parsed, Frame::Discover(Box::new(req)));
+    }
+
+    #[test]
+    fn session_reply_builders_parse_as_responses() {
+        let r = Response::parse(&upload_ok("u1", "00c0ffee00c0ffee", 123, false)).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(
+            r.raw.get("dataset").and_then(|d| d.as_str()),
+            Some("00c0ffee00c0ffee")
+        );
+        assert_eq!(r.raw.get("bytes").and_then(|b| b.as_u64()), Some(123));
+        assert_eq!(r.raw.get("deduped").and_then(|d| d.as_bool()), Some(false));
+        let r = Response::parse(&open_ok("o1", "00c0ffee00c0ffee", 3, 64, "disk")).unwrap();
+        assert_eq!(r.raw.get("source").and_then(|s| s.as_str()), Some("disk"));
+        assert_eq!(r.raw.get("rows").and_then(|n| n.as_u64()), Some(64));
+        let r = Response::parse(&close_ok("c1", "00c0ffee00c0ffee", true)).unwrap();
+        assert_eq!(
+            r.raw.get("was_resident").and_then(|w| w.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cached_frame_splices_the_core_verbatim() {
+        let core = r#"{"attrs":2,"fds":["a -> b"],"edges":1,"degraded":false,"rung":1,"health":{"rung":1}}"#;
+        let line = cached_ok_frame("r1", core, 0.25, 0.001);
+        let r = Response::parse(&line).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.id, "r1");
+        assert_eq!(r.raw.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(r.fds.as_deref(), Some(&["a -> b".to_string()][..]));
+        assert_eq!(r.rung, Some(1));
+        // The core span of the reply is the cached core, byte for byte.
+        assert_eq!(reply_result_core(&line), Some(&core[1..core.len() - 1]));
+        // Replies without a core span yield None, not a bogus slice.
+        assert_eq!(reply_result_core(&error_frame("x", "panic", "boom")), None);
+        assert_eq!(reply_result_core(&open_ok("o", "aa", 1, 2, "disk")), None);
     }
 
     #[test]

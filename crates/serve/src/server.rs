@@ -23,9 +23,24 @@
 //!    request's `chaos` field arms `fdx_obs::faults` on the worker thread
 //!    for the duration of that request only; the RAII guards disarm on
 //!    return *and* on unwind, so faults never leak across requests.
+//! 6. **Bounded connection concurrency** — each accepted connection is
+//!    served on its own thread (so a stalled uploader wedges one reaped-on
+//!    -timeout thread, never the accept loop), and the number of live
+//!    connection threads is capped by [`ServeConfig::max_conns`]; beyond
+//!    the cap connections are answered `overloaded` inline.
+//! 7. **Crash-safe sessions** — `upload`/`open`/`close` frames and
+//!    `dataset`-handle discovers are resolved on the connection thread
+//!    against the [`SessionStore`]: cache hits replay persisted reply
+//!    bytes without touching the worker queue, and misses enqueue with the
+//!    dataset (and a deterministically chosen glasso warm start) already
+//!    resolved.
 
-use crate::protocol::{self, codes, Frame, RequestFrame, ServerStats};
-use fdx_core::{Fdx, FdxConfig, FdxError, FdxResult};
+use crate::protocol::{self, codes, ChaosSpec, Frame, RequestFrame, ServerStats};
+use crate::session::{
+    self, CachedResult, RecoveryReport, SessionConfig, SessionError, SessionStore,
+};
+use fdx_core::{Fdx, FdxConfig, FdxError, FdxResult, WarmStart};
+use fdx_data::snapshot::{handle_hex, parse_handle};
 use fdx_data::{ingest_csv_file, read_csv_str, BadRowPolicy, Dataset, IngestConfig};
 use fdx_obs::faults::{self, ArmedFault};
 use fdx_obs::journal::{Journal, JournalEntry};
@@ -61,6 +76,15 @@ pub struct ServeConfig {
     pub journal_path: Option<PathBuf>,
     /// Per-connection socket read timeout.
     pub io_timeout_secs: f64,
+    /// Snapshot directory for crash-safe sessions. `None` keeps sessions
+    /// memory-only (they die with the process).
+    pub session_dir: Option<PathBuf>,
+    /// Resident-set byte budget for uploaded datasets
+    /// ([`session::DEFAULT_SESSION_BUDGET`] when `None`).
+    pub session_budget: Option<u64>,
+    /// Cap on concurrently served connections; beyond it new connections
+    /// are answered `overloaded` without spawning a thread.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +98,9 @@ impl Default for ServeConfig {
             metrics_path: None,
             journal_path: None,
             io_timeout_secs: 10.0,
+            session_dir: None,
+            session_budget: None,
+            max_conns: 64,
         }
     }
 }
@@ -113,6 +140,11 @@ struct State {
     workers: usize,
     /// Server start time; `stats` reports uptime from it.
     started: Stopwatch,
+    /// The session layer: content-addressed datasets, snapshot store, and
+    /// the discovery-result cache.
+    sessions: SessionStore,
+    /// Live connection threads, bounding connection concurrency.
+    conns_active: AtomicU64,
     inner: Mutex<QueueInner>,
     job_ready: Condvar,
     /// Signalled whenever the queue may have drained (job finished).
@@ -135,10 +167,12 @@ struct State {
 }
 
 impl State {
-    fn new(workers: usize) -> State {
+    fn new(workers: usize, sessions: SessionStore) -> State {
         State {
             workers,
             started: Stopwatch::start(),
+            sessions,
+            conns_active: AtomicU64::new(0),
             inner: Mutex::new(QueueInner {
                 queue: VecDeque::new(),
                 in_flight: 0,
@@ -190,6 +224,23 @@ struct Job {
     req: Box<RequestFrame>,
     stream: TcpStream,
     wait: Stopwatch,
+    /// Session context for `dataset`-handle discovers, resolved on the
+    /// connection thread at enqueue time: the opened dataset, the cache
+    /// key, and the deterministically chosen warm start.
+    session: Option<SessionJob>,
+}
+
+/// Resolved session context a `dataset`-handle discover carries into the
+/// worker. The warm start is chosen at *enqueue* time from the persisted
+/// result cache (nearest λ, ties toward smaller), so the choice — and
+/// therefore the result bits — replays identically after a crash+recovery.
+struct SessionJob {
+    handle: u64,
+    fingerprint: u64,
+    base_fingerprint: u64,
+    lambda: f64,
+    dataset: Arc<Dataset>,
+    warm: Option<WarmStart>,
 }
 
 /// The discovery server. [`Server::start`] binds, spawns the acceptor and
@@ -201,18 +252,24 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<State>,
     config: ServeConfig,
+    recovery: RecoveryReport,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `config.addr`, spawn the worker pool (sized by
+    /// Bind `config.addr`, run the session-store recovery scan (when a
+    /// `session_dir` is configured), and spawn the worker pool (sized by
     /// `fdx_par::resolve_threads`) and the acceptor thread.
     pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let n_workers = fdx_par::resolve_threads(config.threads).max(1);
-        let state = Arc::new(State::new(n_workers));
+        let (sessions, recovery) = SessionStore::new(&SessionConfig {
+            dir: config.session_dir.clone(),
+            budget: config.session_budget,
+        });
+        let state = Arc::new(State::new(n_workers, sessions));
 
         let mut workers = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
@@ -237,6 +294,7 @@ impl Server {
             addr,
             state,
             config,
+            recovery,
             acceptor: Some(acceptor),
             workers,
         })
@@ -247,6 +305,18 @@ impl ServerHandle {
     /// The bound address (resolves the ephemeral port of `127.0.0.1:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What the startup recovery scan found under `session_dir`: sessions
+    /// and cached results rehydrated, snapshots quarantined (with typed
+    /// reasons). Empty when no `session_dir` is configured.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The live session store, for introspection and tests.
+    pub fn sessions(&self) -> &SessionStore {
+        &self.state.sessions
     }
 
     /// Test hook: initiate shutdown exactly as a `shutdown` frame would.
@@ -303,6 +373,7 @@ impl ServerHandle {
                             req,
                             mut stream,
                             wait,
+                            session: _,
                         } = job;
                         journal_unserved(&req, codes::SHUTTING_DOWN, wait.elapsed_secs());
                         write_reply(
@@ -369,6 +440,7 @@ fn journal_unserved(req: &RequestFrame, outcome: &str, queue_wait_secs: f64) {
         seq: 0,
         id: req.id.clone(),
         outcome: outcome.to_string(),
+        session: req.dataset.clone(),
         queue_wait_secs,
         total_secs: 0.0,
         phases: Vec::new(),
@@ -377,16 +449,67 @@ fn journal_unserved(req: &RequestFrame, outcome: &str, queue_wait_secs: f64) {
     });
 }
 
+/// Journal a session op (`upload`/`open`/`close`, or a cached discover)
+/// answered on the connection thread.
+fn journal_session_op(id: &str, outcome: &str, session: Option<String>, total_secs: f64) {
+    Journal::global().record(JournalEntry {
+        seq: 0,
+        id: id.to_string(),
+        outcome: outcome.to_string(),
+        session,
+        queue_wait_secs: 0.0,
+        total_secs,
+        phases: Vec::new(),
+        rung: 0,
+        threads: 1,
+    });
+}
+
 fn acceptor_loop(listener: TcpListener, state: &Arc<State>, cfg: &ServeConfig) {
     for conn in listener.incoming() {
         if state.is_shutting_down() {
             break;
         }
-        let Ok(stream) = conn else { continue };
-        // Defense in depth: the per-connection path is already designed
-        // not to panic (typed errors end-to-end), but a bug here must not
-        // take the acceptor down with it.
-        let _ = catch_unwind(AssertUnwindSafe(|| accept_conn(stream, state, cfg)));
+        let Ok(mut stream) = conn else { continue };
+        // Each connection gets its own (bounded) thread: a client that
+        // stalls mid-frame wedges one thread until its read times out —
+        // never the accept loop. Beyond the cap, reject inline with a
+        // typed reply; the write lands in the socket buffer, so it cannot
+        // stall the acceptor either.
+        if state.conns_active.load(Ordering::Acquire) >= cfg.max_conns as u64 {
+            counter_add("fdx.session.conn_rejected", 1);
+            write_reply(
+                &mut stream,
+                &protocol::error_frame(
+                    "",
+                    codes::OVERLOADED,
+                    &format!("too many concurrent connections (cap {})", cfg.max_conns),
+                ),
+            );
+            continue;
+        }
+        // fdx-allow: L010 connection gauge; paired fetch_sub on thread exit, read for admission only
+        state.conns_active.fetch_add(1, Ordering::AcqRel);
+        let conn_state = Arc::clone(state);
+        let conn_cfg = cfg.clone();
+        let spawned = thread::Builder::new()
+            .name("fdx-serve-conn".to_string())
+            .spawn(move || {
+                // Defense in depth: the per-connection path is already
+                // designed not to panic (typed errors end-to-end), but a
+                // bug there must not leak the concurrency slot.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    accept_conn(stream, &conn_state, &conn_cfg)
+                }));
+                // fdx-allow: L010 connection gauge; paired fetch_add at accept, read for admission only
+                conn_state.conns_active.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: the closure (and the connection with it)
+            // is gone; release the reserved slot and keep accepting.
+            // fdx-allow: L010 connection gauge; undoes the reservation above
+            state.conns_active.fetch_sub(1, Ordering::AcqRel);
+        }
         if state.is_shutting_down() {
             break;
         }
@@ -513,6 +636,109 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
                 &protocol::stats_frame(&id, &stats, &snap, &tail),
             );
         }
+        Ok(Frame::Upload { id, csv, chaos }) => {
+            if !cfg.chaos && !chaos.is_empty() {
+                // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                counter_add("fdx.serve.bad_request", 1);
+                write_reply(
+                    &mut stream,
+                    &protocol::error_frame(
+                        &id,
+                        codes::BAD_REQUEST,
+                        "chaos requested but the server was not started with --chaos",
+                    ),
+                );
+                return;
+            }
+            let op = Stopwatch::start();
+            let _chaos_guards = arm_chaos(&chaos);
+            match state.sessions.upload(&csv) {
+                Ok(up) => {
+                    let hex = handle_hex(up.handle);
+                    journal_session_op(&id, "upload", Some(hex.clone()), op.elapsed_secs());
+                    write_reply(
+                        &mut stream,
+                        &protocol::upload_ok(&id, &hex, up.bytes, up.deduped),
+                    );
+                }
+                Err(err) => {
+                    let code = session_error_code(&err);
+                    journal_session_op(&id, code, None, op.elapsed_secs());
+                    write_reply(
+                        &mut stream,
+                        &protocol::error_frame(&id, code, &err.to_string()),
+                    );
+                }
+            }
+        }
+        Ok(Frame::Open { id, dataset }) => {
+            let op = Stopwatch::start();
+            match parse_handle(&dataset) {
+                None => {
+                    // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                    state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    counter_add("fdx.serve.bad_request", 1);
+                    write_reply(
+                        &mut stream,
+                        &protocol::error_frame(
+                            &id,
+                            codes::BAD_REQUEST,
+                            "\"dataset\" must be a 16-hex-digit handle",
+                        ),
+                    );
+                }
+                Some(handle) => match state.sessions.open(handle) {
+                    Ok(opened) => {
+                        journal_session_op(&id, "open", Some(dataset.clone()), op.elapsed_secs());
+                        write_reply(
+                            &mut stream,
+                            &protocol::open_ok(
+                                &id,
+                                &dataset,
+                                opened.dataset.ncols() as u64,
+                                opened.dataset.nrows() as u64,
+                                opened.source,
+                            ),
+                        );
+                    }
+                    Err(err) => {
+                        let code = session_error_code(&err);
+                        journal_session_op(&id, code, Some(dataset.clone()), op.elapsed_secs());
+                        write_reply(
+                            &mut stream,
+                            &protocol::error_frame(&id, code, &err.to_string()),
+                        );
+                    }
+                },
+            }
+        }
+        Ok(Frame::Close { id, dataset }) => {
+            let op = Stopwatch::start();
+            match parse_handle(&dataset) {
+                None => {
+                    // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                    state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    counter_add("fdx.serve.bad_request", 1);
+                    write_reply(
+                        &mut stream,
+                        &protocol::error_frame(
+                            &id,
+                            codes::BAD_REQUEST,
+                            "\"dataset\" must be a 16-hex-digit handle",
+                        ),
+                    );
+                }
+                Some(handle) => {
+                    let was_resident = state.sessions.close(handle);
+                    journal_session_op(&id, "close", Some(dataset.clone()), op.elapsed_secs());
+                    write_reply(
+                        &mut stream,
+                        &protocol::close_ok(&id, &dataset, was_resident),
+                    );
+                }
+            }
+        }
         Ok(Frame::Discover(req)) => {
             if !cfg.chaos && !req.chaos.is_empty() {
                 // fdx-allow: L010 monotonic tally; exact totals are read after threads join
@@ -524,6 +750,102 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
                         &req.id,
                         codes::BAD_REQUEST,
                         "chaos requested but the server was not started with --chaos",
+                    ),
+                );
+                return;
+            }
+            // Resolve a dataset-handle discover against the session store
+            // on this connection's thread: a cache hit replays the
+            // persisted reply core without ever touching the worker queue.
+            let mut session_job = None;
+            if let Some(dataset) = &req.dataset {
+                let service = Stopwatch::start();
+                let Some(handle) = parse_handle(dataset) else {
+                    // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                    state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    counter_add("fdx.serve.bad_request", 1);
+                    write_reply(
+                        &mut stream,
+                        &protocol::error_frame(
+                            &req.id,
+                            codes::BAD_REQUEST,
+                            "\"dataset\" must be a 16-hex-digit handle",
+                        ),
+                    );
+                    return;
+                };
+                // Session faults (e.g. `session.evict_during_open`) fire on
+                // this connection's thread where the open actually runs;
+                // the guards drop before the job is enqueued and the
+                // worker re-arms compute faults when it picks the job up.
+                let opened = {
+                    let _chaos_guards = arm_chaos(&req.chaos);
+                    match state.sessions.open(handle) {
+                        Ok(o) => o,
+                        Err(err) => {
+                            let code = session_error_code(&err);
+                            journal_session_op(&req.id, code, Some(dataset.clone()), 0.0);
+                            write_reply(
+                                &mut stream,
+                                &protocol::error_frame(&req.id, code, &err.to_string()),
+                            );
+                            return;
+                        }
+                    }
+                };
+                let config = build_config(&req);
+                let fingerprint = session::config_fingerprint(&config);
+                let base_fingerprint = session::base_fingerprint(&config);
+                // Chaos and trace requests must actually run (the first to
+                // exercise the injected fault, the second to produce a
+                // fresh waterfall), so they bypass the lookup — though a
+                // chaos-free trace run still *stores* its result below.
+                if req.chaos.is_empty() && !req.trace {
+                    if let Some(hit) = state.sessions.lookup_result(handle, fingerprint) {
+                        // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                        state.requests.fetch_add(1, Ordering::Relaxed);
+                        counter_add("fdx.serve.requests", 1);
+                        // fdx-allow: L010 monotonic tally; exact totals are read after threads join
+                        state.completed.fetch_add(1, Ordering::Relaxed);
+                        counter_add("fdx.serve.completed", 1);
+                        journal_session_op(
+                            &req.id,
+                            "cached",
+                            Some(dataset.clone()),
+                            service.elapsed_secs(),
+                        );
+                        write_reply(
+                            &mut stream,
+                            &protocol::cached_ok_frame(
+                                &req.id,
+                                &hit.core,
+                                0.0,
+                                service.elapsed_secs(),
+                            ),
+                        );
+                        return;
+                    }
+                }
+                let warm = state
+                    .sessions
+                    .warm_start_for(handle, base_fingerprint, config.sparsity);
+                session_job = Some(SessionJob {
+                    handle,
+                    fingerprint,
+                    base_fingerprint,
+                    lambda: config.sparsity,
+                    dataset: opened.dataset,
+                    warm,
+                });
+            }
+            if state.is_shutting_down() {
+                journal_unserved(&req, codes::SHUTTING_DOWN, 0.0);
+                write_reply(
+                    &mut stream,
+                    &protocol::error_frame(
+                        &req.id,
+                        codes::SHUTTING_DOWN,
+                        "server is shutting down",
                     ),
                 );
                 return;
@@ -552,6 +874,7 @@ fn accept_conn(mut stream: TcpStream, state: &Arc<State>, cfg: &ServeConfig) {
                 req,
                 stream,
                 wait: Stopwatch::start(),
+                session: session_job,
             });
             gauge_set("fdx.serve.queue_depth", inner.queue.len() as f64);
             drop(inner);
@@ -590,6 +913,7 @@ fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
                 req,
                 mut stream,
                 wait,
+                session: _,
             } = job;
             // fdx-allow: L010 monotonic tally; exact totals are read after threads join
             state.abandoned.fetch_add(1, Ordering::Relaxed);
@@ -618,7 +942,7 @@ fn worker_loop(state: &Arc<State>, cfg: &ServeConfig) {
 /// How a request left the isolation boundary: a full result (plus the
 /// dataset, whose schema renders the FDs) or a typed failure.
 enum Handled {
-    Done(Box<FdxResult>, Dataset),
+    Done(Box<FdxResult>, Arc<Dataset>),
     Failed { code: &'static str, detail: String },
 }
 
@@ -629,6 +953,7 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
         req,
         mut stream,
         wait,
+        session,
     } = job;
     let queue_wait = wait.elapsed_secs();
     observe("fdx.serve.queue_wait_ms", (queue_wait * 1e3) as u64);
@@ -642,7 +967,7 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
     let id = req.id.clone();
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        handle_discover(state, &req, queue_wait)
+        handle_discover(state, &req, queue_wait, session.as_ref())
     }));
     drop(request_span);
     let trace = req.trace.then(|| {
@@ -709,6 +1034,7 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
         seq: 0,
         id,
         outcome: journal_outcome,
+        session: session.map(|s| handle_hex(s.handle)),
         queue_wait_secs: queue_wait,
         total_secs,
         phases,
@@ -721,11 +1047,11 @@ fn process_job(state: &Arc<State>, _cfg: &ServeConfig, job: Job) {
     write_reply(&mut stream, &reply);
 }
 
-/// Arm the request's chaos faults on this worker thread only. The returned
-/// guards disarm on drop — including during an unwind — so a faulted or
-/// panicking request can never contaminate the next one on this worker.
-fn arm_chaos(req: &RequestFrame) -> Vec<ArmedFault> {
-    req.chaos
+/// Arm chaos faults on this thread only. The returned guards disarm on
+/// drop — including during an unwind — so a faulted or panicking request
+/// can never contaminate the next one on this thread.
+fn arm_chaos(specs: &[ChaosSpec]) -> Vec<ArmedFault> {
+    specs
         .iter()
         .map(|c| match (c.times, c.value) {
             (_, Some(v)) => faults::arm_value(c.point, v),
@@ -735,17 +1061,20 @@ fn arm_chaos(req: &RequestFrame) -> Vec<ArmedFault> {
         .collect()
 }
 
-fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> Handled {
-    let _chaos_guards = arm_chaos(req);
-
-    // Serve-level fault points, inside the isolation boundary.
-    if let Some(secs) = faults::value("serve.stall") {
-        thread::sleep(Duration::from_secs_f64(secs.clamp(0.0, 60.0)));
+/// Map a session-layer failure to its protocol error code.
+fn session_error_code(err: &SessionError) -> &'static str {
+    match err {
+        SessionError::NotFound { .. } => codes::SESSION_NOT_FOUND,
+        SessionError::DiskFull { .. } => codes::DISK_FULL,
+        SessionError::Upload { .. } => codes::UPLOAD_ERROR,
+        SessionError::Corrupt { .. } => codes::SNAPSHOT_CORRUPT,
     }
-    if faults::fire("serve.force_panic") {
-        std::panic::panic_any("injected fault: serve.force_panic".to_string());
-    }
+}
 
+/// Resolve a request's pipeline configuration. Pure: the same frame always
+/// yields the same config, which is what makes the session layer's config
+/// fingerprints (and therefore its cache keys) stable.
+fn build_config(req: &RequestFrame) -> FdxConfig {
     let mut config = match req.seed {
         Some(seed) => FdxConfig::with_seed(seed),
         None => FdxConfig::default(),
@@ -765,7 +1094,32 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
     // The worker pool already provides request-level parallelism; kernel
     // threads stay at 1 unless the client asks, so `threads × workers`
     // can't silently oversubscribe the box.
-    config = config.with_threads(req.threads.unwrap_or(1));
+    config.with_threads(req.threads.unwrap_or(1))
+}
+
+fn handle_discover(
+    state: &Arc<State>,
+    req: &RequestFrame,
+    queue_wait: f64,
+    session: Option<&SessionJob>,
+) -> Handled {
+    let _chaos_guards = arm_chaos(&req.chaos);
+
+    // Serve-level fault points, inside the isolation boundary.
+    if let Some(secs) = faults::value("serve.stall") {
+        thread::sleep(Duration::from_secs_f64(secs.clamp(0.0, 60.0)));
+    }
+    if faults::fire("serve.force_panic") {
+        std::panic::panic_any("injected fault: serve.force_panic".to_string());
+    }
+
+    let mut config = build_config(req);
+    if let Some(s) = session {
+        if let Some(warm) = &s.warm {
+            counter_add("fdx.session.warm_starts", 1);
+            config = config.with_glasso_warm_start(warm.clone());
+        }
+    }
 
     if let Some(deadline_ms) = req.deadline_ms {
         let remaining = deadline_ms as f64 / 1000.0 - queue_wait;
@@ -783,7 +1137,11 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
         config = config.with_time_budget(remaining);
     }
 
-    let (dataset, ingest_health) = if let Some(path) = &req.path {
+    let (dataset, ingest_health) = if let Some(s) = session {
+        // Session dataset, already resident (opened on the connection
+        // thread at enqueue time); shared, not copied.
+        (Arc::clone(&s.dataset), None)
+    } else if let Some(path) = &req.path {
         // Server-side dataset: stream it through the chunked reader with
         // the skip policy, so one malformed row degrades the reply (visible
         // in its `source` block and health) instead of failing it.
@@ -793,7 +1151,7 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
             ..IngestConfig::default()
         };
         match ingest_csv_file(path, &icfg) {
-            Ok(ingested) => (ingested.dataset, Some(ingested.health)),
+            Ok(ingested) => (Arc::new(ingested.dataset), Some(ingested.health)),
             Err(e) => {
                 let (code, detail) = protocol::map_fdx_error(&FdxError::from(e));
                 return Handled::Failed { code, detail };
@@ -801,7 +1159,7 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
         }
     } else {
         match read_csv_str(&req.csv) {
-            Ok(ds) => (ds, None),
+            Ok(ds) => (Arc::new(ds), None),
             Err(e) => {
                 // fdx-allow: L010 monotonic tally; exact totals are read after threads join
                 state.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -817,6 +1175,25 @@ fn handle_discover(state: &Arc<State>, req: &RequestFrame, queue_wait: f64) -> H
     match Fdx::new(config).discover(&dataset) {
         Ok(mut result) => {
             result.health.ingest = ingest_health;
+            if let Some(s) = session {
+                if req.chaos.is_empty() && !result.health.degraded() {
+                    // Cache only pristine, chaos-free runs — degraded or
+                    // fault-injected results must never be replayed as
+                    // canonical. The entry carries the reply core
+                    // byte-for-byte plus the converged glasso iterate for
+                    // future warm starts; a persist failure skips caching
+                    // but never fails the computed reply.
+                    let core = protocol::result_core(&result, dataset.schema());
+                    let _ = state.sessions.store_result(CachedResult {
+                        handle: s.handle,
+                        fingerprint: s.fingerprint,
+                        base_fingerprint: s.base_fingerprint,
+                        lambda: s.lambda,
+                        core,
+                        warm: result.glasso_warm.clone(),
+                    });
+                }
+            }
             Handled::Done(Box::new(result), dataset)
         }
         Err(err) => {

@@ -1,0 +1,1107 @@
+//! Crash-safe multi-tenant dataset sessions: the content-addressed handle
+//! registry, the LRU-bounded resident set, the on-disk snapshot store, and
+//! the discovery-result cache.
+//!
+//! A client uploads a dataset once (`op: "upload"`) and gets back its
+//! *content hash* as a 16-hex-digit handle; subsequent discover requests
+//! reference the handle instead of re-sending (and re-parsing) the CSV.
+//! The store is layered:
+//!
+//! * **Resident set** — decoded [`Dataset`]s under `Arc`, bounded by a byte
+//!   budget and evicted in strict least-recently-used order. Eviction is
+//!   deterministic: the logical access clock is a counter, not wall time.
+//! * **Snapshot store** — when a `--session-dir` is configured, every
+//!   upload and every cacheable result is persisted as a checksummed
+//!   `fdx_data::snapshot` record via `write_atomic_bytes`, so a crash
+//!   leaves whole records or nothing. The startup [`SessionStore::new`]
+//!   recovery scan rehydrates valid records bit-identically and moves any
+//!   torn/corrupt/truncated file into `quarantine/` with a typed reason —
+//!   never a panic.
+//! * **Result cache** — completed, non-degraded discover results keyed by
+//!   `(dataset hash, config fingerprint)`. A hit replays the stored reply
+//!   core byte-for-byte. Entries also carry the converged glasso iterate,
+//!   which [`SessionStore::warm_start_for`] hands to nearby-λ requests on
+//!   the same dataset ([`fdx_core::FdxConfig::glasso_warm_start`]). The
+//!   warm start is always derived from *persisted* cache state under a
+//!   deterministic nearest-λ rule, so a crashed-and-recovered server makes
+//!   the same choices — and therefore serves the same bytes — as one that
+//!   never crashed.
+//!
+//! Fault points (`session.torn_write`, `session.corrupt_crc`,
+//! `session.disk_full`, `session.evict_during_open`,
+//! `session.partial_upload`) let tests drive every failure path through
+//! the same code paths real faults would take.
+
+use fdx_core::{FdxConfig, WarmStart};
+use fdx_data::snapshot::{
+    self, content_hash, decode_dataset, decode_record, encode_dataset, encode_record, handle_hex,
+    SnapshotError, KIND_DATASET, KIND_RESULT,
+};
+use fdx_data::{read_csv_str, Dataset};
+use fdx_obs::{counter_add, faults, gauge_set, write_atomic_bytes};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Default resident-set byte budget when none is configured: 256 MiB of
+/// encoded dataset payloads.
+pub const DEFAULT_SESSION_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// Session-layer configuration, mapped from `fdx serve --session-*` flags.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Snapshot directory. `None` keeps sessions memory-only (they die
+    /// with the process but all ops still work).
+    pub dir: Option<PathBuf>,
+    /// Resident-set byte budget ([`DEFAULT_SESSION_BUDGET`] when `None`).
+    pub budget: Option<u64>,
+}
+
+/// Typed session-layer failure; every variant maps to a protocol error
+/// code in the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The handle names no known dataset (never uploaded, or its snapshot
+    /// was quarantined).
+    NotFound {
+        /// The handle as received.
+        handle: String,
+    },
+    /// The snapshot store could not persist a record (no space, or the
+    /// injected `session.disk_full` fault). No partial state is left.
+    DiskFull {
+        /// What failed.
+        detail: String,
+    },
+    /// The upload was incomplete or unparseable; nothing was stored.
+    Upload {
+        /// What failed.
+        detail: String,
+    },
+    /// A snapshot failed to decode at open time; the file was quarantined
+    /// and the handle forgotten.
+    Corrupt {
+        /// Stable reason slug from [`SnapshotError::reason`].
+        reason: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NotFound { handle } => write!(f, "unknown dataset handle {handle:?}"),
+            SessionError::DiskFull { detail } => write!(f, "snapshot store is full: {detail}"),
+            SessionError::Upload { detail } => write!(f, "upload failed: {detail}"),
+            SessionError::Corrupt { reason, detail } => {
+                write!(f, "snapshot quarantined ({reason}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What an upload produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadOutcome {
+    /// Content-hash handle of the dataset.
+    pub handle: u64,
+    /// Canonical encoded payload size in bytes (the unit the resident
+    /// budget is charged in).
+    pub bytes: u64,
+    /// Whether the dataset was already known (same content hash).
+    pub deduped: bool,
+}
+
+/// What an open produced.
+#[derive(Debug, Clone)]
+pub struct OpenOutcome {
+    /// The dataset, shared with the resident set.
+    pub dataset: Arc<Dataset>,
+    /// `"resident"` when served from memory, `"disk"` when rehydrated
+    /// from a snapshot record.
+    pub source: &'static str,
+}
+
+/// One cached discovery result.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Dataset content hash the result was computed on.
+    pub handle: u64,
+    /// Full config fingerprint (every result-affecting knob).
+    pub fingerprint: u64,
+    /// Fingerprint with λ masked out — the warm-start compatibility key.
+    pub base_fingerprint: u64,
+    /// The λ (sparsity) the result was computed at.
+    pub lambda: f64,
+    /// The reply's result core (`protocol::result_core`), replayed
+    /// byte-for-byte on a cache hit.
+    pub core: String,
+    /// Converged glasso iterate, when the run ended on a glasso rung.
+    pub warm: Option<WarmStart>,
+}
+
+/// One quarantined snapshot from a recovery scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedSnapshot {
+    /// File name (not path) of the offending snapshot.
+    pub file: String,
+    /// Stable typed reason (e.g. `"truncated"`, `"bad_crc"`).
+    pub reason: String,
+}
+
+/// Outcome of the startup recovery scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Dataset snapshots registered (rehydrated lazily on open).
+    pub datasets: usize,
+    /// Result-cache entries rehydrated into memory.
+    pub results: usize,
+    /// Snapshots moved to `quarantine/`, with typed reasons.
+    pub quarantined: Vec<QuarantinedSnapshot>,
+}
+
+struct Resident {
+    dataset: Arc<Dataset>,
+    bytes: u64,
+    last_access: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    resident: BTreeMap<u64, Resident>,
+    /// Handles with a (believed-)valid snapshot record on disk.
+    on_disk: std::collections::BTreeSet<u64>,
+    results: BTreeMap<(u64, u64), Arc<CachedResult>>,
+    clock: u64,
+    resident_bytes: u64,
+}
+
+/// The session store. One per server; all methods are `&self` and
+/// internally synchronized.
+pub struct SessionStore {
+    dir: Option<PathBuf>,
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+fn dataset_file(handle: u64) -> String {
+    format!("ds-{}.snap", handle_hex(handle))
+}
+
+fn result_file(handle: u64, fingerprint: u64) -> String {
+    format!("rc-{}-{}.snap", handle_hex(handle), handle_hex(fingerprint))
+}
+
+impl SessionStore {
+    /// Create the store and, when a directory is configured, run the
+    /// recovery scan over it (creating it if absent).
+    pub fn new(cfg: &SessionConfig) -> (SessionStore, RecoveryReport) {
+        let store = SessionStore {
+            dir: cfg.dir.clone(),
+            budget: cfg.budget.unwrap_or(DEFAULT_SESSION_BUDGET).max(1),
+            inner: Mutex::new(Inner::default()),
+        };
+        let report = match &store.dir {
+            Some(dir) => store.recover(dir),
+            None => RecoveryReport::default(),
+        };
+        store.publish_resident_gauge();
+        (store, report)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Maps and counters stay coherent across an unwind.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn publish_resident_gauge(&self) {
+        let bytes = self.lock().resident_bytes;
+        gauge_set("fdx.session.resident_bytes", bytes as f64);
+    }
+
+    /// Persist one snapshot record under the session directory. The
+    /// `session.disk_full` fault fails it with no partial state; the
+    /// `session.torn_write` / `session.corrupt_crc` faults damage the
+    /// bytes *before* the atomic write — modeling storage that lied about
+    /// durability — so only the recovery scan can notice.
+    fn persist(&self, file: &str, kind: u16, payload: &[u8]) -> Result<(), SessionError> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        if faults::fire("session.disk_full") {
+            return Err(SessionError::DiskFull {
+                detail: "injected fault: session.disk_full".to_string(),
+            });
+        }
+        let mut record = encode_record(kind, payload);
+        if faults::fire("session.torn_write") {
+            record.truncate(record.len() / 2);
+        }
+        if faults::fire("session.corrupt_crc") {
+            let mid = record.len() / 2;
+            record[mid] ^= 0x01;
+        }
+        write_atomic_bytes(&dir.join(file), &record).map_err(|e| SessionError::DiskFull {
+            detail: format!("{file}: {e}"),
+        })?;
+        counter_add("fdx.snapshot.writes", 1);
+        Ok(())
+    }
+
+    /// Upload a CSV body: parse, canonically encode, content-hash, persist
+    /// the snapshot, and admit the dataset to the resident set.
+    pub fn upload(&self, csv: &str) -> Result<UploadOutcome, SessionError> {
+        if faults::fire("session.partial_upload") {
+            return Err(SessionError::Upload {
+                detail: "injected fault: connection dropped mid-upload".to_string(),
+            });
+        }
+        let dataset = read_csv_str(csv).map_err(|e| SessionError::Upload {
+            detail: format!("csv: {e}"),
+        })?;
+        let payload = encode_dataset(&dataset);
+        let handle = content_hash(&payload);
+        let bytes = payload.len() as u64;
+
+        let deduped = {
+            let inner = self.lock();
+            inner.resident.contains_key(&handle) || inner.on_disk.contains(&handle)
+        };
+        if !deduped {
+            // Persist before registering: a typed persist failure must
+            // leave no trace of the handle.
+            self.persist(&dataset_file(handle), KIND_DATASET, &payload)?;
+        }
+        {
+            let mut inner = self.lock();
+            if self.dir.is_some() {
+                inner.on_disk.insert(handle);
+            }
+            Self::touch_resident(&mut inner, handle, || (Arc::new(dataset), bytes));
+            self.evict_over_budget(&mut inner);
+        }
+        self.publish_resident_gauge();
+        counter_add("fdx.session.uploads", 1);
+        Ok(UploadOutcome {
+            handle,
+            bytes,
+            deduped,
+        })
+    }
+
+    /// Insert-or-touch a resident entry under the logical access clock.
+    fn touch_resident<F>(inner: &mut Inner, handle: u64, make: F)
+    where
+        F: FnOnce() -> (Arc<Dataset>, u64),
+    {
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(r) = inner.resident.get_mut(&handle) {
+            r.last_access = clock;
+            return;
+        }
+        let (dataset, bytes) = make();
+        inner.resident_bytes += bytes;
+        inner.resident.insert(
+            handle,
+            Resident {
+                dataset,
+                bytes,
+                last_access: clock,
+            },
+        );
+    }
+
+    /// Evict least-recently-used residents until the byte budget holds.
+    /// The newest entry always survives, even when it alone exceeds the
+    /// budget — evicting it would make the dataset unusable.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        while inner.resident_bytes > self.budget && inner.resident.len() > 1 {
+            let Some(victim) = inner
+                .resident
+                .iter()
+                .min_by_key(|(_, r)| r.last_access)
+                .map(|(h, _)| *h)
+            else {
+                break;
+            };
+            if let Some(r) = inner.resident.remove(&victim) {
+                inner.resident_bytes -= r.bytes;
+                counter_add("fdx.session.evictions", 1);
+            }
+        }
+    }
+
+    /// Open a dataset by handle: resident hit, or rehydrate bit-identically
+    /// from its snapshot record. A snapshot that fails to decode is
+    /// quarantined on the spot and the open fails with a typed error.
+    pub fn open(&self, handle: u64) -> Result<OpenOutcome, SessionError> {
+        if faults::fire("session.evict_during_open") {
+            let mut inner = self.lock();
+            if let Some(r) = inner.resident.remove(&handle) {
+                inner.resident_bytes -= r.bytes;
+                counter_add("fdx.session.evictions", 1);
+            }
+        }
+        {
+            let mut inner = self.lock();
+            if inner.resident.contains_key(&handle) {
+                Self::touch_resident(&mut inner, handle, || unreachable!());
+                let dataset = Arc::clone(&inner.resident[&handle].dataset);
+                counter_add("fdx.session.opens", 1);
+                return Ok(OpenOutcome {
+                    dataset,
+                    source: "resident",
+                });
+            }
+            if !inner.on_disk.contains(&handle) {
+                return Err(SessionError::NotFound {
+                    handle: handle_hex(handle),
+                });
+            }
+        }
+        // Rehydrate outside the lock: disk I/O and decode are slow.
+        let dir = self.dir.as_ref().cloned().ok_or(SessionError::NotFound {
+            handle: handle_hex(handle),
+        })?;
+        let file = dataset_file(handle);
+        let (dataset, bytes) = match self.read_dataset_snapshot(&dir, &file, handle) {
+            Ok(pair) => pair,
+            Err(err) => {
+                // The snapshot is unusable: quarantine it and forget the
+                // handle so clients get `not found` (not repeated decode
+                // failures) until a fresh upload.
+                self.quarantine(&dir, &file, err.reason());
+                self.lock().on_disk.remove(&handle);
+                return Err(SessionError::Corrupt {
+                    reason: err.reason(),
+                    detail: err.to_string(),
+                });
+            }
+        };
+        {
+            let mut inner = self.lock();
+            Self::touch_resident(&mut inner, handle, || (Arc::new(dataset), bytes));
+            self.evict_over_budget(&mut inner);
+        }
+        self.publish_resident_gauge();
+        counter_add("fdx.session.opens", 1);
+        let dataset = {
+            let inner = self.lock();
+            Arc::clone(&inner.resident[&handle].dataset)
+        };
+        Ok(OpenOutcome {
+            dataset,
+            source: "disk",
+        })
+    }
+
+    fn read_dataset_snapshot(
+        &self,
+        dir: &Path,
+        file: &str,
+        handle: u64,
+    ) -> Result<(Dataset, u64), SnapshotError> {
+        let bytes = std::fs::read(dir.join(file)).map_err(|e| SnapshotError::Corrupt {
+            detail: format!("read failed: {e}"),
+        })?;
+        let record = decode_record(&bytes)?;
+        if record.kind != KIND_DATASET {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("expected a dataset record, found kind {}", record.kind),
+            });
+        }
+        if content_hash(&record.payload) != handle {
+            return Err(SnapshotError::Corrupt {
+                detail: "payload hash does not match the handle in the file name".to_string(),
+            });
+        }
+        let len = record.payload.len() as u64;
+        let dataset = decode_dataset(&record.payload)?;
+        Ok((dataset, len))
+    }
+
+    /// Drop a dataset from the resident set (its snapshot, if any, stays
+    /// on disk). Returns whether it was resident.
+    pub fn close(&self, handle: u64) -> bool {
+        let was_resident = {
+            let mut inner = self.lock();
+            match inner.resident.remove(&handle) {
+                Some(r) => {
+                    inner.resident_bytes -= r.bytes;
+                    true
+                }
+                None => false,
+            }
+        };
+        self.publish_resident_gauge();
+        counter_add("fdx.session.closes", 1);
+        was_resident
+    }
+
+    /// Whether the handle names a known dataset (resident or on disk).
+    pub fn contains(&self, handle: u64) -> bool {
+        let inner = self.lock();
+        inner.resident.contains_key(&handle) || inner.on_disk.contains(&handle)
+    }
+
+    /// Result-cache lookup; records the hit/miss metric.
+    pub fn lookup_result(&self, handle: u64, fingerprint: u64) -> Option<Arc<CachedResult>> {
+        let found = self.lock().results.get(&(handle, fingerprint)).cloned();
+        counter_add(
+            if found.is_some() {
+                "fdx.session.cache_hits"
+            } else {
+                "fdx.session.cache_misses"
+            },
+            1,
+        );
+        found
+    }
+
+    /// Insert a result into the cache and persist its snapshot. On a
+    /// persist failure nothing is cached (memory and disk stay in sync,
+    /// which is what keeps warm-start choices replayable after a crash).
+    pub fn store_result(&self, result: CachedResult) -> Result<(), SessionError> {
+        let payload = encode_result(&result);
+        self.persist(
+            &result_file(result.handle, result.fingerprint),
+            KIND_RESULT,
+            &payload,
+        )?;
+        let key = (result.handle, result.fingerprint);
+        self.lock().results.insert(key, Arc::new(result));
+        Ok(())
+    }
+
+    /// Deterministic warm-start selection for a request at `lambda`: among
+    /// cached results on the same dataset with the same base fingerprint
+    /// (all knobs but λ equal) and a warm iterate, pick the nearest λ;
+    /// ties break toward the smaller λ. Because candidates come only from
+    /// the (persisted) result cache, a recovered server replays the exact
+    /// choice an uninterrupted one made.
+    pub fn warm_start_for(
+        &self,
+        handle: u64,
+        base_fingerprint: u64,
+        lambda: f64,
+    ) -> Option<WarmStart> {
+        let inner = self.lock();
+        let mut best: Option<(&Arc<CachedResult>, f64)> = None;
+        for ((h, _), entry) in inner.results.iter() {
+            if *h != handle || entry.base_fingerprint != base_fingerprint {
+                continue;
+            }
+            if entry.warm.is_none() {
+                continue;
+            }
+            let dist = (entry.lambda - lambda).abs();
+            let better = match &best {
+                None => true,
+                Some((cur, cur_dist)) => {
+                    dist < *cur_dist || (dist == *cur_dist && entry.lambda < cur.lambda)
+                }
+            };
+            if better {
+                best = Some((entry, dist));
+            }
+        }
+        best.and_then(|(entry, _)| entry.warm.clone())
+    }
+
+    /// Cached (handle, fingerprint) keys, for introspection and tests.
+    pub fn cached_keys(&self) -> Vec<(u64, u64)> {
+        self.lock().results.keys().cloned().collect()
+    }
+
+    /// Move an unusable snapshot into `quarantine/` (best-effort; the file
+    /// must stop shadowing the handle either way).
+    fn quarantine(&self, dir: &Path, file: &str, reason: &str) {
+        let qdir = dir.join("quarantine");
+        let _ = std::fs::create_dir_all(&qdir);
+        if std::fs::rename(dir.join(file), qdir.join(file)).is_err() {
+            let _ = std::fs::remove_file(dir.join(file));
+        }
+        counter_add("fdx.snapshot.quarantined", 1);
+        fdx_obs::Registry::global().push_event(
+            "fdx.snapshot.quarantined",
+            &[
+                ("file", fdx_obs::Field::S(file.to_string())),
+                ("reason", fdx_obs::Field::S(reason.to_string())),
+            ],
+        );
+    }
+
+    /// The startup recovery scan: classify every `*.snap` record in the
+    /// directory (lexicographic order, so the scan is deterministic),
+    /// register valid datasets, rehydrate valid result-cache entries, and
+    /// quarantine everything else with a typed reason.
+    fn recover(&self, dir: &Path) -> RecoveryReport {
+        let _ = std::fs::create_dir_all(dir);
+        let mut report = RecoveryReport::default();
+        let mut files: Vec<String> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_file())
+                .filter_map(|e| e.file_name().to_str().map(String::from))
+                .filter(|n| n.ends_with(".snap"))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        files.sort();
+        for file in files {
+            match self.recover_one(dir, &file) {
+                Ok(RecoveredKind::Dataset) => report.datasets += 1,
+                Ok(RecoveredKind::Result) => report.results += 1,
+                Err(reason) => {
+                    self.quarantine(dir, &file, reason);
+                    report.quarantined.push(QuarantinedSnapshot {
+                        file,
+                        reason: reason.to_string(),
+                    });
+                }
+            }
+        }
+        counter_add(
+            "fdx.snapshot.recovered",
+            (report.datasets + report.results) as u64,
+        );
+        report
+    }
+
+    fn recover_one(&self, dir: &Path, file: &str) -> Result<RecoveredKind, &'static str> {
+        let bytes = std::fs::read(dir.join(file)).map_err(|_| "unreadable")?;
+        let record = decode_record(&bytes).map_err(|e| e.reason())?;
+        match record.kind {
+            KIND_DATASET => {
+                let expected = file
+                    .strip_prefix("ds-")
+                    .and_then(|rest| rest.strip_suffix(".snap"))
+                    .and_then(snapshot::parse_handle)
+                    .ok_or("bad_file_name")?;
+                if content_hash(&record.payload) != expected {
+                    return Err("handle_mismatch");
+                }
+                // Full decode now: a record that cannot rehydrate must be
+                // quarantined at startup, not discovered at first open.
+                decode_dataset(&record.payload).map_err(|e| e.reason())?;
+                self.lock().on_disk.insert(expected);
+                Ok(RecoveredKind::Dataset)
+            }
+            KIND_RESULT => {
+                let result = decode_result(&record.payload).map_err(|e| e.reason())?;
+                let named = parse_result_file(file).ok_or("bad_file_name")?;
+                if named != (result.handle, result.fingerprint) {
+                    return Err("handle_mismatch");
+                }
+                let key = (result.handle, result.fingerprint);
+                self.lock().results.insert(key, Arc::new(result));
+                Ok(RecoveredKind::Result)
+            }
+            _ => Err("unknown_kind"),
+        }
+    }
+}
+
+enum RecoveredKind {
+    Dataset,
+    Result,
+}
+
+/// Fingerprint of every *result-affecting* `FdxConfig` knob — the cache
+/// key alongside the dataset handle. Excludes `threads`, `time_budget`,
+/// `memory_budget`, and `glasso_warm_start`: the determinism contract
+/// makes thread count bits-neutral, budgets only bound wall clock /
+/// ingest, and the warm start is itself a deterministic function of the
+/// persisted cache, so keying on it would be circular.
+pub fn config_fingerprint(cfg: &FdxConfig) -> u64 {
+    fingerprint_bytes(cfg, true)
+}
+
+/// [`config_fingerprint`] with λ (sparsity) masked out: the warm-start
+/// compatibility key. Two runs sharing a base fingerprint differ only in
+/// λ, which is exactly when reusing a converged iterate is sound.
+pub fn base_fingerprint(cfg: &FdxConfig) -> u64 {
+    fingerprint_bytes(cfg, false)
+}
+
+fn fingerprint_bytes(cfg: &FdxConfig, include_lambda: bool) -> u64 {
+    fn push_str(buf: &mut Vec<u8>, s: &str) {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+    let mut buf = Vec::new();
+    push_str(&mut buf, &format!("{:?}", cfg.transform.sampling));
+    push_str(&mut buf, &format!("{:?}", cfg.transform.null_policy));
+    buf.extend_from_slice(&cfg.transform.seed.to_le_bytes());
+    let max_pairs = cfg
+        .transform
+        .max_pairs_per_attr
+        .map(|v| v as u64 + 1)
+        .unwrap_or(0);
+    buf.extend_from_slice(&max_pairs.to_le_bytes());
+    buf.push(cfg.use_correlation as u8);
+    buf.extend_from_slice(&cfg.threshold.to_bits().to_le_bytes());
+    buf.extend_from_slice(&cfg.shrinkage.to_bits().to_le_bytes());
+    buf.extend_from_slice(&cfg.relative_keep.to_bits().to_le_bytes());
+    push_str(&mut buf, &format!("{:?}", cfg.ordering));
+    buf.extend_from_slice(&cfg.support_threshold.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(cfg.max_lhs as u64).to_le_bytes());
+    buf.push(cfg.validate as u8);
+    buf.extend_from_slice(&cfg.min_lift.to_bits().to_le_bytes());
+    if include_lambda {
+        buf.extend_from_slice(&cfg.sparsity.to_bits().to_le_bytes());
+    }
+    content_hash(&buf)
+}
+
+fn parse_result_file(file: &str) -> Option<(u64, u64)> {
+    let rest = file.strip_prefix("rc-")?.strip_suffix(".snap")?;
+    let (h, f) = rest.split_once('-')?;
+    Some((snapshot::parse_handle(h)?, snapshot::parse_handle(f)?))
+}
+
+// ---------------------------------------------------------------------------
+// Result-record payload codec: fixed little-endian fields, then the reply
+// core string, then the optional warm-start matrices by IEEE bit pattern —
+// bit-exact, so recovered warm starts reproduce the pre-crash solve.
+
+fn put_matrix(out: &mut Vec<u8>, m: &fdx_core::Matrix) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            out.extend_from_slice(&m[(i, j)].to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn encode_result(r: &CachedResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&r.handle.to_le_bytes());
+    out.extend_from_slice(&r.fingerprint.to_le_bytes());
+    out.extend_from_slice(&r.base_fingerprint.to_le_bytes());
+    out.extend_from_slice(&r.lambda.to_bits().to_le_bytes());
+    out.extend_from_slice(&(r.core.len() as u32).to_le_bytes());
+    out.extend_from_slice(r.core.as_bytes());
+    match &r.warm {
+        None => out.push(0),
+        Some(w) => {
+            out.push(1);
+            put_matrix(&mut out, &w.theta);
+            put_matrix(&mut out, &w.w);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Corrupt {
+                detail: "result payload exhausted".to_string(),
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn matrix(&mut self) -> Result<fdx_core::Matrix, SnapshotError> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        if rows.checked_mul(cols).is_none_or(|n| n > (1 << 24)) {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("implausible matrix shape {rows}x{cols}"),
+            });
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(f64::from_bits(self.u64()?));
+        }
+        Ok(fdx_core::Matrix::from_vec(rows, cols, data))
+    }
+}
+
+fn decode_result(payload: &[u8]) -> Result<CachedResult, SnapshotError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let handle = r.u64()?;
+    let fingerprint = r.u64()?;
+    let base_fingerprint = r.u64()?;
+    let lambda = f64::from_bits(r.u64()?);
+    let core_len = r.u32()? as usize;
+    let core =
+        String::from_utf8(r.take(core_len)?.to_vec()).map_err(|_| SnapshotError::Corrupt {
+            detail: "result core is not utf-8".to_string(),
+        })?;
+    let warm = match r.take(1)?[0] {
+        0 => None,
+        1 => {
+            let theta = r.matrix()?;
+            let w = r.matrix()?;
+            Some(WarmStart { theta, w })
+        }
+        t => {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("unknown warm-start tag {t}"),
+            })
+        }
+    };
+    if r.pos != payload.len() {
+        return Err(SnapshotError::Corrupt {
+            detail: format!("{} unread result bytes", payload.len() - r.pos),
+        });
+    }
+    Ok(CachedResult {
+        handle,
+        fingerprint,
+        base_fingerprint,
+        lambda,
+        core,
+        warm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csv(n: usize) -> String {
+        let mut s = String::from("zip,city,state\n");
+        for i in 0..n {
+            let z = i % 16;
+            s.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+        }
+        s
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdx-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn store(dir: Option<PathBuf>, budget: Option<u64>) -> (SessionStore, RecoveryReport) {
+        SessionStore::new(&SessionConfig { dir, budget })
+    }
+
+    #[test]
+    fn upload_open_close_roundtrip_in_memory() {
+        let (s, _) = store(None, None);
+        let up = s.upload(&csv(64)).unwrap();
+        assert!(!up.deduped);
+        let again = s.upload(&csv(64)).unwrap();
+        assert!(again.deduped, "same content hashes to the same handle");
+        assert_eq!(again.handle, up.handle);
+
+        let open = s.open(up.handle).unwrap();
+        assert_eq!(open.source, "resident");
+        assert_eq!(open.dataset.nrows(), 64);
+        assert!(s.close(up.handle), "was resident");
+        // Memory-only store: close forgets the dataset entirely.
+        assert!(matches!(
+            s.open(up.handle),
+            Err(SessionError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_survives_close_and_rehydrates_bit_identically() {
+        let dir = tmpdir("rehydrate");
+        let (s, _) = store(Some(dir.clone()), None);
+        let up = s.upload(&csv(64)).unwrap();
+        let original = Arc::clone(&s.open(up.handle).unwrap().dataset);
+        s.close(up.handle);
+        let open = s.open(up.handle).unwrap();
+        assert_eq!(open.source, "disk");
+        assert_eq!(*open.dataset, *original, "bit-identical rehydrate");
+        assert_eq!(
+            snapshot::dataset_content_hash(&open.dataset),
+            up.handle,
+            "content address survives the disk roundtrip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scan_restores_sessions_and_results() {
+        let dir = tmpdir("recover");
+        let handle;
+        {
+            let (s, rep) = store(Some(dir.clone()), None);
+            assert_eq!(rep, RecoveryReport::default());
+            handle = s.upload(&csv(64)).unwrap().handle;
+            s.store_result(CachedResult {
+                handle,
+                fingerprint: 42,
+                base_fingerprint: 7,
+                lambda: 0.004,
+                core: "\"attrs\":3".to_string(),
+                warm: Some(WarmStart {
+                    theta: fdx_core::Matrix::from_vec(1, 1, vec![2.5]),
+                    w: fdx_core::Matrix::from_vec(1, 1, vec![0.5]),
+                }),
+            })
+            .unwrap();
+            // Store dropped without any drain — the crash-equivalent,
+            // since every record was persisted eagerly.
+        }
+        let (s2, rep) = store(Some(dir.clone()), None);
+        assert_eq!(rep.datasets, 1);
+        assert_eq!(rep.results, 1);
+        assert!(rep.quarantined.is_empty());
+        assert!(s2.contains(handle));
+        let cached = s2.lookup_result(handle, 42).unwrap();
+        assert_eq!(cached.lambda, 0.004);
+        assert_eq!(cached.core, "\"attrs\":3");
+        let warm = s2.warm_start_for(handle, 7, 0.006).unwrap();
+        assert_eq!(warm.theta[(0, 0)].to_bits(), 2.5f64.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_quarantined_with_typed_reasons() {
+        let dir = tmpdir("quarantine");
+        {
+            let (s, _) = store(Some(dir.clone()), None);
+            s.upload(&csv(64)).unwrap();
+        }
+        // Damage every failure mode: truncation, bit rot, garbage.
+        let snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        assert_eq!(snaps.len(), 1);
+        let bytes = std::fs::read(&snaps[0]).unwrap();
+        std::fs::write(&snaps[0], &bytes[..bytes.len() / 2]).unwrap();
+        let mut rotten = bytes.clone();
+        let last = rotten.len() - 5;
+        rotten[last] ^= 0x10;
+        std::fs::write(dir.join("ds-00000000000000aa.snap"), &rotten).unwrap();
+        // Long enough to clear the length check so the magic check fires.
+        std::fs::write(
+            dir.join("zz-not-a-snapshot.snap"),
+            b"hello, this is not a snapshot record",
+        )
+        .unwrap();
+
+        let (s2, rep) = store(Some(dir.clone()), None);
+        assert_eq!(rep.datasets, 0);
+        assert_eq!(rep.results, 0);
+        let reason_of = |file: &str| -> &str {
+            rep.quarantined
+                .iter()
+                .find(|q| q.file == file)
+                .map(|q| q.reason.as_str())
+                .unwrap_or_else(|| panic!("{file} not quarantined: {:?}", rep.quarantined))
+        };
+        assert_eq!(rep.quarantined.len(), 3);
+        let original = snaps[0].file_name().unwrap().to_str().unwrap();
+        assert_eq!(reason_of(original), "truncated");
+        // The rotten copy under a wrong name: CRC catches the flip first.
+        assert_eq!(reason_of("ds-00000000000000aa.snap"), "bad_crc");
+        assert_eq!(reason_of("zz-not-a-snapshot.snap"), "bad_magic");
+        // Quarantined files moved, not deleted; the store is empty.
+        for q in &rep.quarantined {
+            assert!(dir.join("quarantine").join(&q.file).exists());
+            assert!(!dir.join(&q.file).exists());
+        }
+        assert!(s2.cached_keys().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_writes_surface_at_recovery_not_as_panics() {
+        for (fault, reason) in [
+            ("session.torn_write", "truncated"),
+            ("session.corrupt_crc", "bad_crc"),
+        ] {
+            let dir = tmpdir(&fault.replace('.', "-"));
+            let handle;
+            {
+                let (s, _) = store(Some(dir.clone()), None);
+                let _f = faults::arm_times(fault, 1);
+                handle = s.upload(&csv(64)).unwrap().handle;
+            }
+            let (s2, rep) = store(Some(dir.clone()), None);
+            assert_eq!(rep.datasets, 0, "{fault}");
+            assert_eq!(rep.quarantined.len(), 1, "{fault}");
+            assert_eq!(rep.quarantined[0].reason, reason, "{fault}");
+            assert!(
+                matches!(s2.open(handle), Err(SessionError::NotFound { .. })),
+                "{fault}: quarantined snapshot must not serve"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn disk_full_and_partial_upload_are_typed_and_stateless() {
+        let dir = tmpdir("disk-full");
+        let (s, _) = store(Some(dir.clone()), None);
+        {
+            let _f = faults::arm_times("session.disk_full", 1);
+            let err = s.upload(&csv(64)).unwrap_err();
+            assert!(matches!(err, SessionError::DiskFull { .. }), "{err}");
+        }
+        {
+            let _f = faults::arm_times("session.partial_upload", 1);
+            let err = s.upload(&csv(64)).unwrap_err();
+            assert!(matches!(err, SessionError::Upload { .. }), "{err}");
+        }
+        // Neither failure left state: no handle, no snapshot file.
+        let leftover = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .count();
+        assert_eq!(leftover, 0);
+        // The faults are gone; the same upload now succeeds.
+        let up = s.upload(&csv(64)).unwrap();
+        assert!(s.open(up.handle).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic_and_reopenable_from_disk() {
+        let dir = tmpdir("evict");
+        // Budget fits roughly one dataset: each upload evicts the oldest.
+        let (s, _) = store(Some(dir.clone()), Some(1)); // 1 byte: nothing fits twice
+        let a = s.upload(&csv(16)).unwrap();
+        let b = s.upload("x,y\n1,2\n2,3\n").unwrap();
+        assert_ne!(a.handle, b.handle);
+        {
+            let inner = s.lock();
+            assert_eq!(
+                inner.resident.len(),
+                1,
+                "over-budget store keeps only the newest"
+            );
+            assert!(inner.resident.contains_key(&b.handle));
+        }
+        // The evicted dataset reopens from its snapshot.
+        let open = s.open(a.handle).unwrap();
+        assert_eq!(open.source, "disk");
+        // ... which in turn evicts b (deterministically the older access).
+        {
+            let inner = s.lock();
+            assert_eq!(inner.resident.len(), 1);
+            assert!(inner.resident.contains_key(&a.handle));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_during_open_fault_forces_a_disk_rehydrate() {
+        let dir = tmpdir("evict-open");
+        let (s, _) = store(Some(dir.clone()), None);
+        let up = s.upload(&csv(32)).unwrap();
+        let _f = faults::arm_times("session.evict_during_open", 1);
+        let open = s.open(up.handle).unwrap();
+        assert_eq!(open.source, "disk", "fault evicted the resident copy");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_selection_is_nearest_lambda_smaller_on_ties() {
+        let (s, _) = store(None, None);
+        let mk = |lambda: f64, v: f64| CachedResult {
+            handle: 9,
+            fingerprint: (lambda * 1e4) as u64,
+            base_fingerprint: 1,
+            lambda,
+            core: String::new(),
+            warm: Some(WarmStart {
+                theta: fdx_core::Matrix::from_vec(1, 1, vec![v]),
+                w: fdx_core::Matrix::from_vec(1, 1, vec![v]),
+            }),
+        };
+        s.store_result(mk(0.002, 1.0)).unwrap();
+        s.store_result(mk(0.006, 2.0)).unwrap();
+        // 0.004 is equidistant: the smaller λ (0.002) wins the tie.
+        let warm = s.warm_start_for(9, 1, 0.004).unwrap();
+        assert_eq!(warm.theta[(0, 0)], 1.0);
+        // 0.005 is nearer 0.006.
+        let warm = s.warm_start_for(9, 1, 0.005).unwrap();
+        assert_eq!(warm.theta[(0, 0)], 2.0);
+        // Different base fingerprint: no candidates.
+        assert!(s.warm_start_for(9, 2, 0.004).is_none());
+        assert!(s.warm_start_for(8, 1, 0.004).is_none());
+    }
+
+    #[test]
+    fn fingerprints_track_result_affecting_knobs_only() {
+        let a = FdxConfig::with_seed(7).with_sparsity(0.004);
+        let b = a.clone();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(base_fingerprint(&a), base_fingerprint(&b));
+        // λ changes the full fingerprint but not the base one.
+        let c = a.clone().with_sparsity(0.006);
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+        assert_eq!(base_fingerprint(&a), base_fingerprint(&c));
+        // Result-affecting knobs change both.
+        let d = a.clone().with_threshold(0.2);
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&d));
+        assert_ne!(base_fingerprint(&a), base_fingerprint(&d));
+        let e = FdxConfig::with_seed(8).with_sparsity(0.004);
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&e));
+        // Bits-neutral execution knobs change neither.
+        let f = a.clone().with_threads(4).with_time_budget(30.0);
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&f));
+        assert_eq!(base_fingerprint(&a), base_fingerprint(&f));
+    }
+
+    #[test]
+    fn result_payload_roundtrips_bit_exactly() {
+        let r = CachedResult {
+            handle: u64::MAX,
+            fingerprint: 3,
+            base_fingerprint: 4,
+            lambda: 0.004,
+            core: "\"attrs\":2,\"fds\":[]".to_string(),
+            warm: Some(WarmStart {
+                theta: fdx_core::Matrix::from_vec(2, 2, vec![1.0, -0.25, -0.25, 1.0]),
+                w: fdx_core::Matrix::from_vec(2, 2, vec![1.0, 0.25, 0.25, 1.0]),
+            }),
+        };
+        let payload = encode_result(&r);
+        let back = decode_result(&payload).unwrap();
+        assert_eq!(back.handle, r.handle);
+        assert_eq!(back.lambda.to_bits(), r.lambda.to_bits());
+        assert_eq!(back.core, r.core);
+        let (bw, rw) = (back.warm.unwrap(), r.warm.unwrap());
+        assert_eq!(bw.theta[(0, 1)].to_bits(), rw.theta[(0, 1)].to_bits());
+        assert_eq!(bw.w[(1, 0)].to_bits(), rw.w[(1, 0)].to_bits());
+        // Truncated payload: typed, not a panic.
+        assert!(decode_result(&payload[..payload.len() - 2]).is_err());
+    }
+}

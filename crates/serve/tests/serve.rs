@@ -376,7 +376,8 @@ fn stats_answers_under_100ms_while_workers_are_saturated() {
     thread::sleep(Duration::from_millis(200));
 
     let watch = fdx_obs::Stopwatch::start();
-    let stats = fdx_serve::stats_request(&addr, "live", None).expect("stats reply");
+    let stats = fdx_serve::stats_request(&addr, "live", None, &fdx_serve::RetryPolicy::none())
+        .expect("stats reply");
     let elapsed = watch.elapsed_secs();
     assert!(
         elapsed < 0.1,
@@ -499,7 +500,8 @@ fn stats_snapshot_and_journal_agree_with_drain_flush() {
     let bad_resp = send(&addr, &bad);
     assert!(!bad_resp.is_ok(), "{bad_resp:?}");
 
-    let stats = fdx_serve::stats_request(&addr, "s", Some(16)).expect("stats");
+    let stats = fdx_serve::stats_request(&addr, "s", Some(16), &fdx_serve::RetryPolicy::none())
+        .expect("stats");
     let counters = stats.raw.get("counters").expect("counters object").clone();
     let completed_live = counters
         .get("fdx.serve.completed")

@@ -168,7 +168,13 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
     // Mid-soak introspection: a `stats` frame (answered on the accept
     // thread) sees all 16 soaked requests in the journal — the 4 faulted
     // ones with non-ok outcomes, the clean ones as "ok".
-    let stats = fdx_serve::stats_request(&addr, "soak-stats", Some(64)).expect("stats reply");
+    let stats = fdx_serve::stats_request(
+        &addr,
+        "soak-stats",
+        Some(64),
+        &fdx_serve::RetryPolicy::none(),
+    )
+    .expect("stats reply");
     assert!(stats.is_ok(), "{stats:?}");
     let journal = stats
         .raw
@@ -239,4 +245,107 @@ fn chaos_soak_faulted_requests_fail_typed_clean_requests_stay_bit_identical() {
 
     fdx_obs::set_enabled(false);
     fdx_obs::Registry::global().reset();
+}
+
+/// Kill-and-restart leg: a server with a session directory is killed
+/// without any drain (the handle is leaked, so no shutdown hook runs)
+/// while holding an uploaded dataset and a populated result cache. A
+/// fresh server on the same directory must recover both and replay the
+/// cached reply core byte-for-byte — crash + recovery is indistinguishable
+/// from an uninterrupted run.
+#[test]
+fn kill_and_restart_mid_soak_recovers_sessions_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("fdx-chaos-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("session dir");
+
+    let server1 = Server::start(ServeConfig {
+        queue_cap: 32,
+        session_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr1 = server1.addr().to_string();
+
+    // Upload once, then soak the handle with concurrent discovers: the
+    // first to land computes and caches, the rest replay. All cores must
+    // agree regardless of compute/replay interleaving.
+    let up = Response::parse(
+        &exchange(&addr1, &fdx_serve::upload_line("kill-up", &soak_csv(), &[])).expect("upload"),
+    )
+    .unwrap();
+    assert!(up.is_ok(), "{up:?}");
+    let handle_hex = up
+        .raw
+        .get("dataset")
+        .and_then(|v| v.as_str())
+        .expect("dataset handle")
+        .to_string();
+    let discover = |id: &str| RequestFrame {
+        id: id.to_string(),
+        csv: String::new(),
+        dataset: Some(handle_hex.clone()),
+        seed: Some(7),
+        ..RequestFrame::default()
+    };
+    let joins: Vec<_> = (0..8)
+        .map(|i| {
+            let a = addr1.clone();
+            let frame = discover(&format!("kill-d{i}"));
+            thread::spawn(move || {
+                let line = exchange(&a, &frame.to_line()).expect("exchange");
+                Response::parse(&line).expect("parse reply")
+            })
+        })
+        .collect();
+    let mut cores: Vec<String> = joins
+        .into_iter()
+        .map(|j| {
+            let r = j.join().unwrap();
+            assert!(r.is_ok(), "{r:?}");
+            fdx_serve::reply_result_core(&r.line)
+                .expect("result core")
+                .to_string()
+        })
+        .collect();
+    cores.dedup();
+    assert_eq!(cores.len(), 1, "compute and cache replay must agree");
+    let pre_kill_core = cores.remove(0);
+
+    // kill -9: leak the handle. No drain, no flush, no goodbye.
+    std::mem::forget(server1);
+
+    let server2 = Server::start(ServeConfig {
+        queue_cap: 32,
+        session_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("rebind");
+    let recovery = server2.recovery();
+    assert_eq!(recovery.datasets, 1, "{recovery:?}");
+    assert_eq!(recovery.results, 1, "{recovery:?}");
+    assert!(recovery.quarantined.is_empty(), "{recovery:?}");
+
+    let addr2 = server2.addr().to_string();
+    let r = Response::parse(
+        &exchange(&addr2, &discover("kill-post").to_line()).expect("post-restart discover"),
+    )
+    .unwrap();
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(
+        r.raw.get("cached").and_then(|v| v.as_bool()),
+        Some(true),
+        "{}",
+        r.line
+    );
+    assert_eq!(
+        fdx_serve::reply_result_core(&r.line).expect("core"),
+        pre_kill_core,
+        "recovered reply diverged from the pre-kill bytes"
+    );
+
+    server2.shutdown();
+    let report = server2.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

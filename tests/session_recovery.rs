@@ -1,0 +1,449 @@
+//! Crash-safe session integration: the fault × recovery matrix over the
+//! wire, plus kill-and-restart byte-identity.
+//!
+//! Every leg drives a real `fdx-serve` instance through TCP frames —
+//! `upload` / `open` / `close` / dataset-handle `discover` — against a
+//! snapshot directory on disk. The contract under test:
+//!
+//! * a discover served from the result cache replays a result core
+//!   byte-identical to the computed reply (and to a plain-CSV run of the
+//!   same config);
+//! * a kill (simulated by leaking the server handle so nothing drains)
+//!   followed by a restart on the same directory recovers every intact
+//!   snapshot and replays identical bytes;
+//! * each injected session fault (`disk_full`, `partial_upload`,
+//!   `torn_write`, `corrupt_crc`, `evict_during_open`) surfaces as a
+//!   typed reply or a typed quarantine — never a panic, never partial
+//!   state;
+//! * the recovery scan is deterministic: scanning the same directory
+//!   twice quarantines nothing new.
+
+use fdx::{Fdx, FdxConfig};
+use fdx_serve::client::exchange;
+use fdx_serve::{codes, ChaosSpec, RequestFrame, Response, ServeConfig, Server, ServerHandle};
+use std::path::PathBuf;
+
+/// Same corpus as the chaos soak: clean FDs zip -> city -> state.
+fn corpus_csv() -> String {
+    let mut csv = String::from("zip,city,state\n");
+    for i in 0..96 {
+        let z = i % 16;
+        csv.push_str(&format!("z{z},c{},s{}\n", z / 2, z / 8));
+    }
+    csv
+}
+
+/// A second, structurally different corpus for multi-dataset legs.
+fn alt_csv(cols: &str, rows: usize) -> String {
+    let width = cols.split(',').count();
+    let mut csv = String::from(cols);
+    csv.push('\n');
+    for i in 0..rows {
+        let a = i % 8;
+        let fields: Vec<String> = (0..width)
+            .map(|j| format!("v{}_{}", j, a >> j.min(3)))
+            .collect();
+        csv.push_str(&fields.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdx-sessrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create session dir");
+    dir
+}
+
+fn start(dir: &PathBuf, chaos: bool) -> ServerHandle {
+    Server::start(ServeConfig {
+        chaos,
+        session_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+}
+
+fn send(addr: &str, line: &str) -> Response {
+    let reply = exchange(addr, line).expect("exchange");
+    Response::parse(&reply).expect("parse reply")
+}
+
+fn spec(point: &'static str, times: Option<u64>) -> ChaosSpec {
+    ChaosSpec {
+        point,
+        times,
+        value: None,
+    }
+}
+
+/// Upload `csv` and return the 16-hex-digit handle from the reply.
+fn upload(addr: &str, id: &str, csv: &str) -> (String, Response) {
+    let r = send(addr, &fdx_serve::upload_line(id, csv, &[]));
+    assert!(r.is_ok(), "{r:?}");
+    let handle = r
+        .raw
+        .get("dataset")
+        .and_then(|v| v.as_str())
+        .expect("upload reply carries a dataset handle")
+        .to_string();
+    assert_eq!(handle.len(), 16, "{handle}");
+    (handle, r)
+}
+
+/// A dataset-handle discover frame at the reference config (seed 7).
+fn discover_frame(id: &str, handle: &str) -> RequestFrame {
+    RequestFrame {
+        id: id.to_string(),
+        csv: String::new(),
+        dataset: Some(handle.to_string()),
+        seed: Some(7),
+        ..RequestFrame::default()
+    }
+}
+
+/// The deterministic result core of a discover reply.
+fn core_of(r: &Response) -> String {
+    fdx_serve::reply_result_core(&r.line)
+        .unwrap_or_else(|| panic!("reply has no result core: {}", r.line))
+        .to_string()
+}
+
+fn is_cached(r: &Response) -> bool {
+    r.raw.get("cached").and_then(|v| v.as_bool()) == Some(true)
+}
+
+#[test]
+fn upload_dedupe_open_and_cached_discover_replay_byte_identically() {
+    let dir = tmpdir("cache");
+    let handle = start(&dir, false);
+    let addr = handle.addr().to_string();
+
+    // Upload, then re-upload the identical bytes: same handle, deduped.
+    let (ds, first) = upload(&addr, "up-1", &corpus_csv());
+    assert_eq!(
+        first.raw.get("deduped").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let (ds2, second) = upload(&addr, "up-2", &corpus_csv());
+    assert_eq!(ds2, ds, "content hashing must dedupe identical uploads");
+    assert_eq!(
+        second.raw.get("deduped").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+
+    // Open: served from memory, shape intact.
+    let r = send(&addr, &fdx_serve::open_line("open-1", &ds));
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(
+        r.raw.get("source").and_then(|v| v.as_str()),
+        Some("resident")
+    );
+    assert_eq!(r.raw.get("attrs").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(r.raw.get("rows").and_then(|v| v.as_u64()), Some(96));
+
+    // First discover computes; it must match a direct in-process run.
+    let dataset = fdx_data::read_csv_str(&corpus_csv()).expect("corpus");
+    let reference = Fdx::new(FdxConfig::with_seed(7).with_threads(1))
+        .discover(&dataset)
+        .expect("direct discover");
+    let reference_fds: Vec<String> = reference
+        .fds
+        .iter()
+        .map(|fd| fd.display(dataset.schema()).to_string())
+        .collect();
+    assert!(!reference_fds.is_empty(), "corpus must yield FDs");
+
+    let computed = send(&addr, &discover_frame("d-1", &ds).to_line());
+    assert!(computed.is_ok(), "{computed:?}");
+    assert!(!is_cached(&computed), "first discover must compute");
+    assert_eq!(computed.fds.as_deref(), Some(&reference_fds[..]));
+    let computed_core = core_of(&computed);
+
+    // Second identical discover replays from the cache, byte-identical.
+    let cached = send(&addr, &discover_frame("d-2", &ds).to_line());
+    assert!(cached.is_ok(), "{cached:?}");
+    assert!(is_cached(&cached), "{}", cached.line);
+    assert_eq!(core_of(&cached), computed_core, "cache replay diverged");
+
+    // A plain-CSV discover of the same config produces the same core:
+    // the cache is transparent to results.
+    let plain = send(
+        &addr,
+        &RequestFrame {
+            id: "d-plain".to_string(),
+            csv: corpus_csv(),
+            seed: Some(7),
+            ..RequestFrame::default()
+        }
+        .to_line(),
+    );
+    assert!(plain.is_ok(), "{plain:?}");
+    assert_eq!(core_of(&plain), computed_core, "csv vs dataset-handle core");
+
+    // Close releases the resident copy; the snapshot keeps it openable.
+    let r = send(&addr, &fdx_serve::close_line("close-1", &ds));
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(
+        r.raw.get("was_resident").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let r = send(&addr, &fdx_serve::open_line("open-2", &ds));
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.raw.get("source").and_then(|v| v.as_str()), Some("disk"));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_restart_replays_results_byte_identical_to_uninterrupted_run() {
+    let dir = tmpdir("crash");
+    let server1 = start(&dir, false);
+    let addr1 = server1.addr().to_string();
+
+    let (ds, _) = upload(&addr1, "up-1", &corpus_csv());
+    let computed = send(&addr1, &discover_frame("d-1", &ds).to_line());
+    assert!(computed.is_ok(), "{computed:?}");
+    let pre_crash_core = core_of(&computed);
+
+    // Kill -9 analogue: leak the handle so no drain, flush, or shutdown
+    // hook runs. Everything the next server sees must already be on disk.
+    std::mem::forget(server1);
+
+    let server2 = start(&dir, false);
+    let addr2 = server2.addr().to_string();
+    let recovery = server2.recovery();
+    assert_eq!(recovery.datasets, 1, "{recovery:?}");
+    assert_eq!(recovery.results, 1, "{recovery:?}");
+    assert!(recovery.quarantined.is_empty(), "{recovery:?}");
+
+    // The dataset rehydrates bit-identically from its snapshot.
+    let r = send(&addr2, &fdx_serve::open_line("open-1", &ds));
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.raw.get("source").and_then(|v| v.as_str()), Some("disk"));
+    assert_eq!(r.raw.get("rows").and_then(|v| v.as_u64()), Some(96));
+
+    // The recovered cache replays the pre-crash bytes without recomputing.
+    let cached = send(&addr2, &discover_frame("d-2", &ds).to_line());
+    assert!(cached.is_ok(), "{cached:?}");
+    assert!(is_cached(&cached), "{}", cached.line);
+    assert_eq!(
+        core_of(&cached),
+        pre_crash_core,
+        "crash + recovery must be byte-identical to the pre-crash reply"
+    );
+
+    // And identical to an uninterrupted run: a plain-CSV discover on the
+    // recovered server recomputes from scratch and lands on the same core.
+    let plain = send(
+        &addr2,
+        &RequestFrame {
+            id: "d-plain".to_string(),
+            csv: corpus_csv(),
+            seed: Some(7),
+            ..RequestFrame::default()
+        }
+        .to_line(),
+    );
+    assert!(plain.is_ok(), "{plain:?}");
+    assert_eq!(core_of(&plain), pre_crash_core, "recovered ≠ uninterrupted");
+
+    server2.shutdown();
+    let report = server2.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_matrix_over_the_wire_yields_typed_replies_and_clean_recovery() {
+    let dir = tmpdir("faults");
+    let server1 = start(&dir, true);
+    let addr = server1.addr().to_string();
+
+    // disk_full: typed error, no partial state.
+    let r = send(
+        &addr,
+        &fdx_serve::upload_line(
+            "up-full",
+            &corpus_csv(),
+            &[spec("session.disk_full", Some(1))],
+        ),
+    );
+    assert!(r.code_is(codes::DISK_FULL), "{r:?}");
+
+    // partial_upload: the connection "dropped" mid-body — typed error.
+    let r = send(
+        &addr,
+        &fdx_serve::upload_line(
+            "up-partial",
+            &corpus_csv(),
+            &[spec("session.partial_upload", Some(1))],
+        ),
+    );
+    assert!(r.code_is(codes::UPLOAD_ERROR), "{r:?}");
+
+    // Both faults were stateless: the clean retry is a *fresh* upload
+    // (deduped=false would flip to true had either left a trace).
+    let (clean, retry) = upload(&addr, "up-clean", &corpus_csv());
+    assert_eq!(
+        retry.raw.get("deduped").and_then(|v| v.as_bool()),
+        Some(false),
+        "faulted uploads must leave no partial state: {retry:?}"
+    );
+
+    // evict_during_open: the resident copy is ripped out mid-open; the
+    // request transparently rehydrates from the snapshot and still runs.
+    let mut evict = discover_frame("d-evict", &clean);
+    evict.chaos.push(spec("session.evict_during_open", Some(1)));
+    let r = send(&addr, &evict.to_line());
+    assert!(r.is_ok(), "{r:?}");
+    assert!(!is_cached(&r), "chaos requests bypass the cache");
+    let evicted_core = core_of(&r);
+
+    // Fault-injected results are never cached as canonical: the next
+    // clean discover recomputes — landing on the same bytes — and *that*
+    // run populates the cache.
+    let clean_run = send(&addr, &discover_frame("d-after-evict", &clean).to_line());
+    assert!(clean_run.is_ok(), "{clean_run:?}");
+    assert!(!is_cached(&clean_run), "chaos runs must not seed the cache");
+    assert_eq!(core_of(&clean_run), evicted_core);
+    let cached = send(&addr, &discover_frame("d-cached", &clean).to_line());
+    assert!(cached.is_ok(), "{cached:?}");
+    assert!(is_cached(&cached), "{}", cached.line);
+    assert_eq!(core_of(&cached), evicted_core);
+
+    // torn_write / corrupt_crc: the upload *appears* durable — storage
+    // lied — and the damage only surfaces at the next recovery scan.
+    let r = send(
+        &addr,
+        &fdx_serve::upload_line(
+            "up-torn",
+            &alt_csv("p,q,r", 48),
+            &[spec("session.torn_write", Some(1))],
+        ),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let torn = r
+        .raw
+        .get("dataset")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_string();
+    let r = send(
+        &addr,
+        &fdx_serve::upload_line(
+            "up-crc",
+            &alt_csv("u,v,w,x", 64),
+            &[spec("session.corrupt_crc", Some(1))],
+        ),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let crced = r
+        .raw
+        .get("dataset")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_string();
+
+    // Kill. The restart scan must quarantine exactly the two damaged
+    // snapshots, with their typed reasons, and keep everything intact.
+    std::mem::forget(server1);
+    let server2 = start(&dir, false);
+    let addr2 = server2.addr().to_string();
+    let recovery = server2.recovery();
+    let mut reasons: Vec<&str> = recovery
+        .quarantined
+        .iter()
+        .map(|q| q.reason.as_str())
+        .collect();
+    reasons.sort_unstable();
+    assert_eq!(reasons, ["bad_crc", "truncated"], "{recovery:?}");
+    assert_eq!(recovery.datasets, 1, "{recovery:?}");
+    assert_eq!(recovery.results, 1, "{recovery:?}");
+
+    // Quarantined handles are typed "not found"; the clean one rehydrates.
+    for (id, lost) in [("open-torn", &torn), ("open-crc", &crced)] {
+        let r = send(&addr2, &fdx_serve::open_line(id, lost));
+        assert!(r.code_is(codes::SESSION_NOT_FOUND), "{r:?}");
+    }
+    let r = send(&addr2, &fdx_serve::open_line("open-clean", &clean));
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.raw.get("source").and_then(|v| v.as_str()), Some("disk"));
+
+    // The cached result survived the crash too: cache hit after restart.
+    let cached = send(&addr2, &discover_frame("d-post-crash", &clean).to_line());
+    assert!(cached.is_ok(), "{cached:?}");
+    assert!(is_cached(&cached), "{}", cached.line);
+    assert_eq!(core_of(&cached), evicted_core);
+
+    server2.shutdown();
+    let report = server2.wait();
+    assert_eq!(report.panics, 0, "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hand_corrupted_snapshots_quarantine_with_typed_reasons_deterministically() {
+    let dir = tmpdir("scan");
+    let server1 = start(&dir, false);
+    let addr = server1.addr().to_string();
+    let (ds, _) = upload(&addr, "up-1", &corpus_csv());
+    server1.shutdown();
+    server1.wait();
+
+    // Flip one payload byte in the real snapshot: the CRC must catch it.
+    let snap = dir.join(format!("ds-{ds}.snap"));
+    let mut bytes = std::fs::read(&snap).expect("snapshot on disk");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("rewrite snapshot");
+    // And drop in a plausible-length file that was never a record at all.
+    std::fs::write(
+        dir.join("zz-not-a-record.snap"),
+        b"this file is long enough to reach the magic check and fail it",
+    )
+    .expect("write garbage");
+
+    let server2 = start(&dir, false);
+    let recovery = server2.recovery().clone();
+    assert_eq!(recovery.datasets, 0, "{recovery:?}");
+    let mut quarantined: Vec<(&str, &str)> = recovery
+        .quarantined
+        .iter()
+        .map(|q| (q.file.as_str(), q.reason.as_str()))
+        .collect();
+    quarantined.sort_unstable();
+    assert_eq!(
+        quarantined,
+        [
+            (snap.file_name().unwrap().to_str().unwrap(), "bad_crc"),
+            ("zz-not-a-record.snap", "bad_magic"),
+        ],
+        "{recovery:?}"
+    );
+    let r = send(
+        &server2.addr().to_string(),
+        &fdx_serve::open_line("open-gone", &ds),
+    );
+    assert!(r.code_is(codes::SESSION_NOT_FOUND), "{r:?}");
+    server2.shutdown();
+    server2.wait();
+
+    // Determinism: the quarantine moved the files aside, so a second scan
+    // of the same directory finds nothing new — recovery converges.
+    let server3 = start(&dir, false);
+    let again = server3.recovery();
+    assert_eq!(again.datasets, 0, "{again:?}");
+    assert!(again.quarantined.is_empty(), "{again:?}");
+    assert!(
+        dir.join("quarantine").join("zz-not-a-record.snap").exists(),
+        "quarantined files are preserved for forensics, not deleted"
+    );
+    server3.shutdown();
+    server3.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
